@@ -1,0 +1,64 @@
+//! Microbenchmarks of the address codecs: compression decisions per
+//! second for DBRC and Stride under sequential and random streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use addr_compression::scheme::AddressCodec;
+use addr_compression::{Dbrc, Stride};
+use cmp_common::rng::SimRng;
+
+fn addresses(n: usize, sequential: bool) -> Vec<u64> {
+    let mut rng = SimRng::new(99);
+    let mut cursor = 0x4_0000u64;
+    (0..n)
+        .map(|_| {
+            if sequential {
+                cursor += 16;
+                cursor
+            } else {
+                rng.below(1 << 28)
+            }
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let n = 10_000;
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(n as u64));
+    for sequential in [true, false] {
+        let label = if sequential { "seq" } else { "rand" };
+        let addrs = addresses(n, sequential);
+        for entries in [4usize, 16, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dbrc{entries}"), label),
+                &addrs,
+                |b, addrs| {
+                    b.iter(|| {
+                        let mut d = Dbrc::new(entries, 2);
+                        let mut hits = 0u64;
+                        for &a in addrs {
+                            hits += d.compress(black_box(a)) as u64;
+                        }
+                        hits
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("stride", label), &addrs, |b, addrs| {
+            b.iter(|| {
+                let mut s = Stride::new(2);
+                let mut hits = 0u64;
+                for &a in addrs {
+                    hits += s.compress(black_box(a)) as u64;
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end simulator benchmark: wall-time of a small full-system run
+//! per interconnect configuration (the cost of one matrix cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use addr_compression::CompressionScheme;
+use tcmp_core::niface::InterconnectChoice;
+use tcmp_core::sim::{CmpSimulator, SimConfig};
+use wire_model::wires::VlWidth;
+
+fn bench_fullsim(c: &mut Criterion) {
+    let app = workloads::apps::ocean_cont();
+    let mut group = c.benchmark_group("fullsim");
+    group.sample_size(10);
+    for (label, interconnect, scheme) in [
+        ("baseline", InterconnectChoice::Baseline, CompressionScheme::None),
+        (
+            "dbrc4+vl5",
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::new(interconnect, scheme);
+                let mut sim = CmpSimulator::new(cfg, black_box(&app), 7, 0.005);
+                sim.run().expect("run").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fullsim);
+criterion_main!(benches);

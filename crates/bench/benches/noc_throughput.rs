@@ -1,0 +1,66 @@
+//! Microbenchmark of the flit-level NoC: simulated cycles per second
+//! under sustained uniform-random traffic, baseline vs heterogeneous.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cmp_common::config::CmpConfig;
+use cmp_common::rng::SimRng;
+use cmp_common::types::{MessageClass, TileId};
+use mesh_noc::config::{ChannelKind, NocConfig};
+use mesh_noc::message::Message;
+use mesh_noc::Noc;
+use wire_model::wires::VlWidth;
+
+fn drive(noc_cfg: NocConfig, cycles: u64) -> u64 {
+    let cfg = CmpConfig::default();
+    let hetero = noc_cfg.has_vl();
+    let mut noc: Noc<u64> = Noc::new(cfg.mesh, noc_cfg);
+    let mut rng = SimRng::new(5);
+    let mut delivered = 0u64;
+    for now in 0..cycles {
+        for src in 0..16usize {
+            if rng.chance(0.2) {
+                let dst = (src + 1 + rng.index(15)) % 16;
+                let short = rng.chance(0.5);
+                noc.inject(
+                    now,
+                    Message {
+                        src: TileId::from(src),
+                        dst: TileId::from(dst),
+                        class: if short {
+                            MessageClass::Request
+                        } else {
+                            MessageClass::ResponseData
+                        },
+                        wire_bytes: if short { 5 } else { 67 },
+                        channel: if short && hetero { ChannelKind::Vl } else { ChannelKind::B },
+                        payload: now,
+                    },
+                );
+            }
+        }
+        delivered += noc.tick(now).len() as u64;
+    }
+    delivered
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let cfg = CmpConfig::default();
+    let mut group = c.benchmark_group("noc_tick");
+    for (label, noc_cfg) in [
+        ("baseline", NocConfig::baseline(&cfg.network, cfg.clock_hz)),
+        (
+            "heterogeneous",
+            NocConfig::heterogeneous(&cfg.network, cfg.clock_hz, VlWidth::FiveBytes),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &noc_cfg, |b, nc| {
+            b.iter(|| drive(black_box(nc.clone()), 2_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 2 reproduction: address-compression coverage per application
+//! for the Stride and DBRC configurations.
+//!
+//! One baseline simulation runs per application with all eight schemes
+//! attached as passive probes observing the same request/coherence-command
+//! address streams — exactly the measurement the paper plots.
+
+use addr_compression::CompressionScheme;
+use tcmp_core::experiment::geomean;
+use tcmp_core::report::{fmt_pct, TableBuilder};
+use tcmp_core::sim::{CmpSimulator, SimConfig};
+
+fn main() {
+    let opts = cmp_bench::Options::parse();
+    let schemes = CompressionScheme::paper_matrix();
+    let headers: Vec<String> = std::iter::once("application".to_string())
+        .chain(schemes.iter().map(|s| s.label()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TableBuilder::new(
+        "Figure 2 — address compression coverage (16-core tiled CMP)",
+        &header_refs,
+    );
+
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for app in opts.selected_apps() {
+        let mut cfg = SimConfig::baseline();
+        cfg.coverage_probes = schemes.clone();
+        let mut sim = CmpSimulator::new(cfg, &app, opts.seed, opts.scale);
+        let r = sim.run().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        eprintln!("  {:<14} {:>10} cycles", app.name, r.cycles);
+        let mut row = vec![app.name.to_string()];
+        for (i, (_, cov)) in r.probe_coverages.iter().enumerate() {
+            per_scheme[i].push((*cov).max(1e-6));
+            row.push(fmt_pct(*cov));
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["geomean".to_string()];
+    for c in &per_scheme {
+        avg.push(fmt_pct(geomean(c.iter().copied())));
+    }
+    t.row(avg);
+
+    println!("{}", t.to_markdown());
+    println!(
+        "paper landmarks: 1-byte Stride and 4-entry DBRC (1B LO) are low;\n\
+         16-entry DBRC (1B LO), 2-byte Stride and 4-entry DBRC (2B LO) exceed 80%;\n\
+         DBRC with 2-byte low order averages ~98%; Barnes and Radix lag in most\n\
+         configurations.\n"
+    );
+    if let Some(path) = &opts.csv {
+        t.write_csv(path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 1 reproduction: area and power of the address-compression
+//! hardware for a 16-core tiled CMP at 65 nm.
+//!
+//! Prints the published CACTI-4.1 values next to our CACTI-lite model so
+//! the fit quality is visible, plus the storage arithmetic (one sender
+//! structure + sixteen receiver structures, twice for the two address
+//! streams, 8 bytes per entry).
+
+use addr_compression::cacti_lite;
+use addr_compression::hw_cost::{published_row, storage_bytes};
+use addr_compression::CompressionScheme;
+use cmp_common::config::CmpConfig;
+use tcmp_core::report::TableBuilder;
+
+fn main() {
+    let opts = cmp_bench::Options::parse();
+    let cfg = CmpConfig::default();
+    let tiles = cfg.tiles();
+
+    let schemes = [
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+        CompressionScheme::Stride { low_bytes: 2 },
+    ];
+
+    let mut t = TableBuilder::new(
+        "Table 1 — compression hardware cost per core (16-core CMP, 65 nm)",
+        &[
+            "scheme",
+            "size (B)",
+            "area mm2 (paper)",
+            "area mm2 (model)",
+            "max dyn W (paper)",
+            "max dyn W (model)",
+            "static mW (paper)",
+            "static mW (model)",
+            "% of core area",
+        ],
+    );
+    for scheme in schemes {
+        let bytes = storage_bytes(scheme, tiles);
+        let row = published_row(scheme).expect("published scheme");
+        let est = cacti_lite::estimate(bytes);
+        t.row(vec![
+            row.label.to_string(),
+            bytes.to_string(),
+            format!("{:.4}", row.area_mm2),
+            format!("{:.4}", est.area.value()),
+            format!("{:.4}", row.max_dyn_w),
+            format!("{:.4}", est.max_dynamic.value()),
+            format!("{:.2}", row.static_mw),
+            format!("{:.2}", est.static_power.milliwatts()),
+            format!("{:.2}%", row.area_mm2 / cfg.tile_area_mm2 * 100.0),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    if let Some(path) = &opts.csv {
+        t.write_csv(path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

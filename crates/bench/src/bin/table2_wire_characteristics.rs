@@ -1,0 +1,53 @@
+//! Table 2 reproduction: area, delay and power characteristics of the
+//! wire implementations (B-Wires on 8X/4X planes, L-Wires, PW-Wires).
+//!
+//! Prints the published constants (authoritative for the simulation) next
+//! to the relative latencies derived from the first-order RC + repeater
+//! model, which validates that the constants are consistent with Eq. (1).
+
+use tcmp_core::report::TableBuilder;
+use wire_model::tech::Tech65;
+use wire_model::wires::{derived_rel_latency, WireClass};
+
+fn main() {
+    let opts = cmp_bench::Options::parse();
+    let tech = Tech65::default();
+    let mut t = TableBuilder::new(
+        "Table 2 — wire implementations at 65 nm (relative to B-Wire 8X)",
+        &[
+            "wire type",
+            "rel latency (paper)",
+            "rel latency (RC model)",
+            "rel area",
+            "dyn power (aW/m)",
+            "static power (mW/m)",
+            "abs delay ps/mm",
+        ],
+    );
+    for class in [WireClass::B8X, WireClass::B4X, WireClass::L8X, WireClass::PW4X] {
+        let p = class.props();
+        let derived = derived_rel_latency(&tech, class)
+            .map(|d| format!("{d:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            format!("{class:?}"),
+            format!("{}x", p.rel_latency),
+            derived,
+            format!("{}x", p.rel_area),
+            format!("{}", p.dyn_coeff_w_per_m),
+            format!("{}", p.static_mw_per_m),
+            format!("{:.0}", class.delay_ps(1.0)),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "B-Wire 5 mm hop at 4 GHz: {} cycles; L-Wire: {} cycles; PW-Wire: {} cycles\n",
+        wire_model::link::Channel::new(WireClass::B8X, 75, 5.0).timing(4.0e9).cycles,
+        wire_model::link::Channel::new(WireClass::L8X, 11, 5.0).timing(4.0e9).cycles,
+        wire_model::link::Channel::new(WireClass::PW4X, 34, 5.0).timing(4.0e9).cycles,
+    );
+    if let Some(path) = &opts.csv {
+        t.write_csv(path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 3 reproduction: VL-Wire characteristics for 3/4/5-byte widths,
+//! plus the area-neutrality arithmetic of Section 4.3 (each 75-byte link
+//! becomes 34 bytes of B-Wires + one VL channel of equal total metal
+//! area).
+
+use tcmp_core::report::TableBuilder;
+use wire_model::link::{Channel, HeterogeneousLinkPlan, BASELINE_LINK_BYTES};
+use wire_model::wires::{VlWidth, WireClass};
+
+fn main() {
+    let opts = cmp_bench::Options::parse();
+    let mut t = TableBuilder::new(
+        "Table 3 — VL-Wires (8X plane) relative to baseline wires",
+        &[
+            "width",
+            "rel latency",
+            "rel area",
+            "dyn power (aW/m)",
+            "static power (mW/m)",
+            "link cycles @4GHz/5mm",
+            "plan area vs 75B link",
+            "plan static power vs 75B link",
+        ],
+    );
+    let base = Channel::new(WireClass::B8X, BASELINE_LINK_BYTES, 5.0);
+    for vl in VlWidth::ALL {
+        let p = WireClass::VL(vl).props();
+        let plan = HeterogeneousLinkPlan::area_neutral(vl, 5.0);
+        t.row(vec![
+            format!("{} bytes", vl.bytes()),
+            format!("{}x", p.rel_latency),
+            format!("{}x", p.rel_area),
+            format!("{}", p.dyn_coeff_w_per_m),
+            format!("{}", p.static_mw_per_m),
+            format!("{}", plan.vl_channel.timing(4.0e9).cycles),
+            format!("{:.3}", plan.area_vs_baseline()),
+            format!("{:.3}", plan.static_power() / base.static_power()),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "slack arithmetic: 75 B link = 600 tracks; 34 B of B-Wires keep 272,\n\
+         leaving 328 tracks for 24/32/40 VL wires = 13.7x/10.3x/8.2x area each\n\
+         (published: 14x/10x/8x).\n"
+    );
+    if let Some(path) = &opts.csv {
+        t.write_csv(path).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Tiny argument parsing for the reproduction binaries (no extra deps).
+
+/// Options shared by every reproduction binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Trace scale relative to the nominal 200k refs/core (default 0.1).
+    pub scale: f64,
+    /// Application filter (`--app MP3D`, repeatable); empty = all 13.
+    pub apps: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Include perfect-compression bounds where applicable.
+    pub perfect: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 0.1, apps: Vec::new(), seed: 0xC0FFEE, csv: None, perfect: true }
+    }
+}
+
+impl Options {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Options {
+        let mut o = Options::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => o.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+                "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
+                "--seed" => o.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+                "--csv" => o.csv = Some(args.next().unwrap_or_else(usage)),
+                "--no-perfect" => o.perfect = false,
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage()
+                }
+            }
+        }
+        o
+    }
+
+    /// The selected application profiles (all 13 when no filter given).
+    pub fn selected_apps(&self) -> Vec<workloads::profile::AppProfile> {
+        let all = workloads::apps::all_apps();
+        if self.apps.is_empty() {
+            return all;
+        }
+        self.apps
+            .iter()
+            .map(|name| {
+                workloads::apps::app_by_name(name)
+                    .unwrap_or_else(|| panic!("unknown app {name}; known: {:?}",
+                        all.iter().map(|a| a.name).collect::<Vec<_>>()))
+            })
+            .collect()
+    }
+}
+
+fn usage<T>() -> T {
+    eprintln!(
+        "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect]"
+    );
+    std::process::exit(2)
+}

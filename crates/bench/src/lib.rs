@@ -1,0 +1,7 @@
+//! Shared plumbing for the reproduction binaries: CLI options and the
+//! common run-matrix driver used by the Figure 6/7 binaries.
+
+pub mod cli;
+pub mod matrix;
+
+pub use cli::Options;

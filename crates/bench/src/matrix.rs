@@ -1,0 +1,66 @@
+//! The Figure 6/7 run matrix, shared by both reproduction binaries.
+
+use addr_compression::CompressionScheme;
+use cmp_common::config::CmpConfig;
+use tcmp_core::experiment::{run_matrix, ConfigSpec, RunSpec};
+use tcmp_core::sim::SimResult;
+
+use crate::cli::Options;
+
+/// The configurations plotted in Figure 6: the paper keeps only schemes
+/// "with a compression coverage over 80 %" as bars (plus the baseline and
+/// the perfect-compression solid lines).
+pub fn figure6_configs(include_perfect: bool) -> Vec<ConfigSpec> {
+    let mut v = vec![ConfigSpec::baseline()];
+    for scheme in [
+        CompressionScheme::Stride { low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
+        CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+    ] {
+        v.push(ConfigSpec::compressed(scheme));
+    }
+    if include_perfect {
+        for low in [1usize, 2] {
+            v.push(ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: low }));
+        }
+    }
+    v
+}
+
+/// Run the Figure 6/7 matrix for the selected applications, printing a
+/// progress line per run (the matrix takes minutes at full scale).
+pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
+    let cmp = CmpConfig::default();
+    let configs = figure6_configs(opts.perfect);
+    let mut specs = Vec::new();
+    for app in opts.selected_apps() {
+        for config in &configs {
+            specs.push(RunSpec {
+                app: app.clone(),
+                config: config.clone(),
+                seed: opts.seed,
+                scale: opts.scale,
+            });
+        }
+    }
+    eprintln!(
+        "running {} simulations ({} apps x {} configs, scale {})...",
+        specs.len(),
+        opts.selected_apps().len(),
+        configs.len(),
+        opts.scale
+    );
+    let results = run_matrix(&cmp, &specs);
+    for r in &results {
+        eprintln!(
+            "  {:<14} {:<22} {:>10} cycles, {:>8} msgs",
+            r.app,
+            tcmp_core::experiment::config_label(r),
+            r.cycles,
+            r.network_messages
+        );
+    }
+    results
+}

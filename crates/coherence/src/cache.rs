@@ -1,0 +1,265 @@
+//! Generic set-associative cache array with true-LRU replacement.
+//!
+//! Used for both the L1 arrays (direct set indexing) and the L2 NUCA
+//! slices, whose set index skips the tile-interleaving bits
+//! (`index_shift`). The array stores an arbitrary per-line payload `V`
+//! (the MESI state for L1, line + directory state for L2).
+
+use cmp_common::types::Addr;
+
+/// One resident line.
+#[derive(Clone, Debug)]
+struct Entry<V> {
+    line: Addr,
+    value: V,
+    stamp: u64,
+}
+
+/// A set-associative array keyed by line address.
+#[derive(Clone, Debug)]
+pub struct CacheArray<V> {
+    sets: usize,
+    ways: usize,
+    /// Right-shift applied to the line address before set selection —
+    /// log2(tiles) for an interleaved L2 slice, 0 for an L1.
+    index_shift: u32,
+    entries: Vec<Option<Entry<V>>>,
+    clock: u64,
+}
+
+/// Result of asking for a victim way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimSlot {
+    /// An invalid way is free.
+    Free,
+    /// The LRU evictable line must leave first.
+    Evict(Addr),
+    /// Every way is excluded by the filter (all mid-transaction).
+    None,
+}
+
+impl<V> CacheArray<V> {
+    /// Array with `sets` × `ways` lines. `sets` must be a power of two.
+    pub fn new(sets: usize, ways: usize, index_shift: u32) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0);
+        CacheArray {
+            sets,
+            ways,
+            index_shift,
+            entries: (0..sets * ways).map(|_| None).collect(),
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: Addr) -> usize {
+        ((line >> self.index_shift) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, line: Addr) -> std::ops::Range<usize> {
+        let s = self.set_of(line);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    /// Shared view of a resident line (no LRU update).
+    pub fn peek(&self, line: Addr) -> Option<&V> {
+        self.entries[self.set_range(line)]
+            .iter()
+            .flatten()
+            .find(|e| e.line == line)
+            .map(|e| &e.value)
+    }
+
+    /// Mutable view of a resident line, updating LRU.
+    pub fn get_mut(&mut self, line: Addr) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        self.entries[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+            .map(|e| {
+                e.stamp = clock;
+                &mut e.value
+            })
+    }
+
+    /// Touch a line's LRU stamp.
+    pub fn touch(&mut self, line: Addr) {
+        let _ = self.get_mut(line);
+    }
+
+    /// Remove a line, returning its payload.
+    pub fn remove(&mut self, line: Addr) -> Option<V> {
+        let range = self.set_range(line);
+        for slot in &mut self.entries[range] {
+            if slot.as_ref().is_some_and(|e| e.line == line) {
+                return slot.take().map(|e| e.value);
+            }
+        }
+        None
+    }
+
+    /// What inserting `line` would displace: a free way, the LRU line
+    /// among those `evictable` allows, or nothing.
+    pub fn victim_for(&self, line: Addr, mut evictable: impl FnMut(Addr, &V) -> bool) -> VictimSlot {
+        let range = self.set_range(line);
+        let mut lru: Option<(u64, Addr)> = None;
+        for slot in &self.entries[range] {
+            match slot {
+                None => return VictimSlot::Free,
+                Some(e) => {
+                    if evictable(e.line, &e.value)
+                        && lru.is_none_or(|(stamp, _)| e.stamp < stamp)
+                    {
+                        lru = Some((e.stamp, e.line));
+                    }
+                }
+            }
+        }
+        match lru {
+            Some((_, addr)) => VictimSlot::Evict(addr),
+            None => VictimSlot::None,
+        }
+    }
+
+    /// Whether two lines map to the same set.
+    #[inline]
+    pub fn same_set(&self, a: Addr, b: Addr) -> bool {
+        self.set_of(a) == self.set_of(b)
+    }
+
+    /// Number of invalid (free) ways in `line`'s set.
+    pub fn free_ways(&self, line: Addr) -> usize {
+        self.entries[self.set_range(line)]
+            .iter()
+            .filter(|e| e.is_none())
+            .count()
+    }
+
+    /// The LRU *resident* line among those `evictable` allows, ignoring
+    /// free ways (used when free ways are already reserved for pending
+    /// fills).
+    pub fn lru_resident(&self, line: Addr, mut evictable: impl FnMut(Addr, &V) -> bool) -> Option<Addr> {
+        self.entries[self.set_range(line)]
+            .iter()
+            .flatten()
+            .filter(|e| evictable(e.line, &e.value))
+            .min_by_key(|e| e.stamp)
+            .map(|e| e.line)
+    }
+
+    /// Insert `line` into a free way. Panics if the set is full — callers
+    /// must evict the `victim_for` line first (the two-step dance lets the
+    /// L2 run its recall protocol between choosing and evicting).
+    pub fn insert(&mut self, line: Addr, value: V) {
+        debug_assert!(self.peek(line).is_none(), "double insert of {line:#x}");
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        for slot in &mut self.entries[range] {
+            if slot.is_none() {
+                *slot = Some(Entry { line, value, stamp: clock });
+                return;
+            }
+        }
+        panic!("insert into full set: evict the victim first");
+    }
+
+    /// Number of resident lines (O(capacity); for tests/stats).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Iterate over resident `(line, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &V)> {
+        self.entries.iter().flatten().map(|e| (e.line, &e.value))
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 sets x 2 ways, no interleave shift.
+    fn small() -> CacheArray<u32> {
+        CacheArray::new(4, 2, 0)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = small();
+        c.insert(0x10, 7);
+        assert_eq!(c.peek(0x10), Some(&7));
+        assert_eq!(c.peek(0x11), None);
+        *c.get_mut(0x10).unwrap() = 9;
+        assert_eq!(c.peek(0x10), Some(&9));
+    }
+
+    #[test]
+    fn set_conflicts_and_lru() {
+        let mut c = small();
+        // lines 0, 4, 8 all map to set 0 (2 ways)
+        c.insert(0, 0);
+        c.insert(4, 4);
+        assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Evict(0));
+        c.touch(0); // now 4 is LRU
+        assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Evict(4));
+        let evicted = c.remove(4).unwrap();
+        assert_eq!(evicted, 4);
+        assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Free);
+        c.insert(8, 8);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn victim_filter_excludes_busy_lines() {
+        let mut c = small();
+        c.insert(0, 0);
+        c.insert(4, 4);
+        // both lines busy: no victim available
+        assert_eq!(c.victim_for(8, |_, _| false), VictimSlot::None);
+        // only line 4 evictable
+        assert_eq!(c.victim_for(8, |a, _| a == 4), VictimSlot::Evict(4));
+    }
+
+    #[test]
+    fn index_shift_skips_interleave_bits() {
+        // 16-tile interleave: lines 0,16,32... belong to this slice
+        let mut c: CacheArray<u32> = CacheArray::new(4, 1, 4);
+        c.insert(0, 0);
+        c.insert(16, 1);
+        // 0 -> set 0, 16 -> set 1: no conflict
+        assert_eq!(c.occupancy(), 2);
+        // 64 -> (64>>4)&3 = set 0: conflicts with line 0
+        assert_eq!(c.victim_for(64, |_, _| true), VictimSlot::Evict(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "full set")]
+    fn insert_into_full_set_panics() {
+        let mut c = small();
+        c.insert(0, 0);
+        c.insert(4, 4);
+        c.insert(8, 8);
+    }
+
+    #[test]
+    fn iter_and_capacity() {
+        let mut c = small();
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.capacity(), 8);
+        let mut pairs: Vec<_> = c.iter().map(|(a, &v)| (a, v)).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+}

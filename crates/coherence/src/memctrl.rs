@@ -1,0 +1,103 @@
+//! Fixed-latency off-chip memory interface (Table 4: 400 cycles).
+
+use std::collections::VecDeque;
+
+use cmp_common::stats::Counter;
+use cmp_common::types::{Addr, Cycle, TileId};
+
+/// One outstanding memory read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRead {
+    /// Tile (L2 slice) that asked.
+    pub tile: TileId,
+    /// Line being fetched.
+    pub line: Addr,
+    /// Cycle the data is available.
+    pub ready_at: Cycle,
+}
+
+/// Memory controller: constant-latency reads (FIFO by construction),
+/// fire-and-forget writes.
+pub struct MemCtrl {
+    latency: Cycle,
+    reads: VecDeque<MemRead>,
+    pub reads_issued: Counter,
+    pub writes_issued: Counter,
+}
+
+impl MemCtrl {
+    /// Controller with the given access latency in cycles.
+    pub fn new(latency: Cycle) -> Self {
+        MemCtrl {
+            latency,
+            reads: VecDeque::new(),
+            reads_issued: Counter::default(),
+            writes_issued: Counter::default(),
+        }
+    }
+
+    /// Start a read for `tile`; it completes `latency` cycles from `now`.
+    pub fn read(&mut self, now: Cycle, tile: TileId, line: Addr) {
+        self.reads_issued.inc();
+        self.reads.push_back(MemRead {
+            tile,
+            line,
+            ready_at: now + self.latency,
+        });
+    }
+
+    /// Record a write (latency-irrelevant for the protocol).
+    pub fn write(&mut self, _line: Addr) {
+        self.writes_issued.inc();
+    }
+
+    /// Pop every read that has completed by `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Vec<MemRead> {
+        let mut done = Vec::new();
+        while self.reads.front().is_some_and(|r| r.ready_at <= now) {
+            done.push(self.reads.pop_front().expect("front checked"));
+        }
+        done
+    }
+
+    /// When the next read completes (`None` if none outstanding).
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.reads.front().map(|r| r.ready_at)
+    }
+
+    /// Outstanding read count.
+    pub fn outstanding(&self) -> usize {
+        self.reads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_complete_after_latency_in_order() {
+        let mut m = MemCtrl::new(400);
+        m.read(10, TileId(1), 0x100);
+        m.read(12, TileId(2), 0x200);
+        assert_eq!(m.next_ready(), Some(410));
+        assert!(m.pop_ready(409).is_empty());
+        let done = m.pop_ready(410);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].line, 0x100);
+        let done = m.pop_ready(1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tile, TileId(2));
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.next_ready(), None);
+        assert_eq!(m.reads_issued.get(), 2);
+    }
+
+    #[test]
+    fn writes_are_counted() {
+        let mut m = MemCtrl::new(400);
+        m.write(0x40);
+        m.write(0x80);
+        assert_eq!(m.writes_issued.get(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Protocol torture: drive the L1/L2 state machines directly with
+//! randomised request interleavings and check global invariants after
+//! every quiescence point. This is a *closed-loop* harness — every
+//! message a controller emits is eventually delivered (in a randomly
+//! perturbed order within the rules each channel class guarantees) — so
+//! it explores orderings the full simulator rarely produces.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use cmp_common::rng::SimRng;
+use cmp_common::types::TileId;
+use coherence::l1::{CoreAccess, L1Cache, L1Result, L1State};
+use coherence::l2::{DirState, L2Slice};
+use coherence::msg::{Outgoing, PKind, ProtocolMsg};
+
+const TILES: usize = 4;
+
+/// A message in flight between controllers.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    src: TileId,
+    dst: TileId,
+    msg: ProtocolMsg,
+}
+
+struct Harness {
+    l1s: Vec<L1Cache>,
+    l2s: Vec<L2Slice>,
+    /// In-flight messages; delivery order is randomised except that
+    /// same-(src,dst,kind-category) pairs stay ordered.
+    flight: VecDeque<InFlight>,
+    /// Outstanding memory fills (home tile, line).
+    mem: VecDeque<(TileId, u64)>,
+    rng: SimRng,
+    /// Lines each core believes it has an outstanding miss on.
+    waiting: Vec<Option<u64>>,
+}
+
+impl Harness {
+    fn new(seed: u64) -> Self {
+        Harness {
+            l1s: (0..TILES)
+                .map(|t| L1Cache::new(TileId::from(t), 4, 2, 2, TILES))
+                .collect(),
+            l2s: (0..TILES)
+                .map(|t| L2Slice::new(TileId::from(t), 4, 1, TILES))
+                .collect(),
+            flight: VecDeque::new(),
+            mem: VecDeque::new(),
+            rng: SimRng::new(seed),
+            waiting: vec![None; TILES],
+        }
+    }
+
+    fn push_out(&mut self, src: TileId, outs: Vec<Outgoing>) {
+        for o in outs {
+            match o {
+                Outgoing::Send { dst, msg, .. } => {
+                    self.flight.push_back(InFlight { src, dst, msg })
+                }
+                Outgoing::MemRead { line } => self.mem.push_back((src, line)),
+                Outgoing::MemWrite { .. } => {}
+            }
+        }
+    }
+
+    /// Deliver one random in-flight message (or complete a memory read).
+    fn step(&mut self) -> bool {
+        let has_mem = !self.mem.is_empty();
+        if self.flight.is_empty() && !has_mem {
+            return false;
+        }
+        if has_mem && (self.flight.is_empty() || self.rng.chance(0.3)) {
+            let (tile, line) = self.mem.pop_front().expect("non-empty");
+            let outs = self.l2s[tile.index()].mem_fill_done(line);
+            self.push_out(tile, outs);
+            let pumped = self.l2s[tile.index()].pump();
+            self.push_out(tile, pumped);
+            return true;
+        }
+        // random pick, preserving order only per (src, dst, class) pair —
+        // stricter reorderings than any real network would produce
+        let idx = self.rng.index(self.flight.len());
+        let chosen = self.flight[idx];
+        let earlier_same = self.flight.iter().take(idx).position(|m| {
+            m.src == chosen.src && m.dst == chosen.dst && m.msg.class() == chosen.msg.class()
+        });
+        let idx = if let Some(e) = earlier_same { e } else { idx };
+        let m = self.flight.remove(idx).expect("index valid");
+        let d = m.dst.index();
+        match m.msg.kind {
+            PKind::GetS | PKind::GetX | PKind::Upgrade => {
+                let outs = self.l2s[d].handle_request(m.src, m.msg.kind, m.msg.line);
+                self.push_out(m.dst, outs);
+            }
+            PKind::InvAck
+            | PKind::FwdFailed
+            | PKind::FwdDone
+            | PKind::RevisionClean
+            | PKind::RevisionDirty
+            | PKind::RecallAckData
+            | PKind::RecallAckClean => {
+                let outs = self.l2s[d].handle_reply(m.src, m.msg.kind, m.msg.line);
+                self.push_out(m.dst, outs);
+            }
+            PKind::WbData | PKind::WbHint => {
+                let outs = self.l2s[d].handle_writeback(m.src, m.msg.kind, m.msg.line);
+                self.push_out(m.dst, outs);
+            }
+            _ => {
+                let (outs, done) = self.l1s[d].handle(m.msg);
+                self.push_out(m.dst, outs);
+                if let Some(c) = done {
+                    assert_eq!(self.waiting[d], Some(c.line), "unexpected completion");
+                    self.waiting[d] = None;
+                }
+            }
+        }
+        let pumped = self.l2s[d].pump();
+        self.push_out(m.dst, pumped);
+        true
+    }
+
+    fn access(&mut self, core: usize, line: u64, write: bool) {
+        if self.waiting[core].is_some() {
+            return; // blocking core still waiting
+        }
+        let access = if write { CoreAccess::Write } else { CoreAccess::Read };
+        match self.l1s[core].core_access(line, access) {
+            L1Result::Hit => {}
+            L1Result::Miss { out } => {
+                self.waiting[core] = Some(line);
+                self.push_out(TileId::from(core), out);
+            }
+            L1Result::Blocked => {}
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 1_000_000, "protocol torture did not quiesce");
+        }
+    }
+
+    /// Global single-writer / matching-directory invariant.
+    fn check_coherence(&self) {
+        for line in 0u64..64 {
+            let holders: Vec<(usize, L1State)> = (0..TILES)
+                .filter_map(|t| self.l1s[t].state_of(line).map(|s| (t, s)))
+                .collect();
+            let owners = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, L1State::Modified | L1State::Exclusive))
+                .count();
+            assert!(owners <= 1, "line {line:#x}: multiple owners: {holders:?}");
+            if owners == 1 {
+                assert_eq!(holders.len(), 1, "owner coexists with sharers: {holders:?}");
+            }
+            // the home directory must agree
+            let home = (line as usize) % TILES;
+            match self.l2s[home].dir_state(line) {
+                Some(DirState::Owned(t)) => {
+                    assert!(
+                        holders.iter().any(|(h, _)| *h == t.index()) || holders.is_empty(),
+                        "directory says {t:?} owns {line:#x}, holders {holders:?}"
+                    );
+                }
+                Some(DirState::Invalid) | None => {
+                    assert!(
+                        holders.is_empty(),
+                        "line {line:#x} cached {holders:?} but directory says invalid"
+                    );
+                }
+                Some(DirState::Shared(mask)) => {
+                    for (t, s) in &holders {
+                        assert_eq!(*s, L1State::Shared, "{holders:?}");
+                        assert!(mask & (1 << t) != 0, "untracked sharer {t}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn randomized_interleavings_stay_coherent(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0usize..TILES, 0u64..24, any::<bool>()), 1..120),
+    ) {
+        let mut h = Harness::new(seed);
+        for (core, line, write) in ops {
+            h.access(core, line, write);
+            // deliver a few messages between accesses to interleave
+            for _ in 0..3 {
+                h.step();
+            }
+        }
+        h.drain();
+        for t in 0..TILES {
+            prop_assert!(h.waiting[t].is_none(), "core {t} never completed");
+            prop_assert!(h.l2s[t].is_quiescent(), "slice {t} stuck");
+        }
+        h.check_coherence();
+    }
+}

@@ -1,0 +1,244 @@
+//! 2D-mesh geometry: tile coordinates, neighbourhoods and hop distances.
+//!
+//! Tiles are laid out row-major on a `width × height` grid. The paper's
+//! configuration is a 4×4 mesh of 25 mm² tiles, so inter-router links
+//! measure roughly 5 mm (Table 4).
+
+use crate::types::TileId;
+
+/// A tile position on the mesh: `x` grows east, `y` grows south.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Coord {
+    pub x: u16,
+    pub y: u16,
+}
+
+/// One of the four mesh directions plus the local ejection port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    East,
+    West,
+    North,
+    South,
+    /// Delivery to the local tile (network-interface ejection port).
+    Local,
+}
+
+impl Direction {
+    /// The four link directions (excluding `Local`).
+    pub const LINKS: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// All five router output ports.
+    pub const ALL: [Direction; 5] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+        Direction::Local,
+    ];
+
+    /// Dense index for port tables (`Local` is last).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The direction a flit arriving *from* this direction came in on.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Local => Direction::Local,
+        }
+    }
+}
+
+/// The rectangular mesh the tiles live on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MeshShape {
+    pub width: u16,
+    pub height: u16,
+}
+
+impl MeshShape {
+    /// A `width × height` mesh. Panics when either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        MeshShape { width, height }
+    }
+
+    /// A square `side × side` mesh (the paper's default is 4×4).
+    pub fn square(side: u16) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Row-major coordinate of a tile id.
+    #[inline]
+    pub fn coord(&self, tile: TileId) -> Coord {
+        let idx = tile.index();
+        debug_assert!(idx < self.tiles(), "tile {idx} outside mesh");
+        Coord {
+            x: (idx % self.width as usize) as u16,
+            y: (idx / self.width as usize) as u16,
+        }
+    }
+
+    /// Row-major tile id of a coordinate.
+    #[inline]
+    pub fn tile(&self, c: Coord) -> TileId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        TileId::from(c.y as usize * self.width as usize + c.x as usize)
+    }
+
+    /// Manhattan hop distance between two tiles (number of links a message
+    /// traverses under dimension-order routing).
+    #[inline]
+    pub fn hops(&self, a: TileId, b: TileId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u32
+    }
+
+    /// Next output port under XY dimension-order routing from `here`
+    /// towards `dest` (X first, then Y; `Local` when arrived).
+    pub fn xy_route(&self, here: TileId, dest: TileId) -> Direction {
+        let c = self.coord(here);
+        let d = self.coord(dest);
+        if d.x > c.x {
+            Direction::East
+        } else if d.x < c.x {
+            Direction::West
+        } else if d.y > c.y {
+            Direction::South
+        } else if d.y < c.y {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// The neighbouring tile in `dir`, or `None` at a mesh edge.
+    pub fn neighbor(&self, tile: TileId, dir: Direction) -> Option<TileId> {
+        let c = self.coord(tile);
+        let n = match dir {
+            Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            Direction::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            _ => return None,
+        };
+        Some(self.tile(n))
+    }
+
+    /// Iterator over all tile ids, row-major.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = TileId> + use<> {
+        (0..self.tiles()).map(TileId::from)
+    }
+
+    /// Number of unidirectional links in the mesh
+    /// (`2 · (2·w·h − w − h)`).
+    pub fn unidirectional_links(&self) -> usize {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        2 * (2 * w * h - w - h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = MeshShape::square(4);
+        for t in m.iter_tiles() {
+            assert_eq!(m.tile(m.coord(t)), t);
+        }
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        let m = MeshShape::square(4);
+        // corner to corner on a 4x4 mesh: 3 + 3 hops
+        assert_eq!(m.hops(TileId(0), TileId(15)), 6);
+        assert_eq!(m.hops(TileId(5), TileId(5)), 0);
+        assert_eq!(m.hops(TileId(0), TileId(3)), 3);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let m = MeshShape::square(4);
+        // from (0,0) to (2,2): east twice, then south twice
+        let mut here = TileId(0);
+        let dest = m.tile(Coord { x: 2, y: 2 });
+        let mut path = Vec::new();
+        loop {
+            let dir = m.xy_route(here, dest);
+            if dir == Direction::Local {
+                break;
+            }
+            path.push(dir);
+            here = m.neighbor(here, dir).expect("route stays on mesh");
+        }
+        assert_eq!(
+            path,
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South
+            ]
+        );
+        assert_eq!(here, dest);
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let m = MeshShape::square(4);
+        assert_eq!(m.neighbor(TileId(0), Direction::West), None);
+        assert_eq!(m.neighbor(TileId(0), Direction::North), None);
+        assert_eq!(m.neighbor(TileId(0), Direction::East), Some(TileId(1)));
+        assert_eq!(m.neighbor(TileId(0), Direction::South), Some(TileId(4)));
+        assert_eq!(m.neighbor(TileId(15), Direction::East), None);
+        assert_eq!(m.neighbor(TileId(15), Direction::South), None);
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        // 4x4 mesh: 24 bidirectional = 48 unidirectional links
+        assert_eq!(MeshShape::square(4).unidirectional_links(), 48);
+        // 2x2 mesh: 4 bidirectional = 8 unidirectional
+        assert_eq!(MeshShape::square(2).unidirectional_links(), 8);
+        // 1xN degenerates to a line
+        assert_eq!(MeshShape::new(1, 4).unidirectional_links(), 6);
+    }
+
+    #[test]
+    fn opposite_directions() {
+        for d in Direction::LINKS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+    }
+}

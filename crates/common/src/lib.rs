@@ -1,0 +1,31 @@
+//! Shared foundation types for the tiled-CMP simulation stack.
+//!
+//! This crate is dependency-free and holds everything the subsystem crates
+//! (wire model, compression, NoC, coherence, CPU, workloads, energy) need to
+//! agree on:
+//!
+//! * [`types`] — physical addresses, tile/core identifiers, cycle counts and
+//!   the coherence-message taxonomy of the paper's Figure 4.
+//! * [`config`] — the simulated machine description (Table 4 of the paper is
+//!   the default: 16 tiles, 65 nm, 4 GHz, 32 KB L1, 256 KB L2 slice, 2D mesh
+//!   with 75-byte unidirectional links of 5 mm).
+//! * [`geometry`] — 2D-mesh coordinates and routing distances.
+//! * [`stats`] — counters, histograms and online mean/variance used by every
+//!   subsystem to report results.
+//! * [`rng`] — a tiny deterministic `SplitMix64`/`Xoshiro256**` pair so that
+//!   every simulation is exactly reproducible from a seed.
+//! * [`units`] — thin newtypes for the physical quantities that cross crate
+//!   boundaries (picoseconds, watts, square millimetres, joules).
+
+pub mod config;
+pub mod geometry;
+pub mod rng;
+pub mod stats;
+pub mod types;
+pub mod units;
+
+pub use config::{CacheConfig, CmpConfig, NetworkConfig};
+pub use geometry::{Coord, MeshShape};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, OnlineStats};
+pub use types::{Addr, Cycle, MessageClass, TileId, CONTROL_BYTES, LINE_BYTES};

@@ -1,0 +1,188 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic decision in the simulator (workload generation, tie
+//! breaking) draws from a [`SimRng`] seeded from the experiment
+//! configuration, so identical configurations always produce identical
+//! cycle counts and energies. The generator is `xoshiro256**` seeded via
+//! `SplitMix64` — the standard, well-tested combination — implemented
+//! locally to keep this crate dependency-free.
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic RNG (`xoshiro256**`).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent stream for a subcomponent. `tag` should be a
+    /// stable label (e.g. a core index) so streams never collide.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        let base = self.next_u64();
+        SimRng::new(base ^ tag.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Uses Lemire's multiply-shift
+    /// reduction; bias is negligible for the bounds used here. Panics if
+    /// `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Geometric-ish burst length: 1 + Geometric(p) capped at `max`.
+    /// Used for compute-burst and run-length generation in workloads.
+    pub fn burst(&mut self, mean: f64, max: u64) -> u64 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u = self.f64().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        (1 + g).min(max)
+    }
+
+    /// Sample an index from a discrete cumulative distribution
+    /// (`cdf` must be non-decreasing, ending at ~1.0).
+    pub fn pick_cdf(&mut self, cdf: &[f64]) -> usize {
+        let u = self.f64();
+        match cdf.iter().position(|&c| u < c) {
+            Some(i) => i,
+            None => cdf.len().saturating_sub(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn f64_is_unit_interval_uniformish() {
+        let mut rng = SimRng::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(5);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn burst_respects_bounds() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.burst(8.0, 100);
+            assert!((1..=100).contains(&v));
+        }
+        // mean should be in the right ballpark
+        let mean: f64 =
+            (0..20_000).map(|_| rng.burst(8.0, 10_000) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 8.0).abs() < 0.5, "burst mean {mean} far from 8");
+    }
+
+    #[test]
+    fn pick_cdf_matches_weights() {
+        let mut rng = SimRng::new(11);
+        let cdf = [0.1, 0.6, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[rng.pick_cdf(&cdf)] += 1;
+        }
+        assert!((counts[0] as f64 / 1e5 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 1e5 - 0.5).abs() < 0.01);
+        assert!((counts[2] as f64 / 1e5 - 0.4).abs() < 0.01);
+    }
+}

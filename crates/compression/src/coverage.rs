@@ -1,0 +1,96 @@
+//! Compression-coverage accounting (the quantity plotted in Figure 2).
+
+use cmp_common::stats::HitRate;
+use cmp_common::types::CompressionStream;
+
+/// Per-stream and aggregate compression coverage for one tile (or, after
+/// merging, a whole machine).
+#[derive(Clone, Default, Debug)]
+pub struct CoverageStats {
+    per_stream: [HitRate; 2],
+}
+
+impl CoverageStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of compressing one address on `stream`.
+    #[inline]
+    pub fn record(&mut self, stream: CompressionStream, hit: bool) {
+        self.per_stream[stream.index()].record(hit);
+    }
+
+    /// Coverage of one stream.
+    pub fn stream_rate(&self, stream: CompressionStream) -> f64 {
+        self.per_stream[stream.index()].rate()
+    }
+
+    /// Aggregate coverage over both streams — the Figure 2 metric:
+    /// fraction of address-bearing messages whose address compressed.
+    pub fn coverage(&self) -> f64 {
+        let mut all = HitRate::default();
+        for s in &self.per_stream {
+            all.merge(s);
+        }
+        all.rate()
+    }
+
+    /// Total addresses processed (= compressor accesses, for the energy
+    /// model).
+    pub fn accesses(&self) -> u64 {
+        self.per_stream.iter().map(|s| s.total()).sum()
+    }
+
+    /// Total compressed (hit) addresses.
+    pub fn hits(&self) -> u64 {
+        self.per_stream.iter().map(|s| s.hits).sum()
+    }
+
+    /// Merge another accumulator (e.g. across tiles).
+    pub fn merge(&mut self, other: &CoverageStats) {
+        for (a, b) in self.per_stream.iter_mut().zip(other.per_stream.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_aggregates_streams() {
+        let mut c = CoverageStats::new();
+        for _ in 0..8 {
+            c.record(CompressionStream::Requests, true);
+        }
+        for _ in 0..2 {
+            c.record(CompressionStream::Requests, false);
+        }
+        for _ in 0..5 {
+            c.record(CompressionStream::Commands, true);
+        }
+        for _ in 0..5 {
+            c.record(CompressionStream::Commands, false);
+        }
+        assert!((c.stream_rate(CompressionStream::Requests) - 0.8).abs() < 1e-12);
+        assert!((c.stream_rate(CompressionStream::Commands) - 0.5).abs() < 1e-12);
+        assert!((c.coverage() - 13.0 / 20.0).abs() < 1e-12);
+        assert_eq!(c.accesses(), 20);
+        assert_eq!(c.hits(), 13);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = CoverageStats::new();
+        a.record(CompressionStream::Requests, true);
+        let mut b = CoverageStats::new();
+        b.record(CompressionStream::Requests, false);
+        b.record(CompressionStream::Commands, true);
+        a.merge(&b);
+        assert_eq!(a.accesses(), 3);
+        assert_eq!(a.hits(), 2);
+    }
+}

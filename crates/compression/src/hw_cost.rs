@@ -1,0 +1,244 @@
+//! Hardware cost of the compression schemes — Table 1 of the paper.
+//!
+//! Per core, a scheme needs **one sending structure and as many receiving
+//! structures as there are cores**, duplicated for the two address streams
+//! (requests and coherence commands). Every entry stores an 8-byte base,
+//! which reproduces the paper's storage totals exactly:
+//!
+//! * DBRC with E entries: `2 · (E + 16·E) · 8` bytes (1088/4352/17408 for
+//!   E = 4/16/64 on a 16-core CMP).
+//! * Stride: one register per structure: `2 · (1 + 16) · 8 = 272` bytes.
+//!
+//! Area and power come from the published Table 1 values where available
+//! and from [`crate::cacti_lite`] otherwise.
+
+use cmp_common::units::{SquareMm, Watts};
+
+use crate::cacti_lite;
+use crate::scheme::CompressionScheme;
+
+/// Bytes per stored base register/cache entry.
+pub const ENTRY_BYTES: usize = 8;
+
+/// One published Table 1 row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Scheme label as printed.
+    pub label: &'static str,
+    /// Per-core storage in bytes.
+    pub size_bytes: usize,
+    /// Area in mm² and as a fraction of a 25 mm² core.
+    pub area_mm2: f64,
+    pub area_pct_of_core: f64,
+    /// Maximum dynamic power in W and as a fraction of core power.
+    pub max_dyn_w: f64,
+    pub dyn_pct_of_core: f64,
+    /// Static power in mW and as a fraction of core leakage.
+    pub static_mw: f64,
+    pub static_pct_of_core: f64,
+}
+
+/// Table 1 as published (16-core CMP, 65 nm, CACTI v4.1).
+pub const PUBLISHED_TABLE1: [Table1Row; 4] = [
+    Table1Row {
+        label: "4-entry DBRC",
+        size_bytes: 1088,
+        area_mm2: 0.0723,
+        area_pct_of_core: 0.29,
+        max_dyn_w: 0.1065,
+        dyn_pct_of_core: 0.48,
+        static_mw: 10.78,
+        static_pct_of_core: 0.29,
+    },
+    Table1Row {
+        label: "16-entry DBRC",
+        size_bytes: 4352,
+        area_mm2: 0.2678,
+        area_pct_of_core: 1.07,
+        max_dyn_w: 0.3848,
+        dyn_pct_of_core: 1.72,
+        static_mw: 43.03,
+        static_pct_of_core: 1.21,
+    },
+    Table1Row {
+        label: "64-entry DBRC",
+        size_bytes: 17408,
+        area_mm2: 0.8240,
+        area_pct_of_core: 3.30,
+        max_dyn_w: 0.7078,
+        dyn_pct_of_core: 3.16,
+        static_mw: 133.42,
+        static_pct_of_core: 3.76,
+    },
+    Table1Row {
+        label: "2-byte Stride",
+        size_bytes: 272,
+        area_mm2: 0.0257,
+        area_pct_of_core: 0.10,
+        max_dyn_w: 0.0561,
+        dyn_pct_of_core: 0.25,
+        static_mw: 5.14,
+        static_pct_of_core: 0.15,
+    },
+];
+
+/// Per-core hardware cost of a compression scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompressionHwCost {
+    /// Total storage per core.
+    pub storage_bytes: usize,
+    /// Silicon area per core.
+    pub area: SquareMm,
+    /// Maximum dynamic power per core (both streams saturated).
+    pub max_dynamic: Watts,
+    /// Leakage power per core.
+    pub static_power: Watts,
+}
+
+impl CompressionHwCost {
+    /// Cost of `scheme` on a machine with `tiles` tiles. Published Table 1
+    /// values are used when the configuration matches a published row and
+    /// `tiles == 16`; otherwise the CACTI-lite fit.
+    pub fn for_scheme(scheme: CompressionScheme, tiles: usize) -> Self {
+        let bytes = storage_bytes(scheme, tiles);
+        if tiles == 16 {
+            if let Some(row) = published_row(scheme) {
+                return CompressionHwCost {
+                    storage_bytes: bytes,
+                    area: SquareMm(row.area_mm2),
+                    max_dynamic: Watts(row.max_dyn_w),
+                    static_power: Watts(row.static_mw * 1e-3),
+                };
+            }
+        }
+        let est = cacti_lite::estimate(bytes);
+        CompressionHwCost {
+            storage_bytes: bytes,
+            area: est.area,
+            max_dynamic: est.max_dynamic,
+            static_power: est.static_power,
+        }
+    }
+
+    /// Dynamic energy of a single structure access. Max dynamic power
+    /// corresponds to two accesses per cycle per core (one send-side, one
+    /// receive-side) at the paper's 4 GHz clock.
+    pub fn dyn_energy_per_access(&self) -> cmp_common::units::Joules {
+        cmp_common::units::Joules(self.max_dynamic.value() / (2.0 * 4.0e9))
+    }
+}
+
+/// Total per-core compression storage for `scheme` on `tiles` tiles:
+/// `2 streams × (1 sender + tiles receivers) × entries × 8 bytes`.
+pub fn storage_bytes(scheme: CompressionScheme, tiles: usize) -> usize {
+    let entries = match scheme {
+        CompressionScheme::None | CompressionScheme::Perfect { .. } => return 0,
+        CompressionScheme::Dbrc { entries, .. } => entries,
+        CompressionScheme::Stride { .. } => 1,
+    };
+    2 * (1 + tiles) * entries * ENTRY_BYTES
+}
+
+/// The published Table 1 row matching `scheme`, if any. Low-order byte
+/// count does not change storage (every entry holds a full base), so both
+/// 1 B and 2 B variants map to the same row.
+pub fn published_row(scheme: CompressionScheme) -> Option<&'static Table1Row> {
+    match scheme {
+        CompressionScheme::Dbrc { entries: 4, .. } => Some(&PUBLISHED_TABLE1[0]),
+        CompressionScheme::Dbrc { entries: 16, .. } => Some(&PUBLISHED_TABLE1[1]),
+        CompressionScheme::Dbrc { entries: 64, .. } => Some(&PUBLISHED_TABLE1[2]),
+        CompressionScheme::Stride { .. } => Some(&PUBLISHED_TABLE1[3]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_table1_size_column() {
+        let t = 16;
+        assert_eq!(
+            storage_bytes(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, t),
+            1088
+        );
+        assert_eq!(
+            storage_bytes(CompressionScheme::Dbrc { entries: 16, low_bytes: 1 }, t),
+            4352
+        );
+        assert_eq!(
+            storage_bytes(CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }, t),
+            17408
+        );
+        assert_eq!(storage_bytes(CompressionScheme::Stride { low_bytes: 2 }, t), 272);
+        assert_eq!(storage_bytes(CompressionScheme::None, t), 0);
+        assert_eq!(storage_bytes(CompressionScheme::Perfect { low_bytes: 1 }, t), 0);
+    }
+
+    #[test]
+    fn published_rows_selected_for_16_tiles() {
+        let cost =
+            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 16);
+        assert_eq!(cost.area.value(), 0.0723);
+        assert_eq!(cost.max_dynamic.value(), 0.1065);
+        assert!((cost.static_power.milliwatts() - 10.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_percentages_are_consistent_with_core_budget() {
+        // area % against a 25 mm^2 tile; power % against the core budgets
+        // implied by the published normalisation (see CmpConfig docs).
+        for row in &PUBLISHED_TABLE1 {
+            let area_pct = row.area_mm2 / 25.0 * 100.0;
+            assert!(
+                (area_pct / row.area_pct_of_core - 1.0).abs() < 0.20,
+                "{}: area {area_pct:.3}% vs published {}%",
+                row.label,
+                row.area_pct_of_core
+            );
+            let dyn_pct = row.max_dyn_w / 22.4 * 100.0;
+            assert!(
+                (dyn_pct / row.dyn_pct_of_core - 1.0).abs() < 0.20,
+                "{}: dyn {dyn_pct:.3}% vs published {}%",
+                row.label,
+                row.dyn_pct_of_core
+            );
+            let static_pct = row.static_mw / 3550.0 * 100.0;
+            assert!(
+                (static_pct / row.static_pct_of_core - 1.0).abs() < 0.25,
+                "{}: static {static_pct:.3}% vs published {}%",
+                row.label,
+                row.static_pct_of_core
+            );
+        }
+    }
+
+    #[test]
+    fn non_16_tile_machines_fall_back_to_cacti_lite() {
+        let cost =
+            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 4);
+        // 2*(1+4)*4*8 = 320 bytes
+        assert_eq!(cost.storage_bytes, 320);
+        assert!(cost.area.value() > 0.0 && cost.area.value() < 0.0723);
+    }
+
+    #[test]
+    fn oracles_cost_nothing() {
+        for scheme in [CompressionScheme::None, CompressionScheme::Perfect { low_bytes: 2 }] {
+            let cost = CompressionHwCost::for_scheme(scheme, 16);
+            assert_eq!(cost.storage_bytes, 0);
+            assert_eq!(cost.area.value(), 0.0);
+            assert_eq!(cost.static_power.value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn access_energy_is_plausible() {
+        let cost =
+            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 16);
+        let pj = cost.dyn_energy_per_access().picojoules();
+        // small SRAM access at 65nm: picojoules, not nano or femto
+        assert!((1.0..=100.0).contains(&pj), "access energy {pj} pJ");
+    }
+}

@@ -1,0 +1,45 @@
+//! Dynamic address compression for coherence traffic (Section 3.1).
+//!
+//! Two schemes from the paper, plus oracles for bounding studies:
+//!
+//! * [`dbrc`] — **Dynamic Base Register Caching** (Farrens & Park): a small
+//!   fully-associative cache of address high-order bits at the sender and a
+//!   mirrored register file at the receiver. On a hit only the entry index
+//!   and the uncompressed low-order bytes travel; on a miss the full
+//!   address travels and both ends insert it.
+//! * [`stride`] — a single base register per (sender, receiver, stream);
+//!   when the delta to the previous address fits the configured number of
+//!   bytes, only the delta travels.
+//! * [`scheme`] — the common codec interface plus the `Perfect` (always
+//!   hits — the paper's solid upper-bound lines in Figure 6) and `None`
+//!   oracles.
+//!
+//! [`engine`] instantiates one codec per (destination, stream) pair at each
+//! tile — the paper duplicates hardware for the *requests* and *coherence
+//! commands* streams to avoid destructive interference — and reports
+//! per-message wire sizes. [`hw_cost`] and [`cacti_lite`] model the silicon
+//! cost of that hardware (Table 1).
+//!
+//! ### Compression operates on line addresses
+//!
+//! Coherence messages name 64-byte cache lines, so the codecs see
+//! line-granular addresses (`byte_addr >> 6`); the "low-order bytes" of the
+//! paper are the low-order bytes of the *line* address. With 1 byte of low
+//! order, one DBRC base therefore spans 256 lines = 16 KB, and with 2
+//! bytes 65 536 lines = 4 MB — which is what makes 2-byte configurations
+//! reach the paper's ~98 % coverage on megabyte-scale working sets.
+
+pub mod cacti_lite;
+pub mod coverage;
+pub mod dbrc;
+pub mod engine;
+pub mod hw_cost;
+pub mod scheme;
+pub mod stride;
+
+pub use coverage::CoverageStats;
+pub use dbrc::Dbrc;
+pub use engine::{CompressedSize, CompressionEngine};
+pub use hw_cost::{CompressionHwCost, PUBLISHED_TABLE1};
+pub use scheme::{AddressCodec, CodecState, CompressionScheme};
+pub use stride::Stride;

@@ -1,0 +1,178 @@
+//! The codec interface and scheme configuration.
+
+use cmp_common::types::{Addr, CONTROL_BYTES};
+
+use crate::dbrc::Dbrc;
+use crate::stride::Stride;
+
+/// Which address-compression scheme a configuration uses.
+///
+/// The paper is explicit that it "is not aimed at proposing a particular
+/// compression scheme" — any scheme that yields coverage can feed the
+/// heterogeneous interconnect, which is why the scheme is a plain value
+/// the experiment matrix sweeps over.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompressionScheme {
+    /// No compression: every address-bearing message stays 11 bytes.
+    None,
+    /// Dynamic Base Register Caching with `entries` bases per
+    /// (destination, stream) and `low_bytes` uncompressed low-order bytes.
+    Dbrc { entries: usize, low_bytes: usize },
+    /// Stride/delta compression with `low_bytes` delta bytes.
+    Stride { low_bytes: usize },
+    /// Oracle that always hits — the paper's "perfect address compression"
+    /// solid lines. Costs no hardware.
+    Perfect { low_bytes: usize },
+}
+
+impl CompressionScheme {
+    /// The configurations evaluated in Figures 2/6/7 of the paper.
+    pub fn paper_matrix() -> Vec<CompressionScheme> {
+        vec![
+            CompressionScheme::Stride { low_bytes: 1 },
+            CompressionScheme::Stride { low_bytes: 2 },
+            CompressionScheme::Dbrc { entries: 4, low_bytes: 1 },
+            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+            CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
+            CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
+            CompressionScheme::Dbrc { entries: 64, low_bytes: 1 },
+            CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+        ]
+    }
+
+    /// Uncompressed low-order bytes this scheme sends alongside the
+    /// compression metadata (0 for `None`, whose messages are never
+    /// compressed).
+    pub fn low_order_bytes(&self) -> usize {
+        match *self {
+            CompressionScheme::None => 0,
+            CompressionScheme::Dbrc { low_bytes, .. }
+            | CompressionScheme::Stride { low_bytes }
+            | CompressionScheme::Perfect { low_bytes } => low_bytes,
+        }
+    }
+
+    /// On-wire size of a *compressed* message: control bytes + low-order
+    /// bytes (the DBRC index / delta sign ride in spare control bits —
+    /// Section 4.3 puts compressed requests at 4–5 bytes).
+    pub fn compressed_bytes(&self) -> usize {
+        CONTROL_BYTES + self.low_order_bytes()
+    }
+
+    /// Short, human-readable configuration label (matches the paper's
+    /// figure legends).
+    pub fn label(&self) -> String {
+        match *self {
+            CompressionScheme::None => "no-compression".to_string(),
+            CompressionScheme::Dbrc { entries, low_bytes } => {
+                format!("{entries}-entry DBRC ({low_bytes}B LO)")
+            }
+            CompressionScheme::Stride { low_bytes } => format!("{low_bytes}-byte Stride"),
+            CompressionScheme::Perfect { low_bytes } => {
+                format!("perfect ({}B msg)", CONTROL_BYTES + low_bytes)
+            }
+        }
+    }
+
+    /// Build the per-(destination, stream) codec state for this scheme.
+    pub fn build(&self) -> CodecState {
+        match *self {
+            CompressionScheme::None => CodecState::None,
+            CompressionScheme::Dbrc { entries, low_bytes } => {
+                CodecState::Dbrc(Dbrc::new(entries, low_bytes))
+            }
+            CompressionScheme::Stride { low_bytes } => CodecState::Stride(Stride::new(low_bytes)),
+            CompressionScheme::Perfect { .. } => CodecState::Perfect,
+        }
+    }
+}
+
+/// Behaviour every sender-side codec implements: observe the line address
+/// about to be sent, mutate internal state, and report whether it
+/// compressed. Receiver state mirrors the sender deterministically (the
+/// simulator carries the real address in message metadata), so one state
+/// machine per (src, dst, stream) suffices.
+pub trait AddressCodec {
+    /// Process an outgoing line address; `true` means it compressed.
+    fn compress(&mut self, line_addr: Addr) -> bool;
+
+    /// Drop all learned state (e.g. between application phases).
+    fn reset(&mut self);
+}
+
+/// Enum-dispatched codec state: one per (destination, stream) pair.
+#[derive(Clone, Debug)]
+pub enum CodecState {
+    /// No compression hardware: never hits.
+    None,
+    /// DBRC compression cache.
+    Dbrc(Dbrc),
+    /// Stride base register.
+    Stride(Stride),
+    /// Oracle: always hits.
+    Perfect,
+}
+
+impl AddressCodec for CodecState {
+    fn compress(&mut self, line_addr: Addr) -> bool {
+        match self {
+            CodecState::None => false,
+            CodecState::Dbrc(d) => d.compress(line_addr),
+            CodecState::Stride(s) => s.compress(line_addr),
+            CodecState::Perfect => true,
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            CodecState::None | CodecState::Perfect => {}
+            CodecState::Dbrc(d) => d.reset(),
+            CodecState::Stride(s) => s.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressed_sizes_match_section_4_3() {
+        // "from 11 bytes to 4-5 bytes depending on the size of the
+        // uncompressed low order bits"
+        let s1 = CompressionScheme::Dbrc { entries: 4, low_bytes: 1 };
+        let s2 = CompressionScheme::Dbrc { entries: 4, low_bytes: 2 };
+        assert_eq!(s1.compressed_bytes(), 4);
+        assert_eq!(s2.compressed_bytes(), 5);
+        assert_eq!(CompressionScheme::Stride { low_bytes: 2 }.compressed_bytes(), 5);
+        assert_eq!(CompressionScheme::Perfect { low_bytes: 0 }.compressed_bytes(), 3);
+    }
+
+    #[test]
+    fn paper_matrix_covers_figure_2() {
+        let m = CompressionScheme::paper_matrix();
+        assert_eq!(m.len(), 8);
+        // all Stride and DBRC rows of Figure 2 present
+        assert!(m.contains(&CompressionScheme::Stride { low_bytes: 1 }));
+        assert!(m.contains(&CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }));
+    }
+
+    #[test]
+    fn oracles_behave() {
+        let mut none = CompressionScheme::None.build();
+        let mut perfect = CompressionScheme::Perfect { low_bytes: 1 }.build();
+        for a in [0u64, 1, 0xFFFF_FFFF, 42] {
+            assert!(!none.compress(a));
+            assert!(perfect.compress(a));
+        }
+    }
+
+    #[test]
+    fn labels_are_figure_legends() {
+        assert_eq!(
+            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }.label(),
+            "4-entry DBRC (2B LO)"
+        );
+        assert_eq!(CompressionScheme::Stride { low_bytes: 1 }.label(), "1-byte Stride");
+    }
+}

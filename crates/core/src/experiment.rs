@@ -1,0 +1,249 @@
+//! The evaluation's run matrix, parallel execution and normalisation.
+//!
+//! Section 5 normalises every number against the baseline configuration
+//! (75-byte B-Wire links, no compression) and reports, per application:
+//! execution time (Figure 6 top), link ED²P (Figure 6 bottom) and
+//! full-CMP ED²P (Figure 7), for a set of Stride/DBRC configurations plus
+//! the perfect-compression bound.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use addr_compression::CompressionScheme;
+use cmp_common::config::CmpConfig;
+use wire_model::wires::VlWidth;
+use workloads::profile::AppProfile;
+
+use crate::niface::InterconnectChoice;
+use crate::sim::{CmpSimulator, SimConfig, SimResult};
+
+/// One (interconnect, scheme) configuration of the matrix.
+#[derive(Clone, Debug)]
+pub struct ConfigSpec {
+    /// Legend label (matches the paper's figures).
+    pub label: String,
+    pub interconnect: InterconnectChoice,
+    pub scheme: CompressionScheme,
+}
+
+impl ConfigSpec {
+    /// The baseline every figure normalises against.
+    pub fn baseline() -> Self {
+        ConfigSpec {
+            label: "baseline".to_string(),
+            interconnect: InterconnectChoice::Baseline,
+            scheme: CompressionScheme::None,
+        }
+    }
+
+    /// A compression scheme over the matching heterogeneous link: the
+    /// number of low-order bytes determines the VL width (Section 5.2:
+    /// "the number of bytes used to send the low order bits (1 or 2
+    /// bytes) determines the number of VL-Wires (4 or 5 bytes)").
+    pub fn compressed(scheme: CompressionScheme) -> Self {
+        let vl = VlWidth::for_low_order_bytes(scheme.low_order_bytes());
+        ConfigSpec {
+            label: scheme.label(),
+            interconnect: InterconnectChoice::Heterogeneous(vl),
+            scheme,
+        }
+    }
+}
+
+/// The full configuration list of Figures 6/7: baseline, the eight
+/// Stride/DBRC combinations of Figure 2, and (optionally) the three
+/// perfect-compression bounds drawn as solid lines.
+pub fn paper_configs(include_perfect: bool) -> Vec<ConfigSpec> {
+    let mut v = vec![ConfigSpec::baseline()];
+    v.extend(CompressionScheme::paper_matrix().into_iter().map(ConfigSpec::compressed));
+    if include_perfect {
+        for low in [1usize, 2] {
+            v.push(ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: low }));
+        }
+    }
+    v
+}
+
+/// One run of the matrix.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    pub app: AppProfile,
+    pub config: ConfigSpec,
+    pub seed: u64,
+    pub scale: f64,
+}
+
+/// Execute a single run.
+pub fn run_one(cmp: &CmpConfig, spec: &RunSpec) -> SimResult {
+    let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
+    cfg.cmp = cmp.clone();
+    let mut sim = CmpSimulator::new(cfg, &spec.app, spec.seed, spec.scale);
+    match sim.run() {
+        Ok(r) => r,
+        Err(e) => panic!(
+            "run failed: app={} config={}: {e}",
+            spec.app.name, spec.config.label
+        ),
+    }
+}
+
+/// Execute the matrix on all available cores, preserving input order.
+pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Vec<SimResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = run_one(cmp, &specs[i]);
+                results.lock().expect("no poisoned runs")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// A figure row: one application under one configuration, normalised to
+/// that application's baseline run.
+#[derive(Clone, Debug)]
+pub struct NormalizedRow {
+    pub app: String,
+    pub config: String,
+    /// Execution time relative to baseline (Figure 6 top; < 1 is faster).
+    pub exec_time: f64,
+    /// Link ED²P relative to baseline (Figure 6 bottom).
+    pub link_ed2p: f64,
+    /// Full-CMP ED²P relative to baseline (Figure 7).
+    pub chip_ed2p: f64,
+    /// Compression coverage of this run (Figure 2).
+    pub coverage: f64,
+}
+
+/// Normalise `results` against the baseline run of each application.
+/// Panics if an application lacks a baseline run.
+pub fn normalize(results: &[SimResult]) -> Vec<NormalizedRow> {
+    let baseline = |app: &str| {
+        results
+            .iter()
+            .find(|r| {
+                r.app == app
+                    && r.interconnect == InterconnectChoice::Baseline
+                    && r.scheme == CompressionScheme::None
+            })
+            .unwrap_or_else(|| panic!("no baseline run for {app}"))
+    };
+    results
+        .iter()
+        .filter(|r| {
+            !(r.interconnect == InterconnectChoice::Baseline
+                && r.scheme == CompressionScheme::None)
+        })
+        .map(|r| {
+            let b = baseline(&r.app);
+            NormalizedRow {
+                app: r.app.clone(),
+                config: config_label(r),
+                exec_time: r.cycles as f64 / b.cycles as f64,
+                link_ed2p: r.link_ed2p() / b.link_ed2p(),
+                chip_ed2p: r.chip_ed2p() / b.chip_ed2p(),
+                coverage: r.coverage,
+            }
+        })
+        .collect()
+}
+
+/// Label of a result's configuration.
+pub fn config_label(r: &SimResult) -> String {
+    match (r.interconnect, r.scheme) {
+        (InterconnectChoice::Baseline, CompressionScheme::None) => "baseline".into(),
+        (_, scheme) => scheme.label(),
+    }
+}
+
+/// Geometric-mean helper for summarising per-app ratios.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        assert!(x > 0.0, "geomean needs positive values");
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::synthetic;
+
+    #[test]
+    fn paper_configs_cover_the_matrix() {
+        let c = paper_configs(true);
+        // baseline + 8 schemes + 2 perfect bounds
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].label, "baseline");
+        assert!(c.iter().any(|s| s.label == "2-byte Stride"));
+        assert!(c.iter().any(|s| s.label == "64-entry DBRC (2B LO)"));
+        assert!(c.iter().any(|s| s.label.starts_with("perfect")));
+        // low-order bytes pick the VL width
+        let s = c.iter().find(|s| s.label == "4-entry DBRC (1B LO)").unwrap();
+        assert_eq!(
+            s.interconnect,
+            InterconnectChoice::Heterogeneous(VlWidth::FourBytes)
+        );
+        let s = c.iter().find(|s| s.label == "4-entry DBRC (2B LO)").unwrap();
+        assert_eq!(
+            s.interconnect,
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes)
+        );
+    }
+
+    #[test]
+    fn matrix_runs_in_parallel_and_normalises() {
+        let cmp = CmpConfig::default();
+        let app = synthetic::hotspot(800, 64);
+        let specs: Vec<RunSpec> = [
+            ConfigSpec::baseline(),
+            ConfigSpec::compressed(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }),
+            ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: 2 }),
+        ]
+        .into_iter()
+        .map(|config| RunSpec { app: app.clone(), config, seed: 7, scale: 1.0 })
+        .collect();
+        let results = run_matrix(&cmp, &specs);
+        assert_eq!(results.len(), 3);
+        let rows = normalize(&results);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.exec_time > 0.5 && row.exec_time < 1.5, "{row:?}");
+            assert!(row.link_ed2p > 0.0);
+            assert!(row.chip_ed2p > 0.0);
+        }
+        // perfect compression should not be slower than DBRC
+        let dbrc = rows.iter().find(|r| r.config.contains("DBRC")).unwrap();
+        let perfect = rows.iter().find(|r| r.config.contains("perfect")).unwrap();
+        assert!(perfect.exec_time <= dbrc.exec_time * 1.02);
+    }
+
+    #[test]
+    fn geomean_behaviour() {
+        assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's contribution: compressed coherence messages over an
+//! area-neutral heterogeneous interconnect, evaluated on a full tiled-CMP
+//! simulator.
+//!
+//! This crate glues the substrates together:
+//!
+//! * [`niface`] — the network-interface policy that is the heart of the
+//!   proposal (Section 4.3): compress the addresses of requests and
+//!   coherence commands, then send every critical message that fits the
+//!   3–5-byte VL channel on the very-low-latency wires and everything
+//!   else on the (narrowed) B-Wire channel.
+//! * [`sim`] — [`sim::CmpSimulator`]: trace-driven cores + L1/L2 MESI
+//!   coherence + flit-level heterogeneous NoC + memory, advanced on one
+//!   4 GHz clock with idle fast-forward, with full energy accounting.
+//! * [`experiment`] — the run matrix of the evaluation (baseline, the
+//!   Stride/DBRC configurations of Figures 6/7, and the
+//!   perfect-compression bound), executed in parallel and normalised
+//!   against the baseline exactly as the paper normalises.
+//! * [`report`] — Markdown/CSV emission for the reproduction binaries.
+
+pub mod experiment;
+pub mod niface;
+pub mod report;
+pub mod sim;
+
+pub use experiment::{paper_configs, run_matrix, ConfigSpec, NormalizedRow, RunSpec};
+pub use niface::{map_channel, InterconnectChoice};
+pub use sim::{CmpSimulator, SimConfig, SimError, SimResult};

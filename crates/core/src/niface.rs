@@ -1,0 +1,201 @@
+//! The network-interface policy of the proposal (Section 4.3).
+//!
+//! "VL-Wires will be used for sending already short, critical messages
+//! (e.g., coherence replies) as well as *compressed* requests and
+//! *compressed* coherence commands. Uncompressed and long messages are
+//! sent using the original B-Wires."
+
+use cmp_common::config::{CmpConfig, NetworkConfig};
+use cmp_common::types::MessageClass;
+use mesh_noc::config::{ChannelKind, NocConfig};
+use wire_model::wires::VlWidth;
+
+/// Which physical link organisation a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InterconnectChoice {
+    /// One 75-byte B-Wire channel per link (the normalisation baseline).
+    Baseline,
+    /// 34 bytes of B-Wires + a VL channel of the given width
+    /// (area-neutral re-provisioning) — this paper's proposal.
+    Heterogeneous(VlWidth),
+    /// 11 bytes of L-Wires + 64 bytes of PW-Wires with split data
+    /// responses — the Reply Partitioning comparison point from the
+    /// group's prior work (\[9\], HiPC 2007).
+    ReplyPartitioning,
+}
+
+impl InterconnectChoice {
+    /// Build the NoC configuration for this choice.
+    pub fn noc_config(self, net: &NetworkConfig, clock_hz: f64) -> NocConfig {
+        match self {
+            InterconnectChoice::Baseline => NocConfig::baseline(net, clock_hz),
+            InterconnectChoice::Heterogeneous(vl) => {
+                NocConfig::heterogeneous(net, clock_hz, vl)
+            }
+            InterconnectChoice::ReplyPartitioning => {
+                NocConfig::reply_partitioning(net, clock_hz)
+            }
+        }
+    }
+
+    /// The VL channel width in bytes (`None` for the baseline).
+    pub fn vl_bytes(self) -> Option<usize> {
+        match self {
+            InterconnectChoice::Baseline | InterconnectChoice::ReplyPartitioning => None,
+            InterconnectChoice::Heterogeneous(vl) => Some(vl.bytes()),
+        }
+    }
+
+    /// Whether data responses are split into partial + ordinary replies.
+    pub fn splits_replies(self) -> bool {
+        self == InterconnectChoice::ReplyPartitioning
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            InterconnectChoice::Baseline => "75B B-Wires".to_string(),
+            InterconnectChoice::Heterogeneous(vl) => {
+                format!("34B B + {}B VL", vl.bytes())
+            }
+            InterconnectChoice::ReplyPartitioning => "11B L + 64B PW (RP)".to_string(),
+        }
+    }
+
+    /// Sanity-check against the machine description.
+    pub fn validate(self, cfg: &CmpConfig) -> Result<(), String> {
+        if !matches!(self, InterconnectChoice::Baseline) && cfg.network.link_bytes != 75 {
+            return Err("link re-provisioning assumes the 75-byte link of Table 4".into());
+        }
+        Ok(())
+    }
+}
+
+/// Map a message to a physical channel.
+///
+/// * Baseline: everything on the B-Wires.
+/// * Heterogeneous (this paper): critical messages whose on-wire size
+///   fits the VL channel ride it; everything else (long data, whole
+///   uncompressed addresses, non-critical replacements) rides the
+///   B-Wires.
+/// * Reply Partitioning (\[9\]): short critical messages (≤ 11 bytes,
+///   including partial replies) ride the L-Wires; ordinary replies and
+///   everything long or non-critical rides the PW-Wires.
+#[inline]
+pub fn map_channel(
+    choice: InterconnectChoice,
+    class: MessageClass,
+    wire_bytes: usize,
+) -> ChannelKind {
+    match choice {
+        InterconnectChoice::Baseline => ChannelKind::B,
+        InterconnectChoice::Heterogeneous(vl) => {
+            if class.is_critical() && wire_bytes <= vl.bytes() {
+                ChannelKind::Vl
+            } else {
+                ChannelKind::B
+            }
+        }
+        InterconnectChoice::ReplyPartitioning => {
+            // data responses are split by the NI: the whole-line ordinary
+            // reply is non-critical by construction here
+            if class.is_critical()
+                && class != MessageClass::ResponseData
+                && wire_bytes <= wire_model::link::RP_L_BYTES
+            {
+                ChannelKind::L
+            } else {
+                ChannelKind::Pw
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H4: InterconnectChoice = InterconnectChoice::Heterogeneous(VlWidth::FourBytes);
+    const H5: InterconnectChoice = InterconnectChoice::Heterogeneous(VlWidth::FiveBytes);
+    const RP: InterconnectChoice = InterconnectChoice::ReplyPartitioning;
+
+    #[test]
+    fn baseline_maps_everything_to_b() {
+        for class in MessageClass::ALL {
+            assert_eq!(
+                map_channel(InterconnectChoice::Baseline, class, 3),
+                ChannelKind::B
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_requests_and_commands_ride_vl() {
+        // 4-byte compressed request on a 4-byte VL channel
+        assert_eq!(map_channel(H4, MessageClass::Request, 4), ChannelKind::Vl);
+        assert_eq!(map_channel(H5, MessageClass::CoherenceCmd, 5), ChannelKind::Vl);
+        // uncompressed (11-byte) versions stay on B
+        assert_eq!(map_channel(H5, MessageClass::Request, 11), ChannelKind::B);
+    }
+
+    #[test]
+    fn coherence_replies_always_fit_vl() {
+        for vl in VlWidth::ALL {
+            assert_eq!(
+                map_channel(
+                    InterconnectChoice::Heterogeneous(vl),
+                    MessageClass::CoherenceReply,
+                    3
+                ),
+                ChannelKind::Vl
+            );
+        }
+    }
+
+    #[test]
+    fn long_and_noncritical_messages_stay_on_b() {
+        assert_eq!(
+            map_channel(H5, MessageClass::ResponseData, 67),
+            ChannelKind::B
+        );
+        // a replacement hint is short but non-critical
+        assert_eq!(
+            map_channel(H5, MessageClass::ReplacementNoData, 5),
+            ChannelKind::B
+        );
+    }
+
+    #[test]
+    fn reply_partitioning_mapping() {
+        // short critical messages (and the split-off partial replies)
+        // ride the 11-byte L-Wires
+        assert_eq!(map_channel(RP, MessageClass::Request, 11), ChannelKind::L);
+        assert_eq!(map_channel(RP, MessageClass::PartialReply, 11), ChannelKind::L);
+        assert_eq!(map_channel(RP, MessageClass::CoherenceReply, 3), ChannelKind::L);
+        assert_eq!(map_channel(RP, MessageClass::CoherenceCmd, 11), ChannelKind::L);
+        // ordinary (whole-line) replies and non-critical traffic take PW
+        assert_eq!(map_channel(RP, MessageClass::ResponseData, 67), ChannelKind::Pw);
+        assert_eq!(map_channel(RP, MessageClass::ReplacementData, 67), ChannelKind::Pw);
+        assert_eq!(map_channel(RP, MessageClass::ReplacementNoData, 11), ChannelKind::Pw);
+        assert_eq!(map_channel(RP, MessageClass::Revision, 67), ChannelKind::Pw);
+        assert!(RP.splits_replies());
+        assert!(!H4.splits_replies());
+    }
+
+    #[test]
+    fn interconnect_choice_builders() {
+        let cfg = CmpConfig::default();
+        let base = InterconnectChoice::Baseline;
+        assert!(base.vl_bytes().is_none());
+        base.validate(&cfg).unwrap();
+        let hetero = InterconnectChoice::Heterogeneous(VlWidth::FourBytes);
+        assert_eq!(hetero.vl_bytes(), Some(4));
+        hetero.validate(&cfg).unwrap();
+        let noc = hetero.noc_config(&cfg.network, cfg.clock_hz);
+        assert!(noc.has_vl());
+
+        let mut narrow = cfg.clone();
+        narrow.network.link_bytes = 32;
+        assert!(hetero.validate(&narrow).is_err());
+    }
+}

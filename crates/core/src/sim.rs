@@ -1,0 +1,825 @@
+//! The full-system tiled-CMP simulator.
+//!
+//! One instance wires together, per tile: a trace-driven core, an L1
+//! controller, an L2/directory slice and a compression engine; globally: a
+//! flit-level heterogeneous NoC, a 400-cycle memory and a barrier. All
+//! components share the 4 GHz clock; the main loop fast-forwards over idle
+//! stretches (compute bursts, memory waits) by jumping to the next
+//! interesting cycle.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use addr_compression::{CompressionEngine, CompressionHwCost, CompressionScheme};
+use cmp_common::config::CmpConfig;
+use cmp_common::types::{Cycle, MessageClass, TileId};
+use cmp_common::units::Joules;
+use coherence::l1::{CoreAccess, L1Cache, L1Result};
+use coherence::l2::L2Slice;
+use coherence::memctrl::MemCtrl;
+use coherence::msg::{Outgoing, PKind, ProtocolMsg};
+use cpu_model::core::{Action, Core};
+use cpu_model::sync::BarrierState;
+use energy_model::breakdown::EnergyBreakdown;
+use energy_model::core_power::CoreEnergyModel;
+use mesh_noc::message::Message;
+use mesh_noc::Noc;
+use workloads::generator::TraceGen;
+use workloads::profile::AppProfile;
+
+use crate::niface::{map_channel, InterconnectChoice};
+
+/// Everything a run needs to know.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine description (Table 4 default).
+    pub cmp: CmpConfig,
+    /// Link organisation.
+    pub interconnect: InterconnectChoice,
+    /// Address-compression scheme.
+    pub scheme: CompressionScheme,
+    /// Watchdog: abort after this many cycles.
+    pub max_cycles: Cycle,
+    /// Passive coverage probes: extra schemes observing the same address
+    /// streams without influencing the run (used by the Figure 2
+    /// reproduction to measure all schemes in a single simulation).
+    pub coverage_probes: Vec<CompressionScheme>,
+}
+
+impl SimConfig {
+    /// A configuration over the default machine.
+    pub fn new(interconnect: InterconnectChoice, scheme: CompressionScheme) -> Self {
+        SimConfig {
+            cmp: CmpConfig::default(),
+            interconnect,
+            scheme,
+            max_cycles: 2_000_000_000,
+            coverage_probes: Vec::new(),
+        }
+    }
+
+    /// The paper's baseline: 75-byte B-Wire links, no compression.
+    pub fn baseline() -> Self {
+        Self::new(InterconnectChoice::Baseline, CompressionScheme::None)
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// No component can make progress but the workload is unfinished.
+    Deadlock { cycle: Cycle, diagnostics: String },
+    /// The watchdog fired.
+    Watchdog { cycle: Cycle },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, diagnostics } => {
+                write!(f, "deadlock at cycle {cycle}: {diagnostics}")
+            }
+            SimError::Watchdog { cycle } => write!(f, "watchdog at cycle {cycle}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-class message accounting (network messages only, as in Figure 5).
+#[derive(Clone, Debug)]
+pub struct ClassCount {
+    pub class: MessageClass,
+    pub count: u64,
+    pub bytes: u64,
+    pub mean_latency: f64,
+}
+
+/// The outcome of one run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Application label.
+    pub app: String,
+    /// Compression scheme used.
+    pub scheme: CompressionScheme,
+    /// Link organisation used.
+    pub interconnect: InterconnectChoice,
+    /// Parallel-phase execution time in cycles.
+    pub cycles: Cycle,
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// Where the joules went.
+    pub energy: EnergyBreakdown,
+    /// Address-compression coverage (Figure 2 metric; 0 when the scheme
+    /// is `None`).
+    pub coverage: f64,
+    /// Per-class network message counts (Figure 5).
+    pub messages: Vec<ClassCount>,
+    /// Total network messages.
+    pub network_messages: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// L1 misses / L1 accesses.
+    pub l1_miss_rate: f64,
+    /// Mean network latency of critical messages.
+    pub critical_latency: f64,
+    /// Coverage measured by each passive probe scheme, in the order of
+    /// `SimConfig::coverage_probes`.
+    pub probe_coverages: Vec<(CompressionScheme, f64)>,
+    /// Total cycles cores spent blocked on L1 misses.
+    pub mem_stall_cycles: u64,
+    /// Total cycles cores spent parked at barriers.
+    pub barrier_stall_cycles: u64,
+    /// Off-chip memory reads issued.
+    pub mem_reads: u64,
+    /// L2 inclusion recalls issued.
+    pub l2_recalls: u64,
+}
+
+impl SimResult {
+    /// Link-level ED²P (Figure 6 bottom).
+    pub fn link_ed2p(&self) -> f64 {
+        self.energy.interconnect_ed2p(self.time_s)
+    }
+
+    /// Full-CMP ED²P (Figure 7).
+    pub fn chip_ed2p(&self) -> f64 {
+        self.energy.chip_ed2p(self.time_s)
+    }
+
+    /// Fraction of messages in `class`.
+    pub fn class_fraction(&self, class: MessageClass) -> f64 {
+        let total = self.network_messages.max(1);
+        self.messages
+            .iter()
+            .find(|c| c.class == class)
+            .map(|c| c.count as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// A protocol message delayed by a local array-access latency before
+/// injection/delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct DelayedEvent {
+    at: Cycle,
+    seq: u64,
+    src: TileId,
+    dst: TileId,
+    msg: ProtocolMsg,
+}
+
+impl Ord for DelayedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for DelayedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The full-system simulator.
+pub struct CmpSimulator {
+    cfg: SimConfig,
+    app_name: String,
+    cores: Vec<Core>,
+    l1s: Vec<L1Cache>,
+    l2s: Vec<L2Slice>,
+    engines: Vec<CompressionEngine>,
+    /// `probes[scheme][tile]`.
+    probes: Vec<Vec<CompressionEngine>>,
+    noc: Noc<ProtocolMsg>,
+    mem: MemCtrl,
+    barrier: BarrierState,
+    parked: Vec<bool>,
+    delayed: BinaryHeap<Reverse<DelayedEvent>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl CmpSimulator {
+    /// Build a simulator running `app` at `scale`, seeded with `seed`.
+    pub fn new(cfg: SimConfig, app: &AppProfile, seed: u64, scale: f64) -> Self {
+        cfg.cmp.validate().expect("valid machine config");
+        cfg.interconnect.validate(&cfg.cmp).expect("valid interconnect");
+        let tiles = cfg.cmp.tiles();
+        let cores = (0..tiles)
+            .map(|t| {
+                Core::new(
+                    Box::new(TraceGen::new(app, t, tiles, seed, scale)),
+                    cfg.cmp.core_issue_width,
+                )
+            })
+            .collect();
+        let l1s: Vec<L1Cache> = (0..tiles)
+            .map(|t| {
+                let mut l1 = L1Cache::new(
+                    TileId::from(t),
+                    cfg.cmp.l1.sets(),
+                    cfg.cmp.l1.ways,
+                    cfg.cmp.l1_mshrs,
+                    tiles,
+                );
+                l1.set_expects_partial(cfg.interconnect.splits_replies());
+                l1
+            })
+            .collect();
+        let l2s = (0..tiles)
+            .map(|t| {
+                L2Slice::new(
+                    TileId::from(t),
+                    cfg.cmp.l2_slice.sets(),
+                    cfg.cmp.l2_slice.ways,
+                    tiles,
+                )
+            })
+            .collect();
+        let engines = (0..tiles)
+            .map(|_| CompressionEngine::new(cfg.scheme, tiles))
+            .collect();
+        let probes = cfg
+            .coverage_probes
+            .iter()
+            .map(|&scheme| {
+                (0..tiles)
+                    .map(|_| CompressionEngine::new(scheme, tiles))
+                    .collect()
+            })
+            .collect();
+        let noc = Noc::new(
+            cfg.cmp.mesh,
+            cfg.interconnect.noc_config(&cfg.cmp.network, cfg.cmp.clock_hz),
+        );
+        let mem = MemCtrl::new(cfg.cmp.mem_latency_cycles);
+        let barrier = BarrierState::new(tiles);
+        CmpSimulator {
+            app_name: app.name.to_string(),
+            cores,
+            l1s,
+            l2s,
+            engines,
+            probes,
+            noc,
+            mem,
+            barrier,
+            parked: vec![false; tiles],
+            delayed: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    fn schedule(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg, delay: u64) {
+        self.seq += 1;
+        self.delayed.push(Reverse(DelayedEvent {
+            at: self.now + delay,
+            seq: self.seq,
+            src,
+            dst,
+            msg,
+        }));
+    }
+
+    fn process_outgoing(&mut self, tile: TileId, outs: Vec<Outgoing>) {
+        for o in outs {
+            match o {
+                Outgoing::Send { dst, msg, delay } => self.schedule(tile, dst, msg, delay),
+                Outgoing::MemRead { line } => self.mem.read(self.now, tile, line),
+                Outgoing::MemWrite { line } => self.mem.write(line),
+            }
+        }
+    }
+
+    /// A delayed event fires: local messages are delivered directly (they
+    /// never touch the network); remote ones go through compression and
+    /// channel mapping, then into the NoC.
+    fn fire(&mut self, ev: DelayedEvent) {
+        if ev.src == ev.dst {
+            self.deliver(ev.src, ev.dst, ev.msg);
+            return;
+        }
+        // Reply Partitioning: a data response is split at the sender's NI
+        // into a critical partial reply (the requested word, on the fast
+        // wires) plus the ordinary whole-line reply.
+        if self.cfg.interconnect.splits_replies() {
+            if let Some(of) = coherence::msg::PartialOf::of_kind(ev.msg.kind) {
+                self.inject_one(ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line), ev);
+            }
+        }
+        self.inject_one(ev.msg, ev);
+    }
+
+    fn inject_one(&mut self, msg: ProtocolMsg, ev: DelayedEvent) {
+        let class = msg.class();
+        for probe in &mut self.probes {
+            probe[ev.src.index()].process(ev.dst, class, msg.line);
+        }
+        let size = self.engines[ev.src.index()].process(ev.dst, class, msg.line);
+        let channel = map_channel(self.cfg.interconnect, class, size.wire_bytes);
+        self.noc.inject(
+            self.now,
+            Message {
+                src: ev.src,
+                dst: ev.dst,
+                class,
+                wire_bytes: size.wire_bytes,
+                channel,
+                payload: msg,
+            },
+        );
+    }
+
+    fn deliver(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg) {
+        let d = dst.index();
+        match msg.kind {
+            PKind::GetS | PKind::GetX | PKind::Upgrade => {
+                let outs = self.l2s[d].handle_request(src, msg.kind, msg.line);
+                self.process_outgoing(dst, outs);
+                let pumped = self.l2s[d].pump();
+                self.process_outgoing(dst, pumped);
+            }
+            PKind::InvAck
+            | PKind::FwdFailed
+            | PKind::FwdDone
+            | PKind::RevisionClean
+            | PKind::RevisionDirty
+            | PKind::RecallAckData
+            | PKind::RecallAckClean => {
+                let outs = self.l2s[d].handle_reply(src, msg.kind, msg.line);
+                self.process_outgoing(dst, outs);
+                let pumped = self.l2s[d].pump();
+                self.process_outgoing(dst, pumped);
+            }
+            PKind::WbData | PKind::WbHint => {
+                let outs = self.l2s[d].handle_writeback(src, msg.kind, msg.line);
+                self.process_outgoing(dst, outs);
+                let pumped = self.l2s[d].pump();
+                self.process_outgoing(dst, pumped);
+            }
+            PKind::DataS
+            | PKind::DataE
+            | PKind::DataM
+            | PKind::PartialReply { .. }
+            | PKind::UpgradeAck
+            | PKind::Inv
+            | PKind::FwdGetS { .. }
+            | PKind::FwdGetX { .. }
+            | PKind::RecallData => {
+                let (outs, done) = self.l1s[d].handle(msg);
+                self.process_outgoing(dst, outs);
+                if done.is_some() {
+                    self.cores[d].mem_complete(self.now);
+                }
+            }
+        }
+    }
+
+    fn step_core(&mut self, t: usize) {
+        loop {
+            match self.cores[t].next_action(self.now) {
+                Action::Access { line, write } => {
+                    let access = if write { CoreAccess::Write } else { CoreAccess::Read };
+                    match self.l1s[t].core_access(line, access) {
+                        L1Result::Hit => {
+                            self.cores[t].mem_hit(self.now);
+                            // falls through: next_action will report Idle
+                        }
+                        L1Result::Miss { out } => {
+                            self.cores[t].mem_miss_started(self.now);
+                            self.process_outgoing(TileId::from(t), out);
+                            return;
+                        }
+                        L1Result::Blocked => {
+                            self.cores[t].mem_retry(self.now);
+                            return;
+                        }
+                    }
+                }
+                Action::AtBarrier(id) => {
+                    self.parked[t] = true;
+                    if self.barrier.arrive(t, id) {
+                        for (p, parked) in self.parked.iter_mut().enumerate() {
+                            if *parked {
+                                self.cores[p].barrier_release(self.now);
+                                *parked = false;
+                            }
+                        }
+                    }
+                    return;
+                }
+                Action::Idle { .. } | Action::Done => return,
+            }
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.is_done())
+            && self.noc.is_idle()
+            && self.delayed.is_empty()
+            && self.mem.outstanding() == 0
+            && self.l2s.iter().all(|s| s.is_quiescent())
+    }
+
+    fn next_interesting(&self) -> Option<Cycle> {
+        let mut next = Cycle::MAX;
+        for c in &self.cores {
+            if let Some(r) = c.ready_at() {
+                next = next.min(r);
+            }
+        }
+        if let Some(n) = self.noc.next_event_cycle(self.now) {
+            next = next.min(n);
+        }
+        if let Some(m) = self.mem.next_ready() {
+            next = next.min(m);
+        }
+        if let Some(Reverse(ev)) = self.delayed.peek() {
+            next = next.min(ev.at);
+        }
+        (next != Cycle::MAX).then_some(next.max(self.now + 1))
+    }
+
+    fn diagnostics(&self) -> String {
+        let running = self.cores.iter().filter(|c| !c.is_done()).count();
+        let parked = self.parked.iter().filter(|&&p| p).count();
+        let busy_l2 = self.l2s.iter().filter(|s| !s.is_quiescent()).count();
+        format!(
+            "{} cores unfinished ({} parked at barrier {}), noc idle={}, \
+             {} delayed events, {} mem reads outstanding, {} busy L2 slices",
+            running,
+            parked,
+            self.barrier.epoch(),
+            self.noc.is_idle(),
+            self.delayed.len(),
+            self.mem.outstanding(),
+            busy_l2
+        )
+    }
+
+    /// Run to completion and report.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        while !self.all_done() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::Watchdog { cycle: self.now });
+            }
+            // 1. memory completions
+            for r in self.mem.pop_ready(self.now) {
+                let outs = self.l2s[r.tile.index()].mem_fill_done(r.line);
+                self.process_outgoing(r.tile, outs);
+                let pumped = self.l2s[r.tile.index()].pump();
+                self.process_outgoing(r.tile, pumped);
+            }
+            // 2. delayed sends due now
+            while let Some(Reverse(ev)) = self.delayed.peek() {
+                if ev.at > self.now {
+                    break;
+                }
+                let Reverse(ev) = self.delayed.pop().expect("peeked");
+                self.fire(ev);
+            }
+            // 3. network
+            for d in self.noc.tick(self.now) {
+                self.deliver(d.message.src, d.message.dst, d.message.payload);
+            }
+            // 4. cores
+            for t in 0..self.cores.len() {
+                self.step_core(t);
+            }
+            // 5. advance
+            match self.next_interesting() {
+                Some(next) => self.now = next,
+                None => {
+                    if self.all_done() {
+                        break;
+                    }
+                    return Err(SimError::Deadlock {
+                        cycle: self.now,
+                        diagnostics: self.diagnostics(),
+                    });
+                }
+            }
+        }
+        Ok(self.collect())
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// Flits sent per outgoing link of one channel kind (utilisation
+    /// heatmaps; see the `linkstat` diagnostic binary).
+    pub fn link_flit_counts(
+        &self,
+        kind: mesh_noc::config::ChannelKind,
+    ) -> Vec<(usize, cmp_common::geometry::Direction, u64)> {
+        self.noc.link_flit_counts(kind)
+    }
+
+    fn collect(&self) -> SimResult {
+        let cfg = &self.cfg;
+        let time_s = self.now as f64 * cfg.cmp.cycle_seconds();
+        let tiles = cfg.cmp.tiles() as f64;
+
+        // --- cores & caches (Wattch-lite) ---
+        let cem = CoreEnergyModel::for_config(&cfg.cmp);
+        let instructions: u64 = self.cores.iter().map(|c| c.stats().instructions).sum();
+        let l1_accesses: u64 = self.l1s.iter().map(|l| l.stats().accesses.get()).sum();
+        let l1_misses: u64 = self.l1s.iter().map(|l| l.stats().misses.get()).sum();
+        let l2_accesses: u64 = self
+            .l2s
+            .iter()
+            .map(|s| s.stats().requests.get() + s.stats().writebacks.get())
+            .sum();
+        let core_dynamic = cem.dynamic(instructions, l1_accesses, l2_accesses);
+        let core_static = cem.leakage_per_core.over(time_s) * tiles;
+
+        // --- interconnect ---
+        let net_energy = self.noc.energy();
+        let link_static = self.noc.static_power().over(time_s);
+
+        // --- compression hardware ---
+        let hw = CompressionHwCost::for_scheme(cfg.scheme, cfg.cmp.tiles());
+        let mut coverage_acc = addr_compression::CoverageStats::new();
+        for e in &self.engines {
+            coverage_acc.merge(e.stats());
+        }
+        // every sender-side access has a mirrored receiver-side access
+        let compression_accesses = coverage_acc.accesses() * 2;
+        let compression_dynamic =
+            hw.dyn_energy_per_access() * compression_accesses as f64;
+        let compression_static = hw.static_power.over(time_s) * tiles;
+
+        let energy = EnergyBreakdown {
+            core_dynamic,
+            core_static,
+            link_dynamic: net_energy.link_dynamic,
+            link_static,
+            router_dynamic: net_energy.router_dynamic,
+            compression_dynamic,
+            compression_static,
+        };
+
+        let stats = self.noc.stats();
+        let messages: Vec<ClassCount> = MessageClass::ALL
+            .iter()
+            .map(|&class| {
+                let s = stats.class(class);
+                ClassCount {
+                    class,
+                    count: s.count.get(),
+                    bytes: s.bytes.get(),
+                    mean_latency: s.latency.mean(),
+                }
+            })
+            .collect();
+
+        let probe_coverages = cfg
+            .coverage_probes
+            .iter()
+            .zip(&self.probes)
+            .map(|(&scheme, engines)| {
+                let mut acc = addr_compression::CoverageStats::new();
+                for e in engines {
+                    acc.merge(e.stats());
+                }
+                (scheme, acc.coverage())
+            })
+            .collect();
+
+        SimResult {
+            app: self.app_name.clone(),
+            scheme: cfg.scheme,
+            interconnect: cfg.interconnect,
+            cycles: self.now,
+            time_s,
+            energy,
+            coverage: coverage_acc.coverage(),
+            network_messages: stats.delivered(),
+            messages,
+            instructions,
+            l1_miss_rate: if l1_accesses == 0 {
+                0.0
+            } else {
+                l1_misses as f64 / l1_accesses as f64
+            },
+            critical_latency: stats.critical_mean_latency(),
+            probe_coverages,
+            mem_stall_cycles: self.cores.iter().map(|c| c.stats().mem_stall_cycles).sum(),
+            mem_reads: self.mem.reads_issued.get(),
+            l2_recalls: self.l2s.iter().map(|s| s.stats().recalls.get()).sum(),
+            barrier_stall_cycles: self
+                .cores
+                .iter()
+                .map(|c| c.stats().barrier_stall_cycles)
+                .sum(),
+        }
+    }
+
+    /// Consistency check used by tests: the L1's home mapping must agree
+    /// with the machine description's.
+    pub fn homes_agree(cfg: &CmpConfig) -> bool {
+        (0..4096u64).all(|line| {
+            coherence::l1::home_of(line, cfg.tiles()) == cfg.home_tile(line << 6)
+        })
+    }
+
+    /// Total compression-hardware static+area context (test hook).
+    pub fn compression_hw_cost(&self) -> CompressionHwCost {
+        CompressionHwCost::for_scheme(self.cfg.scheme, self.cfg.cmp.tiles())
+    }
+
+    /// Per-run energy of zero (used in tests to compare magnitudes).
+    pub fn zero_energy() -> Joules {
+        Joules::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_model::wires::VlWidth;
+    use workloads::synthetic;
+
+    const SEED: u64 = 0xC0FFEE;
+
+    fn run_app(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
+        let mut sim = CmpSimulator::new(cfg, app, SEED, scale);
+        sim.run().unwrap_or_else(|e| panic!("{}: {e}", app.name))
+    }
+
+    #[test]
+    fn home_mappings_agree() {
+        assert!(CmpSimulator::homes_agree(&CmpConfig::default()));
+    }
+
+    #[test]
+    fn streaming_workload_completes_on_baseline() {
+        let app = synthetic::streaming(3_000, 4096);
+        let r = run_app(&app, SimConfig::baseline(), 1.0);
+        assert!(r.cycles > 0);
+        assert!(r.instructions > 0);
+        assert!(r.network_messages > 0, "streaming misses generate traffic");
+        assert!(r.l1_miss_rate > 0.01, "4096-line stream must miss");
+        assert!(r.energy.chip().value() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_exercises_coherence_on_all_configs() {
+        let app = synthetic::hotspot(1_500, 64);
+        for cfg in [
+            SimConfig::baseline(),
+            SimConfig::new(
+                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+                CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+            ),
+        ] {
+            let r = run_app(&app, cfg, 1.0);
+            // migratory lines force forwards + revisions
+            assert!(
+                r.class_fraction(MessageClass::CoherenceCmd) > 0.05,
+                "{:?}: coherence commands missing",
+                r.interconnect
+            );
+            assert!(r.class_fraction(MessageClass::ResponseData) > 0.10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let app = synthetic::uniform_random(1_000, 1 << 14, 0.3);
+        let cfg = SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+            CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
+        );
+        let a = run_app(&app, cfg.clone(), 1.0);
+        let b = run_app(&app, cfg, 1.0);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.network_messages, b.network_messages);
+        assert!((a.energy.chip().value() - b.energy.chip().value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heterogeneous_with_compression_beats_baseline_on_traffic_bound_load() {
+        let app = synthetic::hotspot(2_000, 128);
+        let base = run_app(&app, SimConfig::baseline(), 1.0);
+        let prop = run_app(
+            &app,
+            SimConfig::new(
+                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+                CompressionScheme::Perfect { low_bytes: 2 },
+            ),
+            1.0,
+        );
+        assert!(
+            prop.cycles < base.cycles,
+            "proposal {} vs baseline {}",
+            prop.cycles,
+            base.cycles
+        );
+        assert!(
+            prop.critical_latency < base.critical_latency,
+            "critical latency should shrink: {} vs {}",
+            prop.critical_latency,
+            base.critical_latency
+        );
+    }
+
+    #[test]
+    fn perfect_compression_yields_full_coverage() {
+        let app = synthetic::uniform_random(1_000, 1 << 16, 0.3);
+        let r = run_app(
+            &app,
+            SimConfig::new(
+                InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+                CompressionScheme::Perfect { low_bytes: 1 },
+            ),
+            1.0,
+        );
+        assert!((r.coverage - 1.0).abs() < 1e-12);
+        // and DBRC on a streaming load gets high but imperfect coverage
+        let s = synthetic::streaming(2_000, 4096);
+        let r = run_app(
+            &s,
+            SimConfig::new(
+                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+                CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+            ),
+            1.0,
+        );
+        assert!(r.coverage > 0.9, "streaming coverage {}", r.coverage);
+        assert!(r.coverage < 1.0);
+    }
+
+    #[test]
+    fn barriers_synchronise_all_cores() {
+        let mut app = synthetic::streaming(2_000, 512);
+        app.barriers = 5;
+        let r = run_app(&app, SimConfig::baseline(), 1.0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn real_app_smoke_mp3d() {
+        let app = workloads::apps::mp3d();
+        let r = run_app(&app, SimConfig::baseline(), 0.01);
+        assert!(r.network_messages > 1_000);
+        // Figure 5 sanity: all fractions sum to 1
+        let total: f64 = MessageClass::ALL.iter().map(|&c| r.class_fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reply_partitioning_completes_and_splits_responses() {
+        let app = synthetic::uniform_random(1_500, 1 << 15, 0.3);
+        let base = run_app(&app, SimConfig::baseline(), 1.0);
+        let rp = run_app(
+            &app,
+            SimConfig::new(InterconnectChoice::ReplyPartitioning, CompressionScheme::None),
+            1.0,
+        );
+        // every remote data response gains a partial twin
+        let count = |r: &SimResult, class| {
+            r.messages
+                .iter()
+                .find(|c| c.class == class)
+                .map(|c| (c.count, c.mean_latency))
+                .unwrap_or((0, 0.0))
+        };
+        let (partials, partial_lat) = count(&rp, MessageClass::PartialReply);
+        let (data, data_lat) = count(&rp, MessageClass::ResponseData);
+        assert!(partials > 0);
+        assert!(
+            partials.abs_diff(data) <= data / 10,
+            "partials {partials} should track data responses {data}"
+        );
+        // the partial replies run well ahead of the PW-wire data
+        assert!(
+            partial_lat < data_lat * 0.6,
+            "partial {partial_lat} vs ordinary {data_lat}"
+        );
+        // and the run is no slower than the baseline
+        assert!(
+            rp.cycles <= base.cycles * 101 / 100,
+            "RP {} vs baseline {}",
+            rp.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn watchdog_fires_on_tiny_budget() {
+        let app = synthetic::streaming(5_000, 4096);
+        let mut cfg = SimConfig::baseline();
+        cfg.max_cycles = 100;
+        let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+        match sim.run() {
+            Err(SimError::Watchdog { .. }) => {}
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+}

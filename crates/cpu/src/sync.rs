@@ -1,0 +1,77 @@
+//! Barrier bookkeeping shared by the full-system simulator.
+
+/// Arrival tracking for one global barrier epoch.
+#[derive(Clone, Debug)]
+pub struct BarrierState {
+    participants: usize,
+    arrived: u64,
+    epoch: u32,
+}
+
+impl BarrierState {
+    /// A barrier over `participants` cores (≤ 64).
+    pub fn new(participants: usize) -> Self {
+        assert!((1..=64).contains(&participants));
+        BarrierState {
+            participants,
+            arrived: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Core `core` arrived at barrier `id`. Returns `true` when this was
+    /// the last arrival — the caller must then release every core and the
+    /// state resets for the next epoch.
+    pub fn arrive(&mut self, core: usize, id: u32) -> bool {
+        debug_assert_eq!(id, self.epoch, "core {core} at wrong barrier epoch");
+        let bit = 1u64 << core;
+        debug_assert_eq!(self.arrived & bit, 0, "double arrival of core {core}");
+        self.arrived |= bit;
+        if self.arrived.count_ones() as usize == self.participants {
+            self.arrived = 0;
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cores currently parked at the barrier.
+    pub fn waiting(&self) -> u32 {
+        self.arrived.count_ones()
+    }
+
+    /// The barrier id cores should arrive at next.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_on_last_arrival_and_advances_epoch() {
+        let mut b = BarrierState::new(3);
+        assert!(!b.arrive(0, 0));
+        assert!(!b.arrive(2, 0));
+        assert_eq!(b.waiting(), 2);
+        assert!(b.arrive(1, 0));
+        assert_eq!(b.waiting(), 0);
+        assert_eq!(b.epoch(), 1);
+        // next epoch works the same
+        assert!(!b.arrive(1, 1));
+        assert!(!b.arrive(0, 1));
+        assert!(b.arrive(2, 1));
+        assert_eq!(b.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double arrival")]
+    fn double_arrival_is_a_bug() {
+        let mut b = BarrierState::new(2);
+        b.arrive(0, 0);
+        b.arrive(0, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Trace operations and the streaming source abstraction.
+
+use cmp_common::types::Addr;
+
+/// One operation of a core's instruction stream, at the granularity the
+//  memory system cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` non-memory instructions (retire at the issue width).
+    Compute(u32),
+    /// Load from a **line address**.
+    Load(Addr),
+    /// Store to a **line address**.
+    Store(Addr),
+    /// Global barrier number `id` (all cores must arrive).
+    Barrier(u32),
+}
+
+impl TraceOp {
+    /// Instructions this op contributes to the instruction count.
+    pub fn instructions(&self) -> u64 {
+        match *self {
+            TraceOp::Compute(n) => n as u64,
+            TraceOp::Load(_) | TraceOp::Store(_) => 1,
+            TraceOp::Barrier(_) => 0,
+        }
+    }
+
+    /// The line touched, if this is a memory operation.
+    pub fn line(&self) -> Option<Addr> {
+        match *self {
+            TraceOp::Load(a) | TraceOp::Store(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A streaming producer of trace operations. Generators implement this to
+/// avoid materialising multi-million-op traces.
+pub trait OpSource {
+    /// The next operation, or `None` when the stream ends.
+    fn next_op(&mut self) -> Option<TraceOp>;
+}
+
+/// An `OpSource` over a pre-built vector (tests, microbenchmarks).
+pub struct SliceSource {
+    ops: std::vec::IntoIter<TraceOp>,
+}
+
+impl SliceSource {
+    /// Wrap a vector of operations.
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        SliceSource { ops: ops.into_iter() }
+    }
+}
+
+impl OpSource for SliceSource {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        self.ops.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_instruction_accounting() {
+        assert_eq!(TraceOp::Compute(7).instructions(), 7);
+        assert_eq!(TraceOp::Load(1).instructions(), 1);
+        assert_eq!(TraceOp::Store(1).instructions(), 1);
+        assert_eq!(TraceOp::Barrier(0).instructions(), 0);
+    }
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(TraceOp::Load(42).line(), Some(42));
+        assert_eq!(TraceOp::Store(42).line(), Some(42));
+        assert_eq!(TraceOp::Compute(1).line(), None);
+    }
+
+    #[test]
+    fn slice_source_streams_in_order() {
+        let mut s = SliceSource::new(vec![TraceOp::Compute(1), TraceOp::Load(2)]);
+        assert_eq!(s.next_op(), Some(TraceOp::Compute(1)));
+        assert_eq!(s.next_op(), Some(TraceOp::Load(2)));
+        assert_eq!(s.next_op(), None);
+    }
+}

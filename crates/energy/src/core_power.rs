@@ -1,0 +1,84 @@
+//! Wattch-lite core power: per-event dynamic energies + leakage.
+
+use cmp_common::config::CmpConfig;
+use cmp_common::units::{Joules, Watts};
+
+/// Per-core energy model derived from the configuration's power budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreEnergyModel {
+    /// Dynamic energy per retired instruction (pipeline, register file,
+    /// ALUs — everything but the caches).
+    pub energy_per_instruction: Joules,
+    /// Dynamic energy per L1 access.
+    pub energy_per_l1_access: Joules,
+    /// Dynamic energy per L2-slice access.
+    pub energy_per_l2_access: Joules,
+    /// Leakage power per core (including its cache slices).
+    pub leakage_per_core: Watts,
+}
+
+impl CoreEnergyModel {
+    /// Derive the model from a machine description: the core's maximum
+    /// dynamic power corresponds to sustained peak issue (width
+    /// instructions per cycle with an L1 access each cycle); the split
+    /// between pipeline and cache energy follows the usual Wattch
+    /// attribution (~70 % pipeline, ~20 % L1, ~10 % L2 of max dynamic).
+    pub fn for_config(cfg: &CmpConfig) -> Self {
+        let peak_events_per_s = cfg.clock_hz * cfg.core_issue_width as f64;
+        let max_dyn = cfg.core_max_dyn_power_w;
+        CoreEnergyModel {
+            energy_per_instruction: Joules(0.7 * max_dyn / peak_events_per_s),
+            energy_per_l1_access: Joules(0.2 * max_dyn / cfg.clock_hz),
+            energy_per_l2_access: Joules(0.1 * max_dyn / cfg.clock_hz),
+            leakage_per_core: Watts(cfg.core_static_power_w),
+        }
+    }
+
+    /// Dynamic energy of a core that retired `instructions` with
+    /// `l1_accesses` and whose slice served `l2_accesses`.
+    pub fn dynamic(
+        &self,
+        instructions: u64,
+        l1_accesses: u64,
+        l2_accesses: u64,
+    ) -> Joules {
+        self.energy_per_instruction * instructions as f64
+            + self.energy_per_l1_access * l1_accesses as f64
+            + self.energy_per_l2_access * l2_accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_utilisation_reaches_the_power_budget() {
+        let cfg = CmpConfig::default();
+        let m = CoreEnergyModel::for_config(&cfg);
+        // one second of peak execution: 2 instr + 1 L1 access per cycle
+        let instr = (cfg.clock_hz * 2.0) as u64;
+        let l1 = cfg.clock_hz as u64;
+        let l2 = cfg.clock_hz as u64;
+        let e = m.dynamic(instr, l1, l2);
+        let ratio = e.value() / cfg.core_max_dyn_power_w;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "peak power {ratio} of budget"
+        );
+    }
+
+    #[test]
+    fn epi_is_sub_nanojoule_scale() {
+        let m = CoreEnergyModel::for_config(&CmpConfig::default());
+        let epi = m.energy_per_instruction.nanojoules();
+        assert!((0.5..=5.0).contains(&epi), "EPI {epi} nJ");
+    }
+
+    #[test]
+    fn idle_core_burns_only_leakage() {
+        let m = CoreEnergyModel::for_config(&CmpConfig::default());
+        assert_eq!(m.dynamic(0, 0, 0).value(), 0.0);
+        assert!(m.leakage_per_core.value() > 0.0);
+    }
+}

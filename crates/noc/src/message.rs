@@ -1,0 +1,68 @@
+//! Messages: the unit of transfer the coherence protocol deals in.
+
+use cmp_common::types::{Cycle, MessageClass, TileId};
+
+use crate::config::ChannelKind;
+
+/// Unique, monotonically increasing message identifier (per `Noc`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MessageId(pub u64);
+
+/// A message handed to the NoC for delivery. `P` is the protocol payload —
+/// opaque to the network.
+#[derive(Clone, Debug)]
+pub struct Message<P> {
+    /// Source tile (injection point).
+    pub src: TileId,
+    /// Destination tile (ejection point).
+    pub dst: TileId,
+    /// Protocol class — used for statistics and latency accounting only;
+    /// the channel mapping is the sender's decision via `channel`.
+    pub class: MessageClass,
+    /// Bytes that travel on the wire (after compression).
+    pub wire_bytes: usize,
+    /// Which physical sub-network carries this message.
+    pub channel: ChannelKind,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+/// A message the NoC has delivered to its destination tile.
+#[derive(Clone, Debug)]
+pub struct Delivered<P> {
+    /// The message as injected.
+    pub message: Message<P>,
+    /// Cycle it was injected.
+    pub injected_at: Cycle,
+    /// Cycle the tail flit left the destination router.
+    pub delivered_at: Cycle,
+}
+
+impl<P> Delivered<P> {
+    /// End-to-end network latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.delivered_at - self.injected_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_delivery_minus_injection() {
+        let d = Delivered {
+            message: Message {
+                src: TileId(0),
+                dst: TileId(1),
+                class: MessageClass::Request,
+                wire_bytes: 11,
+                channel: ChannelKind::B,
+                payload: (),
+            },
+            injected_at: 100,
+            delivered_at: 119,
+        };
+        assert_eq!(d.latency(), 19);
+    }
+}

@@ -1,0 +1,214 @@
+//! The public NoC façade: one or two sub-networks behind a single
+//! inject/tick/deliver interface.
+
+use cmp_common::geometry::MeshShape;
+use cmp_common::types::Cycle;
+use cmp_common::units::Watts;
+
+use crate::config::{ChannelKind, NocConfig, CHANNEL_KINDS};
+use crate::energy::{NocEnergy, RouterEnergyModel};
+use crate::message::{Delivered, Message};
+use crate::stats::NocStats;
+use crate::subnet::SubNet;
+
+/// The on-chip network: a set of parallel flit-level mesh sub-networks,
+/// one per physical channel kind.
+pub struct Noc<P> {
+    config: NocConfig,
+    mesh: MeshShape,
+    subnets: Vec<SubNet<P>>,
+    /// `channel_map[ChannelKind::index()]` → subnet index.
+    channel_map: [Option<usize>; CHANNEL_KINDS],
+    energy: NocEnergy,
+    energy_model: RouterEnergyModel,
+    stats: NocStats,
+}
+
+impl<P> Noc<P> {
+    /// Build the network for `config` on `mesh`.
+    pub fn new(mesh: MeshShape, config: NocConfig) -> Self {
+        config.validate().expect("valid NoC config");
+        let subnets: Vec<SubNet<P>> = config
+            .channels
+            .iter()
+            .map(|spec| SubNet::new(*spec, mesh, config.clock_hz))
+            .collect();
+        let mut channel_map = [None; CHANNEL_KINDS];
+        for (i, spec) in config.channels.iter().enumerate() {
+            channel_map[spec.kind.index()] = Some(i);
+        }
+        Noc {
+            config,
+            mesh,
+            subnets,
+            channel_map,
+            energy: NocEnergy::default(),
+            energy_model: RouterEnergyModel::default(),
+            stats: NocStats::new(),
+        }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Whether a channel kind exists in this configuration.
+    pub fn has_channel(&self, kind: ChannelKind) -> bool {
+        self.channel_map[kind.index()].is_some()
+    }
+
+    /// Inject a message at its source tile. Panics if the message names a
+    /// channel this configuration does not provide — the sender's mapping
+    /// policy must respect [`Noc::has_channel`].
+    pub fn inject(&mut self, now: Cycle, msg: Message<P>) {
+        let idx = self.channel_map[msg.channel.index()]
+            .unwrap_or_else(|| panic!("channel {:?} not configured", msg.channel));
+        self.stats.injected.inc();
+        self.subnets[idx].inject(now, msg);
+    }
+
+    /// Advance every sub-network one cycle and collect deliveries.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Delivered<P>> {
+        let mut out = Vec::new();
+        for subnet in &mut self.subnets {
+            subnet.tick(now, &mut self.energy, &self.energy_model, &mut self.stats);
+            out.extend(subnet.drain_delivered());
+        }
+        out
+    }
+
+    /// True when no message is anywhere in the network.
+    pub fn is_idle(&self) -> bool {
+        self.subnets.iter().all(|s| s.is_idle())
+    }
+
+    /// Earliest cycle at which any sub-network can make progress
+    /// (`None` when idle).
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        self.subnets
+            .iter()
+            .filter_map(|s| s.next_event_cycle(now))
+            .min()
+    }
+
+    /// Dynamic energy accumulated so far.
+    pub fn energy(&self) -> &NocEnergy {
+        &self.energy
+    }
+
+    /// Structural static power of this configuration.
+    pub fn static_power(&self) -> Watts {
+        NocEnergy::static_power(&self.config, &self.mesh, &self.energy_model)
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Flits sent per outgoing link of one sub-network, as
+    /// `(tile, direction, flits)` triples — the raw material for
+    /// utilisation heatmaps. `kind` must be configured.
+    pub fn link_flit_counts(
+        &self,
+        kind: ChannelKind,
+    ) -> Vec<(usize, cmp_common::geometry::Direction, u64)> {
+        let idx = self.channel_map[kind.index()].expect("channel configured");
+        let subnet = &self.subnets[idx];
+        let mut out = Vec::new();
+        for tile in 0..self.mesh.tiles() {
+            for dir in cmp_common::geometry::Direction::LINKS {
+                if self.mesh.neighbor(cmp_common::types::TileId::from(tile), dir).is_some() {
+                    out.push((tile, dir, subnet.link_flits(tile, dir)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_common::config::CmpConfig;
+    use cmp_common::types::{MessageClass, TileId};
+    use wire_model::wires::VlWidth;
+
+    fn msg(src: usize, dst: usize, bytes: usize, ch: ChannelKind) -> Message<u32> {
+        Message {
+            src: TileId::from(src),
+            dst: TileId::from(dst),
+            class: if bytes > 11 {
+                MessageClass::ResponseData
+            } else {
+                MessageClass::Request
+            },
+            wire_bytes: bytes,
+            channel: ch,
+            payload: 9,
+        }
+    }
+
+    #[test]
+    fn baseline_noc_round_trip() {
+        let cfg = CmpConfig::default();
+        let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
+        assert!(!noc.has_channel(ChannelKind::Vl));
+        noc.inject(0, msg(0, 5, 67, ChannelKind::B));
+        let mut delivered = Vec::new();
+        for now in 0..100 {
+            delivered.extend(noc.tick(now));
+            if noc.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message.payload, 9);
+        assert_eq!(noc.stats().delivered(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_noc_runs_both_channels() {
+        let cfg = CmpConfig::default();
+        let mut noc: Noc<u32> = Noc::new(
+            cfg.mesh,
+            NocConfig::heterogeneous(&cfg.network, cfg.clock_hz, VlWidth::FourBytes),
+        );
+        assert!(noc.has_channel(ChannelKind::Vl));
+        noc.inject(0, msg(0, 15, 67, ChannelKind::B));
+        noc.inject(0, msg(0, 15, 4, ChannelKind::Vl));
+        let mut delivered = Vec::new();
+        for now in 0..100 {
+            delivered.extend(noc.tick(now));
+            if noc.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), 2);
+        // the VL message (4 bytes) must arrive strictly earlier
+        let vl = delivered.iter().find(|d| d.message.channel == ChannelKind::Vl).unwrap();
+        let b = delivered.iter().find(|d| d.message.channel == ChannelKind::B).unwrap();
+        assert!(
+            vl.delivered_at < b.delivered_at,
+            "VL {} should beat B {}",
+            vl.delivered_at,
+            b.delivered_at
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not configured")]
+    fn injecting_on_missing_channel_panics() {
+        let cfg = CmpConfig::default();
+        let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
+        noc.inject(0, msg(0, 1, 4, ChannelKind::Vl));
+    }
+
+    #[test]
+    fn static_power_reported() {
+        let cfg = CmpConfig::default();
+        let noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
+        assert!(noc.static_power().value() > 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Wormhole router state: input virtual channels, output virtual channels
+//! and credit tracking.
+//!
+//! The switching logic lives in [`crate::subnet`]; this module owns the
+//! data structures and their invariants:
+//!
+//! * An **input VC** buffers flits in arrival order. The route and output
+//!   VC of the *current head message* are cached on the input VC and reset
+//!   when its tail flit departs — wormhole switching in the classic form.
+//! * An **output VC** is owned by at most one (input port, input VC) at a
+//!   time, from the head flit's allocation until the tail flit traverses
+//!   the switch. Its credit counter mirrors the free buffer slots of the
+//!   downstream input VC.
+
+use std::collections::VecDeque;
+
+use cmp_common::geometry::Direction;
+use cmp_common::types::Cycle;
+
+/// Router ports: the four mesh directions plus the local inject/eject
+/// port. Indexed by [`Direction::index`].
+pub const PORTS: usize = 5;
+
+/// Index of the local port.
+pub const LOCAL: usize = 4;
+
+/// One flit. `msg` indexes the sub-network's in-flight message slab.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// In-flight message slot.
+    pub msg: u32,
+    /// Position within the message (0 = head).
+    pub seq: u32,
+    /// Whether this is the last flit of its message.
+    pub tail: bool,
+}
+
+impl Flit {
+    /// Head flits carry the routing information.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+/// A buffered flit plus the cycle it entered this router.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferedFlit {
+    pub flit: Flit,
+    pub arrived: Cycle,
+}
+
+/// One input virtual channel.
+#[derive(Clone, Debug)]
+pub struct InputVc {
+    /// Flits in arrival order.
+    pub buf: VecDeque<BufferedFlit>,
+    /// Route of the current head message (computed once per message).
+    pub route: Option<Direction>,
+    /// Output VC allocated to the current head message.
+    pub out_vc: Option<usize>,
+    capacity: usize,
+}
+
+impl InputVc {
+    fn new(capacity: usize) -> Self {
+        InputVc {
+            buf: VecDeque::with_capacity(capacity),
+            route: None,
+            out_vc: None,
+            capacity,
+        }
+    }
+
+    /// Whether another flit fits.
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        self.buf.len() < self.capacity
+    }
+
+    /// Buffer capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Push an arriving flit. Panics if the credit protocol was violated.
+    pub fn push(&mut self, flit: Flit, now: Cycle) {
+        assert!(self.has_space(), "input VC overflow: credit protocol bug");
+        self.buf.push_back(BufferedFlit { flit, arrived: now });
+    }
+
+    /// Pop the head flit after it traversed the switch, resetting the
+    /// per-message state when the tail leaves.
+    pub fn pop_after_traversal(&mut self) -> BufferedFlit {
+        let bf = self.buf.pop_front().expect("pop from empty VC");
+        if bf.flit.tail {
+            self.route = None;
+            self.out_vc = None;
+        }
+        bf
+    }
+}
+
+/// One output virtual channel: ownership + downstream credits.
+#[derive(Clone, Debug)]
+pub struct OutputVc {
+    /// The (input port, input VC) currently sending a message through
+    /// this output VC.
+    pub owner: Option<(usize, usize)>,
+    /// Free buffer slots in the downstream input VC.
+    pub credits: usize,
+}
+
+/// One output port: its VCs and the round-robin arbitration pointer.
+#[derive(Clone, Debug)]
+pub struct OutputPort {
+    pub vcs: Vec<OutputVc>,
+    /// Round-robin pointer over flat (input port, input VC) candidates.
+    pub rr: usize,
+}
+
+/// A 5-port wormhole router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// `inputs[port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// `outputs[port]`.
+    pub outputs: Vec<OutputPort>,
+}
+
+impl Router {
+    /// A router with `vcs` virtual channels of `buf_flits` depth per port.
+    /// Output credits start at the downstream buffer depth (`buf_flits`,
+    /// since all routers are identical); the local ejection port gets
+    /// effectively infinite credits — the network interface always drains.
+    pub fn new(vcs: usize, buf_flits: usize) -> Self {
+        let inputs = (0..PORTS)
+            .map(|_| (0..vcs).map(|_| InputVc::new(buf_flits)).collect())
+            .collect();
+        let outputs = (0..PORTS)
+            .map(|port| OutputPort {
+                vcs: (0..vcs)
+                    .map(|_| OutputVc {
+                        owner: None,
+                        credits: if port == LOCAL { usize::MAX / 2 } else { buf_flits },
+                    })
+                    .collect(),
+                rr: 0,
+            })
+            .collect();
+        Router { inputs, outputs }
+    }
+
+    /// Whether any input VC holds flits.
+    pub fn has_buffered_flits(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|port| port.iter().any(|vc| !vc.buf.is_empty()))
+    }
+
+    /// Earliest arrival stamp among buffered head flits (for idle
+    /// fast-forward).
+    pub fn earliest_head_arrival(&self) -> Option<Cycle> {
+        self.inputs
+            .iter()
+            .flatten()
+            .filter_map(|vc| vc.buf.front().map(|bf| bf.arrived))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_vc_capacity_enforced() {
+        let mut vc = InputVc::new(2);
+        vc.push(Flit { msg: 0, seq: 0, tail: false }, 1);
+        assert!(vc.has_space());
+        vc.push(Flit { msg: 0, seq: 1, tail: true }, 2);
+        assert!(!vc.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn input_vc_overflow_panics() {
+        let mut vc = InputVc::new(1);
+        vc.push(Flit { msg: 0, seq: 0, tail: false }, 1);
+        vc.push(Flit { msg: 0, seq: 1, tail: true }, 1);
+    }
+
+    #[test]
+    fn tail_pop_resets_message_state() {
+        let mut vc = InputVc::new(4);
+        vc.push(Flit { msg: 7, seq: 0, tail: false }, 1);
+        vc.push(Flit { msg: 7, seq: 1, tail: true }, 2);
+        vc.route = Some(Direction::East);
+        vc.out_vc = Some(1);
+        vc.pop_after_traversal();
+        assert_eq!(vc.route, Some(Direction::East), "body pop keeps state");
+        vc.pop_after_traversal();
+        assert_eq!(vc.route, None, "tail pop clears route");
+        assert_eq!(vc.out_vc, None);
+    }
+
+    #[test]
+    fn router_reports_buffered_flits() {
+        let mut r = Router::new(2, 4);
+        assert!(!r.has_buffered_flits());
+        assert_eq!(r.earliest_head_arrival(), None);
+        r.inputs[0][1].push(Flit { msg: 0, seq: 0, tail: true }, 42);
+        assert!(r.has_buffered_flits());
+        assert_eq!(r.earliest_head_arrival(), Some(42));
+    }
+
+    #[test]
+    fn local_port_has_effectively_infinite_credits() {
+        let r = Router::new(2, 4);
+        assert!(r.outputs[LOCAL].vcs[0].credits > 1_000_000);
+        assert_eq!(r.outputs[0].vcs[0].credits, 4);
+    }
+}

@@ -1,0 +1,736 @@
+//! One physical sub-network: a complete flit-level mesh for a single
+//! channel kind (B or VL).
+//!
+//! Timing model (zero load): a flit entering a router's input buffer at
+//! cycle `t` traverses the switch at `t + pipeline − 1` (the router's
+//! route-compute / allocate / traverse stages) and reaches the next
+//! router's buffer `link_cycles` later. A message injected at cycle `T`
+//! over `h` hops with `f` flits is therefore delivered at
+//! `T + pipeline·(h+1) − (h+1) + ... ` — concretely, with the default
+//! 3-cycle pipeline: `T + 2·(h+1) + link_cycles·h + (f−1)`.
+//!
+//! Wormhole switching with credit-based virtual-channel flow control and
+//! XY dimension-order routing (deadlock-free on a mesh). All arbitration
+//! is round-robin with deterministic iteration order, so a given injection
+//! sequence always produces the same cycle-exact behaviour.
+
+use std::collections::VecDeque;
+
+use cmp_common::geometry::{Direction, MeshShape};
+use cmp_common::types::{Cycle, TileId};
+
+use crate::config::ChannelSpec;
+use crate::energy::{NocEnergy, RouterEnergyModel};
+use crate::message::{Delivered, Message};
+use crate::router::{Flit, Router, LOCAL, PORTS};
+use crate::stats::NocStats;
+
+/// An in-flight message: payload parked while its flits traverse the mesh.
+struct InFlight<P> {
+    msg: Option<Message<P>>,
+    injected_at: Cycle,
+    flits_total: u32,
+    flits_ejected: u32,
+    dst: TileId,
+    wire_bytes: usize,
+}
+
+/// A flit travelling on a link.
+struct WireFlit {
+    flit: Flit,
+    arrival: Cycle,
+    dst_tile: usize,
+    dst_port: usize,
+    vc: usize,
+}
+
+/// Per-tile injection state: the message currently being serialised into
+/// the local input port.
+#[derive(Clone, Copy)]
+struct InjProgress {
+    slot: u32,
+    vc: usize,
+    next_seq: u32,
+}
+
+/// One channel's mesh network.
+pub struct SubNet<P> {
+    spec: ChannelSpec,
+    mesh: MeshShape,
+    /// Cycles a flit waits in a buffer before switch traversal
+    /// (pipeline − 1).
+    pipeline_wait: Cycle,
+    link_cycles: Cycle,
+    routers: Vec<Router>,
+    /// Buffered-flit count per router: the switch-allocation activity
+    /// gate (routers holding nothing are skipped entirely).
+    flits_buffered: Vec<u32>,
+    /// Bitmap of non-empty input VCs per router (bit = port·nvc + vc),
+    /// so the allocation scan probes only occupied buffers.
+    vc_occupied: Vec<u32>,
+    /// Flits in flight on links. Constant link latency makes this FIFO by
+    /// arrival time.
+    wire: VecDeque<WireFlit>,
+    inj_queues: Vec<VecDeque<u32>>,
+    inj_progress: Vec<Option<InjProgress>>,
+    /// Flits sent per outgoing link: `link_flits[tile][direction]`.
+    link_flits: Vec<[u64; 4]>,
+    slab: Vec<Option<InFlight<P>>>,
+    free_slots: Vec<u32>,
+    live_msgs: usize,
+    delivered: Vec<Delivered<P>>,
+}
+
+impl<P> SubNet<P> {
+    /// Build the sub-network for `spec` on `mesh`.
+    pub fn new(spec: ChannelSpec, mesh: MeshShape, clock_hz: f64) -> Self {
+        let pipeline_cycles = spec.router_pipeline_cycles;
+        assert!(pipeline_cycles >= 1, "router needs at least one stage");
+        let link_cycles = spec.channel.timing(clock_hz).cycles;
+        let tiles = mesh.tiles();
+        assert!(
+            PORTS * spec.virtual_channels <= 32,
+            "occupancy bitmap supports at most 32 input VCs per router"
+        );
+        SubNet {
+            spec,
+            mesh,
+            pipeline_wait: pipeline_cycles - 1,
+            link_cycles,
+            routers: (0..tiles)
+                .map(|_| Router::new(spec.virtual_channels, spec.vc_buffer_flits))
+                .collect(),
+            flits_buffered: vec![0; tiles],
+            vc_occupied: vec![0; tiles],
+            wire: VecDeque::new(),
+            inj_queues: (0..tiles).map(|_| VecDeque::new()).collect(),
+            inj_progress: vec![None; tiles],
+            link_flits: vec![[0; 4]; tiles],
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            live_msgs: 0,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// The channel spec this sub-network implements.
+    pub fn spec(&self) -> &ChannelSpec {
+        &self.spec
+    }
+
+    /// Link traversal latency in cycles.
+    pub fn link_cycles(&self) -> Cycle {
+        self.link_cycles
+    }
+
+    /// Queue a message for injection at its source tile.
+    pub fn inject(&mut self, now: Cycle, msg: Message<P>) {
+        debug_assert!(msg.src != msg.dst, "self-messages bypass the network");
+        let flits_total = self.spec.channel.flits(msg.wire_bytes) as u32;
+        let src = msg.src.index();
+        let entry = InFlight {
+            injected_at: now,
+            flits_total,
+            flits_ejected: 0,
+            dst: msg.dst,
+            wire_bytes: msg.wire_bytes,
+            msg: Some(msg),
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                self.slab.push(Some(entry));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.inj_queues[src].push_back(slot);
+        self.live_msgs += 1;
+    }
+
+    /// Bytes of flit `seq` of a `wire_bytes` message on this channel.
+    fn flit_bytes(&self, wire_bytes: usize, seq: u32) -> usize {
+        let w = self.spec.channel.width_bytes;
+        let consumed = seq as usize * w;
+        wire_bytes.saturating_sub(consumed).min(w).max(1)
+    }
+
+    /// Advance one cycle. Delivered messages accumulate internally; drain
+    /// them with [`SubNet::drain_delivered`].
+    pub fn tick(&mut self, now: Cycle, energy: &mut NocEnergy, rem: &RouterEnergyModel, stats: &mut NocStats) {
+        self.deliver_wire_arrivals(now);
+        self.inject_flits(now);
+        self.switch_traversal(now, energy, rem, stats);
+    }
+
+    /// Phase (a): link arrivals land in downstream input buffers.
+    fn deliver_wire_arrivals(&mut self, now: Cycle) {
+        while let Some(front) = self.wire.front() {
+            if front.arrival > now {
+                break;
+            }
+            let wf = self.wire.pop_front().expect("front checked");
+            self.routers[wf.dst_tile].inputs[wf.dst_port][wf.vc].push(wf.flit, now);
+            self.flits_buffered[wf.dst_tile] += 1;
+            self.vc_occupied[wf.dst_tile] |=
+                1 << (wf.dst_port * self.spec.virtual_channels + wf.vc);
+        }
+    }
+
+    /// Phase (b): each tile's network interface feeds at most one flit per
+    /// cycle into the local input port, serialising one message at a time.
+    fn inject_flits(&mut self, now: Cycle) {
+        for tile in 0..self.mesh.tiles() {
+            if self.inj_progress[tile].is_none() {
+                let Some(&slot) = self.inj_queues[tile].front() else {
+                    continue;
+                };
+                // Pick the local input VC with the most free space that is
+                // not mid-message (its last buffered flit, if any, was a
+                // tail — guaranteed here because the NI serialises, so any
+                // idle VC is message-aligned).
+                let local = &self.routers[tile].inputs[LOCAL];
+                let vc = (0..local.len())
+                    .filter(|&v| local[v].has_space())
+                    .max_by_key(|&v| local[v].capacity() - local[v].buf.len());
+                let Some(vc) = vc else { continue };
+                self.inj_queues[tile].pop_front();
+                self.inj_progress[tile] = Some(InjProgress { slot, vc, next_seq: 0 });
+            }
+            let Some(mut p) = self.inj_progress[tile] else {
+                continue;
+            };
+            let vc = &mut self.routers[tile].inputs[LOCAL][p.vc];
+            if !vc.has_space() {
+                continue;
+            }
+            let entry = self.slab[p.slot as usize].as_ref().expect("live slot");
+            let tail = p.next_seq + 1 == entry.flits_total;
+            vc.push(
+                Flit { msg: p.slot, seq: p.next_seq, tail },
+                now,
+            );
+            self.flits_buffered[tile] += 1;
+            self.vc_occupied[tile] |= 1 << (LOCAL * self.spec.virtual_channels + p.vc);
+            p.next_seq += 1;
+            self.inj_progress[tile] = if tail { None } else { Some(p) };
+        }
+    }
+
+    /// Phase (c): switch allocation and traversal at every router.
+    fn switch_traversal(
+        &mut self,
+        now: Cycle,
+        energy: &mut NocEnergy,
+        rem: &RouterEnergyModel,
+        stats: &mut NocStats,
+    ) {
+        let nvc = self.spec.virtual_channels;
+        let candidates = PORTS * nvc;
+        // Scratch list of eligible head flits: (in_port, in_vc, out_idx).
+        let mut eligible: Vec<(usize, usize, usize)> = Vec::with_capacity(candidates);
+        for tile in 0..self.mesh.tiles() {
+            if self.flits_buffered[tile] == 0 {
+                continue;
+            }
+            // --- gather eligible head flits once per router ---
+            eligible.clear();
+            let mut occ = self.vc_occupied[tile];
+            while occ != 0 {
+                let flat = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let (in_port, in_vc) = (flat / nvc, flat % nvc);
+                let vc = &self.routers[tile].inputs[in_port][in_vc];
+                let Some(bf) = vc.buf.front() else { continue };
+                if now < bf.arrived + self.pipeline_wait {
+                    continue;
+                }
+                let entry = self.slab[bf.flit.msg as usize].as_ref().expect("live");
+                let out_dir = self.mesh.xy_route(TileId::from(tile), entry.dst);
+                eligible.push((in_port, in_vc, out_dir.index()));
+            }
+            if eligible.is_empty() {
+                continue;
+            }
+            let mut input_used = [false; PORTS];
+            for out_dir in Direction::ALL {
+                let out_idx = out_dir.index();
+                let downstream = if out_idx == LOCAL {
+                    None
+                } else {
+                    match self.mesh.neighbor(TileId::from(tile), out_dir) {
+                        Some(n) => Some(n),
+                        None => continue, // mesh edge: no such link
+                    }
+                };
+
+                // --- round-robin selection among this port's requests ---
+                let start = self.routers[tile].outputs[out_idx].rr;
+                let mut grant: Option<(usize, usize, usize)> = None; // (in_port, in_vc, out_vc)
+                let mut best_key = usize::MAX;
+                for &(in_port, in_vc, want) in &eligible {
+                    if want != out_idx || input_used[in_port] {
+                        continue;
+                    }
+                    let flat = in_port * nvc + in_vc;
+                    let key = (flat + candidates - start) % candidates;
+                    if key >= best_key {
+                        continue;
+                    }
+                    let vc = &self.routers[tile].inputs[in_port][in_vc];
+                    let out_port = &self.routers[tile].outputs[out_idx];
+                    let ovc = match vc.out_vc {
+                        Some(v) => v,
+                        None => {
+                            // head flit: allocate the first free output VC
+                            match (0..nvc).find(|&v| out_port.vcs[v].owner.is_none()) {
+                                Some(v) => v,
+                                None => continue,
+                            }
+                        }
+                    };
+                    if out_port.vcs[ovc].credits == 0 {
+                        continue;
+                    }
+                    grant = Some((in_port, in_vc, ovc));
+                    best_key = key;
+                }
+
+                // --- apply the grant ---
+                let Some((in_port, in_vc, ovc)) = grant else {
+                    continue;
+                };
+                self.routers[tile].outputs[out_idx].rr = (in_port * nvc + in_vc + 1) % candidates;
+                input_used[in_port] = true;
+                let bf = {
+                    let vc = &mut self.routers[tile].inputs[in_port][in_vc];
+                    if vc.out_vc.is_none() {
+                        vc.out_vc = Some(ovc);
+                    }
+                    vc.pop_after_traversal()
+                };
+                if self.routers[tile].inputs[in_port][in_vc].buf.is_empty() {
+                    self.vc_occupied[tile] &= !(1 << (in_port * nvc + in_vc));
+                }
+                self.flits_buffered[tile] -= 1;
+                let flit = bf.flit;
+                let (wire_bytes, flits_total) = {
+                    let e = self.slab[flit.msg as usize].as_ref().expect("live");
+                    (e.wire_bytes, e.flits_total)
+                };
+                debug_assert!(flit.seq < flits_total);
+                let bytes = self.flit_bytes(wire_bytes, flit.seq);
+                energy.router_dynamic += rem.flit_energy(bytes);
+
+                // return the credit upstream (the flit freed a buffer slot)
+                if in_port != LOCAL {
+                    let in_dir = Direction::LINKS[in_port];
+                    let upstream = self
+                        .mesh
+                        .neighbor(TileId::from(tile), in_dir)
+                        .expect("flit arrived from a real neighbor");
+                    let up_out = in_dir.opposite().index();
+                    self.routers[upstream.index()].outputs[up_out].vcs[in_vc].credits += 1;
+                }
+
+                if out_idx == LOCAL {
+                    // Ejection.
+                    if flit.is_head() {
+                        self.routers[tile].outputs[LOCAL].vcs[ovc].owner = Some((in_port, in_vc));
+                    }
+                    if flit.tail {
+                        self.routers[tile].outputs[LOCAL].vcs[ovc].owner = None;
+                    }
+                    let entry = self.slab[flit.msg as usize].as_mut().expect("live");
+                    entry.flits_ejected += 1;
+                    if flit.tail {
+                        debug_assert_eq!(entry.flits_ejected, entry.flits_total);
+                        let message = entry.msg.take().expect("payload present");
+                        let injected_at = entry.injected_at;
+                        stats.record_delivery(message.class, entry.wire_bytes, now - injected_at);
+                        self.slab[flit.msg as usize] = None;
+                        self.free_slots.push(flit.msg);
+                        self.live_msgs -= 1;
+                        self.delivered.push(Delivered {
+                            message,
+                            injected_at,
+                            delivered_at: now,
+                        });
+                    }
+                } else {
+                    // Link traversal towards `downstream`.
+                    let out_port = &mut self.routers[tile].outputs[out_idx];
+                    if flit.is_head() {
+                        out_port.vcs[ovc].owner = Some((in_port, in_vc));
+                    }
+                    out_port.vcs[ovc].credits -= 1;
+                    if flit.tail {
+                        out_port.vcs[ovc].owner = None;
+                    }
+                    let downstream = downstream.expect("non-local grant has a neighbor");
+                    self.link_flits[tile][out_idx] += 1;
+                    self.wire.push_back(WireFlit {
+                        flit,
+                        arrival: now + self.link_cycles,
+                        dst_tile: downstream.index(),
+                        dst_port: out_dir.opposite().index(),
+                        vc: ovc,
+                    });
+                    energy.link_dynamic +=
+                        self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
+                    stats.record_flit_hop(self.spec.kind);
+                }
+            }
+        }
+    }
+
+    /// Take the messages delivered since the last drain.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered<P>> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Whether the sub-network holds no messages at all.
+    pub fn is_idle(&self) -> bool {
+        self.live_msgs == 0
+    }
+
+    /// The next cycle at which calling `tick` can make progress, given the
+    /// current state (`None` when idle). Always > `now`... unless work is
+    /// already pending, in which case `now + 1`.
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            return None;
+        }
+        let mut next = Cycle::MAX;
+        if let Some(front) = self.wire.front() {
+            next = next.min(front.arrival);
+        }
+        for (tile, router) in self.routers.iter().enumerate() {
+            if self.flits_buffered[tile] > 0 {
+                if let Some(arr) = router.earliest_head_arrival() {
+                    next = next.min(arr + self.pipeline_wait);
+                }
+            }
+            if self.inj_progress[tile].is_some() || !self.inj_queues[tile].is_empty() {
+                next = next.min(now + 1);
+            }
+        }
+        Some(next.max(now + 1))
+    }
+
+    /// Flits sent on the outgoing link of `tile` in `dir` so far.
+    pub fn link_flits(&self, tile: usize, dir: Direction) -> u64 {
+        self.link_flits[tile][dir.index()]
+    }
+
+    /// Switching-factor-weighted channel energy parameters (test hook).
+    #[cfg(test)]
+    pub(crate) fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelKind, ChannelSpec};
+    use cmp_common::types::MessageClass;
+    use wire_model::link::Channel;
+    use wire_model::wires::WireClass;
+
+    const CLOCK: f64 = 4.0e9;
+
+    fn b_spec(width: usize) -> ChannelSpec {
+        ChannelSpec {
+            kind: ChannelKind::B,
+            channel: Channel::new(WireClass::B8X, width, 5.0),
+            virtual_channels: 4,
+            vc_buffer_flits: 4,
+            router_pipeline_cycles: 3,
+        }
+    }
+
+    fn msg(src: usize, dst: usize, bytes: usize) -> Message<u64> {
+        Message {
+            src: TileId::from(src),
+            dst: TileId::from(dst),
+            class: MessageClass::Request,
+            wire_bytes: bytes,
+            channel: ChannelKind::B,
+            payload: 0,
+        }
+    }
+
+    fn run_until_delivered(net: &mut SubNet<u64>, limit: Cycle) -> Vec<Delivered<u64>> {
+        let mut energy = NocEnergy::default();
+        let rem = RouterEnergyModel::default();
+        let mut stats = NocStats::new();
+        let mut out = Vec::new();
+        for now in 0..limit {
+            net.tick(now, &mut energy, &rem, &mut stats);
+            out.extend(net.drain_delivered());
+            if net.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Zero-load delivery latency: pipeline-1 cycles in each of (h+1)
+    /// routers plus h link traversals plus serialisation.
+    fn zero_load(h: u64, link: u64, flits: u64) -> u64 {
+        2 * (h + 1) + link * h + (flits - 1)
+    }
+
+    #[test]
+    fn single_hop_zero_load_latency() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
+        assert_eq!(net.link_cycles(), 2);
+        net.inject(0, msg(0, 1, 11));
+        let d = run_until_delivered(&mut net, 100);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].latency(), zero_load(1, 2, 1));
+    }
+
+    #[test]
+    fn corner_to_corner_latency() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
+        net.inject(0, msg(0, 15, 11)); // 6 hops
+        let d = run_until_delivered(&mut net, 200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].latency(), zero_load(6, 2, 1));
+    }
+
+    #[test]
+    fn multi_flit_serialisation_adds_tail_cycles() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+        net.inject(0, msg(0, 3, 67)); // 2 flits on a 34-byte channel
+        let d = run_until_delivered(&mut net, 200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].latency(), zero_load(3, 2, 2));
+    }
+
+    #[test]
+    fn narrow_fast_channel_beats_wide_slow_one_for_short_messages() {
+        let mesh = MeshShape::square(4);
+        // VL-like channel: 4 bytes wide, 1-cycle links
+        let vl = ChannelSpec {
+            kind: ChannelKind::Vl,
+            channel: Channel::new(WireClass::VL(wire_model::wires::VlWidth::FourBytes), 4, 5.0),
+            virtual_channels: 4,
+            vc_buffer_flits: 4,
+            router_pipeline_cycles: 3,
+        };
+        let mut vl_net = SubNet::new(vl, mesh, CLOCK);
+        assert_eq!(vl_net.link_cycles(), 1);
+        let mut m = msg(0, 15, 4);
+        m.channel = ChannelKind::Vl;
+        vl_net.inject(0, m);
+        let d = run_until_delivered(&mut vl_net, 200);
+        assert_eq!(d[0].latency(), zero_load(6, 1, 1));
+        // 20 cycles vs 26 on the B network: the VL win on critical path
+        assert!(d[0].latency() < zero_load(6, 2, 1));
+    }
+
+    #[test]
+    fn contention_serialises_on_shared_link() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
+        // Two tiles (0 and 4) both send to tile 1; the 0->1 and 4->0->..
+        // paths share no link, so use senders 0 and 1 -> 3 sharing 2->3.
+        net.inject(0, msg(0, 3, 75));
+        net.inject(0, msg(1, 3, 75));
+        let d = run_until_delivered(&mut net, 300);
+        assert_eq!(d.len(), 2);
+        // both arrive, and not at the same cycle on the shared final link
+        assert_ne!(d[0].delivered_at, d[1].delivered_at);
+    }
+
+    #[test]
+    fn heavy_random_traffic_all_delivered() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+        let mut injected = 0u64;
+        let mut energy = NocEnergy::default();
+        let rem = RouterEnergyModel::default();
+        let mut stats = NocStats::new();
+        let mut delivered = 0u64;
+        let mut rng = cmp_common::rng::SimRng::new(123);
+        for now in 0..20_000u64 {
+            if now < 5_000 {
+                // every tile injects ~every 4 cycles
+                for src in 0..16usize {
+                    if rng.chance(0.25) {
+                        let dst = (src + 1 + rng.index(15)) % 16;
+                        let bytes = if rng.chance(0.5) { 67 } else { 11 };
+                        net.inject(now, msg(src, dst, bytes));
+                        injected += 1;
+                    }
+                }
+            }
+            net.tick(now, &mut energy, &rem, &mut stats);
+            delivered += net.drain_delivered().len() as u64;
+            if now >= 5_000 && net.is_idle() {
+                break;
+            }
+        }
+        assert!(injected > 3_000, "injected {injected}");
+        assert_eq!(delivered, injected, "every message must be delivered");
+        assert!(net.is_idle());
+        assert!(energy.dynamic().value() > 0.0);
+        assert_eq!(stats.delivered(), injected);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        let run = || {
+            let mesh = MeshShape::square(4);
+            let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+            let mut rng = cmp_common::rng::SimRng::new(7);
+            let mut log = Vec::new();
+            let mut energy = NocEnergy::default();
+            let rem = RouterEnergyModel::default();
+            let mut stats = NocStats::new();
+            for now in 0..5_000u64 {
+                if now < 1_000 {
+                    for src in 0..16usize {
+                        if rng.chance(0.3) {
+                            let dst = (src + 1 + rng.index(15)) % 16;
+                            net.inject(now, msg(src, dst, 67));
+                        }
+                    }
+                }
+                net.tick(now, &mut energy, &rem, &mut stats);
+                for d in net.drain_delivered() {
+                    log.push((d.message.src, d.message.dst, d.delivered_at));
+                }
+                if now >= 1_000 && net.is_idle() {
+                    break;
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn next_event_cycle_skips_link_flight_time() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
+        net.inject(0, msg(0, 15, 11));
+        let mut energy = NocEnergy::default();
+        let rem = RouterEnergyModel::default();
+        let mut stats = NocStats::new();
+        // run with fast-forward and check the result matches zero-load
+        let mut now = 0;
+        let mut delivered = Vec::new();
+        while !net.is_idle() {
+            net.tick(now, &mut energy, &rem, &mut stats);
+            delivered.extend(net.drain_delivered());
+            match net.next_event_cycle(now) {
+                Some(next) => {
+                    assert!(next > now);
+                    now = next;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].latency(), zero_load(6, 2, 1));
+    }
+
+    #[test]
+    fn link_flit_counters_track_the_xy_path() {
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
+        net.inject(0, msg(0, 3, 11)); // pure-east path: 0 -> 1 -> 2 -> 3
+        run_until_delivered(&mut net, 100);
+        assert_eq!(net.link_flits(0, Direction::East), 1);
+        assert_eq!(net.link_flits(1, Direction::East), 1);
+        assert_eq!(net.link_flits(2, Direction::East), 1);
+        assert_eq!(net.link_flits(3, Direction::East), 0);
+        assert_eq!(net.link_flits(0, Direction::South), 0);
+    }
+
+
+    #[test]
+    fn vc_backpressure_does_not_lose_flits() {
+        // Tiny buffers + a hot destination: credits run out constantly,
+        // yet every message must still arrive exactly once.
+        let mesh = MeshShape::square(4);
+        let spec = ChannelSpec {
+            kind: ChannelKind::B,
+            channel: Channel::new(WireClass::B8X, 34, 5.0),
+            virtual_channels: 2,
+            vc_buffer_flits: 1, // minimum legal buffering
+            router_pipeline_cycles: 3,
+        };
+        let mut net = SubNet::new(spec, mesh, CLOCK);
+        let mut injected = 0u64;
+        // every tile floods tile 5 with multi-flit messages
+        for src in 0..16usize {
+            if src == 5 {
+                continue;
+            }
+            for _ in 0..20 {
+                net.inject(0, msg(src, 5, 67));
+                injected += 1;
+            }
+        }
+        let d = run_until_delivered(&mut net, 1_000_000);
+        assert_eq!(d.len() as u64, injected);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn wormhole_keeps_message_flits_contiguous_per_vc() {
+        // With a single VC, two long messages through a shared link must
+        // not interleave: delivery completes one tail before the other.
+        let mesh = MeshShape::new(4, 1); // a 4-tile line
+        let spec = ChannelSpec {
+            kind: ChannelKind::B,
+            channel: Channel::new(WireClass::B8X, 16, 5.0),
+            virtual_channels: 1,
+            vc_buffer_flits: 2,
+            router_pipeline_cycles: 3,
+        };
+        let mut net = SubNet::new(spec, mesh, CLOCK);
+        net.inject(0, msg(0, 3, 67)); // 5 flits
+        net.inject(0, msg(1, 3, 67)); // 5 flits, shares links 1->2->3
+        let d = run_until_delivered(&mut net, 10_000);
+        assert_eq!(d.len(), 2);
+        // deliveries must be separated by at least the serialisation time
+        // of a full message (no interleaved tails)
+        let gap = d[0].delivered_at.abs_diff(d[1].delivered_at);
+        assert!(gap >= 5, "tails only {gap} cycles apart");
+    }
+
+    #[test]
+    fn single_stage_router_is_faster_per_hop() {
+        let mesh = MeshShape::square(4);
+        let mut express = b_spec(34);
+        express.router_pipeline_cycles = 1;
+        let mut fast = SubNet::new(express, mesh, CLOCK);
+        let mut slow = SubNet::new(b_spec(34), mesh, CLOCK);
+        fast.inject(0, msg(0, 15, 11));
+        slow.inject(0, msg(0, 15, 11));
+        let df = run_until_delivered(&mut fast, 200);
+        let ds = run_until_delivered(&mut slow, 200);
+        // 6 hops: express saves (pipeline-1) x (hops+1) = 2 x 7 cycles
+        assert_eq!(ds[0].latency() - df[0].latency(), 14);
+    }
+
+    #[test]
+    fn idle_network_reports_idle() {
+        let mesh = MeshShape::square(2);
+        let net: SubNet<u64> = SubNet::new(b_spec(75), mesh, CLOCK);
+        assert!(net.is_idle());
+        assert_eq!(net.next_event_cycle(10), None);
+        assert!(!net.routers().iter().any(|r| r.has_buffered_flits()));
+    }
+}

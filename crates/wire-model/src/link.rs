@@ -1,0 +1,287 @@
+//! Physical channels and the area-neutral heterogeneous link plan.
+//!
+//! A **channel** is a bundle of same-class wires between two adjacent
+//! routers: the 75-byte B-Wire links of the baseline configuration, or the
+//! 34-byte B + 3–5-byte VL pair of the proposal (Section 4.3). This module
+//! turns the per-wire physics of [`crate::wires`] into the quantities the
+//! NoC simulator consumes: traversal cycles, flit segmentation, per-flit
+//! dynamic energy and per-link static power.
+
+use cmp_common::units::{Joules, PicoSeconds, Watts};
+
+use crate::wires::{VlWidth, WireClass};
+
+/// Per-hop timing of a channel: the cycles a flit needs to cross the wire
+/// between two routers (router pipeline time is the NoC's business).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkTiming {
+    /// Whole clock cycles to traverse the link, ≥ 1.
+    pub cycles: u64,
+}
+
+/// A unidirectional bundle of same-class wires between adjacent routers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Channel {
+    /// Wire implementation of every track in this bundle.
+    pub class: WireClass,
+    /// Usable width in bytes (= flit size).
+    pub width_bytes: usize,
+    /// Physical length in millimetres.
+    pub length_mm: f64,
+}
+
+impl Channel {
+    /// Build a channel, checking the width is usable.
+    pub fn new(class: WireClass, width_bytes: usize, length_mm: f64) -> Self {
+        assert!(width_bytes > 0, "zero-width channel");
+        assert!(length_mm > 0.0, "non-positive link length");
+        Channel {
+            class,
+            width_bytes,
+            length_mm,
+        }
+    }
+
+    /// Propagation delay across the link.
+    pub fn delay(&self) -> PicoSeconds {
+        PicoSeconds(self.class.delay_ps(self.length_mm))
+    }
+
+    /// Whole cycles to traverse the link at `clock_hz` (at least one: the
+    /// link is a pipeline stage of its own).
+    pub fn timing(&self, clock_hz: f64) -> LinkTiming {
+        LinkTiming {
+            cycles: self.delay().to_cycles_ceil(clock_hz).max(1),
+        }
+    }
+
+    /// Number of flits a message of `bytes` occupies on this channel.
+    #[inline]
+    pub fn flits(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.width_bytes).max(1)
+    }
+
+    /// Dynamic energy to move `payload_bytes` across this link once, with
+    /// switching factor `alpha` (expected fraction of bits that toggle).
+    pub fn dyn_energy_for_bytes(&self, payload_bytes: usize, alpha: f64) -> Joules {
+        let transitions = payload_bytes as f64 * 8.0 * alpha;
+        let per_transition =
+            self.class.props().dyn_energy_per_transition_per_m() * self.length_mm * 1e-3;
+        Joules(transitions * per_transition)
+    }
+
+    /// Leakage power of the whole bundle (every track leaks whether or not
+    /// it is used).
+    pub fn static_power(&self) -> Watts {
+        let wires = (self.width_bytes * 8) as f64;
+        Watts(wires * self.class.props().static_w_per_m() * self.length_mm * 1e-3)
+    }
+
+    /// Metal tracks consumed, in units of minimum-pitch B-8X tracks.
+    pub fn area_tracks(&self) -> f64 {
+        (self.width_bytes * 8) as f64 * self.class.props().rel_area
+    }
+}
+
+/// The paper's area-neutral re-provisioning of one 75-byte unidirectional
+/// link (Section 4.3): 34 bytes of B-Wires for long/uncompressed messages
+/// plus one VL channel (3–5 bytes) for short critical and compressed
+/// messages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeterogeneousLinkPlan {
+    /// The B-Wire sub-channel (34 bytes in the paper).
+    pub b_channel: Channel,
+    /// The VL-Wire sub-channel (3, 4 or 5 bytes).
+    pub vl_channel: Channel,
+}
+
+/// B-Wire bytes retained in the heterogeneous organisation (Section 4.3:
+/// "272 B-Wires (34 bytes)").
+pub const HETERO_B_BYTES: usize = 34;
+
+/// Baseline link width in bytes (Table 4).
+pub const BASELINE_LINK_BYTES: usize = 75;
+
+/// L-Wire bytes in the Reply-Partitioning organisation of the group's
+/// prior work (Flores et al., HiPC 2007 — reference \[9\] of the paper):
+/// 11 bytes of L-Wires carry whole short critical messages.
+pub const RP_L_BYTES: usize = 11;
+
+/// PW-Wire bytes in the Reply-Partitioning organisation: 64 bytes of
+/// power-optimised wires carry the long / non-critical messages.
+pub const RP_PW_BYTES: usize = 64;
+
+/// The Reply-Partitioning link organisation from \[9\], implemented as a
+/// comparison point: each 75-byte B-Wire link is re-provisioned
+/// area-neutrally into 11 bytes of L-Wires (4× area each) plus 64 bytes
+/// of PW-Wires (0.5× area each): `88·4 + 512·0.5 = 608 ≈ 600` tracks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplyPartitioningLinkPlan {
+    /// The low-latency L-Wire sub-channel (11 bytes).
+    pub l_channel: Channel,
+    /// The power-optimised PW-Wire sub-channel (64 bytes).
+    pub pw_channel: Channel,
+}
+
+impl ReplyPartitioningLinkPlan {
+    /// Build the \[9\] plan for the given link length.
+    pub fn area_neutral(length_mm: f64) -> Self {
+        ReplyPartitioningLinkPlan {
+            l_channel: Channel::new(WireClass::L8X, RP_L_BYTES, length_mm),
+            pw_channel: Channel::new(WireClass::PW4X, RP_PW_BYTES, length_mm),
+        }
+    }
+
+    /// Total metal tracks, in minimum-pitch B-8X units.
+    pub fn area_tracks(&self) -> f64 {
+        self.l_channel.area_tracks() + self.pw_channel.area_tracks()
+    }
+
+    /// Area relative to the baseline 75-byte link (≈ 1.0).
+    pub fn area_vs_baseline(&self) -> f64 {
+        self.area_tracks() / (BASELINE_LINK_BYTES * 8) as f64
+    }
+
+    /// Combined leakage of both sub-channels.
+    pub fn static_power(&self) -> Watts {
+        self.l_channel.static_power() + self.pw_channel.static_power()
+    }
+}
+
+impl HeterogeneousLinkPlan {
+    /// Build the paper's plan for the chosen VL width and link length.
+    pub fn area_neutral(vl: VlWidth, length_mm: f64) -> Self {
+        HeterogeneousLinkPlan {
+            b_channel: Channel::new(WireClass::B8X, HETERO_B_BYTES, length_mm),
+            vl_channel: Channel::new(WireClass::VL(vl), vl.bytes(), length_mm),
+        }
+    }
+
+    /// Total metal tracks of the plan, in minimum-pitch B-8X units.
+    pub fn area_tracks(&self) -> f64 {
+        self.b_channel.area_tracks() + self.vl_channel.area_tracks()
+    }
+
+    /// How the plan's area compares to the baseline 75-byte link
+    /// (1.0 = exactly area-neutral).
+    pub fn area_vs_baseline(&self) -> f64 {
+        self.area_tracks() / (BASELINE_LINK_BYTES * 8) as f64
+    }
+
+    /// Combined leakage of both sub-channels.
+    pub fn static_power(&self) -> Watts {
+        self.b_channel.static_power() + self.vl_channel.static_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLOCK: f64 = 4.0e9;
+    const LEN: f64 = 5.0;
+
+    #[test]
+    fn baseline_link_timing_is_two_cycles() {
+        // B-8X: 80 ps/mm x 5 mm = 400 ps = 1.6 cycles at 4 GHz -> 2.
+        let b = Channel::new(WireClass::B8X, 75, LEN);
+        assert_eq!(b.timing(CLOCK).cycles, 2);
+    }
+
+    #[test]
+    fn vl_link_is_one_cycle() {
+        for vl in VlWidth::ALL {
+            let c = Channel::new(WireClass::VL(vl), vl.bytes(), LEN);
+            assert_eq!(c.timing(CLOCK).cycles, 1, "{vl:?}");
+        }
+        // L-Wires also make it in one cycle (200 ps)
+        let l = Channel::new(WireClass::L8X, 11, LEN);
+        assert_eq!(l.timing(CLOCK).cycles, 1);
+        // PW-Wires need 6 cycles (1280 ps)
+        let pw = Channel::new(WireClass::PW4X, 34, LEN);
+        assert_eq!(pw.timing(CLOCK).cycles, 6);
+    }
+
+    #[test]
+    fn flit_segmentation() {
+        let b75 = Channel::new(WireClass::B8X, 75, LEN);
+        assert_eq!(b75.flits(67), 1); // a data reply fits one baseline flit
+        assert_eq!(b75.flits(11), 1);
+        let b34 = Channel::new(WireClass::B8X, 34, LEN);
+        assert_eq!(b34.flits(67), 2); // data reply takes 2 flits on 34B
+        assert_eq!(b34.flits(11), 1);
+        let vl4 = Channel::new(WireClass::VL(VlWidth::FourBytes), 4, LEN);
+        assert_eq!(vl4.flits(4), 1);
+        assert_eq!(vl4.flits(3), 1);
+        assert_eq!(vl4.flits(0), 1); // degenerate: still one flit
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_bytes_and_class() {
+        let b = Channel::new(WireClass::B8X, 75, LEN);
+        let vl = Channel::new(WireClass::VL(VlWidth::FourBytes), 4, LEN);
+        let e_b_11 = b.dyn_energy_for_bytes(11, 0.5);
+        let e_b_67 = b.dyn_energy_for_bytes(67, 0.5);
+        assert!((e_b_67 / e_b_11 - 67.0 / 11.0).abs() < 1e-9);
+        // a compressed 4-byte message on VL vs 11 bytes on B:
+        // (4*1.00) / (11*2.65) ~ 0.137 of the energy
+        let e_vl_4 = vl.dyn_energy_for_bytes(4, 0.5);
+        let ratio = e_vl_4 / e_b_11;
+        assert!(
+            (ratio - 4.0 * 1.00 / (11.0 * 2.65)).abs() < 1e-9,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn hand_computed_energy_value() {
+        // 1 byte at alpha=1 on B-8X over 1 mm:
+        // 8 transitions x (2.65/4e9) J/m x 1e-3 m = 5.3e-12 J
+        let c = Channel::new(WireClass::B8X, 75, 1.0);
+        let e = c.dyn_energy_for_bytes(1, 1.0);
+        assert!((e.value() - 5.3e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn hetero_plan_is_area_neutral() {
+        for vl in VlWidth::ALL {
+            let plan = HeterogeneousLinkPlan::area_neutral(vl, LEN);
+            let ratio = plan.area_vs_baseline();
+            assert!(
+                (0.97..=1.02).contains(&ratio),
+                "{vl:?}: area ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_plan_halves_static_power() {
+        // 272 B tracks + 32 VL tracks leak far less than 600 B tracks.
+        let base = Channel::new(WireClass::B8X, 75, LEN).static_power();
+        let plan = HeterogeneousLinkPlan::area_neutral(VlWidth::FourBytes, LEN);
+        let ratio = plan.static_power() / base;
+        assert!(
+            (0.4..=0.55).contains(&ratio),
+            "static ratio {ratio}, expected ~0.47"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_channel_rejected() {
+        Channel::new(WireClass::B8X, 0, LEN);
+    }
+
+    #[test]
+    fn reply_partitioning_plan_is_area_neutral() {
+        let plan = ReplyPartitioningLinkPlan::area_neutral(LEN);
+        let ratio = plan.area_vs_baseline();
+        assert!((0.97..=1.03).contains(&ratio), "area ratio {ratio}");
+        // L-wires are fast (1 cycle), PW-wires slow (6 cycles)
+        assert_eq!(plan.l_channel.timing(CLOCK).cycles, 1);
+        assert_eq!(plan.pw_channel.timing(CLOCK).cycles, 6);
+        // and the plan leaks less than the baseline (PW wires leak little)
+        let base = Channel::new(WireClass::B8X, 75, LEN);
+        assert!(plan.static_power().value() < base.static_power().value());
+    }
+}

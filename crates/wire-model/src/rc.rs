@@ -1,0 +1,155 @@
+//! First-order RC wire delay — Equation (1) of the paper.
+//!
+//! A CMOS driver is a resistor `R_gate` with parasitic load `C_diff`; the
+//! receiver is a capacitive load `C_gate`; the wire contributes distributed
+//! `R_wire`/`C_wire`:
+//!
+//! ```text
+//! Delay ∝ R_gate (C_diff + C_wire + C_gate) + R_wire (½ C_wire + C_gate)
+//! ```
+//!
+//! We use the Elmore form with the standard 0.69 (ln 2) prefactor for the
+//! 50 % switching threshold. Because an uninterrupted wire's delay grows
+//! quadratically with length, long wires are split into repeated segments —
+//! see [`crate::repeater`].
+
+use crate::tech::{PlaneParams, Tech65};
+
+/// Geometry of a single wire relative to minimum pitch on its plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireGeometry {
+    /// Width multiplier (≥ 1 widens the conductor, cutting resistance).
+    pub width_f: f64,
+    /// Spacing multiplier (≥ 1 moves neighbours away, cutting coupling
+    /// capacitance).
+    pub spacing_f: f64,
+}
+
+impl WireGeometry {
+    /// Minimum-pitch wire.
+    pub const MIN_PITCH: WireGeometry = WireGeometry {
+        width_f: 1.0,
+        spacing_f: 1.0,
+    };
+
+    /// Relative area (pitch) cost of this geometry versus minimum pitch:
+    /// pitch = width + spacing, with each at 1.0 contributing half the
+    /// minimum pitch.
+    #[inline]
+    pub fn area_factor(&self) -> f64 {
+        (self.width_f + self.spacing_f) / 2.0
+    }
+}
+
+/// ln(2) prefactor turning an Elmore time constant into a 50 %-threshold
+/// delay.
+pub const ELMORE_50PCT: f64 = 0.69;
+
+/// Delay of one driver + wire-segment + receiver stage (Eq. 1).
+///
+/// * `r_drv`, `c_diff`, `c_gate` — driver output resistance and the
+///   parasitic/input capacitances of the (identical) driver and receiver.
+/// * `r_wire`, `c_wire` — total segment resistance and capacitance.
+#[inline]
+pub fn stage_delay(r_drv: f64, c_diff: f64, c_gate: f64, r_wire: f64, c_wire: f64) -> f64 {
+    ELMORE_50PCT * (r_drv * (c_diff + c_wire + c_gate) + r_wire * (0.5 * c_wire + c_gate))
+}
+
+/// Delay of one segment of length `len_m` driven by a repeater of size `s`
+/// (in multiples of a minimum inverter) on the given plane/geometry.
+pub fn segment_delay(
+    tech: &Tech65,
+    plane: &PlaneParams,
+    geom: WireGeometry,
+    len_m: f64,
+    s: f64,
+) -> f64 {
+    let r_drv = tech.r_drv_min / s;
+    let c_diff = tech.c_diff_min * s;
+    let c_gate = tech.c_gate_min * s;
+    let r_wire = plane.r_per_m(geom.width_f) * len_m;
+    let c_wire = plane.c_per_m(geom.width_f, geom.spacing_f) * len_m;
+    stage_delay(r_drv, c_diff, c_gate, r_wire, c_wire)
+}
+
+/// Delay of an *unrepeated* wire of length `len_m` driven by a size-`s`
+/// driver. Grows quadratically with length — the motivation for repeater
+/// insertion.
+pub fn unrepeated_delay(
+    tech: &Tech65,
+    plane: &PlaneParams,
+    geom: WireGeometry,
+    len_m: f64,
+    s: f64,
+) -> f64 {
+    segment_delay(tech, plane, geom, len_m, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::MetalPlane;
+
+    fn setup() -> (Tech65, PlaneParams) {
+        let t = Tech65::default();
+        let p = *t.plane(MetalPlane::EightX);
+        (t, p)
+    }
+
+    #[test]
+    fn unrepeated_delay_grows_quadratically() {
+        let (t, p) = setup();
+        // Large driver so the distributed RwCw/2 term (not the driver
+        // resistance) limits the wire.
+        let d5 = unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 5e-3, 100.0);
+        let d10 = unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 10e-3, 100.0);
+        let d20 = unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 20e-3, 100.0);
+        // doubling length should much more than double delay once the wire
+        // dominates; in the limit the growth approaches x4 per doubling
+        assert!(d10 / d5 > 2.2, "d10/d5 = {}", d10 / d5);
+        assert!(d20 / d10 > 2.8, "d20/d10 = {}", d20 / d10);
+    }
+
+    #[test]
+    fn wider_wire_is_faster() {
+        let (t, p) = setup();
+        let base = segment_delay(&t, &p, WireGeometry::MIN_PITCH, 1e-3, 60.0);
+        let wide = segment_delay(
+            &t,
+            &p,
+            WireGeometry {
+                width_f: 4.0,
+                spacing_f: 4.0,
+            },
+            1e-3,
+            60.0,
+        );
+        assert!(wide < base, "wide {wide} should beat base {base}");
+    }
+
+    #[test]
+    fn bigger_driver_helps_long_wire() {
+        let (t, p) = setup();
+        let small = segment_delay(&t, &p, WireGeometry::MIN_PITCH, 2e-3, 5.0);
+        let big = segment_delay(&t, &p, WireGeometry::MIN_PITCH, 2e-3, 80.0);
+        assert!(big < small);
+    }
+
+    #[test]
+    fn stage_delay_matches_hand_computation() {
+        // Hand-checked Eq. 1 instance.
+        let d = stage_delay(1000.0, 1e-15, 2e-15, 500.0, 10e-15);
+        let expected = ELMORE_50PCT * (1000.0 * (13e-15) + 500.0 * (5e-15 + 2e-15));
+        assert!((d - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn area_factor_of_geometry() {
+        assert_eq!(WireGeometry::MIN_PITCH.area_factor(), 1.0);
+        let l = WireGeometry {
+            width_f: 4.0,
+            spacing_f: 4.0,
+        };
+        assert_eq!(l.area_factor(), 4.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Repeater insertion: delay-optimal and power-optimal designs.
+//!
+//! Repeaters break the quadratic dependence of wire delay on length into a
+//! linear one (Section 3.2). Delay-optimal insertion uses large repeaters
+//! at short spacing; Banerjee & Mehrotra showed that accepting a small
+//! delay penalty allows far smaller/sparser repeaters and large power
+//! savings — that trade-off is what produces PW-Wires.
+//!
+//! Both designs are found numerically: a coarse log-space grid over
+//! (segment length, repeater size) followed by local refinement. The
+//! closed-form optima exist for the delay case, but the numeric search
+//! handles the power-constrained case uniformly and is fast enough to run
+//! in tests (~10⁴ evaluations).
+
+use crate::rc::{segment_delay, WireGeometry};
+use crate::tech::{PlaneParams, Tech65};
+
+/// A repeated-wire design: segment length and repeater size, plus the
+/// per-metre figures of merit that follow from them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepeatedWire {
+    /// Distance between repeaters (m).
+    pub segment_len_m: f64,
+    /// Repeater size in multiples of a minimum inverter.
+    pub repeater_size: f64,
+    /// Signal propagation delay per metre (s/m).
+    pub delay_per_m: f64,
+    /// Dynamic energy per metre per signal transition (J/m) — Eq. 3
+    /// divided by `α·f`.
+    pub dyn_energy_per_m: f64,
+    /// Leakage power per metre (W/m) — Eq. 4 times repeaters-per-metre.
+    pub leakage_per_m: f64,
+}
+
+/// Figures of merit for a candidate `(segment_len, size)` design.
+fn evaluate(
+    tech: &Tech65,
+    plane: &PlaneParams,
+    geom: WireGeometry,
+    l: f64,
+    s: f64,
+) -> RepeatedWire {
+    let delay_seg = segment_delay(tech, plane, geom, l, s);
+    let c_wire_seg = plane.c_per_m(geom.width_f, geom.spacing_f) * l;
+    let c_rep = (tech.c_gate_min + tech.c_diff_min) * s;
+    // Eq. 3 per segment, expressed as energy per transition:
+    //   E = (s(Cg+Cd) + l·c_wire) · Vdd²
+    let e_seg = (c_rep + c_wire_seg) * tech.vdd * tech.vdd;
+    let leak_seg = tech.repeater_leakage_w(s);
+    RepeatedWire {
+        segment_len_m: l,
+        repeater_size: s,
+        delay_per_m: delay_seg / l,
+        dyn_energy_per_m: e_seg / l,
+        leakage_per_m: leak_seg / l,
+    }
+}
+
+/// Grid-search helper: scan log-spaced `(l, s)` candidates, keep the best
+/// according to `cost`, then refine around it twice.
+fn search(
+    tech: &Tech65,
+    plane: &PlaneParams,
+    geom: WireGeometry,
+    mut cost: impl FnMut(&RepeatedWire) -> f64,
+) -> RepeatedWire {
+    let mut best: Option<(f64, RepeatedWire)> = None;
+    let mut consider = |w: RepeatedWire, best: &mut Option<(f64, RepeatedWire)>| {
+        let c = cost(&w);
+        if c.is_finite() && best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+            *best = Some((c, w));
+        }
+    };
+
+    // Coarse pass: segment length 50 µm .. 10 mm, size 1 .. 1000.
+    let steps = 40;
+    for i in 0..=steps {
+        let l = 50e-6 * (10e-3f64 / 50e-6).powf(i as f64 / steps as f64);
+        for j in 0..=steps {
+            let s = 1.0 * (1000.0f64 / 1.0).powf(j as f64 / steps as f64);
+            consider(evaluate(tech, plane, geom, l, s), &mut best);
+        }
+    }
+    // Two refinement passes around the incumbent.
+    for _ in 0..2 {
+        let (_, b) = best.expect("coarse pass found a candidate");
+        let (l0, s0) = (b.segment_len_m, b.repeater_size);
+        for i in 0..=steps {
+            let l = l0 * 0.5 * 4.0f64.powf(i as f64 / steps as f64 / 2.0);
+            for j in 0..=steps {
+                let s = (s0 * 0.5 * 4.0f64.powf(j as f64 / steps as f64 / 2.0)).max(1.0);
+                consider(evaluate(tech, plane, geom, l, s), &mut best);
+            }
+        }
+    }
+    best.expect("search found a design").1
+}
+
+/// Delay-optimal repeater insertion for the given plane and geometry.
+pub fn delay_optimal(tech: &Tech65, plane: &PlaneParams, geom: WireGeometry) -> RepeatedWire {
+    search(tech, plane, geom, |w| w.delay_per_m)
+}
+
+/// Power-optimal repeater insertion subject to a delay budget: minimises
+/// `dynamic + leakage` energy proxy while keeping delay within
+/// `delay_penalty ×` the delay-optimal design (Banerjee & Mehrotra's
+/// methodology, Section 3.2). `activity` weighs dynamic energy against
+/// leakage (switching factor × clock; leakage is always on).
+pub fn power_optimal(
+    tech: &Tech65,
+    plane: &PlaneParams,
+    geom: WireGeometry,
+    delay_penalty: f64,
+    activity_hz: f64,
+) -> RepeatedWire {
+    assert!(delay_penalty >= 1.0, "penalty must allow at least optimum");
+    let budget = delay_optimal(tech, plane, geom).delay_per_m * delay_penalty;
+    search(tech, plane, geom, |w| {
+        if w.delay_per_m <= budget {
+            w.dyn_energy_per_m * activity_hz + w.leakage_per_m
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::MetalPlane;
+
+    fn setup() -> (Tech65, PlaneParams) {
+        let t = Tech65::default();
+        let p = *t.plane(MetalPlane::EightX);
+        (t, p)
+    }
+
+    #[test]
+    fn delay_optimal_8x_is_in_published_window() {
+        let (t, p) = setup();
+        let opt = delay_optimal(&t, &p, WireGeometry::MIN_PITCH);
+        let ps_per_mm = opt.delay_per_m * 1e12 * 1e-3;
+        // Repeated 65 nm global wires: published optimal delays are
+        // ~50-100 ps/mm. This window also validates the B-Wire hop
+        // latency used by the NoC (5 mm -> ~2 cycles at 4 GHz).
+        assert!(
+            (40.0..=120.0).contains(&ps_per_mm),
+            "delay-optimal 8X wire = {ps_per_mm} ps/mm"
+        );
+        // sensible physical design: repeaters every 0.1-3 mm, size 10-500x
+        assert!((0.1e-3..=3e-3).contains(&opt.segment_len_m));
+        assert!((10.0..=500.0).contains(&opt.repeater_size));
+    }
+
+    #[test]
+    fn repeated_beats_unrepeated_on_long_wires() {
+        let (t, p) = setup();
+        let opt = delay_optimal(&t, &p, WireGeometry::MIN_PITCH);
+        // At 20 mm the quadratic RwCw term rules: repeaters must win by a
+        // wide margin even against an optimally sized single driver.
+        let repeated = opt.delay_per_m * 20e-3;
+        let unrepeated = (1..=400)
+            .map(|s| {
+                crate::rc::unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 20e-3, s as f64)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            repeated < unrepeated / 2.0,
+            "repeated {repeated} vs best unrepeated {unrepeated}"
+        );
+    }
+
+    #[test]
+    fn wider_geometry_is_faster_at_optimum() {
+        let (t, p) = setup();
+        let base = delay_optimal(&t, &p, WireGeometry::MIN_PITCH);
+        let lwire = delay_optimal(
+            &t,
+            &p,
+            WireGeometry {
+                width_f: 4.0,
+                spacing_f: 4.0,
+            },
+        );
+        let ratio = lwire.delay_per_m / base.delay_per_m;
+        // Table 2: L-Wires (4x area on both axes) halve latency. The RC
+        // model should land near 0.5x.
+        assert!(
+            (0.4..=0.7).contains(&ratio),
+            "L/B delay ratio = {ratio}, expected ~0.5"
+        );
+    }
+
+    #[test]
+    fn power_optimal_trades_delay_for_power() {
+        let (t, p) = setup();
+        let geom = WireGeometry::MIN_PITCH;
+        let d_opt = delay_optimal(&t, &p, geom);
+        let p_opt = power_optimal(&t, &p, geom, 2.0, 0.5 * 4.0e9);
+        // meets the delay budget
+        assert!(p_opt.delay_per_m <= d_opt.delay_per_m * 2.0 * 1.0001);
+        // but actually uses the slack: slower than optimal
+        assert!(p_opt.delay_per_m > d_opt.delay_per_m * 1.2);
+        // and pays less energy+leakage
+        let cost = |w: &RepeatedWire| w.dyn_energy_per_m * 2e9 + w.leakage_per_m;
+        assert!(
+            cost(&p_opt) < cost(&d_opt) * 0.8,
+            "power-optimal should save >20%: {} vs {}",
+            cost(&p_opt),
+            cost(&d_opt)
+        );
+        // smaller and/or sparser repeaters (Eq. 3/4 intuition)
+        assert!(
+            p_opt.repeater_size < d_opt.repeater_size
+                || p_opt.segment_len_m > d_opt.segment_len_m
+        );
+    }
+
+    #[test]
+    fn four_x_plane_is_slower_than_eight_x() {
+        let t = Tech65::default();
+        let d8 = delay_optimal(&t, t.plane(MetalPlane::EightX), WireGeometry::MIN_PITCH);
+        let d4 = delay_optimal(&t, t.plane(MetalPlane::FourX), WireGeometry::MIN_PITCH);
+        let ratio = d4.delay_per_m / d8.delay_per_m;
+        // Table 2: B-Wire on 4X plane is 1.6x the latency of 8X.
+        assert!(
+            (1.3..=2.2).contains(&ratio),
+            "4X/8X delay ratio = {ratio}, expected ~1.6"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must allow")]
+    fn power_optimal_rejects_sub_unity_penalty() {
+        let (t, p) = setup();
+        power_optimal(&t, &p, WireGeometry::MIN_PITCH, 0.9, 1e9);
+    }
+}

@@ -1,0 +1,198 @@
+//! 65 nm technology parameters for the wire and repeater models.
+//!
+//! The absolute values are representative published numbers for a 65 nm
+//! process (Ho, Mai & Horowitz, "The Future of Wires"; ITRS 2005 global
+//! interconnect tables). The experiments only consume *relative* quantities
+//! (Tables 2 and 3 of the paper are expressed relative to B-Wires), so the
+//! calibration requirement on these constants is loose: the derived B-Wire
+//! delay must land in the published 60–100 ps/mm window for repeated global
+//! wires at 65 nm, which the tests check.
+
+/// Metal plane a wire is routed on. The paper assumes a 10-layer stack with
+/// 4 layers in the 1X plane and 2 layers in each of the 2X, 4X and 8X
+/// planes; global inter-core wires use the 4X and 8X planes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MetalPlane {
+    /// Semi-global plane: half the pitch and thickness of 8X, so roughly
+    /// four times the resistance per unit length.
+    FourX,
+    /// Fat global plane: widest, thickest, lowest-resistance wires.
+    EightX,
+}
+
+/// Per-plane electrical parameters for a minimum-pitch wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlaneParams {
+    /// Resistance per metre of a minimum-width wire on this plane (Ω/m).
+    pub r_per_m: f64,
+    /// Ground (plate + fringe) capacitance per metre (F/m) of a
+    /// minimum-width wire.
+    pub c_ground_per_m: f64,
+    /// Coupling capacitance per metre to both neighbours at minimum
+    /// spacing (F/m).
+    pub c_couple_per_m: f64,
+}
+
+impl PlaneParams {
+    /// Total capacitance per metre for a wire whose width and spacing are
+    /// scaled by `width_f` and `spacing_f` relative to minimum pitch.
+    /// Ground capacitance grows with width; coupling capacitance shrinks
+    /// with spacing.
+    #[inline]
+    pub fn c_per_m(&self, width_f: f64, spacing_f: f64) -> f64 {
+        self.c_ground_per_m * width_f + self.c_couple_per_m / spacing_f
+    }
+
+    /// Resistance per metre for a wire `width_f` times minimum width.
+    #[inline]
+    pub fn r_per_m(&self, width_f: f64) -> f64 {
+        self.r_per_m / width_f
+    }
+}
+
+/// Device and interconnect parameters at 65 nm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tech65 {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Output resistance of a minimum-sized inverter (Ω).
+    pub r_drv_min: f64,
+    /// Gate capacitance of a minimum-sized inverter (F).
+    pub c_gate_min: f64,
+    /// Diffusion (parasitic drain) capacitance of a minimum-sized
+    /// inverter (F).
+    pub c_diff_min: f64,
+    /// Subthreshold leakage current per unit NMOS transistor width (A/m).
+    pub i_off_n_per_m: f64,
+    /// Subthreshold leakage current per unit PMOS transistor width (A/m).
+    pub i_off_p_per_m: f64,
+    /// NMOS width of a minimum-sized inverter (m).
+    pub w_n_min: f64,
+    /// PMOS width of a minimum-sized inverter (m).
+    pub w_p_min: f64,
+    /// Semi-global (4X) plane wires.
+    pub plane_4x: PlaneParams,
+    /// Global (8X) plane wires.
+    pub plane_8x: PlaneParams,
+}
+
+impl Default for Tech65 {
+    /// Representative 65 nm parameters.
+    ///
+    /// * `r_drv_min`/`c_gate_min` give a minimum-inverter intrinsic delay
+    ///   `R·C ≈ 11 ps`, i.e. an FO4 of ≈ 25 ps — the textbook 65 nm value
+    ///   (FO4 ≈ 400 ps/µm × L_gate).
+    /// * 8X wires: ≈ 40 Ω/mm and 0.25 pF/mm (coupling-dominated, 80/20
+    ///   split between coupling and ground at minimum pitch).
+    /// * 4X wires: ≈ 4× the resistance at ≈ the same capacitance per mm.
+    fn default() -> Self {
+        Tech65 {
+            vdd: 1.1,
+            // Effective switching resistance of a minimum inverter,
+            // including slope/short-circuit effects (2-3x the ideal
+            // on-resistance).
+            r_drv_min: 30.0e3,
+            c_gate_min: 1.3e-15,
+            c_diff_min: 0.6e-15,
+            // ~25 nA/µm NMOS, ~15 nA/µm PMOS subthreshold leakage
+            i_off_n_per_m: 25.0e-3,
+            i_off_p_per_m: 15.0e-3,
+            w_n_min: 0.13e-6,
+            w_p_min: 0.26e-6,
+            // Cu wires with barrier layers: ~0.4 um wide/thick on the 8X
+            // plane (~110 ohm/mm), half the cross-section on 4X
+            // (~440 ohm/mm).
+            plane_4x: PlaneParams {
+                r_per_m: 440.0e3,
+                c_ground_per_m: 50.0e-12,
+                c_couple_per_m: 210.0e-12,
+            },
+            plane_8x: PlaneParams {
+                r_per_m: 110.0e3,
+                c_ground_per_m: 50.0e-12,
+                c_couple_per_m: 200.0e-12,
+            },
+        }
+    }
+}
+
+impl Tech65 {
+    /// Parameters of the given metal plane.
+    pub fn plane(&self, plane: MetalPlane) -> &PlaneParams {
+        match plane {
+            MetalPlane::FourX => &self.plane_4x,
+            MetalPlane::EightX => &self.plane_8x,
+        }
+    }
+
+    /// Intrinsic time constant of a repeater stage: the output resistance
+    /// of a size-`s` inverter times its own load. Independent of `s` to
+    /// first order (resistance scales 1/s, capacitance scales s).
+    pub fn tau_inv(&self) -> f64 {
+        self.r_drv_min * (self.c_gate_min + self.c_diff_min)
+    }
+
+    /// Leakage power of one repeater of size `s` (Eq. 4 of the paper):
+    /// `P = Vdd · ½ (Ioff_N·W_Nmin + Ioff_P·W_Pmin) · s`.
+    pub fn repeater_leakage_w(&self, s: f64) -> f64 {
+        self.vdd
+            * 0.5
+            * (self.i_off_n_per_m * self.w_n_min + self.i_off_p_per_m * self.w_p_min)
+            * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_inv_is_near_published_fo1() {
+        let t = Tech65::default();
+        let tau_ps = t.tau_inv() * 1e12;
+        // minimum-inverter effective intrinsic delay at 65 nm (including
+        // slope effects): tens of picoseconds
+        assert!(
+            (15.0..=80.0).contains(&tau_ps),
+            "tau_inv = {tau_ps} ps out of 65nm range"
+        );
+    }
+
+    #[test]
+    fn plane_scaling_behaves() {
+        let t = Tech65::default();
+        let p = t.plane(MetalPlane::EightX);
+        // doubling width halves resistance
+        assert!((p.r_per_m(2.0) - p.r_per_m / 2.0).abs() < 1e-9);
+        // doubling spacing reduces total capacitance
+        assert!(p.c_per_m(1.0, 2.0) < p.c_per_m(1.0, 1.0));
+        // doubling width increases total capacitance (more ground cap)
+        assert!(p.c_per_m(2.0, 1.0) > p.c_per_m(1.0, 1.0));
+        // 4X wires are more resistive than 8X wires
+        assert!(t.plane_4x.r_per_m > t.plane_8x.r_per_m);
+    }
+
+    #[test]
+    fn coupling_dominates_at_min_pitch() {
+        // 65 nm global wires are coupling-dominated: the model gives the
+        // coupling component ~80% of total at minimum pitch, which is what
+        // lets L-Wires reach the published 0.5x latency at 4x area.
+        let t = Tech65::default();
+        let p = t.plane(MetalPlane::EightX);
+        let frac = p.c_couple_per_m / (p.c_couple_per_m + p.c_ground_per_m);
+        assert!(
+            (0.7..=0.9).contains(&frac),
+            "coupling fraction {frac} should be ~0.8"
+        );
+    }
+
+    #[test]
+    fn repeater_leakage_scales_with_size() {
+        let t = Tech65::default();
+        let p1 = t.repeater_leakage_w(1.0);
+        let p100 = t.repeater_leakage_w(100.0);
+        assert!((p100 / p1 - 100.0).abs() < 1e-9);
+        // a 100x repeater should leak on the order of hundreds of nW
+        assert!(p100 > 1e-8 && p100 < 1e-4, "p100 = {p100} W");
+    }
+}

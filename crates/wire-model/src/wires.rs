@@ -1,0 +1,381 @@
+//! Wire classes and their published characteristics (Tables 2 and 3).
+//!
+//! Table 2 (from Cheng et al., ISCA 2006) covers the baseline and
+//! previously proposed classes; Table 3 is this paper's contribution — the
+//! **VL-Wires** obtained by pouring the area slack freed by address
+//! compression into very wide, very sparse wires on the 8X plane.
+//!
+//! ### A note on units
+//!
+//! The published tables label the static-power column "W/m". Taken
+//! literally, a 75-byte link of 5 mm would leak 3.1 W and the 48 links of a
+//! 4×4 mesh 147 W — more than the sixteen cores together, and inconsistent
+//! with the per-application behaviour of Figure 6 (low-traffic applications
+//! would all see ~50 % link-energy savings from the static reduction alone,
+//! where the paper reports ~20 %). Our first-principles repeater model
+//! ([`crate::repeater`]) computes ≈ 1 mW/m of leakage per delay-optimally
+//! repeated minimum-pitch 8X wire — exactly the printed *numeral*, three
+//! orders of magnitude down. We therefore interpret the column as **mW/m**;
+//! the `static_w_per_m()` accessor applies the conversion. The dynamic
+//! coefficient (`2.65 α W/m` for B-8X) is consistent with physics as
+//! printed (≈ 0.3 pJ/mm per transition including repeater capacitance) and
+//! is used unchanged, with the paper's 4 GHz clock as the reference
+//! frequency.
+
+use crate::repeater::{delay_optimal, power_optimal};
+use crate::rc::WireGeometry;
+use crate::tech::{MetalPlane, Tech65};
+
+/// Reference clock frequency the dynamic-power coefficients are quoted at
+/// (the paper's 4 GHz cores, Table 4).
+pub const F_REF_HZ: f64 = 4.0e9;
+
+/// Absolute propagation delay of the baseline wire (B-Wire, 8X plane) in
+/// picoseconds per millimetre. 80 ps/mm sits in the published 60–100 ps/mm
+/// window for delay-optimally repeated 65 nm global wires and is validated
+/// against the RC model in the tests. All other classes scale from this by
+/// their relative latency.
+pub const B8X_PS_PER_MM: f64 = 80.0;
+
+/// Width options for VL-Wires (Table 3). The width is the whole compressed
+/// message: 3 bytes of control (enough for a coherence reply), or 3 bytes
+/// of control plus 1–2 bytes of uncompressed low-order address bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VlWidth {
+    /// 24 wires — control-only messages.
+    ThreeBytes,
+    /// 32 wires — control + 1 low-order byte.
+    FourBytes,
+    /// 40 wires — control + 2 low-order bytes.
+    FiveBytes,
+}
+
+impl VlWidth {
+    /// All widths, in Table 3 order.
+    pub const ALL: [VlWidth; 3] = [VlWidth::ThreeBytes, VlWidth::FourBytes, VlWidth::FiveBytes];
+
+    /// Channel width in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            VlWidth::ThreeBytes => 3,
+            VlWidth::FourBytes => 4,
+            VlWidth::FiveBytes => 5,
+        }
+    }
+
+    /// The VL width needed to carry a compressed message with `low_order`
+    /// uncompressed low-order address bytes (Section 4.3: 4 or 5 bytes for
+    /// 1 or 2 low-order bytes).
+    pub fn for_low_order_bytes(low_order: usize) -> VlWidth {
+        match low_order {
+            0 => VlWidth::ThreeBytes,
+            1 => VlWidth::FourBytes,
+            2 => VlWidth::FiveBytes,
+            other => panic!("unsupported low-order byte count {other}"),
+        }
+    }
+}
+
+/// The wire implementations considered in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WireClass {
+    /// Baseline wire on the 8X plane — the 75-byte links of Table 4.
+    B8X,
+    /// Baseline wire on the 4X plane (denser, slower).
+    B4X,
+    /// Bandwidth-optimised low-latency wire (Cheng et al.): 2× faster,
+    /// 4× area.
+    L8X,
+    /// Power-optimised wire: fewer/smaller repeaters, 3.2× latency, same
+    /// area as B-4X.
+    PW4X,
+    /// This paper's very-low-latency wires, sized for a whole compressed
+    /// message.
+    VL(VlWidth),
+}
+
+/// Published per-wire characteristics, relative to B-Wire on the 8X plane
+/// (Tables 2 and 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireProps {
+    /// Latency relative to B-8X (lower is faster).
+    pub rel_latency: f64,
+    /// Area (pitch) per wire relative to B-8X.
+    pub rel_area: f64,
+    /// Dynamic power coefficient: `P = coeff · α` W/m at [`F_REF_HZ`].
+    pub dyn_coeff_w_per_m: f64,
+    /// Static (leakage) power per wire in **mW/m** (see module docs for
+    /// the unit discussion).
+    pub static_mw_per_m: f64,
+}
+
+impl WireProps {
+    /// Static power in W/m (after the mW/m unit interpretation).
+    #[inline]
+    pub fn static_w_per_m(&self) -> f64 {
+        self.static_mw_per_m * 1e-3
+    }
+
+    /// Dynamic energy per signal transition per metre of wire (J/m):
+    /// the coefficient divided by the reference clock.
+    #[inline]
+    pub fn dyn_energy_per_transition_per_m(&self) -> f64 {
+        self.dyn_coeff_w_per_m / F_REF_HZ
+    }
+}
+
+impl WireClass {
+    /// Every class, Table 2 rows then Table 3 rows.
+    pub const ALL: [WireClass; 7] = [
+        WireClass::B8X,
+        WireClass::B4X,
+        WireClass::L8X,
+        WireClass::PW4X,
+        WireClass::VL(VlWidth::ThreeBytes),
+        WireClass::VL(VlWidth::FourBytes),
+        WireClass::VL(VlWidth::FiveBytes),
+    ];
+
+    /// The published characteristics of this wire class (Tables 2 and 3).
+    pub fn props(self) -> WireProps {
+        match self {
+            WireClass::B8X => WireProps {
+                rel_latency: 1.0,
+                rel_area: 1.0,
+                dyn_coeff_w_per_m: 2.65,
+                static_mw_per_m: 1.0246,
+            },
+            WireClass::B4X => WireProps {
+                rel_latency: 1.6,
+                rel_area: 0.5,
+                dyn_coeff_w_per_m: 2.9,
+                static_mw_per_m: 1.1578,
+            },
+            WireClass::L8X => WireProps {
+                rel_latency: 0.5,
+                rel_area: 4.0,
+                dyn_coeff_w_per_m: 1.46,
+                static_mw_per_m: 0.5670,
+            },
+            WireClass::PW4X => WireProps {
+                rel_latency: 3.2,
+                rel_area: 0.5,
+                dyn_coeff_w_per_m: 0.87,
+                static_mw_per_m: 0.3074,
+            },
+            WireClass::VL(VlWidth::ThreeBytes) => WireProps {
+                rel_latency: 0.27,
+                rel_area: 14.0,
+                dyn_coeff_w_per_m: 0.87,
+                static_mw_per_m: 0.3065,
+            },
+            WireClass::VL(VlWidth::FourBytes) => WireProps {
+                rel_latency: 0.31,
+                rel_area: 10.0,
+                dyn_coeff_w_per_m: 1.00,
+                static_mw_per_m: 0.3910,
+            },
+            WireClass::VL(VlWidth::FiveBytes) => WireProps {
+                rel_latency: 0.35,
+                rel_area: 8.0,
+                dyn_coeff_w_per_m: 1.13,
+                static_mw_per_m: 0.4395,
+            },
+        }
+    }
+
+    /// Absolute propagation delay in picoseconds for a wire of this class
+    /// spanning `length_mm`.
+    pub fn delay_ps(self, length_mm: f64) -> f64 {
+        B8X_PS_PER_MM * self.props().rel_latency * length_mm
+    }
+
+    /// The metal plane this class is routed on.
+    pub fn plane(self) -> MetalPlane {
+        match self {
+            WireClass::B8X | WireClass::L8X | WireClass::VL(_) => MetalPlane::EightX,
+            WireClass::B4X | WireClass::PW4X => MetalPlane::FourX,
+        }
+    }
+
+    /// The geometry used by the first-principles validation of this class
+    /// (`None` for VL-Wires, whose published numbers we take as given — the
+    /// simple pitch model saturates before reaching 0.27×; the authors
+    /// derive them with full repeater re-optimisation at extreme widths).
+    pub fn validation_geometry(self) -> Option<WireGeometry> {
+        match self {
+            WireClass::B8X | WireClass::B4X => Some(WireGeometry::MIN_PITCH),
+            WireClass::L8X => Some(WireGeometry {
+                width_f: 4.0,
+                spacing_f: 4.0,
+            }),
+            WireClass::PW4X => Some(WireGeometry::MIN_PITCH),
+            WireClass::VL(_) => None,
+        }
+    }
+}
+
+/// Derive the latency of a wire class relative to B-8X from the
+/// first-principles RC/repeater model. Used by tests and the Table 2
+/// reproduction binary to show the published constants are consistent with
+/// Eq. (1); the published values remain authoritative for simulation.
+pub fn derived_rel_latency(tech: &Tech65, class: WireClass) -> Option<f64> {
+    let geom = class.validation_geometry()?;
+    let base = delay_optimal(tech, tech.plane(MetalPlane::EightX), WireGeometry::MIN_PITCH);
+    let wire = match class {
+        WireClass::PW4X => power_optimal(tech, tech.plane(class.plane()), geom, 2.0, 0.5 * F_REF_HZ),
+        _ => delay_optimal(tech, tech.plane(class.plane()), geom),
+    };
+    Some(wire.delay_per_m / base.delay_per_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants_as_published() {
+        let b8 = WireClass::B8X.props();
+        assert_eq!(
+            (b8.rel_latency, b8.rel_area, b8.dyn_coeff_w_per_m, b8.static_mw_per_m),
+            (1.0, 1.0, 2.65, 1.0246)
+        );
+        let b4 = WireClass::B4X.props();
+        assert_eq!(
+            (b4.rel_latency, b4.rel_area, b4.dyn_coeff_w_per_m, b4.static_mw_per_m),
+            (1.6, 0.5, 2.9, 1.1578)
+        );
+        let l = WireClass::L8X.props();
+        assert_eq!(
+            (l.rel_latency, l.rel_area, l.dyn_coeff_w_per_m, l.static_mw_per_m),
+            (0.5, 4.0, 1.46, 0.5670)
+        );
+        let pw = WireClass::PW4X.props();
+        assert_eq!(
+            (pw.rel_latency, pw.rel_area, pw.dyn_coeff_w_per_m, pw.static_mw_per_m),
+            (3.2, 0.5, 0.87, 0.3074)
+        );
+    }
+
+    #[test]
+    fn table3_constants_as_published() {
+        let v3 = WireClass::VL(VlWidth::ThreeBytes).props();
+        assert_eq!((v3.rel_latency, v3.rel_area), (0.27, 14.0));
+        assert_eq!((v3.dyn_coeff_w_per_m, v3.static_mw_per_m), (0.87, 0.3065));
+        let v4 = WireClass::VL(VlWidth::FourBytes).props();
+        assert_eq!((v4.rel_latency, v4.rel_area), (0.31, 10.0));
+        assert_eq!((v4.dyn_coeff_w_per_m, v4.static_mw_per_m), (1.00, 0.3910));
+        let v5 = WireClass::VL(VlWidth::FiveBytes).props();
+        assert_eq!((v5.rel_latency, v5.rel_area), (0.35, 8.0));
+        assert_eq!((v5.dyn_coeff_w_per_m, v5.static_mw_per_m), (1.13, 0.4395));
+    }
+
+    #[test]
+    fn rc_model_reproduces_table2_relative_latencies() {
+        let tech = Tech65::default();
+        let tol = |published: f64, derived: f64| (derived / published - 1.0).abs() < 0.35;
+        for (class, published) in [
+            (WireClass::B4X, 1.6),
+            (WireClass::L8X, 0.5),
+            (WireClass::PW4X, 3.2),
+        ] {
+            let derived = derived_rel_latency(&tech, class).unwrap();
+            assert!(
+                tol(published, derived),
+                "{class:?}: derived {derived:.2} vs published {published}"
+            );
+        }
+        // B-8X is the reference: exactly 1.
+        let b8 = derived_rel_latency(&tech, WireClass::B8X).unwrap();
+        assert!((b8 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_power_interpretation_matches_physics() {
+        // The repeater model's leakage for a delay-optimal min-pitch 8X
+        // wire should be within ~3x of the published 1.0246 mW/m — it
+        // would be off by 1000x if the column really meant W/m.
+        let tech = Tech65::default();
+        let opt = delay_optimal(
+            &tech,
+            tech.plane(MetalPlane::EightX),
+            WireGeometry::MIN_PITCH,
+        );
+        let published = WireClass::B8X.props().static_w_per_m();
+        let ratio = opt.leakage_per_m / published;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "derived leakage {} W/m vs published {} W/m (ratio {ratio})",
+            opt.leakage_per_m,
+            published
+        );
+    }
+
+    #[test]
+    fn dynamic_power_interpretation_matches_physics() {
+        // Published: 2.65 W/m at alpha=1 and 4 GHz => 0.66 pJ per
+        // transition per mm. The RC model (wire + repeater capacitance at
+        // the delay-optimal design) should land within ~3x.
+        let tech = Tech65::default();
+        let opt = delay_optimal(
+            &tech,
+            tech.plane(MetalPlane::EightX),
+            WireGeometry::MIN_PITCH,
+        );
+        let published = WireClass::B8X.props().dyn_energy_per_transition_per_m();
+        let ratio = opt.dyn_energy_per_m / published;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "derived {} J/m vs published {} J/m (ratio {ratio})",
+            opt.dyn_energy_per_m,
+            published
+        );
+    }
+
+    #[test]
+    fn vl_area_factors_fill_the_slack_of_a_75_byte_link() {
+        // Section 4.3: 75-byte link = 600 wire tracks; the proposal keeps
+        // 34 bytes (272 tracks) of B-Wires and gives the remaining 328
+        // tracks to the VL channel. Table 3's area factors are exactly the
+        // slack divided by the VL wire count (rounded).
+        let slack_tracks = (75 - 34) * 8; // 328
+        for vl in VlWidth::ALL {
+            let wires = vl.bytes() * 8;
+            let implied_area = slack_tracks as f64 / wires as f64;
+            let published = WireClass::VL(vl).props().rel_area;
+            assert!(
+                (implied_area / published - 1.0).abs() < 0.05,
+                "{vl:?}: implied {implied_area:.2} vs published {published}"
+            );
+        }
+    }
+
+    #[test]
+    fn vl_latency_monotone_in_width() {
+        // Narrower VL channels have more area per wire, hence lower
+        // latency (Table 3: 0.27 < 0.31 < 0.35).
+        let lat: Vec<f64> = VlWidth::ALL
+            .iter()
+            .map(|&w| WireClass::VL(w).props().rel_latency)
+            .collect();
+        assert!(lat[0] < lat[1] && lat[1] < lat[2]);
+        // all faster than L-Wires
+        assert!(lat[2] < WireClass::L8X.props().rel_latency);
+    }
+
+    #[test]
+    fn absolute_delays_scale_from_b8x() {
+        let five_mm_b = WireClass::B8X.delay_ps(5.0);
+        assert_eq!(five_mm_b, 400.0);
+        let five_mm_vl4 = WireClass::VL(VlWidth::FourBytes).delay_ps(5.0);
+        assert!((five_mm_vl4 - 124.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vl_width_for_low_order_bytes() {
+        assert_eq!(VlWidth::for_low_order_bytes(0), VlWidth::ThreeBytes);
+        assert_eq!(VlWidth::for_low_order_bytes(1), VlWidth::FourBytes);
+        assert_eq!(VlWidth::for_low_order_bytes(2), VlWidth::FiveBytes);
+    }
+}

@@ -1,0 +1,418 @@
+//! The thirteen application profiles of Table 4.
+//!
+//! Parameters encode each application's published character (working-set
+//! sizes from Woo et al., sharing patterns from the SPLASH-2
+//! characterisation) at the granularity our generator understands. Three
+//! derived quantities matter for the reproduction:
+//!
+//! * **Interconnect sensitivity** — low `compute_per_ref` plus working
+//!   sets beyond the 32 KB L1 (512 lines) plus heavy sharing ⇒ execution
+//!   time responds to network latency (MP3D, Unstructured at one extreme;
+//!   Water, LU at the other — paper Section 5.2).
+//! * **Compression coverage** — sequential/strided structures in a compact
+//!   address space compress well; `Random` walks over widely-spread shared
+//!   regions (Barnes' tree, Radix's permutation, Raytrace's scene) defeat
+//!   small DBRC caches and stride deltas (Figure 2).
+//! * **Message mix** — migratory and producer–consumer sharing generate
+//!   coherence commands/replies; big private footprints generate
+//!   replacements (Figure 5).
+
+use crate::profile::{AppProfile, Pattern, Region, StructureSpec};
+
+/// Nominal memory references per core (scale 1.0).
+const REFS: u64 = 200_000;
+
+fn strided(weight: f64, lines: u64, stride: u64, run: f64, wf: f64) -> StructureSpec {
+    StructureSpec {
+        weight,
+        region: Region::Private { lines },
+        pattern: Pattern::Strided { stride, run_mean: run },
+        write_frac: wf,
+    }
+}
+
+fn shared_random(weight: f64, offset: u64, lines: u64, wf: f64) -> StructureSpec {
+    StructureSpec {
+        weight,
+        region: Region::Shared { offset_lines: offset, lines },
+        pattern: Pattern::Random,
+        write_frac: wf,
+    }
+}
+
+fn shared_strided(weight: f64, offset: u64, lines: u64, stride: u64, run: f64, wf: f64) -> StructureSpec {
+    StructureSpec {
+        weight,
+        region: Region::Shared { offset_lines: offset, lines },
+        pattern: Pattern::Strided { stride, run_mean: run },
+        write_frac: wf,
+    }
+}
+
+/// All thirteen applications, in the paper's figure order.
+pub fn all_apps() -> Vec<AppProfile> {
+    vec![
+        barnes(),
+        em3d(),
+        fft(),
+        lu_cont(),
+        lu_noncont(),
+        mp3d(),
+        ocean_cont(),
+        ocean_noncont(),
+        radix(),
+        raytrace(),
+        unstructured(),
+        water_nsq(),
+        water_spa(),
+    ]
+}
+
+/// Look an application up by its figure label.
+pub fn app_by_name(name: &str) -> Option<AppProfile> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+/// Barnes-Hut N-body (16 K bodies): tree walks are pointer chases over a
+/// large, irregularly-laid-out octree — the canonical low-coverage
+/// address stream of Figure 2 — with moderate body-update sharing.
+pub fn barnes() -> AppProfile {
+    AppProfile {
+        name: "Barnes",
+        refs_per_core: REFS,
+        compute_per_ref: 6.0,
+        locality_run: 24.0,
+        barriers: 8,
+        structures: vec![
+            // private body arrays: decent locality
+            strided(0.35, 1024, 1, 12.0, 0.25),
+            // the shared octree: 24 MB spread, random descent
+            shared_random(0.45, 0, 0x6_0000, 0.10),
+            // shared cell-lock region: small and hot
+            shared_random(0.20, 0x7_0000, 256, 0.45),
+        ],
+    }
+}
+
+/// Berkeley EM3D (9600 nodes, 5 % remote): static bipartite graph sweep —
+/// long sequential runs over node arrays with a small fraction of
+/// neighbour (remote-partition) reads.
+pub fn em3d() -> AppProfile {
+    AppProfile {
+        name: "EM3D",
+        refs_per_core: REFS,
+        compute_per_ref: 7.0,
+        locality_run: 64.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.94, 448, 1, 48.0, 0.30),
+            StructureSpec {
+                weight: 0.06,
+                region: Region::Partitioned { offset_lines: 0, lines_per_core: 1024 },
+                pattern: Pattern::NeighborExchange { boundary_lines: 96 },
+                write_frac: 0.35,
+            },
+        ],
+    }
+}
+
+/// FFT (256 K complex doubles): compute phases over private rows plus
+/// all-to-all transposes reading every partner's tile in turn.
+pub fn fft() -> AppProfile {
+    AppProfile {
+        name: "FFT",
+        refs_per_core: REFS,
+        compute_per_ref: 5.0,
+        locality_run: 96.0,
+        barriers: 6,
+        structures: vec![
+            strided(0.93, 512, 1, 64.0, 0.35),
+            StructureSpec {
+                weight: 0.07,
+                region: Region::Partitioned { offset_lines: 0, lines_per_core: 512 },
+                pattern: Pattern::RotatingPartner { phase_refs: 4_000 },
+                write_frac: 0.40,
+            },
+        ],
+    }
+}
+
+/// LU contiguous (256×256, B=8): blocked factorisation — dense strided
+/// private blocks, a read-mostly pivot block, little sharing. The paper's
+/// "low inter-core data sharing" example (1–2 % gains).
+pub fn lu_cont() -> AppProfile {
+    AppProfile {
+        name: "LU-cont",
+        refs_per_core: REFS,
+        compute_per_ref: 14.0,
+        locality_run: 96.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.80, 288, 1, 48.0, 0.40),
+            // pivot block broadcast: read-mostly
+            shared_strided(0.20, 0, 160, 1, 48.0, 0.002),
+        ],
+    }
+}
+
+/// LU non-contiguous: same computation, column-major strides — more L1
+/// conflict misses, same low sharing.
+pub fn lu_noncont() -> AppProfile {
+    AppProfile {
+        name: "LU-noncont",
+        refs_per_core: REFS,
+        compute_per_ref: 13.0,
+        locality_run: 64.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.80, 320, 8, 12.0, 0.40),
+            shared_strided(0.20, 0, 160, 8, 16.0, 0.002),
+        ],
+    }
+}
+
+/// MP3D (50 K particles): particles migrate between space cells — the
+/// classic migratory-sharing pathology. Little compute per reference, so
+/// the run is communication-bound: the paper's best case (~22–25 %).
+pub fn mp3d() -> AppProfile {
+    AppProfile {
+        name: "MP3D",
+        refs_per_core: REFS,
+        compute_per_ref: 2.0,
+        locality_run: 24.0,
+        barriers: 4,
+        structures: vec![
+            strided(0.47, 1024, 1, 16.0, 0.35),
+            // space-cell array: migratory read-modify-writes
+            StructureSpec {
+                weight: 0.23,
+                region: Region::Shared { offset_lines: 0, lines: 2048 },
+                pattern: Pattern::Migratory { objects: 1024 },
+                write_frac: 1.0,
+            },
+            shared_random(0.30, 0x1000, 2048, 0.30),
+        ],
+    }
+}
+
+/// Ocean contiguous (258×258 grids): red-black stencil sweeps with
+/// neighbour boundary exchange every iteration.
+pub fn ocean_cont() -> AppProfile {
+    AppProfile {
+        name: "Ocean-cont",
+        refs_per_core: REFS,
+        compute_per_ref: 5.0,
+        locality_run: 80.0,
+        barriers: 6,
+        structures: vec![
+            strided(0.95, 544, 1, 40.0, 0.45),
+            StructureSpec {
+                weight: 0.05,
+                region: Region::Partitioned { offset_lines: 0, lines_per_core: 640 },
+                pattern: Pattern::NeighborExchange { boundary_lines: 80 },
+                write_frac: 0.40,
+            },
+        ],
+    }
+}
+
+/// Ocean non-contiguous: the strided-grid variant — same exchange,
+/// column strides through private data.
+pub fn ocean_noncont() -> AppProfile {
+    AppProfile {
+        name: "Ocean-noncont",
+        refs_per_core: REFS,
+        compute_per_ref: 5.0,
+        locality_run: 48.0,
+        barriers: 6,
+        structures: vec![
+            strided(0.95, 544, 5, 12.0, 0.45),
+            StructureSpec {
+                weight: 0.05,
+                region: Region::Partitioned { offset_lines: 0, lines_per_core: 640 },
+                pattern: Pattern::NeighborExchange { boundary_lines: 80 },
+                write_frac: 0.40,
+            },
+        ],
+    }
+}
+
+/// Radix sort (2 M keys): the permutation phase scatters writes uniformly
+/// across every core's output partition — high traffic, and the second
+/// canonical low-coverage stream of Figure 2.
+pub fn radix() -> AppProfile {
+    AppProfile {
+        name: "Radix",
+        refs_per_core: REFS,
+        compute_per_ref: 2.0,
+        locality_run: 48.0,
+        barriers: 6,
+        structures: vec![
+            // sequential key reading
+            strided(0.35, 2048, 1, 96.0, 0.05),
+            // scatter into a 32 MB spread output space
+            shared_random(0.50, 0, 0x8_0000, 0.75),
+            // shared histogram: hot, read-modify-write
+            shared_random(0.15, 0x9_0000, 512, 0.50),
+        ],
+    }
+}
+
+/// Raytrace (car scene): read-mostly traversal of a large irregular BVH /
+/// scene database plus a small hot work queue.
+pub fn raytrace() -> AppProfile {
+    AppProfile {
+        name: "Raytrace",
+        refs_per_core: REFS,
+        compute_per_ref: 5.0,
+        locality_run: 24.0,
+        barriers: 2,
+        structures: vec![
+            strided(0.30, 768, 1, 10.0, 0.30),
+            // scene: 24 MB spread, random descent, read-only
+            shared_random(0.55, 0, 0x6_0000, 0.02),
+            // work-queue locks: migratory
+            StructureSpec {
+                weight: 0.15,
+                region: Region::Shared { offset_lines: 0x7_0000, lines: 128 },
+                pattern: Pattern::Migratory { objects: 64 },
+                write_frac: 1.0,
+            },
+        ],
+    }
+}
+
+/// Unstructured CFD (mesh.2K): irregular mesh edge sweeps touching both
+/// endpoints — heavy fine-grain sharing with writes, communication-bound
+/// like MP3D (the paper's other ~22–25 % case).
+pub fn unstructured() -> AppProfile {
+    AppProfile {
+        name: "Unstructured",
+        refs_per_core: REFS,
+        compute_per_ref: 2.0,
+        locality_run: 16.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.42, 1024, 1, 12.0, 0.30),
+            // mesh node data: random, shared, written
+            shared_random(0.40, 0, 4096, 0.35),
+            // edge-flux accumulators: migratory
+            StructureSpec {
+                weight: 0.18,
+                region: Region::Shared { offset_lines: 0x2000, lines: 1024 },
+                pattern: Pattern::Migratory { objects: 512 },
+                write_frac: 1.0,
+            },
+        ],
+    }
+}
+
+/// Water-nsquared (512 molecules): O(n²) force computation — compute
+/// dominated, tiny working set, little sharing: the paper's low-gain
+/// example alongside LU.
+pub fn water_nsq() -> AppProfile {
+    AppProfile {
+        name: "Water-nsq",
+        refs_per_core: REFS,
+        compute_per_ref: 16.0,
+        locality_run: 64.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.78, 256, 1, 32.0, 0.40),
+            // molecule records of other cores: read-mostly, compact
+            shared_strided(0.22, 0, 192, 1, 16.0, 0.005),
+        ],
+    }
+}
+
+/// Water-spatial: the cell-list variant — same character with slightly
+/// more neighbour traffic.
+pub fn water_spa() -> AppProfile {
+    AppProfile {
+        name: "Water-spa",
+        refs_per_core: REFS,
+        compute_per_ref: 15.0,
+        locality_run: 64.0,
+        barriers: 8,
+        structures: vec![
+            strided(0.70, 256, 1, 32.0, 0.40),
+            shared_strided(0.27, 0, 192, 1, 16.0, 0.005),
+            StructureSpec {
+                weight: 0.03,
+                region: Region::Partitioned { offset_lines: 0x1000, lines_per_core: 64 },
+                pattern: Pattern::NeighborExchange { boundary_lines: 16 },
+                write_frac: 0.35,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_apps_all_valid() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 13);
+        for app in &apps {
+            app.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<_> = all_apps().iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Barnes", "EM3D", "FFT", "LU-cont", "LU-noncont", "MP3D", "Ocean-cont",
+                "Ocean-noncont", "Radix", "Raytrace", "Unstructured", "Water-nsq", "Water-spa"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(app_by_name("MP3D").is_some());
+        assert!(app_by_name("mp3d").is_none(), "labels are exact");
+        assert!(app_by_name("Quake").is_none());
+    }
+
+    #[test]
+    fn compute_density_ordering_is_sane() {
+        // communication-bound apps have much less compute per reference
+        // than the compute-bound ones (drives Figure 6's spread)
+        let c = |n: &str| app_by_name(n).unwrap().compute_per_ref;
+        assert!(c("MP3D") < c("Water-nsq") / 3.0);
+        assert!(c("Unstructured") < c("LU-cont") / 3.0);
+    }
+
+    #[test]
+    fn irregular_apps_have_widely_spread_shared_regions() {
+        // the Figure 2 low-coverage trio should span multiple 4 MB DBRC
+        // base regions (65536 lines each)
+        for name in ["Barnes", "Radix", "Raytrace"] {
+            let app = app_by_name(name).unwrap();
+            let max_span = app
+                .structures
+                .iter()
+                .filter_map(|s| match s.region {
+                    Region::Shared { lines, .. } => Some(lines),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            assert!(max_span >= 4 * 65536, "{name} span {max_span} too compact");
+        }
+        // while the regular apps stay compact
+        for name in ["LU-cont", "Water-nsq", "EM3D"] {
+            let app = app_by_name(name).unwrap();
+            for s in &app.structures {
+                if let Region::Shared { lines, .. } = s.region {
+                    assert!(lines < 65536, "{name} unexpectedly spread");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Application profiles: a declarative description of memory behaviour.
+
+use cmp_common::types::Addr;
+
+/// Base line-address of per-core private regions.
+pub const PRIVATE_BASE: Addr = 0x2000;
+/// Line-address stride between consecutive cores' private regions
+/// (≈ 545 KB). Deliberately *not* a multiple of the L2 slice set span
+/// (512 sets × 16-line home interleave = 8192 lines): an aligned stride
+/// would pile every core's private region into the same L2 sets and
+/// thrash the shared cache with inclusion recalls — the simulated
+/// equivalent of page-colouring pathology.
+pub const PRIVATE_STRIDE: Addr = 8720;
+/// Base line-address of the shared region (≈ 10 MB into the address
+/// space, past every private region on a 16-core machine).
+pub const SHARED_BASE: Addr = 0x28000;
+
+/// Where a data structure lives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Region {
+    /// Per-core private data of `lines` cache lines, based at
+    /// `PRIVATE_BASE + core · PRIVATE_STRIDE`.
+    Private { lines: u64 },
+    /// A single shared structure of `lines` lines at
+    /// `SHARED_BASE + offset_lines`.
+    Shared { offset_lines: u64, lines: u64 },
+    /// A shared structure statically partitioned across cores
+    /// (`lines_per_core` each), e.g. grid rows or transpose tiles.
+    Partitioned { offset_lines: u64, lines_per_core: u64 },
+}
+
+impl Region {
+    /// Base line address of this region for `core` (of `cores`).
+    pub fn base(&self, core: usize, _cores: usize) -> Addr {
+        match *self {
+            Region::Private { .. } => PRIVATE_BASE + core as Addr * PRIVATE_STRIDE,
+            Region::Shared { offset_lines, .. } => SHARED_BASE + offset_lines,
+            Region::Partitioned { offset_lines, lines_per_core } => {
+                SHARED_BASE + offset_lines + core as Addr * lines_per_core
+            }
+        }
+    }
+
+    /// Lines in this (per-core) region.
+    pub fn lines(&self) -> u64 {
+        match *self {
+            Region::Private { lines } | Region::Shared { lines, .. } => lines,
+            Region::Partitioned { lines_per_core, .. } => lines_per_core,
+        }
+    }
+}
+
+/// How a structure is accessed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// Mostly-sequential walks: advance by `stride` lines for a run of
+    /// geometric mean `run_mean` accesses, then jump to a random position
+    /// (wrapping at the region end).
+    Strided { stride: u64, run_mean: f64 },
+    /// Uniformly random lines within the region (pointer chasing, hash
+    /// tables, permutations).
+    Random,
+    /// Stencil boundary exchange on a `Partitioned` region: reads target
+    /// the first `boundary_lines` of a neighbouring core's partition,
+    /// writes target the core's own boundary.
+    NeighborExchange { boundary_lines: u64 },
+    /// All-to-all transpose on a `Partitioned` region: the partner core
+    /// rotates every `phase_refs` references; reads walk the partner's
+    /// partition sequentially, writes walk the own partition.
+    RotatingPartner { phase_refs: u64 },
+    /// Migratory objects in a `Shared` region: pick one of `objects` hot
+    /// lines, read it and immediately write it (lock-protected updates
+    /// bouncing between cores).
+    Migratory { objects: u64 },
+}
+
+/// One data structure of an application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureSpec {
+    /// Relative probability of a reference landing here.
+    pub weight: f64,
+    /// Placement.
+    pub region: Region,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Fraction of references that are writes (ignored by `Migratory`,
+    /// which always read-modify-writes, and interpreted as the write-side
+    /// probability for `NeighborExchange`).
+    pub write_frac: f64,
+}
+
+/// A complete application profile.
+#[derive(Clone, Debug)]
+pub struct AppProfile {
+    /// Display name (matches the paper's figures).
+    pub name: &'static str,
+    /// Memory references per core at scale 1.0.
+    pub refs_per_core: u64,
+    /// Mean non-memory instructions between references (geometric).
+    pub compute_per_ref: f64,
+    /// Mean consecutive references served by the same structure before
+    /// the generator re-picks (loop-nest stickiness). Long runs are what
+    /// give real request streams their per-destination delta locality —
+    /// the property 2-byte Stride compression exploits (Figure 2).
+    pub locality_run: f64,
+    /// Number of global barriers over the run.
+    pub barriers: u32,
+    /// The data structures.
+    pub structures: Vec<StructureSpec>,
+}
+
+impl AppProfile {
+    /// Cumulative distribution over structure weights.
+    pub fn weight_cdf(&self) -> Vec<f64> {
+        let total: f64 = self.structures.iter().map(|s| s.weight).sum();
+        assert!(total > 0.0, "{}: no structure weight", self.name);
+        let mut acc = 0.0;
+        self.structures
+            .iter()
+            .map(|s| {
+                acc += s.weight / total;
+                acc
+            })
+            .collect()
+    }
+
+    /// References per core after applying `scale` (clamped to ≥ 1000 so
+    /// even smoke tests exercise every pattern).
+    pub fn scaled_refs(&self, scale: f64) -> u64 {
+        ((self.refs_per_core as f64 * scale) as u64).max(1000)
+    }
+
+    /// Sanity-check the profile.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.structures.is_empty() {
+            return Err(format!("{}: no structures", self.name));
+        }
+        for s in &self.structures {
+            if !(0.0..=1.0).contains(&s.write_frac) {
+                return Err(format!("{}: write_frac out of range", self.name));
+            }
+            if s.region.lines() == 0 {
+                return Err(format!("{}: empty region", self.name));
+            }
+            match (s.pattern, s.region) {
+                (Pattern::NeighborExchange { .. }, Region::Partitioned { .. })
+                | (Pattern::RotatingPartner { .. }, Region::Partitioned { .. }) => {}
+                (Pattern::NeighborExchange { .. }, _) | (Pattern::RotatingPartner { .. }, _) => {
+                    return Err(format!(
+                        "{}: exchange patterns need a partitioned region",
+                        self.name
+                    ));
+                }
+                (Pattern::Migratory { .. }, Region::Shared { .. }) => {}
+                (Pattern::Migratory { .. }, _) => {
+                    return Err(format!("{}: migratory needs a shared region", self.name));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_regions_do_not_overlap_shared() {
+        let p = Region::Private { lines: 4096 };
+        let last_core_end = p.base(15, 16) + 4096;
+        assert!(
+            last_core_end <= SHARED_BASE,
+            "core 15 private region runs into shared space"
+        );
+    }
+
+    #[test]
+    fn partitioned_bases_are_disjoint() {
+        let r = Region::Partitioned { offset_lines: 0, lines_per_core: 100 };
+        let b0 = r.base(0, 16);
+        let b1 = r.base(1, 16);
+        assert_eq!(b1 - b0, 100);
+    }
+
+    #[test]
+    fn weight_cdf_normalises() {
+        let p = AppProfile {
+            name: "t",
+            refs_per_core: 1000,
+            compute_per_ref: 1.0,
+        locality_run: 32.0,
+            barriers: 1,
+            structures: vec![
+                StructureSpec {
+                    weight: 1.0,
+                    region: Region::Private { lines: 10 },
+                    pattern: Pattern::Random,
+                    write_frac: 0.0,
+                },
+                StructureSpec {
+                    weight: 3.0,
+                    region: Region::Private { lines: 10 },
+                    pattern: Pattern::Random,
+                    write_frac: 0.0,
+                },
+            ],
+        };
+        let cdf = p.weight_cdf();
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+        assert!((cdf[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_patterns() {
+        let p = AppProfile {
+            name: "bad",
+            refs_per_core: 1000,
+            compute_per_ref: 1.0,
+        locality_run: 32.0,
+            barriers: 0,
+            structures: vec![StructureSpec {
+                weight: 1.0,
+                region: Region::Private { lines: 10 },
+                pattern: Pattern::NeighborExchange { boundary_lines: 4 },
+                write_frac: 0.5,
+            }],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_refs_has_a_floor() {
+        let p = AppProfile {
+            name: "t",
+            refs_per_core: 100_000,
+            compute_per_ref: 1.0,
+        locality_run: 32.0,
+            barriers: 1,
+            structures: vec![StructureSpec {
+                weight: 1.0,
+                region: Region::Private { lines: 10 },
+                pattern: Pattern::Random,
+                write_frac: 0.0,
+            }],
+        };
+        assert_eq!(p.scaled_refs(1.0), 100_000);
+        assert_eq!(p.scaled_refs(0.5), 50_000);
+        assert_eq!(p.scaled_refs(1e-9), 1000);
+    }
+}

@@ -1,0 +1,98 @@
+//! Synthetic microbenchmark traffic, used by the NoC benches and
+//! sensitivity studies (not part of the paper's 13 applications).
+
+use crate::profile::{AppProfile, Pattern, Region, StructureSpec};
+
+/// Uniform-random traffic over a shared region sized in lines: every
+/// reference misses somewhere and homes are uniform — the standard NoC
+/// stress pattern.
+pub fn uniform_random(refs_per_core: u64, shared_lines: u64, write_frac: f64) -> AppProfile {
+    AppProfile {
+        name: "uniform-random",
+        refs_per_core,
+        compute_per_ref: 1.0,
+        locality_run: 32.0,
+        barriers: 0,
+        structures: vec![StructureSpec {
+            weight: 1.0,
+            region: Region::Shared { offset_lines: 0, lines: shared_lines },
+            pattern: Pattern::Random,
+            write_frac,
+        }],
+    }
+}
+
+/// Pure sequential streaming — the best case for every compression
+/// scheme and the worst case for cache capacity.
+pub fn streaming(refs_per_core: u64, private_lines: u64) -> AppProfile {
+    AppProfile {
+        name: "streaming",
+        refs_per_core,
+        compute_per_ref: 1.0,
+        locality_run: 32.0,
+        barriers: 0,
+        structures: vec![StructureSpec {
+            weight: 1.0,
+            region: Region::Private { lines: private_lines },
+            pattern: Pattern::Strided { stride: 1, run_mean: 1e9 },
+            write_frac: 0.25,
+        }],
+    }
+}
+
+/// All cores hammer a tiny set of hot migratory lines — maximum
+/// coherence-command traffic per reference.
+pub fn hotspot(refs_per_core: u64, hot_lines: u64) -> AppProfile {
+    AppProfile {
+        name: "hotspot",
+        refs_per_core,
+        compute_per_ref: 1.0,
+        locality_run: 32.0,
+        barriers: 0,
+        structures: vec![StructureSpec {
+            weight: 1.0,
+            region: Region::Shared { offset_lines: 0, lines: hot_lines.max(1) },
+            pattern: Pattern::Migratory { objects: hot_lines.max(1) },
+            write_frac: 1.0,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGen;
+    use cpu_model::trace::OpSource;
+
+    #[test]
+    fn synthetic_profiles_validate_and_generate() {
+        for p in [
+            uniform_random(2_000, 1 << 16, 0.3),
+            streaming(2_000, 4096),
+            hotspot(2_000, 32),
+        ] {
+            p.validate().unwrap();
+            let mut g = TraceGen::new(&p, 0, 16, 1, 1.0);
+            let mut n = 0;
+            while g.next_op().is_some() {
+                n += 1;
+            }
+            assert!(n >= 2_000, "{}: {n} ops", p.name);
+        }
+    }
+
+    #[test]
+    fn streaming_is_strictly_sequential() {
+        let p = streaming(1_000, 1 << 20);
+        let mut g = TraceGen::new(&p, 0, 16, 1, 1.0);
+        let mut last = None;
+        while let Some(op) = g.next_op() {
+            if let Some(line) = op.line() {
+                if let Some(prev) = last {
+                    assert_eq!(line, prev + 1);
+                }
+                last = Some(line);
+            }
+        }
+    }
+}

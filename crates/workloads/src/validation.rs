@@ -1,0 +1,219 @@
+//! Trace-statistics validators: measure what a generated trace actually
+//! does, so the per-application calibration is a tested invariant instead
+//! of folklore.
+//!
+//! The validators run the raw operation stream (no protocol, no timing)
+//! through lightweight models:
+//!
+//! * an LRU filter the size of the L1 estimates the *standalone miss
+//!   ratio* (capacity/conflict/cold — no invalidations);
+//! * per-line writer/reader sets estimate the *sharing degree*;
+//! * footprints, write fractions and compute density come straight from
+//!   counting.
+
+use std::collections::{HashMap, HashSet};
+
+use cpu_model::trace::{OpSource, TraceOp};
+
+use crate::generator::TraceGen;
+use crate::profile::AppProfile;
+
+/// Measured properties of an application's generated traces.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Memory references observed (all cores).
+    pub refs: u64,
+    /// Compute instructions observed.
+    pub compute_instructions: u64,
+    /// Fraction of references that are writes.
+    pub write_fraction: f64,
+    /// Distinct lines touched by any core.
+    pub footprint_lines: u64,
+    /// Standalone L1 miss ratio (512-line, 4-way LRU filter per core; no
+    /// coherence effects).
+    pub l1_miss_ratio: f64,
+    /// Fraction of the footprint touched by more than one core.
+    pub shared_line_fraction: f64,
+    /// Fraction of shared lines written by at least one core (the
+    /// invalidation-generating kind of sharing).
+    pub write_shared_fraction: f64,
+}
+
+/// A tiny set-associative LRU filter standing in for the L1.
+struct LruFilter {
+    sets: usize,
+    ways: usize,
+    stamps: Vec<(u64, u64)>, // (line+1, stamp) per way slot; 0 = empty
+    clock: u64,
+}
+
+impl LruFilter {
+    fn new(sets: usize, ways: usize) -> Self {
+        LruFilter {
+            sets,
+            ways,
+            stamps: vec![(0, 0); sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Returns true on a hit; inserts on miss.
+    fn touch(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let set = (line as usize) & (self.sets - 1);
+        let slots = &mut self.stamps[set * self.ways..(set + 1) * self.ways];
+        let key = line + 1;
+        if let Some(s) = slots.iter_mut().find(|s| s.0 == key) {
+            s.1 = self.clock;
+            return true;
+        }
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|s| s.1)
+            .expect("ways > 0");
+        *victim = (key, self.clock);
+        false
+    }
+}
+
+/// Measure `app` across all `cores` at the given scale and seed.
+pub fn measure(app: &AppProfile, cores: usize, seed: u64, scale: f64) -> TraceStats {
+    let mut stats = TraceStats::default();
+    let mut writes = 0u64;
+    let mut misses = 0u64;
+    let mut readers: HashMap<u64, HashSet<usize>> = HashMap::new();
+    let mut written: HashSet<u64> = HashSet::new();
+
+    for core in 0..cores {
+        let mut gen = TraceGen::new(app, core, cores, seed, scale);
+        // 32 KB / 64 B lines, 4-way = 128 sets
+        let mut l1 = LruFilter::new(128, 4);
+        while let Some(op) = gen.next_op() {
+            match op {
+                TraceOp::Compute(n) => stats.compute_instructions += n as u64,
+                TraceOp::Load(line) | TraceOp::Store(line) => {
+                    stats.refs += 1;
+                    if matches!(op, TraceOp::Store(_)) {
+                        writes += 1;
+                        written.insert(line);
+                    }
+                    if !l1.touch(line) {
+                        misses += 1;
+                    }
+                    readers.entry(line).or_default().insert(core);
+                }
+                TraceOp::Barrier(_) => {}
+            }
+        }
+    }
+
+    stats.footprint_lines = readers.len() as u64;
+    let shared: Vec<&u64> = readers
+        .iter()
+        .filter(|(_, cores)| cores.len() > 1)
+        .map(|(line, _)| line)
+        .collect();
+    stats.shared_line_fraction = shared.len() as f64 / readers.len().max(1) as f64;
+    stats.write_shared_fraction = shared
+        .iter()
+        .filter(|line| written.contains(**line))
+        .count() as f64
+        / shared.len().max(1) as f64;
+    stats.write_fraction = writes as f64 / stats.refs.max(1) as f64;
+    stats.l1_miss_ratio = misses as f64 / stats.refs.max(1) as f64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    fn stats_of(name: &str) -> TraceStats {
+        let app = apps::app_by_name(name).expect("known app");
+        measure(&app, 16, 0xC0FFEE, 0.05)
+    }
+
+    #[test]
+    fn compute_bound_apps_have_low_standalone_miss_ratio() {
+        for name in ["Water-nsq", "LU-cont"] {
+            let s = stats_of(name);
+            assert!(
+                s.l1_miss_ratio < 0.10,
+                "{name}: standalone miss ratio {:.3} too high",
+                s.l1_miss_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn communication_bound_apps_share_heavily() {
+        for name in ["MP3D", "Unstructured"] {
+            let s = stats_of(name);
+            assert!(
+                s.shared_line_fraction > 0.15,
+                "{name}: shared fraction {:.3}",
+                s.shared_line_fraction
+            );
+            assert!(
+                s.write_shared_fraction > 0.5,
+                "{name}: write-shared fraction {:.3}",
+                s.write_shared_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn water_shares_less_destructively_than_mp3d() {
+        // Water's molecule tables are read-shared with rare writes; the
+        // discriminator vs. MP3D is how *much* of the stream hits
+        // written-shared lines, not whether a line was ever written.
+        let water = stats_of("Water-nsq");
+        let mp3d = stats_of("MP3D");
+        assert!(water.shared_line_fraction < 0.6);
+        assert!(
+            water.write_fraction * water.shared_line_fraction
+                < 0.5 * mp3d.write_fraction * mp3d.shared_line_fraction,
+            "water {:.4} vs mp3d {:.4}",
+            water.write_fraction * water.shared_line_fraction,
+            mp3d.write_fraction * mp3d.shared_line_fraction
+        );
+    }
+
+    #[test]
+    fn irregular_apps_have_large_footprints() {
+        let barnes = stats_of("Barnes");
+        let water = stats_of("Water-nsq");
+        assert!(
+            barnes.footprint_lines > 10 * water.footprint_lines,
+            "Barnes {} vs Water {}",
+            barnes.footprint_lines,
+            water.footprint_lines
+        );
+    }
+
+    #[test]
+    fn write_fractions_are_plausible() {
+        for app in apps::all_apps() {
+            let s = measure(&app, 16, 7, 0.02);
+            assert!(
+                (0.02..=0.75).contains(&s.write_fraction),
+                "{}: write fraction {:.3}",
+                app.name,
+                s.write_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn compute_density_tracks_profiles() {
+        let mp3d = stats_of("MP3D");
+        let water = stats_of("Water-nsq");
+        let mp3d_density = mp3d.compute_instructions as f64 / mp3d.refs as f64;
+        let water_density = water.compute_instructions as f64 / water.refs as f64;
+        assert!(
+            water_density > 4.0 * mp3d_density,
+            "water {water_density:.1} vs mp3d {mp3d_density:.1}"
+        );
+    }
+}

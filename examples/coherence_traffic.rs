@@ -1,0 +1,51 @@
+//! Inspect the coherence traffic a sharing pattern generates: run a
+//! migratory hotspot (every core read-modify-writes a handful of hot
+//! lines) and show the per-class message counts, sizes and latencies —
+//! the raw material behind the paper's Figures 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example coherence_traffic
+//! ```
+
+use tiled_cmp::prelude::*;
+
+fn main() {
+    let app = tiled_cmp::workloads::synthetic::hotspot(3_000, 64);
+    let cfg = SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+    );
+    let mut sim = CmpSimulator::new(cfg, &app, 11, 1.0);
+    let r = sim.run().expect("run");
+
+    println!("migratory hotspot on the heterogeneous interconnect\n");
+    println!(
+        "{:<18} {:>9} {:>8} {:>12} {:>10}",
+        "class", "count", "share", "wire bytes", "mean lat"
+    );
+    for c in &r.messages {
+        if c.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<18} {:>9} {:>7.1}% {:>12} {:>10.1}",
+            c.class.label(),
+            c.count,
+            r.class_fraction(c.class) * 100.0,
+            c.bytes,
+            c.mean_latency
+        );
+    }
+    println!(
+        "\n{} network messages; critical mean latency {:.1} cycles",
+        r.network_messages, r.critical_latency
+    );
+    println!(
+        "compression coverage {:.1}% (hot lines revisit the same bases)",
+        r.coverage * 100.0
+    );
+    println!(
+        "note how requests/commands/replies (compressed, on VL-Wires) run\n\
+         far ahead of the 67-byte data responses on the B-Wires."
+    );
+}

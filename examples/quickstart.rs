@@ -1,0 +1,60 @@
+//! Quickstart: run the paper's baseline and proposal on one application
+//! and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tiled_cmp::prelude::*;
+
+fn main() {
+    let app = tiled_cmp::workloads::apps::mp3d();
+    let scale = 0.05; // 10k memory references per core — a few seconds
+    let seed = 42;
+
+    println!("application: {} (16-core tiled CMP, Table 4 machine)", app.name);
+
+    // Baseline: one 75-byte B-Wire channel per link, no compression.
+    let mut sim = CmpSimulator::new(SimConfig::baseline(), &app, seed, scale);
+    let base = sim.run().expect("baseline run");
+
+    // Proposal: 4-entry DBRC with 2 low-order bytes; the compressed
+    // 5-byte messages ride a 5-byte VL-Wire express channel carved
+    // area-neutrally out of each link.
+    let cfg = SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+    );
+    let mut sim = CmpSimulator::new(cfg, &app, seed, scale);
+    let prop = sim.run().expect("proposal run");
+
+    println!("\n                      baseline      proposal");
+    println!(
+        "execution cycles   {:>11}   {:>11}   ({:.1}% faster)",
+        base.cycles,
+        prop.cycles,
+        (1.0 - prop.cycles as f64 / base.cycles as f64) * 100.0
+    );
+    println!(
+        "critical msg lat   {:>11.1}   {:>11.1}   cycles",
+        base.critical_latency, prop.critical_latency
+    );
+    println!(
+        "link energy (uJ)   {:>11.2}   {:>11.2}",
+        base.energy.interconnect().value() * 1e6,
+        prop.energy.interconnect().value() * 1e6
+    );
+    println!(
+        "link ED2P          {:>11.3e}   {:>11.3e}   ({:.1}% lower)",
+        base.link_ed2p(),
+        prop.link_ed2p(),
+        (1.0 - prop.link_ed2p() / base.link_ed2p()) * 100.0
+    );
+    println!(
+        "full-CMP ED2P      {:>11.3e}   {:>11.3e}   ({:.1}% lower)",
+        base.chip_ed2p(),
+        prop.chip_ed2p(),
+        (1.0 - prop.chip_ed2p() / base.chip_ed2p()) * 100.0
+    );
+    println!("\ncompression coverage: {:.1}%", prop.coverage * 100.0);
+}

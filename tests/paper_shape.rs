@@ -1,0 +1,148 @@
+//! Integration tests asserting the *shape* of the paper's results on
+//! miniature runs: who wins, in which direction, and by roughly how much.
+//! Absolute magnitudes are checked by the full-scale reproduction binaries
+//! and recorded in EXPERIMENTS.md.
+
+use tiled_cmp::prelude::*;
+
+const SEED: u64 = 2026;
+
+fn run(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
+    CmpSimulator::new(cfg, app, SEED, scale)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name))
+}
+
+fn proposal(scheme: CompressionScheme) -> SimConfig {
+    let vl = VlWidth::for_low_order_bytes(scheme.low_order_bytes());
+    SimConfig::new(InterconnectChoice::Heterogeneous(vl), scheme)
+}
+
+#[test]
+fn proposal_speeds_up_communication_bound_apps() {
+    let app = tiled_cmp::workloads::apps::mp3d();
+    let base = run(&app, SimConfig::baseline(), 0.01);
+    let prop = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.01);
+    let ratio = prop.cycles as f64 / base.cycles as f64;
+    assert!(
+        (0.60..0.97).contains(&ratio),
+        "MP3D exec ratio {ratio} outside the plausible band"
+    );
+    // and the link ED2P improves even more than time alone
+    assert!(prop.link_ed2p() < base.link_ed2p());
+}
+
+#[test]
+fn compute_bound_apps_barely_move() {
+    let app = tiled_cmp::workloads::apps::water_nsq();
+    let base = run(&app, SimConfig::baseline(), 0.02);
+    let prop = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.02);
+    let ratio = prop.cycles as f64 / base.cycles as f64;
+    assert!(
+        (0.90..=1.01).contains(&ratio),
+        "Water exec ratio {ratio}: should improve only slightly"
+    );
+}
+
+#[test]
+fn perfect_compression_bounds_real_schemes() {
+    let app = tiled_cmp::workloads::apps::ocean_cont();
+    let base = run(&app, SimConfig::baseline(), 0.01);
+    let dbrc = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.01);
+    let perfect = run(&app, proposal(CompressionScheme::Perfect { low_bytes: 2 }), 0.01);
+    assert!(perfect.cycles <= dbrc.cycles + dbrc.cycles / 50, "oracle can't lose");
+    assert!(dbrc.cycles <= base.cycles);
+    assert!((perfect.coverage - 1.0).abs() < 1e-12);
+    assert!(dbrc.coverage > 0.5 && dbrc.coverage < 1.0);
+}
+
+#[test]
+fn critical_latency_drops_on_vl_wires() {
+    let app = tiled_cmp::workloads::synthetic::uniform_random(2_000, 1 << 15, 0.3);
+    let base = run(&app, SimConfig::baseline(), 1.0);
+    let prop = run(&app, proposal(CompressionScheme::Perfect { low_bytes: 2 }), 1.0);
+    assert!(
+        prop.critical_latency < base.critical_latency * 0.8,
+        "critical latency {} vs {}",
+        prop.critical_latency,
+        base.critical_latency
+    );
+}
+
+#[test]
+fn figure5_shape_holds_on_the_message_mix() {
+    let app = tiled_cmp::workloads::apps::em3d();
+    let r = run(&app, SimConfig::baseline(), 0.02);
+    let req = r.class_fraction(MessageClass::Request);
+    let data = r.class_fraction(MessageClass::ResponseData);
+    // requests and data responses are the two dominant classes
+    assert!(req > 0.15 && data > 0.15, "req {req}, data {data}");
+    // every request eventually yields a response of some kind
+    let resp = data + r.class_fraction(MessageClass::ResponseNoData);
+    assert!((req - resp).abs() < 0.05, "req {req} vs resp {resp}");
+    // more than 40% of messages are short and carry an address
+    let short_addr: f64 = MessageClass::ALL
+        .iter()
+        .filter(|c| c.is_short() && c.carries_address())
+        .map(|&c| r.class_fraction(c))
+        .sum();
+    assert!(short_addr > 0.4, "short-with-address {short_addr}");
+}
+
+#[test]
+fn coverage_ordering_matches_figure2() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = SimConfig::baseline();
+    cfg.coverage_probes = vec![
+        CompressionScheme::Stride { low_bytes: 1 },
+        CompressionScheme::Stride { low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 1 },
+        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+    ];
+    let r = run(&app, cfg, 0.02);
+    let cov: Vec<f64> = r.probe_coverages.iter().map(|&(_, c)| c).collect();
+    let (s1, s2, d4_1, d4_2, d64_2) = (cov[0], cov[1], cov[2], cov[3], cov[4]);
+    assert!(s1 < s2, "more delta bytes help stride: {s1} vs {s2}");
+    assert!(d4_1 < d4_2, "more low-order bytes help DBRC: {d4_1} vs {d4_2}");
+    assert!(d4_2 <= d64_2 + 0.01, "more entries never hurt: {d4_2} vs {d64_2}");
+    assert!(d64_2 > 0.9, "64-entry 2B DBRC should be near-total: {d64_2}");
+}
+
+#[test]
+fn hetero_link_leaks_less_and_area_neutral() {
+    use tiled_cmp::wires::link::{Channel, HeterogeneousLinkPlan};
+    let base = Channel::new(WireClass::B8X, 75, 5.0);
+    for vl in VlWidth::ALL {
+        let plan = HeterogeneousLinkPlan::area_neutral(vl, 5.0);
+        assert!((plan.area_vs_baseline() - 1.0).abs() < 0.03);
+        assert!(plan.static_power().value() < base.static_power().value());
+    }
+}
+
+#[test]
+fn full_chip_ed2p_penalises_oversized_dbrc() {
+    // Figure 7's second-order effect: on a low-traffic app the 64-entry
+    // DBRC's power overhead erodes (or reverses) the chip-level win
+    // relative to the 4-entry configuration.
+    let app = tiled_cmp::workloads::apps::water_nsq();
+    let base = run(&app, SimConfig::baseline(), 0.02);
+    let small = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.02);
+    let big = run(&app, proposal(CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }), 0.02);
+    let small_ratio = small.chip_ed2p() / base.chip_ed2p();
+    let big_ratio = big.chip_ed2p() / base.chip_ed2p();
+    assert!(
+        big_ratio > small_ratio - 0.005,
+        "64-entry ({big_ratio}) should not beat 4-entry ({small_ratio}) at chip level"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let app = tiled_cmp::workloads::apps::radix();
+    let a = run(&app, proposal(CompressionScheme::Stride { low_bytes: 2 }), 0.005);
+    let b = run(&app, proposal(CompressionScheme::Stride { low_bytes: 2 }), 0.005);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.network_messages, b.network_messages);
+    assert_eq!(a.coverage, b.coverage);
+}

@@ -1,0 +1,87 @@
+//! End-to-end tests of the Reply-Partitioning extension (the group's
+//! prior technique, reference [9] of the paper) on the full simulator.
+
+use tiled_cmp::prelude::*;
+
+fn run(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
+    CmpSimulator::new(cfg, app, 4242, scale)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name))
+}
+
+fn rp() -> SimConfig {
+    SimConfig::new(InterconnectChoice::ReplyPartitioning, CompressionScheme::None)
+}
+
+#[test]
+fn rp_speeds_up_a_real_application() {
+    let app = tiled_cmp::workloads::apps::ocean_cont();
+    let base = run(&app, SimConfig::baseline(), 0.01);
+    let part = run(&app, rp(), 0.01);
+    assert!(
+        part.cycles < base.cycles,
+        "RP {} vs baseline {}",
+        part.cycles,
+        base.cycles
+    );
+    // the PW-wire energy advantage dominates the link ED2P
+    assert!(part.link_ed2p() < base.link_ed2p() * 0.8);
+}
+
+#[test]
+fn rp_partial_replies_mirror_data_responses() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let r = run(&app, rp(), 0.01);
+    let count = |class| {
+        r.messages
+            .iter()
+            .find(|c| c.class == class)
+            .map(|c| c.count)
+            .unwrap_or(0)
+    };
+    let partials = count(MessageClass::PartialReply);
+    let data = count(MessageClass::ResponseData);
+    assert!(partials > 0, "no partial replies generated");
+    // every *remote* data response is accompanied by a partial; local
+    // responses are not split, so partials <= data with a small gap
+    assert!(partials <= data);
+    assert!(
+        partials * 10 >= data * 8,
+        "partials {partials} should track remote data responses {data}"
+    );
+}
+
+#[test]
+fn rp_and_proposal_are_distinct_design_points() {
+    // Both beat the baseline on a communication-bound app; their energy
+    // profiles differ (RP leans on PW-wire power, the proposal on VL
+    // latency + compression).
+    let app = tiled_cmp::workloads::apps::mp3d();
+    let base = run(&app, SimConfig::baseline(), 0.01);
+    let prop = run(
+        &app,
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        ),
+        0.01,
+    );
+    let part = run(&app, rp(), 0.01);
+    assert!(prop.cycles < base.cycles);
+    assert!(part.cycles < base.cycles);
+    // the proposal compresses; RP does not
+    assert!(prop.coverage > 0.9);
+    assert_eq!(part.coverage, 0.0);
+    // distinct message mixes: only RP emits partial replies
+    assert_eq!(prop.class_fraction(MessageClass::PartialReply), 0.0);
+    assert!(part.class_fraction(MessageClass::PartialReply) > 0.05);
+}
+
+#[test]
+fn rp_is_deterministic() {
+    let app = tiled_cmp::workloads::synthetic::uniform_random(1_000, 1 << 14, 0.3);
+    let a = run(&app, rp(), 1.0);
+    let b = run(&app, rp(), 1.0);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.network_messages, b.network_messages);
+}
