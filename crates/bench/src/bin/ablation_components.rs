@@ -19,7 +19,10 @@ use wire_model::wires::VlWidth;
 
 fn main() {
     let opts = cmp_bench::Options::parse();
-    let dbrc = CompressionScheme::Dbrc { entries: 4, low_bytes: 2 };
+    let dbrc = CompressionScheme::Dbrc {
+        entries: 4,
+        low_bytes: 2,
+    };
     let configs = vec![
         ConfigSpec::baseline(),
         ConfigSpec {
@@ -63,7 +66,10 @@ fn main() {
         }
     }
     eprintln!("running {} simulations...", specs.len());
-    let results = run_matrix(&cmp, &specs);
+    let results = run_matrix(&cmp, &specs).unwrap_or_else(|e| {
+        eprintln!("matrix failed: {e}");
+        std::process::exit(1);
+    });
 
     let labels: Vec<&str> = configs[1..].iter().map(|c| c.label.as_str()).collect();
     let headers: Vec<String> = std::iter::once("application".into())

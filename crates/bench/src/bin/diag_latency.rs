@@ -21,7 +21,11 @@ fn main() {
             let mut sim = CmpSimulator::new(cfg, &app, opts.seed, opts.scale);
             let r = sim.run().expect("run");
             let lat = |c: MessageClass| {
-                r.messages.iter().find(|m| m.class == c).map(|m| m.mean_latency).unwrap_or(0.0)
+                r.messages
+                    .iter()
+                    .find(|m| m.class == c)
+                    .map(|m| m.mean_latency)
+                    .unwrap_or(0.0)
             };
             println!(
                 "{:<13} {label:<9} cycles={:<9} msgs={:<8} miss={:.3} critLat={:.1} req={:.1} data={:.1} cmd={:.1} rep={:.1} linkE_dyn={:.3e} linkE_st={:.3e}",
@@ -33,10 +37,15 @@ fn main() {
                 r.energy.link_static.value(),
             );
             let total = r.cycles as f64 * 16.0;
-            println!("              stalls: mem={:.1}% barrier={:.1}%",
+            println!(
+                "              stalls: mem={:.1}% barrier={:.1}%",
                 r.mem_stall_cycles as f64 / total * 100.0,
-                r.barrier_stall_cycles as f64 / total * 100.0);
-            println!("              memReads={} recalls={}", r.mem_reads, r.l2_recalls);
+                r.barrier_stall_cycles as f64 / total * 100.0
+            );
+            println!(
+                "              memReads={} recalls={}",
+                r.mem_reads, r.l2_recalls
+            );
         }
     }
 }

@@ -48,7 +48,11 @@ fn main() {
                     .iter()
                     .find(|r| &r.app == app && &r.config == config)
                     .expect("matrix is complete");
-                let v = if metric == 0 { r.exec_time } else { r.link_ed2p };
+                let v = if metric == 0 {
+                    r.exec_time
+                } else {
+                    r.link_ed2p
+                };
                 per_config[ci].push(v);
                 row.push(fmt_ratio(v));
             }
@@ -64,7 +68,11 @@ fn main() {
             let suffixed = format!(
                 "{}.{}",
                 path,
-                if metric == 0 { "exec_time.csv" } else { "link_ed2p.csv" }
+                if metric == 0 {
+                    "exec_time.csv"
+                } else {
+                    "link_ed2p.csv"
+                }
             );
             t.write_csv(&suffixed).expect("write csv");
             eprintln!("wrote {suffixed}");

@@ -1,0 +1,198 @@
+//! Full-simulator throughput benchmark (std-only, offline).
+//!
+//! Two figures of merit, written to `BENCH.json`:
+//!
+//! * `fullsim_hotspot` — simulated cycles per wall-clock second of a
+//!   single-threaded baseline run on the hotspot synthetic workload
+//!   (the event loop's raw speed).
+//! * `figure6_matrix` — completed runs per wall-clock second over the
+//!   Figure 6 matrix (all apps × configs, default `--scale 0.25`),
+//!   i.e. what a full evaluation sweep costs.
+//!
+//! Usage:
+//!   fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N]
+//!                 [--out PATH] [--app NAME]... [--skip-matrix]
+
+use cmp_bench::harness::{measure, to_bench_json, BenchStats};
+use cmp_common::config::CmpConfig;
+use tcmp_core::experiment::{run_matrix, RunSpec};
+use tcmp_core::sim::{CmpSimulator, SimConfig};
+use workloads::synthetic;
+
+struct BenchOptions {
+    trials: usize,
+    warmup: usize,
+    /// Matrix trace scale (the hotspot benchmark always runs at 1.0).
+    scale: f64,
+    seed: u64,
+    out: String,
+    apps: Vec<String>,
+    skip_matrix: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            trials: 5,
+            warmup: 1,
+            scale: 0.25,
+            seed: 0xC0FFEE,
+            out: "BENCH.json".to_string(),
+            apps: Vec::new(),
+            skip_matrix: false,
+        }
+    }
+}
+
+fn usage<T>() -> T {
+    eprintln!(
+        "usage: fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N] \
+         [--out PATH] [--app NAME]... [--skip-matrix]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> BenchOptions {
+    let mut o = BenchOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trials" => {
+                o.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--warmup" => {
+                o.warmup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--scale" => {
+                o.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--seed" => {
+                o.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--out" => o.out = args.next().unwrap_or_else(usage),
+            "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
+            "--skip-matrix" => o.skip_matrix = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if o.trials == 0 {
+        eprintln!("--trials must be at least 1");
+        usage()
+    }
+    o
+}
+
+/// One full baseline simulation of the hotspot synthetic workload;
+/// returns simulated cycles (the work figure for cycles/sec).
+fn hotspot_run(seed: u64) -> f64 {
+    let app = synthetic::hotspot(20_000, 64);
+    let cfg = SimConfig::baseline();
+    let mut sim = CmpSimulator::new(cfg, &app, seed, 1.0);
+    let r = sim.run().expect("hotspot benchmark run completes");
+    r.cycles as f64
+}
+
+/// One pass over the Figure 6 matrix; returns the number of runs (the
+/// work figure for runs/sec).
+fn matrix_pass(opts: &BenchOptions) -> f64 {
+    let cmp = CmpConfig::default();
+    let configs = cmp_bench::matrix::figure6_configs(false);
+    let apps = if opts.apps.is_empty() {
+        workloads::apps::all_apps()
+    } else {
+        opts.apps
+            .iter()
+            .map(|name| {
+                workloads::apps::app_by_name(name).unwrap_or_else(|| panic!("unknown app {name}"))
+            })
+            .collect()
+    };
+    let mut specs = Vec::new();
+    for app in &apps {
+        for config in &configs {
+            specs.push(RunSpec {
+                app: app.clone(),
+                config: config.clone(),
+                seed: opts.seed,
+                scale: opts.scale,
+            });
+        }
+    }
+    let results = run_matrix(&cmp, &specs).unwrap_or_else(|e| {
+        eprintln!("matrix failed: {e}");
+        std::process::exit(1);
+    });
+    results.len() as f64
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut stats: Vec<BenchStats> = Vec::new();
+
+    eprintln!(
+        "fullsim_hotspot: {} warmup + {} trials (single run each)...",
+        opts.warmup, opts.trials
+    );
+    let seed = opts.seed;
+    stats.push(measure(
+        "fullsim_hotspot",
+        "simulated_cycles_per_sec",
+        opts.warmup,
+        opts.trials,
+        || hotspot_run(seed),
+    ));
+    let h = stats.last().expect("just pushed");
+    eprintln!(
+        "  median {:.3e} cycles/s (p10 {:.3e}, p90 {:.3e})",
+        h.median, h.p10, h.p90
+    );
+
+    if !opts.skip_matrix {
+        eprintln!(
+            "figure6_matrix: {} warmup + {} trials at scale {}...",
+            opts.warmup, opts.trials, opts.scale
+        );
+        stats.push(measure(
+            "figure6_matrix",
+            "runs_per_sec",
+            opts.warmup,
+            opts.trials,
+            || matrix_pass(&opts),
+        ));
+        let m = stats.last().expect("just pushed");
+        eprintln!(
+            "  median {:.3} runs/s (p10 {:.3}, p90 {:.3})",
+            m.median, m.p10, m.p90
+        );
+    }
+
+    let meta = [
+        ("warmup", opts.warmup.to_string()),
+        ("trials", opts.trials.to_string()),
+        ("matrix_scale", opts.scale.to_string()),
+        ("seed", opts.seed.to_string()),
+    ];
+    let meta_refs: Vec<(&str, String)> = meta.iter().map(|(k, v)| (*k, v.clone())).collect();
+    let json = to_bench_json(&meta_refs, &stats);
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", opts.out);
+}

@@ -11,7 +11,10 @@ use wire_model::wires::VlWidth;
 
 fn print_heatmap(label: &str, counts: &[(usize, Direction, u64)], cycles: u64) {
     println!("\n{label}: flits per cycle on each outgoing link");
-    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "tile", "east", "west", "north", "south");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "tile", "east", "west", "north", "south"
+    );
     for tile in 0..16 {
         let get = |d: Direction| {
             counts
@@ -53,7 +56,10 @@ fn main() {
     // proposal: load split across B and VL
     let cfg = SimConfig::new(
         InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
     );
     let mut sim = CmpSimulator::new(cfg, &app, opts.seed, opts.scale);
     let r = sim.run().expect("proposal");

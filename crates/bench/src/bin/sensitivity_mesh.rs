@@ -13,10 +13,7 @@ use wire_model::wires::VlWidth;
 fn main() {
     let opts = cmp_bench::Options::parse();
     let apps = if opts.apps.is_empty() {
-        vec![
-            workloads::apps::mp3d(),
-            workloads::apps::water_nsq(),
-        ]
+        vec![workloads::apps::mp3d(), workloads::apps::water_nsq()]
     } else {
         opts.selected_apps()
     };
@@ -41,12 +38,16 @@ fn main() {
                 let mut cfg = SimConfig::new(interconnect, scheme);
                 cfg.cmp = cmp.clone();
                 let mut sim = CmpSimulator::new(cfg, app, opts.seed, opts.scale);
-                sim.run().unwrap_or_else(|e| panic!("{} {side}x{side}: {e}", app.name))
+                sim.run()
+                    .unwrap_or_else(|e| panic!("{} {side}x{side}: {e}", app.name))
             };
             let base = run(InterconnectChoice::Baseline, CompressionScheme::None);
             let prop = run(
                 InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+                CompressionScheme::Dbrc {
+                    entries: 4,
+                    low_bytes: 2,
+                },
             );
             eprintln!("  {:<12} {side}x{side} done", app.name);
             t.row(vec![

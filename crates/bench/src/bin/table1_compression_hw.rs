@@ -18,9 +18,18 @@ fn main() {
     let tiles = cfg.tiles();
 
     let schemes = [
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2,
+        },
         CompressionScheme::Stride { low_bytes: 2 },
     ];
 

@@ -24,7 +24,12 @@ fn main() {
             "abs delay ps/mm",
         ],
     );
-    for class in [WireClass::B8X, WireClass::B4X, WireClass::L8X, WireClass::PW4X] {
+    for class in [
+        WireClass::B8X,
+        WireClass::B4X,
+        WireClass::L8X,
+        WireClass::PW4X,
+    ] {
         let p = class.props();
         let derived = derived_rel_latency(&tech, class)
             .map(|d| format!("{d:.2}x"))
@@ -42,9 +47,15 @@ fn main() {
     println!("{}", t.to_markdown());
     println!(
         "B-Wire 5 mm hop at 4 GHz: {} cycles; L-Wire: {} cycles; PW-Wire: {} cycles\n",
-        wire_model::link::Channel::new(WireClass::B8X, 75, 5.0).timing(4.0e9).cycles,
-        wire_model::link::Channel::new(WireClass::L8X, 11, 5.0).timing(4.0e9).cycles,
-        wire_model::link::Channel::new(WireClass::PW4X, 34, 5.0).timing(4.0e9).cycles,
+        wire_model::link::Channel::new(WireClass::B8X, 75, 5.0)
+            .timing(4.0e9)
+            .cycles,
+        wire_model::link::Channel::new(WireClass::L8X, 11, 5.0)
+            .timing(4.0e9)
+            .cycles,
+        wire_model::link::Channel::new(WireClass::PW4X, 34, 5.0)
+            .timing(4.0e9)
+            .cycles,
     );
     if let Some(path) = &opts.csv {
         t.write_csv(path).expect("write csv");

@@ -17,7 +17,13 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: 0.1, apps: Vec::new(), seed: 0xC0FFEE, csv: None, perfect: true }
+        Options {
+            scale: 0.1,
+            apps: Vec::new(),
+            seed: 0xC0FFEE,
+            csv: None,
+            perfect: true,
+        }
     }
 }
 
@@ -28,9 +34,19 @@ impl Options {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--scale" => o.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+                "--scale" => {
+                    o.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(usage)
+                }
                 "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
-                "--seed" => o.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(usage),
+                "--seed" => {
+                    o.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(usage)
+                }
                 "--csv" => o.csv = Some(args.next().unwrap_or_else(usage)),
                 "--no-perfect" => o.perfect = false,
                 "--help" | "-h" => usage(),
@@ -52,17 +68,18 @@ impl Options {
         self.apps
             .iter()
             .map(|name| {
-                workloads::apps::app_by_name(name)
-                    .unwrap_or_else(|| panic!("unknown app {name}; known: {:?}",
-                        all.iter().map(|a| a.name).collect::<Vec<_>>()))
+                workloads::apps::app_by_name(name).unwrap_or_else(|| {
+                    panic!(
+                        "unknown app {name}; known: {:?}",
+                        all.iter().map(|a| a.name).collect::<Vec<_>>()
+                    )
+                })
             })
             .collect()
     }
 }
 
 fn usage<T>() -> T {
-    eprintln!(
-        "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect]"
-    );
+    eprintln!("usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect]");
     std::process::exit(2)
 }

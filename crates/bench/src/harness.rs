@@ -1,0 +1,162 @@
+//! Self-contained benchmark harness: warmup + timed trials with
+//! median/p10/p90 summaries, no external dependencies.
+//!
+//! The workspace builds offline, so instead of an external benchmarking
+//! crate the reproduction binaries use this std-only harness. A benchmark
+//! is a closure returning a throughput figure (work per wall-clock
+//! second); [`measure`] runs it `warmup` untimed times, then `trials`
+//! recorded times, and summarises the samples.
+
+use std::time::Instant;
+
+/// Summary statistics of one benchmark's trials.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// Benchmark label as it appears in `BENCH.json`.
+    pub name: String,
+    /// Unit of the samples (e.g. "simulated_cycles_per_sec").
+    pub unit: String,
+    pub median: f64,
+    pub p10: f64,
+    pub p90: f64,
+    /// The raw samples, in trial order.
+    pub samples: Vec<f64>,
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice;
+/// `q` in [0, 1].
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of no samples");
+    assert!((0.0..=1.0).contains(&q));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Run `warmup` untimed then `trials` recorded invocations of `f`, which
+/// returns the amount of work done (e.g. simulated cycles); each sample
+/// is work divided by the wall-clock seconds of that invocation.
+pub fn measure(
+    name: &str,
+    unit: &str,
+    warmup: usize,
+    trials: usize,
+    mut f: impl FnMut() -> f64,
+) -> BenchStats {
+    assert!(trials > 0, "need at least one trial");
+    for _ in 0..warmup {
+        let _ = f();
+    }
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        let work = f();
+        let secs = start.elapsed().as_secs_f64().max(1e-12);
+        samples.push(work / secs);
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("throughput is finite"));
+    BenchStats {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        median: percentile(&sorted, 0.5),
+        p10: percentile(&sorted, 0.1),
+        p90: percentile(&sorted, 0.9),
+        samples,
+    }
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    // f64::to_string is shortest-roundtrip in Rust, valid JSON for finite
+    // values; benchmarks never produce NaN/inf (guarded in measure()).
+    assert!(v.is_finite(), "non-finite sample in BENCH.json");
+    out.push_str(&v.to_string());
+}
+
+/// Serialise benchmark results as the `BENCH.json` document (hand-rolled;
+/// the workspace has no JSON dependency).
+pub fn to_bench_json(meta: &[(&str, String)], stats: &[BenchStats]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        out.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("      \"unit\": \"{}\",\n", s.unit));
+        for (label, v) in [("median", s.median), ("p10", s.p10), ("p90", s.p90)] {
+            out.push_str(&format!("      \"{label}\": "));
+            push_json_f64(&mut out, v);
+            out.push_str(",\n");
+        }
+        out.push_str("      \"samples\": [");
+        for (j, v) in s.samples.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_json_f64(&mut out, *v);
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 == stats.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 5.0);
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert!((percentile(&s, 0.1) - 1.4).abs() < 1e-12);
+        assert!((percentile(&s, 0.9) - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_runs_warmup_plus_trials() {
+        let mut calls = 0;
+        let stats = measure("calls", "units_per_sec", 2, 5, || {
+            calls += 1;
+            1.0
+        });
+        assert_eq!(calls, 7);
+        assert_eq!(stats.samples.len(), 5);
+        assert!(stats.p10 <= stats.median && stats.median <= stats.p90);
+        assert!(stats.median > 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let stats = vec![BenchStats {
+            name: "x".into(),
+            unit: "u".into(),
+            median: 2.0,
+            p10: 1.0,
+            p90: 3.0,
+            samples: vec![1.0, 2.0, 3.0],
+        }];
+        let json = to_bench_json(&[("trials", "3".into())], &stats);
+        assert!(json.contains("\"name\": \"x\""));
+        assert!(json.contains("\"samples\": [1, 2, 3]"));
+        // balanced braces/brackets as a cheap well-formedness check
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,7 +1,10 @@
-//! Shared plumbing for the reproduction binaries: CLI options and the
-//! common run-matrix driver used by the Figure 6/7 binaries.
+//! Shared plumbing for the reproduction binaries: CLI options, the
+//! common run-matrix driver used by the Figure 6/7 binaries, and the
+//! self-contained benchmark harness behind `fullsim_bench`.
 
 pub mod cli;
+pub mod harness;
 pub mod matrix;
 
 pub use cli::Options;
+pub use harness::{measure, to_bench_json, BenchStats};

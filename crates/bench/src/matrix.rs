@@ -14,16 +14,30 @@ pub fn figure6_configs(include_perfect: bool) -> Vec<ConfigSpec> {
     let mut v = vec![ConfigSpec::baseline()];
     for scheme in [
         CompressionScheme::Stride { low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
-        CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2,
+        },
     ] {
         v.push(ConfigSpec::compressed(scheme));
     }
     if include_perfect {
         for low in [1usize, 2] {
-            v.push(ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: low }));
+            v.push(ConfigSpec::compressed(CompressionScheme::Perfect {
+                low_bytes: low,
+            }));
         }
     }
     v
@@ -52,7 +66,10 @@ pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
         configs.len(),
         opts.scale
     );
-    let results = run_matrix(&cmp, &specs);
+    let results = run_matrix(&cmp, &specs).unwrap_or_else(|e| {
+        eprintln!("matrix failed: {e}");
+        std::process::exit(1);
+    });
     for r in &results {
         eprintln!(
             "  {:<14} {:<22} {:>10} cycles, {:>8} msgs",

@@ -105,16 +105,18 @@ impl<V> CacheArray<V> {
 
     /// What inserting `line` would displace: a free way, the LRU line
     /// among those `evictable` allows, or nothing.
-    pub fn victim_for(&self, line: Addr, mut evictable: impl FnMut(Addr, &V) -> bool) -> VictimSlot {
+    pub fn victim_for(
+        &self,
+        line: Addr,
+        mut evictable: impl FnMut(Addr, &V) -> bool,
+    ) -> VictimSlot {
         let range = self.set_range(line);
         let mut lru: Option<(u64, Addr)> = None;
         for slot in &self.entries[range] {
             match slot {
                 None => return VictimSlot::Free,
                 Some(e) => {
-                    if evictable(e.line, &e.value)
-                        && lru.is_none_or(|(stamp, _)| e.stamp < stamp)
-                    {
+                    if evictable(e.line, &e.value) && lru.is_none_or(|(stamp, _)| e.stamp < stamp) {
                         lru = Some((e.stamp, e.line));
                     }
                 }
@@ -143,7 +145,11 @@ impl<V> CacheArray<V> {
     /// The LRU *resident* line among those `evictable` allows, ignoring
     /// free ways (used when free ways are already reserved for pending
     /// fills).
-    pub fn lru_resident(&self, line: Addr, mut evictable: impl FnMut(Addr, &V) -> bool) -> Option<Addr> {
+    pub fn lru_resident(
+        &self,
+        line: Addr,
+        mut evictable: impl FnMut(Addr, &V) -> bool,
+    ) -> Option<Addr> {
         self.entries[self.set_range(line)]
             .iter()
             .flatten()
@@ -162,7 +168,11 @@ impl<V> CacheArray<V> {
         let range = self.set_range(line);
         for slot in &mut self.entries[range] {
             if slot.is_none() {
-                *slot = Some(Entry { line, value, stamp: clock });
+                *slot = Some(Entry {
+                    line,
+                    value,
+                    stamp: clock,
+                });
                 return;
             }
         }

@@ -22,7 +22,7 @@ use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
 use crate::cache::CacheArray;
-use crate::msg::{Outgoing, PKind, ProtocolMsg};
+use crate::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 
 /// L1 line states (I is represented by absence).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,7 +46,7 @@ pub enum L1Result {
     Hit,
     /// A miss was issued; `out` holds the request (and any writeback).
     /// The core blocks until [`L1Cache::handle`] reports completion.
-    Miss { out: Vec<Outgoing> },
+    Miss { out: OutVec },
     /// No MSHR available or a conflicting miss is outstanding: retry.
     Blocked,
 }
@@ -174,9 +174,7 @@ impl L1Cache {
         let write = access == CoreAccess::Write;
         if let Some(state) = self.array.get_mut(line) {
             match (*state, write) {
-                (L1State::Modified, _)
-                | (L1State::Exclusive, false)
-                | (L1State::Shared, false) => {
+                (L1State::Modified, _) | (L1State::Exclusive, false) | (L1State::Shared, false) => {
                     self.stats.hits.inc();
                     return L1Result::Hit;
                 }
@@ -198,13 +196,13 @@ impl L1Cache {
                         deferred: None,
                         partial_served: false,
                     });
-                    return L1Result::Miss {
-                        out: vec![Outgoing::Send {
-                            dst: self.home(line),
-                            msg: ProtocolMsg::new(PKind::Upgrade, line),
-                            delay: L1_DELAY,
-                        }],
-                    };
+                    let mut out = OutVec::new();
+                    out.push(Outgoing::Send {
+                        dst: self.home(line),
+                        msg: ProtocolMsg::new(PKind::Upgrade, line),
+                        delay: L1_DELAY,
+                    });
+                    return L1Result::Miss { out };
                 }
             }
         }
@@ -214,7 +212,7 @@ impl L1Cache {
             return L1Result::Blocked;
         }
         self.stats.misses.inc();
-        let mut out = Vec::with_capacity(2);
+        let mut out = OutVec::new();
         // Make room now: a way must stay free until our fill arrives.
         // Other outstanding misses to the same set have already reserved
         // one free way each (possible once partial replies let the core
@@ -282,13 +280,7 @@ impl L1Cache {
     /// Serve a deferred forward/recall right after filling in state
     /// `filled` (Exclusive or Modified — the directory only forwards to
     /// owners).
-    fn serve_deferred(
-        &mut self,
-        line: Addr,
-        filled: L1State,
-        deferred: PKind,
-        out: &mut Vec<Outgoing>,
-    ) {
+    fn serve_deferred(&mut self, line: Addr, filled: L1State, deferred: PKind, out: &mut OutVec) {
         let dirty = filled == L1State::Modified;
         match deferred {
             PKind::FwdGetS { requestor } => {
@@ -301,7 +293,11 @@ impl L1Cache {
                 out.push(Outgoing::Send {
                     dst: self.home(line),
                     msg: ProtocolMsg::new(
-                        if dirty { PKind::RevisionDirty } else { PKind::RevisionClean },
+                        if dirty {
+                            PKind::RevisionDirty
+                        } else {
+                            PKind::RevisionClean
+                        },
                         line,
                     ),
                     delay: L1_DELAY,
@@ -326,7 +322,11 @@ impl L1Cache {
                 out.push(Outgoing::Send {
                     dst: self.home(line),
                     msg: ProtocolMsg::new(
-                        if dirty { PKind::RecallAckData } else { PKind::RecallAckClean },
+                        if dirty {
+                            PKind::RecallAckData
+                        } else {
+                            PKind::RecallAckClean
+                        },
                         line,
                     ),
                     delay: L1_DELAY,
@@ -339,9 +339,9 @@ impl L1Cache {
 
     /// Handle a delivered protocol message. Returns the messages to emit
     /// and, for fills/grants, the completed core access.
-    pub fn handle(&mut self, msg: ProtocolMsg) -> (Vec<Outgoing>, Option<CompletedAccess>) {
+    pub fn handle(&mut self, msg: ProtocolMsg) -> (OutVec, Option<CompletedAccess>) {
         let line = msg.line;
-        let mut out = Vec::new();
+        let mut out = OutVec::new();
         match msg.kind {
             PKind::DataS | PKind::DataE | PKind::DataM => {
                 let mshr = self.take_mshr(line);
@@ -354,7 +354,11 @@ impl L1Cache {
                     _ => L1State::Modified,
                 };
                 // A write makes any fill Modified.
-                let final_state = if mshr.write { L1State::Modified } else { fill_state };
+                let final_state = if mshr.write {
+                    L1State::Modified
+                } else {
+                    fill_state
+                };
                 // A crossing Inv belongs to the pre-grant epoch. Dropping
                 // the copy after use is only legal for *shared* fills
                 // (equivalent to a silent S eviction); ownership grants
@@ -386,7 +390,10 @@ impl L1Cache {
                         // late partial must be ignored when it lands
                         self.stale_partials.push(line);
                     }
-                    Some(CompletedAccess { line, write: mshr.write })
+                    Some(CompletedAccess {
+                        line,
+                        write: mshr.write,
+                    })
                 };
                 (out, completion)
             }
@@ -428,11 +435,7 @@ impl L1Cache {
             PKind::Inv => {
                 self.stats.invalidations.inc();
                 if let Some(state) = self.array.peek(line) {
-                    debug_assert_ne!(
-                        *state,
-                        L1State::Modified,
-                        "directory must not Inv an owner"
-                    );
+                    debug_assert_ne!(*state, L1State::Modified, "directory must not Inv an owner");
                     self.array.remove(line);
                 }
                 if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
@@ -564,9 +567,15 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(done, Some(CompletedAccess { line, write: false }));
         assert_eq!(l1.state_of(line), Some(L1State::Exclusive));
-        assert!(matches!(l1.core_access(line, CoreAccess::Read), L1Result::Hit));
+        assert!(matches!(
+            l1.core_access(line, CoreAccess::Read),
+            L1Result::Hit
+        ));
         // silent E->M on write hit
-        assert!(matches!(l1.core_access(line, CoreAccess::Write), L1Result::Hit));
+        assert!(matches!(
+            l1.core_access(line, CoreAccess::Write),
+            L1Result::Hit
+        ));
         assert_eq!(l1.state_of(line), Some(L1State::Modified));
     }
 
@@ -589,7 +598,13 @@ mod tests {
             other => panic!("expected upgrade miss, got {other:?}"),
         }
         let (_, done) = l1.handle(ProtocolMsg::new(PKind::UpgradeAck, 3));
-        assert_eq!(done, Some(CompletedAccess { line: 3, write: true }));
+        assert_eq!(
+            done,
+            Some(CompletedAccess {
+                line: 3,
+                write: true
+            })
+        );
         assert_eq!(l1.state_of(3), Some(L1State::Modified));
     }
 
@@ -667,7 +682,12 @@ mod tests {
         assert!(done.is_some());
         assert_eq!(l1.state_of(3), Some(L1State::Exclusive));
         // and a later forward is served, not failed
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(9) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(9),
+            },
+            3,
+        ));
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionClean]);
     }
 
@@ -691,7 +711,12 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
         let _ = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(9) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(9),
+            },
+            3,
+        ));
         let kinds = send_kinds(&out);
         assert_eq!(kinds, vec![PKind::DataS, PKind::RevisionDirty]);
         match out[0] {
@@ -706,7 +731,12 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
         let _ = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(9) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(9),
+            },
+            3,
+        ));
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionClean]);
         assert_eq!(l1.state_of(3), Some(L1State::Shared));
     }
@@ -716,7 +746,12 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
         let _ = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetX { requestor: TileId(1) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetX {
+                requestor: TileId(1),
+            },
+            3,
+        ));
         assert_eq!(send_kinds(&out), vec![PKind::DataM, PKind::FwdDone]);
         assert_eq!(l1.state_of(3), None);
     }
@@ -724,7 +759,12 @@ mod tests {
     #[test]
     fn forward_for_absent_line_without_mshr_fails() {
         let mut l1 = l1();
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(1) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(1),
+            },
+            3,
+        ));
         assert_eq!(send_kinds(&out), vec![PKind::FwdFailed]);
         assert_eq!(l1.stats().forwards_failed.get(), 1);
     }
@@ -734,7 +774,12 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
         // forward overtakes our DataE grant
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(9) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(9),
+            },
+            3,
+        ));
         assert!(out.is_empty(), "deferred, not failed");
         let (out, done) = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
         assert!(done.is_some());
@@ -767,11 +812,19 @@ mod tests {
         let _ = l1.core_access(3, CoreAccess::Read);
         // the critical word arrives on the fast wires
         let (out, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply { of: PartialOf::Exclusive },
+            PKind::PartialReply {
+                of: PartialOf::Exclusive,
+            },
             3,
         ));
         assert!(out.is_empty());
-        assert_eq!(done, Some(CompletedAccess { line: 3, write: false }));
+        assert_eq!(
+            done,
+            Some(CompletedAccess {
+                line: 3,
+                write: false
+            })
+        );
         assert_eq!(l1.state_of(3), None, "line not installed yet");
         assert!(l1.mshr_pending(3), "ordinary reply still outstanding");
         // the ordinary reply installs silently (no double completion)
@@ -792,7 +845,9 @@ mod tests {
         assert!(done.is_some(), "fill completes the access");
         // the late partial is stale and must not complete anything
         let (_, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply { of: PartialOf::Exclusive },
+            PKind::PartialReply {
+                of: PartialOf::Exclusive,
+            },
             3,
         ));
         assert_eq!(done, None);
@@ -806,12 +861,19 @@ mod tests {
         l1.set_expects_partial(true);
         let _ = l1.core_access(3, CoreAccess::Write);
         let (_, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply { of: PartialOf::Modified },
+            PKind::PartialReply {
+                of: PartialOf::Modified,
+            },
             3,
         ));
         assert!(done.is_some());
         // a forward arrives between partial and ordinary: defers
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::FwdGetS { requestor: TileId(9) }, 3));
+        let (out, _) = l1.handle(ProtocolMsg::new(
+            PKind::FwdGetS {
+                requestor: TileId(9),
+            },
+            3,
+        ));
         assert!(out.is_empty());
         // the ordinary reply installs M, then immediately serves the fwd
         let (out, done) = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
@@ -827,9 +889,15 @@ mod tests {
             l1.core_access(1, CoreAccess::Read),
             L1Result::Miss { .. }
         ));
-        assert!(matches!(l1.core_access(2, CoreAccess::Read), L1Result::Blocked));
+        assert!(matches!(
+            l1.core_access(2, CoreAccess::Read),
+            L1Result::Blocked
+        ));
         // same-line re-access also blocks
-        assert!(matches!(l1.core_access(1, CoreAccess::Read), L1Result::Blocked));
+        assert!(matches!(
+            l1.core_access(1, CoreAccess::Read),
+            L1Result::Blocked
+        ));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
 use crate::cache::{CacheArray, VictimSlot};
-use crate::msg::{Outgoing, PKind, ProtocolMsg};
+use crate::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 
 /// Directory state of one L2-resident line.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,6 +111,9 @@ pub struct L2Slice {
     recall_for: HashMap<Addr, Addr>,
     /// Fills whose victim choice found every way busy; retried on `pump`.
     stalled: Vec<Addr>,
+    /// Total requests queued across all `pending` lines, so
+    /// [`L2Slice::is_quiescent`] is O(1) on the simulator's idle check.
+    queued: usize,
     stats: L2Stats,
 }
 
@@ -129,6 +132,7 @@ impl L2Slice {
             fills: HashMap::new(),
             recall_for: HashMap::new(),
             stalled: Vec::new(),
+            queued: 0,
             stats: L2Stats::default(),
         }
     }
@@ -144,14 +148,16 @@ impl L2Slice {
     }
 
     /// Whether the slice has no transaction, fill or queued request.
+    /// O(1): the simulator polls this on every scheduler iteration.
     pub fn is_quiescent(&self) -> bool {
-        self.busy.is_empty()
-            && self.fills.is_empty()
-            && self.pending.values().all(|q| q.is_empty())
-            && self.stalled.is_empty()
+        debug_assert_eq!(
+            self.queued,
+            self.pending.values().map(|q| q.len()).sum::<usize>()
+        );
+        self.busy.is_empty() && self.fills.is_empty() && self.queued == 0 && self.stalled.is_empty()
     }
 
-    fn send(out: &mut Vec<Outgoing>, dst: TileId, kind: PKind, line: Addr, delay: u64) {
+    fn send(out: &mut OutVec, dst: TileId, kind: PKind, line: Addr, delay: u64) {
         out.push(Outgoing::Send {
             dst,
             msg: ProtocolMsg::new(kind, line),
@@ -164,7 +170,7 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a request (`GetS`/`GetX`/`Upgrade`) from tile `src`.
-    pub fn handle_request(&mut self, src: TileId, kind: PKind, line: Addr) -> Vec<Outgoing> {
+    pub fn handle_request(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
         debug_assert!(matches!(kind, PKind::GetS | PKind::GetX | PKind::Upgrade));
         debug_assert_eq!(
             line as usize % self.tiles,
@@ -172,14 +178,15 @@ impl L2Slice {
             "request routed to the wrong home"
         );
         self.stats.requests.inc();
-        let mut out = Vec::new();
+        let mut out = OutVec::new();
         self.request_inner(src, kind, line, &mut out);
         out
     }
 
-    fn request_inner(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut Vec<Outgoing>) {
+    fn request_inner(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut OutVec) {
         if self.busy.contains_key(&line) {
             self.pending.entry(line).or_default().push_back((src, kind));
+            self.queued += 1;
             return;
         }
         if let Some(fill) = self.fills.get_mut(&line) {
@@ -204,7 +211,7 @@ impl L2Slice {
     }
 
     /// Core of the directory: line resident, not busy.
-    fn dispatch(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut Vec<Outgoing>) {
+    fn dispatch(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut OutVec) {
         let dir = self.array.peek(line).expect("resident").dir;
         self.array.touch(line);
         match (kind, dir) {
@@ -222,16 +229,31 @@ impl L2Slice {
             (PKind::GetS, DirState::Owned(owner)) if owner == src => {
                 // Owner lost the line to a replacement whose writeback is
                 // still in flight; replay once it lands.
-                self.busy
-                    .insert(line, Busy::AwaitWbRace { requestor: src, original: kind });
+                self.busy.insert(
+                    line,
+                    Busy::AwaitWbRace {
+                        requestor: src,
+                        original: kind,
+                    },
+                );
             }
             (PKind::GetS, DirState::Owned(owner)) => {
                 self.stats.forwards.inc();
                 self.busy.insert(
                     line,
-                    Busy::AwaitRevision { requestor: src, original: kind, wb_seen: false },
+                    Busy::AwaitRevision {
+                        requestor: src,
+                        original: kind,
+                        wb_seen: false,
+                    },
                 );
-                Self::send(out, owner, PKind::FwdGetS { requestor: src }, line, L2_TAG_DELAY);
+                Self::send(
+                    out,
+                    owner,
+                    PKind::FwdGetS { requestor: src },
+                    line,
+                    L2_TAG_DELAY,
+                );
             }
 
             // ---- GetX (and Upgrade degraded to GetX) ----
@@ -263,21 +285,40 @@ impl L2Slice {
                     self.set_dir(line, DirState::Shared(others));
                     self.busy.insert(
                         line,
-                        Busy::AwaitInvAcks { requestor: src, pending, is_upgrade },
+                        Busy::AwaitInvAcks {
+                            requestor: src,
+                            pending,
+                            is_upgrade,
+                        },
                     );
                 }
             }
             (PKind::GetX | PKind::Upgrade, DirState::Owned(owner)) if owner == src => {
-                self.busy
-                    .insert(line, Busy::AwaitWbRace { requestor: src, original: kind });
+                self.busy.insert(
+                    line,
+                    Busy::AwaitWbRace {
+                        requestor: src,
+                        original: kind,
+                    },
+                );
             }
             (PKind::GetX | PKind::Upgrade, DirState::Owned(owner)) => {
                 self.stats.forwards.inc();
                 self.busy.insert(
                     line,
-                    Busy::AwaitRevision { requestor: src, original: kind, wb_seen: false },
+                    Busy::AwaitRevision {
+                        requestor: src,
+                        original: kind,
+                        wb_seen: false,
+                    },
                 );
-                Self::send(out, owner, PKind::FwdGetX { requestor: src }, line, L2_TAG_DELAY);
+                Self::send(
+                    out,
+                    owner,
+                    PKind::FwdGetX { requestor: src },
+                    line,
+                    L2_TAG_DELAY,
+                );
             }
 
             (k, d) => unreachable!("dispatch({k:?}, {d:?})"),
@@ -293,13 +334,18 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a coherence reply / revision from tile `src`.
-    pub fn handle_reply(&mut self, src: TileId, kind: PKind, line: Addr) -> Vec<Outgoing> {
-        let mut out = Vec::new();
+    pub fn handle_reply(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
+        let mut out = OutVec::new();
         match kind {
             PKind::InvAck => self.inv_ack(line, &mut out),
             PKind::RevisionDirty | PKind::RevisionClean => {
                 let busy = *self.busy.get(&line).expect("revision for idle line");
-                let Busy::AwaitRevision { requestor, original, .. } = busy else {
+                let Busy::AwaitRevision {
+                    requestor,
+                    original,
+                    ..
+                } = busy
+                else {
                     panic!("revision while {busy:?}");
                 };
                 debug_assert_eq!(original, PKind::GetS);
@@ -322,13 +368,18 @@ impl L2Slice {
             }
             PKind::FwdFailed => {
                 let busy = *self.busy.get(&line).expect("FwdFailed for idle line");
-                let Busy::AwaitRevision { requestor, original, wb_seen } = busy else {
+                let Busy::AwaitRevision {
+                    requestor,
+                    original,
+                    wb_seen,
+                } = busy
+                else {
                     panic!("FwdFailed while {busy:?}");
                 };
                 if wb_seen {
                     // writeback already applied: replay now
                     self.busy.remove(&line);
-                    let mut chain = Vec::new();
+                    let mut chain = OutVec::new();
                     self.request_inner(requestor, original, line, &mut chain);
                     out.extend(chain);
                     // `request_inner` may have left the line un-busy
@@ -337,8 +388,13 @@ impl L2Slice {
                         self.drain_pending(line, &mut out);
                     }
                 } else {
-                    self.busy
-                        .insert(line, Busy::AwaitWbRace { requestor, original });
+                    self.busy.insert(
+                        line,
+                        Busy::AwaitWbRace {
+                            requestor,
+                            original,
+                        },
+                    );
                 }
             }
             PKind::RecallAckData | PKind::RecallAckClean => {
@@ -354,9 +410,13 @@ impl L2Slice {
         out
     }
 
-    fn inv_ack(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn inv_ack(&mut self, line: Addr, out: &mut OutVec) {
         match self.busy.get_mut(&line) {
-            Some(Busy::AwaitInvAcks { requestor, pending, is_upgrade }) => {
+            Some(Busy::AwaitInvAcks {
+                requestor,
+                pending,
+                is_upgrade,
+            }) => {
                 *pending -= 1;
                 if *pending == 0 {
                     let (req, upgrade) = (*requestor, *is_upgrade);
@@ -380,11 +440,11 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a replacement (`WbData`/`WbHint`) from tile `src`.
-    pub fn handle_writeback(&mut self, src: TileId, kind: PKind, line: Addr) -> Vec<Outgoing> {
+    pub fn handle_writeback(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
         debug_assert!(matches!(kind, PKind::WbData | PKind::WbHint));
         self.stats.writebacks.inc();
         let with_data = kind == PKind::WbData;
-        let mut out = Vec::new();
+        let mut out = OutVec::new();
 
         if self.array.peek(line).is_none() {
             // The line was recalled/evicted while the writeback flew:
@@ -411,11 +471,14 @@ impl L2Slice {
                 *wb_seen = true;
                 self.set_dir(line, DirState::Invalid);
             }
-            Some(Busy::AwaitWbRace { requestor, original }) => {
+            Some(Busy::AwaitWbRace {
+                requestor,
+                original,
+            }) => {
                 let (req, orig) = (*requestor, *original);
                 self.busy.remove(&line);
                 self.set_dir(line, DirState::Invalid);
-                let mut chain = Vec::new();
+                let mut chain = OutVec::new();
                 self.request_inner(req, orig, line, &mut chain);
                 out.extend(chain);
                 if !self.busy.contains_key(&line) {
@@ -437,8 +500,8 @@ impl L2Slice {
 
     /// Memory finished reading `line` (called by the simulator
     /// `mem_latency` cycles after the `MemRead` effect).
-    pub fn mem_fill_done(&mut self, line: Addr) -> Vec<Outgoing> {
-        let mut out = Vec::new();
+    pub fn mem_fill_done(&mut self, line: Addr) -> OutVec {
+        let mut out = OutVec::new();
         let fill = self.fills.get_mut(&line).expect("fill in progress");
         fill.mem_done = true;
         self.try_install(line, &mut out);
@@ -447,8 +510,8 @@ impl L2Slice {
 
     /// Retry fills that could not find an evictable victim. Call after
     /// handling any message (cheap when nothing is stalled).
-    pub fn pump(&mut self) -> Vec<Outgoing> {
-        let mut out = Vec::new();
+    pub fn pump(&mut self) -> OutVec {
+        let mut out = OutVec::new();
         if self.stalled.is_empty() {
             return out;
         }
@@ -459,7 +522,7 @@ impl L2Slice {
         out
     }
 
-    fn try_install(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn try_install(&mut self, line: Addr, out: &mut OutVec) {
         if !self.fills.get(&line).map(|f| f.mem_done).unwrap_or(false) {
             return;
         }
@@ -506,7 +569,7 @@ impl L2Slice {
         }
     }
 
-    fn recall_ack(&mut self, victim: Addr, out: &mut Vec<Outgoing>) {
+    fn recall_ack(&mut self, victim: Addr, out: &mut OutVec) {
         let Some(Busy::AwaitRecall { pending }) = self.busy.get_mut(&victim) else {
             panic!("recall ack for line not being recalled");
         };
@@ -523,7 +586,7 @@ impl L2Slice {
         }
     }
 
-    fn evict(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn evict(&mut self, line: Addr, out: &mut OutVec) {
         let l = self.array.remove(line).expect("evicting resident line");
         debug_assert!(!self.busy.contains_key(&line));
         if l.dirty {
@@ -532,10 +595,16 @@ impl L2Slice {
         }
     }
 
-    fn install(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn install(&mut self, line: Addr, out: &mut OutVec) {
         let fill = self.fills.remove(&line).expect("fill record");
         debug_assert!(fill.mem_done);
-        self.array.insert(line, L2Line { dir: DirState::Invalid, dirty: false });
+        self.array.insert(
+            line,
+            L2Line {
+                dir: DirState::Invalid,
+                dirty: false,
+            },
+        );
         for (src, kind) in fill.waiters {
             self.request_inner(src, kind, line, out);
         }
@@ -543,13 +612,14 @@ impl L2Slice {
 
     /// Clear the busy state and replay queued requests (in order; the
     /// first may re-busy the line, leaving the rest queued).
-    fn unbusy(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn unbusy(&mut self, line: Addr, out: &mut OutVec) {
         self.busy.remove(&line);
         self.drain_pending(line, out);
     }
 
-    fn drain_pending(&mut self, line: Addr, out: &mut Vec<Outgoing>) {
+    fn drain_pending(&mut self, line: Addr, out: &mut OutVec) {
         while let Some((src, kind)) = self.pending.get_mut(&line).and_then(|q| q.pop_front()) {
+            self.queued -= 1;
             self.request_inner(src, kind, line, out);
             if self.busy.contains_key(&line) || self.fills.contains_key(&line) {
                 break; // the rest stay queued behind the new transaction
@@ -580,7 +650,7 @@ mod tests {
     }
 
     /// Fill line `l` into the slice by running a request through memory.
-    fn warm(s: &mut L2Slice, src: TileId, kind: PKind, l: Addr) -> Vec<Outgoing> {
+    fn warm(s: &mut L2Slice, src: TileId, kind: PKind, l: Addr) -> OutVec {
         let out = s.handle_request(src, kind, l);
         assert!(matches!(out[..], [Outgoing::MemRead { .. }]));
         s.mem_fill_done(l)
@@ -603,14 +673,24 @@ mod tests {
         warm(&mut s, TileId(3), PKind::GetS, L);
         // reader 5 arrives: owner 3 must be forwarded
         let out = s.handle_request(TileId(5), PKind::GetS, L);
-        assert_eq!(sends(&out), vec![(TileId(3), PKind::FwdGetS { requestor: TileId(5) })]);
+        assert_eq!(
+            sends(&out),
+            vec![(
+                TileId(3),
+                PKind::FwdGetS {
+                    requestor: TileId(5)
+                }
+            )]
+        );
         assert!(!s.is_quiescent());
         // owner had it clean: revision without data
         let out = s.handle_reply(TileId(3), PKind::RevisionClean, L);
         assert!(out.is_empty());
         assert_eq!(
             s.dir_state(L),
-            Some(DirState::Shared(DirState::bit(TileId(3)) | DirState::bit(TileId(5))))
+            Some(DirState::Shared(
+                DirState::bit(TileId(3)) | DirState::bit(TileId(5))
+            ))
         );
         assert!(s.is_quiescent());
     }
@@ -689,9 +769,17 @@ mod tests {
     fn forward_writeback_race_replays_request() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L); // Owned(1)
-        // tile 2 reads; forward goes to 1
+                                                 // tile 2 reads; forward goes to 1
         let out = s.handle_request(TileId(2), PKind::GetS, L);
-        assert_eq!(sends(&out), vec![(TileId(1), PKind::FwdGetS { requestor: TileId(2) })]);
+        assert_eq!(
+            sends(&out),
+            vec![(
+                TileId(1),
+                PKind::FwdGetS {
+                    requestor: TileId(2)
+                }
+            )]
+        );
         // but tile 1 had evicted: FwdFailed arrives first...
         let out = s.handle_reply(TileId(1), PKind::FwdFailed, L);
         assert!(out.is_empty());
@@ -707,7 +795,15 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L); // Owned(1), will be dirty
         let out = s.handle_request(TileId(2), PKind::GetX, L);
-        assert_eq!(sends(&out), vec![(TileId(1), PKind::FwdGetX { requestor: TileId(2) })]);
+        assert_eq!(
+            sends(&out),
+            vec![(
+                TileId(1),
+                PKind::FwdGetX {
+                    requestor: TileId(2)
+                }
+            )]
+        );
         // writeback data arrives BEFORE the failure notice
         let out = s.handle_writeback(TileId(1), PKind::WbData, L);
         assert!(out.is_empty());
@@ -720,7 +816,7 @@ mod tests {
     fn owner_rerequest_after_own_writeback() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L); // Owned(1)
-        // tile 1 evicted and re-requests before its writeback landed
+                                                 // tile 1 evicted and re-requests before its writeback landed
         let out = s.handle_request(TileId(1), PKind::GetS, L);
         assert!(out.is_empty(), "home waits for the in-flight writeback");
         let out = s.handle_writeback(TileId(1), PKind::WbData, L);
@@ -732,7 +828,7 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L); // Owned(1)
         let _ = s.handle_request(TileId(2), PKind::GetS, L); // busy: fwd to 1
-        // two more requests queue
+                                                             // two more requests queue
         assert!(s.handle_request(TileId(3), PKind::GetS, L).is_empty());
         assert!(s.handle_request(TileId(4), PKind::GetX, L).is_empty());
         // revision completes the first; tile 3 is served from L2 (now
@@ -757,7 +853,7 @@ mod tests {
         let a = 16;
         let b = 32;
         warm(&mut s, TileId(1), PKind::GetX, a); // Owned(1) in the only way
-        // a request for b must evict a, which requires recalling it
+                                                 // a request for b must evict a, which requires recalling it
         let out = s.handle_request(TileId(2), PKind::GetS, b);
         assert!(matches!(out[..], [Outgoing::MemRead { line }] if line == b));
         let out = s.mem_fill_done(b);
@@ -766,7 +862,9 @@ mod tests {
         let out = s.handle_reply(TileId(1), PKind::RecallAckData, a);
         let kinds = sends(&out);
         assert_eq!(kinds, vec![(TileId(2), PKind::DataE)]);
-        assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite { line } if *line == a)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Outgoing::MemWrite { line } if *line == a)));
         assert_eq!(s.dir_state(b), Some(DirState::Owned(TileId(2))));
         assert_eq!(s.dir_state(a), None);
         assert!(s.is_quiescent());
@@ -817,7 +915,15 @@ mod tests {
         assert_eq!(k[0], (TileId(1), PKind::DataE));
         // the second waiter hits the now-busy... no: DataE granted to 1,
         // line not busy; waiter 3 forwarded to owner 1
-        assert_eq!(k[1], (TileId(1), PKind::FwdGetS { requestor: TileId(3) }));
+        assert_eq!(
+            k[1],
+            (
+                TileId(1),
+                PKind::FwdGetS {
+                    requestor: TileId(3)
+                }
+            )
+        );
         let _ = s.mem_fill_done(line_b);
         let _ = s.handle_reply(TileId(1), PKind::RevisionClean, line_a);
         assert!(s.is_quiescent());

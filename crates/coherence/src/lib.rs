@@ -40,4 +40,4 @@ pub use cache::CacheArray;
 pub use l1::{CoreAccess, L1Cache, L1Result};
 pub use l2::L2Slice;
 pub use memctrl::MemCtrl;
-pub use msg::{Outgoing, PKind, ProtocolMsg};
+pub use msg::{OutVec, Outgoing, PKind, ProtocolMsg};

@@ -51,11 +51,21 @@ impl MemCtrl {
         self.writes_issued.inc();
     }
 
+    /// Pop the next read that has completed by `now`, if any
+    /// (allocation-free; the simulator's hot loop drains with this).
+    pub fn pop_next_ready(&mut self, now: Cycle) -> Option<MemRead> {
+        if self.reads.front().is_some_and(|r| r.ready_at <= now) {
+            self.reads.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Pop every read that has completed by `now`.
     pub fn pop_ready(&mut self, now: Cycle) -> Vec<MemRead> {
         let mut done = Vec::new();
-        while self.reads.front().is_some_and(|r| r.ready_at <= now) {
-            done.push(self.reads.pop_front().expect("front checked"));
+        while let Some(r) = self.pop_next_ready(now) {
+            done.push(r);
         }
         done
     }
@@ -91,6 +101,18 @@ mod tests {
         assert_eq!(m.outstanding(), 0);
         assert_eq!(m.next_ready(), None);
         assert_eq!(m.reads_issued.get(), 2);
+    }
+
+    #[test]
+    fn pop_next_ready_drains_one_at_a_time() {
+        let mut m = MemCtrl::new(100);
+        m.read(0, TileId(1), 0x100);
+        m.read(5, TileId(2), 0x200);
+        assert_eq!(m.pop_next_ready(99), None);
+        assert_eq!(m.pop_next_ready(100).map(|r| r.line), Some(0x100));
+        assert_eq!(m.pop_next_ready(100), None, "second read not due yet");
+        assert_eq!(m.pop_next_ready(105).map(|r| r.line), Some(0x200));
+        assert_eq!(m.outstanding(), 0);
     }
 
     #[test]

@@ -4,10 +4,14 @@
 //! message a controller emits is eventually delivered (in a randomly
 //! perturbed order within the rules each channel class guarantees) — so
 //! it explores orderings the full simulator rarely produces.
+//!
+//! Cases are drawn from the seeded [`cmp_common::randtest`] harness so
+//! the suite runs fully offline and every interleaving is reproducible
+//! from its printed seed.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
+use cmp_common::randtest::{run_cases, usize_in};
 use cmp_common::rng::SimRng;
 use cmp_common::types::TileId;
 use coherence::l1::{CoreAccess, L1Cache, L1Result, L1State};
@@ -53,7 +57,7 @@ impl Harness {
         }
     }
 
-    fn push_out(&mut self, src: TileId, outs: Vec<Outgoing>) {
+    fn push_out(&mut self, src: TileId, outs: impl IntoIterator<Item = Outgoing>) {
         for o in outs {
             match o {
                 Outgoing::Send { dst, msg, .. } => {
@@ -126,7 +130,11 @@ impl Harness {
         if self.waiting[core].is_some() {
             return; // blocking core still waiting
         }
-        let access = if write { CoreAccess::Write } else { CoreAccess::Read };
+        let access = if write {
+            CoreAccess::Write
+        } else {
+            CoreAccess::Read
+        };
         match self.l1s[core].core_access(line, access) {
             L1Result::Hit => {}
             L1Result::Miss { out } => {
@@ -185,14 +193,14 @@ impl Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn randomized_interleavings_stay_coherent(
-        seed in any::<u64>(),
-        ops in proptest::collection::vec((0usize..TILES, 0u64..24, any::<bool>()), 1..120),
-    ) {
+#[test]
+fn randomized_interleavings_stay_coherent() {
+    run_cases("randomized_interleavings_stay_coherent", 24, |rng| {
+        let seed = rng.next_u64();
+        let n_ops = usize_in(rng, 1, 120);
+        let ops: Vec<(usize, u64, bool)> = (0..n_ops)
+            .map(|_| (rng.index(TILES), rng.below(24), rng.chance(0.5)))
+            .collect();
         let mut h = Harness::new(seed);
         for (core, line, write) in ops {
             h.access(core, line, write);
@@ -203,9 +211,9 @@ proptest! {
         }
         h.drain();
         for t in 0..TILES {
-            prop_assert!(h.waiting[t].is_none(), "core {t} never completed");
-            prop_assert!(h.l2s[t].is_quiescent(), "slice {t} stuck");
+            assert!(h.waiting[t].is_none(), "core {t} never completed");
+            assert!(h.l2s[t].is_quiescent(), "slice {t} stuck");
         }
         h.check_coherence();
-    }
+    });
 }

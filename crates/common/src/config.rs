@@ -195,7 +195,9 @@ impl CmpConfig {
         }
         self.l1.validate().map_err(|e| format!("L1: {e}"))?;
         self.l2_slice.validate().map_err(|e| format!("L2: {e}"))?;
-        self.network.validate().map_err(|e| format!("network: {e}"))?;
+        self.network
+            .validate()
+            .map_err(|e| format!("network: {e}"))?;
         Ok(())
     }
 }

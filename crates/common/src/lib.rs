@@ -14,12 +14,17 @@
 //!   subsystem to report results.
 //! * [`rng`] — a tiny deterministic `SplitMix64`/`Xoshiro256**` pair so that
 //!   every simulation is exactly reproducible from a seed.
+//! * [`randtest`] — a seeded randomized-testing harness built on [`rng`],
+//!   used by the property suites in place of an external dependency.
+//! * [`smallvec`] — an inline-first vector for hot-path message plumbing.
 //! * [`units`] — thin newtypes for the physical quantities that cross crate
 //!   boundaries (picoseconds, watts, square millimetres, joules).
 
 pub mod config;
 pub mod geometry;
+pub mod randtest;
 pub mod rng;
+pub mod smallvec;
 pub mod stats;
 pub mod types;
 pub mod units;
@@ -27,5 +32,6 @@ pub mod units;
 pub use config::{CacheConfig, CmpConfig, NetworkConfig};
 pub use geometry::{Coord, MeshShape};
 pub use rng::SimRng;
+pub use smallvec::SmallVec;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use types::{Addr, Cycle, MessageClass, TileId, CONTROL_BYTES, LINE_BYTES};

@@ -46,10 +46,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -168,8 +165,10 @@ mod tests {
             assert!((1..=100).contains(&v));
         }
         // mean should be in the right ballpark
-        let mean: f64 =
-            (0..20_000).map(|_| rng.burst(8.0, 10_000) as f64).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| rng.burst(8.0, 10_000) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 8.0).abs() < 0.5, "burst mean {mean} far from 8");
     }
 

@@ -115,18 +115,28 @@ mod tests {
 
     #[test]
     fn non_compressible_classes_pass_through() {
-        let mut e = engine(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 });
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
         let r = e.process(TileId(3), MessageClass::ResponseData, 0x40);
         assert_eq!(r.wire_bytes, 67);
         assert!(!r.compressed);
         let r = e.process(TileId(3), MessageClass::CoherenceReply, 0x40);
         assert_eq!(r.wire_bytes, 3);
-        assert_eq!(e.stats().accesses(), 0, "pass-through must not touch codecs");
+        assert_eq!(
+            e.stats().accesses(),
+            0,
+            "pass-through must not touch codecs"
+        );
     }
 
     #[test]
     fn requests_compress_after_warmup() {
-        let mut e = engine(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 });
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
         let first = e.process(TileId(1), MessageClass::Request, 100);
         assert_eq!(first.wire_bytes, 11);
         assert!(!first.compressed);
@@ -137,7 +147,10 @@ mod tests {
 
     #[test]
     fn destinations_have_independent_state() {
-        let mut e = engine(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 });
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
         e.process(TileId(1), MessageClass::Request, 100);
         // same base, different destination: still a cold miss
         let r = e.process(TileId(2), MessageClass::Request, 100);
@@ -146,7 +159,10 @@ mod tests {
 
     #[test]
     fn streams_have_independent_state() {
-        let mut e = engine(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 });
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
         e.process(TileId(1), MessageClass::Request, 100);
         // same destination + base but the commands stream: cold miss
         let r = e.process(TileId(1), MessageClass::CoherenceCmd, 100);
@@ -188,7 +204,10 @@ mod tests {
 
     #[test]
     fn reset_restores_cold_state() {
-        let mut e = engine(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 });
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
         e.process(TileId(1), MessageClass::Request, 100);
         e.process(TileId(1), MessageClass::Request, 100);
         e.reset();

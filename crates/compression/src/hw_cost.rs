@@ -160,26 +160,55 @@ mod tests {
     fn storage_matches_table1_size_column() {
         let t = 16;
         assert_eq!(
-            storage_bytes(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, t),
+            storage_bytes(
+                CompressionScheme::Dbrc {
+                    entries: 4,
+                    low_bytes: 2
+                },
+                t
+            ),
             1088
         );
         assert_eq!(
-            storage_bytes(CompressionScheme::Dbrc { entries: 16, low_bytes: 1 }, t),
+            storage_bytes(
+                CompressionScheme::Dbrc {
+                    entries: 16,
+                    low_bytes: 1
+                },
+                t
+            ),
             4352
         );
         assert_eq!(
-            storage_bytes(CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }, t),
+            storage_bytes(
+                CompressionScheme::Dbrc {
+                    entries: 64,
+                    low_bytes: 2
+                },
+                t
+            ),
             17408
         );
-        assert_eq!(storage_bytes(CompressionScheme::Stride { low_bytes: 2 }, t), 272);
+        assert_eq!(
+            storage_bytes(CompressionScheme::Stride { low_bytes: 2 }, t),
+            272
+        );
         assert_eq!(storage_bytes(CompressionScheme::None, t), 0);
-        assert_eq!(storage_bytes(CompressionScheme::Perfect { low_bytes: 1 }, t), 0);
+        assert_eq!(
+            storage_bytes(CompressionScheme::Perfect { low_bytes: 1 }, t),
+            0
+        );
     }
 
     #[test]
     fn published_rows_selected_for_16_tiles() {
-        let cost =
-            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 16);
+        let cost = CompressionHwCost::for_scheme(
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+            16,
+        );
         assert_eq!(cost.area.value(), 0.0723);
         assert_eq!(cost.max_dynamic.value(), 0.1065);
         assert!((cost.static_power.milliwatts() - 10.78).abs() < 1e-9);
@@ -216,8 +245,13 @@ mod tests {
 
     #[test]
     fn non_16_tile_machines_fall_back_to_cacti_lite() {
-        let cost =
-            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 4);
+        let cost = CompressionHwCost::for_scheme(
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+            4,
+        );
         // 2*(1+4)*4*8 = 320 bytes
         assert_eq!(cost.storage_bytes, 320);
         assert!(cost.area.value() > 0.0 && cost.area.value() < 0.0723);
@@ -225,7 +259,10 @@ mod tests {
 
     #[test]
     fn oracles_cost_nothing() {
-        for scheme in [CompressionScheme::None, CompressionScheme::Perfect { low_bytes: 2 }] {
+        for scheme in [
+            CompressionScheme::None,
+            CompressionScheme::Perfect { low_bytes: 2 },
+        ] {
             let cost = CompressionHwCost::for_scheme(scheme, 16);
             assert_eq!(cost.storage_bytes, 0);
             assert_eq!(cost.area.value(), 0.0);
@@ -235,8 +272,13 @@ mod tests {
 
     #[test]
     fn access_energy_is_plausible() {
-        let cost =
-            CompressionHwCost::for_scheme(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }, 16);
+        let cost = CompressionHwCost::for_scheme(
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+            16,
+        );
         let pj = cost.dyn_energy_per_access().picojoules();
         // small SRAM access at 65nm: picojoules, not nano or femto
         assert!((1.0..=100.0).contains(&pj), "access energy {pj} pJ");

@@ -31,12 +31,30 @@ impl CompressionScheme {
         vec![
             CompressionScheme::Stride { low_bytes: 1 },
             CompressionScheme::Stride { low_bytes: 2 },
-            CompressionScheme::Dbrc { entries: 4, low_bytes: 1 },
-            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
-            CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
-            CompressionScheme::Dbrc { entries: 16, low_bytes: 2 },
-            CompressionScheme::Dbrc { entries: 64, low_bytes: 1 },
-            CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 1,
+            },
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 1,
+            },
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 2,
+            },
+            CompressionScheme::Dbrc {
+                entries: 64,
+                low_bytes: 1,
+            },
+            CompressionScheme::Dbrc {
+                entries: 64,
+                low_bytes: 2,
+            },
         ]
     }
 
@@ -140,12 +158,24 @@ mod tests {
     fn compressed_sizes_match_section_4_3() {
         // "from 11 bytes to 4-5 bytes depending on the size of the
         // uncompressed low order bits"
-        let s1 = CompressionScheme::Dbrc { entries: 4, low_bytes: 1 };
-        let s2 = CompressionScheme::Dbrc { entries: 4, low_bytes: 2 };
+        let s1 = CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 1,
+        };
+        let s2 = CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        };
         assert_eq!(s1.compressed_bytes(), 4);
         assert_eq!(s2.compressed_bytes(), 5);
-        assert_eq!(CompressionScheme::Stride { low_bytes: 2 }.compressed_bytes(), 5);
-        assert_eq!(CompressionScheme::Perfect { low_bytes: 0 }.compressed_bytes(), 3);
+        assert_eq!(
+            CompressionScheme::Stride { low_bytes: 2 }.compressed_bytes(),
+            5
+        );
+        assert_eq!(
+            CompressionScheme::Perfect { low_bytes: 0 }.compressed_bytes(),
+            3
+        );
     }
 
     #[test]
@@ -154,7 +184,10 @@ mod tests {
         assert_eq!(m.len(), 8);
         // all Stride and DBRC rows of Figure 2 present
         assert!(m.contains(&CompressionScheme::Stride { low_bytes: 1 }));
-        assert!(m.contains(&CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }));
+        assert!(m.contains(&CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2
+        }));
     }
 
     #[test]
@@ -170,9 +203,16 @@ mod tests {
     #[test]
     fn labels_are_figure_legends() {
         assert_eq!(
-            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }.label(),
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2
+            }
+            .label(),
             "4-entry DBRC (2B LO)"
         );
-        assert_eq!(CompressionScheme::Stride { low_bytes: 1 }.label(), "1-byte Stride");
+        assert_eq!(
+            CompressionScheme::Stride { low_bytes: 1 }.label(),
+            "1-byte Stride"
+        );
     }
 }

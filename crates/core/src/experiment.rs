@@ -15,7 +15,7 @@ use wire_model::wires::VlWidth;
 use workloads::profile::AppProfile;
 
 use crate::niface::InterconnectChoice;
-use crate::sim::{CmpSimulator, SimConfig, SimResult};
+use crate::sim::{CmpSimulator, SimConfig, SimError, SimResult};
 
 /// One (interconnect, scheme) configuration of the matrix.
 #[derive(Clone, Debug)]
@@ -55,10 +55,16 @@ impl ConfigSpec {
 /// perfect-compression bounds drawn as solid lines.
 pub fn paper_configs(include_perfect: bool) -> Vec<ConfigSpec> {
     let mut v = vec![ConfigSpec::baseline()];
-    v.extend(CompressionScheme::paper_matrix().into_iter().map(ConfigSpec::compressed));
+    v.extend(
+        CompressionScheme::paper_matrix()
+            .into_iter()
+            .map(ConfigSpec::compressed),
+    );
     if include_perfect {
         for low in [1usize, 2] {
-            v.push(ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: low }));
+            v.push(ConfigSpec::compressed(CompressionScheme::Perfect {
+                low_bytes: low,
+            }));
         }
     }
     v
@@ -73,28 +79,60 @@ pub struct RunSpec {
     pub scale: f64,
 }
 
-/// Execute a single run.
-pub fn run_one(cmp: &CmpConfig, spec: &RunSpec) -> SimResult {
-    let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
-    cfg.cmp = cmp.clone();
-    let mut sim = CmpSimulator::new(cfg, &spec.app, spec.seed, spec.scale);
-    match sim.run() {
-        Ok(r) => r,
-        Err(e) => panic!(
-            "run failed: app={} config={}: {e}",
-            spec.app.name, spec.config.label
-        ),
+/// A run of the matrix that ended in a `SimError`, identified by its
+/// (application, configuration) pair.
+#[derive(Debug)]
+pub struct RunFailure {
+    pub app: String,
+    pub config: String,
+    pub error: SimError,
+}
+
+/// All failed runs of a matrix. Successful runs are discarded: a partial
+/// matrix cannot be normalised, so the caller needs the full failure list
+/// rather than a subset of results.
+#[derive(Debug)]
+pub struct MatrixError {
+    pub failures: Vec<RunFailure>,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} run(s) failed:", self.failures.len())?;
+        for fail in &self.failures {
+            write!(
+                f,
+                "\n  app={} config={}: {}",
+                fail.app, fail.config, fail.error
+            )?;
+        }
+        Ok(())
     }
 }
 
+impl std::error::Error for MatrixError {}
+
+/// Execute a single run.
+pub fn run_one(cmp: &CmpConfig, spec: &RunSpec) -> Result<SimResult, SimError> {
+    let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
+    cfg.cmp = cmp.clone();
+    let mut sim = CmpSimulator::new(cfg, &spec.app, spec.seed, spec.scale);
+    sim.run()
+}
+
 /// Execute the matrix on all available cores, preserving input order.
-pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Vec<SimResult> {
+///
+/// A failing run no longer takes the whole matrix down: every spec is
+/// attempted, and if any fail the returned [`MatrixError`] names each
+/// failing (app, config) pair with its [`SimError`].
+pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Result<Vec<SimResult>, MatrixError> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(specs.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; specs.len()]);
+    let results: Mutex<Vec<Option<Result<SimResult, SimError>>>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -107,12 +145,24 @@ pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Vec<SimResult> {
             });
         }
     });
-    results
-        .into_inner()
-        .expect("scope joined")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    let slots = results.into_inner().expect("scope joined");
+    let mut ok = Vec::with_capacity(specs.len());
+    let mut failures = Vec::new();
+    for (spec, slot) in specs.iter().zip(slots) {
+        match slot.expect("every slot filled") {
+            Ok(r) => ok.push(r),
+            Err(error) => failures.push(RunFailure {
+                app: spec.app.name.to_string(),
+                config: spec.config.label.clone(),
+                error,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(ok)
+    } else {
+        Err(MatrixError { failures })
+    }
 }
 
 /// A figure row: one application under one configuration, normalised to
@@ -147,8 +197,7 @@ pub fn normalize(results: &[SimResult]) -> Vec<NormalizedRow> {
     results
         .iter()
         .filter(|r| {
-            !(r.interconnect == InterconnectChoice::Baseline
-                && r.scheme == CompressionScheme::None)
+            !(r.interconnect == InterconnectChoice::Baseline && r.scheme == CompressionScheme::None)
         })
         .map(|r| {
             let b = baseline(&r.app);
@@ -201,12 +250,18 @@ mod tests {
         assert!(c.iter().any(|s| s.label == "64-entry DBRC (2B LO)"));
         assert!(c.iter().any(|s| s.label.starts_with("perfect")));
         // low-order bytes pick the VL width
-        let s = c.iter().find(|s| s.label == "4-entry DBRC (1B LO)").unwrap();
+        let s = c
+            .iter()
+            .find(|s| s.label == "4-entry DBRC (1B LO)")
+            .unwrap();
         assert_eq!(
             s.interconnect,
             InterconnectChoice::Heterogeneous(VlWidth::FourBytes)
         );
-        let s = c.iter().find(|s| s.label == "4-entry DBRC (2B LO)").unwrap();
+        let s = c
+            .iter()
+            .find(|s| s.label == "4-entry DBRC (2B LO)")
+            .unwrap();
         assert_eq!(
             s.interconnect,
             InterconnectChoice::Heterogeneous(VlWidth::FiveBytes)
@@ -219,13 +274,21 @@ mod tests {
         let app = synthetic::hotspot(800, 64);
         let specs: Vec<RunSpec> = [
             ConfigSpec::baseline(),
-            ConfigSpec::compressed(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }),
+            ConfigSpec::compressed(CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            }),
             ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: 2 }),
         ]
         .into_iter()
-        .map(|config| RunSpec { app: app.clone(), config, seed: 7, scale: 1.0 })
+        .map(|config| RunSpec {
+            app: app.clone(),
+            config,
+            seed: 7,
+            scale: 1.0,
+        })
         .collect();
-        let results = run_matrix(&cmp, &specs);
+        let results = run_matrix(&cmp, &specs).expect("matrix runs cleanly");
         assert_eq!(results.len(), 3);
         let rows = normalize(&results);
         assert_eq!(rows.len(), 2);
@@ -238,6 +301,36 @@ mod tests {
         let dbrc = rows.iter().find(|r| r.config.contains("DBRC")).unwrap();
         let perfect = rows.iter().find(|r| r.config.contains("perfect")).unwrap();
         assert!(perfect.exec_time <= dbrc.exec_time * 1.02);
+    }
+
+    #[test]
+    fn failing_runs_are_reported_not_fatal() {
+        // A watchdog budget far below what the workload needs: the run
+        // fails, and the matrix error names the (app, config) pair
+        // instead of panicking the worker thread.
+        let app = synthetic::hotspot(800, 64);
+        let spec = RunSpec {
+            app,
+            config: ConfigSpec::baseline(),
+            seed: 7,
+            scale: 1.0,
+        };
+        let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
+        cfg.cmp = CmpConfig::default();
+        cfg.max_cycles = 10;
+        let mut sim = CmpSimulator::new(cfg, &spec.app, spec.seed, spec.scale);
+        let error = sim.run().expect_err("watchdog must fire");
+        let matrix_err = MatrixError {
+            failures: vec![RunFailure {
+                app: spec.app.name.to_string(),
+                config: spec.config.label.clone(),
+                error,
+            }],
+        };
+        let msg = matrix_err.to_string();
+        assert!(msg.contains("1 run(s) failed"), "{msg}");
+        assert!(msg.contains("hotspot"), "{msg}");
+        assert!(msg.contains("baseline"), "{msg}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod niface;
 pub mod report;
 pub mod sim;
 
-pub use experiment::{paper_configs, run_matrix, ConfigSpec, NormalizedRow, RunSpec};
+pub use experiment::{
+    paper_configs, run_matrix, ConfigSpec, MatrixError, NormalizedRow, RunFailure, RunSpec,
+};
 pub use niface::{map_channel, InterconnectChoice};
 pub use sim::{CmpSimulator, SimConfig, SimError, SimResult};

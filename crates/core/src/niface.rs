@@ -29,12 +29,8 @@ impl InterconnectChoice {
     pub fn noc_config(self, net: &NetworkConfig, clock_hz: f64) -> NocConfig {
         match self {
             InterconnectChoice::Baseline => NocConfig::baseline(net, clock_hz),
-            InterconnectChoice::Heterogeneous(vl) => {
-                NocConfig::heterogeneous(net, clock_hz, vl)
-            }
-            InterconnectChoice::ReplyPartitioning => {
-                NocConfig::reply_partitioning(net, clock_hz)
-            }
+            InterconnectChoice::Heterogeneous(vl) => NocConfig::heterogeneous(net, clock_hz, vl),
+            InterconnectChoice::ReplyPartitioning => NocConfig::reply_partitioning(net, clock_hz),
         }
     }
 
@@ -133,7 +129,10 @@ mod tests {
     fn compressed_requests_and_commands_ride_vl() {
         // 4-byte compressed request on a 4-byte VL channel
         assert_eq!(map_channel(H4, MessageClass::Request, 4), ChannelKind::Vl);
-        assert_eq!(map_channel(H5, MessageClass::CoherenceCmd, 5), ChannelKind::Vl);
+        assert_eq!(
+            map_channel(H5, MessageClass::CoherenceCmd, 5),
+            ChannelKind::Vl
+        );
         // uncompressed (11-byte) versions stay on B
         assert_eq!(map_channel(H5, MessageClass::Request, 11), ChannelKind::B);
     }
@@ -170,13 +169,31 @@ mod tests {
         // short critical messages (and the split-off partial replies)
         // ride the 11-byte L-Wires
         assert_eq!(map_channel(RP, MessageClass::Request, 11), ChannelKind::L);
-        assert_eq!(map_channel(RP, MessageClass::PartialReply, 11), ChannelKind::L);
-        assert_eq!(map_channel(RP, MessageClass::CoherenceReply, 3), ChannelKind::L);
-        assert_eq!(map_channel(RP, MessageClass::CoherenceCmd, 11), ChannelKind::L);
+        assert_eq!(
+            map_channel(RP, MessageClass::PartialReply, 11),
+            ChannelKind::L
+        );
+        assert_eq!(
+            map_channel(RP, MessageClass::CoherenceReply, 3),
+            ChannelKind::L
+        );
+        assert_eq!(
+            map_channel(RP, MessageClass::CoherenceCmd, 11),
+            ChannelKind::L
+        );
         // ordinary (whole-line) replies and non-critical traffic take PW
-        assert_eq!(map_channel(RP, MessageClass::ResponseData, 67), ChannelKind::Pw);
-        assert_eq!(map_channel(RP, MessageClass::ReplacementData, 67), ChannelKind::Pw);
-        assert_eq!(map_channel(RP, MessageClass::ReplacementNoData, 11), ChannelKind::Pw);
+        assert_eq!(
+            map_channel(RP, MessageClass::ResponseData, 67),
+            ChannelKind::Pw
+        );
+        assert_eq!(
+            map_channel(RP, MessageClass::ReplacementData, 67),
+            ChannelKind::Pw
+        );
+        assert_eq!(
+            map_channel(RP, MessageClass::ReplacementNoData, 11),
+            ChannelKind::Pw
+        );
         assert_eq!(map_channel(RP, MessageClass::Revision, 67), ChannelKind::Pw);
         assert!(RP.splits_replies());
         assert!(!H4.splits_replies());

@@ -17,12 +17,12 @@ use cmp_common::units::Joules;
 use coherence::l1::{CoreAccess, L1Cache, L1Result};
 use coherence::l2::L2Slice;
 use coherence::memctrl::MemCtrl;
-use coherence::msg::{Outgoing, PKind, ProtocolMsg};
+use coherence::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 use cpu_model::core::{Action, Core};
 use cpu_model::sync::BarrierState;
 use energy_model::breakdown::EnergyBreakdown;
 use energy_model::core_power::CoreEnergyModel;
-use mesh_noc::message::Message;
+use mesh_noc::message::{Delivered, Message};
 use mesh_noc::Noc;
 use workloads::generator::TraceGen;
 use workloads::profile::AppProfile;
@@ -198,13 +198,30 @@ pub struct CmpSimulator {
     delayed: BinaryHeap<Reverse<DelayedEvent>>,
     seq: u64,
     now: Cycle,
+    // --- incremental event calendar ---
+    /// Cached ready cycle per core (`Cycle::MAX` when blocked or done),
+    /// the source of truth the heap entries are validated against.
+    core_next: Vec<Cycle>,
+    /// Lazily-invalidated min-heap over `(ready_at, tile)`: an entry is
+    /// live iff it matches `core_next`; stale entries are discarded on pop.
+    core_heap: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Cores that have not retired their whole trace yet.
+    cores_unfinished: usize,
+    /// Mirror of `!l2s[t].is_quiescent()`, kept by `sync_l2`.
+    l2_busy: Vec<bool>,
+    busy_l2_count: usize,
+    // --- reusable scratch buffers (hot-loop allocation sinks) ---
+    delivered_scratch: Vec<Delivered<ProtocolMsg>>,
+    due_scratch: Vec<u32>,
 }
 
 impl CmpSimulator {
     /// Build a simulator running `app` at `scale`, seeded with `seed`.
     pub fn new(cfg: SimConfig, app: &AppProfile, seed: u64, scale: f64) -> Self {
         cfg.cmp.validate().expect("valid machine config");
-        cfg.interconnect.validate(&cfg.cmp).expect("valid interconnect");
+        cfg.interconnect
+            .validate(&cfg.cmp)
+            .expect("valid interconnect");
         let tiles = cfg.cmp.tiles();
         let cores = (0..tiles)
             .map(|t| {
@@ -251,7 +268,8 @@ impl CmpSimulator {
             .collect();
         let noc = Noc::new(
             cfg.cmp.mesh,
-            cfg.interconnect.noc_config(&cfg.cmp.network, cfg.cmp.clock_hz),
+            cfg.interconnect
+                .noc_config(&cfg.cmp.network, cfg.cmp.clock_hz),
         );
         let mem = MemCtrl::new(cfg.cmp.mem_latency_cycles);
         let barrier = BarrierState::new(tiles);
@@ -269,6 +287,14 @@ impl CmpSimulator {
             delayed: BinaryHeap::new(),
             seq: 0,
             now: 0,
+            // every core starts Ready at cycle 0
+            core_next: vec![0; tiles],
+            core_heap: (0..tiles as u32).map(|t| Reverse((0, t))).collect(),
+            cores_unfinished: tiles,
+            l2_busy: vec![false; tiles],
+            busy_l2_count: 0,
+            delivered_scratch: Vec::new(),
+            due_scratch: Vec::new(),
             cfg,
         }
     }
@@ -284,7 +310,7 @@ impl CmpSimulator {
         }));
     }
 
-    fn process_outgoing(&mut self, tile: TileId, outs: Vec<Outgoing>) {
+    fn process_outgoing(&mut self, tile: TileId, outs: OutVec) {
         for o in outs {
             match o {
                 Outgoing::Send { dst, msg, delay } => self.schedule(tile, dst, msg, delay),
@@ -292,6 +318,41 @@ impl CmpSimulator {
                 Outgoing::MemWrite { line } => self.mem.write(line),
             }
         }
+    }
+
+    /// Re-cache core `t`'s ready cycle after its state may have changed.
+    fn refresh_core(&mut self, t: usize) {
+        let r = self.cores[t].ready_at().unwrap_or(Cycle::MAX);
+        if r != self.core_next[t] {
+            self.core_next[t] = r;
+            if r != Cycle::MAX {
+                self.core_heap.push(Reverse((r, t as u32)));
+            }
+        }
+    }
+
+    /// Re-cache L2 slice `d`'s busy/quiescent flag after it handled work.
+    fn sync_l2(&mut self, d: usize) {
+        let busy = !self.l2s[d].is_quiescent();
+        if busy != self.l2_busy[d] {
+            self.l2_busy[d] = busy;
+            if busy {
+                self.busy_l2_count += 1;
+            } else {
+                self.busy_l2_count -= 1;
+            }
+        }
+    }
+
+    /// Earliest live core-ready cycle; pops stale heap entries on the way.
+    fn earliest_ready_core(&mut self) -> Option<Cycle> {
+        while let Some(&Reverse((at, t))) = self.core_heap.peek() {
+            if self.core_next[t as usize] == at {
+                return Some(at);
+            }
+            self.core_heap.pop();
+        }
+        None
     }
 
     /// A delayed event fires: local messages are delivered directly (they
@@ -307,7 +368,10 @@ impl CmpSimulator {
         // wires) plus the ordinary whole-line reply.
         if self.cfg.interconnect.splits_replies() {
             if let Some(of) = coherence::msg::PartialOf::of_kind(ev.msg.kind) {
-                self.inject_one(ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line), ev);
+                self.inject_one(
+                    ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line),
+                    ev,
+                );
             }
         }
         self.inject_one(ev.msg, ev);
@@ -341,6 +405,7 @@ impl CmpSimulator {
                 self.process_outgoing(dst, outs);
                 let pumped = self.l2s[d].pump();
                 self.process_outgoing(dst, pumped);
+                self.sync_l2(d);
             }
             PKind::InvAck
             | PKind::FwdFailed
@@ -353,12 +418,14 @@ impl CmpSimulator {
                 self.process_outgoing(dst, outs);
                 let pumped = self.l2s[d].pump();
                 self.process_outgoing(dst, pumped);
+                self.sync_l2(d);
             }
             PKind::WbData | PKind::WbHint => {
                 let outs = self.l2s[d].handle_writeback(src, msg.kind, msg.line);
                 self.process_outgoing(dst, outs);
                 let pumped = self.l2s[d].pump();
                 self.process_outgoing(dst, pumped);
+                self.sync_l2(d);
             }
             PKind::DataS
             | PKind::DataE
@@ -373,16 +440,29 @@ impl CmpSimulator {
                 self.process_outgoing(dst, outs);
                 if done.is_some() {
                     self.cores[d].mem_complete(self.now);
+                    self.refresh_core(d);
                 }
             }
         }
     }
 
     fn step_core(&mut self, t: usize) {
+        let was_done = self.cores[t].is_done();
+        self.step_core_inner(t);
+        if !was_done && self.cores[t].is_done() {
+            self.cores_unfinished -= 1;
+        }
+    }
+
+    fn step_core_inner(&mut self, t: usize) {
         loop {
             match self.cores[t].next_action(self.now) {
                 Action::Access { line, write } => {
-                    let access = if write { CoreAccess::Write } else { CoreAccess::Read };
+                    let access = if write {
+                        CoreAccess::Write
+                    } else {
+                        CoreAccess::Read
+                    };
                     match self.l1s[t].core_access(line, access) {
                         L1Result::Hit => {
                             self.cores[t].mem_hit(self.now);
@@ -402,10 +482,11 @@ impl CmpSimulator {
                 Action::AtBarrier(id) => {
                     self.parked[t] = true;
                     if self.barrier.arrive(t, id) {
-                        for (p, parked) in self.parked.iter_mut().enumerate() {
-                            if *parked {
+                        for p in 0..self.parked.len() {
+                            if self.parked[p] {
                                 self.cores[p].barrier_release(self.now);
-                                *parked = false;
+                                self.parked[p] = false;
+                                self.refresh_core(p);
                             }
                         }
                     }
@@ -416,20 +497,20 @@ impl CmpSimulator {
         }
     }
 
+    /// O(1): every term is a live counter kept in sync as state changes
+    /// (the scan-per-iteration predecessor walked all cores and slices).
     fn all_done(&self) -> bool {
-        self.cores.iter().all(|c| c.is_done())
+        self.cores_unfinished == 0
             && self.noc.is_idle()
             && self.delayed.is_empty()
             && self.mem.outstanding() == 0
-            && self.l2s.iter().all(|s| s.is_quiescent())
+            && self.busy_l2_count == 0
     }
 
-    fn next_interesting(&self) -> Option<Cycle> {
+    fn next_interesting(&mut self) -> Option<Cycle> {
         let mut next = Cycle::MAX;
-        for c in &self.cores {
-            if let Some(r) = c.ready_at() {
-                next = next.min(r);
-            }
+        if let Some(r) = self.earliest_ready_core() {
+            next = next.min(r);
         }
         if let Some(n) = self.noc.next_event_cycle(self.now) {
             next = next.min(n);
@@ -460,49 +541,87 @@ impl CmpSimulator {
         )
     }
 
-    /// Run to completion and report.
-    pub fn run(&mut self) -> Result<SimResult, SimError> {
-        while !self.all_done() {
-            if self.now >= self.cfg.max_cycles {
-                return Err(SimError::Watchdog { cycle: self.now });
+    /// One scheduler iteration: drain everything due at `self.now`, then
+    /// jump the clock to the next interesting cycle. Returns `Ok(false)`
+    /// once the workload has fully drained. Exposed at crate level so
+    /// tests can interleave invariant checks between iterations.
+    pub(crate) fn step_iteration(&mut self) -> Result<bool, SimError> {
+        if self.all_done() {
+            return Ok(false);
+        }
+        if self.now >= self.cfg.max_cycles {
+            return Err(SimError::Watchdog { cycle: self.now });
+        }
+        // 1. memory completions
+        while let Some(r) = self.mem.pop_next_ready(self.now) {
+            let outs = self.l2s[r.tile.index()].mem_fill_done(r.line);
+            self.process_outgoing(r.tile, outs);
+            let pumped = self.l2s[r.tile.index()].pump();
+            self.process_outgoing(r.tile, pumped);
+            self.sync_l2(r.tile.index());
+        }
+        // 2. delayed sends due now
+        while let Some(Reverse(ev)) = self.delayed.peek() {
+            if ev.at > self.now {
+                break;
             }
-            // 1. memory completions
-            for r in self.mem.pop_ready(self.now) {
-                let outs = self.l2s[r.tile.index()].mem_fill_done(r.line);
-                self.process_outgoing(r.tile, outs);
-                let pumped = self.l2s[r.tile.index()].pump();
-                self.process_outgoing(r.tile, pumped);
+            let Reverse(ev) = self.delayed.pop().expect("peeked");
+            self.fire(ev);
+        }
+        // 3. network
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        delivered.clear();
+        self.noc.tick_into(self.now, &mut delivered);
+        for d in delivered.drain(..) {
+            self.deliver(d.message.src, d.message.dst, d.message.payload);
+        }
+        self.delivered_scratch = delivered;
+        // 4. cores due now. Stale heap entries (cache mismatch) are
+        // dropped; live duplicates carry identical (at, t) pairs, so a
+        // sort + dedup leaves each due tile once. Stepping in ascending
+        // tile order — not heap order — reproduces the original full
+        // scan exactly, keeping delayed-event sequencing (and therefore
+        // the determinism goldens) bit-identical.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some(&Reverse((at, t))) = self.core_heap.peek() {
+            if at > self.now {
+                break;
             }
-            // 2. delayed sends due now
-            while let Some(Reverse(ev)) = self.delayed.peek() {
-                if ev.at > self.now {
-                    break;
-                }
-                let Reverse(ev) = self.delayed.pop().expect("peeked");
-                self.fire(ev);
+            self.core_heap.pop();
+            if self.core_next[t as usize] == at {
+                due.push(t);
             }
-            // 3. network
-            for d in self.noc.tick(self.now) {
-                self.deliver(d.message.src, d.message.dst, d.message.payload);
+        }
+        due.sort_unstable();
+        due.dedup();
+        for &t in &due {
+            self.step_core(t as usize);
+            self.refresh_core(t as usize);
+        }
+        self.due_scratch = due;
+        // 5. advance
+        match self.next_interesting() {
+            Some(next) => {
+                self.now = next;
+                Ok(true)
             }
-            // 4. cores
-            for t in 0..self.cores.len() {
-                self.step_core(t);
-            }
-            // 5. advance
-            match self.next_interesting() {
-                Some(next) => self.now = next,
-                None => {
-                    if self.all_done() {
-                        break;
-                    }
-                    return Err(SimError::Deadlock {
+            None => {
+                if self.all_done() {
+                    Ok(false)
+                } else {
+                    Err(SimError::Deadlock {
                         cycle: self.now,
                         diagnostics: self.diagnostics(),
-                    });
+                    })
                 }
             }
         }
+    }
+
+    /// Run to completion and report.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        while self.step_iteration()? {}
         Ok(self.collect())
     }
 
@@ -550,8 +669,7 @@ impl CmpSimulator {
         }
         // every sender-side access has a mirrored receiver-side access
         let compression_accesses = coverage_acc.accesses() * 2;
-        let compression_dynamic =
-            hw.dyn_energy_per_access() * compression_accesses as f64;
+        let compression_dynamic = hw.dyn_energy_per_access() * compression_accesses as f64;
         let compression_static = hw.static_power.over(time_s) * tiles;
 
         let energy = EnergyBreakdown {
@@ -623,9 +741,8 @@ impl CmpSimulator {
     /// Consistency check used by tests: the L1's home mapping must agree
     /// with the machine description's.
     pub fn homes_agree(cfg: &CmpConfig) -> bool {
-        (0..4096u64).all(|line| {
-            coherence::l1::home_of(line, cfg.tiles()) == cfg.home_tile(line << 6)
-        })
+        (0..4096u64)
+            .all(|line| coherence::l1::home_of(line, cfg.tiles()) == cfg.home_tile(line << 6))
     }
 
     /// Total compression-hardware static+area context (test hook).
@@ -675,7 +792,10 @@ mod tests {
             SimConfig::baseline(),
             SimConfig::new(
                 InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+                CompressionScheme::Dbrc {
+                    entries: 4,
+                    low_bytes: 2,
+                },
             ),
         ] {
             let r = run_app(&app, cfg, 1.0);
@@ -694,7 +814,10 @@ mod tests {
         let app = synthetic::uniform_random(1_000, 1 << 14, 0.3);
         let cfg = SimConfig::new(
             InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-            CompressionScheme::Dbrc { entries: 16, low_bytes: 1 },
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 1,
+            },
         );
         let a = run_app(&app, cfg.clone(), 1.0);
         let b = run_app(&app, cfg, 1.0);
@@ -747,7 +870,10 @@ mod tests {
             &s,
             SimConfig::new(
                 InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+                CompressionScheme::Dbrc {
+                    entries: 4,
+                    low_bytes: 2,
+                },
             ),
             1.0,
         );
@@ -779,7 +905,10 @@ mod tests {
         let base = run_app(&app, SimConfig::baseline(), 1.0);
         let rp = run_app(
             &app,
-            SimConfig::new(InterconnectChoice::ReplyPartitioning, CompressionScheme::None),
+            SimConfig::new(
+                InterconnectChoice::ReplyPartitioning,
+                CompressionScheme::None,
+            ),
             1.0,
         );
         // every remote data response gains a partial twin
@@ -809,6 +938,58 @@ mod tests {
             rp.cycles,
             base.cycles
         );
+    }
+
+    /// The incremental event calendar (core-ready heap, done/busy
+    /// counters, cached ready cycles) must agree with brute-force scans
+    /// of the underlying components after every scheduler iteration,
+    /// across randomized workloads and both interconnects.
+    #[test]
+    fn event_calendar_matches_brute_force_scans() {
+        use cmp_common::randtest::{self, f64_in, u64_in, usize_in};
+        randtest::run_cases("sim-event-calendar", 4, |rng| {
+            let ops = u64_in(rng, 400, 1_200);
+            let lines = 1u64 << usize_in(rng, 8, 12);
+            let writes = f64_in(rng, 0.2, 0.6);
+            let app = synthetic::uniform_random(ops, lines, writes);
+            let cfg = if rng.chance(0.5) {
+                SimConfig::baseline()
+            } else {
+                SimConfig::new(
+                    InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+                    CompressionScheme::Dbrc {
+                        entries: 4,
+                        low_bytes: 2,
+                    },
+                )
+            };
+            let mut sim = CmpSimulator::new(cfg, &app, rng.next_u64(), 1.0);
+            let mut iters = 0u64;
+            loop {
+                let more = sim.step_iteration().expect("run must not deadlock");
+                let unfinished = sim.cores.iter().filter(|c| !c.is_done()).count();
+                assert_eq!(sim.cores_unfinished, unfinished, "done counter drifted");
+                let busy = sim.l2s.iter().filter(|s| !s.is_quiescent()).count();
+                assert_eq!(sim.busy_l2_count, busy, "busy-L2 counter drifted");
+                for (d, slice) in sim.l2s.iter().enumerate() {
+                    assert_eq!(sim.l2_busy[d], !slice.is_quiescent(), "slice {d} flag");
+                }
+                for (t, core) in sim.cores.iter().enumerate() {
+                    assert_eq!(
+                        sim.core_next[t],
+                        core.ready_at().unwrap_or(Cycle::MAX),
+                        "cached ready cycle for core {t}"
+                    );
+                }
+                let brute = sim.cores.iter().filter_map(|c| c.ready_at()).min();
+                assert_eq!(sim.earliest_ready_core(), brute, "calendar head");
+                iters += 1;
+                if !more {
+                    break;
+                }
+            }
+            assert!(iters > 10, "workload too small to exercise the calendar");
+        });
     }
 
     #[test]

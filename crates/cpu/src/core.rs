@@ -120,11 +120,16 @@ impl Core {
                         self.stats.instructions += n as u64;
                         let cycles = (n.div_ceil(self.issue_width)).max(1) as Cycle;
                         self.state = State::Ready { at: now + cycles };
-                        Action::Idle { until: now + cycles }
+                        Action::Idle {
+                            until: now + cycles,
+                        }
                     }
                     Some(op @ (TraceOp::Load(a) | TraceOp::Store(a))) => {
                         self.pending = Some(op);
-                        Action::Access { line: a, write: matches!(op, TraceOp::Store(_)) }
+                        Action::Access {
+                            line: a,
+                            write: matches!(op, TraceOp::Store(_)),
+                        }
                     }
                     Some(TraceOp::Barrier(id)) => {
                         self.state = State::AtBarrier { since: now, id };
@@ -145,7 +150,9 @@ impl Core {
     pub fn mem_hit(&mut self, now: Cycle) {
         debug_assert!(self.pending.is_some());
         self.retire_mem();
-        self.state = State::Ready { at: now + L1_HIT_LATENCY };
+        self.state = State::Ready {
+            at: now + L1_HIT_LATENCY,
+        };
     }
 
     /// The offered access missed; an MSHR was allocated. The simulator
@@ -207,7 +214,13 @@ mod tests {
     #[test]
     fn load_hit_charges_l1_latency() {
         let mut c = core(vec![TraceOp::Load(7), TraceOp::Compute(2)]);
-        assert_eq!(c.next_action(0), Action::Access { line: 7, write: false });
+        assert_eq!(
+            c.next_action(0),
+            Action::Access {
+                line: 7,
+                write: false
+            }
+        );
         c.mem_hit(0);
         assert_eq!(c.next_action(0), Action::Idle { until: 2 });
         assert_eq!(c.next_action(2), Action::Idle { until: 3 });
@@ -217,7 +230,13 @@ mod tests {
     #[test]
     fn miss_blocks_until_completion() {
         let mut c = core(vec![TraceOp::Store(9)]);
-        assert_eq!(c.next_action(0), Action::Access { line: 9, write: true });
+        assert_eq!(
+            c.next_action(0),
+            Action::Access {
+                line: 9,
+                write: true
+            }
+        );
         c.mem_miss_started(0);
         assert_eq!(c.next_action(50), Action::Idle { until: Cycle::MAX });
         c.mem_complete(100);
@@ -228,11 +247,23 @@ mod tests {
     #[test]
     fn blocked_access_is_reoffered() {
         let mut c = core(vec![TraceOp::Load(5)]);
-        assert_eq!(c.next_action(0), Action::Access { line: 5, write: false });
+        assert_eq!(
+            c.next_action(0),
+            Action::Access {
+                line: 5,
+                write: false
+            }
+        );
         c.mem_retry(0);
         assert_eq!(c.next_action(0), Action::Idle { until: 1 });
         // the same access comes back
-        assert_eq!(c.next_action(1), Action::Access { line: 5, write: false });
+        assert_eq!(
+            c.next_action(1),
+            Action::Access {
+                line: 5,
+                write: false
+            }
+        );
         c.mem_hit(1);
         assert_eq!(c.stats().mem_ops, 1, "retried op retires once");
     }

@@ -50,7 +50,9 @@ pub struct SliceSource {
 impl SliceSource {
     /// Wrap a vector of operations.
     pub fn new(ops: Vec<TraceOp>) -> Self {
-        SliceSource { ops: ops.into_iter() }
+        SliceSource {
+            ops: ops.into_iter(),
+        }
     }
 }
 

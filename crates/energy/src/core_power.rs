@@ -36,12 +36,7 @@ impl CoreEnergyModel {
 
     /// Dynamic energy of a core that retired `instructions` with
     /// `l1_accesses` and whose slice served `l2_accesses`.
-    pub fn dynamic(
-        &self,
-        instructions: u64,
-        l1_accesses: u64,
-        l2_accesses: u64,
-    ) -> Joules {
+    pub fn dynamic(&self, instructions: u64, l1_accesses: u64, l2_accesses: u64) -> Joules {
         self.energy_per_instruction * instructions as f64
             + self.energy_per_l1_access * l1_accesses as f64
             + self.energy_per_l2_access * l2_accesses as f64

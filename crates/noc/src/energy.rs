@@ -83,13 +83,14 @@ impl NocEnergy {
             .channels
             .iter()
             .map(|c| {
-                crate::router::PORTS * c.virtual_channels * c.vc_buffer_flits
+                crate::router::PORTS
+                    * c.virtual_channels
+                    * c.vc_buffer_flits
                     * c.channel.width_bytes
             })
             .sum();
-        let router_leak = mesh.tiles() as f64
-            * buffer_bytes_per_router as f64
-            * model.leakage_w_per_buffer_byte;
+        let router_leak =
+            mesh.tiles() as f64 * buffer_bytes_per_router as f64 * model.leakage_w_per_buffer_byte;
         Watts(link_leak + router_leak)
     }
 }
@@ -107,7 +108,11 @@ mod tests {
         let e2 = m.flit_energy(20);
         assert!(e2.value() > e1.value() * 1.9 && e2.value() < e1.value() * 2.1);
         // ~2 pJ/byte ballpark
-        assert!((10.0..=40.0).contains(&e1.picojoules()), "{}", e1.picojoules());
+        assert!(
+            (10.0..=40.0).contains(&e1.picojoules()),
+            "{}",
+            e1.picojoules()
+        );
     }
 
     #[test]

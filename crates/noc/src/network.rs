@@ -71,11 +71,22 @@ impl<P> Noc<P> {
     /// Advance every sub-network one cycle and collect deliveries.
     pub fn tick(&mut self, now: Cycle) -> Vec<Delivered<P>> {
         let mut out = Vec::new();
-        for subnet in &mut self.subnets {
-            subnet.tick(now, &mut self.energy, &self.energy_model, &mut self.stats);
-            out.extend(subnet.drain_delivered());
-        }
+        self.tick_into(now, &mut out);
         out
+    }
+
+    /// Advance one cycle, appending deliveries to `out` (allocation-free
+    /// form of [`Noc::tick`] — the caller reuses its buffer). Sub-networks
+    /// with nothing actionable at `now` are skipped outright, so a quiet
+    /// channel costs nothing per cycle.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Delivered<P>>) {
+        for subnet in &mut self.subnets {
+            if !subnet.has_work(now) {
+                continue;
+            }
+            subnet.tick(now, &mut self.energy, &self.energy_model, &mut self.stats);
+            subnet.drain_delivered_into(out);
+        }
     }
 
     /// True when no message is anywhere in the network.
@@ -119,7 +130,11 @@ impl<P> Noc<P> {
         let mut out = Vec::new();
         for tile in 0..self.mesh.tiles() {
             for dir in cmp_common::geometry::Direction::LINKS {
-                if self.mesh.neighbor(cmp_common::types::TileId::from(tile), dir).is_some() {
+                if self
+                    .mesh
+                    .neighbor(cmp_common::types::TileId::from(tile), dir)
+                    .is_some()
+                {
                     out.push((tile, dir, subnet.link_flits(tile, dir)));
                 }
             }
@@ -187,8 +202,14 @@ mod tests {
         }
         assert_eq!(delivered.len(), 2);
         // the VL message (4 bytes) must arrive strictly earlier
-        let vl = delivered.iter().find(|d| d.message.channel == ChannelKind::Vl).unwrap();
-        let b = delivered.iter().find(|d| d.message.channel == ChannelKind::B).unwrap();
+        let vl = delivered
+            .iter()
+            .find(|d| d.message.channel == ChannelKind::Vl)
+            .unwrap();
+        let b = delivered
+            .iter()
+            .find(|d| d.message.channel == ChannelKind::B)
+            .unwrap();
         assert!(
             vl.delivered_at < b.delivered_at,
             "VL {} should beat B {}",

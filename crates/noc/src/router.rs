@@ -143,7 +143,11 @@ impl Router {
                 vcs: (0..vcs)
                     .map(|_| OutputVc {
                         owner: None,
-                        credits: if port == LOCAL { usize::MAX / 2 } else { buf_flits },
+                        credits: if port == LOCAL {
+                            usize::MAX / 2
+                        } else {
+                            buf_flits
+                        },
                     })
                     .collect(),
                 rr: 0,
@@ -177,9 +181,23 @@ mod tests {
     #[test]
     fn input_vc_capacity_enforced() {
         let mut vc = InputVc::new(2);
-        vc.push(Flit { msg: 0, seq: 0, tail: false }, 1);
+        vc.push(
+            Flit {
+                msg: 0,
+                seq: 0,
+                tail: false,
+            },
+            1,
+        );
         assert!(vc.has_space());
-        vc.push(Flit { msg: 0, seq: 1, tail: true }, 2);
+        vc.push(
+            Flit {
+                msg: 0,
+                seq: 1,
+                tail: true,
+            },
+            2,
+        );
         assert!(!vc.has_space());
     }
 
@@ -187,15 +205,43 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn input_vc_overflow_panics() {
         let mut vc = InputVc::new(1);
-        vc.push(Flit { msg: 0, seq: 0, tail: false }, 1);
-        vc.push(Flit { msg: 0, seq: 1, tail: true }, 1);
+        vc.push(
+            Flit {
+                msg: 0,
+                seq: 0,
+                tail: false,
+            },
+            1,
+        );
+        vc.push(
+            Flit {
+                msg: 0,
+                seq: 1,
+                tail: true,
+            },
+            1,
+        );
     }
 
     #[test]
     fn tail_pop_resets_message_state() {
         let mut vc = InputVc::new(4);
-        vc.push(Flit { msg: 7, seq: 0, tail: false }, 1);
-        vc.push(Flit { msg: 7, seq: 1, tail: true }, 2);
+        vc.push(
+            Flit {
+                msg: 7,
+                seq: 0,
+                tail: false,
+            },
+            1,
+        );
+        vc.push(
+            Flit {
+                msg: 7,
+                seq: 1,
+                tail: true,
+            },
+            2,
+        );
         vc.route = Some(Direction::East);
         vc.out_vc = Some(1);
         vc.pop_after_traversal();
@@ -210,7 +256,14 @@ mod tests {
         let mut r = Router::new(2, 4);
         assert!(!r.has_buffered_flits());
         assert_eq!(r.earliest_head_arrival(), None);
-        r.inputs[0][1].push(Flit { msg: 0, seq: 0, tail: true }, 42);
+        r.inputs[0][1].push(
+            Flit {
+                msg: 0,
+                seq: 0,
+                tail: true,
+            },
+            42,
+        );
         assert!(r.has_buffered_flits());
         assert_eq!(r.earliest_head_arrival(), Some(42));
     }

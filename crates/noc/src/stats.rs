@@ -29,7 +29,9 @@ pub struct NocStats {
 impl Default for NocStats {
     fn default() -> Self {
         NocStats {
-            per_class: (0..MessageClass::ALL.len()).map(|_| ClassStats::default()).collect(),
+            per_class: (0..MessageClass::ALL.len())
+                .map(|_| ClassStats::default())
+                .collect(),
             flit_hops: [Counter::default(); CHANNEL_KINDS],
             injected: Counter::default(),
         }

@@ -79,6 +79,12 @@ pub struct SubNet<P> {
     free_slots: Vec<u32>,
     live_msgs: usize,
     delivered: Vec<Delivered<P>>,
+    /// Flits buffered across all routers (Σ `flits_buffered`): while any
+    /// flit sits in a buffer the sub-network may act next cycle, so the
+    /// next-event estimate never needs the per-router scan.
+    buffered_total: u64,
+    /// Messages queued or mid-serialisation at the network interfaces.
+    inject_pending: usize,
 }
 
 impl<P> SubNet<P> {
@@ -110,6 +116,8 @@ impl<P> SubNet<P> {
             free_slots: Vec::new(),
             live_msgs: 0,
             delivered: Vec::new(),
+            buffered_total: 0,
+            inject_pending: 0,
         }
     }
 
@@ -148,6 +156,7 @@ impl<P> SubNet<P> {
         };
         self.inj_queues[src].push_back(slot);
         self.live_msgs += 1;
+        self.inject_pending += 1;
     }
 
     /// Bytes of flit `seq` of a `wire_bytes` message on this channel.
@@ -159,10 +168,25 @@ impl<P> SubNet<P> {
 
     /// Advance one cycle. Delivered messages accumulate internally; drain
     /// them with [`SubNet::drain_delivered`].
-    pub fn tick(&mut self, now: Cycle, energy: &mut NocEnergy, rem: &RouterEnergyModel, stats: &mut NocStats) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        energy: &mut NocEnergy,
+        rem: &RouterEnergyModel,
+        stats: &mut NocStats,
+    ) {
         self.deliver_wire_arrivals(now);
         self.inject_flits(now);
         self.switch_traversal(now, energy, rem, stats);
+        debug_assert_eq!(
+            self.buffered_total,
+            self.flits_buffered.iter().map(|&n| n as u64).sum::<u64>()
+        );
+        debug_assert_eq!(
+            self.inject_pending,
+            self.inj_queues.iter().map(|q| q.len()).sum::<usize>()
+                + self.inj_progress.iter().filter(|p| p.is_some()).count()
+        );
     }
 
     /// Phase (a): link arrivals land in downstream input buffers.
@@ -174,6 +198,7 @@ impl<P> SubNet<P> {
             let wf = self.wire.pop_front().expect("front checked");
             self.routers[wf.dst_tile].inputs[wf.dst_port][wf.vc].push(wf.flit, now);
             self.flits_buffered[wf.dst_tile] += 1;
+            self.buffered_total += 1;
             self.vc_occupied[wf.dst_tile] |=
                 1 << (wf.dst_port * self.spec.virtual_channels + wf.vc);
         }
@@ -197,7 +222,11 @@ impl<P> SubNet<P> {
                     .max_by_key(|&v| local[v].capacity() - local[v].buf.len());
                 let Some(vc) = vc else { continue };
                 self.inj_queues[tile].pop_front();
-                self.inj_progress[tile] = Some(InjProgress { slot, vc, next_seq: 0 });
+                self.inj_progress[tile] = Some(InjProgress {
+                    slot,
+                    vc,
+                    next_seq: 0,
+                });
             }
             let Some(mut p) = self.inj_progress[tile] else {
                 continue;
@@ -209,13 +238,23 @@ impl<P> SubNet<P> {
             let entry = self.slab[p.slot as usize].as_ref().expect("live slot");
             let tail = p.next_seq + 1 == entry.flits_total;
             vc.push(
-                Flit { msg: p.slot, seq: p.next_seq, tail },
+                Flit {
+                    msg: p.slot,
+                    seq: p.next_seq,
+                    tail,
+                },
                 now,
             );
             self.flits_buffered[tile] += 1;
+            self.buffered_total += 1;
             self.vc_occupied[tile] |= 1 << (LOCAL * self.spec.virtual_channels + p.vc);
             p.next_seq += 1;
-            self.inj_progress[tile] = if tail { None } else { Some(p) };
+            if tail {
+                self.inj_progress[tile] = None;
+                self.inject_pending -= 1;
+            } else {
+                self.inj_progress[tile] = Some(p);
+            }
         }
     }
 
@@ -315,6 +354,7 @@ impl<P> SubNet<P> {
                     self.vc_occupied[tile] &= !(1 << (in_port * nvc + in_vc));
                 }
                 self.flits_buffered[tile] -= 1;
+                self.buffered_total -= 1;
                 let flit = bf.flit;
                 let (wire_bytes, flits_total) = {
                     let e = self.slab[flit.msg as usize].as_ref().expect("live");
@@ -378,8 +418,7 @@ impl<P> SubNet<P> {
                         dst_port: out_dir.opposite().index(),
                         vc: ovc,
                     });
-                    energy.link_dynamic +=
-                        self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
+                    energy.link_dynamic += self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
                     stats.record_flit_hop(self.spec.kind);
                 }
             }
@@ -391,15 +430,50 @@ impl<P> SubNet<P> {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Append the messages delivered since the last drain to `out`
+    /// (allocation-free drain for the simulator's hot loop).
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<Delivered<P>>) {
+        out.append(&mut self.delivered);
+    }
+
     /// Whether the sub-network holds no messages at all.
     pub fn is_idle(&self) -> bool {
         self.live_msgs == 0
     }
 
-    /// The next cycle at which calling `tick` can make progress, given the
-    /// current state (`None` when idle). Always > `now`... unless work is
-    /// already pending, in which case `now + 1`.
+    /// Whether `tick(now)` can make any progress: a buffered or injecting
+    /// flit can always act this cycle; otherwise only a link arrival due
+    /// by `now`. O(1), so idle sub-networks can be skipped entirely.
+    pub fn has_work(&self, now: Cycle) -> bool {
+        self.buffered_total > 0
+            || self.inject_pending > 0
+            || self.wire.front().is_some_and(|f| f.arrival <= now)
+    }
+
+    /// A cycle at which calling `tick` next makes progress, given the
+    /// current state (`None` when idle). O(1) from cached occupancy
+    /// counters; *conservative* — it may report a cycle at which nothing
+    /// happens yet (a buffered flit still in its router pipeline), but
+    /// never one later than the true next event, so driving the clock by
+    /// this estimate cannot skip work. Always returns > `now`.
     pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            return None;
+        }
+        if self.buffered_total > 0 || self.inject_pending > 0 {
+            return Some(now + 1);
+        }
+        // Only wire-flight traffic remains: jump to the first arrival.
+        let next = self.wire.front().map(|f| f.arrival).unwrap_or(now + 1);
+        Some(next.max(now + 1))
+    }
+
+    /// The exact next-event computation the cached estimate replaced: a
+    /// full scan over wire flits, router buffers and injection queues.
+    /// Kept as the brute-force reference the randomized tests compare
+    /// [`SubNet::next_event_cycle`] against.
+    #[cfg(test)]
+    fn next_event_cycle_brute(&self, now: Cycle) -> Option<Cycle> {
         if self.is_idle() {
             return None;
         }
@@ -657,7 +731,6 @@ mod tests {
         assert_eq!(net.link_flits(0, Direction::South), 0);
     }
 
-
     #[test]
     fn vc_backpressure_does_not_lose_flits() {
         // Tiny buffers + a hot destination: credits run out constantly,
@@ -723,6 +796,90 @@ mod tests {
         let ds = run_until_delivered(&mut slow, 200);
         // 6 hops: express saves (pipeline-1) x (hops+1) = 2 x 7 cycles
         assert_eq!(ds[0].latency() - df[0].latency(), 14);
+    }
+
+    #[test]
+    fn cached_next_event_agrees_with_brute_force_under_random_traffic() {
+        use cmp_common::randtest::{run_cases, usize_in};
+        // The cached estimate must be conservative: never later than the
+        // exact full-scan recomputation (later would let the simulator
+        // skip work and deadlock), and idle exactly when the scan is.
+        run_cases("cached_next_event_brute_force", 12, |rng| {
+            let mesh = MeshShape::square(4);
+            let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+            let mut energy = NocEnergy::default();
+            let rem = RouterEnergyModel::default();
+            let mut stats = NocStats::new();
+            let inject_until = usize_in(rng, 100, 1_200) as u64;
+            let rate = 0.05 + rng.f64() * 0.4;
+            let mut injected = 0u64;
+            let mut delivered = 0u64;
+            for now in 0..50_000u64 {
+                if now < inject_until {
+                    for src in 0..16usize {
+                        if rng.chance(rate) {
+                            let dst = (src + 1 + rng.index(15)) % 16;
+                            let bytes = if rng.chance(0.5) { 67 } else { 11 };
+                            net.inject(now, msg(src, dst, bytes));
+                            injected += 1;
+                        }
+                    }
+                }
+                net.tick(now, &mut energy, &rem, &mut stats);
+                delivered += net.drain_delivered().len() as u64;
+                let cached = net.next_event_cycle(now);
+                let brute = net.next_event_cycle_brute(now);
+                match (cached, brute) {
+                    (None, None) => {
+                        if now >= inject_until {
+                            break;
+                        }
+                    }
+                    (Some(c), Some(b)) => {
+                        assert!(c > now, "estimate must advance the clock");
+                        assert!(c <= b, "cached {c} later than brute-force {b}");
+                    }
+                    other => panic!("idleness disagreement: {other:?}"),
+                }
+            }
+            assert!(injected > 0);
+            assert_eq!(delivered, injected, "traffic must drain");
+        });
+    }
+
+    #[test]
+    fn driving_the_clock_by_the_cached_estimate_loses_no_messages() {
+        use cmp_common::randtest::{run_cases, usize_in};
+        // Fast-forwarding `now` by next_event_cycle (as the simulator
+        // does) must deliver every message despite the skipped cycles.
+        run_cases("cached_next_event_drives_clock", 8, |rng| {
+            let mesh = MeshShape::square(4);
+            let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+            let mut energy = NocEnergy::default();
+            let rem = RouterEnergyModel::default();
+            let mut stats = NocStats::new();
+            let n_msgs = usize_in(rng, 1, 60);
+            let mut injected = 0u64;
+            for _ in 0..n_msgs {
+                let src = rng.index(16);
+                let dst = (src + 1 + rng.index(15)) % 16;
+                let bytes = if rng.chance(0.5) { 67 } else { 11 };
+                net.inject(0, msg(src, dst, bytes));
+                injected += 1;
+            }
+            let mut now = 0;
+            let mut delivered = 0u64;
+            for _ in 0..1_000_000 {
+                net.tick(now, &mut energy, &rem, &mut stats);
+                delivered += net.drain_delivered().len() as u64;
+                match net.next_event_cycle(now) {
+                    Some(next) => now = next,
+                    None => break,
+                }
+            }
+            assert_eq!(delivered, injected);
+            assert!(net.is_idle());
+        });
     }
 
     #[test]

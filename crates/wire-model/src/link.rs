@@ -247,10 +247,7 @@ mod tests {
         for vl in VlWidth::ALL {
             let plan = HeterogeneousLinkPlan::area_neutral(vl, LEN);
             let ratio = plan.area_vs_baseline();
-            assert!(
-                (0.97..=1.02).contains(&ratio),
-                "{vl:?}: area ratio {ratio}"
-            );
+            assert!((0.97..=1.02).contains(&ratio), "{vl:?}: area ratio {ratio}");
         }
     }
 

@@ -160,9 +160,7 @@ mod tests {
         // wide margin even against an optimally sized single driver.
         let repeated = opt.delay_per_m * 20e-3;
         let unrepeated = (1..=400)
-            .map(|s| {
-                crate::rc::unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 20e-3, s as f64)
-            })
+            .map(|s| crate::rc::unrepeated_delay(&t, &p, WireGeometry::MIN_PITCH, 20e-3, s as f64))
             .fold(f64::INFINITY, f64::min);
         assert!(
             repeated < unrepeated / 2.0,
@@ -211,8 +209,7 @@ mod tests {
         );
         // smaller and/or sparser repeaters (Eq. 3/4 intuition)
         assert!(
-            p_opt.repeater_size < d_opt.repeater_size
-                || p_opt.segment_len_m > d_opt.segment_len_m
+            p_opt.repeater_size < d_opt.repeater_size || p_opt.segment_len_m > d_opt.segment_len_m
         );
     }
 

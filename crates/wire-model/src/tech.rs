@@ -135,10 +135,7 @@ impl Tech65 {
     /// Leakage power of one repeater of size `s` (Eq. 4 of the paper):
     /// `P = Vdd · ½ (Ioff_N·W_Nmin + Ioff_P·W_Pmin) · s`.
     pub fn repeater_leakage_w(&self, s: f64) -> f64 {
-        self.vdd
-            * 0.5
-            * (self.i_off_n_per_m * self.w_n_min + self.i_off_p_per_m * self.w_p_min)
-            * s
+        self.vdd * 0.5 * (self.i_off_n_per_m * self.w_n_min + self.i_off_p_per_m * self.w_p_min) * s
     }
 }
 

@@ -22,8 +22,8 @@
 //! is used unchanged, with the paper's 4 GHz clock as the reference
 //! frequency.
 
-use crate::repeater::{delay_optimal, power_optimal};
 use crate::rc::WireGeometry;
+use crate::repeater::{delay_optimal, power_optimal};
 use crate::tech::{MetalPlane, Tech65};
 
 /// Reference clock frequency the dynamic-power coefficients are quoted at
@@ -222,9 +222,15 @@ impl WireClass {
 /// Eq. (1); the published values remain authoritative for simulation.
 pub fn derived_rel_latency(tech: &Tech65, class: WireClass) -> Option<f64> {
     let geom = class.validation_geometry()?;
-    let base = delay_optimal(tech, tech.plane(MetalPlane::EightX), WireGeometry::MIN_PITCH);
+    let base = delay_optimal(
+        tech,
+        tech.plane(MetalPlane::EightX),
+        WireGeometry::MIN_PITCH,
+    );
     let wire = match class {
-        WireClass::PW4X => power_optimal(tech, tech.plane(class.plane()), geom, 2.0, 0.5 * F_REF_HZ),
+        WireClass::PW4X => {
+            power_optimal(tech, tech.plane(class.plane()), geom, 2.0, 0.5 * F_REF_HZ)
+        }
         _ => delay_optimal(tech, tech.plane(class.plane()), geom),
     };
     Some(wire.delay_per_m / base.delay_per_m)
@@ -238,22 +244,42 @@ mod tests {
     fn table2_constants_as_published() {
         let b8 = WireClass::B8X.props();
         assert_eq!(
-            (b8.rel_latency, b8.rel_area, b8.dyn_coeff_w_per_m, b8.static_mw_per_m),
+            (
+                b8.rel_latency,
+                b8.rel_area,
+                b8.dyn_coeff_w_per_m,
+                b8.static_mw_per_m
+            ),
             (1.0, 1.0, 2.65, 1.0246)
         );
         let b4 = WireClass::B4X.props();
         assert_eq!(
-            (b4.rel_latency, b4.rel_area, b4.dyn_coeff_w_per_m, b4.static_mw_per_m),
+            (
+                b4.rel_latency,
+                b4.rel_area,
+                b4.dyn_coeff_w_per_m,
+                b4.static_mw_per_m
+            ),
             (1.6, 0.5, 2.9, 1.1578)
         );
         let l = WireClass::L8X.props();
         assert_eq!(
-            (l.rel_latency, l.rel_area, l.dyn_coeff_w_per_m, l.static_mw_per_m),
+            (
+                l.rel_latency,
+                l.rel_area,
+                l.dyn_coeff_w_per_m,
+                l.static_mw_per_m
+            ),
             (0.5, 4.0, 1.46, 0.5670)
         );
         let pw = WireClass::PW4X.props();
         assert_eq!(
-            (pw.rel_latency, pw.rel_area, pw.dyn_coeff_w_per_m, pw.static_mw_per_m),
+            (
+                pw.rel_latency,
+                pw.rel_area,
+                pw.dyn_coeff_w_per_m,
+                pw.static_mw_per_m
+            ),
             (3.2, 0.5, 0.87, 0.3074)
         );
     }

@@ -26,7 +26,10 @@ fn strided(weight: f64, lines: u64, stride: u64, run: f64, wf: f64) -> Structure
     StructureSpec {
         weight,
         region: Region::Private { lines },
-        pattern: Pattern::Strided { stride, run_mean: run },
+        pattern: Pattern::Strided {
+            stride,
+            run_mean: run,
+        },
         write_frac: wf,
     }
 }
@@ -34,17 +37,33 @@ fn strided(weight: f64, lines: u64, stride: u64, run: f64, wf: f64) -> Structure
 fn shared_random(weight: f64, offset: u64, lines: u64, wf: f64) -> StructureSpec {
     StructureSpec {
         weight,
-        region: Region::Shared { offset_lines: offset, lines },
+        region: Region::Shared {
+            offset_lines: offset,
+            lines,
+        },
         pattern: Pattern::Random,
         write_frac: wf,
     }
 }
 
-fn shared_strided(weight: f64, offset: u64, lines: u64, stride: u64, run: f64, wf: f64) -> StructureSpec {
+fn shared_strided(
+    weight: f64,
+    offset: u64,
+    lines: u64,
+    stride: u64,
+    run: f64,
+    wf: f64,
+) -> StructureSpec {
     StructureSpec {
         weight,
-        region: Region::Shared { offset_lines: offset, lines },
-        pattern: Pattern::Strided { stride, run_mean: run },
+        region: Region::Shared {
+            offset_lines: offset,
+            lines,
+        },
+        pattern: Pattern::Strided {
+            stride,
+            run_mean: run,
+        },
         write_frac: wf,
     }
 }
@@ -108,7 +127,10 @@ pub fn em3d() -> AppProfile {
             strided(0.94, 448, 1, 48.0, 0.30),
             StructureSpec {
                 weight: 0.06,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 1024 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 1024,
+                },
                 pattern: Pattern::NeighborExchange { boundary_lines: 96 },
                 write_frac: 0.35,
             },
@@ -129,7 +151,10 @@ pub fn fft() -> AppProfile {
             strided(0.93, 512, 1, 64.0, 0.35),
             StructureSpec {
                 weight: 0.07,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 512 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 512,
+                },
                 pattern: Pattern::RotatingPartner { phase_refs: 4_000 },
                 write_frac: 0.40,
             },
@@ -186,7 +211,10 @@ pub fn mp3d() -> AppProfile {
             // space-cell array: migratory read-modify-writes
             StructureSpec {
                 weight: 0.23,
-                region: Region::Shared { offset_lines: 0, lines: 2048 },
+                region: Region::Shared {
+                    offset_lines: 0,
+                    lines: 2048,
+                },
                 pattern: Pattern::Migratory { objects: 1024 },
                 write_frac: 1.0,
             },
@@ -208,7 +236,10 @@ pub fn ocean_cont() -> AppProfile {
             strided(0.95, 544, 1, 40.0, 0.45),
             StructureSpec {
                 weight: 0.05,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 640 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 640,
+                },
                 pattern: Pattern::NeighborExchange { boundary_lines: 80 },
                 write_frac: 0.40,
             },
@@ -229,7 +260,10 @@ pub fn ocean_noncont() -> AppProfile {
             strided(0.95, 544, 5, 12.0, 0.45),
             StructureSpec {
                 weight: 0.05,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 640 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 640,
+                },
                 pattern: Pattern::NeighborExchange { boundary_lines: 80 },
                 write_frac: 0.40,
             },
@@ -274,7 +308,10 @@ pub fn raytrace() -> AppProfile {
             // work-queue locks: migratory
             StructureSpec {
                 weight: 0.15,
-                region: Region::Shared { offset_lines: 0x7_0000, lines: 128 },
+                region: Region::Shared {
+                    offset_lines: 0x7_0000,
+                    lines: 128,
+                },
                 pattern: Pattern::Migratory { objects: 64 },
                 write_frac: 1.0,
             },
@@ -299,7 +336,10 @@ pub fn unstructured() -> AppProfile {
             // edge-flux accumulators: migratory
             StructureSpec {
                 weight: 0.18,
-                region: Region::Shared { offset_lines: 0x2000, lines: 1024 },
+                region: Region::Shared {
+                    offset_lines: 0x2000,
+                    lines: 1024,
+                },
                 pattern: Pattern::Migratory { objects: 512 },
                 write_frac: 1.0,
             },
@@ -339,7 +379,10 @@ pub fn water_spa() -> AppProfile {
             shared_strided(0.27, 0, 192, 1, 16.0, 0.005),
             StructureSpec {
                 weight: 0.03,
-                region: Region::Partitioned { offset_lines: 0x1000, lines_per_core: 64 },
+                region: Region::Partitioned {
+                    offset_lines: 0x1000,
+                    lines_per_core: 64,
+                },
                 pattern: Pattern::NeighborExchange { boundary_lines: 16 },
                 write_frac: 0.35,
             },
@@ -366,8 +409,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Barnes", "EM3D", "FFT", "LU-cont", "LU-noncont", "MP3D", "Ocean-cont",
-                "Ocean-noncont", "Radix", "Raytrace", "Unstructured", "Water-nsq", "Water-spa"
+                "Barnes",
+                "EM3D",
+                "FFT",
+                "LU-cont",
+                "LU-noncont",
+                "MP3D",
+                "Ocean-cont",
+                "Ocean-noncont",
+                "Radix",
+                "Raytrace",
+                "Unstructured",
+                "Water-nsq",
+                "Water-spa"
             ]
         );
     }

@@ -51,7 +51,11 @@ impl TraceGen {
         let cursors = profile
             .structures
             .iter()
-            .map(|_| Cursor { pos: 0, run_left: 0, partner_pos: 0 })
+            .map(|_| Cursor {
+                pos: 0,
+                run_left: 0,
+                partner_pos: 0,
+            })
             .collect();
         TraceGen {
             cdf: profile.weight_cdf(),
@@ -97,9 +101,7 @@ impl TraceGen {
 
         if self.struct_run_left == 0 {
             self.current_struct = self.rng.pick_cdf(&self.cdf);
-            self.struct_run_left = self
-                .rng
-                .burst(self.profile.locality_run.max(1.0), 1 << 16);
+            self.struct_run_left = self.rng.burst(self.profile.locality_run.max(1.0), 1 << 16);
         }
         self.struct_run_left -= 1;
         let idx = self.current_struct;
@@ -125,7 +127,11 @@ impl TraceGen {
                     self.pending.push_back(TraceOp::Store(addr));
                 } else {
                     // consume a neighbour's boundary
-                    let dir = if self.rng.chance(0.5) { 1 } else { self.cores - 1 };
+                    let dir = if self.rng.chance(0.5) {
+                        1
+                    } else {
+                        self.cores - 1
+                    };
                     let partner = (self.core + dir) % self.cores;
                     let base = spec.region.base(partner, self.cores);
                     let c = &mut self.cursors[idx];
@@ -157,8 +163,7 @@ impl TraceGen {
 
         // Barrier when crossing an interval boundary (same schedule on
         // every core, so epochs line up).
-        if self.refs_done % self.barrier_interval == 0
-            && self.next_barrier < self.profile.barriers
+        if self.refs_done % self.barrier_interval == 0 && self.next_barrier < self.profile.barriers
         {
             let id = self.next_barrier;
             self.next_barrier += 1;
@@ -197,18 +202,24 @@ mod tests {
             name: "test",
             refs_per_core: 5_000,
             compute_per_ref: 4.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 4,
             structures: vec![
                 StructureSpec {
                     weight: 0.6,
                     region: Region::Private { lines: 512 },
-                    pattern: Pattern::Strided { stride: 1, run_mean: 16.0 },
+                    pattern: Pattern::Strided {
+                        stride: 1,
+                        run_mean: 16.0,
+                    },
                     write_frac: 0.3,
                 },
                 StructureSpec {
                     weight: 0.4,
-                    region: Region::Shared { offset_lines: 0, lines: 4096 },
+                    region: Region::Shared {
+                        offset_lines: 0,
+                        lines: 4096,
+                    },
                     pattern: Pattern::Random,
                     write_frac: 0.2,
                 },
@@ -281,11 +292,14 @@ mod tests {
             name: "mig",
             refs_per_core: 1_000,
             compute_per_ref: 0.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 0,
             structures: vec![StructureSpec {
                 weight: 1.0,
-                region: Region::Shared { offset_lines: 0, lines: 64 },
+                region: Region::Shared {
+                    offset_lines: 0,
+                    lines: 64,
+                },
                 pattern: Pattern::Migratory { objects: 8 },
                 write_frac: 1.0,
             }],
@@ -306,11 +320,14 @@ mod tests {
             name: "fft",
             refs_per_core: 8_000,
             compute_per_ref: 0.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 0,
             structures: vec![StructureSpec {
                 weight: 1.0,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 128 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 128,
+                },
                 pattern: Pattern::RotatingPartner { phase_refs: 500 },
                 write_frac: 0.3,
             }],

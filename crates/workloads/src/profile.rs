@@ -26,7 +26,10 @@ pub enum Region {
     Shared { offset_lines: u64, lines: u64 },
     /// A shared structure statically partitioned across cores
     /// (`lines_per_core` each), e.g. grid rows or transpose tiles.
-    Partitioned { offset_lines: u64, lines_per_core: u64 },
+    Partitioned {
+        offset_lines: u64,
+        lines_per_core: u64,
+    },
 }
 
 impl Region {
@@ -35,9 +38,10 @@ impl Region {
         match *self {
             Region::Private { .. } => PRIVATE_BASE + core as Addr * PRIVATE_STRIDE,
             Region::Shared { offset_lines, .. } => SHARED_BASE + offset_lines,
-            Region::Partitioned { offset_lines, lines_per_core } => {
-                SHARED_BASE + offset_lines + core as Addr * lines_per_core
-            }
+            Region::Partitioned {
+                offset_lines,
+                lines_per_core,
+            } => SHARED_BASE + offset_lines + core as Addr * lines_per_core,
         }
     }
 
@@ -178,7 +182,10 @@ mod tests {
 
     #[test]
     fn partitioned_bases_are_disjoint() {
-        let r = Region::Partitioned { offset_lines: 0, lines_per_core: 100 };
+        let r = Region::Partitioned {
+            offset_lines: 0,
+            lines_per_core: 100,
+        };
         let b0 = r.base(0, 16);
         let b1 = r.base(1, 16);
         assert_eq!(b1 - b0, 100);
@@ -190,7 +197,7 @@ mod tests {
             name: "t",
             refs_per_core: 1000,
             compute_per_ref: 1.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 1,
             structures: vec![
                 StructureSpec {
@@ -218,7 +225,7 @@ mod tests {
             name: "bad",
             refs_per_core: 1000,
             compute_per_ref: 1.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 0,
             structures: vec![StructureSpec {
                 weight: 1.0,
@@ -236,7 +243,7 @@ mod tests {
             name: "t",
             refs_per_core: 100_000,
             compute_per_ref: 1.0,
-        locality_run: 32.0,
+            locality_run: 32.0,
             barriers: 1,
             structures: vec![StructureSpec {
                 weight: 1.0,

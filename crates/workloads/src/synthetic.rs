@@ -15,7 +15,10 @@ pub fn uniform_random(refs_per_core: u64, shared_lines: u64, write_frac: f64) ->
         barriers: 0,
         structures: vec![StructureSpec {
             weight: 1.0,
-            region: Region::Shared { offset_lines: 0, lines: shared_lines },
+            region: Region::Shared {
+                offset_lines: 0,
+                lines: shared_lines,
+            },
             pattern: Pattern::Random,
             write_frac,
         }],
@@ -33,8 +36,13 @@ pub fn streaming(refs_per_core: u64, private_lines: u64) -> AppProfile {
         barriers: 0,
         structures: vec![StructureSpec {
             weight: 1.0,
-            region: Region::Private { lines: private_lines },
-            pattern: Pattern::Strided { stride: 1, run_mean: 1e9 },
+            region: Region::Private {
+                lines: private_lines,
+            },
+            pattern: Pattern::Strided {
+                stride: 1,
+                run_mean: 1e9,
+            },
             write_frac: 0.25,
         }],
     }
@@ -51,8 +59,13 @@ pub fn hotspot(refs_per_core: u64, hot_lines: u64) -> AppProfile {
         barriers: 0,
         structures: vec![StructureSpec {
             weight: 1.0,
-            region: Region::Shared { offset_lines: 0, lines: hot_lines.max(1) },
-            pattern: Pattern::Migratory { objects: hot_lines.max(1) },
+            region: Region::Shared {
+                offset_lines: 0,
+                lines: hot_lines.max(1),
+            },
+            pattern: Pattern::Migratory {
+                objects: hot_lines.max(1),
+            },
             write_frac: 1.0,
         }],
     }

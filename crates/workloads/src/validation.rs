@@ -67,10 +67,7 @@ impl LruFilter {
             s.1 = self.clock;
             return true;
         }
-        let victim = slots
-            .iter_mut()
-            .min_by_key(|s| s.1)
-            .expect("ways > 0");
+        let victim = slots.iter_mut().min_by_key(|s| s.1).expect("ways > 0");
         *victim = (key, self.clock);
         false
     }

@@ -13,7 +13,10 @@ fn main() {
     let app = tiled_cmp::workloads::synthetic::hotspot(3_000, 64);
     let cfg = SimConfig::new(
         InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
     );
     let mut sim = CmpSimulator::new(cfg, &app, 11, 1.0);
     let r = sim.run().expect("run");

@@ -22,18 +22,27 @@ fn main() {
             StructureSpec {
                 weight: 0.5,
                 region: Region::Private { lines: 600 },
-                pattern: Pattern::Strided { stride: 1, run_mean: 32.0 },
+                pattern: Pattern::Strided {
+                    stride: 1,
+                    run_mean: 32.0,
+                },
                 write_frac: 0.3,
             },
             StructureSpec {
                 weight: 0.4,
-                region: Region::Partitioned { offset_lines: 0, lines_per_core: 256 },
+                region: Region::Partitioned {
+                    offset_lines: 0,
+                    lines_per_core: 256,
+                },
                 pattern: Pattern::NeighborExchange { boundary_lines: 64 },
                 write_frac: 0.45,
             },
             StructureSpec {
                 weight: 0.1,
-                region: Region::Shared { offset_lines: 0x4000, lines: 16 },
+                region: Region::Shared {
+                    offset_lines: 0x4000,
+                    lines: 16,
+                },
                 pattern: Pattern::Migratory { objects: 8 },
                 write_frac: 1.0,
             },
@@ -42,12 +51,17 @@ fn main() {
     app.validate().expect("profile is well-formed");
 
     let run = |cfg: SimConfig| {
-        CmpSimulator::new(cfg, &app, 3, 1.0).run().expect("run completes")
+        CmpSimulator::new(cfg, &app, 3, 1.0)
+            .run()
+            .expect("run completes")
     };
     let base = run(SimConfig::baseline());
     let prop = run(SimConfig::new(
         InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
     ));
 
     println!("custom '{}' workload:", app.name);

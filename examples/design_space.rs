@@ -9,7 +9,9 @@
 use tiled_cmp::prelude::*;
 
 fn main() {
-    let app_name = std::env::args().nth(1).unwrap_or_else(|| "Ocean-cont".into());
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Ocean-cont".into());
     let app = tiled_cmp::workloads::apps::app_by_name(&app_name)
         .unwrap_or_else(|| panic!("unknown application {app_name}"));
     let cmp = CmpConfig::default();
@@ -18,11 +20,16 @@ fn main() {
     // baseline + every paper configuration + perfect bounds
     let specs: Vec<RunSpec> = paper_configs(true)
         .into_iter()
-        .map(|config| RunSpec { app: app.clone(), config, seed: 7, scale })
+        .map(|config| RunSpec {
+            app: app.clone(),
+            config,
+            seed: 7,
+            scale,
+        })
         .collect();
 
     eprintln!("running {} configurations of {} ...", specs.len(), app.name);
-    let results = run_matrix(&cmp, &specs);
+    let results = run_matrix(&cmp, &specs).expect("design-space matrix runs cleanly");
     let rows = normalize(&results);
 
     println!(

@@ -12,7 +12,10 @@ fn main() {
     let scale = 0.05; // 10k memory references per core — a few seconds
     let seed = 42;
 
-    println!("application: {} (16-core tiled CMP, Table 4 machine)", app.name);
+    println!(
+        "application: {} (16-core tiled CMP, Table 4 machine)",
+        app.name
+    );
 
     // Baseline: one 75-byte B-Wire channel per link, no compression.
     let mut sim = CmpSimulator::new(SimConfig::baseline(), &app, seed, scale);
@@ -23,7 +26,10 @@ fn main() {
     // area-neutrally out of each link.
     let cfg = SimConfig::new(
         InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
     );
     let mut sim = CmpSimulator::new(cfg, &app, seed, scale);
     let prop = sim.run().expect("proposal run");

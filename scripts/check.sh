@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: everything a PR must pass, in the order a developer wants
+# failures reported. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

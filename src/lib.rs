@@ -59,7 +59,9 @@ pub mod prelude {
     pub use addr_compression::CompressionScheme;
     pub use cmp_common::config::CmpConfig;
     pub use cmp_common::types::{MessageClass, TileId};
-    pub use tcmp_core::experiment::{normalize, paper_configs, run_matrix, ConfigSpec, RunSpec};
+    pub use tcmp_core::experiment::{
+        normalize, paper_configs, run_matrix, ConfigSpec, MatrixError, RunFailure, RunSpec,
+    };
     pub use tcmp_core::niface::InterconnectChoice;
     pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimResult};
     pub use wire_model::wires::{VlWidth, WireClass};

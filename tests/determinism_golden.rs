@@ -1,0 +1,121 @@
+//! Golden determinism snapshots: a fixed seed and scale must produce
+//! bit-identical simulation outcomes (exact cycle counts and message
+//! totals) across runs, refactors and machines. These snapshots pin the
+//! simulated behaviour so performance work on the event loop provably
+//! does not change what is simulated.
+//!
+//! If a change *intends* to alter simulated behaviour, re-record the
+//! constants below by running with `GOLDEN_PRINT=1`:
+//! `GOLDEN_PRINT=1 cargo test --test determinism_golden -- --nocapture`
+
+use tiled_cmp::compression::CompressionScheme;
+use tiled_cmp::prelude::{CmpConfig, ConfigSpec};
+use tiled_cmp::sim::{CmpSimulator, SimConfig, SimResult};
+use tiled_cmp::workloads::apps;
+
+const SEED: u64 = 0xD5A1_F00D;
+const SCALE: f64 = 0.01;
+
+/// One recorded snapshot of a (config, app) run.
+struct Golden {
+    config: &'static str,
+    cycles: u64,
+    network_messages: u64,
+    instructions: u64,
+    mem_reads: u64,
+}
+
+fn run(config: &ConfigSpec) -> SimResult {
+    let app = apps::fft();
+    let mut cfg = SimConfig::new(config.interconnect, config.scheme);
+    cfg.cmp = CmpConfig::default();
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    sim.run().expect("golden run completes")
+}
+
+fn configs() -> Vec<ConfigSpec> {
+    vec![
+        ConfigSpec::baseline(),
+        ConfigSpec::compressed(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        }),
+        ConfigSpec::compressed(CompressionScheme::Stride { low_bytes: 2 }),
+    ]
+}
+
+/// Recorded on the pre-refactor event loop; the incremental scheduler
+/// must reproduce these numbers exactly.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        config: "baseline",
+        cycles: 554045,
+        network_messages: 23473,
+        instructions: 191556,
+        mem_reads: 9726,
+    },
+    Golden {
+        config: "4-entry DBRC (2B LO)",
+        cycles: 542520,
+        network_messages: 23473,
+        instructions: 191556,
+        mem_reads: 9726,
+    },
+    Golden {
+        config: "2-byte Stride",
+        cycles: 542710,
+        network_messages: 23473,
+        instructions: 191556,
+        mem_reads: 9726,
+    },
+];
+
+#[test]
+fn fixed_seed_runs_match_recorded_snapshots() {
+    let print = std::env::var_os("GOLDEN_PRINT").is_some();
+    for (config, golden) in configs().iter().zip(GOLDENS) {
+        assert_eq!(config.label, golden.config, "config order drifted");
+        let r = run(config);
+        if print {
+            println!(
+                "Golden {{ config: \"{}\", cycles: {}, network_messages: {}, \
+                 instructions: {}, mem_reads: {} }},",
+                config.label, r.cycles, r.network_messages, r.instructions, r.mem_reads
+            );
+            continue;
+        }
+        assert_eq!(r.cycles, golden.cycles, "{}: cycles drifted", config.label);
+        assert_eq!(
+            r.network_messages, golden.network_messages,
+            "{}: message total drifted",
+            config.label
+        );
+        assert_eq!(
+            r.instructions, golden.instructions,
+            "{}: instruction count drifted",
+            config.label
+        );
+        assert_eq!(
+            r.mem_reads, golden.mem_reads,
+            "{}: mem reads drifted",
+            config.label
+        );
+    }
+}
+
+/// The same run twice in one process is bit-identical (guards against
+/// hidden global state, e.g. hash-map iteration order leaking into the
+/// schedule).
+#[test]
+fn back_to_back_runs_are_identical() {
+    let config = ConfigSpec::compressed(CompressionScheme::Dbrc {
+        entries: 4,
+        low_bytes: 2,
+    });
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.network_messages, b.network_messages);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.mem_reads, b.mem_reads);
+}

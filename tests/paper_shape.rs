@@ -22,7 +22,14 @@ fn proposal(scheme: CompressionScheme) -> SimConfig {
 fn proposal_speeds_up_communication_bound_apps() {
     let app = tiled_cmp::workloads::apps::mp3d();
     let base = run(&app, SimConfig::baseline(), 0.01);
-    let prop = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.01);
+    let prop = run(
+        &app,
+        proposal(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        }),
+        0.01,
+    );
     let ratio = prop.cycles as f64 / base.cycles as f64;
     assert!(
         (0.60..0.97).contains(&ratio),
@@ -36,7 +43,14 @@ fn proposal_speeds_up_communication_bound_apps() {
 fn compute_bound_apps_barely_move() {
     let app = tiled_cmp::workloads::apps::water_nsq();
     let base = run(&app, SimConfig::baseline(), 0.02);
-    let prop = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.02);
+    let prop = run(
+        &app,
+        proposal(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        }),
+        0.02,
+    );
     let ratio = prop.cycles as f64 / base.cycles as f64;
     assert!(
         (0.90..=1.01).contains(&ratio),
@@ -48,9 +62,23 @@ fn compute_bound_apps_barely_move() {
 fn perfect_compression_bounds_real_schemes() {
     let app = tiled_cmp::workloads::apps::ocean_cont();
     let base = run(&app, SimConfig::baseline(), 0.01);
-    let dbrc = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.01);
-    let perfect = run(&app, proposal(CompressionScheme::Perfect { low_bytes: 2 }), 0.01);
-    assert!(perfect.cycles <= dbrc.cycles + dbrc.cycles / 50, "oracle can't lose");
+    let dbrc = run(
+        &app,
+        proposal(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        }),
+        0.01,
+    );
+    let perfect = run(
+        &app,
+        proposal(CompressionScheme::Perfect { low_bytes: 2 }),
+        0.01,
+    );
+    assert!(
+        perfect.cycles <= dbrc.cycles + dbrc.cycles / 50,
+        "oracle can't lose"
+    );
     assert!(dbrc.cycles <= base.cycles);
     assert!((perfect.coverage - 1.0).abs() < 1e-12);
     assert!(dbrc.coverage > 0.5 && dbrc.coverage < 1.0);
@@ -60,7 +88,11 @@ fn perfect_compression_bounds_real_schemes() {
 fn critical_latency_drops_on_vl_wires() {
     let app = tiled_cmp::workloads::synthetic::uniform_random(2_000, 1 << 15, 0.3);
     let base = run(&app, SimConfig::baseline(), 1.0);
-    let prop = run(&app, proposal(CompressionScheme::Perfect { low_bytes: 2 }), 1.0);
+    let prop = run(
+        &app,
+        proposal(CompressionScheme::Perfect { low_bytes: 2 }),
+        1.0,
+    );
     assert!(
         prop.critical_latency < base.critical_latency * 0.8,
         "critical latency {} vs {}",
@@ -96,17 +128,35 @@ fn coverage_ordering_matches_figure2() {
     cfg.coverage_probes = vec![
         CompressionScheme::Stride { low_bytes: 1 },
         CompressionScheme::Stride { low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 1 },
-        CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
-        CompressionScheme::Dbrc { entries: 64, low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 1,
+        },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2,
+        },
     ];
     let r = run(&app, cfg, 0.02);
     let cov: Vec<f64> = r.probe_coverages.iter().map(|&(_, c)| c).collect();
     let (s1, s2, d4_1, d4_2, d64_2) = (cov[0], cov[1], cov[2], cov[3], cov[4]);
     assert!(s1 < s2, "more delta bytes help stride: {s1} vs {s2}");
-    assert!(d4_1 < d4_2, "more low-order bytes help DBRC: {d4_1} vs {d4_2}");
-    assert!(d4_2 <= d64_2 + 0.01, "more entries never hurt: {d4_2} vs {d64_2}");
-    assert!(d64_2 > 0.9, "64-entry 2B DBRC should be near-total: {d64_2}");
+    assert!(
+        d4_1 < d4_2,
+        "more low-order bytes help DBRC: {d4_1} vs {d4_2}"
+    );
+    assert!(
+        d4_2 <= d64_2 + 0.01,
+        "more entries never hurt: {d4_2} vs {d64_2}"
+    );
+    assert!(
+        d64_2 > 0.9,
+        "64-entry 2B DBRC should be near-total: {d64_2}"
+    );
 }
 
 #[test]
@@ -127,8 +177,22 @@ fn full_chip_ed2p_penalises_oversized_dbrc() {
     // relative to the 4-entry configuration.
     let app = tiled_cmp::workloads::apps::water_nsq();
     let base = run(&app, SimConfig::baseline(), 0.02);
-    let small = run(&app, proposal(CompressionScheme::Dbrc { entries: 4, low_bytes: 2 }), 0.02);
-    let big = run(&app, proposal(CompressionScheme::Dbrc { entries: 64, low_bytes: 2 }), 0.02);
+    let small = run(
+        &app,
+        proposal(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        }),
+        0.02,
+    );
+    let big = run(
+        &app,
+        proposal(CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2,
+        }),
+        0.02,
+    );
     let small_ratio = small.chip_ed2p() / base.chip_ed2p();
     let big_ratio = big.chip_ed2p() / base.chip_ed2p();
     assert!(
@@ -140,8 +204,16 @@ fn full_chip_ed2p_penalises_oversized_dbrc() {
 #[test]
 fn deterministic_end_to_end() {
     let app = tiled_cmp::workloads::apps::radix();
-    let a = run(&app, proposal(CompressionScheme::Stride { low_bytes: 2 }), 0.005);
-    let b = run(&app, proposal(CompressionScheme::Stride { low_bytes: 2 }), 0.005);
+    let a = run(
+        &app,
+        proposal(CompressionScheme::Stride { low_bytes: 2 }),
+        0.005,
+    );
+    let b = run(
+        &app,
+        proposal(CompressionScheme::Stride { low_bytes: 2 }),
+        0.005,
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.network_messages, b.network_messages);
     assert_eq!(a.coverage, b.coverage);

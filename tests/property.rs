@@ -1,45 +1,47 @@
-//! Property-based tests (proptest) on the core data structures and on
-//! end-to-end network delivery.
+//! Randomized property tests on the core data structures and on
+//! end-to-end network delivery, driven by the seeded
+//! [`cmp_common::randtest`] harness (offline, reproducible per case).
 
-use proptest::prelude::*;
-
+use tiled_cmp::coherence::cache::{CacheArray, VictimSlot};
+use tiled_cmp::common::randtest::{i64_in, run_cases, u64_in, usize_in, DEFAULT_CASES};
+use tiled_cmp::common::types::{MessageClass, TileId};
 use tiled_cmp::compression::scheme::AddressCodec;
 use tiled_cmp::compression::{Dbrc, Stride};
-use tiled_cmp::coherence::cache::{CacheArray, VictimSlot};
-use tiled_cmp::common::types::{MessageClass, TileId};
 use tiled_cmp::noc::config::{ChannelKind, NocConfig};
 use tiled_cmp::noc::message::Message;
 use tiled_cmp::noc::Noc;
 use tiled_cmp::prelude::CmpConfig;
 
-proptest! {
-    /// DBRC: `peek` always agrees with the hit/miss outcome of the next
-    /// `compress` on the same address.
-    #[test]
-    fn dbrc_peek_predicts_compress(
-        entries in 1usize..16,
-        low in 1usize..3,
-        addrs in proptest::collection::vec(0u64..1 << 24, 1..200),
-    ) {
+/// DBRC: `peek` always agrees with the hit/miss outcome of the next
+/// `compress` on the same address.
+#[test]
+fn dbrc_peek_predicts_compress() {
+    run_cases("dbrc_peek_predicts_compress", DEFAULT_CASES, |rng| {
+        let entries = usize_in(rng, 1, 16);
+        let low = usize_in(rng, 1, 3);
+        let n = usize_in(rng, 1, 200);
         let mut d = Dbrc::new(entries, low);
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.below(1 << 24);
             let predicted = d.peek(a);
             let actual = d.compress(a);
-            prop_assert_eq!(predicted, actual);
+            assert_eq!(predicted, actual);
             // right after processing, the address always hits
-            prop_assert!(d.peek(a));
+            assert!(d.peek(a));
         }
-    }
+    });
+}
 
-    /// DBRC never exceeds its configured capacity of distinct bases.
-    #[test]
-    fn dbrc_respects_capacity(
-        entries in 1usize..8,
-        addrs in proptest::collection::vec(0u64..1 << 30, 1..300),
-    ) {
+/// DBRC never exceeds its configured capacity of distinct bases.
+#[test]
+fn dbrc_respects_capacity() {
+    run_cases("dbrc_respects_capacity", DEFAULT_CASES, |rng| {
+        let entries = usize_in(rng, 1, 8);
+        let n = usize_in(rng, 1, 300);
         let mut d = Dbrc::new(entries, 1);
         let mut resident: Vec<u64> = Vec::new();
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.below(1 << 30);
             d.compress(a);
             let base = a >> 8;
             resident.retain(|b| *b != base);
@@ -51,36 +53,40 @@ proptest! {
         // every base the simple FIFO over-approximation evicted long ago
         // must also be gone from the LRU cache after `entries` more hits
         let hits = resident.iter().filter(|&&b| d.peek(b << 8)).count();
-        prop_assert!(hits <= entries);
-    }
+        assert!(hits <= entries);
+    });
+}
 
-    /// Stride compresses exactly the deltas inside the signed window.
-    #[test]
-    fn stride_window_is_exact(
-        low in 1usize..3,
-        base in 1u64 << 20..1 << 40,
-        delta in -40_000i64..40_000,
-    ) {
+/// Stride compresses exactly the deltas inside the signed window.
+#[test]
+fn stride_window_is_exact() {
+    run_cases("stride_window_is_exact", DEFAULT_CASES, |rng| {
+        let low = usize_in(rng, 1, 3);
+        let base = u64_in(rng, 1 << 20, 1 << 40);
+        let delta = i64_in(rng, -40_000, 40_000);
         let mut s = Stride::new(low);
         s.compress(base);
         let next = base.wrapping_add(delta as u64);
         let bound = 1i64 << (8 * low - 1);
         let expect = delta >= -bound && delta < bound;
-        prop_assert_eq!(s.compress(next), expect);
-    }
+        assert_eq!(s.compress(next), expect);
+    });
+}
 
-    /// The cache array behaves like a reference LRU model.
-    #[test]
-    fn cache_array_matches_reference_lru(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300),
-    ) {
+/// The cache array behaves like a reference LRU model.
+#[test]
+fn cache_array_matches_reference_lru() {
+    run_cases("cache_array_matches_reference_lru", DEFAULT_CASES, |rng| {
+        let n_ops = usize_in(rng, 1, 300);
         // 4 sets x 2 ways
         let mut c: CacheArray<u64> = CacheArray::new(4, 2, 0);
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); 4]; // MRU at the back
-        for (line, touch_only) in ops {
+        for _ in 0..n_ops {
+            let line = rng.below(64);
+            let touch_only = rng.chance(0.5);
             let set = (line % 4) as usize;
             let resident = c.peek(line).is_some();
-            prop_assert_eq!(resident, model[set].contains(&line));
+            assert_eq!(resident, model[set].contains(&line));
             if resident {
                 c.touch(line);
                 model[set].retain(|&l| l != line);
@@ -89,7 +95,7 @@ proptest! {
                 match c.victim_for(line, |_, _| true) {
                     VictimSlot::Free => {}
                     VictimSlot::Evict(victim) => {
-                        prop_assert_eq!(victim, model[set][0]);
+                        assert_eq!(victim, model[set][0]);
                         c.remove(victim);
                         model[set].remove(0);
                     }
@@ -99,19 +105,24 @@ proptest! {
                 model[set].push(line);
             }
         }
-    }
+    });
+}
 
-    /// The NoC delivers every injected message exactly once, for random
-    /// traffic on both the baseline and heterogeneous organisations.
-    #[test]
-    fn noc_delivers_everything(
-        seed in any::<u64>(),
-        n in 1usize..120,
-        hetero in any::<bool>(),
-    ) {
+/// The NoC delivers every injected message exactly once, for random
+/// traffic on both the baseline and heterogeneous organisations.
+#[test]
+fn noc_delivers_everything() {
+    run_cases("noc_delivers_everything", DEFAULT_CASES, |rng| {
+        let seed = rng.next_u64();
+        let n = usize_in(rng, 1, 120);
+        let hetero = rng.chance(0.5);
         let cfg = CmpConfig::default();
         let noc_cfg = if hetero {
-            NocConfig::heterogeneous(&cfg.network, cfg.clock_hz, tiled_cmp::wires::VlWidth::FourBytes)
+            NocConfig::heterogeneous(
+                &cfg.network,
+                cfg.clock_hz,
+                tiled_cmp::wires::VlWidth::FourBytes,
+            )
         } else {
             NocConfig::baseline(&cfg.network, cfg.clock_hz)
         };
@@ -128,37 +139,43 @@ proptest! {
             } else {
                 (MessageClass::Request, 11, ChannelKind::B)
             };
-            noc.inject(0, Message {
-                src: TileId::from(src),
-                dst: TileId::from(dst),
-                class,
-                wire_bytes: bytes,
-                channel,
-                payload: i,
-            });
+            noc.inject(
+                0,
+                Message {
+                    src: TileId::from(src),
+                    dst: TileId::from(dst),
+                    class,
+                    wire_bytes: bytes,
+                    channel,
+                    payload: i,
+                },
+            );
             ids.push(i);
         }
         let mut got = Vec::new();
         for now in 0..100_000u64 {
             for d in noc.tick(now) {
                 got.push(d.message.payload);
-                prop_assert!(d.latency() > 0);
+                assert!(d.latency() > 0);
             }
             if noc.is_idle() {
                 break;
             }
         }
         got.sort_unstable();
-        prop_assert_eq!(got, ids);
-    }
+        assert_eq!(got, ids);
+    });
+}
 
-    /// Home mapping is total, stable and matches the interleaving rule.
-    #[test]
-    fn home_mapping_is_consistent(line in any::<u64>()) {
+/// Home mapping is total, stable and matches the interleaving rule.
+#[test]
+fn home_mapping_is_consistent() {
+    run_cases("home_mapping_is_consistent", DEFAULT_CASES, |rng| {
+        let line = rng.next_u64();
         let cfg = CmpConfig::default();
         let home = tiled_cmp::coherence::l1::home_of(line, cfg.tiles());
-        prop_assert!(home.index() < cfg.tiles());
-        prop_assert_eq!(home.index(), (line % 16) as usize);
-        prop_assert_eq!(home, cfg.home_tile(line << 6));
-    }
+        assert!(home.index() < cfg.tiles());
+        assert_eq!(home.index(), (line % 16) as usize);
+        assert_eq!(home, cfg.home_tile(line << 6));
+    });
 }

@@ -26,13 +26,19 @@ fn all_pattern_kinds_complete_on_all_configs() {
         ),
         SimConfig::new(
             InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-            CompressionScheme::Dbrc { entries: 4, low_bytes: 1 },
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 1,
+            },
         ),
         SimConfig::new(
             InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
             CompressionScheme::Stride { low_bytes: 2 },
         ),
-        SimConfig::new(InterconnectChoice::ReplyPartitioning, CompressionScheme::None),
+        SimConfig::new(
+            InterconnectChoice::ReplyPartitioning,
+            CompressionScheme::None,
+        ),
     ];
     for app in &apps {
         for cfg in &configs {
@@ -96,7 +102,10 @@ fn barrier_under_imbalance() {
         barriers: 10,
         structures: vec![StructureSpec {
             weight: 1.0,
-            region: Region::Shared { offset_lines: 0, lines: 64 },
+            region: Region::Shared {
+                offset_lines: 0,
+                lines: 64,
+            },
             pattern: Pattern::Migratory { objects: 16 },
             write_frac: 1.0,
         }],
@@ -125,12 +134,20 @@ fn matrix_and_normalisation() {
     let app = tiled_cmp::workloads::apps::fft();
     let specs: Vec<RunSpec> = [
         ConfigSpec::baseline(),
-        ConfigSpec::compressed(CompressionScheme::Dbrc { entries: 16, low_bytes: 2 }),
+        ConfigSpec::compressed(CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 2,
+        }),
     ]
     .into_iter()
-    .map(|config| RunSpec { app: app.clone(), config, seed: 5, scale: 0.005 })
+    .map(|config| RunSpec {
+        app: app.clone(),
+        config,
+        seed: 5,
+        scale: 0.005,
+    })
     .collect();
-    let results = run_matrix(&cmp, &specs);
+    let results = run_matrix(&cmp, &specs).expect("matrix runs cleanly");
     let rows = normalize(&results);
     assert_eq!(rows.len(), 1);
     assert!(rows[0].exec_time > 0.5 && rows[0].exec_time <= 1.05);
@@ -148,8 +165,13 @@ fn energy_consistency() {
         run(&app, SimConfig::baseline(), 1.0)
     };
     let e = &small.energy;
-    let sum = e.core_dynamic + e.core_static + e.link_dynamic + e.link_static
-        + e.router_dynamic + e.compression_dynamic + e.compression_static;
+    let sum = e.core_dynamic
+        + e.core_static
+        + e.link_dynamic
+        + e.link_static
+        + e.router_dynamic
+        + e.compression_dynamic
+        + e.compression_static;
     assert!((sum.value() - e.chip().value()).abs() < 1e-12);
     assert!(big.energy.chip().value() > small.energy.chip().value());
     assert!(big.cycles > small.cycles);

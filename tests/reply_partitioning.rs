@@ -10,7 +10,10 @@ fn run(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
 }
 
 fn rp() -> SimConfig {
-    SimConfig::new(InterconnectChoice::ReplyPartitioning, CompressionScheme::None)
+    SimConfig::new(
+        InterconnectChoice::ReplyPartitioning,
+        CompressionScheme::None,
+    )
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn rp_and_proposal_are_distinct_design_points() {
         &app,
         SimConfig::new(
             InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-            CompressionScheme::Dbrc { entries: 4, low_bytes: 2 },
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
         ),
         0.01,
     );
