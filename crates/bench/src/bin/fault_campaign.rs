@@ -1,0 +1,357 @@
+//! Seeded fault campaigns across the Figure-6 application matrix.
+//!
+//! For every selected application the driver runs, on the paper's
+//! proposal configuration (16-entry DBRC over the 4-byte VL channel):
+//!
+//! * a **desync** campaign — codec-metadata corruption, the recoverable
+//!   class: the NI must detect every divergence via its tag, fall back
+//!   to uncompressed B-Wire transmission and resynchronise;
+//! * a **drop** campaign — one lost coherence message: the run must end
+//!   in a structured deadlock report naming the stuck tile and queue,
+//!   never a hang;
+//! * a **corrupt** campaign — one bit-flipped address: the receiving
+//!   controller must reject the impossible message as a protocol error;
+//! * a **sanitizer** campaign — live metadata corruption of each MESI
+//!   invariant class, caught by the periodic sweep.
+//!
+//! Every run executes under `catch_unwind`, so the final summary proves
+//! the "zero panics" property of the robustness layer directly.
+//!
+//! `--smoke` shrinks the matrix to two applications at tiny scale for CI.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use addr_compression::CompressionScheme;
+use cmp_common::fault::FaultConfig;
+use coherence::sanitizer::Invariant;
+use coherence::sanitizer::SanitizerConfig;
+use tcmp_core::report::TableBuilder;
+use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult};
+use tcmp_core::InterconnectChoice;
+use wire_model::wires::VlWidth;
+use workloads::profile::AppProfile;
+
+#[derive(Clone, Debug)]
+struct Args {
+    scale: f64,
+    seed: u64,
+    apps: Vec<String>,
+    smoke: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        scale: 0.01,
+        seed: 0xFA_017,
+        apps: Vec::new(),
+        smoke: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                a.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--seed" => {
+                a.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
+            "--app" => a.apps.push(args.next().unwrap_or_else(usage)),
+            "--smoke" => a.smoke = true,
+            "--verbose" => a.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    a
+}
+
+fn usage<T>() -> T {
+    eprintln!("usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose]");
+    std::process::exit(2)
+}
+
+/// The proposal configuration every campaign runs on.
+fn proposal_cfg() -> SimConfig {
+    SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+    )
+}
+
+/// What one campaign run ended as.
+enum Outcome {
+    /// Ran to completion (faults absorbed or recovered).
+    Completed(Box<SimResult>),
+    /// Aborted with a structured error (the desired failure mode for
+    /// unrecoverable faults).
+    Structured(SimError),
+    /// The process panicked — the robustness layer failed.
+    Panicked,
+}
+
+fn run_guarded(cfg: SimConfig, app: &AppProfile, seed: u64, scale: f64) -> Outcome {
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = CmpSimulator::new(cfg, app, seed, scale);
+        sim.run()
+    }));
+    match out {
+        Ok(Ok(r)) => Outcome::Completed(Box::new(r)),
+        Ok(Err(e)) => Outcome::Structured(e),
+        Err(_) => Outcome::Panicked,
+    }
+}
+
+/// Step a clean run, corrupt live metadata of `class` once warm, and let
+/// the sanitizer catch it.
+fn run_sanitizer_campaign(
+    cfg: SimConfig,
+    app: &AppProfile,
+    seed: u64,
+    scale: f64,
+    class: Invariant,
+) -> Outcome {
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        let mut sim = CmpSimulator::new(cfg, app, seed, scale);
+        let mut injected = false;
+        loop {
+            match sim.step() {
+                Ok(true) => {}
+                Ok(false) => return Ok(Box::new(sim.finish())),
+                Err(e) => return Err(e),
+            }
+            if !injected {
+                injected = sim.fault_inject_violation(class).is_some();
+            }
+        }
+    }));
+    match out {
+        Ok(Ok(r)) => Outcome::Completed(r),
+        Ok(Err(e)) => Outcome::Structured(e),
+        Err(_) => Outcome::Panicked,
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    desyncs_injected: u64,
+    desyncs_detected: u64,
+    resyncs_completed: u64,
+    fallback_msgs: u64,
+    structured_fatal: u64,
+    benign: u64,
+    sanitizer_caught: u64,
+    anomalies: u64,
+    panics: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let apps: Vec<AppProfile> = if !args.apps.is_empty() {
+        args.apps
+            .iter()
+            .map(|n| workloads::apps::app_by_name(n).unwrap_or_else(usage))
+            .collect()
+    } else if args.smoke {
+        vec![workloads::apps::fft(), workloads::apps::mp3d()]
+    } else {
+        workloads::apps::all_apps()
+    };
+    let scale = if args.smoke {
+        args.scale.min(0.005)
+    } else {
+        args.scale
+    };
+    let invariants = [
+        Invariant::SingleOwner,
+        Invariant::SharerAgreement,
+        Invariant::MshrConsistency,
+        Invariant::DirectoryInclusion,
+    ];
+
+    let mut table = TableBuilder::new(
+        "Fault campaigns — proposal configuration (16-entry DBRC, 4B VL)",
+        &[
+            "application",
+            "desync inj/det/rec",
+            "drop",
+            "corrupt",
+            "sanitizer",
+            "panics",
+        ],
+    );
+    let mut total = Tally::default();
+
+    for app in &apps {
+        let mut t = Tally::default();
+
+        // 1. Desync: recoverable; the run must complete.
+        let mut cfg = proposal_cfg();
+        cfg.faults = FaultConfig::desync_only(args.seed, 0.01, 25);
+        let desync_cell = match run_guarded(cfg, app, args.seed, scale) {
+            Outcome::Completed(r) => {
+                t.desyncs_injected = r.fault_stats.desyncs.get();
+                t.desyncs_detected = r.resync.desyncs_detected;
+                t.resyncs_completed = r.resync.resyncs_completed;
+                t.fallback_msgs = r.resync.fallback_msgs;
+                if t.resyncs_completed != t.desyncs_detected {
+                    t.anomalies += 1;
+                }
+                format!(
+                    "{}/{}/{}",
+                    t.desyncs_injected, t.desyncs_detected, t.resyncs_completed
+                )
+            }
+            Outcome::Structured(e) => {
+                t.anomalies += 1;
+                if args.verbose {
+                    eprintln!("[{}] desync campaign aborted:\n{e}", app.name);
+                }
+                "ABORTED".to_string()
+            }
+            Outcome::Panicked => {
+                t.panics += 1;
+                "PANIC".to_string()
+            }
+        };
+
+        // 2. Drop: one lost message; a structured deadlock is the pass.
+        let mut cfg = proposal_cfg();
+        cfg.faults = FaultConfig {
+            seed: args.seed,
+            drop: 1.0,
+            max_faults: Some(1),
+            ..FaultConfig::none()
+        };
+        // A wedged protocol never drains; bound the hang so the campaign
+        // terminates in bounded time even if deadlock detection regressed.
+        cfg.max_cycles = 30_000_000;
+        let drop_cell = match run_guarded(cfg, app, args.seed, scale) {
+            Outcome::Completed(_) => {
+                t.benign += 1;
+                "benign".to_string()
+            }
+            Outcome::Structured(e @ SimError::Deadlock { .. }) => {
+                t.structured_fatal += 1;
+                if args.verbose {
+                    eprintln!("[{}] drop campaign deadlock:\n{e}", app.name);
+                }
+                "deadlock(dump)".to_string()
+            }
+            Outcome::Structured(_) => {
+                t.anomalies += 1;
+                "unexpected".to_string()
+            }
+            Outcome::Panicked => {
+                t.panics += 1;
+                "PANIC".to_string()
+            }
+        };
+
+        // 3. Corrupt: one flipped address bit; the wrong-home/controller
+        // check must reject it as a protocol error.
+        let mut cfg = proposal_cfg();
+        cfg.faults = FaultConfig {
+            seed: args.seed,
+            corrupt: 1.0,
+            max_faults: Some(1),
+            ..FaultConfig::none()
+        };
+        cfg.max_cycles = 30_000_000;
+        let corrupt_cell = match run_guarded(cfg, app, args.seed, scale) {
+            Outcome::Completed(_) => {
+                t.benign += 1;
+                "benign".to_string()
+            }
+            Outcome::Structured(SimError::Protocol { error, .. }) => {
+                t.structured_fatal += 1;
+                if args.verbose {
+                    eprintln!("[{}] corrupt campaign rejected: {error}", app.name);
+                }
+                "rejected".to_string()
+            }
+            Outcome::Structured(SimError::Deadlock { .. }) => {
+                // a corrupted reply can also wedge the requester
+                t.structured_fatal += 1;
+                "deadlock(dump)".to_string()
+            }
+            Outcome::Structured(_) => {
+                t.anomalies += 1;
+                "unexpected".to_string()
+            }
+            Outcome::Panicked => {
+                t.panics += 1;
+                "PANIC".to_string()
+            }
+        };
+
+        // 4. Sanitizer: one live-metadata corruption per invariant class.
+        let mut caught = 0usize;
+        for &class in &invariants {
+            let mut cfg = proposal_cfg();
+            cfg.sanitizer = Some(SanitizerConfig { period: 256 });
+            match run_sanitizer_campaign(cfg, app, args.seed, scale, class) {
+                Outcome::Structured(SimError::Sanitizer { violations, .. })
+                    if violations.iter().any(|v| v.invariant == class) =>
+                {
+                    caught += 1;
+                    t.sanitizer_caught += 1;
+                }
+                Outcome::Panicked => t.panics += 1,
+                _ => t.anomalies += 1,
+            }
+        }
+        let sanitizer_cell = format!("{caught}/{} caught", invariants.len());
+
+        table.row(vec![
+            app.name.to_string(),
+            desync_cell,
+            drop_cell,
+            corrupt_cell,
+            sanitizer_cell,
+            t.panics.to_string(),
+        ]);
+
+        total.desyncs_injected += t.desyncs_injected;
+        total.desyncs_detected += t.desyncs_detected;
+        total.resyncs_completed += t.resyncs_completed;
+        total.fallback_msgs += t.fallback_msgs;
+        total.structured_fatal += t.structured_fatal;
+        total.benign += t.benign;
+        total.sanitizer_caught += t.sanitizer_caught;
+        total.anomalies += t.anomalies;
+        total.panics += t.panics;
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "totals: {} desyncs injected, {} detected, {} recovered, {} fallback messages",
+        total.desyncs_injected,
+        total.desyncs_detected,
+        total.resyncs_completed,
+        total.fallback_msgs
+    );
+    println!(
+        "        {} structured fatal outcomes, {} benign, {} sanitizer catches, \
+         {} anomalies, {} panics",
+        total.structured_fatal, total.benign, total.sanitizer_caught, total.anomalies, total.panics
+    );
+    if total.panics > 0 || total.anomalies > 0 {
+        eprintln!("FAIL: fault campaign saw panics or anomalous outcomes");
+        std::process::exit(1);
+    }
+    println!("PASS: every fault detected, recovered or rejected with a structured report");
+}

@@ -10,7 +10,7 @@ use tcmp_core::report::{fmt_ratio, TableBuilder};
 fn main() {
     let opts = cmp_bench::Options::parse();
     let results = run_figure_matrix(&opts);
-    let rows = normalize(&results);
+    let rows = normalize(&results).expect("baseline run present in the matrix");
 
     let configs: Vec<String> = {
         let mut v = Vec::new();

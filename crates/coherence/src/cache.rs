@@ -158,10 +158,12 @@ impl<V> CacheArray<V> {
             .map(|e| e.line)
     }
 
-    /// Insert `line` into a free way. Panics if the set is full — callers
-    /// must evict the `victim_for` line first (the two-step dance lets the
-    /// L2 run its recall protocol between choosing and evicting).
-    pub fn insert(&mut self, line: Addr, value: V) {
+    /// Insert `line` into a free way. Returns the rejected payload when
+    /// the set is full — callers must evict the `victim_for` line first
+    /// (the two-step dance lets the L2 run its recall protocol between
+    /// choosing and evicting) and treat a full set as a protocol error.
+    #[must_use = "a full set means the caller skipped eviction"]
+    pub fn insert(&mut self, line: Addr, value: V) -> Result<(), V> {
         debug_assert!(self.peek(line).is_none(), "double insert of {line:#x}");
         self.clock += 1;
         let clock = self.clock;
@@ -173,10 +175,10 @@ impl<V> CacheArray<V> {
                     value,
                     stamp: clock,
                 });
-                return;
+                return Ok(());
             }
         }
-        panic!("insert into full set: evict the victim first");
+        Err(value)
     }
 
     /// Number of resident lines (O(capacity); for tests/stats).
@@ -207,7 +209,7 @@ mod tests {
     #[test]
     fn insert_and_lookup() {
         let mut c = small();
-        c.insert(0x10, 7);
+        c.insert(0x10, 7).unwrap();
         assert_eq!(c.peek(0x10), Some(&7));
         assert_eq!(c.peek(0x11), None);
         *c.get_mut(0x10).unwrap() = 9;
@@ -218,23 +220,23 @@ mod tests {
     fn set_conflicts_and_lru() {
         let mut c = small();
         // lines 0, 4, 8 all map to set 0 (2 ways)
-        c.insert(0, 0);
-        c.insert(4, 4);
+        c.insert(0, 0).unwrap();
+        c.insert(4, 4).unwrap();
         assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Evict(0));
         c.touch(0); // now 4 is LRU
         assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Evict(4));
         let evicted = c.remove(4).unwrap();
         assert_eq!(evicted, 4);
         assert_eq!(c.victim_for(8, |_, _| true), VictimSlot::Free);
-        c.insert(8, 8);
+        c.insert(8, 8).unwrap();
         assert_eq!(c.occupancy(), 2);
     }
 
     #[test]
     fn victim_filter_excludes_busy_lines() {
         let mut c = small();
-        c.insert(0, 0);
-        c.insert(4, 4);
+        c.insert(0, 0).unwrap();
+        c.insert(4, 4).unwrap();
         // both lines busy: no victim available
         assert_eq!(c.victim_for(8, |_, _| false), VictimSlot::None);
         // only line 4 evictable
@@ -245,8 +247,8 @@ mod tests {
     fn index_shift_skips_interleave_bits() {
         // 16-tile interleave: lines 0,16,32... belong to this slice
         let mut c: CacheArray<u32> = CacheArray::new(4, 1, 4);
-        c.insert(0, 0);
-        c.insert(16, 1);
+        c.insert(0, 0).unwrap();
+        c.insert(16, 1).unwrap();
         // 0 -> set 0, 16 -> set 1: no conflict
         assert_eq!(c.occupancy(), 2);
         // 64 -> (64>>4)&3 = set 0: conflicts with line 0
@@ -254,19 +256,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "full set")]
-    fn insert_into_full_set_panics() {
+    fn insert_into_full_set_returns_payload() {
         let mut c = small();
-        c.insert(0, 0);
-        c.insert(4, 4);
-        c.insert(8, 8);
+        c.insert(0, 0).unwrap();
+        c.insert(4, 4).unwrap();
+        assert_eq!(c.insert(8, 8), Err(8), "full set rejects the payload");
+        // the resident lines are untouched
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.peek(8), None);
+        // after evicting, the insert succeeds
+        c.remove(0).unwrap();
+        c.insert(8, 8).unwrap();
+        assert_eq!(c.peek(8), Some(&8));
     }
 
     #[test]
     fn iter_and_capacity() {
         let mut c = small();
-        c.insert(1, 10);
-        c.insert(2, 20);
+        c.insert(1, 10).unwrap();
+        c.insert(2, 20).unwrap();
         assert_eq!(c.capacity(), 8);
         let mut pairs: Vec<_> = c.iter().map(|(a, &v)| (a, v)).collect();
         pairs.sort();

@@ -1,0 +1,94 @@
+//! Structured protocol-violation reporting.
+//!
+//! A controller that receives a message its state machine cannot legally
+//! accept used to `panic!` — correct for catching simulator bugs during
+//! development, but fatal for fault campaigns, where an injected drop,
+//! duplicate or bit-flip *should* drive the protocol into impossible
+//! states. Every such site now returns a [`ProtocolError`] naming the
+//! detecting tile, the line and the offending message, which the
+//! full-system simulator wraps into a `SimError` together with a machine
+//! state dump.
+
+use cmp_common::types::{Addr, TileId};
+
+use crate::msg::PKind;
+
+/// A protocol invariant violation detected by a cache/directory
+/// controller while handling a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The controller (tile) that detected the violation.
+    pub tile: TileId,
+    /// Line address the offending event concerned.
+    pub line: Addr,
+    /// The message kind that exposed it (`None` when the violation was
+    /// found outside message handling, e.g. a fill into a full set).
+    pub kind: Option<PKind>,
+    /// What went wrong, in protocol terms.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// A violation exposed by handling `kind`.
+    #[cold]
+    #[inline(never)]
+    pub fn on_msg(tile: TileId, line: Addr, kind: PKind, detail: impl Into<String>) -> Self {
+        ProtocolError {
+            tile,
+            line,
+            kind: Some(kind),
+            detail: detail.into(),
+        }
+    }
+
+    /// A violation detected outside message handling.
+    #[cold]
+    #[inline(never)]
+    pub fn internal(tile: TileId, line: Addr, detail: impl Into<String>) -> Self {
+        ProtocolError {
+            tile,
+            line,
+            kind: None,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol violation at tile {}, line {:#x}",
+            self.tile.index(),
+            self.line
+        )?;
+        if let Some(kind) = self.kind {
+            write!(f, " (handling {kind:?})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_tile_line_and_message() {
+        let e = ProtocolError::on_msg(TileId(3), 0x40, PKind::InvAck, "ack for idle line");
+        let s = e.to_string();
+        assert!(s.contains("tile 3"), "{s}");
+        assert!(s.contains("0x40"), "{s}");
+        assert!(s.contains("InvAck"), "{s}");
+        assert!(s.contains("ack for idle line"), "{s}");
+    }
+
+    #[test]
+    fn internal_errors_have_no_message_kind() {
+        let e = ProtocolError::internal(TileId(0), 0x80, "fill into full set");
+        assert_eq!(e.kind, None);
+        assert!(!e.to_string().contains("handling"));
+    }
+}

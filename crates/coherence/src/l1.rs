@@ -22,6 +22,7 @@ use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
 use crate::cache::CacheArray;
+use crate::error::ProtocolError;
 use crate::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 
 /// L1 line states (I is represented by absence).
@@ -162,6 +163,49 @@ impl L1Cache {
         self.mshrs.len()
     }
 
+    /// MSHR capacity.
+    pub fn max_mshrs(&self) -> usize {
+        self.max_mshrs
+    }
+
+    /// Resident lines and their states (sanitizer/diagnostic sweep).
+    pub fn resident_lines(&self) -> impl Iterator<Item = (Addr, L1State)> + '_ {
+        self.array.iter().map(|(line, &state)| (line, state))
+    }
+
+    /// Lines with an outstanding miss (sanitizer/diagnostic sweep).
+    pub fn mshr_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.mshrs.iter().map(|m| m.line)
+    }
+
+    /// Fault hook: force a line into `state`, bypassing the protocol.
+    /// Inserts the line if absent (no-op when its set is full). Used by
+    /// the fault-injection harness to manufacture invariant violations.
+    pub fn fault_set_state(&mut self, line: Addr, state: L1State) {
+        if let Some(s) = self.array.get_mut(line) {
+            *s = state;
+        } else {
+            let _ = self.array.insert(line, state);
+        }
+    }
+
+    /// Fault hook: silently drop a resident line, bypassing the protocol.
+    pub fn fault_drop_line(&mut self, line: Addr) {
+        self.array.remove(line);
+    }
+
+    /// Fault hook: allocate an MSHR without issuing a request (used to
+    /// manufacture duplicate/overflowing MSHR states for the sanitizer).
+    pub fn fault_push_mshr(&mut self, line: Addr, write: bool) {
+        self.mshrs.push(Mshr {
+            line,
+            write,
+            inv_pending: false,
+            deferred: None,
+            partial_served: false,
+        });
+    }
+
     fn home(&self, line: Addr) -> TileId {
         home_of(line, self.tiles)
     }
@@ -268,13 +312,16 @@ impl L1Cache {
         L1Result::Miss { out }
     }
 
-    fn take_mshr(&mut self, line: Addr) -> Mshr {
-        let idx = self
-            .mshrs
-            .iter()
-            .position(|m| m.line == line)
-            .unwrap_or_else(|| panic!("fill for line {line:#x} without MSHR"));
-        self.mshrs.swap_remove(idx)
+    fn take_mshr(&mut self, line: Addr, kind: PKind) -> Result<Mshr, ProtocolError> {
+        match self.mshrs.iter().position(|m| m.line == line) {
+            Some(idx) => Ok(self.mshrs.swap_remove(idx)),
+            None => Err(ProtocolError::on_msg(
+                self.tile,
+                line,
+                kind,
+                "fill for a line without an outstanding MSHR",
+            )),
+        }
     }
 
     /// Serve a deferred forward/recall right after filling in state
@@ -338,13 +385,18 @@ impl L1Cache {
     }
 
     /// Handle a delivered protocol message. Returns the messages to emit
-    /// and, for fills/grants, the completed core access.
-    pub fn handle(&mut self, msg: ProtocolMsg) -> (OutVec, Option<CompletedAccess>) {
+    /// and, for fills/grants, the completed core access; a message the
+    /// state machine cannot legally accept yields a [`ProtocolError`]
+    /// instead of wedging or killing the simulation.
+    pub fn handle(
+        &mut self,
+        msg: ProtocolMsg,
+    ) -> Result<(OutVec, Option<CompletedAccess>), ProtocolError> {
         let line = msg.line;
         let mut out = OutVec::new();
         match msg.kind {
             PKind::DataS | PKind::DataE | PKind::DataM => {
-                let mshr = self.take_mshr(line);
+                let mshr = self.take_mshr(line, msg.kind)?;
                 let fill_state = match msg.kind {
                     PKind::DataS => L1State::Shared,
                     PKind::DataE => L1State::Exclusive,
@@ -369,8 +421,13 @@ impl L1Cache {
                     if self.array.peek(line).is_some() {
                         // upgrade path: line was Shared and stayed resident
                         *self.array.get_mut(line).expect("resident") = final_state;
-                    } else {
-                        self.array.insert(line, final_state);
+                    } else if self.array.insert(line, final_state).is_err() {
+                        return Err(ProtocolError::on_msg(
+                            self.tile,
+                            line,
+                            msg.kind,
+                            "fill arrived with no way reserved in its set",
+                        ));
                     }
                     if let Some(deferred) = mshr.deferred {
                         let actual = *self.array.peek(line).expect("resident");
@@ -395,7 +452,7 @@ impl L1Cache {
                         write: mshr.write,
                     })
                 };
-                (out, completion)
+                Ok((out, completion))
             }
 
             PKind::PartialReply { .. } => {
@@ -405,37 +462,48 @@ impl L1Cache {
                 // is stale and must be dropped.
                 if let Some(pos) = self.stale_partials.iter().position(|&l| l == line) {
                     self.stale_partials.swap_remove(pos);
-                    return (out, None);
+                    return Ok((out, None));
                 }
                 match self.mshrs.iter_mut().find(|m| m.line == line) {
                     Some(m) if !m.partial_served => {
                         m.partial_served = true;
                         let write = m.write;
-                        (out, Some(CompletedAccess { line, write }))
+                        Ok((out, Some(CompletedAccess { line, write })))
                     }
-                    _ => (out, None),
+                    _ => Ok((out, None)),
                 }
             }
 
             PKind::UpgradeAck => {
-                let mshr = self.take_mshr(line);
+                let mshr = self.take_mshr(line, msg.kind)?;
                 debug_assert!(mshr.write && !mshr.inv_pending);
-                let state = self
-                    .array
-                    .get_mut(line)
-                    .expect("upgrade ack for absent line");
+                let Some(state) = self.array.get_mut(line) else {
+                    return Err(ProtocolError::on_msg(
+                        self.tile,
+                        line,
+                        msg.kind,
+                        "upgrade acknowledged for a line we no longer hold",
+                    ));
+                };
                 debug_assert_eq!(*state, L1State::Shared);
                 *state = L1State::Modified;
                 if let Some(deferred) = mshr.deferred {
                     self.serve_deferred(line, L1State::Modified, deferred, &mut out);
                 }
-                (out, Some(CompletedAccess { line, write: true }))
+                Ok((out, Some(CompletedAccess { line, write: true })))
             }
 
             PKind::Inv => {
                 self.stats.invalidations.inc();
                 if let Some(state) = self.array.peek(line) {
-                    debug_assert_ne!(*state, L1State::Modified, "directory must not Inv an owner");
+                    if *state == L1State::Modified {
+                        return Err(ProtocolError::on_msg(
+                            self.tile,
+                            line,
+                            msg.kind,
+                            "invalidation addressed to the modified owner",
+                        ));
+                    }
                     self.array.remove(line);
                 }
                 if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
@@ -446,7 +514,7 @@ impl L1Cache {
                     msg: ProtocolMsg::new(PKind::InvAck, line),
                     delay: L1_DELAY,
                 });
-                (out, None)
+                Ok((out, None))
             }
 
             PKind::FwdGetS { requestor } => {
@@ -468,7 +536,7 @@ impl L1Cache {
                         }
                     }
                 }
-                (out, None)
+                Ok((out, None))
             }
 
             PKind::FwdGetX { requestor } => {
@@ -493,7 +561,7 @@ impl L1Cache {
                         }
                     }
                 }
-                (out, None)
+                Ok((out, None))
             }
 
             PKind::RecallData => {
@@ -515,10 +583,15 @@ impl L1Cache {
                         }
                     }
                 }
-                (out, None)
+                Ok((out, None))
             }
 
-            other => unreachable!("L1 never receives {other:?}"),
+            other => Err(ProtocolError::on_msg(
+                self.tile,
+                line,
+                other,
+                "message kind is never addressed to an L1",
+            )),
         }
     }
 }
@@ -530,6 +603,11 @@ mod tests {
     fn l1() -> L1Cache {
         // 128 sets x 4 ways (32 KB of 64 B lines), 8 MSHRs, 16 tiles
         L1Cache::new(TileId(2), 128, 4, 8, 16)
+    }
+
+    /// Handle a message that must be protocol-legal.
+    fn h(l1: &mut L1Cache, msg: ProtocolMsg) -> (OutVec, Option<CompletedAccess>) {
+        l1.handle(msg).expect("protocol-legal message")
     }
 
     fn send_kinds(out: &[Outgoing]) -> Vec<PKind> {
@@ -563,7 +641,7 @@ mod tests {
         let mut l1 = l1();
         let line = 0x10;
         let _ = l1.core_access(line, CoreAccess::Read);
-        let (out, done) = l1.handle(ProtocolMsg::new(PKind::DataE, line));
+        let (out, done) = h(&mut l1, ProtocolMsg::new(PKind::DataE, line));
         assert!(out.is_empty());
         assert_eq!(done, Some(CompletedAccess { line, write: false }));
         assert_eq!(l1.state_of(line), Some(L1State::Exclusive));
@@ -583,7 +661,7 @@ mod tests {
     fn write_fill_is_modified_regardless_of_grant() {
         let mut l1 = l1();
         let _ = l1.core_access(7, CoreAccess::Write);
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataM, 7));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataM, 7));
         assert!(done.unwrap().write);
         assert_eq!(l1.state_of(7), Some(L1State::Modified));
     }
@@ -592,12 +670,12 @@ mod tests {
     fn shared_write_hit_issues_upgrade() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataS, 3));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataS, 3));
         match l1.core_access(3, CoreAccess::Write) {
             L1Result::Miss { out } => assert_eq!(send_kinds(&out), vec![PKind::Upgrade]),
             other => panic!("expected upgrade miss, got {other:?}"),
         }
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::UpgradeAck, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::UpgradeAck, 3));
         assert_eq!(
             done,
             Some(CompletedAccess {
@@ -618,7 +696,7 @@ mod tests {
         {
             let line = (i as u64) * 128;
             let _ = l1.core_access(line, CoreAccess::Read);
-            let _ = l1.handle(ProtocolMsg::new(*state, line));
+            let _ = h(&mut l1, ProtocolMsg::new(*state, line));
         }
         // Write-fill state: the DataM line is Modified even for reads? No:
         // reads fill with the granted state. line 0 = Modified grant to a
@@ -630,7 +708,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataE, 512));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataE, 512));
         // now evict the Exclusive line (128): hint only
         match l1.core_access(640, CoreAccess::Read) {
             L1Result::Miss { out } => {
@@ -638,7 +716,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataE, 640));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataE, 640));
         // and a Shared victim leaves silently
         match l1.core_access(768, CoreAccess::Read) {
             L1Result::Miss { out } => assert_eq!(send_kinds(&out), vec![PKind::GetS]),
@@ -650,8 +728,8 @@ mod tests {
     fn inv_removes_line_and_acks_home() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataS, 3));
-        let (out, done) = l1.handle(ProtocolMsg::new(PKind::Inv, 3));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataS, 3));
+        let (out, done) = h(&mut l1, ProtocolMsg::new(PKind::Inv, 3));
         assert!(done.is_none());
         assert_eq!(send_kinds(&out), vec![PKind::InvAck]);
         assert_eq!(l1.state_of(3), None);
@@ -662,9 +740,9 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
         // Inv overtakes the DataS on the fast channel
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::Inv, 3));
+        let (out, _) = h(&mut l1, ProtocolMsg::new(PKind::Inv, 3));
         assert_eq!(send_kinds(&out), vec![PKind::InvAck]);
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataS, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataS, 3));
         assert!(done.is_some(), "the read still completes");
         assert_eq!(l1.state_of(3), None, "but no stale copy is kept");
     }
@@ -676,18 +754,21 @@ mod tests {
         // stale sharer bit, i.e. the pre-grant epoch.
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::Inv, 3));
+        let (out, _) = h(&mut l1, ProtocolMsg::new(PKind::Inv, 3));
         assert_eq!(send_kinds(&out), vec![PKind::InvAck]);
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataE, 3));
         assert!(done.is_some());
         assert_eq!(l1.state_of(3), Some(L1State::Exclusive));
         // and a later forward is served, not failed
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(9),
-            },
-            3,
-        ));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(9),
+                },
+                3,
+            ),
+        );
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionClean]);
     }
 
@@ -695,9 +776,9 @@ mod tests {
     fn inv_crossing_a_modified_grant_keeps_ownership() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::Inv, 3));
+        let (out, _) = h(&mut l1, ProtocolMsg::new(PKind::Inv, 3));
         assert_eq!(send_kinds(&out), vec![PKind::InvAck]);
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataM, 3));
         assert!(done.is_some());
         assert_eq!(
             l1.state_of(3),
@@ -710,13 +791,16 @@ mod tests {
     fn forward_served_from_modified_owner() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(9),
-            },
-            3,
-        ));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataM, 3));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(9),
+                },
+                3,
+            ),
+        );
         let kinds = send_kinds(&out);
         assert_eq!(kinds, vec![PKind::DataS, PKind::RevisionDirty]);
         match out[0] {
@@ -730,13 +814,16 @@ mod tests {
     fn forward_served_from_exclusive_owner_is_clean() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(9),
-            },
-            3,
-        ));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataE, 3));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(9),
+                },
+                3,
+            ),
+        );
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionClean]);
         assert_eq!(l1.state_of(3), Some(L1State::Shared));
     }
@@ -745,13 +832,16 @@ mod tests {
     fn fwd_getx_transfers_ownership_and_invalidates() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetX {
-                requestor: TileId(1),
-            },
-            3,
-        ));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataM, 3));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetX {
+                    requestor: TileId(1),
+                },
+                3,
+            ),
+        );
         assert_eq!(send_kinds(&out), vec![PKind::DataM, PKind::FwdDone]);
         assert_eq!(l1.state_of(3), None);
     }
@@ -759,12 +849,15 @@ mod tests {
     #[test]
     fn forward_for_absent_line_without_mshr_fails() {
         let mut l1 = l1();
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(1),
-            },
-            3,
-        ));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(1),
+                },
+                3,
+            ),
+        );
         assert_eq!(send_kinds(&out), vec![PKind::FwdFailed]);
         assert_eq!(l1.stats().forwards_failed.get(), 1);
     }
@@ -774,14 +867,17 @@ mod tests {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Read);
         // forward overtakes our DataE grant
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(9),
-            },
-            3,
-        ));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(9),
+                },
+                3,
+            ),
+        );
         assert!(out.is_empty(), "deferred, not failed");
-        let (out, done) = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
+        let (out, done) = h(&mut l1, ProtocolMsg::new(PKind::DataE, 3));
         assert!(done.is_some());
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionClean]);
         assert_eq!(l1.state_of(3), Some(L1State::Shared));
@@ -791,8 +887,8 @@ mod tests {
     fn recall_returns_dirty_data() {
         let mut l1 = l1();
         let _ = l1.core_access(3, CoreAccess::Write);
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::RecallData, 3));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataM, 3));
+        let (out, _) = h(&mut l1, ProtocolMsg::new(PKind::RecallData, 3));
         assert_eq!(send_kinds(&out), vec![PKind::RecallAckData]);
         assert_eq!(l1.state_of(3), None);
     }
@@ -800,7 +896,7 @@ mod tests {
     #[test]
     fn recall_of_absent_line_acks_clean() {
         let mut l1 = l1();
-        let (out, _) = l1.handle(ProtocolMsg::new(PKind::RecallData, 3));
+        let (out, _) = h(&mut l1, ProtocolMsg::new(PKind::RecallData, 3));
         assert_eq!(send_kinds(&out), vec![PKind::RecallAckClean]);
     }
 
@@ -811,12 +907,15 @@ mod tests {
         l1.set_expects_partial(true);
         let _ = l1.core_access(3, CoreAccess::Read);
         // the critical word arrives on the fast wires
-        let (out, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply {
-                of: PartialOf::Exclusive,
-            },
-            3,
-        ));
+        let (out, done) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::PartialReply {
+                    of: PartialOf::Exclusive,
+                },
+                3,
+            ),
+        );
         assert!(out.is_empty());
         assert_eq!(
             done,
@@ -828,7 +927,7 @@ mod tests {
         assert_eq!(l1.state_of(3), None, "line not installed yet");
         assert!(l1.mshr_pending(3), "ordinary reply still outstanding");
         // the ordinary reply installs silently (no double completion)
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataE, 3));
         assert_eq!(done, None);
         assert_eq!(l1.state_of(3), Some(L1State::Exclusive));
         assert!(!l1.mshr_pending(3));
@@ -841,15 +940,18 @@ mod tests {
         l1.set_expects_partial(true);
         let _ = l1.core_access(3, CoreAccess::Read);
         // pathological order: the full line lands first
-        let (_, done) = l1.handle(ProtocolMsg::new(PKind::DataE, 3));
+        let (_, done) = h(&mut l1, ProtocolMsg::new(PKind::DataE, 3));
         assert!(done.is_some(), "fill completes the access");
         // the late partial is stale and must not complete anything
-        let (_, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply {
-                of: PartialOf::Exclusive,
-            },
-            3,
-        ));
+        let (_, done) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::PartialReply {
+                    of: PartialOf::Exclusive,
+                },
+                3,
+            ),
+        );
         assert_eq!(done, None);
         assert_eq!(l1.state_of(3), Some(L1State::Exclusive));
     }
@@ -860,23 +962,29 @@ mod tests {
         let mut l1 = l1();
         l1.set_expects_partial(true);
         let _ = l1.core_access(3, CoreAccess::Write);
-        let (_, done) = l1.handle(ProtocolMsg::new(
-            PKind::PartialReply {
-                of: PartialOf::Modified,
-            },
-            3,
-        ));
+        let (_, done) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::PartialReply {
+                    of: PartialOf::Modified,
+                },
+                3,
+            ),
+        );
         assert!(done.is_some());
         // a forward arrives between partial and ordinary: defers
-        let (out, _) = l1.handle(ProtocolMsg::new(
-            PKind::FwdGetS {
-                requestor: TileId(9),
-            },
-            3,
-        ));
+        let (out, _) = h(
+            &mut l1,
+            ProtocolMsg::new(
+                PKind::FwdGetS {
+                    requestor: TileId(9),
+                },
+                3,
+            ),
+        );
         assert!(out.is_empty());
         // the ordinary reply installs M, then immediately serves the fwd
-        let (out, done) = l1.handle(ProtocolMsg::new(PKind::DataM, 3));
+        let (out, done) = h(&mut l1, ProtocolMsg::new(PKind::DataM, 3));
         assert_eq!(done, None, "core already resumed by the partial");
         assert_eq!(send_kinds(&out), vec![PKind::DataS, PKind::RevisionDirty]);
         assert_eq!(l1.state_of(3), Some(L1State::Shared));
@@ -904,7 +1012,7 @@ mod tests {
     fn stats_count_events() {
         let mut l1 = l1();
         let _ = l1.core_access(1, CoreAccess::Read); // miss
-        let _ = l1.handle(ProtocolMsg::new(PKind::DataE, 1));
+        let _ = h(&mut l1, ProtocolMsg::new(PKind::DataE, 1));
         let _ = l1.core_access(1, CoreAccess::Read); // hit
         assert_eq!(l1.stats().misses.get(), 1);
         assert_eq!(l1.stats().hits.get(), 1);

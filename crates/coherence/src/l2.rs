@@ -18,6 +18,7 @@ use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
 use crate::cache::{CacheArray, VictimSlot};
+use crate::error::ProtocolError;
 use crate::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 
 /// Directory state of one L2-resident line.
@@ -147,6 +148,75 @@ impl L2Slice {
         self.array.peek(line).map(|l| l.dir)
     }
 
+    /// Whether `line` has an in-flight transaction, fill or pending
+    /// recall at this home. While true, the directory entry may lag the
+    /// L1s' states — the sanitizer must not flag the disagreement.
+    pub fn line_in_flight(&self, line: Addr) -> bool {
+        self.busy.contains_key(&line)
+            || self.fills.contains_key(&line)
+            || self.recall_for.contains_key(&line)
+    }
+
+    /// Resident lines with their directory state (sanitizer sweep).
+    pub fn resident_lines(&self) -> impl Iterator<Item = (Addr, DirState)> + '_ {
+        self.array.iter().map(|(line, l)| (line, l.dir))
+    }
+
+    /// Lines mid-transaction with a label of the busy state (dumps).
+    pub fn busy_lines(&self) -> impl Iterator<Item = (Addr, String)> + '_ {
+        self.busy.iter().map(|(&line, b)| (line, format!("{b:?}")))
+    }
+
+    /// Lines with an outstanding memory fill (dumps).
+    pub fn fill_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.fills.keys().copied()
+    }
+
+    /// Requests queued behind busy lines (dumps + sanitizer).
+    pub fn queued_requests(&self) -> usize {
+        self.queued
+    }
+
+    /// Sum of per-line pending-queue lengths (O(lines); sanitizer
+    /// cross-check against the O(1) `queued` counter).
+    pub fn pending_total(&self) -> usize {
+        self.pending.values().map(|q| q.len()).sum()
+    }
+
+    /// Whether any pending queue is non-empty for a line that is neither
+    /// busy nor filling — such a queue would never drain.
+    pub fn orphaned_pending_line(&self) -> Option<Addr> {
+        self.pending
+            .iter()
+            .find(|(line, q)| {
+                !q.is_empty() && !self.busy.contains_key(*line) && !self.fills.contains_key(*line)
+            })
+            .map(|(&line, _)| line)
+    }
+
+    /// Fault hook: overwrite the directory state of a resident line.
+    /// Only for manufacturing sanitizer test states — never simulation.
+    #[doc(hidden)]
+    pub fn fault_set_dir(&mut self, line: Addr, dir: DirState) {
+        if let Some(l) = self.array.get_mut(line) {
+            l.dir = dir;
+        }
+    }
+
+    /// Fault hook: silently drop a resident line (inclusion violation).
+    #[doc(hidden)]
+    pub fn fault_evict_line(&mut self, line: Addr) {
+        let _ = self.array.remove(line);
+    }
+
+    /// Fault hook: enqueue a pending request for an idle line (orphaned
+    /// queue / counter-mismatch violation).
+    #[doc(hidden)]
+    pub fn fault_enqueue_pending(&mut self, line: Addr, src: TileId, kind: PKind) {
+        self.pending.entry(line).or_default().push_back((src, kind));
+        self.queued += 1;
+    }
+
     /// Whether the slice has no transaction, fill or queued request.
     /// O(1): the simulator polls this on every scheduler iteration.
     pub fn is_quiescent(&self) -> bool {
@@ -170,17 +240,31 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a request (`GetS`/`GetX`/`Upgrade`) from tile `src`.
-    pub fn handle_request(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
+    pub fn handle_request(
+        &mut self,
+        src: TileId,
+        kind: PKind,
+        line: Addr,
+    ) -> Result<OutVec, ProtocolError> {
         debug_assert!(matches!(kind, PKind::GetS | PKind::GetX | PKind::Upgrade));
-        debug_assert_eq!(
-            line as usize % self.tiles,
-            self.tile.index(),
-            "request routed to the wrong home"
-        );
+        if line as usize % self.tiles != self.tile.index() {
+            // A request for a line this slice does not home can only be a
+            // corrupted address: the interleaving is a pure function of
+            // the line, so a correct NI never misroutes.
+            return Err(ProtocolError::on_msg(
+                self.tile,
+                line,
+                kind,
+                format!(
+                    "request routed to the wrong home (line homes at tile {})",
+                    line as usize % self.tiles
+                ),
+            ));
+        }
         self.stats.requests.inc();
         let mut out = OutVec::new();
         self.request_inner(src, kind, line, &mut out);
-        out
+        Ok(out)
     }
 
     fn request_inner(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut OutVec) {
@@ -334,19 +418,26 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a coherence reply / revision from tile `src`.
-    pub fn handle_reply(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
+    pub fn handle_reply(
+        &mut self,
+        src: TileId,
+        kind: PKind,
+        line: Addr,
+    ) -> Result<OutVec, ProtocolError> {
         let mut out = OutVec::new();
         match kind {
-            PKind::InvAck => self.inv_ack(line, &mut out),
+            PKind::InvAck => self.inv_ack(line, &mut out)?,
             PKind::RevisionDirty | PKind::RevisionClean => {
-                let busy = *self.busy.get(&line).expect("revision for idle line");
+                let Some(&busy) = self.busy.get(&line) else {
+                    return Err(self.reply_err(kind, line, "revision for an idle line"));
+                };
                 let Busy::AwaitRevision {
                     requestor,
                     original,
                     ..
                 } = busy
                 else {
-                    panic!("revision while {busy:?}");
+                    return Err(self.reply_err(kind, line, format!("revision while {busy:?}")));
                 };
                 debug_assert_eq!(original, PKind::GetS);
                 if kind == PKind::RevisionDirty {
@@ -359,22 +450,26 @@ impl L2Slice {
                 self.unbusy(line, &mut out);
             }
             PKind::FwdDone => {
-                let busy = *self.busy.get(&line).expect("FwdDone for idle line");
+                let Some(&busy) = self.busy.get(&line) else {
+                    return Err(self.reply_err(kind, line, "forward completion for an idle line"));
+                };
                 let Busy::AwaitRevision { requestor, .. } = busy else {
-                    panic!("FwdDone while {busy:?}");
+                    return Err(self.reply_err(kind, line, format!("FwdDone while {busy:?}")));
                 };
                 self.set_dir(line, DirState::Owned(requestor));
                 self.unbusy(line, &mut out);
             }
             PKind::FwdFailed => {
-                let busy = *self.busy.get(&line).expect("FwdFailed for idle line");
+                let Some(&busy) = self.busy.get(&line) else {
+                    return Err(self.reply_err(kind, line, "forward failure for an idle line"));
+                };
                 let Busy::AwaitRevision {
                     requestor,
                     original,
                     wb_seen,
                 } = busy
                 else {
-                    panic!("FwdFailed while {busy:?}");
+                    return Err(self.reply_err(kind, line, format!("FwdFailed while {busy:?}")));
                 };
                 if wb_seen {
                     // writeback already applied: replay now
@@ -403,14 +498,27 @@ impl L2Slice {
                         l.dirty = true;
                     }
                 }
-                self.recall_ack(line, &mut out);
+                self.recall_ack(kind, line, &mut out)?;
             }
-            other => unreachable!("home never receives {other:?} as a reply"),
+            other => {
+                return Err(self.reply_err(
+                    other,
+                    line,
+                    "message kind is never a reply to the home",
+                ))
+            }
         }
-        out
+        Ok(out)
     }
 
-    fn inv_ack(&mut self, line: Addr, out: &mut OutVec) {
+    /// A [`ProtocolError`] for a reply this slice cannot legally accept.
+    #[cold]
+    #[inline(never)]
+    fn reply_err(&self, kind: PKind, line: Addr, detail: impl Into<String>) -> ProtocolError {
+        ProtocolError::on_msg(self.tile, line, kind, detail)
+    }
+
+    fn inv_ack(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         match self.busy.get_mut(&line) {
             Some(Busy::AwaitInvAcks {
                 requestor,
@@ -429,9 +537,13 @@ impl L2Slice {
                     }
                     self.unbusy(line, out);
                 }
+                Ok(())
             }
-            Some(Busy::AwaitRecall { .. }) => self.recall_ack(line, out),
-            other => panic!("InvAck for line in state {other:?}"),
+            Some(Busy::AwaitRecall { .. }) => self.recall_ack(PKind::InvAck, line, out),
+            other => {
+                let detail = format!("invalidation ack while {other:?}");
+                Err(self.reply_err(PKind::InvAck, line, detail))
+            }
         }
     }
 
@@ -440,7 +552,12 @@ impl L2Slice {
     // ------------------------------------------------------------------
 
     /// Handle a replacement (`WbData`/`WbHint`) from tile `src`.
-    pub fn handle_writeback(&mut self, src: TileId, kind: PKind, line: Addr) -> OutVec {
+    pub fn handle_writeback(
+        &mut self,
+        src: TileId,
+        kind: PKind,
+        line: Addr,
+    ) -> Result<OutVec, ProtocolError> {
         debug_assert!(matches!(kind, PKind::WbData | PKind::WbHint));
         self.stats.writebacks.inc();
         let with_data = kind == PKind::WbData;
@@ -453,7 +570,7 @@ impl L2Slice {
                 self.stats.mem_writes.inc();
                 out.push(Outgoing::MemWrite { line });
             }
-            return out;
+            return Ok(out);
         }
         if with_data {
             self.array.get_mut(line).expect("resident").dirty = true;
@@ -461,7 +578,16 @@ impl L2Slice {
         match self.busy.get_mut(&line) {
             None => {
                 // normal replacement: the sender must be the tracked owner
-                debug_assert_eq!(self.dir_state(line), Some(DirState::Owned(src)));
+                // (a duplicated writeback trips this — its first copy
+                // already cleared the directory)
+                if self.dir_state(line) != Some(DirState::Owned(src)) {
+                    let detail = format!(
+                        "writeback from tile {} but the directory records {:?}",
+                        src.index(),
+                        self.dir_state(line)
+                    );
+                    return Err(self.reply_err(kind, line, detail));
+                }
                 self.set_dir(line, DirState::Invalid);
             }
             Some(Busy::AwaitRevision { wb_seen, .. }) => {
@@ -489,9 +615,12 @@ impl L2Slice {
                 // owner wrote back while we recalled: data recorded above;
                 // the RecallAckClean that follows finishes the recall
             }
-            Some(other) => panic!("writeback while {other:?}"),
+            Some(other) => {
+                let detail = format!("writeback while {other:?}");
+                return Err(self.reply_err(kind, line, detail));
+            }
         }
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -500,48 +629,54 @@ impl L2Slice {
 
     /// Memory finished reading `line` (called by the simulator
     /// `mem_latency` cycles after the `MemRead` effect).
-    pub fn mem_fill_done(&mut self, line: Addr) -> OutVec {
+    pub fn mem_fill_done(&mut self, line: Addr) -> Result<OutVec, ProtocolError> {
         let mut out = OutVec::new();
-        let fill = self.fills.get_mut(&line).expect("fill in progress");
+        let Some(fill) = self.fills.get_mut(&line) else {
+            return Err(ProtocolError::internal(
+                self.tile,
+                line,
+                "memory fill completed for a line with no fill record",
+            ));
+        };
         fill.mem_done = true;
-        self.try_install(line, &mut out);
-        out
+        self.try_install(line, &mut out)?;
+        Ok(out)
     }
 
     /// Retry fills that could not find an evictable victim. Call after
     /// handling any message (cheap when nothing is stalled).
-    pub fn pump(&mut self) -> OutVec {
+    pub fn pump(&mut self) -> Result<OutVec, ProtocolError> {
         let mut out = OutVec::new();
         if self.stalled.is_empty() {
-            return out;
+            return Ok(out);
         }
         let stalled = std::mem::take(&mut self.stalled);
         for line in stalled {
-            self.try_install(line, &mut out);
+            self.try_install(line, &mut out)?;
         }
-        out
+        Ok(out)
     }
 
-    fn try_install(&mut self, line: Addr, out: &mut OutVec) {
+    fn try_install(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         if !self.fills.get(&line).map(|f| f.mem_done).unwrap_or(false) {
-            return;
+            return Ok(());
         }
         // A recall for this fill may already be running.
         if self.recall_for.values().any(|&l| l == line) {
-            return;
+            return Ok(());
         }
         let busy = &self.busy;
         let recall_for = &self.recall_for;
         match self.array.victim_for(line, |a, _| {
             !busy.contains_key(&a) && !recall_for.contains_key(&a)
         }) {
-            VictimSlot::Free => self.install(line, out),
+            VictimSlot::Free => self.install(line, out)?,
             VictimSlot::Evict(victim) => {
                 let dir = self.array.peek(victim).expect("victim resident").dir;
                 match dir {
                     DirState::Invalid => {
                         self.evict(victim, out);
-                        self.install(line, out);
+                        self.install(line, out)?;
                     }
                     DirState::Shared(s) => {
                         self.stats.recalls.inc();
@@ -567,23 +702,34 @@ impl L2Slice {
             }
             VictimSlot::None => self.stalled.push(line),
         }
+        Ok(())
     }
 
-    fn recall_ack(&mut self, victim: Addr, out: &mut OutVec) {
+    fn recall_ack(
+        &mut self,
+        kind: PKind,
+        victim: Addr,
+        out: &mut OutVec,
+    ) -> Result<(), ProtocolError> {
         let Some(Busy::AwaitRecall { pending }) = self.busy.get_mut(&victim) else {
-            panic!("recall ack for line not being recalled");
+            let detail = format!(
+                "recall ack for a line not being recalled (state {:?})",
+                self.busy.get(&victim)
+            );
+            return Err(self.reply_err(kind, victim, detail));
         };
         *pending -= 1;
         if *pending > 0 {
-            return;
+            return Ok(());
         }
         self.busy.remove(&victim);
         self.evict(victim, out);
         // requests that queued for the victim during the recall now miss
         self.drain_pending(victim, out);
         if let Some(fill_line) = self.recall_for.remove(&victim) {
-            self.try_install(fill_line, out);
+            self.try_install(fill_line, out)?;
         }
+        Ok(())
     }
 
     fn evict(&mut self, line: Addr, out: &mut OutVec) {
@@ -595,19 +741,30 @@ impl L2Slice {
         }
     }
 
-    fn install(&mut self, line: Addr, out: &mut OutVec) {
+    fn install(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         let fill = self.fills.remove(&line).expect("fill record");
         debug_assert!(fill.mem_done);
-        self.array.insert(
-            line,
-            L2Line {
-                dir: DirState::Invalid,
-                dirty: false,
-            },
-        );
+        if self
+            .array
+            .insert(
+                line,
+                L2Line {
+                    dir: DirState::Invalid,
+                    dirty: false,
+                },
+            )
+            .is_err()
+        {
+            return Err(ProtocolError::internal(
+                self.tile,
+                line,
+                "fill into a full set: victim selection was skipped",
+            ));
+        }
         for (src, kind) in fill.waiters {
             self.request_inner(src, kind, line, out);
         }
+        Ok(())
     }
 
     /// Clear the busy state and replay queued requests (in order; the
@@ -651,17 +808,17 @@ mod tests {
 
     /// Fill line `l` into the slice by running a request through memory.
     fn warm(s: &mut L2Slice, src: TileId, kind: PKind, l: Addr) -> OutVec {
-        let out = s.handle_request(src, kind, l);
+        let out = s.handle_request(src, kind, l).expect("legal request");
         assert!(matches!(out[..], [Outgoing::MemRead { .. }]));
-        s.mem_fill_done(l)
+        s.mem_fill_done(l).expect("fill outstanding")
     }
 
     #[test]
     fn cold_gets_fetches_memory_then_grants_exclusive() {
         let mut s = slice();
-        let out = s.handle_request(TileId(3), PKind::GetS, L);
+        let out = s.handle_request(TileId(3), PKind::GetS, L).unwrap();
         assert!(matches!(out[..], [Outgoing::MemRead { line: L }]));
-        let out = s.mem_fill_done(L);
+        let out = s.mem_fill_done(L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(3), PKind::DataE)]);
         assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(3))));
         assert!(s.is_quiescent());
@@ -672,7 +829,7 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(3), PKind::GetS, L);
         // reader 5 arrives: owner 3 must be forwarded
-        let out = s.handle_request(TileId(5), PKind::GetS, L);
+        let out = s.handle_request(TileId(5), PKind::GetS, L).unwrap();
         assert_eq!(
             sends(&out),
             vec![(
@@ -684,7 +841,7 @@ mod tests {
         );
         assert!(!s.is_quiescent());
         // owner had it clean: revision without data
-        let out = s.handle_reply(TileId(3), PKind::RevisionClean, L);
+        let out = s.handle_reply(TileId(3), PKind::RevisionClean, L).unwrap();
         assert!(out.is_empty());
         assert_eq!(
             s.dir_state(L),
@@ -699,9 +856,9 @@ mod tests {
     fn third_reader_is_served_from_l2() {
         let mut s = slice();
         warm(&mut s, TileId(3), PKind::GetS, L);
-        let _ = s.handle_request(TileId(5), PKind::GetS, L);
-        let _ = s.handle_reply(TileId(3), PKind::RevisionClean, L);
-        let out = s.handle_request(TileId(7), PKind::GetS, L);
+        let _ = s.handle_request(TileId(5), PKind::GetS, L).unwrap();
+        let _ = s.handle_reply(TileId(3), PKind::RevisionClean, L).unwrap();
+        let out = s.handle_request(TileId(7), PKind::GetS, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(7), PKind::DataS)]);
     }
 
@@ -709,16 +866,16 @@ mod tests {
     fn getx_invalidates_sharers_then_grants() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L);
-        let _ = s.handle_request(TileId(2), PKind::GetS, L);
-        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, L);
+        let _ = s.handle_request(TileId(2), PKind::GetS, L).unwrap();
+        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, L).unwrap();
         // now Shared{1,2}; tile 3 writes
-        let out = s.handle_request(TileId(3), PKind::GetX, L);
+        let out = s.handle_request(TileId(3), PKind::GetX, L).unwrap();
         let mut invs = sends(&out);
         invs.sort_by_key(|(t, _)| t.index());
         assert_eq!(invs, vec![(TileId(1), PKind::Inv), (TileId(2), PKind::Inv)]);
-        let out = s.handle_reply(TileId(1), PKind::InvAck, L);
+        let out = s.handle_reply(TileId(1), PKind::InvAck, L).unwrap();
         assert!(out.is_empty(), "one ack still missing");
-        let out = s.handle_reply(TileId(2), PKind::InvAck, L);
+        let out = s.handle_reply(TileId(2), PKind::InvAck, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(3), PKind::DataM)]);
         assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(3))));
     }
@@ -727,13 +884,13 @@ mod tests {
     fn upgrade_with_sole_sharer_acks_without_data() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L);
-        let _ = s.handle_request(TileId(2), PKind::GetS, L);
-        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, L);
+        let _ = s.handle_request(TileId(2), PKind::GetS, L).unwrap();
+        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, L).unwrap();
         // invalidate tile 1 via tile 2's GetX? No - test upgrade from 2
         // with sharers {1,2}: Inv to 1 then UpgradeAck to 2.
-        let out = s.handle_request(TileId(2), PKind::Upgrade, L);
+        let out = s.handle_request(TileId(2), PKind::Upgrade, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(1), PKind::Inv)]);
-        let out = s.handle_reply(TileId(1), PKind::InvAck, L);
+        let out = s.handle_reply(TileId(1), PKind::InvAck, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(2), PKind::UpgradeAck)]);
     }
 
@@ -742,11 +899,11 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L);
         // owner 1 writes back normally
-        let _ = s.handle_writeback(TileId(1), PKind::WbData, L);
+        let _ = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
         assert_eq!(s.dir_state(L), Some(DirState::Invalid));
         // tile 2 sends Upgrade for a line the directory no longer shares:
         // it must receive data
-        let out = s.handle_request(TileId(2), PKind::Upgrade, L);
+        let out = s.handle_request(TileId(2), PKind::Upgrade, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(2), PKind::DataM)]);
     }
 
@@ -754,13 +911,13 @@ mod tests {
     fn writeback_from_owner_clears_directory_and_marks_dirty() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L);
-        let out = s.handle_writeback(TileId(1), PKind::WbData, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
         assert!(out.is_empty());
         assert_eq!(s.dir_state(L), Some(DirState::Invalid));
         assert!(s.array.peek(L).unwrap().dirty);
         // a hint (clean-exclusive eviction) leaves data clean
-        let _ = s.handle_request(TileId(2), PKind::GetS, L);
-        let out = s.handle_writeback(TileId(2), PKind::WbHint, L);
+        let _ = s.handle_request(TileId(2), PKind::GetS, L).unwrap();
+        let out = s.handle_writeback(TileId(2), PKind::WbHint, L).unwrap();
         assert!(out.is_empty());
         assert_eq!(s.dir_state(L), Some(DirState::Invalid));
     }
@@ -770,7 +927,7 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L); // Owned(1)
                                                  // tile 2 reads; forward goes to 1
-        let out = s.handle_request(TileId(2), PKind::GetS, L);
+        let out = s.handle_request(TileId(2), PKind::GetS, L).unwrap();
         assert_eq!(
             sends(&out),
             vec![(
@@ -781,10 +938,10 @@ mod tests {
             )]
         );
         // but tile 1 had evicted: FwdFailed arrives first...
-        let out = s.handle_reply(TileId(1), PKind::FwdFailed, L);
+        let out = s.handle_reply(TileId(1), PKind::FwdFailed, L).unwrap();
         assert!(out.is_empty());
         // ...then the writeback hint lands and the request replays
-        let out = s.handle_writeback(TileId(1), PKind::WbHint, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbHint, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(2), PKind::DataE)]);
         assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(2))));
         assert!(s.is_quiescent());
@@ -794,7 +951,7 @@ mod tests {
     fn forward_writeback_race_other_order() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L); // Owned(1), will be dirty
-        let out = s.handle_request(TileId(2), PKind::GetX, L);
+        let out = s.handle_request(TileId(2), PKind::GetX, L).unwrap();
         assert_eq!(
             sends(&out),
             vec![(
@@ -805,9 +962,9 @@ mod tests {
             )]
         );
         // writeback data arrives BEFORE the failure notice
-        let out = s.handle_writeback(TileId(1), PKind::WbData, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
         assert!(out.is_empty());
-        let out = s.handle_reply(TileId(1), PKind::FwdFailed, L);
+        let out = s.handle_reply(TileId(1), PKind::FwdFailed, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(2), PKind::DataM)]);
         assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(2))));
     }
@@ -817,9 +974,9 @@ mod tests {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetX, L); // Owned(1)
                                                  // tile 1 evicted and re-requests before its writeback landed
-        let out = s.handle_request(TileId(1), PKind::GetS, L);
+        let out = s.handle_request(TileId(1), PKind::GetS, L).unwrap();
         assert!(out.is_empty(), "home waits for the in-flight writeback");
-        let out = s.handle_writeback(TileId(1), PKind::WbData, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
         assert_eq!(sends(&out), vec![(TileId(1), PKind::DataE)]);
     }
 
@@ -827,20 +984,26 @@ mod tests {
     fn requests_queue_behind_busy_line_in_order() {
         let mut s = slice();
         warm(&mut s, TileId(1), PKind::GetS, L); // Owned(1)
-        let _ = s.handle_request(TileId(2), PKind::GetS, L); // busy: fwd to 1
-                                                             // two more requests queue
-        assert!(s.handle_request(TileId(3), PKind::GetS, L).is_empty());
-        assert!(s.handle_request(TileId(4), PKind::GetX, L).is_empty());
+        let _ = s.handle_request(TileId(2), PKind::GetS, L).unwrap(); // busy: fwd to 1
+                                                                      // two more requests queue
+        assert!(s
+            .handle_request(TileId(3), PKind::GetS, L)
+            .unwrap()
+            .is_empty());
+        assert!(s
+            .handle_request(TileId(4), PKind::GetX, L)
+            .unwrap()
+            .is_empty());
         // revision completes the first; tile 3 is served from L2 (now
         // Shared{1,2}), then tile 4's GetX starts invalidations
-        let out = s.handle_reply(TileId(1), PKind::RevisionDirty, L);
+        let out = s.handle_reply(TileId(1), PKind::RevisionDirty, L).unwrap();
         let all = sends(&out);
         assert!(all.contains(&(TileId(3), PKind::DataS)), "{all:?}");
         // tile 4's GetX follows: Invs to 1, 2, 3
         let invs: Vec<_> = all.iter().filter(|(_, k)| *k == PKind::Inv).collect();
         assert_eq!(invs.len(), 3, "{all:?}");
         for t in [1, 2, 3] {
-            let _ = s.handle_reply(TileId(t), PKind::InvAck, L);
+            let _ = s.handle_reply(TileId(t), PKind::InvAck, L).unwrap();
         }
         assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(4))));
         assert!(s.is_quiescent());
@@ -854,12 +1017,12 @@ mod tests {
         let b = 32;
         warm(&mut s, TileId(1), PKind::GetX, a); // Owned(1) in the only way
                                                  // a request for b must evict a, which requires recalling it
-        let out = s.handle_request(TileId(2), PKind::GetS, b);
+        let out = s.handle_request(TileId(2), PKind::GetS, b).unwrap();
         assert!(matches!(out[..], [Outgoing::MemRead { line }] if line == b));
-        let out = s.mem_fill_done(b);
+        let out = s.mem_fill_done(b).unwrap();
         assert_eq!(sends(&out), vec![(TileId(1), PKind::RecallData)]);
         // owner returns dirty data; a is written to memory; b installs
-        let out = s.handle_reply(TileId(1), PKind::RecallAckData, a);
+        let out = s.handle_reply(TileId(1), PKind::RecallAckData, a).unwrap();
         let kinds = sends(&out);
         assert_eq!(kinds, vec![(TileId(2), PKind::DataE)]);
         assert!(out
@@ -876,15 +1039,15 @@ mod tests {
         let a = 16;
         let b = 32;
         warm(&mut s, TileId(1), PKind::GetS, a); // Owned(1)
-        let _ = s.handle_request(TileId(2), PKind::GetS, a);
-        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, a); // Shared{1,2}
-        let _ = s.handle_request(TileId(3), PKind::GetS, b);
-        let out = s.mem_fill_done(b);
+        let _ = s.handle_request(TileId(2), PKind::GetS, a).unwrap();
+        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, a).unwrap(); // Shared{1,2}
+        let _ = s.handle_request(TileId(3), PKind::GetS, b).unwrap();
+        let out = s.mem_fill_done(b).unwrap();
         let mut invs = sends(&out);
         invs.sort_by_key(|(t, _)| t.index());
         assert_eq!(invs, vec![(TileId(1), PKind::Inv), (TileId(2), PKind::Inv)]);
-        let _ = s.handle_reply(TileId(1), PKind::InvAck, a);
-        let out = s.handle_reply(TileId(2), PKind::InvAck, a);
+        let _ = s.handle_reply(TileId(1), PKind::InvAck, a).unwrap();
+        let out = s.handle_reply(TileId(2), PKind::InvAck, a).unwrap();
         assert_eq!(sends(&out), vec![(TileId(3), PKind::DataE)]);
         assert!(s.is_quiescent());
     }
@@ -892,10 +1055,10 @@ mod tests {
     #[test]
     fn writeback_for_evicted_line_goes_to_memory() {
         let mut s = slice();
-        let out = s.handle_writeback(TileId(1), PKind::WbData, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
         assert!(matches!(out[..], [Outgoing::MemWrite { line: L }]));
         // a hint for an absent line is simply dropped
-        let out = s.handle_writeback(TileId(1), PKind::WbHint, L);
+        let out = s.handle_writeback(TileId(1), PKind::WbHint, L).unwrap();
         assert!(out.is_empty());
     }
 
@@ -904,13 +1067,16 @@ mod tests {
         let mut s = slice();
         let line_a = 16 * 16;
         let line_b = 2 * 16 * 16;
-        let o1 = s.handle_request(TileId(1), PKind::GetS, line_a);
-        let o2 = s.handle_request(TileId(2), PKind::GetS, line_b);
+        let o1 = s.handle_request(TileId(1), PKind::GetS, line_a).unwrap();
+        let o2 = s.handle_request(TileId(2), PKind::GetS, line_b).unwrap();
         assert!(matches!(o1[..], [Outgoing::MemRead { .. }]));
         assert!(matches!(o2[..], [Outgoing::MemRead { .. }]));
         // waiters pile on existing fills without extra memory reads
-        assert!(s.handle_request(TileId(3), PKind::GetS, line_a).is_empty());
-        let out = s.mem_fill_done(line_a);
+        assert!(s
+            .handle_request(TileId(3), PKind::GetS, line_a)
+            .unwrap()
+            .is_empty());
+        let out = s.mem_fill_done(line_a).unwrap();
         let k = sends(&out);
         assert_eq!(k[0], (TileId(1), PKind::DataE));
         // the second waiter hits the now-busy... no: DataE granted to 1,
@@ -924,8 +1090,10 @@ mod tests {
                 }
             )
         );
-        let _ = s.mem_fill_done(line_b);
-        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, line_a);
+        let _ = s.mem_fill_done(line_b).unwrap();
+        let _ = s
+            .handle_reply(TileId(1), PKind::RevisionClean, line_a)
+            .unwrap();
         assert!(s.is_quiescent());
         assert_eq!(s.stats().mem_reads.get(), 2);
     }

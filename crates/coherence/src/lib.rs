@@ -23,6 +23,12 @@
 //!   home node), L2 fills from memory and inclusion-recalls of victim
 //!   lines.
 //! * [`memctrl`] — fixed-latency (400-cycle) memory interface.
+//! * [`error`] — structured [`ProtocolError`] reporting for states a
+//!   controller cannot legally reach, used by the fault-injection
+//!   campaigns in place of panics.
+//! * [`sanitizer`] — a periodic, read-only sweep validating the MESI
+//!   invariants (single owner, sharer/L1 agreement, MSHR consistency,
+//!   directory inclusion) across every tile.
 //!
 //! The controllers are *pure state machines*: they consume a delivered
 //! message and return the messages/side-effects to issue (with relative
@@ -31,13 +37,17 @@
 //! directly, message by message.
 
 pub mod cache;
+pub mod error;
 pub mod l1;
 pub mod l2;
 pub mod memctrl;
 pub mod msg;
+pub mod sanitizer;
 
 pub use cache::CacheArray;
+pub use error::ProtocolError;
 pub use l1::{CoreAccess, L1Cache, L1Result};
 pub use l2::L2Slice;
 pub use memctrl::MemCtrl;
 pub use msg::{OutVec, Outgoing, PKind, ProtocolMsg};
+pub use sanitizer::{Invariant, Sanitizer, SanitizerConfig, Violation};

@@ -79,6 +79,12 @@ impl MemCtrl {
     pub fn outstanding(&self) -> usize {
         self.reads.len()
     }
+
+    /// Snapshot of every outstanding read, in issue order (read-only;
+    /// used for deadlock/violation dumps).
+    pub fn outstanding_reads(&self) -> impl Iterator<Item = &MemRead> {
+        self.reads.iter()
+    }
 }
 
 #[cfg(test)]

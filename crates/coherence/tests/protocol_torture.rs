@@ -77,9 +77,11 @@ impl Harness {
         }
         if has_mem && (self.flight.is_empty() || self.rng.chance(0.3)) {
             let (tile, line) = self.mem.pop_front().expect("non-empty");
-            let outs = self.l2s[tile.index()].mem_fill_done(line);
+            let outs = self.l2s[tile.index()]
+                .mem_fill_done(line)
+                .expect("fill outstanding");
             self.push_out(tile, outs);
-            let pumped = self.l2s[tile.index()].pump();
+            let pumped = self.l2s[tile.index()].pump().expect("legal pump");
             self.push_out(tile, pumped);
             return true;
         }
@@ -95,7 +97,9 @@ impl Harness {
         let d = m.dst.index();
         match m.msg.kind {
             PKind::GetS | PKind::GetX | PKind::Upgrade => {
-                let outs = self.l2s[d].handle_request(m.src, m.msg.kind, m.msg.line);
+                let outs = self.l2s[d]
+                    .handle_request(m.src, m.msg.kind, m.msg.line)
+                    .expect("protocol-legal request");
                 self.push_out(m.dst, outs);
             }
             PKind::InvAck
@@ -105,15 +109,19 @@ impl Harness {
             | PKind::RevisionDirty
             | PKind::RecallAckData
             | PKind::RecallAckClean => {
-                let outs = self.l2s[d].handle_reply(m.src, m.msg.kind, m.msg.line);
+                let outs = self.l2s[d]
+                    .handle_reply(m.src, m.msg.kind, m.msg.line)
+                    .expect("protocol-legal reply");
                 self.push_out(m.dst, outs);
             }
             PKind::WbData | PKind::WbHint => {
-                let outs = self.l2s[d].handle_writeback(m.src, m.msg.kind, m.msg.line);
+                let outs = self.l2s[d]
+                    .handle_writeback(m.src, m.msg.kind, m.msg.line)
+                    .expect("protocol-legal writeback");
                 self.push_out(m.dst, outs);
             }
             _ => {
-                let (outs, done) = self.l1s[d].handle(m.msg);
+                let (outs, done) = self.l1s[d].handle(m.msg).expect("protocol-legal message");
                 self.push_out(m.dst, outs);
                 if let Some(c) = done {
                     assert_eq!(self.waiting[d], Some(c.line), "unexpected completion");
@@ -121,7 +129,7 @@ impl Harness {
                 }
             }
         }
-        let pumped = self.l2s[d].pump();
+        let pumped = self.l2s[d].pump().expect("legal pump");
         self.push_out(m.dst, pumped);
         true
     }

@@ -16,11 +16,14 @@
 //!   every simulation is exactly reproducible from a seed.
 //! * [`randtest`] — a seeded randomized-testing harness built on [`rng`],
 //!   used by the property suites in place of an external dependency.
+//! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
+//!   corrupt/codec-desync) for robustness campaigns.
 //! * [`smallvec`] — an inline-first vector for hot-path message plumbing.
 //! * [`units`] — thin newtypes for the physical quantities that cross crate
 //!   boundaries (picoseconds, watts, square millimetres, joules).
 
 pub mod config;
+pub mod fault;
 pub mod geometry;
 pub mod randtest;
 pub mod rng;
@@ -30,6 +33,7 @@ pub mod types;
 pub mod units;
 
 pub use config::{CacheConfig, CmpConfig, NetworkConfig};
+pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{Coord, MeshShape};
 pub use rng::SimRng;
 pub use smallvec::SmallVec;

@@ -28,6 +28,12 @@ pub struct CompressionEngine {
     scheme: CompressionScheme,
     /// `codecs[stream][destination]`.
     codecs: [Vec<CodecState>; 2],
+    /// `desynced[stream][destination]`: the receiver-side mirror of this
+    /// codec pair no longer matches the sender (injected metadata
+    /// corruption). The sender cannot see this directly — the NI detects
+    /// it through the sequence/checksum tag on the next compressible
+    /// send and triggers a resynchronisation.
+    desynced: [Vec<bool>; 2],
     stats: CoverageStats,
 }
 
@@ -41,6 +47,7 @@ impl CompressionEngine {
         CompressionEngine {
             scheme,
             codecs: [build(), build()],
+            desynced: [vec![false; tiles], vec![false; tiles]],
             stats: CoverageStats::new(),
         }
     }
@@ -94,12 +101,50 @@ impl CompressionEngine {
         &self.stats
     }
 
+    /// Fault hook: corrupt the receiver-side mirror of the codec pair
+    /// that `class`-messages to `dest` use. Returns `false` when there is
+    /// nothing to desynchronise (non-compressible class, or no codec
+    /// state under [`CompressionScheme::None`]).
+    pub fn fault_desync(&mut self, dest: TileId, class: MessageClass) -> bool {
+        if matches!(self.scheme, CompressionScheme::None) {
+            return false;
+        }
+        let Some(stream) = class.compression_stream() else {
+            return false;
+        };
+        self.desynced[stream.index()][dest.index()] = true;
+        true
+    }
+
+    /// Whether the codec pair for (`dest`, `class`'s stream) has diverged
+    /// from its receiver mirror. This models the NI's sequence/checksum
+    /// tag comparison: divergence is detected with certainty on the next
+    /// compressible message for the pair.
+    pub fn divergence(&self, dest: TileId, class: MessageClass) -> bool {
+        class
+            .compression_stream()
+            .is_some_and(|s| self.desynced[s.index()][dest.index()])
+    }
+
+    /// Resynchronise a diverged codec pair: both sides drop their learned
+    /// state and restart cold (the resync handshake's effect).
+    pub fn resync(&mut self, dest: TileId, class: MessageClass) {
+        let Some(stream) = class.compression_stream() else {
+            return;
+        };
+        self.codecs[stream.index()][dest.index()].reset();
+        self.desynced[stream.index()][dest.index()] = false;
+    }
+
     /// Forget all learned codec state and statistics.
     pub fn reset(&mut self) {
         for side in &mut self.codecs {
             for codec in side {
                 codec.reset();
             }
+        }
+        for side in &mut self.desynced {
+            side.fill(false);
         }
         self.stats = CoverageStats::new();
     }
@@ -200,6 +245,38 @@ mod tests {
         e.process(TileId(1), MessageClass::Request, 1); // hit
         e.process(TileId(1), MessageClass::Request, 2); // hit
         assert!((e.stats().coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn desync_is_scoped_to_one_pair_and_cleared_by_resync() {
+        let mut e = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
+        assert!(e.fault_desync(TileId(1), MessageClass::Request));
+        assert!(e.divergence(TileId(1), MessageClass::Request));
+        // other destination / other stream / non-compressible class: clean
+        assert!(!e.divergence(TileId(2), MessageClass::Request));
+        assert!(!e.divergence(TileId(1), MessageClass::CoherenceCmd));
+        assert!(!e.divergence(TileId(1), MessageClass::ResponseData));
+        // warm the pair, then resync: flag cleared AND codec cold again
+        e.process(TileId(1), MessageClass::Request, 100);
+        assert!(e.process(TileId(1), MessageClass::Request, 101).compressed);
+        e.resync(TileId(1), MessageClass::Request);
+        assert!(!e.divergence(TileId(1), MessageClass::Request));
+        assert!(
+            !e.process(TileId(1), MessageClass::Request, 102).compressed,
+            "resync must drop the learned base"
+        );
+    }
+
+    #[test]
+    fn nothing_to_desync_without_codec_state() {
+        let mut e = engine(CompressionScheme::None);
+        assert!(!e.fault_desync(TileId(1), MessageClass::Request));
+        let mut e = engine(CompressionScheme::Stride { low_bytes: 2 });
+        assert!(!e.fault_desync(TileId(1), MessageClass::ResponseData));
+        assert!(!e.divergence(TileId(1), MessageClass::ResponseData));
     }
 
     #[test]

@@ -181,10 +181,37 @@ pub struct NormalizedRow {
     pub coverage: f64,
 }
 
+/// `normalize` was asked to scale an application that has no baseline
+/// run in the result set — typically a filtered or partially-failed
+/// matrix. Names the application and what the set does contain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingBaseline {
+    /// Application with no baseline run.
+    pub app: String,
+    /// Configuration labels the result set does contain for that app.
+    pub available: Vec<String>,
+}
+
+impl std::fmt::Display for MissingBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no baseline run for application '{}': cannot normalise; \
+             the result set only has [{}] for it — include a \
+             `ConfigSpec::baseline()` run in the matrix",
+            self.app,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for MissingBaseline {}
+
 /// Normalise `results` against the baseline run of each application.
-/// Panics if an application lacks a baseline run.
-pub fn normalize(results: &[SimResult]) -> Vec<NormalizedRow> {
-    let baseline = |app: &str| {
+/// Fails with a descriptive [`MissingBaseline`] when an application in
+/// the set has no baseline run to normalise against.
+pub fn normalize(results: &[SimResult]) -> Result<Vec<NormalizedRow>, MissingBaseline> {
+    let baseline = |app: &str| -> Result<&SimResult, MissingBaseline> {
         results
             .iter()
             .find(|r| {
@@ -192,7 +219,14 @@ pub fn normalize(results: &[SimResult]) -> Vec<NormalizedRow> {
                     && r.interconnect == InterconnectChoice::Baseline
                     && r.scheme == CompressionScheme::None
             })
-            .unwrap_or_else(|| panic!("no baseline run for {app}"))
+            .ok_or_else(|| MissingBaseline {
+                app: app.to_string(),
+                available: results
+                    .iter()
+                    .filter(|r| r.app == app)
+                    .map(config_label)
+                    .collect(),
+            })
     };
     results
         .iter()
@@ -200,15 +234,15 @@ pub fn normalize(results: &[SimResult]) -> Vec<NormalizedRow> {
             !(r.interconnect == InterconnectChoice::Baseline && r.scheme == CompressionScheme::None)
         })
         .map(|r| {
-            let b = baseline(&r.app);
-            NormalizedRow {
+            let b = baseline(&r.app)?;
+            Ok(NormalizedRow {
                 app: r.app.clone(),
                 config: config_label(r),
                 exec_time: r.cycles as f64 / b.cycles as f64,
                 link_ed2p: r.link_ed2p() / b.link_ed2p(),
                 chip_ed2p: r.chip_ed2p() / b.chip_ed2p(),
                 coverage: r.coverage,
-            }
+            })
         })
         .collect()
 }
@@ -290,7 +324,7 @@ mod tests {
         .collect();
         let results = run_matrix(&cmp, &specs).expect("matrix runs cleanly");
         assert_eq!(results.len(), 3);
-        let rows = normalize(&results);
+        let rows = normalize(&results).expect("baseline present");
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.exec_time > 0.5 && row.exec_time < 1.5, "{row:?}");
@@ -331,6 +365,25 @@ mod tests {
         assert!(msg.contains("1 run(s) failed"), "{msg}");
         assert!(msg.contains("hotspot"), "{msg}");
         assert!(msg.contains("baseline"), "{msg}");
+    }
+
+    #[test]
+    fn normalize_without_baseline_is_a_descriptive_error() {
+        let cmp = CmpConfig::default();
+        let app = synthetic::hotspot(400, 64);
+        let specs = vec![RunSpec {
+            app,
+            config: ConfigSpec::compressed(CompressionScheme::Perfect { low_bytes: 2 }),
+            seed: 7,
+            scale: 1.0,
+        }];
+        let results = run_matrix(&cmp, &specs).expect("run succeeds");
+        let err = normalize(&results).expect_err("no baseline in the set");
+        assert_eq!(err.app, "hotspot");
+        let msg = err.to_string();
+        assert!(msg.contains("no baseline run"), "{msg}");
+        assert!(msg.contains("hotspot"), "{msg}");
+        assert!(msg.contains("perfect"), "{msg}");
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod report;
 pub mod sim;
 
 pub use experiment::{
-    paper_configs, run_matrix, ConfigSpec, MatrixError, NormalizedRow, RunFailure, RunSpec,
+    paper_configs, run_matrix, ConfigSpec, MatrixError, MissingBaseline, NormalizedRow, RunFailure,
+    RunSpec,
 };
-pub use niface::{map_channel, InterconnectChoice};
-pub use sim::{CmpSimulator, SimConfig, SimError, SimResult};
+pub use niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
+pub use sim::{CmpSimulator, SimConfig, SimError, SimResult, StateDump, TileDump};

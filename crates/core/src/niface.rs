@@ -6,7 +6,7 @@
 //! sent using the original B-Wires."
 
 use cmp_common::config::{CmpConfig, NetworkConfig};
-use cmp_common::types::MessageClass;
+use cmp_common::types::{Cycle, MessageClass, TileId};
 use mesh_noc::config::{ChannelKind, NocConfig};
 use wire_model::wires::VlWidth;
 
@@ -107,6 +107,102 @@ pub fn map_channel(
     }
 }
 
+/// Cycles a codec pair spends in its resynchronisation handshake after
+/// the NI detects divergence: one request/grant round trip across the
+/// mesh (worst-case ~30 cycles of B-Wire latency each way) during which
+/// the pair transmits uncompressed.
+pub const RESYNC_WINDOW_CYCLES: Cycle = 64;
+
+/// Codec-resynchronisation accounting for one tile's NI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResyncStats {
+    /// Divergences detected via the sequence/checksum tag.
+    pub desyncs_detected: u64,
+    /// Resync handshakes that ran to completion.
+    pub resyncs_completed: u64,
+    /// Messages sent uncompressed because their pair was resyncing
+    /// (includes the detecting message itself).
+    pub fallback_msgs: u64,
+}
+
+/// Per-(stream, destination) resynchronisation windows for one tile's
+/// network interface.
+///
+/// Every compressed message carries a short sequence/checksum tag over
+/// the sender's codec state; the receiver acks mismatches on the reply
+/// path, so the sender learns of a desynchronised pair at the next
+/// compressible send with certainty. Detection flips the pair to
+/// uncompressed B-Wire transmission, resets the sender codec, and opens
+/// a [`RESYNC_WINDOW_CYCLES`]-cycle window modelling the handshake that
+/// clears the receiver mirror; the pair resumes compressed (cold) when
+/// the window closes.
+#[derive(Clone, Debug)]
+pub struct ResyncTracker {
+    /// `windows[stream][dest]`: cycle at which the pair's handshake
+    /// completes (0 = no handshake running).
+    windows: [Vec<Cycle>; 2],
+    stats: ResyncStats,
+}
+
+impl ResyncTracker {
+    /// Tracker for one tile of a `tiles`-tile machine.
+    pub fn new(tiles: usize) -> Self {
+        ResyncTracker {
+            windows: [vec![0; tiles], vec![0; tiles]],
+            stats: ResyncStats::default(),
+        }
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &ResyncStats {
+        &self.stats
+    }
+
+    /// Record a tag-detected divergence for (`dest`, `class`) at `now`:
+    /// the handshake starts and the pair falls back to uncompressed.
+    pub fn begin_resync(&mut self, now: Cycle, dest: TileId, class: MessageClass) {
+        let Some(stream) = class.compression_stream() else {
+            return;
+        };
+        self.stats.desyncs_detected += 1;
+        self.windows[stream.index()][dest.index()] = now + RESYNC_WINDOW_CYCLES;
+    }
+
+    /// Whether (`dest`, `class`) must send uncompressed at `now`.
+    /// Expired windows are closed lazily here, crediting a completed
+    /// resync; open ones count the fallback message.
+    pub fn in_window(&mut self, now: Cycle, dest: TileId, class: MessageClass) -> bool {
+        let Some(stream) = class.compression_stream() else {
+            return false;
+        };
+        let w = &mut self.windows[stream.index()][dest.index()];
+        if *w == 0 {
+            return false;
+        }
+        if now >= *w {
+            *w = 0;
+            self.stats.resyncs_completed += 1;
+            return false;
+        }
+        self.stats.fallback_msgs += 1;
+        true
+    }
+
+    /// Close every window that has expired by `now` (or is still open —
+    /// the run is over and the handshake completes in the drained
+    /// network), so end-of-run accounting matches detections.
+    pub fn settle(&mut self, _now: Cycle) {
+        for side in &mut self.windows {
+            for w in side {
+                if *w != 0 {
+                    *w = 0;
+                    self.stats.resyncs_completed += 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +293,39 @@ mod tests {
         assert_eq!(map_channel(RP, MessageClass::Revision, 67), ChannelKind::Pw);
         assert!(RP.splits_replies());
         assert!(!H4.splits_replies());
+    }
+
+    #[test]
+    fn resync_window_opens_counts_fallbacks_and_closes() {
+        let mut t = ResyncTracker::new(16);
+        let dest = TileId(7);
+        assert!(!t.in_window(10, dest, MessageClass::Request));
+        t.begin_resync(10, dest, MessageClass::Request);
+        assert!(t.in_window(11, dest, MessageClass::Request));
+        assert!(t.in_window(10 + RESYNC_WINDOW_CYCLES - 1, dest, MessageClass::Request));
+        // other destinations and the other stream are unaffected
+        assert!(!t.in_window(11, TileId(8), MessageClass::Request));
+        assert!(!t.in_window(11, dest, MessageClass::CoherenceCmd));
+        // window expiry closes the handshake exactly once
+        assert!(!t.in_window(10 + RESYNC_WINDOW_CYCLES, dest, MessageClass::Request));
+        assert!(!t.in_window(10 + RESYNC_WINDOW_CYCLES + 1, dest, MessageClass::Request));
+        let s = t.stats();
+        assert_eq!(s.desyncs_detected, 1);
+        assert_eq!(s.resyncs_completed, 1);
+        assert_eq!(s.fallback_msgs, 2);
+    }
+
+    #[test]
+    fn settle_closes_open_windows() {
+        let mut t = ResyncTracker::new(16);
+        t.begin_resync(100, TileId(1), MessageClass::Request);
+        t.begin_resync(100, TileId(2), MessageClass::CoherenceCmd);
+        t.settle(110);
+        assert_eq!(t.stats().resyncs_completed, 2);
+        assert!(!t.in_window(110, TileId(1), MessageClass::Request));
+        // non-compressible classes never open or consult windows
+        t.begin_resync(0, TileId(3), MessageClass::ResponseData);
+        assert_eq!(t.stats().desyncs_detected, 2);
     }
 
     #[test]

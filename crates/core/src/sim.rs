@@ -12,12 +12,15 @@ use std::collections::BinaryHeap;
 
 use addr_compression::{CompressionEngine, CompressionHwCost, CompressionScheme};
 use cmp_common::config::CmpConfig;
-use cmp_common::types::{Cycle, MessageClass, TileId};
+use cmp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
+use cmp_common::types::{Addr, Cycle, MessageClass, TileId};
 use cmp_common::units::Joules;
-use coherence::l1::{CoreAccess, L1Cache, L1Result};
-use coherence::l2::L2Slice;
+use coherence::l1::{CoreAccess, L1Cache, L1Result, L1State};
+use coherence::l2::{DirState, L2Slice};
 use coherence::memctrl::MemCtrl;
 use coherence::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
+use coherence::sanitizer::{Invariant, Sanitizer, SanitizerConfig, Violation};
+use coherence::ProtocolError;
 use cpu_model::core::{Action, Core};
 use cpu_model::sync::BarrierState;
 use energy_model::breakdown::EnergyBreakdown;
@@ -27,7 +30,7 @@ use mesh_noc::Noc;
 use workloads::generator::TraceGen;
 use workloads::profile::AppProfile;
 
-use crate::niface::{map_channel, InterconnectChoice};
+use crate::niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
 
 /// Everything a run needs to know.
 #[derive(Clone, Debug)]
@@ -44,17 +47,33 @@ pub struct SimConfig {
     /// streams without influencing the run (used by the Figure 2
     /// reproduction to measure all schemes in a single simulation).
     pub coverage_probes: Vec<CompressionScheme>,
+    /// Fault-injection campaign ([`FaultConfig::none`] = off, the
+    /// default; a disabled campaign leaves the run bit-identical).
+    pub faults: FaultConfig,
+    /// Periodic protocol sanitizer (`None` = off). Sweeps are read-only,
+    /// so enabling it cannot change a run's outcome — only abort a run
+    /// whose coherence state has gone inconsistent.
+    pub sanitizer: Option<SanitizerConfig>,
 }
 
 impl SimConfig {
-    /// A configuration over the default machine.
+    /// A configuration over the default machine. The sanitizer defaults
+    /// to off unless the `TCMP_SANITIZE` environment variable is set to
+    /// a non-empty value other than `0` (the CI hook that runs the whole
+    /// suite with sweeps enabled).
     pub fn new(interconnect: InterconnectChoice, scheme: CompressionScheme) -> Self {
+        let sanitizer = match std::env::var("TCMP_SANITIZE") {
+            Ok(v) if !v.is_empty() && v != "0" => Some(SanitizerConfig::default()),
+            _ => None,
+        };
         SimConfig {
             cmp: CmpConfig::default(),
             interconnect,
             scheme,
             max_cycles: 2_000_000_000,
             coverage_probes: Vec::new(),
+            faults: FaultConfig::none(),
+            sanitizer,
         }
     }
 
@@ -64,22 +83,205 @@ impl SimConfig {
     }
 }
 
+/// Snapshot of one tile's controllers at failure time.
+#[derive(Clone, Debug)]
+pub struct TileDump {
+    /// The tile.
+    pub tile: TileId,
+    /// What the core is doing ([`Core::describe`]).
+    pub core: String,
+    /// Lines with an outstanding L1 miss.
+    pub mshr_lines: Vec<Addr>,
+    /// Lines mid-transaction at this home slice, with their busy state.
+    pub l2_busy: Vec<(Addr, String)>,
+    /// Lines awaiting an off-chip fill at this home slice.
+    pub l2_fills: Vec<Addr>,
+    /// Requests parked in this home slice's pending queues.
+    pub l2_pending: usize,
+    /// NoC congestion at this tile: `(messages queued at the NI, flits
+    /// buffered in the router)`.
+    pub ni_backlog: (usize, u32),
+}
+
+impl TileDump {
+    /// Nothing in flight at this tile — omitted from the rendered dump.
+    pub fn is_quiet(&self) -> bool {
+        (self.core.starts_with("ready") || self.core == "done")
+            && self.mshr_lines.is_empty()
+            && self.l2_busy.is_empty()
+            && self.l2_fills.is_empty()
+            && self.l2_pending == 0
+            && self.ni_backlog == (0, 0)
+    }
+}
+
+/// Full machine snapshot attached to every structured failure: per-tile
+/// queue depths, in-flight messages, MSHR and directory-busy state.
+#[derive(Clone, Debug)]
+pub struct StateDump {
+    /// Cycle the snapshot was taken.
+    pub cycle: Cycle,
+    /// One entry per tile, quiet or not (the `Display` form prints only
+    /// the busy ones).
+    pub tiles: Vec<TileDump>,
+    /// Outstanding off-chip reads as `(tile, line, ready_at)`.
+    pub mem_reads: Vec<(TileId, Addr, Cycle)>,
+    /// Protocol sends scheduled but not yet injected.
+    pub delayed_events: usize,
+    /// Messages parked by a fault-injected delay.
+    pub held_messages: usize,
+    /// Messages anywhere in the network.
+    pub live_messages: usize,
+}
+
+fn hex_list(lines: &[Addr]) -> String {
+    lines
+        .iter()
+        .map(|a| format!("{a:#x}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl std::fmt::Display for StateDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "state dump at cycle {}:", self.cycle)?;
+        let mut quiet = 0usize;
+        for t in &self.tiles {
+            if t.is_quiet() {
+                quiet += 1;
+                continue;
+            }
+            write!(f, "  tile {}: core {}", t.tile.index(), t.core)?;
+            if !t.mshr_lines.is_empty() {
+                write!(f, "; MSHRs [{}]", hex_list(&t.mshr_lines))?;
+            }
+            if !t.l2_busy.is_empty() {
+                let busy = t
+                    .l2_busy
+                    .iter()
+                    .map(|(a, s)| format!("{a:#x} {s}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(f, "; L2 busy [{busy}]")?;
+            }
+            if !t.l2_fills.is_empty() {
+                write!(f, "; L2 fills [{}]", hex_list(&t.l2_fills))?;
+            }
+            if t.l2_pending != 0 {
+                write!(f, "; {} queued requests", t.l2_pending)?;
+            }
+            if t.ni_backlog != (0, 0) {
+                write!(
+                    f,
+                    "; NI backlog {} msgs / {} flits",
+                    t.ni_backlog.0, t.ni_backlog.1
+                )?;
+            }
+            writeln!(f)?;
+        }
+        if quiet > 0 {
+            writeln!(f, "  ({quiet} quiet tiles omitted)")?;
+        }
+        if !self.mem_reads.is_empty() {
+            let reads = self
+                .mem_reads
+                .iter()
+                .map(|(t, l, r)| format!("tile {} line {l:#x} ready at {r}", t.index()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "  memory: {} reads outstanding [{reads}]",
+                self.mem_reads.len()
+            )?;
+        }
+        writeln!(
+            f,
+            "  network: {} live messages ({} fault-held); {} delayed sends",
+            self.live_messages, self.held_messages, self.delayed_events
+        )
+    }
+}
+
 /// Why a run failed.
 #[derive(Debug)]
 pub enum SimError {
     /// No component can make progress but the workload is unfinished.
-    Deadlock { cycle: Cycle, diagnostics: String },
+    Deadlock {
+        cycle: Cycle,
+        diagnostics: String,
+        dump: Box<StateDump>,
+    },
     /// The watchdog fired.
     Watchdog { cycle: Cycle },
+    /// A controller rejected a protocol-illegal message (corrupted or
+    /// duplicated traffic, or a genuine protocol bug).
+    Protocol {
+        cycle: Cycle,
+        error: ProtocolError,
+        dump: Box<StateDump>,
+    },
+    /// A sanitizer sweep found the coherence state inconsistent.
+    Sanitizer {
+        cycle: Cycle,
+        violations: Vec<Violation>,
+        dump: Box<StateDump>,
+    },
+}
+
+impl SimError {
+    /// Cycle at which the run failed.
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            SimError::Deadlock { cycle, .. }
+            | SimError::Watchdog { cycle }
+            | SimError::Protocol { cycle, .. }
+            | SimError::Sanitizer { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The attached machine snapshot (`None` only for the watchdog).
+    pub fn dump(&self) -> Option<&StateDump> {
+        match self {
+            SimError::Deadlock { dump, .. }
+            | SimError::Protocol { dump, .. }
+            | SimError::Sanitizer { dump, .. } => Some(dump),
+            SimError::Watchdog { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, diagnostics } => {
-                write!(f, "deadlock at cycle {cycle}: {diagnostics}")
+            SimError::Deadlock {
+                cycle,
+                diagnostics,
+                dump,
+            } => {
+                writeln!(f, "deadlock at cycle {cycle}: {diagnostics}")?;
+                write!(f, "{dump}")
             }
             SimError::Watchdog { cycle } => write!(f, "watchdog at cycle {cycle}"),
+            SimError::Protocol { cycle, error, dump } => {
+                writeln!(f, "protocol error at cycle {cycle}: {error}")?;
+                write!(f, "{dump}")
+            }
+            SimError::Sanitizer {
+                cycle,
+                violations,
+                dump,
+            } => {
+                writeln!(
+                    f,
+                    "sanitizer found {} violation(s) at cycle {cycle}:",
+                    violations.len()
+                )?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                write!(f, "{dump}")
+            }
         }
     }
 }
@@ -134,6 +336,12 @@ pub struct SimResult {
     pub mem_reads: u64,
     /// L2 inclusion recalls issued.
     pub l2_recalls: u64,
+    /// Faults actually injected, by class (all zero without a campaign).
+    pub fault_stats: FaultStats,
+    /// Codec-resynchronisation accounting summed across all tiles.
+    pub resync: ResyncStats,
+    /// Sanitizer sweeps that ran (0 when the sanitizer is off).
+    pub sanitizer_sweeps: u64,
 }
 
 impl SimResult {
@@ -210,6 +418,17 @@ pub struct CmpSimulator {
     /// Mirror of `!l2s[t].is_quiescent()`, kept by `sync_l2`.
     l2_busy: Vec<bool>,
     busy_l2_count: usize,
+    // --- robustness layer (all `None`/empty on the clean fast path) ---
+    /// Seeded fault decision-maker; present only when the campaign is
+    /// enabled, so the clean path pays a single branch per injection.
+    injector: Option<FaultInjector>,
+    /// Per-tile codec-resynchronisation windows (consulted only when the
+    /// fault subsystem is live).
+    trackers: Vec<ResyncTracker>,
+    /// Periodic MESI-invariant sweeper.
+    sanitizer: Option<Sanitizer>,
+    /// Next cycle at/after which a sweep runs.
+    next_sweep: Cycle,
     // --- reusable scratch buffers (hot-loop allocation sinks) ---
     delivered_scratch: Vec<Delivered<ProtocolMsg>>,
     due_scratch: Vec<u32>,
@@ -273,6 +492,13 @@ impl CmpSimulator {
         );
         let mem = MemCtrl::new(cfg.cmp.mem_latency_cycles);
         let barrier = BarrierState::new(tiles);
+        let injector = cfg
+            .faults
+            .enabled()
+            .then(|| FaultInjector::new(cfg.faults.clone()));
+        let trackers = (0..tiles).map(|_| ResyncTracker::new(tiles)).collect();
+        let sanitizer = cfg.sanitizer.map(Sanitizer::new);
+        let next_sweep = cfg.sanitizer.map_or(Cycle::MAX, |s| s.period);
         CmpSimulator {
             app_name: app.name.to_string(),
             cores,
@@ -293,6 +519,10 @@ impl CmpSimulator {
             cores_unfinished: tiles,
             l2_busy: vec![false; tiles],
             busy_l2_count: 0,
+            injector,
+            trackers,
+            sanitizer,
+            next_sweep,
             delivered_scratch: Vec::new(),
             due_scratch: Vec::new(),
             cfg,
@@ -355,13 +585,52 @@ impl CmpSimulator {
         None
     }
 
+    /// Machine snapshot for a structured failure report.
+    #[cold]
+    #[inline(never)]
+    fn dump(&self) -> StateDump {
+        let tiles = (0..self.cfg.cmp.tiles())
+            .map(|t| TileDump {
+                tile: TileId::from(t),
+                core: self.cores[t].describe(),
+                mshr_lines: self.l1s[t].mshr_lines().collect(),
+                l2_busy: self.l2s[t].busy_lines().collect(),
+                l2_fills: self.l2s[t].fill_lines().collect(),
+                l2_pending: self.l2s[t].queued_requests(),
+                ni_backlog: self.noc.tile_backlog(t),
+            })
+            .collect();
+        StateDump {
+            cycle: self.now,
+            tiles,
+            mem_reads: self
+                .mem
+                .outstanding_reads()
+                .map(|r| (r.tile, r.line, r.ready_at))
+                .collect(),
+            delayed_events: self.delayed.len(),
+            held_messages: self.noc.held_count(),
+            live_messages: self.noc.live_messages(),
+        }
+    }
+
+    /// Wrap a controller's rejection into the run-level error.
+    #[cold]
+    #[inline(never)]
+    fn protocol_error(&self, error: ProtocolError) -> SimError {
+        SimError::Protocol {
+            cycle: self.now,
+            error,
+            dump: Box::new(self.dump()),
+        }
+    }
+
     /// A delayed event fires: local messages are delivered directly (they
     /// never touch the network); remote ones go through compression and
     /// channel mapping, then into the NoC.
-    fn fire(&mut self, ev: DelayedEvent) {
+    fn fire(&mut self, ev: DelayedEvent) -> Result<(), SimError> {
         if ev.src == ev.dst {
-            self.deliver(ev.src, ev.dst, ev.msg);
-            return;
+            return self.deliver(ev.src, ev.dst, ev.msg);
         }
         // Reply Partitioning: a data response is split at the sender's NI
         // into a critical partial reply (the requested word, on the fast
@@ -371,39 +640,98 @@ impl CmpSimulator {
                 self.inject_one(
                     ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line),
                     ev,
-                );
+                )?;
             }
         }
-        self.inject_one(ev.msg, ev);
+        self.inject_one(ev.msg, ev)
     }
 
-    fn inject_one(&mut self, msg: ProtocolMsg, ev: DelayedEvent) {
+    fn inject_one(&mut self, msg: ProtocolMsg, ev: DelayedEvent) -> Result<(), SimError> {
+        let mut msg = msg;
+        // The fault decision models an event in the NI input buffer: it
+        // lands before the codec, so a drop never updates compression
+        // state and a corrupted address is what gets compressed, routed
+        // and homed.
+        let action = match &mut self.injector {
+            Some(inj) => inj.decide(self.now),
+            None => FaultAction::None,
+        };
+        if let FaultAction::Corrupt(mask) = action {
+            msg.line ^= mask;
+        }
+        if action == FaultAction::Drop {
+            return Ok(());
+        }
         let class = msg.class();
         for probe in &mut self.probes {
             probe[ev.src.index()].process(ev.dst, class, msg.line);
         }
-        let size = self.engines[ev.src.index()].process(ev.dst, class, msg.line);
-        let channel = map_channel(self.cfg.interconnect, class, size.wire_bytes);
-        self.noc.inject(
-            self.now,
-            Message {
-                src: ev.src,
-                dst: ev.dst,
-                class,
-                wire_bytes: size.wire_bytes,
-                channel,
-                payload: msg,
-            },
-        );
+        // Codec-divergence handling: a pair whose receiver mirror has
+        // diverged is detected via the sequence/checksum tag at the next
+        // compressible send; detection resets the sender codec, opens the
+        // resynchronisation window and falls back to uncompressed B-Wire
+        // transmission for the window's duration.
+        let mut fallback = false;
+        if self.injector.is_some() {
+            let s = ev.src.index();
+            if self.trackers[s].in_window(self.now, ev.dst, class) {
+                fallback = true;
+            } else if self.engines[s].divergence(ev.dst, class) {
+                self.engines[s].resync(ev.dst, class);
+                self.trackers[s].begin_resync(self.now, ev.dst, class);
+                // the detecting message itself rides uncompressed
+                fallback = self.trackers[s].in_window(self.now, ev.dst, class);
+            }
+        }
+        let wire_bytes = if fallback {
+            class.uncompressed_bytes()
+        } else {
+            self.engines[ev.src.index()]
+                .process(ev.dst, class, msg.line)
+                .wire_bytes
+        };
+        if action == FaultAction::Desync {
+            // Receiver-mirror corruption: this message still rides the
+            // (now stale) codec; the *next* compressible send to the pair
+            // detects the divergence via its tag.
+            self.engines[ev.src.index()].fault_desync(ev.dst, class);
+        }
+        let channel = map_channel(self.cfg.interconnect, class, wire_bytes);
+        let message = Message {
+            src: ev.src,
+            dst: ev.dst,
+            class,
+            wire_bytes,
+            channel,
+            payload: msg,
+        };
+        let injected = match action {
+            FaultAction::Duplicate => self
+                .noc
+                .inject(self.now, message.clone())
+                .and_then(|()| self.noc.inject(self.now, message)),
+            FaultAction::Delay(extra) => self.noc.inject_held(self.now + extra, message),
+            _ => self.noc.inject(self.now, message),
+        };
+        if let Err(e) = injected {
+            return Err(self.protocol_error(ProtocolError::internal(
+                ev.src,
+                msg.line,
+                e.to_string(),
+            )));
+        }
+        Ok(())
     }
 
-    fn deliver(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg) {
+    fn deliver(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg) -> Result<(), SimError> {
         let d = dst.index();
         match msg.kind {
             PKind::GetS | PKind::GetX | PKind::Upgrade => {
-                let outs = self.l2s[d].handle_request(src, msg.kind, msg.line);
+                let outs = self.l2s[d]
+                    .handle_request(src, msg.kind, msg.line)
+                    .map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump();
+                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, pumped);
                 self.sync_l2(d);
             }
@@ -414,16 +742,20 @@ impl CmpSimulator {
             | PKind::RevisionDirty
             | PKind::RecallAckData
             | PKind::RecallAckClean => {
-                let outs = self.l2s[d].handle_reply(src, msg.kind, msg.line);
+                let outs = self.l2s[d]
+                    .handle_reply(src, msg.kind, msg.line)
+                    .map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump();
+                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, pumped);
                 self.sync_l2(d);
             }
             PKind::WbData | PKind::WbHint => {
-                let outs = self.l2s[d].handle_writeback(src, msg.kind, msg.line);
+                let outs = self.l2s[d]
+                    .handle_writeback(src, msg.kind, msg.line)
+                    .map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump();
+                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, pumped);
                 self.sync_l2(d);
             }
@@ -436,7 +768,9 @@ impl CmpSimulator {
             | PKind::FwdGetS { .. }
             | PKind::FwdGetX { .. }
             | PKind::RecallData => {
-                let (outs, done) = self.l1s[d].handle(msg);
+                let (outs, done) = self.l1s[d]
+                    .handle(msg)
+                    .map_err(|e| self.protocol_error(e))?;
                 self.process_outgoing(dst, outs);
                 if done.is_some() {
                     self.cores[d].mem_complete(self.now);
@@ -444,6 +778,7 @@ impl CmpSimulator {
                 }
             }
         }
+        Ok(())
     }
 
     fn step_core(&mut self, t: usize) {
@@ -552,11 +887,32 @@ impl CmpSimulator {
         if self.now >= self.cfg.max_cycles {
             return Err(SimError::Watchdog { cycle: self.now });
         }
+        // 0. sanitizer sweep (read-only, between-iteration state is a
+        // consistent boundary for its invariants)
+        if let Some(san) = self
+            .sanitizer
+            .as_mut()
+            .filter(|_| self.now >= self.next_sweep)
+        {
+            let violations = san.sweep(self.now, &self.l1s, &self.l2s);
+            self.next_sweep = self.now + san.period();
+            if !violations.is_empty() {
+                return Err(SimError::Sanitizer {
+                    cycle: self.now,
+                    violations,
+                    dump: Box::new(self.dump()),
+                });
+            }
+        }
         // 1. memory completions
         while let Some(r) = self.mem.pop_next_ready(self.now) {
-            let outs = self.l2s[r.tile.index()].mem_fill_done(r.line);
+            let outs = self.l2s[r.tile.index()]
+                .mem_fill_done(r.line)
+                .map_err(|e| self.protocol_error(e))?;
             self.process_outgoing(r.tile, outs);
-            let pumped = self.l2s[r.tile.index()].pump();
+            let pumped = self.l2s[r.tile.index()]
+                .pump()
+                .map_err(|e| self.protocol_error(e))?;
             self.process_outgoing(r.tile, pumped);
             self.sync_l2(r.tile.index());
         }
@@ -566,16 +922,25 @@ impl CmpSimulator {
                 break;
             }
             let Reverse(ev) = self.delayed.pop().expect("peeked");
-            self.fire(ev);
+            self.fire(ev)?;
         }
         // 3. network
         let mut delivered = std::mem::take(&mut self.delivered_scratch);
         delivered.clear();
         self.noc.tick_into(self.now, &mut delivered);
+        let mut failed = None;
         for d in delivered.drain(..) {
-            self.deliver(d.message.src, d.message.dst, d.message.payload);
+            if failed.is_some() {
+                continue; // drain the rest; the run is already aborting
+            }
+            if let Err(e) = self.deliver(d.message.src, d.message.dst, d.message.payload) {
+                failed = Some(e);
+            }
         }
         self.delivered_scratch = delivered;
+        if let Some(e) = failed {
+            return Err(e);
+        }
         // 4. cores due now. Stale heap entries (cache mismatch) are
         // dropped; live duplicates carry identical (at, t) pairs, so a
         // sort + dedup leaves each due tile once. Stepping in ascending
@@ -613,6 +978,7 @@ impl CmpSimulator {
                     Err(SimError::Deadlock {
                         cycle: self.now,
                         diagnostics: self.diagnostics(),
+                        dump: Box::new(self.dump()),
                     })
                 }
             }
@@ -623,6 +989,20 @@ impl CmpSimulator {
     pub fn run(&mut self) -> Result<SimResult, SimError> {
         while self.step_iteration()? {}
         Ok(self.collect())
+    }
+
+    /// Advance one scheduler iteration; `Ok(false)` once the workload has
+    /// drained. Public so fault-campaign drivers and robustness tests can
+    /// interleave corruption hooks with the run; [`CmpSimulator::run`] is
+    /// the normal entry point.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.step_iteration()
+    }
+
+    /// Report after a manually-stepped run (see [`CmpSimulator::step`]);
+    /// meaningful once `step` has returned `Ok(false)`.
+    pub fn finish(&mut self) -> SimResult {
+        self.collect()
     }
 
     /// Current simulated cycle.
@@ -639,7 +1019,13 @@ impl CmpSimulator {
         self.noc.link_flit_counts(kind)
     }
 
-    fn collect(&self) -> SimResult {
+    fn collect(&mut self) -> SimResult {
+        // Close any resync window still open at end-of-run: the handshake
+        // completes in the drained network.
+        let now = self.now;
+        for t in &mut self.trackers {
+            t.settle(now);
+        }
         let cfg = &self.cfg;
         let time_s = self.now as f64 * cfg.cmp.cycle_seconds();
         let tiles = cfg.cmp.tiles() as f64;
@@ -735,6 +1121,86 @@ impl CmpSimulator {
                 .iter()
                 .map(|c| c.stats().barrier_stall_cycles)
                 .sum(),
+            fault_stats: self
+                .injector
+                .as_ref()
+                .map(|i| i.stats().clone())
+                .unwrap_or_default(),
+            resync: self.resync_stats(),
+            sanitizer_sweeps: self.sanitizer.as_ref().map_or(0, |s| s.sweeps()),
+        }
+    }
+
+    /// Faults injected so far (`None` without a campaign).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Codec-resynchronisation accounting summed across all tiles.
+    pub fn resync_stats(&self) -> ResyncStats {
+        let mut total = ResyncStats::default();
+        for t in &self.trackers {
+            let s = t.stats();
+            total.desyncs_detected += s.desyncs_detected;
+            total.resyncs_completed += s.resyncs_completed;
+            total.fallback_msgs += s.fallback_msgs;
+        }
+        total
+    }
+
+    /// Deterministically corrupt live coherence metadata so a sanitizer
+    /// sweep (or the structured-error path) has a real violation of the
+    /// given class to catch. Returns the `(tile, line)` it corrupted, or
+    /// `None` when the machine holds no suitable line yet — campaigns
+    /// retry on a later iteration. Campaign/test hook; never called on
+    /// the clean path.
+    #[doc(hidden)]
+    pub fn fault_inject_violation(&mut self, class: Invariant) -> Option<(TileId, Addr)> {
+        let tiles = self.cfg.cmp.tiles();
+        // A line is a safe target only while its home transaction machinery
+        // is idle — otherwise the sweep's in-flight exemption hides it.
+        let candidate = |want_owned: bool| -> Option<(usize, Addr)> {
+            for (t, l1) in self.l1s.iter().enumerate() {
+                for (line, state) in l1.resident_lines() {
+                    if want_owned && state == L1State::Shared {
+                        continue;
+                    }
+                    let home = coherence::l1::home_of(line, tiles);
+                    if !self.l2s[home.index()].line_in_flight(line) {
+                        return Some((t, line));
+                    }
+                }
+            }
+            None
+        };
+        match class {
+            Invariant::SingleOwner => {
+                let (t, line) = candidate(true)?;
+                let forged = (t + 1) % tiles;
+                self.l1s[forged].fault_set_state(line, L1State::Exclusive);
+                // forging is a no-op when the forged tile's set is full
+                (self.l1s[forged].state_of(line) == Some(L1State::Exclusive))
+                    .then(|| (TileId::from(forged), line))
+            }
+            Invariant::SharerAgreement => {
+                let (t, line) = candidate(false)?;
+                let home = coherence::l1::home_of(line, tiles);
+                self.l2s[home.index()].fault_set_dir(line, DirState::Invalid);
+                Some((TileId::from(t), line))
+            }
+            Invariant::DirectoryInclusion => {
+                let (t, line) = candidate(false)?;
+                let home = coherence::l1::home_of(line, tiles);
+                self.l2s[home.index()].fault_evict_line(line);
+                Some((TileId::from(t), line))
+            }
+            Invariant::MshrConsistency => {
+                let (t, line) = candidate(false)?;
+                // two MSHRs tracking the same line
+                self.l1s[t].fault_push_mshr(line, false);
+                self.l1s[t].fault_push_mshr(line, false);
+                Some((TileId::from(t), line))
+            }
         }
     }
 
@@ -1001,6 +1467,141 @@ mod tests {
         match sim.run() {
             Err(SimError::Watchdog { .. }) => {}
             other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+
+    fn compressed_cfg() -> SimConfig {
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn sanitizer_sweeps_are_neutral_on_a_clean_run() {
+        let app = synthetic::hotspot(1_200, 64);
+        let mut off = compressed_cfg();
+        off.sanitizer = None;
+        let mut on = compressed_cfg();
+        on.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 128 });
+        let a = run_app(&app, off, 1.0);
+        let b = run_app(&app, on, 1.0);
+        assert_eq!(a.cycles, b.cycles, "sweeps must not perturb the run");
+        assert_eq!(a.network_messages, b.network_messages);
+        assert_eq!(a.sanitizer_sweeps, 0);
+        assert!(b.sanitizer_sweeps > 0, "sweeps must actually run");
+    }
+
+    #[test]
+    fn desync_faults_are_detected_and_recovered() {
+        let app = synthetic::hotspot(1_500, 64);
+        let mut cfg = compressed_cfg();
+        cfg.faults = FaultConfig::desync_only(0xDE57_AC, 0.02, 50);
+        let r = run_app(&app, cfg, 1.0);
+        assert!(r.fault_stats.desyncs.get() > 0, "campaign must fire");
+        assert!(r.resync.desyncs_detected > 0, "tags must catch divergence");
+        assert!(
+            r.resync.desyncs_detected <= r.fault_stats.desyncs.get(),
+            "injections between detections coalesce"
+        );
+        assert_eq!(
+            r.resync.resyncs_completed, r.resync.desyncs_detected,
+            "every detected divergence recovers"
+        );
+        assert!(r.resync.fallback_msgs >= r.resync.desyncs_detected);
+    }
+
+    #[test]
+    fn fault_free_campaign_config_changes_nothing() {
+        let app = synthetic::uniform_random(800, 1 << 12, 0.3);
+        let clean = run_app(&app, compressed_cfg(), 1.0);
+        let mut cfg = compressed_cfg();
+        cfg.faults = FaultConfig {
+            seed: 42,
+            ..FaultConfig::none()
+        };
+        let r = run_app(&app, cfg, 1.0);
+        assert_eq!(clean.cycles, r.cycles, "disabled faults are bit-neutral");
+        assert_eq!(clean.network_messages, r.network_messages);
+        assert_eq!(r.fault_stats.total(), 0);
+        assert_eq!(r.resync, crate::niface::ResyncStats::default());
+    }
+
+    #[test]
+    fn corrupt_fault_is_rejected_as_structured_protocol_error() {
+        let app = synthetic::streaming(2_000, 2048);
+        let mut cfg = SimConfig::baseline();
+        cfg.faults = FaultConfig {
+            seed: 11,
+            corrupt: 1.0,
+            max_faults: Some(1),
+            ..FaultConfig::none()
+        };
+        let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+        match sim.run() {
+            Err(SimError::Protocol { cycle, error, dump }) => {
+                assert!(cycle > 0);
+                let s = error.to_string();
+                assert!(s.contains("tile") && s.contains("line"), "{s}");
+                assert_eq!(dump.cycle, cycle);
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_catches_every_injected_invariant_class() {
+        use coherence::sanitizer::Invariant;
+        for class in [
+            Invariant::SingleOwner,
+            Invariant::SharerAgreement,
+            Invariant::MshrConsistency,
+            Invariant::DirectoryInclusion,
+        ] {
+            let app = synthetic::hotspot(1_500, 64);
+            let mut cfg = SimConfig::baseline();
+            cfg.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 64 });
+            let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+            // Warm the machine until the hook finds a target, then run on.
+            let mut injected = None;
+            let outcome = loop {
+                match sim.step_iteration() {
+                    Ok(true) => {}
+                    Ok(false) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+                if injected.is_none() {
+                    injected = sim.fault_inject_violation(class);
+                }
+            };
+            let (tile, line) = injected.unwrap_or_else(|| panic!("{class:?}: no target found"));
+            match outcome {
+                Err(SimError::Sanitizer {
+                    violations, dump, ..
+                }) => {
+                    assert!(
+                        violations.iter().any(|v| v.invariant == class),
+                        "{class:?} not reported: {violations:?}"
+                    );
+                    let v = violations.iter().find(|v| v.invariant == class).unwrap();
+                    let s = v.to_string();
+                    assert!(
+                        s.contains("cycle") && s.contains("tile") && s.contains("0x"),
+                        "finding must name cycle, tile and line: {s}"
+                    );
+                    // the corrupted coordinates appear among the findings
+                    assert!(
+                        violations.iter().any(|v| v.line == line
+                            && (v.tile == tile || class == Invariant::SharerAgreement)),
+                        "{class:?}: injected ({tile:?}, {line:#x}) missing from {violations:?}"
+                    );
+                    assert!(dump.cycle > 0);
+                }
+                other => panic!("{class:?}: expected sanitizer abort, got {other:?}"),
+            }
         }
     }
 }

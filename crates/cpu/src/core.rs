@@ -92,6 +92,21 @@ impl Core {
         }
     }
 
+    /// Human-readable label of the core's current state, for
+    /// deadlock/violation dumps.
+    pub fn describe(&self) -> String {
+        match self.state {
+            State::Ready { at } => format!("ready at cycle {at}"),
+            State::WaitingMem { since, line } => {
+                format!("waiting on memory for line {line:#x} since cycle {since}")
+            }
+            State::AtBarrier { since, id } => {
+                format!("parked at barrier {id} since cycle {since}")
+            }
+            State::Done => "done".to_string(),
+        }
+    }
+
     /// Ask the core what it needs at cycle `now`.
     pub fn next_action(&mut self, now: Cycle) -> Action {
         match self.state {
@@ -284,5 +299,21 @@ mod tests {
         assert_eq!(c.next_action(0), Action::Done);
         assert!(c.is_done());
         assert_eq!(c.ready_at(), None);
+        assert_eq!(c.describe(), "done");
+    }
+
+    #[test]
+    fn describe_names_the_blocking_line_and_barrier() {
+        let mut c = core(vec![TraceOp::Load(0x40), TraceOp::Barrier(7)]);
+        assert!(c.describe().starts_with("ready at cycle"));
+        c.next_action(0);
+        c.mem_miss_started(3);
+        assert_eq!(
+            c.describe(),
+            "waiting on memory for line 0x40 since cycle 3"
+        );
+        c.mem_complete(10);
+        c.next_action(11);
+        assert_eq!(c.describe(), "parked at barrier 7 since cycle 11");
     }
 }

@@ -42,5 +42,5 @@ mod network;
 pub use config::{ChannelKind, ChannelSpec, NocConfig};
 pub use energy::{NocEnergy, RouterEnergyModel};
 pub use message::{Delivered, Message, MessageId};
-pub use network::Noc;
+pub use network::{ChannelUnavailable, Noc};
 pub use stats::NocStats;

@@ -11,6 +11,24 @@ use crate::message::{Delivered, Message};
 use crate::stats::NocStats;
 use crate::subnet::SubNet;
 
+/// Injection failure: the message named a channel this network
+/// configuration does not provide. The sender's mapping policy is a pure
+/// function of the configuration, so this is only reachable through
+/// corruption — the simulator converts it into a structured error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelUnavailable {
+    /// The channel kind the message asked for.
+    pub channel: ChannelKind,
+}
+
+impl std::fmt::Display for ChannelUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel {:?} not configured", self.channel)
+    }
+}
+
+impl std::error::Error for ChannelUnavailable {}
+
 /// The on-chip network: a set of parallel flit-level mesh sub-networks,
 /// one per physical channel kind.
 pub struct Noc<P> {
@@ -19,6 +37,10 @@ pub struct Noc<P> {
     subnets: Vec<SubNet<P>>,
     /// `channel_map[ChannelKind::index()]` → subnet index.
     channel_map: [Option<usize>; CHANNEL_KINDS],
+    /// Fault-delayed messages parked until their release cycle, in
+    /// insertion order (the fault layer hands over post-compression
+    /// messages so codec state is not perturbed by re-processing).
+    held: std::collections::VecDeque<(Cycle, Message<P>)>,
     energy: NocEnergy,
     energy_model: RouterEnergyModel,
     stats: NocStats,
@@ -42,6 +64,7 @@ impl<P> Noc<P> {
             mesh,
             subnets,
             channel_map,
+            held: std::collections::VecDeque::new(),
             energy: NocEnergy::default(),
             energy_model: RouterEnergyModel::default(),
             stats: NocStats::new(),
@@ -58,14 +81,40 @@ impl<P> Noc<P> {
         self.channel_map[kind.index()].is_some()
     }
 
-    /// Inject a message at its source tile. Panics if the message names a
+    /// Inject a message at its source tile. Fails if the message names a
     /// channel this configuration does not provide — the sender's mapping
     /// policy must respect [`Noc::has_channel`].
-    pub fn inject(&mut self, now: Cycle, msg: Message<P>) {
-        let idx = self.channel_map[msg.channel.index()]
-            .unwrap_or_else(|| panic!("channel {:?} not configured", msg.channel));
+    pub fn inject(&mut self, now: Cycle, msg: Message<P>) -> Result<(), ChannelUnavailable> {
+        let Some(idx) = self.channel_map[msg.channel.index()] else {
+            return Err(ChannelUnavailable {
+                channel: msg.channel,
+            });
+        };
         self.stats.injected.inc();
         self.subnets[idx].inject(now, msg);
+        Ok(())
+    }
+
+    /// Park a message until `release_at`, then inject it (fault-injection
+    /// delay hook). The message is already compressed/sized, so holding it
+    /// here — rather than at the sender — leaves codec state untouched.
+    pub fn inject_held(
+        &mut self,
+        release_at: Cycle,
+        msg: Message<P>,
+    ) -> Result<(), ChannelUnavailable> {
+        if self.channel_map[msg.channel.index()].is_none() {
+            return Err(ChannelUnavailable {
+                channel: msg.channel,
+            });
+        }
+        self.held.push_back((release_at, msg));
+        Ok(())
+    }
+
+    /// Fault-delayed messages not yet released.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
     }
 
     /// Advance every sub-network one cycle and collect deliveries.
@@ -80,6 +129,17 @@ impl<P> Noc<P> {
     /// with nothing actionable at `now` are skipped outright, so a quiet
     /// channel costs nothing per cycle.
     pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Delivered<P>>) {
+        if !self.held.is_empty() {
+            let mut i = 0;
+            while i < self.held.len() {
+                if self.held[i].0 <= now {
+                    let (_, msg) = self.held.remove(i).expect("index in bounds");
+                    self.inject(now, msg).expect("validated when held");
+                } else {
+                    i += 1;
+                }
+            }
+        }
         for subnet in &mut self.subnets {
             if !subnet.has_work(now) {
                 continue;
@@ -91,7 +151,7 @@ impl<P> Noc<P> {
 
     /// True when no message is anywhere in the network.
     pub fn is_idle(&self) -> bool {
-        self.subnets.iter().all(|s| s.is_idle())
+        self.held.is_empty() && self.subnets.iter().all(|s| s.is_idle())
     }
 
     /// Earliest cycle at which any sub-network can make progress
@@ -100,7 +160,26 @@ impl<P> Noc<P> {
         self.subnets
             .iter()
             .filter_map(|s| s.next_event_cycle(now))
+            .chain(self.held.iter().map(|(at, _)| (*at).max(now + 1)))
             .min()
+    }
+
+    /// Per-tile congestion snapshot summed over sub-networks:
+    /// `(messages queued at the NI, flits buffered in the router)`.
+    /// Read-only; used for deadlock/violation dumps.
+    pub fn tile_backlog(&self, tile: usize) -> (usize, u32) {
+        self.subnets.iter().fold((0, 0), |(q, f), s| {
+            (q + s.inj_queue_depth(tile), f + s.buffered_flits(tile))
+        })
+    }
+
+    /// Messages anywhere in the network (including fault-held ones).
+    pub fn live_messages(&self) -> usize {
+        self.subnets
+            .iter()
+            .map(|s| s.live_messages())
+            .sum::<usize>()
+            + self.held.len()
     }
 
     /// Dynamic energy accumulated so far.
@@ -170,7 +249,7 @@ mod tests {
         let cfg = CmpConfig::default();
         let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
         assert!(!noc.has_channel(ChannelKind::Vl));
-        noc.inject(0, msg(0, 5, 67, ChannelKind::B));
+        noc.inject(0, msg(0, 5, 67, ChannelKind::B)).unwrap();
         let mut delivered = Vec::new();
         for now in 0..100 {
             delivered.extend(noc.tick(now));
@@ -191,8 +270,8 @@ mod tests {
             NocConfig::heterogeneous(&cfg.network, cfg.clock_hz, VlWidth::FourBytes),
         );
         assert!(noc.has_channel(ChannelKind::Vl));
-        noc.inject(0, msg(0, 15, 67, ChannelKind::B));
-        noc.inject(0, msg(0, 15, 4, ChannelKind::Vl));
+        noc.inject(0, msg(0, 15, 67, ChannelKind::B)).unwrap();
+        noc.inject(0, msg(0, 15, 4, ChannelKind::Vl)).unwrap();
         let mut delivered = Vec::new();
         for now in 0..100 {
             delivered.extend(noc.tick(now));
@@ -219,11 +298,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not configured")]
-    fn injecting_on_missing_channel_panics() {
+    fn injecting_on_missing_channel_is_an_error() {
         let cfg = CmpConfig::default();
         let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
-        noc.inject(0, msg(0, 1, 4, ChannelKind::Vl));
+        let err = noc.inject(0, msg(0, 1, 4, ChannelKind::Vl)).unwrap_err();
+        assert_eq!(err.channel, ChannelKind::Vl);
+        assert!(err.to_string().contains("not configured"));
+        // held injection validates the channel up front too
+        let err = noc
+            .inject_held(10, msg(0, 1, 4, ChannelKind::Vl))
+            .unwrap_err();
+        assert_eq!(err.channel, ChannelKind::Vl);
+        assert_eq!(
+            noc.stats().injected.get(),
+            0,
+            "failed injections are not counted"
+        );
+    }
+
+    #[test]
+    fn held_messages_release_at_their_cycle() {
+        let cfg = CmpConfig::default();
+        let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
+        noc.inject_held(25, msg(0, 5, 67, ChannelKind::B)).unwrap();
+        assert_eq!(noc.held_count(), 1);
+        assert!(!noc.is_idle(), "a held message keeps the network live");
+        assert_eq!(noc.next_event_cycle(0), Some(25));
+        let mut delivered = Vec::new();
+        let mut release_seen = None;
+        for now in 0..200 {
+            noc.tick_into(now, &mut delivered);
+            if release_seen.is_none() && noc.held_count() == 0 {
+                release_seen = Some(now);
+            }
+            if noc.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(release_seen, Some(25), "held until exactly its cycle");
+        assert_eq!(delivered.len(), 1);
+        assert!(
+            delivered[0].injected_at >= 25,
+            "latency accounting starts at release, not at hold"
+        );
     }
 
     #[test]

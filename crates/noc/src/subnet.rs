@@ -499,6 +499,22 @@ impl<P> SubNet<P> {
         self.link_flits[tile][dir.index()]
     }
 
+    /// Messages queued or mid-serialisation at `tile`'s network
+    /// interface (read-only diagnostic snapshot).
+    pub fn inj_queue_depth(&self, tile: usize) -> usize {
+        self.inj_queues[tile].len() + usize::from(self.inj_progress[tile].is_some())
+    }
+
+    /// Flits currently buffered in `tile`'s router (diagnostic snapshot).
+    pub fn buffered_flits(&self, tile: usize) -> u32 {
+        self.flits_buffered[tile]
+    }
+
+    /// Messages anywhere in this sub-network (diagnostic snapshot).
+    pub fn live_messages(&self) -> usize {
+        self.live_msgs
+    }
+
     /// Switching-factor-weighted channel energy parameters (test hook).
     #[cfg(test)]
     pub(crate) fn routers(&self) -> &[Router] {

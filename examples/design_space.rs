@@ -30,7 +30,7 @@ fn main() {
 
     eprintln!("running {} configurations of {} ...", specs.len(), app.name);
     let results = run_matrix(&cmp, &specs).expect("design-space matrix runs cleanly");
-    let rows = normalize(&results);
+    let rows = normalize(&results).expect("baseline run present in the matrix");
 
     println!(
         "\n{:<24} {:>10} {:>11} {:>11} {:>10}",

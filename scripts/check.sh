@@ -16,4 +16,10 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo test (TCMP_SANITIZE=1: protocol sanitizer armed)"
+TCMP_SANITIZE=1 cargo test -q --workspace
+
+echo "== fault-campaign smoke run"
+cargo run -q --release -p cmp-bench --bin fault_campaign -- --smoke --seed 1025041
+
 echo "All checks passed."

@@ -101,7 +101,7 @@ fn cache_array_matches_reference_lru() {
                     }
                     VictimSlot::None => unreachable!("filter allows all"),
                 }
-                c.insert(line, line);
+                c.insert(line, line).expect("victim was evicted above");
                 model[set].push(line);
             }
         }
@@ -149,7 +149,8 @@ fn noc_delivers_everything() {
                     channel,
                     payload: i,
                 },
-            );
+            )
+            .expect("channel configured");
             ids.push(i);
         }
         let mut got = Vec::new();

@@ -148,7 +148,7 @@ fn matrix_and_normalisation() {
     })
     .collect();
     let results = run_matrix(&cmp, &specs).expect("matrix runs cleanly");
-    let rows = normalize(&results);
+    let rows = normalize(&results).expect("baseline run present in the matrix");
     assert_eq!(rows.len(), 1);
     assert!(rows[0].exec_time > 0.5 && rows[0].exec_time <= 1.05);
     assert!(rows[0].link_ed2p > 0.0);

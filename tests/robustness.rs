@@ -1,0 +1,175 @@
+//! End-to-end robustness tests: seeded fault campaigns against the full
+//! simulator, exercising the detect → fall back → resynchronise path of
+//! the compressed NI and the structured-error path of the protocol
+//! layer. Companion to the `fault_campaign` bench binary.
+
+use tiled_cmp::coherence::sanitizer::{Invariant, SanitizerConfig};
+use tiled_cmp::common::fault::FaultConfig;
+use tiled_cmp::prelude::*;
+use tiled_cmp::sim::SimError;
+
+const SEED: u64 = 0xD5A1_F00D;
+const SCALE: f64 = 0.01;
+
+fn proposal_cfg() -> SimConfig {
+    SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+    )
+}
+
+/// A lost coherence message wedges the workload; the run must terminate
+/// with a structured deadlock report that names the stuck tile and what
+/// it is queued on — not hang, not panic.
+#[test]
+fn dropped_message_yields_deadlock_diagnostics_naming_the_stuck_tile() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig {
+        seed: 7,
+        drop: 1.0,
+        max_faults: Some(1),
+        ..FaultConfig::none()
+    };
+    let err = CmpSimulator::new(cfg, &app, SEED, SCALE)
+        .run()
+        .expect_err("a dropped request can never complete");
+    match &err {
+        SimError::Deadlock {
+            cycle,
+            diagnostics,
+            dump,
+        } => {
+            assert!(*cycle > 0);
+            assert!(
+                diagnostics.contains("cores unfinished"),
+                "diagnostics should summarise liveness: {diagnostics}"
+            );
+            // the dump names each stuck tile and the line it waits on
+            assert!(
+                !dump.tiles.is_empty(),
+                "state dump must include the wedged tiles"
+            );
+            let rendered = format!("{err}");
+            assert!(rendered.contains("tile"), "dump names the tile: {rendered}");
+            assert!(
+                rendered.contains("waiting on memory for line")
+                    || rendered.contains("MSHRs")
+                    || rendered.contains("queued"),
+                "dump names what the tile is stuck on: {rendered}"
+            );
+        }
+        other => panic!("expected a deadlock, got: {other}"),
+    }
+}
+
+/// The fault-campaign smoke path: a seeded desync campaign completes,
+/// every injected divergence is detected and every detection is
+/// resynchronised, with uncompressed fallback traffic covering the
+/// resync windows.
+#[test]
+fn desync_campaign_smoke_recovers_every_divergence() {
+    let app = tiled_cmp::workloads::apps::mp3d();
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig::desync_only(0xFA_017, 0.01, 25);
+    let r = CmpSimulator::new(cfg, &app, SEED, SCALE)
+        .run()
+        .expect("desyncs are recoverable; the run must complete");
+    assert!(r.fault_stats.desyncs.get() > 0, "campaign injected nothing");
+    assert!(r.resync.desyncs_detected > 0, "no divergence detected");
+    assert!(r.resync.desyncs_detected <= r.fault_stats.desyncs.get());
+    assert_eq!(
+        r.resync.resyncs_completed, r.resync.desyncs_detected,
+        "every detected divergence must be resynchronised"
+    );
+    assert!(
+        r.resync.fallback_msgs >= r.resync.desyncs_detected,
+        "each detection forces at least its own message onto the fallback path"
+    );
+}
+
+/// A corrupted address must surface as a structured protocol error whose
+/// state dump is taken at the failure cycle — never as a panic.
+#[test]
+fn corrupted_address_is_a_structured_protocol_error() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig {
+        seed: 3,
+        corrupt: 1.0,
+        max_faults: Some(1),
+        ..FaultConfig::none()
+    };
+    match CmpSimulator::new(cfg, &app, SEED, SCALE).run() {
+        Err(SimError::Protocol { cycle, error, dump }) => {
+            assert_eq!(dump.cycle, cycle);
+            let msg = format!("{error}");
+            assert!(msg.contains("tile"), "error names the tile: {msg}");
+            assert!(msg.contains("line"), "error names the line: {msg}");
+        }
+        Err(SimError::Deadlock { .. }) => {
+            // also acceptable: the corrupted message resolved the wrong
+            // line, leaving the real requester wedged — still structured
+        }
+        other => panic!("expected a structured failure, got: {other:?}"),
+    }
+}
+
+/// The sanitizer sweep catches a live single-owner corruption injected
+/// mid-run through the full `CmpSimulator::step` loop.
+#[test]
+fn sanitizer_catches_live_corruption_through_the_public_step_api() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = proposal_cfg();
+    cfg.sanitizer = Some(SanitizerConfig { period: 256 });
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    let mut injected = None;
+    let err = loop {
+        match sim.step() {
+            Ok(true) => {}
+            Ok(false) => panic!("run completed without the sweep firing"),
+            Err(e) => break e,
+        }
+        if injected.is_none() {
+            injected = sim.fault_inject_violation(Invariant::SingleOwner);
+        }
+    };
+    let (tile, line) = injected.expect("a corruption was planted before the abort");
+    match err {
+        SimError::Sanitizer {
+            cycle, violations, ..
+        } => {
+            assert!(cycle > 0);
+            let hit = violations
+                .iter()
+                .find(|v| v.invariant == Invariant::SingleOwner)
+                .expect("the planted class is reported");
+            assert_eq!(hit.line, line);
+            let rendered = format!("{hit}");
+            assert!(rendered.contains(&format!("tile {}", tile.index())) || hit.tile == tile);
+            assert!(rendered.contains("0x"), "report names the line: {rendered}");
+        }
+        other => panic!("expected a sanitizer abort, got: {other}"),
+    }
+}
+
+/// With faults disabled and the sanitizer off, the robustness layer is
+/// invisible: the golden fft run still produces the seed's exact counts.
+#[test]
+fn robustness_layer_is_neutral_on_the_golden_run() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = SimConfig::baseline();
+    cfg.faults = FaultConfig::none();
+    cfg.sanitizer = None;
+    let r = CmpSimulator::new(cfg, &app, 0xD5A1_F00D, 0.01)
+        .run()
+        .expect("clean run");
+    assert_eq!(r.cycles, 554_045);
+    assert_eq!(r.network_messages, 23_473);
+    assert_eq!(r.fault_stats.total(), 0);
+    assert_eq!(r.resync.desyncs_detected, 0);
+    assert_eq!(r.sanitizer_sweeps, 0);
+}
