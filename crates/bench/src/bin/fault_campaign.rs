@@ -20,6 +20,8 @@
 //! `--smoke` shrinks the matrix to two applications at tiny scale for CI.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use addr_compression::CompressionScheme;
 use cmp_common::fault::FaultConfig;
@@ -38,6 +40,8 @@ struct Args {
     apps: Vec<String>,
     smoke: bool,
     verbose: bool,
+    /// Worker threads for per-app campaigns (default 1 = sequential).
+    jobs: usize,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         apps: Vec::new(),
         smoke: false,
         verbose: false,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +71,16 @@ fn parse_args() -> Args {
             "--app" => a.apps.push(args.next().unwrap_or_else(usage)),
             "--smoke" => a.smoke = true,
             "--verbose" => a.verbose = true,
+            "--jobs" => {
+                a.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage);
+                if a.jobs == 0 {
+                    eprintln!("--jobs must be >= 1");
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -77,7 +92,10 @@ fn parse_args() -> Args {
 }
 
 fn usage<T>() -> T {
-    eprintln!("usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose]");
+    eprintln!(
+        "usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose] \
+         [--jobs N]"
+    );
     std::process::exit(2)
 }
 
@@ -145,6 +163,149 @@ fn run_sanitizer_campaign(
     }
 }
 
+/// The four invariant classes the sanitizer campaign corrupts.
+const INVARIANTS: [Invariant; 4] = [
+    Invariant::SingleOwner,
+    Invariant::SharerAgreement,
+    Invariant::MshrConsistency,
+    Invariant::DirectoryInclusion,
+];
+
+/// Every campaign for one application; returns the table-row cells
+/// (after the app name) and the per-app tally.
+fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>, Tally) {
+    let mut t = Tally::default();
+
+    // 1. Desync: recoverable; the run must complete.
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig::desync_only(args.seed, 0.01, 25);
+    let desync_cell = match run_guarded(cfg, app, args.seed, scale) {
+        Outcome::Completed(r) => {
+            t.desyncs_injected = r.fault_stats.desyncs.get();
+            t.desyncs_detected = r.resync.desyncs_detected;
+            t.resyncs_completed = r.resync.resyncs_completed;
+            t.fallback_msgs = r.resync.fallback_msgs;
+            if t.resyncs_completed != t.desyncs_detected {
+                t.anomalies += 1;
+            }
+            format!(
+                "{}/{}/{}",
+                t.desyncs_injected, t.desyncs_detected, t.resyncs_completed
+            )
+        }
+        Outcome::Structured(e) => {
+            t.anomalies += 1;
+            if args.verbose {
+                eprintln!("[{}] desync campaign aborted:\n{e}", app.name);
+            }
+            "ABORTED".to_string()
+        }
+        Outcome::Panicked => {
+            t.panics += 1;
+            "PANIC".to_string()
+        }
+    };
+
+    // 2. Drop: one lost message; a structured deadlock is the pass.
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig {
+        seed: args.seed,
+        drop: 1.0,
+        max_faults: Some(1),
+        ..FaultConfig::none()
+    };
+    // A wedged protocol never drains; bound the hang so the campaign
+    // terminates in bounded time even if deadlock detection regressed.
+    cfg.max_cycles = 30_000_000;
+    let drop_cell = match run_guarded(cfg, app, args.seed, scale) {
+        Outcome::Completed(_) => {
+            t.benign += 1;
+            "benign".to_string()
+        }
+        Outcome::Structured(e @ SimError::Deadlock { .. }) => {
+            t.structured_fatal += 1;
+            if args.verbose {
+                eprintln!("[{}] drop campaign deadlock:\n{e}", app.name);
+            }
+            "deadlock(dump)".to_string()
+        }
+        Outcome::Structured(_) => {
+            t.anomalies += 1;
+            "unexpected".to_string()
+        }
+        Outcome::Panicked => {
+            t.panics += 1;
+            "PANIC".to_string()
+        }
+    };
+
+    // 3. Corrupt: one flipped address bit; the wrong-home/controller
+    // check must reject it as a protocol error.
+    let mut cfg = proposal_cfg();
+    cfg.faults = FaultConfig {
+        seed: args.seed,
+        corrupt: 1.0,
+        max_faults: Some(1),
+        ..FaultConfig::none()
+    };
+    cfg.max_cycles = 30_000_000;
+    let corrupt_cell = match run_guarded(cfg, app, args.seed, scale) {
+        Outcome::Completed(_) => {
+            t.benign += 1;
+            "benign".to_string()
+        }
+        Outcome::Structured(SimError::Protocol { error, .. }) => {
+            t.structured_fatal += 1;
+            if args.verbose {
+                eprintln!("[{}] corrupt campaign rejected: {error}", app.name);
+            }
+            "rejected".to_string()
+        }
+        Outcome::Structured(SimError::Deadlock { .. }) => {
+            // a corrupted reply can also wedge the requester
+            t.structured_fatal += 1;
+            "deadlock(dump)".to_string()
+        }
+        Outcome::Structured(_) => {
+            t.anomalies += 1;
+            "unexpected".to_string()
+        }
+        Outcome::Panicked => {
+            t.panics += 1;
+            "PANIC".to_string()
+        }
+    };
+
+    // 4. Sanitizer: one live-metadata corruption per invariant class.
+    let mut caught = 0usize;
+    for &class in &INVARIANTS {
+        let mut cfg = proposal_cfg();
+        cfg.sanitizer = Some(SanitizerConfig { period: 256 });
+        match run_sanitizer_campaign(cfg, app, args.seed, scale, class) {
+            Outcome::Structured(SimError::Sanitizer { violations, .. })
+                if violations.iter().any(|v| v.invariant == class) =>
+            {
+                caught += 1;
+                t.sanitizer_caught += 1;
+            }
+            Outcome::Panicked => t.panics += 1,
+            _ => t.anomalies += 1,
+        }
+    }
+    let sanitizer_cell = format!("{caught}/{} caught", INVARIANTS.len());
+
+    (
+        vec![
+            desync_cell,
+            drop_cell,
+            corrupt_cell,
+            sanitizer_cell,
+            t.panics.to_string(),
+        ],
+        t,
+    )
+}
+
 #[derive(Default)]
 struct Tally {
     desyncs_injected: u64,
@@ -175,13 +336,6 @@ fn main() {
     } else {
         args.scale
     };
-    let invariants = [
-        Invariant::SingleOwner,
-        Invariant::SharerAgreement,
-        Invariant::MshrConsistency,
-        Invariant::DirectoryInclusion,
-    ];
-
     let mut table = TableBuilder::new(
         "Fault campaigns — proposal configuration (16-entry DBRC, 4B VL)",
         &[
@@ -195,135 +349,54 @@ fn main() {
     );
     let mut total = Tally::default();
 
-    for app in &apps {
-        let mut t = Tally::default();
+    // Run the per-app campaigns, sequentially or on a small worker pool;
+    // results land in per-app slots so the table order is stable either way.
+    let rows: Vec<Option<(Vec<String>, Tally)>> = if args.jobs <= 1 {
+        apps.iter()
+            .map(|app| Some(run_app_campaigns(app, &args, scale)))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<(Vec<String>, Tally)>>> =
+            Mutex::new(apps.iter().map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = args.jobs.min(apps.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= apps.len() {
+                        break;
+                    }
+                    let row = run_app_campaigns(&apps[i], &args, scale);
+                    slots
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())[i] = Some(row);
+                });
+            }
+        });
+        slots.into_inner().unwrap_or_else(|p| p.into_inner())
+    };
 
-        // 1. Desync: recoverable; the run must complete.
-        let mut cfg = proposal_cfg();
-        cfg.faults = FaultConfig::desync_only(args.seed, 0.01, 25);
-        let desync_cell = match run_guarded(cfg, app, args.seed, scale) {
-            Outcome::Completed(r) => {
-                t.desyncs_injected = r.fault_stats.desyncs.get();
-                t.desyncs_detected = r.resync.desyncs_detected;
-                t.resyncs_completed = r.resync.resyncs_completed;
-                t.fallback_msgs = r.resync.fallback_msgs;
-                if t.resyncs_completed != t.desyncs_detected {
-                    t.anomalies += 1;
-                }
-                format!(
-                    "{}/{}/{}",
-                    t.desyncs_injected, t.desyncs_detected, t.resyncs_completed
-                )
-            }
-            Outcome::Structured(e) => {
-                t.anomalies += 1;
-                if args.verbose {
-                    eprintln!("[{}] desync campaign aborted:\n{e}", app.name);
-                }
-                "ABORTED".to_string()
-            }
-            Outcome::Panicked => {
-                t.panics += 1;
-                "PANIC".to_string()
-            }
-        };
-
-        // 2. Drop: one lost message; a structured deadlock is the pass.
-        let mut cfg = proposal_cfg();
-        cfg.faults = FaultConfig {
-            seed: args.seed,
-            drop: 1.0,
-            max_faults: Some(1),
-            ..FaultConfig::none()
-        };
-        // A wedged protocol never drains; bound the hang so the campaign
-        // terminates in bounded time even if deadlock detection regressed.
-        cfg.max_cycles = 30_000_000;
-        let drop_cell = match run_guarded(cfg, app, args.seed, scale) {
-            Outcome::Completed(_) => {
-                t.benign += 1;
-                "benign".to_string()
-            }
-            Outcome::Structured(e @ SimError::Deadlock { .. }) => {
-                t.structured_fatal += 1;
-                if args.verbose {
-                    eprintln!("[{}] drop campaign deadlock:\n{e}", app.name);
-                }
-                "deadlock(dump)".to_string()
-            }
-            Outcome::Structured(_) => {
-                t.anomalies += 1;
-                "unexpected".to_string()
-            }
-            Outcome::Panicked => {
-                t.panics += 1;
-                "PANIC".to_string()
-            }
-        };
-
-        // 3. Corrupt: one flipped address bit; the wrong-home/controller
-        // check must reject it as a protocol error.
-        let mut cfg = proposal_cfg();
-        cfg.faults = FaultConfig {
-            seed: args.seed,
-            corrupt: 1.0,
-            max_faults: Some(1),
-            ..FaultConfig::none()
-        };
-        cfg.max_cycles = 30_000_000;
-        let corrupt_cell = match run_guarded(cfg, app, args.seed, scale) {
-            Outcome::Completed(_) => {
-                t.benign += 1;
-                "benign".to_string()
-            }
-            Outcome::Structured(SimError::Protocol { error, .. }) => {
-                t.structured_fatal += 1;
-                if args.verbose {
-                    eprintln!("[{}] corrupt campaign rejected: {error}", app.name);
-                }
-                "rejected".to_string()
-            }
-            Outcome::Structured(SimError::Deadlock { .. }) => {
-                // a corrupted reply can also wedge the requester
-                t.structured_fatal += 1;
-                "deadlock(dump)".to_string()
-            }
-            Outcome::Structured(_) => {
-                t.anomalies += 1;
-                "unexpected".to_string()
-            }
-            Outcome::Panicked => {
-                t.panics += 1;
-                "PANIC".to_string()
-            }
-        };
-
-        // 4. Sanitizer: one live-metadata corruption per invariant class.
-        let mut caught = 0usize;
-        for &class in &invariants {
-            let mut cfg = proposal_cfg();
-            cfg.sanitizer = Some(SanitizerConfig { period: 256 });
-            match run_sanitizer_campaign(cfg, app, args.seed, scale, class) {
-                Outcome::Structured(SimError::Sanitizer { violations, .. })
-                    if violations.iter().any(|v| v.invariant == class) =>
-                {
-                    caught += 1;
-                    t.sanitizer_caught += 1;
-                }
-                Outcome::Panicked => t.panics += 1,
-                _ => t.anomalies += 1,
-            }
-        }
-        let sanitizer_cell = format!("{caught}/{} caught", invariants.len());
-
-        table.row(vec![
-            app.name.to_string(),
-            desync_cell,
-            drop_cell,
-            corrupt_cell,
-            sanitizer_cell,
-            t.panics.to_string(),
-        ]);
+    for (app, row) in apps.iter().zip(rows) {
+        let (cells, t) = row.unwrap_or_else(|| {
+            // a worker died before filling its slot — count it as a panic
+            (
+                vec![
+                    "LOST".into(),
+                    "LOST".into(),
+                    "LOST".into(),
+                    "LOST".into(),
+                    "1".into(),
+                ],
+                Tally {
+                    panics: 1,
+                    ..Tally::default()
+                },
+            )
+        });
+        let mut full_row = vec![app.name.to_string()];
+        full_row.extend(cells);
+        table.row(full_row);
 
         total.desyncs_injected += t.desyncs_injected;
         total.desyncs_detected += t.desyncs_detected;

@@ -11,11 +11,11 @@
 //!
 //! Usage:
 //!   fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N]
-//!                 [--out PATH] [--app NAME]... [--skip-matrix]
+//!                 [--out PATH] [--app NAME]... [--skip-matrix] [--jobs N]
 
 use cmp_bench::harness::{measure, to_bench_json, BenchStats};
 use cmp_common::config::CmpConfig;
-use tcmp_core::experiment::{run_matrix, RunSpec};
+use tcmp_core::experiment::{run_matrix_jobs, RunSpec};
 use tcmp_core::sim::{CmpSimulator, SimConfig};
 use workloads::synthetic;
 
@@ -28,6 +28,8 @@ struct BenchOptions {
     out: String,
     apps: Vec<String>,
     skip_matrix: bool,
+    /// Matrix worker-thread cap (`None` = all cores).
+    jobs: Option<usize>,
 }
 
 impl Default for BenchOptions {
@@ -40,6 +42,7 @@ impl Default for BenchOptions {
             out: "BENCH.json".to_string(),
             apps: Vec::new(),
             skip_matrix: false,
+            jobs: None,
         }
     }
 }
@@ -47,7 +50,7 @@ impl Default for BenchOptions {
 fn usage<T>() -> T {
     eprintln!(
         "usage: fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N] \
-         [--out PATH] [--app NAME]... [--skip-matrix]"
+         [--out PATH] [--app NAME]... [--skip-matrix] [--jobs N]"
     );
     std::process::exit(2)
 }
@@ -84,6 +87,17 @@ fn parse_args() -> BenchOptions {
             "--out" => o.out = args.next().unwrap_or_else(usage),
             "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
             "--skip-matrix" => o.skip_matrix = true,
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage);
+                if n == 0 {
+                    eprintln!("--jobs must be >= 1");
+                    usage()
+                }
+                o.jobs = Some(n);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -134,7 +148,7 @@ fn matrix_pass(opts: &BenchOptions) -> f64 {
             });
         }
     }
-    let results = run_matrix(&cmp, &specs).unwrap_or_else(|e| {
+    let results = run_matrix_jobs(&cmp, &specs, opts.jobs).unwrap_or_else(|e| {
         eprintln!("matrix failed: {e}");
         std::process::exit(1);
     });

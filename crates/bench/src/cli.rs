@@ -13,6 +13,8 @@ pub struct Options {
     pub csv: Option<String>,
     /// Include perfect-compression bounds where applicable.
     pub perfect: bool,
+    /// Cap on matrix worker threads (`--jobs N`); `None` = all cores.
+    pub jobs: Option<usize>,
 }
 
 impl Default for Options {
@@ -23,6 +25,7 @@ impl Default for Options {
             seed: 0xC0FFEE,
             csv: None,
             perfect: true,
+            jobs: None,
         }
     }
 }
@@ -49,6 +52,17 @@ impl Options {
                 }
                 "--csv" => o.csv = Some(args.next().unwrap_or_else(usage)),
                 "--no-perfect" => o.perfect = false,
+                "--jobs" => {
+                    let n: usize = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(usage);
+                    if n == 0 {
+                        eprintln!("--jobs must be >= 1");
+                        usage()
+                    }
+                    o.jobs = Some(n);
+                }
                 "--help" | "-h" => usage(),
                 other => {
                     eprintln!("unknown argument: {other}");
@@ -80,6 +94,9 @@ impl Options {
 }
 
 fn usage<T>() -> T {
-    eprintln!("usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect]");
+    eprintln!(
+        "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect] \
+         [--jobs N]"
+    );
     std::process::exit(2)
 }

@@ -2,7 +2,7 @@
 
 use addr_compression::CompressionScheme;
 use cmp_common::config::CmpConfig;
-use tcmp_core::experiment::{run_matrix, ConfigSpec, RunSpec};
+use tcmp_core::experiment::{run_matrix_jobs, ConfigSpec, RunSpec};
 use tcmp_core::sim::SimResult;
 
 use crate::cli::Options;
@@ -66,7 +66,7 @@ pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
         configs.len(),
         opts.scale
     );
-    let results = run_matrix(&cmp, &specs).unwrap_or_else(|e| {
+    let results = run_matrix_jobs(&cmp, &specs, opts.jobs).unwrap_or_else(|e| {
         eprintln!("matrix failed: {e}");
         std::process::exit(1);
     });

@@ -93,6 +93,7 @@ pub struct L1Stats {
 pub const L1_DELAY: u64 = 2;
 
 /// The private-cache controller of one tile.
+#[derive(Clone)]
 pub struct L1Cache {
     tile: TileId,
     tiles: usize,
@@ -107,6 +108,8 @@ pub struct L1Cache {
     stale_partials: Vec<Addr>,
     stats: L1Stats,
 }
+
+cmp_common::impl_snapshot_clone!(L1Cache);
 
 /// Home slice of a line: block-interleaved across tiles. Must agree with
 /// `CmpConfig::home_tile` (tested in the integration suite).

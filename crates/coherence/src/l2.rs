@@ -73,7 +73,7 @@ enum Busy {
 }
 
 /// An L2 miss being filled from memory.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Fill {
     mem_done: bool,
     /// Requests that arrived while the fill was outstanding, replayed in
@@ -101,6 +101,7 @@ pub const L2_TAG_DELAY: u64 = 6;
 pub const L2_DATA_DELAY: u64 = 8;
 
 /// One tile's L2 slice + directory controller.
+#[derive(Clone)]
 pub struct L2Slice {
     tile: TileId,
     tiles: usize,
@@ -117,6 +118,8 @@ pub struct L2Slice {
     queued: usize,
     stats: L2Stats,
 }
+
+cmp_common::impl_snapshot_clone!(L2Slice);
 
 impl L2Slice {
     /// A slice with `sets` × `ways` lines on a `tiles`-tile machine.

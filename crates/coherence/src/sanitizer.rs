@@ -25,6 +25,8 @@
 //! the cycle, tile, line and invariant class; the simulator aborts the
 //! run with a full state dump on the first non-empty sweep.
 
+use std::borrow::Borrow;
+
 use cmp_common::types::{Addr, Cycle, TileId};
 
 use crate::l1::{home_of, L1Cache, L1State};
@@ -114,8 +116,14 @@ impl Sanitizer {
 
     /// Validate every invariant across all tiles. Read-only: a sweep
     /// never perturbs simulated state, so enabling the sanitizer cannot
-    /// change a run's outcome — only observe it.
-    pub fn sweep(&mut self, cycle: Cycle, l1s: &[L1Cache], l2s: &[L2Slice]) -> Vec<Violation> {
+    /// change a run's outcome — only observe it. Generic over [`Borrow`]
+    /// so callers can pass owned rows (`&[L1Cache]`) or rows of
+    /// references borrowed out of larger per-tile components.
+    pub fn sweep<A, B>(&mut self, cycle: Cycle, l1s: &[A], l2s: &[B]) -> Vec<Violation>
+    where
+        A: Borrow<L1Cache>,
+        B: Borrow<L2Slice>,
+    {
         self.sweeps += 1;
         let tiles = l1s.len();
         let mut found = Vec::new();
@@ -124,6 +132,7 @@ impl Sanitizer {
         let mut owners: std::collections::HashMap<Addr, Vec<TileId>> =
             std::collections::HashMap::new();
         for l1 in l1s {
+            let l1 = l1.borrow();
             for (line, state) in l1.resident_lines() {
                 if matches!(state, L1State::Exclusive | L1State::Modified) {
                     owners.entry(line).or_default().push(l1.tile());
@@ -148,9 +157,10 @@ impl Sanitizer {
 
         // Pass 2: per-L1 copies vs the home directory + inclusion.
         for l1 in l1s {
+            let l1 = l1.borrow();
             let tile = l1.tile();
             for (line, state) in l1.resident_lines() {
-                let home = &l2s[home_of(line, tiles).index()];
+                let home = l2s[home_of(line, tiles).index()].borrow();
                 let dir = home.dir_state(line);
                 if dir.is_none() && !home.line_in_flight(line) {
                     found.push(Violation {
@@ -225,6 +235,7 @@ impl Sanitizer {
 
         // Pass 3: home-slice queue bookkeeping.
         for (idx, l2) in l2s.iter().enumerate() {
+            let l2 = l2.borrow();
             let tile = TileId::from(idx);
             if l2.queued_requests() != l2.pending_total() {
                 found.push(Violation {

@@ -18,6 +18,9 @@
 //!   used by the property suites in place of an external dependency.
 //! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
 //!   corrupt/codec-desync) for robustness campaigns.
+//! * [`snapshot`] — the [`Snapshot`] checkpoint/restore trait every
+//!   component implements so the engine can checkpoint a run at cycle N
+//!   and resume it bit-identically.
 //! * [`smallvec`] — an inline-first vector for hot-path message plumbing.
 //! * [`units`] — thin newtypes for the physical quantities that cross crate
 //!   boundaries (picoseconds, watts, square millimetres, joules).
@@ -28,6 +31,7 @@ pub mod geometry;
 pub mod randtest;
 pub mod rng;
 pub mod smallvec;
+pub mod snapshot;
 pub mod stats;
 pub mod types;
 pub mod units;
@@ -37,5 +41,6 @@ pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{Coord, MeshShape};
 pub use rng::SimRng;
 pub use smallvec::SmallVec;
+pub use snapshot::Snapshot;
 pub use stats::{Counter, Histogram, OnlineStats};
 pub use types::{Addr, Cycle, MessageClass, TileId, CONTROL_BYTES, LINE_BYTES};

@@ -37,6 +37,8 @@ pub struct CompressionEngine {
     stats: CoverageStats,
 }
 
+cmp_common::impl_snapshot_clone!(CompressionEngine);
+
 impl CompressionEngine {
     /// Engine for a machine with `tiles` tiles. A codec is instantiated
     /// per destination including self — matching the paper's hardware

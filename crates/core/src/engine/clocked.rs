@@ -1,0 +1,44 @@
+//! The shared clocking seam: every engine component answers the two
+//! questions the scheduler asks each iteration.
+//!
+//! The main loop fast-forwards over idle stretches by jumping straight to
+//! the earliest cycle *any* component can act ([`Clocked::next_event`])
+//! and terminates when *every* component reports quiescence
+//! ([`Clocked::is_quiescent`]). Components answer in O(1) from cached
+//! counters — the scheduler never scans internal queues.
+
+use cmp_common::types::Cycle;
+use coherence::memctrl::MemCtrl;
+use coherence::msg::ProtocolMsg;
+use mesh_noc::Noc;
+
+/// A component sharing the engine's 4 GHz clock.
+pub trait Clocked {
+    /// Earliest cycle at/after `now` this component can make progress on
+    /// its own (`None` when it is waiting on external input or done).
+    fn next_event(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Whether the component holds no in-flight work. The run is complete
+    /// when every component is quiescent and all traces have retired.
+    fn is_quiescent(&self) -> bool;
+}
+
+impl Clocked for Noc<ProtocolMsg> {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.next_event_cycle(now)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.is_idle()
+    }
+}
+
+impl Clocked for MemCtrl {
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        self.next_ready()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.outstanding() == 0
+    }
+}

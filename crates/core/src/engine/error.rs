@@ -1,0 +1,222 @@
+//! Structured failure reporting: every abnormal end of a run carries a
+//! machine snapshot instead of a panic.
+
+use cmp_common::types::{Addr, Cycle, TileId};
+use coherence::sanitizer::Violation;
+use coherence::ProtocolError;
+
+/// Snapshot of one tile's controllers at failure time.
+#[derive(Clone, Debug)]
+pub struct TileDump {
+    /// The tile.
+    pub tile: TileId,
+    /// What the core is doing (`Core::describe`).
+    pub core: String,
+    /// Lines with an outstanding L1 miss.
+    pub mshr_lines: Vec<Addr>,
+    /// Lines mid-transaction at this home slice, with their busy state.
+    pub l2_busy: Vec<(Addr, String)>,
+    /// Lines awaiting an off-chip fill at this home slice.
+    pub l2_fills: Vec<Addr>,
+    /// Requests parked in this home slice's pending queues.
+    pub l2_pending: usize,
+    /// NoC congestion at this tile: `(messages queued at the NI, flits
+    /// buffered in the router)`.
+    pub ni_backlog: (usize, u32),
+}
+
+impl TileDump {
+    /// Nothing in flight at this tile — omitted from the rendered dump.
+    pub fn is_quiet(&self) -> bool {
+        (self.core.starts_with("ready") || self.core == "done")
+            && self.mshr_lines.is_empty()
+            && self.l2_busy.is_empty()
+            && self.l2_fills.is_empty()
+            && self.l2_pending == 0
+            && self.ni_backlog == (0, 0)
+    }
+}
+
+/// Full machine snapshot attached to every structured failure: per-tile
+/// queue depths, in-flight messages, MSHR and directory-busy state.
+#[derive(Clone, Debug)]
+pub struct StateDump {
+    /// Cycle the snapshot was taken.
+    pub cycle: Cycle,
+    /// One entry per tile, quiet or not (the `Display` form prints only
+    /// the busy ones).
+    pub tiles: Vec<TileDump>,
+    /// Outstanding off-chip reads as `(tile, line, ready_at)`.
+    pub mem_reads: Vec<(TileId, Addr, Cycle)>,
+    /// Protocol sends scheduled but not yet injected.
+    pub delayed_events: usize,
+    /// Messages parked by a fault-injected delay.
+    pub held_messages: usize,
+    /// Messages anywhere in the network.
+    pub live_messages: usize,
+}
+
+fn hex_list(lines: &[Addr]) -> String {
+    lines
+        .iter()
+        .map(|a| format!("{a:#x}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl std::fmt::Display for StateDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "state dump at cycle {}:", self.cycle)?;
+        let mut quiet = 0usize;
+        for t in &self.tiles {
+            if t.is_quiet() {
+                quiet += 1;
+                continue;
+            }
+            write!(f, "  tile {}: core {}", t.tile.index(), t.core)?;
+            if !t.mshr_lines.is_empty() {
+                write!(f, "; MSHRs [{}]", hex_list(&t.mshr_lines))?;
+            }
+            if !t.l2_busy.is_empty() {
+                let busy = t
+                    .l2_busy
+                    .iter()
+                    .map(|(a, s)| format!("{a:#x} {s}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(f, "; L2 busy [{busy}]")?;
+            }
+            if !t.l2_fills.is_empty() {
+                write!(f, "; L2 fills [{}]", hex_list(&t.l2_fills))?;
+            }
+            if t.l2_pending != 0 {
+                write!(f, "; {} queued requests", t.l2_pending)?;
+            }
+            if t.ni_backlog != (0, 0) {
+                write!(
+                    f,
+                    "; NI backlog {} msgs / {} flits",
+                    t.ni_backlog.0, t.ni_backlog.1
+                )?;
+            }
+            writeln!(f)?;
+        }
+        if quiet > 0 {
+            writeln!(f, "  ({quiet} quiet tiles omitted)")?;
+        }
+        if !self.mem_reads.is_empty() {
+            let reads = self
+                .mem_reads
+                .iter()
+                .map(|(t, l, r)| format!("tile {} line {l:#x} ready at {r}", t.index()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "  memory: {} reads outstanding [{reads}]",
+                self.mem_reads.len()
+            )?;
+        }
+        writeln!(
+            f,
+            "  network: {} live messages ({} fault-held); {} delayed sends",
+            self.live_messages, self.held_messages, self.delayed_events
+        )
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// No component can make progress but the workload is unfinished.
+    Deadlock {
+        cycle: Cycle,
+        diagnostics: String,
+        dump: Box<StateDump>,
+    },
+    /// The watchdog fired.
+    Watchdog { cycle: Cycle },
+    /// A controller rejected a protocol-illegal message (corrupted or
+    /// duplicated traffic, or a genuine protocol bug).
+    Protocol {
+        cycle: Cycle,
+        error: ProtocolError,
+        dump: Box<StateDump>,
+    },
+    /// A sanitizer sweep found the coherence state inconsistent.
+    Sanitizer {
+        cycle: Cycle,
+        violations: Vec<Violation>,
+        dump: Box<StateDump>,
+    },
+    /// The run's worker thread panicked (a simulator bug): the matrix
+    /// runner converts the unwind payload into this structured failure
+    /// instead of poisoning the whole sweep.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Cycle at which the run failed (0 for failures with no cycle, such
+    /// as a worker panic).
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            SimError::Deadlock { cycle, .. }
+            | SimError::Watchdog { cycle }
+            | SimError::Protocol { cycle, .. }
+            | SimError::Sanitizer { cycle, .. } => *cycle,
+            SimError::Panic { .. } => 0,
+        }
+    }
+
+    /// The attached machine snapshot (`None` for the watchdog and worker
+    /// panics).
+    pub fn dump(&self) -> Option<&StateDump> {
+        match self {
+            SimError::Deadlock { dump, .. }
+            | SimError::Protocol { dump, .. }
+            | SimError::Sanitizer { dump, .. } => Some(dump),
+            SimError::Watchdog { .. } | SimError::Panic { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock {
+                cycle,
+                diagnostics,
+                dump,
+            } => {
+                writeln!(f, "deadlock at cycle {cycle}: {diagnostics}")?;
+                write!(f, "{dump}")
+            }
+            SimError::Watchdog { cycle } => write!(f, "watchdog at cycle {cycle}"),
+            SimError::Protocol { cycle, error, dump } => {
+                writeln!(f, "protocol error at cycle {cycle}: {error}")?;
+                write!(f, "{dump}")
+            }
+            SimError::Sanitizer {
+                cycle,
+                violations,
+                dump,
+            } => {
+                writeln!(
+                    f,
+                    "sanitizer found {} violation(s) at cycle {cycle}:",
+                    violations.len()
+                )?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                write!(f, "{dump}")
+            }
+            SimError::Panic { message } => write!(f, "worker panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,102 @@
+//! Whole-machine checkpointing: capture every mutable component at an
+//! iteration boundary and resume bit-identically.
+//!
+//! A [`MachineSnapshot`] is the composition of the per-component
+//! [`Snapshot`] states — tiles (core + L1 + network interface), L2
+//! banks, NoC, memory controller, barrier, event calendar — plus the
+//! engine's own cached counters and the robustness layer's seeded
+//! state (fault injector RNG, sanitizer sweep count). Restoring into a
+//! simulator built from the same configuration reproduces the exact
+//! machine state, so a restored run's remaining schedule is
+//! bit-identical to the uncheckpointed original: same cycles, same
+//! message counts, same energy.
+//!
+//! Snapshots are taken between scheduler iterations (the only boundary
+//! the public API exposes), where the scratch buffers are empty by
+//! construction — nothing transient needs to be captured.
+
+use cmp_common::fault::FaultInjector;
+use cmp_common::snapshot::Snapshot;
+use cmp_common::types::Cycle;
+use coherence::memctrl::MemCtrl;
+use coherence::msg::ProtocolMsg;
+use coherence::sanitizer::Sanitizer;
+use cpu_model::sync::BarrierState;
+use mesh_noc::Noc;
+
+use super::calendar::Calendar;
+use super::tile::{restore_all, snapshot_all, L2Bank, Tile};
+use super::Engine;
+
+/// A checkpoint of the whole machine at an iteration boundary.
+///
+/// Opaque by design: the only supported operations are
+/// [`crate::sim::CmpSimulator::snapshot`],
+/// [`crate::sim::CmpSimulator::restore`] and [`MachineSnapshot::cycle`].
+#[derive(Clone)]
+pub struct MachineSnapshot {
+    pub(crate) now: Cycle,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) l2s: Vec<L2Bank>,
+    pub(crate) noc: Noc<ProtocolMsg>,
+    pub(crate) mem: MemCtrl,
+    pub(crate) barrier: BarrierState,
+    pub(crate) calendar: Calendar,
+    pub(crate) cores_unfinished: usize,
+    pub(crate) busy_l2_count: usize,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) sanitizer: Option<Sanitizer>,
+    pub(crate) next_sweep: Cycle,
+}
+
+impl MachineSnapshot {
+    /// The cycle at which the checkpoint was taken.
+    pub fn cycle(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of tiles in the captured machine.
+    pub fn tiles(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+impl Snapshot for Engine {
+    type State = MachineSnapshot;
+
+    fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            now: self.now,
+            tiles: snapshot_all(&self.tiles),
+            l2s: snapshot_all(&self.l2s),
+            noc: self.noc.snapshot(),
+            mem: self.mem.snapshot(),
+            barrier: self.barrier.snapshot(),
+            calendar: self.calendar.snapshot(),
+            cores_unfinished: self.cores_unfinished,
+            busy_l2_count: self.busy_l2_count,
+            injector: self.injector.clone(),
+            sanitizer: self.sanitizer.clone(),
+            next_sweep: self.next_sweep,
+        }
+    }
+
+    fn restore(&mut self, state: &MachineSnapshot) {
+        self.now = state.now;
+        restore_all(&mut self.tiles, &state.tiles);
+        restore_all(&mut self.l2s, &state.l2s);
+        self.noc.restore(&state.noc);
+        self.mem.restore(&state.mem);
+        self.barrier.restore(&state.barrier);
+        self.calendar.restore(&state.calendar);
+        self.cores_unfinished = state.cores_unfinished;
+        self.busy_l2_count = state.busy_l2_count;
+        self.injector = state.injector.clone();
+        self.sanitizer = state.sanitizer.clone();
+        self.next_sweep = state.next_sweep;
+        // Scratch buffers are empty at every iteration boundary; clear
+        // them anyway so a restore from any state is self-consistent.
+        self.delivered_scratch.clear();
+        self.due_scratch.clear();
+    }
+}

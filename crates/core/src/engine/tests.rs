@@ -1,0 +1,427 @@
+use super::*;
+use cmp_common::snapshot::Snapshot;
+use cmp_common::types::MessageClass;
+use wire_model::wires::VlWidth;
+use workloads::synthetic;
+
+use crate::sim::CmpSimulator;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn run_app(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
+    let mut sim = CmpSimulator::new(cfg, app, SEED, scale);
+    sim.run().unwrap_or_else(|e| panic!("{}: {e}", app.name))
+}
+
+#[test]
+fn home_mappings_agree() {
+    assert!(CmpSimulator::homes_agree(&CmpConfig::default()));
+}
+
+#[test]
+fn streaming_workload_completes_on_baseline() {
+    let app = synthetic::streaming(3_000, 4096);
+    let r = run_app(&app, SimConfig::baseline(), 1.0);
+    assert!(r.cycles > 0);
+    assert!(r.instructions > 0);
+    assert!(r.network_messages > 0, "streaming misses generate traffic");
+    assert!(r.l1_miss_rate > 0.01, "4096-line stream must miss");
+    assert!(r.energy.chip().value() > 0.0);
+}
+
+#[test]
+fn hotspot_exercises_coherence_on_all_configs() {
+    let app = synthetic::hotspot(1_500, 64);
+    for cfg in [
+        SimConfig::baseline(),
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+        ),
+    ] {
+        let r = run_app(&app, cfg, 1.0);
+        // migratory lines force forwards + revisions
+        assert!(
+            r.class_fraction(MessageClass::CoherenceCmd) > 0.05,
+            "{:?}: coherence commands missing",
+            r.interconnect
+        );
+        assert!(r.class_fraction(MessageClass::ResponseData) > 0.10);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let app = synthetic::uniform_random(1_000, 1 << 14, 0.3);
+    let cfg = SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+    );
+    let a = run_app(&app, cfg.clone(), 1.0);
+    let b = run_app(&app, cfg, 1.0);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.network_messages, b.network_messages);
+    assert!((a.energy.chip().value() - b.energy.chip().value()).abs() < 1e-15);
+}
+
+#[test]
+fn heterogeneous_with_compression_beats_baseline_on_traffic_bound_load() {
+    let app = synthetic::hotspot(2_000, 128);
+    let base = run_app(&app, SimConfig::baseline(), 1.0);
+    let prop = run_app(
+        &app,
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Perfect { low_bytes: 2 },
+        ),
+        1.0,
+    );
+    assert!(
+        prop.cycles < base.cycles,
+        "proposal {} vs baseline {}",
+        prop.cycles,
+        base.cycles
+    );
+    assert!(
+        prop.critical_latency < base.critical_latency,
+        "critical latency should shrink: {} vs {}",
+        prop.critical_latency,
+        base.critical_latency
+    );
+}
+
+#[test]
+fn perfect_compression_yields_full_coverage() {
+    let app = synthetic::uniform_random(1_000, 1 << 16, 0.3);
+    let r = run_app(
+        &app,
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+            CompressionScheme::Perfect { low_bytes: 1 },
+        ),
+        1.0,
+    );
+    assert!((r.coverage - 1.0).abs() < 1e-12);
+    // and DBRC on a streaming load gets high but imperfect coverage
+    let s = synthetic::streaming(2_000, 4096);
+    let r = run_app(
+        &s,
+        SimConfig::new(
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+        ),
+        1.0,
+    );
+    assert!(r.coverage > 0.9, "streaming coverage {}", r.coverage);
+    assert!(r.coverage < 1.0);
+}
+
+#[test]
+fn barriers_synchronise_all_cores() {
+    let mut app = synthetic::streaming(2_000, 512);
+    app.barriers = 5;
+    let r = run_app(&app, SimConfig::baseline(), 1.0);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn real_app_smoke_mp3d() {
+    let app = workloads::apps::mp3d();
+    let r = run_app(&app, SimConfig::baseline(), 0.01);
+    assert!(r.network_messages > 1_000);
+    // Figure 5 sanity: all fractions sum to 1
+    let total: f64 = MessageClass::ALL.iter().map(|&c| r.class_fraction(c)).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn reply_partitioning_completes_and_splits_responses() {
+    let app = synthetic::uniform_random(1_500, 1 << 15, 0.3);
+    let base = run_app(&app, SimConfig::baseline(), 1.0);
+    let rp = run_app(
+        &app,
+        SimConfig::new(
+            InterconnectChoice::ReplyPartitioning,
+            CompressionScheme::None,
+        ),
+        1.0,
+    );
+    // every remote data response gains a partial twin
+    let count = |r: &SimResult, class| {
+        r.messages
+            .iter()
+            .find(|c| c.class == class)
+            .map(|c| (c.count, c.mean_latency))
+            .unwrap_or((0, 0.0))
+    };
+    let (partials, partial_lat) = count(&rp, MessageClass::PartialReply);
+    let (data, data_lat) = count(&rp, MessageClass::ResponseData);
+    assert!(partials > 0);
+    assert!(
+        partials.abs_diff(data) <= data / 10,
+        "partials {partials} should track data responses {data}"
+    );
+    // the partial replies run well ahead of the PW-wire data
+    assert!(
+        partial_lat < data_lat * 0.6,
+        "partial {partial_lat} vs ordinary {data_lat}"
+    );
+    // and the run is no slower than the baseline
+    assert!(
+        rp.cycles <= base.cycles * 101 / 100,
+        "RP {} vs baseline {}",
+        rp.cycles,
+        base.cycles
+    );
+}
+
+/// The incremental event calendar (core-ready heap, done/busy
+/// counters, cached ready cycles) must agree with brute-force scans
+/// of the underlying components after every scheduler iteration,
+/// across randomized workloads and both interconnects.
+#[test]
+fn event_calendar_matches_brute_force_scans() {
+    use cmp_common::randtest::{self, f64_in, u64_in, usize_in};
+    randtest::run_cases("sim-event-calendar", 4, |rng| {
+        let ops = u64_in(rng, 400, 1_200);
+        let lines = 1u64 << usize_in(rng, 8, 12);
+        let writes = f64_in(rng, 0.2, 0.6);
+        let app = synthetic::uniform_random(ops, lines, writes);
+        let cfg = if rng.chance(0.5) {
+            SimConfig::baseline()
+        } else {
+            SimConfig::new(
+                InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+                CompressionScheme::Dbrc {
+                    entries: 4,
+                    low_bytes: 2,
+                },
+            )
+        };
+        let mut engine = Engine::new(cfg, &app, rng.next_u64(), 1.0);
+        let mut iters = 0u64;
+        loop {
+            let more = engine.step_iteration().expect("run must not deadlock");
+            let unfinished = engine.tiles.iter().filter(|t| !t.core.is_done()).count();
+            assert_eq!(engine.cores_unfinished, unfinished, "done counter drifted");
+            let busy = engine
+                .l2s
+                .iter()
+                .filter(|b| !b.slice.is_quiescent())
+                .count();
+            assert_eq!(engine.busy_l2_count, busy, "busy-L2 counter drifted");
+            for (d, bank) in engine.l2s.iter().enumerate() {
+                assert_eq!(bank.busy, !bank.slice.is_quiescent(), "bank {d} flag");
+            }
+            for (t, tile) in engine.tiles.iter().enumerate() {
+                assert_eq!(
+                    engine.calendar.core_next[t],
+                    tile.core.ready_at().unwrap_or(Cycle::MAX),
+                    "cached ready cycle for core {t}"
+                );
+            }
+            let brute = engine.tiles.iter().filter_map(|t| t.core.ready_at()).min();
+            assert_eq!(
+                engine.calendar.earliest_ready_core(),
+                brute,
+                "calendar head"
+            );
+            iters += 1;
+            if !more {
+                break;
+            }
+        }
+        assert!(iters > 10, "workload too small to exercise the calendar");
+    });
+}
+
+#[test]
+fn watchdog_fires_on_tiny_budget() {
+    let app = synthetic::streaming(5_000, 4096);
+    let mut cfg = SimConfig::baseline();
+    cfg.max_cycles = 100;
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+    match sim.run() {
+        Err(SimError::Watchdog { .. }) => {}
+        other => panic!("expected watchdog, got {other:?}"),
+    }
+}
+
+fn compressed_cfg() -> SimConfig {
+    SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+    )
+}
+
+#[test]
+fn sanitizer_sweeps_are_neutral_on_a_clean_run() {
+    let app = synthetic::hotspot(1_200, 64);
+    let mut off = compressed_cfg();
+    off.sanitizer = None;
+    let mut on = compressed_cfg();
+    on.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 128 });
+    let a = run_app(&app, off, 1.0);
+    let b = run_app(&app, on, 1.0);
+    assert_eq!(a.cycles, b.cycles, "sweeps must not perturb the run");
+    assert_eq!(a.network_messages, b.network_messages);
+    assert_eq!(a.sanitizer_sweeps, 0);
+    assert!(b.sanitizer_sweeps > 0, "sweeps must actually run");
+}
+
+#[test]
+fn desync_faults_are_detected_and_recovered() {
+    let app = synthetic::hotspot(1_500, 64);
+    let mut cfg = compressed_cfg();
+    cfg.faults = FaultConfig::desync_only(0xDE57_AC, 0.02, 50);
+    let r = run_app(&app, cfg, 1.0);
+    assert!(r.fault_stats.desyncs.get() > 0, "campaign must fire");
+    assert!(r.resync.desyncs_detected > 0, "tags must catch divergence");
+    assert!(
+        r.resync.desyncs_detected <= r.fault_stats.desyncs.get(),
+        "injections between detections coalesce"
+    );
+    assert_eq!(
+        r.resync.resyncs_completed, r.resync.desyncs_detected,
+        "every detected divergence recovers"
+    );
+    assert!(r.resync.fallback_msgs >= r.resync.desyncs_detected);
+}
+
+#[test]
+fn fault_free_campaign_config_changes_nothing() {
+    let app = synthetic::uniform_random(800, 1 << 12, 0.3);
+    let clean = run_app(&app, compressed_cfg(), 1.0);
+    let mut cfg = compressed_cfg();
+    cfg.faults = FaultConfig {
+        seed: 42,
+        ..FaultConfig::none()
+    };
+    let r = run_app(&app, cfg, 1.0);
+    assert_eq!(clean.cycles, r.cycles, "disabled faults are bit-neutral");
+    assert_eq!(clean.network_messages, r.network_messages);
+    assert_eq!(r.fault_stats.total(), 0);
+    assert_eq!(r.resync, crate::niface::ResyncStats::default());
+}
+
+#[test]
+fn corrupt_fault_is_rejected_as_structured_protocol_error() {
+    let app = synthetic::streaming(2_000, 2048);
+    let mut cfg = SimConfig::baseline();
+    cfg.faults = FaultConfig {
+        seed: 11,
+        corrupt: 1.0,
+        max_faults: Some(1),
+        ..FaultConfig::none()
+    };
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+    match sim.run() {
+        Err(SimError::Protocol { cycle, error, dump }) => {
+            assert!(cycle > 0);
+            let s = error.to_string();
+            assert!(s.contains("tile") && s.contains("line"), "{s}");
+            assert_eq!(dump.cycle, cycle);
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn sanitizer_catches_every_injected_invariant_class() {
+    use coherence::sanitizer::Invariant;
+    for class in [
+        Invariant::SingleOwner,
+        Invariant::SharerAgreement,
+        Invariant::MshrConsistency,
+        Invariant::DirectoryInclusion,
+    ] {
+        let app = synthetic::hotspot(1_500, 64);
+        let mut cfg = SimConfig::baseline();
+        cfg.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 64 });
+        let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
+        // Warm the machine until the hook finds a target, then run on.
+        let mut injected = None;
+        let outcome = loop {
+            match sim.step() {
+                Ok(true) => {}
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+            if injected.is_none() {
+                injected = sim.fault_inject_violation(class);
+            }
+        };
+        let (tile, line) = injected.unwrap_or_else(|| panic!("{class:?}: no target found"));
+        match outcome {
+            Err(SimError::Sanitizer {
+                violations, dump, ..
+            }) => {
+                assert!(
+                    violations.iter().any(|v| v.invariant == class),
+                    "{class:?} not reported: {violations:?}"
+                );
+                let v = violations.iter().find(|v| v.invariant == class).unwrap();
+                let s = v.to_string();
+                assert!(
+                    s.contains("cycle") && s.contains("tile") && s.contains("0x"),
+                    "finding must name cycle, tile and line: {s}"
+                );
+                // the corrupted coordinates appear among the findings
+                assert!(
+                    violations.iter().any(|v| v.line == line
+                        && (v.tile == tile || class == Invariant::SharerAgreement)),
+                    "{class:?}: injected ({tile:?}, {line:#x}) missing from {violations:?}"
+                );
+                assert!(dump.cycle > 0);
+            }
+            other => panic!("{class:?}: expected sanitizer abort, got {other:?}"),
+        }
+    }
+}
+
+/// A snapshot taken mid-run restores into the same engine and replays
+/// the remaining schedule bit-identically.
+#[test]
+fn engine_snapshot_round_trips_mid_run() {
+    let app = synthetic::hotspot(1_500, 64);
+    let cfg = compressed_cfg();
+
+    // Straight run for the reference result.
+    let mut straight = Engine::new(cfg.clone(), &app, SEED, 1.0);
+    while straight.step_iteration().expect("clean run") {}
+    let reference = straight.collect();
+
+    // Checkpoint partway, run to completion, then rewind and re-run.
+    let mut engine = Engine::new(cfg, &app, SEED, 1.0);
+    for _ in 0..200 {
+        assert!(engine.step_iteration().expect("clean run"));
+    }
+    let snap = engine.snapshot();
+    assert_eq!(snap.cycle(), engine.now());
+    while engine.step_iteration().expect("clean run") {}
+    let first = engine.collect();
+
+    engine.restore(&snap);
+    assert_eq!(engine.now(), snap.cycle());
+    while engine.step_iteration().expect("clean run") {}
+    let second = engine.collect();
+
+    for r in [&first, &second] {
+        assert_eq!(r.cycles, reference.cycles, "restore perturbed the run");
+        assert_eq!(r.network_messages, reference.network_messages);
+        assert_eq!(r.instructions, reference.instructions);
+        assert!((r.energy.chip().value() - reference.energy.chip().value()).abs() < 1e-15);
+    }
+}

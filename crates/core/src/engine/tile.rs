@@ -1,0 +1,158 @@
+//! The per-tile component: core + private L1 + network interface, with
+//! the shared-L2 bank as its sibling.
+//!
+//! A [`Tile`] owns everything private to one node of the mesh; an
+//! [`L2Bank`] owns one slice of the shared NUCA L2 plus its cached
+//! busy flag. Both are plain data, so the machine-level snapshot is the
+//! composition of their per-component [`Snapshot`]s.
+
+use addr_compression::CompressionEngine;
+use cmp_common::snapshot::Snapshot;
+use cmp_common::types::{Addr, Cycle, MessageClass, TileId};
+use coherence::l1::L1Cache;
+use coherence::l2::L2Slice;
+use cpu_model::core::Core;
+
+use super::clocked::Clocked;
+use crate::niface::ResyncTracker;
+
+/// One tile's network interface: the sender-side compression hardware of
+/// the proposal (Section 4.3) plus its resynchronisation bookkeeping and
+/// any passive coverage probes riding the same address stream.
+#[derive(Clone)]
+pub struct NetIface {
+    /// The live codec deciding each message's wire size.
+    pub(crate) codec: CompressionEngine,
+    /// Passive observers, one per probed scheme (Figure 2 measures all
+    /// schemes in a single run); they never influence the wire.
+    pub(crate) probes: Vec<CompressionEngine>,
+    /// Codec-resynchronisation windows (consulted only when the fault
+    /// subsystem is live).
+    pub(crate) tracker: ResyncTracker,
+}
+
+cmp_common::impl_snapshot_clone!(NetIface);
+
+impl NetIface {
+    /// Size a remote message on the wire: probes observe the address,
+    /// divergence handling may force an uncompressed fallback, otherwise
+    /// the codec compresses. `faults_live` gates the divergence path so
+    /// the clean run pays a single branch.
+    pub(crate) fn wire_size(
+        &mut self,
+        now: Cycle,
+        dst: TileId,
+        class: MessageClass,
+        line: Addr,
+        faults_live: bool,
+    ) -> usize {
+        for probe in &mut self.probes {
+            probe.process(dst, class, line);
+        }
+        // Codec-divergence handling: a pair whose receiver mirror has
+        // diverged is detected via the sequence/checksum tag at the next
+        // compressible send; detection resets the sender codec, opens the
+        // resynchronisation window and falls back to uncompressed B-Wire
+        // transmission for the window's duration.
+        let mut fallback = false;
+        if faults_live {
+            if self.tracker.in_window(now, dst, class) {
+                fallback = true;
+            } else if self.codec.divergence(dst, class) {
+                self.codec.resync(dst, class);
+                self.tracker.begin_resync(now, dst, class);
+                // the detecting message itself rides uncompressed
+                fallback = self.tracker.in_window(now, dst, class);
+            }
+        }
+        if fallback {
+            class.uncompressed_bytes()
+        } else {
+            self.codec.process(dst, class, line).wire_bytes
+        }
+    }
+}
+
+/// One tile: trace-driven core, private L1 controller and the network
+/// interface that compresses its outbound coherence traffic.
+#[derive(Clone)]
+pub struct Tile {
+    /// The in-order core consuming this tile's trace.
+    pub(crate) core: Core,
+    /// The private-cache (MESI L1) controller.
+    pub(crate) l1: L1Cache,
+    /// The compression/resync network interface.
+    pub(crate) ni: NetIface,
+    /// Parked at the current barrier epoch.
+    pub(crate) parked: bool,
+}
+
+cmp_common::impl_snapshot_clone!(Tile);
+
+impl Clocked for Tile {
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        self.core.ready_at()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.is_done()
+    }
+}
+
+/// One bank of the shared NUCA L2 (home slice + full-map directory),
+/// with its busy flag cached so the engine's completion check stays O(1).
+#[derive(Clone)]
+pub struct L2Bank {
+    /// The home-slice controller.
+    pub(crate) slice: L2Slice,
+    /// Mirror of `!slice.is_quiescent()`, kept by [`L2Bank::sync`].
+    pub(crate) busy: bool,
+}
+
+cmp_common::impl_snapshot_clone!(L2Bank);
+
+impl L2Bank {
+    /// Re-cache the busy flag after the slice handled work. Returns the
+    /// change in busy-bank count (−1, 0 or +1) for the engine's counter.
+    pub(crate) fn sync(&mut self) -> i32 {
+        let busy = !self.slice.is_quiescent();
+        if busy == self.busy {
+            return 0;
+        }
+        self.busy = busy;
+        if busy {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Clocked for L2Bank {
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Banks are reactive: they act only when a message or fill
+        // arrives, so they never bound the fast-forward jump.
+        None
+    }
+
+    fn is_quiescent(&self) -> bool {
+        !self.busy
+    }
+}
+
+/// Capture a row of components via their per-component snapshots.
+pub(crate) fn snapshot_all<T: Snapshot>(items: &[T]) -> Vec<T::State> {
+    items.iter().map(Snapshot::snapshot).collect()
+}
+
+/// Restore a row of components from their captured states.
+pub(crate) fn restore_all<T: Snapshot>(items: &mut [T], states: &[T::State]) {
+    assert_eq!(
+        items.len(),
+        states.len(),
+        "snapshot shape does not match this machine"
+    );
+    for (item, state) in items.iter_mut().zip(states) {
+        item.restore(state);
+    }
+}

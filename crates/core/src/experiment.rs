@@ -6,6 +6,7 @@
 //! full-CMP ED²P (Figure 7), for a set of Stride/DBRC configurations plus
 //! the perfect-compression bound.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -120,15 +121,47 @@ pub fn run_one(cmp: &CmpConfig, spec: &RunSpec) -> Result<SimResult, SimError> {
     sim.run()
 }
 
+/// Render an unwind payload into the message carried by
+/// [`SimError::Panic`]: panics carry a `&str` or `String` in practice,
+/// anything else gets a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Execute the matrix on all available cores, preserving input order.
 ///
 /// A failing run no longer takes the whole matrix down: every spec is
 /// attempted, and if any fail the returned [`MatrixError`] names each
-/// failing (app, config) pair with its [`SimError`].
+/// failing (app, config) pair with its [`SimError`]. A run that
+/// *panics* (a simulator bug, not a structured failure) is likewise
+/// caught and reported as [`SimError::Panic`] instead of poisoning the
+/// shared result set and aborting the whole sweep.
 pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Result<Vec<SimResult>, MatrixError> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    run_matrix_jobs(cmp, specs, None)
+}
+
+/// [`run_matrix`] with an explicit cap on worker threads (`None` = all
+/// available cores). `Some(1)` runs the matrix sequentially on the
+/// calling thread's schedule — useful for benchmarking and for keeping
+/// memory bounded on small machines.
+pub fn run_matrix_jobs(
+    cmp: &CmpConfig,
+    specs: &[RunSpec],
+    jobs: Option<usize>,
+) -> Result<Vec<SimResult>, MatrixError> {
+    let threads = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
         .min(specs.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<SimResult, SimError>>>> =
@@ -140,16 +173,36 @@ pub fn run_matrix(cmp: &CmpConfig, specs: &[RunSpec]) -> Result<Vec<SimResult>, 
                 if i >= specs.len() {
                     break;
                 }
-                let r = run_one(cmp, &specs[i]);
-                results.lock().expect("no poisoned runs")[i] = Some(r);
+                // A panicking run must not leave its slot empty or the
+                // mutex poisoned: catch the unwind, convert it into a
+                // structured failure, and keep draining the queue.
+                let r = catch_unwind(AssertUnwindSafe(|| run_one(cmp, &specs[i]))).unwrap_or_else(
+                    |payload| {
+                        Err(SimError::Panic {
+                            message: panic_message(payload),
+                        })
+                    },
+                );
+                results
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())[i] = Some(r);
             });
         }
     });
-    let slots = results.into_inner().expect("scope joined");
+    let slots = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let mut ok = Vec::with_capacity(specs.len());
     let mut failures = Vec::new();
     for (spec, slot) in specs.iter().zip(slots) {
-        match slot.expect("every slot filled") {
+        // An unfilled slot means the worker died before storing even the
+        // caught panic — report it rather than crashing the collector.
+        let outcome = slot.unwrap_or_else(|| {
+            Err(SimError::Panic {
+                message: "worker exited without reporting a result".to_string(),
+            })
+        });
+        match outcome {
             Ok(r) => ok.push(r),
             Err(error) => failures.push(RunFailure {
                 app: spec.app.name.to_string(),
@@ -365,6 +418,66 @@ mod tests {
         assert!(msg.contains("1 run(s) failed"), "{msg}");
         assert!(msg.contains("hotspot"), "{msg}");
         assert!(msg.contains("baseline"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_run_is_reported_as_structured_failure() {
+        // An invalid machine description makes the simulator constructor
+        // panic inside the worker thread; the matrix must surface that as
+        // a SimError::Panic naming the (app, config) pair, not poison the
+        // shared result set.
+        let cmp = CmpConfig {
+            l1_mshrs: 0,
+            ..CmpConfig::default()
+        };
+        let app = synthetic::hotspot(200, 64);
+        let specs = vec![RunSpec {
+            app,
+            config: ConfigSpec::baseline(),
+            seed: 7,
+            scale: 1.0,
+        }];
+        let err = run_matrix(&cmp, &specs).expect_err("panic must surface as an error");
+        assert_eq!(err.failures.len(), 1);
+        match &err.failures[0].error {
+            SimError::Panic { message } => {
+                assert!(message.contains("valid machine config"), "{message}");
+                assert_eq!(err.failures[0].error.cycle(), 0);
+                assert!(err.failures[0].error.dump().is_none());
+            }
+            other => panic!("expected SimError::Panic, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("worker panicked"), "{msg}");
+        assert!(msg.contains("hotspot"), "{msg}");
+    }
+
+    #[test]
+    fn job_capped_matrix_matches_unbounded_run() {
+        let cmp = CmpConfig::default();
+        let app = synthetic::hotspot(400, 64);
+        let specs: Vec<RunSpec> = [
+            ConfigSpec::baseline(),
+            ConfigSpec::compressed(CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            }),
+        ]
+        .into_iter()
+        .map(|config| RunSpec {
+            app: app.clone(),
+            config,
+            seed: 7,
+            scale: 1.0,
+        })
+        .collect();
+        let parallel = run_matrix(&cmp, &specs).expect("parallel matrix");
+        let serial = run_matrix_jobs(&cmp, &specs, Some(1)).expect("serial matrix");
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.cycles, s.cycles, "job cap must not change results");
+            assert_eq!(p.network_messages, s.network_messages);
+        }
     }
 
     #[test]

@@ -9,23 +9,30 @@
 //!   coherence commands, then send every critical message that fits the
 //!   3–5-byte VL channel on the very-low-latency wires and everything
 //!   else on the (narrowed) B-Wire channel.
-//! * [`sim`] — [`sim::CmpSimulator`]: trace-driven cores + L1/L2 MESI
-//!   coherence + flit-level heterogeneous NoC + memory, advanced on one
-//!   4 GHz clock with idle fast-forward, with full energy accounting.
+//! * [`engine`] — the simulation machinery: per-tile components
+//!   ([`engine::Tile`], [`engine::L2Bank`]) behind the [`engine::Clocked`]
+//!   seam, the event calendar, typed ports, structured errors and
+//!   whole-machine snapshot/restore.
+//! * [`sim`] — [`sim::CmpSimulator`], the façade over the engine:
+//!   trace-driven cores + L1/L2 MESI coherence + flit-level heterogeneous
+//!   NoC + memory, advanced on one 4 GHz clock with idle fast-forward,
+//!   with full energy accounting.
 //! * [`experiment`] — the run matrix of the evaluation (baseline, the
 //!   Stride/DBRC configurations of Figures 6/7, and the
 //!   perfect-compression bound), executed in parallel and normalised
 //!   against the baseline exactly as the paper normalises.
 //! * [`report`] — Markdown/CSV emission for the reproduction binaries.
 
+pub mod engine;
 pub mod experiment;
 pub mod niface;
 pub mod report;
 pub mod sim;
 
+pub use engine::MachineSnapshot;
 pub use experiment::{
-    paper_configs, run_matrix, ConfigSpec, MatrixError, MissingBaseline, NormalizedRow, RunFailure,
-    RunSpec,
+    paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError, MissingBaseline,
+    NormalizedRow, RunFailure, RunSpec,
 };
 pub use niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
 pub use sim::{CmpSimulator, SimConfig, SimError, SimResult, StateDump, TileDump};

@@ -1,994 +1,50 @@
-//! The full-system tiled-CMP simulator.
+//! The full-system tiled-CMP simulator (public façade).
 //!
-//! One instance wires together, per tile: a trace-driven core, an L1
-//! controller, an L2/directory slice and a compression engine; globally: a
-//! flit-level heterogeneous NoC, a 400-cycle memory and a barrier. All
-//! components share the 4 GHz clock; the main loop fast-forwards over idle
-//! stretches (compute bursts, memory waits) by jumping to the next
+//! [`CmpSimulator`] wires together, per tile: a trace-driven core, an L1
+//! controller, an L2/directory slice and a compression engine; globally:
+//! a flit-level heterogeneous NoC, a 400-cycle memory and a barrier. All
+//! components share the 4 GHz clock; the main loop fast-forwards over
+//! idle stretches (compute bursts, memory waits) by jumping to the next
 //! interesting cycle.
+//!
+//! The machinery lives in [`crate::engine`]: per-tile components
+//! ([`crate::engine::Tile`], [`crate::engine::L2Bank`]), the event
+//! calendar, the typed ports, structured errors and the whole-machine
+//! snapshot. This module re-exports the run-facing types so existing
+//! `crate::sim::…` paths keep working, and keeps the simulator API to a
+//! thin delegation layer.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use addr_compression::{CompressionEngine, CompressionHwCost, CompressionScheme};
+use addr_compression::CompressionHwCost;
 use cmp_common::config::CmpConfig;
-use cmp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
-use cmp_common::types::{Addr, Cycle, MessageClass, TileId};
+use cmp_common::fault::FaultStats;
+use cmp_common::snapshot::Snapshot;
+use cmp_common::types::{Addr, Cycle, TileId};
 use cmp_common::units::Joules;
-use coherence::l1::{CoreAccess, L1Cache, L1Result, L1State};
-use coherence::l2::{DirState, L2Slice};
-use coherence::memctrl::MemCtrl;
-use coherence::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
-use coherence::sanitizer::{Invariant, Sanitizer, SanitizerConfig, Violation};
-use coherence::ProtocolError;
-use cpu_model::core::{Action, Core};
-use cpu_model::sync::BarrierState;
-use energy_model::breakdown::EnergyBreakdown;
-use energy_model::core_power::CoreEnergyModel;
-use mesh_noc::message::{Delivered, Message};
-use mesh_noc::Noc;
-use workloads::generator::TraceGen;
+use coherence::sanitizer::Invariant;
 use workloads::profile::AppProfile;
 
-use crate::niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
+use crate::engine::{Engine, MachineSnapshot};
+use crate::niface::ResyncStats;
 
-/// Everything a run needs to know.
-#[derive(Clone, Debug)]
-pub struct SimConfig {
-    /// Machine description (Table 4 default).
-    pub cmp: CmpConfig,
-    /// Link organisation.
-    pub interconnect: InterconnectChoice,
-    /// Address-compression scheme.
-    pub scheme: CompressionScheme,
-    /// Watchdog: abort after this many cycles.
-    pub max_cycles: Cycle,
-    /// Passive coverage probes: extra schemes observing the same address
-    /// streams without influencing the run (used by the Figure 2
-    /// reproduction to measure all schemes in a single simulation).
-    pub coverage_probes: Vec<CompressionScheme>,
-    /// Fault-injection campaign ([`FaultConfig::none`] = off, the
-    /// default; a disabled campaign leaves the run bit-identical).
-    pub faults: FaultConfig,
-    /// Periodic protocol sanitizer (`None` = off). Sweeps are read-only,
-    /// so enabling it cannot change a run's outcome — only abort a run
-    /// whose coherence state has gone inconsistent.
-    pub sanitizer: Option<SanitizerConfig>,
-}
+pub use crate::engine::{ClassCount, SimConfig, SimError, SimResult, StateDump, TileDump};
 
-impl SimConfig {
-    /// A configuration over the default machine. The sanitizer defaults
-    /// to off unless the `TCMP_SANITIZE` environment variable is set to
-    /// a non-empty value other than `0` (the CI hook that runs the whole
-    /// suite with sweeps enabled).
-    pub fn new(interconnect: InterconnectChoice, scheme: CompressionScheme) -> Self {
-        let sanitizer = match std::env::var("TCMP_SANITIZE") {
-            Ok(v) if !v.is_empty() && v != "0" => Some(SanitizerConfig::default()),
-            _ => None,
-        };
-        SimConfig {
-            cmp: CmpConfig::default(),
-            interconnect,
-            scheme,
-            max_cycles: 2_000_000_000,
-            coverage_probes: Vec::new(),
-            faults: FaultConfig::none(),
-            sanitizer,
-        }
-    }
-
-    /// The paper's baseline: 75-byte B-Wire links, no compression.
-    pub fn baseline() -> Self {
-        Self::new(InterconnectChoice::Baseline, CompressionScheme::None)
-    }
-}
-
-/// Snapshot of one tile's controllers at failure time.
-#[derive(Clone, Debug)]
-pub struct TileDump {
-    /// The tile.
-    pub tile: TileId,
-    /// What the core is doing ([`Core::describe`]).
-    pub core: String,
-    /// Lines with an outstanding L1 miss.
-    pub mshr_lines: Vec<Addr>,
-    /// Lines mid-transaction at this home slice, with their busy state.
-    pub l2_busy: Vec<(Addr, String)>,
-    /// Lines awaiting an off-chip fill at this home slice.
-    pub l2_fills: Vec<Addr>,
-    /// Requests parked in this home slice's pending queues.
-    pub l2_pending: usize,
-    /// NoC congestion at this tile: `(messages queued at the NI, flits
-    /// buffered in the router)`.
-    pub ni_backlog: (usize, u32),
-}
-
-impl TileDump {
-    /// Nothing in flight at this tile — omitted from the rendered dump.
-    pub fn is_quiet(&self) -> bool {
-        (self.core.starts_with("ready") || self.core == "done")
-            && self.mshr_lines.is_empty()
-            && self.l2_busy.is_empty()
-            && self.l2_fills.is_empty()
-            && self.l2_pending == 0
-            && self.ni_backlog == (0, 0)
-    }
-}
-
-/// Full machine snapshot attached to every structured failure: per-tile
-/// queue depths, in-flight messages, MSHR and directory-busy state.
-#[derive(Clone, Debug)]
-pub struct StateDump {
-    /// Cycle the snapshot was taken.
-    pub cycle: Cycle,
-    /// One entry per tile, quiet or not (the `Display` form prints only
-    /// the busy ones).
-    pub tiles: Vec<TileDump>,
-    /// Outstanding off-chip reads as `(tile, line, ready_at)`.
-    pub mem_reads: Vec<(TileId, Addr, Cycle)>,
-    /// Protocol sends scheduled but not yet injected.
-    pub delayed_events: usize,
-    /// Messages parked by a fault-injected delay.
-    pub held_messages: usize,
-    /// Messages anywhere in the network.
-    pub live_messages: usize,
-}
-
-fn hex_list(lines: &[Addr]) -> String {
-    lines
-        .iter()
-        .map(|a| format!("{a:#x}"))
-        .collect::<Vec<_>>()
-        .join(", ")
-}
-
-impl std::fmt::Display for StateDump {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "state dump at cycle {}:", self.cycle)?;
-        let mut quiet = 0usize;
-        for t in &self.tiles {
-            if t.is_quiet() {
-                quiet += 1;
-                continue;
-            }
-            write!(f, "  tile {}: core {}", t.tile.index(), t.core)?;
-            if !t.mshr_lines.is_empty() {
-                write!(f, "; MSHRs [{}]", hex_list(&t.mshr_lines))?;
-            }
-            if !t.l2_busy.is_empty() {
-                let busy = t
-                    .l2_busy
-                    .iter()
-                    .map(|(a, s)| format!("{a:#x} {s}"))
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                write!(f, "; L2 busy [{busy}]")?;
-            }
-            if !t.l2_fills.is_empty() {
-                write!(f, "; L2 fills [{}]", hex_list(&t.l2_fills))?;
-            }
-            if t.l2_pending != 0 {
-                write!(f, "; {} queued requests", t.l2_pending)?;
-            }
-            if t.ni_backlog != (0, 0) {
-                write!(
-                    f,
-                    "; NI backlog {} msgs / {} flits",
-                    t.ni_backlog.0, t.ni_backlog.1
-                )?;
-            }
-            writeln!(f)?;
-        }
-        if quiet > 0 {
-            writeln!(f, "  ({quiet} quiet tiles omitted)")?;
-        }
-        if !self.mem_reads.is_empty() {
-            let reads = self
-                .mem_reads
-                .iter()
-                .map(|(t, l, r)| format!("tile {} line {l:#x} ready at {r}", t.index()))
-                .collect::<Vec<_>>()
-                .join(", ");
-            writeln!(
-                f,
-                "  memory: {} reads outstanding [{reads}]",
-                self.mem_reads.len()
-            )?;
-        }
-        writeln!(
-            f,
-            "  network: {} live messages ({} fault-held); {} delayed sends",
-            self.live_messages, self.held_messages, self.delayed_events
-        )
-    }
-}
-
-/// Why a run failed.
-#[derive(Debug)]
-pub enum SimError {
-    /// No component can make progress but the workload is unfinished.
-    Deadlock {
-        cycle: Cycle,
-        diagnostics: String,
-        dump: Box<StateDump>,
-    },
-    /// The watchdog fired.
-    Watchdog { cycle: Cycle },
-    /// A controller rejected a protocol-illegal message (corrupted or
-    /// duplicated traffic, or a genuine protocol bug).
-    Protocol {
-        cycle: Cycle,
-        error: ProtocolError,
-        dump: Box<StateDump>,
-    },
-    /// A sanitizer sweep found the coherence state inconsistent.
-    Sanitizer {
-        cycle: Cycle,
-        violations: Vec<Violation>,
-        dump: Box<StateDump>,
-    },
-}
-
-impl SimError {
-    /// Cycle at which the run failed.
-    pub fn cycle(&self) -> Cycle {
-        match self {
-            SimError::Deadlock { cycle, .. }
-            | SimError::Watchdog { cycle }
-            | SimError::Protocol { cycle, .. }
-            | SimError::Sanitizer { cycle, .. } => *cycle,
-        }
-    }
-
-    /// The attached machine snapshot (`None` only for the watchdog).
-    pub fn dump(&self) -> Option<&StateDump> {
-        match self {
-            SimError::Deadlock { dump, .. }
-            | SimError::Protocol { dump, .. }
-            | SimError::Sanitizer { dump, .. } => Some(dump),
-            SimError::Watchdog { .. } => None,
-        }
-    }
-}
-
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::Deadlock {
-                cycle,
-                diagnostics,
-                dump,
-            } => {
-                writeln!(f, "deadlock at cycle {cycle}: {diagnostics}")?;
-                write!(f, "{dump}")
-            }
-            SimError::Watchdog { cycle } => write!(f, "watchdog at cycle {cycle}"),
-            SimError::Protocol { cycle, error, dump } => {
-                writeln!(f, "protocol error at cycle {cycle}: {error}")?;
-                write!(f, "{dump}")
-            }
-            SimError::Sanitizer {
-                cycle,
-                violations,
-                dump,
-            } => {
-                writeln!(
-                    f,
-                    "sanitizer found {} violation(s) at cycle {cycle}:",
-                    violations.len()
-                )?;
-                for v in violations {
-                    writeln!(f, "  {v}")?;
-                }
-                write!(f, "{dump}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-/// Per-class message accounting (network messages only, as in Figure 5).
-#[derive(Clone, Debug)]
-pub struct ClassCount {
-    pub class: MessageClass,
-    pub count: u64,
-    pub bytes: u64,
-    pub mean_latency: f64,
-}
-
-/// The outcome of one run.
-#[derive(Clone, Debug)]
-pub struct SimResult {
-    /// Application label.
-    pub app: String,
-    /// Compression scheme used.
-    pub scheme: CompressionScheme,
-    /// Link organisation used.
-    pub interconnect: InterconnectChoice,
-    /// Parallel-phase execution time in cycles.
-    pub cycles: Cycle,
-    /// Execution time in seconds.
-    pub time_s: f64,
-    /// Where the joules went.
-    pub energy: EnergyBreakdown,
-    /// Address-compression coverage (Figure 2 metric; 0 when the scheme
-    /// is `None`).
-    pub coverage: f64,
-    /// Per-class network message counts (Figure 5).
-    pub messages: Vec<ClassCount>,
-    /// Total network messages.
-    pub network_messages: u64,
-    /// Instructions retired across all cores.
-    pub instructions: u64,
-    /// L1 misses / L1 accesses.
-    pub l1_miss_rate: f64,
-    /// Mean network latency of critical messages.
-    pub critical_latency: f64,
-    /// Coverage measured by each passive probe scheme, in the order of
-    /// `SimConfig::coverage_probes`.
-    pub probe_coverages: Vec<(CompressionScheme, f64)>,
-    /// Total cycles cores spent blocked on L1 misses.
-    pub mem_stall_cycles: u64,
-    /// Total cycles cores spent parked at barriers.
-    pub barrier_stall_cycles: u64,
-    /// Off-chip memory reads issued.
-    pub mem_reads: u64,
-    /// L2 inclusion recalls issued.
-    pub l2_recalls: u64,
-    /// Faults actually injected, by class (all zero without a campaign).
-    pub fault_stats: FaultStats,
-    /// Codec-resynchronisation accounting summed across all tiles.
-    pub resync: ResyncStats,
-    /// Sanitizer sweeps that ran (0 when the sanitizer is off).
-    pub sanitizer_sweeps: u64,
-}
-
-impl SimResult {
-    /// Link-level ED²P (Figure 6 bottom).
-    pub fn link_ed2p(&self) -> f64 {
-        self.energy.interconnect_ed2p(self.time_s)
-    }
-
-    /// Full-CMP ED²P (Figure 7).
-    pub fn chip_ed2p(&self) -> f64 {
-        self.energy.chip_ed2p(self.time_s)
-    }
-
-    /// Fraction of messages in `class`.
-    pub fn class_fraction(&self, class: MessageClass) -> f64 {
-        let total = self.network_messages.max(1);
-        self.messages
-            .iter()
-            .find(|c| c.class == class)
-            .map(|c| c.count as f64 / total as f64)
-            .unwrap_or(0.0)
-    }
-}
-
-/// A protocol message delayed by a local array-access latency before
-/// injection/delivery.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct DelayedEvent {
-    at: Cycle,
-    seq: u64,
-    src: TileId,
-    dst: TileId,
-    msg: ProtocolMsg,
-}
-
-impl Ord for DelayedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for DelayedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// The full-system simulator.
+/// The full-system simulator: a thin façade over [`crate::engine`].
 pub struct CmpSimulator {
-    cfg: SimConfig,
-    app_name: String,
-    cores: Vec<Core>,
-    l1s: Vec<L1Cache>,
-    l2s: Vec<L2Slice>,
-    engines: Vec<CompressionEngine>,
-    /// `probes[scheme][tile]`.
-    probes: Vec<Vec<CompressionEngine>>,
-    noc: Noc<ProtocolMsg>,
-    mem: MemCtrl,
-    barrier: BarrierState,
-    parked: Vec<bool>,
-    delayed: BinaryHeap<Reverse<DelayedEvent>>,
-    seq: u64,
-    now: Cycle,
-    // --- incremental event calendar ---
-    /// Cached ready cycle per core (`Cycle::MAX` when blocked or done),
-    /// the source of truth the heap entries are validated against.
-    core_next: Vec<Cycle>,
-    /// Lazily-invalidated min-heap over `(ready_at, tile)`: an entry is
-    /// live iff it matches `core_next`; stale entries are discarded on pop.
-    core_heap: BinaryHeap<Reverse<(Cycle, u32)>>,
-    /// Cores that have not retired their whole trace yet.
-    cores_unfinished: usize,
-    /// Mirror of `!l2s[t].is_quiescent()`, kept by `sync_l2`.
-    l2_busy: Vec<bool>,
-    busy_l2_count: usize,
-    // --- robustness layer (all `None`/empty on the clean fast path) ---
-    /// Seeded fault decision-maker; present only when the campaign is
-    /// enabled, so the clean path pays a single branch per injection.
-    injector: Option<FaultInjector>,
-    /// Per-tile codec-resynchronisation windows (consulted only when the
-    /// fault subsystem is live).
-    trackers: Vec<ResyncTracker>,
-    /// Periodic MESI-invariant sweeper.
-    sanitizer: Option<Sanitizer>,
-    /// Next cycle at/after which a sweep runs.
-    next_sweep: Cycle,
-    // --- reusable scratch buffers (hot-loop allocation sinks) ---
-    delivered_scratch: Vec<Delivered<ProtocolMsg>>,
-    due_scratch: Vec<u32>,
+    pub(crate) engine: Engine,
 }
 
 impl CmpSimulator {
     /// Build a simulator running `app` at `scale`, seeded with `seed`.
     pub fn new(cfg: SimConfig, app: &AppProfile, seed: u64, scale: f64) -> Self {
-        cfg.cmp.validate().expect("valid machine config");
-        cfg.interconnect
-            .validate(&cfg.cmp)
-            .expect("valid interconnect");
-        let tiles = cfg.cmp.tiles();
-        let cores = (0..tiles)
-            .map(|t| {
-                Core::new(
-                    Box::new(TraceGen::new(app, t, tiles, seed, scale)),
-                    cfg.cmp.core_issue_width,
-                )
-            })
-            .collect();
-        let l1s: Vec<L1Cache> = (0..tiles)
-            .map(|t| {
-                let mut l1 = L1Cache::new(
-                    TileId::from(t),
-                    cfg.cmp.l1.sets(),
-                    cfg.cmp.l1.ways,
-                    cfg.cmp.l1_mshrs,
-                    tiles,
-                );
-                l1.set_expects_partial(cfg.interconnect.splits_replies());
-                l1
-            })
-            .collect();
-        let l2s = (0..tiles)
-            .map(|t| {
-                L2Slice::new(
-                    TileId::from(t),
-                    cfg.cmp.l2_slice.sets(),
-                    cfg.cmp.l2_slice.ways,
-                    tiles,
-                )
-            })
-            .collect();
-        let engines = (0..tiles)
-            .map(|_| CompressionEngine::new(cfg.scheme, tiles))
-            .collect();
-        let probes = cfg
-            .coverage_probes
-            .iter()
-            .map(|&scheme| {
-                (0..tiles)
-                    .map(|_| CompressionEngine::new(scheme, tiles))
-                    .collect()
-            })
-            .collect();
-        let noc = Noc::new(
-            cfg.cmp.mesh,
-            cfg.interconnect
-                .noc_config(&cfg.cmp.network, cfg.cmp.clock_hz),
-        );
-        let mem = MemCtrl::new(cfg.cmp.mem_latency_cycles);
-        let barrier = BarrierState::new(tiles);
-        let injector = cfg
-            .faults
-            .enabled()
-            .then(|| FaultInjector::new(cfg.faults.clone()));
-        let trackers = (0..tiles).map(|_| ResyncTracker::new(tiles)).collect();
-        let sanitizer = cfg.sanitizer.map(Sanitizer::new);
-        let next_sweep = cfg.sanitizer.map_or(Cycle::MAX, |s| s.period);
         CmpSimulator {
-            app_name: app.name.to_string(),
-            cores,
-            l1s,
-            l2s,
-            engines,
-            probes,
-            noc,
-            mem,
-            barrier,
-            parked: vec![false; tiles],
-            delayed: BinaryHeap::new(),
-            seq: 0,
-            now: 0,
-            // every core starts Ready at cycle 0
-            core_next: vec![0; tiles],
-            core_heap: (0..tiles as u32).map(|t| Reverse((0, t))).collect(),
-            cores_unfinished: tiles,
-            l2_busy: vec![false; tiles],
-            busy_l2_count: 0,
-            injector,
-            trackers,
-            sanitizer,
-            next_sweep,
-            delivered_scratch: Vec::new(),
-            due_scratch: Vec::new(),
-            cfg,
-        }
-    }
-
-    fn schedule(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg, delay: u64) {
-        self.seq += 1;
-        self.delayed.push(Reverse(DelayedEvent {
-            at: self.now + delay,
-            seq: self.seq,
-            src,
-            dst,
-            msg,
-        }));
-    }
-
-    fn process_outgoing(&mut self, tile: TileId, outs: OutVec) {
-        for o in outs {
-            match o {
-                Outgoing::Send { dst, msg, delay } => self.schedule(tile, dst, msg, delay),
-                Outgoing::MemRead { line } => self.mem.read(self.now, tile, line),
-                Outgoing::MemWrite { line } => self.mem.write(line),
-            }
-        }
-    }
-
-    /// Re-cache core `t`'s ready cycle after its state may have changed.
-    fn refresh_core(&mut self, t: usize) {
-        let r = self.cores[t].ready_at().unwrap_or(Cycle::MAX);
-        if r != self.core_next[t] {
-            self.core_next[t] = r;
-            if r != Cycle::MAX {
-                self.core_heap.push(Reverse((r, t as u32)));
-            }
-        }
-    }
-
-    /// Re-cache L2 slice `d`'s busy/quiescent flag after it handled work.
-    fn sync_l2(&mut self, d: usize) {
-        let busy = !self.l2s[d].is_quiescent();
-        if busy != self.l2_busy[d] {
-            self.l2_busy[d] = busy;
-            if busy {
-                self.busy_l2_count += 1;
-            } else {
-                self.busy_l2_count -= 1;
-            }
-        }
-    }
-
-    /// Earliest live core-ready cycle; pops stale heap entries on the way.
-    fn earliest_ready_core(&mut self) -> Option<Cycle> {
-        while let Some(&Reverse((at, t))) = self.core_heap.peek() {
-            if self.core_next[t as usize] == at {
-                return Some(at);
-            }
-            self.core_heap.pop();
-        }
-        None
-    }
-
-    /// Machine snapshot for a structured failure report.
-    #[cold]
-    #[inline(never)]
-    fn dump(&self) -> StateDump {
-        let tiles = (0..self.cfg.cmp.tiles())
-            .map(|t| TileDump {
-                tile: TileId::from(t),
-                core: self.cores[t].describe(),
-                mshr_lines: self.l1s[t].mshr_lines().collect(),
-                l2_busy: self.l2s[t].busy_lines().collect(),
-                l2_fills: self.l2s[t].fill_lines().collect(),
-                l2_pending: self.l2s[t].queued_requests(),
-                ni_backlog: self.noc.tile_backlog(t),
-            })
-            .collect();
-        StateDump {
-            cycle: self.now,
-            tiles,
-            mem_reads: self
-                .mem
-                .outstanding_reads()
-                .map(|r| (r.tile, r.line, r.ready_at))
-                .collect(),
-            delayed_events: self.delayed.len(),
-            held_messages: self.noc.held_count(),
-            live_messages: self.noc.live_messages(),
-        }
-    }
-
-    /// Wrap a controller's rejection into the run-level error.
-    #[cold]
-    #[inline(never)]
-    fn protocol_error(&self, error: ProtocolError) -> SimError {
-        SimError::Protocol {
-            cycle: self.now,
-            error,
-            dump: Box::new(self.dump()),
-        }
-    }
-
-    /// A delayed event fires: local messages are delivered directly (they
-    /// never touch the network); remote ones go through compression and
-    /// channel mapping, then into the NoC.
-    fn fire(&mut self, ev: DelayedEvent) -> Result<(), SimError> {
-        if ev.src == ev.dst {
-            return self.deliver(ev.src, ev.dst, ev.msg);
-        }
-        // Reply Partitioning: a data response is split at the sender's NI
-        // into a critical partial reply (the requested word, on the fast
-        // wires) plus the ordinary whole-line reply.
-        if self.cfg.interconnect.splits_replies() {
-            if let Some(of) = coherence::msg::PartialOf::of_kind(ev.msg.kind) {
-                self.inject_one(
-                    ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line),
-                    ev,
-                )?;
-            }
-        }
-        self.inject_one(ev.msg, ev)
-    }
-
-    fn inject_one(&mut self, msg: ProtocolMsg, ev: DelayedEvent) -> Result<(), SimError> {
-        let mut msg = msg;
-        // The fault decision models an event in the NI input buffer: it
-        // lands before the codec, so a drop never updates compression
-        // state and a corrupted address is what gets compressed, routed
-        // and homed.
-        let action = match &mut self.injector {
-            Some(inj) => inj.decide(self.now),
-            None => FaultAction::None,
-        };
-        if let FaultAction::Corrupt(mask) = action {
-            msg.line ^= mask;
-        }
-        if action == FaultAction::Drop {
-            return Ok(());
-        }
-        let class = msg.class();
-        for probe in &mut self.probes {
-            probe[ev.src.index()].process(ev.dst, class, msg.line);
-        }
-        // Codec-divergence handling: a pair whose receiver mirror has
-        // diverged is detected via the sequence/checksum tag at the next
-        // compressible send; detection resets the sender codec, opens the
-        // resynchronisation window and falls back to uncompressed B-Wire
-        // transmission for the window's duration.
-        let mut fallback = false;
-        if self.injector.is_some() {
-            let s = ev.src.index();
-            if self.trackers[s].in_window(self.now, ev.dst, class) {
-                fallback = true;
-            } else if self.engines[s].divergence(ev.dst, class) {
-                self.engines[s].resync(ev.dst, class);
-                self.trackers[s].begin_resync(self.now, ev.dst, class);
-                // the detecting message itself rides uncompressed
-                fallback = self.trackers[s].in_window(self.now, ev.dst, class);
-            }
-        }
-        let wire_bytes = if fallback {
-            class.uncompressed_bytes()
-        } else {
-            self.engines[ev.src.index()]
-                .process(ev.dst, class, msg.line)
-                .wire_bytes
-        };
-        if action == FaultAction::Desync {
-            // Receiver-mirror corruption: this message still rides the
-            // (now stale) codec; the *next* compressible send to the pair
-            // detects the divergence via its tag.
-            self.engines[ev.src.index()].fault_desync(ev.dst, class);
-        }
-        let channel = map_channel(self.cfg.interconnect, class, wire_bytes);
-        let message = Message {
-            src: ev.src,
-            dst: ev.dst,
-            class,
-            wire_bytes,
-            channel,
-            payload: msg,
-        };
-        let injected = match action {
-            FaultAction::Duplicate => self
-                .noc
-                .inject(self.now, message.clone())
-                .and_then(|()| self.noc.inject(self.now, message)),
-            FaultAction::Delay(extra) => self.noc.inject_held(self.now + extra, message),
-            _ => self.noc.inject(self.now, message),
-        };
-        if let Err(e) = injected {
-            return Err(self.protocol_error(ProtocolError::internal(
-                ev.src,
-                msg.line,
-                e.to_string(),
-            )));
-        }
-        Ok(())
-    }
-
-    fn deliver(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg) -> Result<(), SimError> {
-        let d = dst.index();
-        match msg.kind {
-            PKind::GetS | PKind::GetX | PKind::Upgrade => {
-                let outs = self.l2s[d]
-                    .handle_request(src, msg.kind, msg.line)
-                    .map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, pumped);
-                self.sync_l2(d);
-            }
-            PKind::InvAck
-            | PKind::FwdFailed
-            | PKind::FwdDone
-            | PKind::RevisionClean
-            | PKind::RevisionDirty
-            | PKind::RecallAckData
-            | PKind::RecallAckClean => {
-                let outs = self.l2s[d]
-                    .handle_reply(src, msg.kind, msg.line)
-                    .map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, pumped);
-                self.sync_l2(d);
-            }
-            PKind::WbData | PKind::WbHint => {
-                let outs = self.l2s[d]
-                    .handle_writeback(src, msg.kind, msg.line)
-                    .map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, outs);
-                let pumped = self.l2s[d].pump().map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, pumped);
-                self.sync_l2(d);
-            }
-            PKind::DataS
-            | PKind::DataE
-            | PKind::DataM
-            | PKind::PartialReply { .. }
-            | PKind::UpgradeAck
-            | PKind::Inv
-            | PKind::FwdGetS { .. }
-            | PKind::FwdGetX { .. }
-            | PKind::RecallData => {
-                let (outs, done) = self.l1s[d]
-                    .handle(msg)
-                    .map_err(|e| self.protocol_error(e))?;
-                self.process_outgoing(dst, outs);
-                if done.is_some() {
-                    self.cores[d].mem_complete(self.now);
-                    self.refresh_core(d);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn step_core(&mut self, t: usize) {
-        let was_done = self.cores[t].is_done();
-        self.step_core_inner(t);
-        if !was_done && self.cores[t].is_done() {
-            self.cores_unfinished -= 1;
-        }
-    }
-
-    fn step_core_inner(&mut self, t: usize) {
-        loop {
-            match self.cores[t].next_action(self.now) {
-                Action::Access { line, write } => {
-                    let access = if write {
-                        CoreAccess::Write
-                    } else {
-                        CoreAccess::Read
-                    };
-                    match self.l1s[t].core_access(line, access) {
-                        L1Result::Hit => {
-                            self.cores[t].mem_hit(self.now);
-                            // falls through: next_action will report Idle
-                        }
-                        L1Result::Miss { out } => {
-                            self.cores[t].mem_miss_started(self.now);
-                            self.process_outgoing(TileId::from(t), out);
-                            return;
-                        }
-                        L1Result::Blocked => {
-                            self.cores[t].mem_retry(self.now);
-                            return;
-                        }
-                    }
-                }
-                Action::AtBarrier(id) => {
-                    self.parked[t] = true;
-                    if self.barrier.arrive(t, id) {
-                        for p in 0..self.parked.len() {
-                            if self.parked[p] {
-                                self.cores[p].barrier_release(self.now);
-                                self.parked[p] = false;
-                                self.refresh_core(p);
-                            }
-                        }
-                    }
-                    return;
-                }
-                Action::Idle { .. } | Action::Done => return,
-            }
-        }
-    }
-
-    /// O(1): every term is a live counter kept in sync as state changes
-    /// (the scan-per-iteration predecessor walked all cores and slices).
-    fn all_done(&self) -> bool {
-        self.cores_unfinished == 0
-            && self.noc.is_idle()
-            && self.delayed.is_empty()
-            && self.mem.outstanding() == 0
-            && self.busy_l2_count == 0
-    }
-
-    fn next_interesting(&mut self) -> Option<Cycle> {
-        let mut next = Cycle::MAX;
-        if let Some(r) = self.earliest_ready_core() {
-            next = next.min(r);
-        }
-        if let Some(n) = self.noc.next_event_cycle(self.now) {
-            next = next.min(n);
-        }
-        if let Some(m) = self.mem.next_ready() {
-            next = next.min(m);
-        }
-        if let Some(Reverse(ev)) = self.delayed.peek() {
-            next = next.min(ev.at);
-        }
-        (next != Cycle::MAX).then_some(next.max(self.now + 1))
-    }
-
-    fn diagnostics(&self) -> String {
-        let running = self.cores.iter().filter(|c| !c.is_done()).count();
-        let parked = self.parked.iter().filter(|&&p| p).count();
-        let busy_l2 = self.l2s.iter().filter(|s| !s.is_quiescent()).count();
-        format!(
-            "{} cores unfinished ({} parked at barrier {}), noc idle={}, \
-             {} delayed events, {} mem reads outstanding, {} busy L2 slices",
-            running,
-            parked,
-            self.barrier.epoch(),
-            self.noc.is_idle(),
-            self.delayed.len(),
-            self.mem.outstanding(),
-            busy_l2
-        )
-    }
-
-    /// One scheduler iteration: drain everything due at `self.now`, then
-    /// jump the clock to the next interesting cycle. Returns `Ok(false)`
-    /// once the workload has fully drained. Exposed at crate level so
-    /// tests can interleave invariant checks between iterations.
-    pub(crate) fn step_iteration(&mut self) -> Result<bool, SimError> {
-        if self.all_done() {
-            return Ok(false);
-        }
-        if self.now >= self.cfg.max_cycles {
-            return Err(SimError::Watchdog { cycle: self.now });
-        }
-        // 0. sanitizer sweep (read-only, between-iteration state is a
-        // consistent boundary for its invariants)
-        if let Some(san) = self
-            .sanitizer
-            .as_mut()
-            .filter(|_| self.now >= self.next_sweep)
-        {
-            let violations = san.sweep(self.now, &self.l1s, &self.l2s);
-            self.next_sweep = self.now + san.period();
-            if !violations.is_empty() {
-                return Err(SimError::Sanitizer {
-                    cycle: self.now,
-                    violations,
-                    dump: Box::new(self.dump()),
-                });
-            }
-        }
-        // 1. memory completions
-        while let Some(r) = self.mem.pop_next_ready(self.now) {
-            let outs = self.l2s[r.tile.index()]
-                .mem_fill_done(r.line)
-                .map_err(|e| self.protocol_error(e))?;
-            self.process_outgoing(r.tile, outs);
-            let pumped = self.l2s[r.tile.index()]
-                .pump()
-                .map_err(|e| self.protocol_error(e))?;
-            self.process_outgoing(r.tile, pumped);
-            self.sync_l2(r.tile.index());
-        }
-        // 2. delayed sends due now
-        while let Some(Reverse(ev)) = self.delayed.peek() {
-            if ev.at > self.now {
-                break;
-            }
-            let Reverse(ev) = self.delayed.pop().expect("peeked");
-            self.fire(ev)?;
-        }
-        // 3. network
-        let mut delivered = std::mem::take(&mut self.delivered_scratch);
-        delivered.clear();
-        self.noc.tick_into(self.now, &mut delivered);
-        let mut failed = None;
-        for d in delivered.drain(..) {
-            if failed.is_some() {
-                continue; // drain the rest; the run is already aborting
-            }
-            if let Err(e) = self.deliver(d.message.src, d.message.dst, d.message.payload) {
-                failed = Some(e);
-            }
-        }
-        self.delivered_scratch = delivered;
-        if let Some(e) = failed {
-            return Err(e);
-        }
-        // 4. cores due now. Stale heap entries (cache mismatch) are
-        // dropped; live duplicates carry identical (at, t) pairs, so a
-        // sort + dedup leaves each due tile once. Stepping in ascending
-        // tile order — not heap order — reproduces the original full
-        // scan exactly, keeping delayed-event sequencing (and therefore
-        // the determinism goldens) bit-identical.
-        let mut due = std::mem::take(&mut self.due_scratch);
-        due.clear();
-        while let Some(&Reverse((at, t))) = self.core_heap.peek() {
-            if at > self.now {
-                break;
-            }
-            self.core_heap.pop();
-            if self.core_next[t as usize] == at {
-                due.push(t);
-            }
-        }
-        due.sort_unstable();
-        due.dedup();
-        for &t in &due {
-            self.step_core(t as usize);
-            self.refresh_core(t as usize);
-        }
-        self.due_scratch = due;
-        // 5. advance
-        match self.next_interesting() {
-            Some(next) => {
-                self.now = next;
-                Ok(true)
-            }
-            None => {
-                if self.all_done() {
-                    Ok(false)
-                } else {
-                    Err(SimError::Deadlock {
-                        cycle: self.now,
-                        diagnostics: self.diagnostics(),
-                        dump: Box::new(self.dump()),
-                    })
-                }
-            }
+            engine: Engine::new(cfg, app, seed, scale),
         }
     }
 
     /// Run to completion and report.
     pub fn run(&mut self) -> Result<SimResult, SimError> {
-        while self.step_iteration()? {}
-        Ok(self.collect())
+        while self.engine.step_iteration()? {}
+        Ok(self.engine.collect())
     }
 
     /// Advance one scheduler iteration; `Ok(false)` once the workload has
@@ -996,18 +52,36 @@ impl CmpSimulator {
     /// interleave corruption hooks with the run; [`CmpSimulator::run`] is
     /// the normal entry point.
     pub fn step(&mut self) -> Result<bool, SimError> {
-        self.step_iteration()
+        self.engine.step_iteration()
     }
 
     /// Report after a manually-stepped run (see [`CmpSimulator::step`]);
     /// meaningful once `step` has returned `Ok(false)`.
     pub fn finish(&mut self) -> SimResult {
-        self.collect()
+        self.engine.collect()
     }
 
     /// Current simulated cycle.
     pub fn cycle(&self) -> Cycle {
-        self.now
+        self.engine.now()
+    }
+
+    /// Checkpoint the whole machine at the current iteration boundary.
+    ///
+    /// Restoring the snapshot — into this simulator or a fresh one built
+    /// from the same configuration, application, seed and scale — resumes
+    /// the run bit-identically: the remaining schedule, message counts
+    /// and energy are exactly those of an uncheckpointed run.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        self.engine.snapshot()
+    }
+
+    /// Rewind the machine to a previously captured [`MachineSnapshot`].
+    ///
+    /// The snapshot must come from a simulator with the same
+    /// configuration (panics on a tile-count mismatch).
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.engine.restore(snap);
     }
 
     /// Flits sent per outgoing link of one channel kind (utilisation
@@ -1016,136 +90,17 @@ impl CmpSimulator {
         &self,
         kind: mesh_noc::config::ChannelKind,
     ) -> Vec<(usize, cmp_common::geometry::Direction, u64)> {
-        self.noc.link_flit_counts(kind)
-    }
-
-    fn collect(&mut self) -> SimResult {
-        // Close any resync window still open at end-of-run: the handshake
-        // completes in the drained network.
-        let now = self.now;
-        for t in &mut self.trackers {
-            t.settle(now);
-        }
-        let cfg = &self.cfg;
-        let time_s = self.now as f64 * cfg.cmp.cycle_seconds();
-        let tiles = cfg.cmp.tiles() as f64;
-
-        // --- cores & caches (Wattch-lite) ---
-        let cem = CoreEnergyModel::for_config(&cfg.cmp);
-        let instructions: u64 = self.cores.iter().map(|c| c.stats().instructions).sum();
-        let l1_accesses: u64 = self.l1s.iter().map(|l| l.stats().accesses.get()).sum();
-        let l1_misses: u64 = self.l1s.iter().map(|l| l.stats().misses.get()).sum();
-        let l2_accesses: u64 = self
-            .l2s
-            .iter()
-            .map(|s| s.stats().requests.get() + s.stats().writebacks.get())
-            .sum();
-        let core_dynamic = cem.dynamic(instructions, l1_accesses, l2_accesses);
-        let core_static = cem.leakage_per_core.over(time_s) * tiles;
-
-        // --- interconnect ---
-        let net_energy = self.noc.energy();
-        let link_static = self.noc.static_power().over(time_s);
-
-        // --- compression hardware ---
-        let hw = CompressionHwCost::for_scheme(cfg.scheme, cfg.cmp.tiles());
-        let mut coverage_acc = addr_compression::CoverageStats::new();
-        for e in &self.engines {
-            coverage_acc.merge(e.stats());
-        }
-        // every sender-side access has a mirrored receiver-side access
-        let compression_accesses = coverage_acc.accesses() * 2;
-        let compression_dynamic = hw.dyn_energy_per_access() * compression_accesses as f64;
-        let compression_static = hw.static_power.over(time_s) * tiles;
-
-        let energy = EnergyBreakdown {
-            core_dynamic,
-            core_static,
-            link_dynamic: net_energy.link_dynamic,
-            link_static,
-            router_dynamic: net_energy.router_dynamic,
-            compression_dynamic,
-            compression_static,
-        };
-
-        let stats = self.noc.stats();
-        let messages: Vec<ClassCount> = MessageClass::ALL
-            .iter()
-            .map(|&class| {
-                let s = stats.class(class);
-                ClassCount {
-                    class,
-                    count: s.count.get(),
-                    bytes: s.bytes.get(),
-                    mean_latency: s.latency.mean(),
-                }
-            })
-            .collect();
-
-        let probe_coverages = cfg
-            .coverage_probes
-            .iter()
-            .zip(&self.probes)
-            .map(|(&scheme, engines)| {
-                let mut acc = addr_compression::CoverageStats::new();
-                for e in engines {
-                    acc.merge(e.stats());
-                }
-                (scheme, acc.coverage())
-            })
-            .collect();
-
-        SimResult {
-            app: self.app_name.clone(),
-            scheme: cfg.scheme,
-            interconnect: cfg.interconnect,
-            cycles: self.now,
-            time_s,
-            energy,
-            coverage: coverage_acc.coverage(),
-            network_messages: stats.delivered(),
-            messages,
-            instructions,
-            l1_miss_rate: if l1_accesses == 0 {
-                0.0
-            } else {
-                l1_misses as f64 / l1_accesses as f64
-            },
-            critical_latency: stats.critical_mean_latency(),
-            probe_coverages,
-            mem_stall_cycles: self.cores.iter().map(|c| c.stats().mem_stall_cycles).sum(),
-            mem_reads: self.mem.reads_issued.get(),
-            l2_recalls: self.l2s.iter().map(|s| s.stats().recalls.get()).sum(),
-            barrier_stall_cycles: self
-                .cores
-                .iter()
-                .map(|c| c.stats().barrier_stall_cycles)
-                .sum(),
-            fault_stats: self
-                .injector
-                .as_ref()
-                .map(|i| i.stats().clone())
-                .unwrap_or_default(),
-            resync: self.resync_stats(),
-            sanitizer_sweeps: self.sanitizer.as_ref().map_or(0, |s| s.sweeps()),
-        }
+        self.engine.link_flit_counts(kind)
     }
 
     /// Faults injected so far (`None` without a campaign).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
-        self.injector.as_ref().map(|i| i.stats())
+        self.engine.fault_stats()
     }
 
     /// Codec-resynchronisation accounting summed across all tiles.
     pub fn resync_stats(&self) -> ResyncStats {
-        let mut total = ResyncStats::default();
-        for t in &self.trackers {
-            let s = t.stats();
-            total.desyncs_detected += s.desyncs_detected;
-            total.resyncs_completed += s.resyncs_completed;
-            total.fallback_msgs += s.fallback_msgs;
-        }
-        total
+        self.engine.resync_stats()
     }
 
     /// Deterministically corrupt live coherence metadata so a sanitizer
@@ -1156,452 +111,22 @@ impl CmpSimulator {
     /// the clean path.
     #[doc(hidden)]
     pub fn fault_inject_violation(&mut self, class: Invariant) -> Option<(TileId, Addr)> {
-        let tiles = self.cfg.cmp.tiles();
-        // A line is a safe target only while its home transaction machinery
-        // is idle — otherwise the sweep's in-flight exemption hides it.
-        let candidate = |want_owned: bool| -> Option<(usize, Addr)> {
-            for (t, l1) in self.l1s.iter().enumerate() {
-                for (line, state) in l1.resident_lines() {
-                    if want_owned && state == L1State::Shared {
-                        continue;
-                    }
-                    let home = coherence::l1::home_of(line, tiles);
-                    if !self.l2s[home.index()].line_in_flight(line) {
-                        return Some((t, line));
-                    }
-                }
-            }
-            None
-        };
-        match class {
-            Invariant::SingleOwner => {
-                let (t, line) = candidate(true)?;
-                let forged = (t + 1) % tiles;
-                self.l1s[forged].fault_set_state(line, L1State::Exclusive);
-                // forging is a no-op when the forged tile's set is full
-                (self.l1s[forged].state_of(line) == Some(L1State::Exclusive))
-                    .then(|| (TileId::from(forged), line))
-            }
-            Invariant::SharerAgreement => {
-                let (t, line) = candidate(false)?;
-                let home = coherence::l1::home_of(line, tiles);
-                self.l2s[home.index()].fault_set_dir(line, DirState::Invalid);
-                Some((TileId::from(t), line))
-            }
-            Invariant::DirectoryInclusion => {
-                let (t, line) = candidate(false)?;
-                let home = coherence::l1::home_of(line, tiles);
-                self.l2s[home.index()].fault_evict_line(line);
-                Some((TileId::from(t), line))
-            }
-            Invariant::MshrConsistency => {
-                let (t, line) = candidate(false)?;
-                // two MSHRs tracking the same line
-                self.l1s[t].fault_push_mshr(line, false);
-                self.l1s[t].fault_push_mshr(line, false);
-                Some((TileId::from(t), line))
-            }
-        }
+        self.engine.fault_inject_violation(class)
     }
 
     /// Consistency check used by tests: the L1's home mapping must agree
     /// with the machine description's.
     pub fn homes_agree(cfg: &CmpConfig) -> bool {
-        (0..4096u64)
-            .all(|line| coherence::l1::home_of(line, cfg.tiles()) == cfg.home_tile(line << 6))
+        Engine::homes_agree(cfg)
     }
 
     /// Total compression-hardware static+area context (test hook).
     pub fn compression_hw_cost(&self) -> CompressionHwCost {
-        CompressionHwCost::for_scheme(self.cfg.scheme, self.cfg.cmp.tiles())
+        CompressionHwCost::for_scheme(self.engine.cfg.scheme, self.engine.cfg.cmp.tiles())
     }
 
     /// Per-run energy of zero (used in tests to compare magnitudes).
     pub fn zero_energy() -> Joules {
         Joules::ZERO
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use wire_model::wires::VlWidth;
-    use workloads::synthetic;
-
-    const SEED: u64 = 0xC0FFEE;
-
-    fn run_app(app: &AppProfile, cfg: SimConfig, scale: f64) -> SimResult {
-        let mut sim = CmpSimulator::new(cfg, app, SEED, scale);
-        sim.run().unwrap_or_else(|e| panic!("{}: {e}", app.name))
-    }
-
-    #[test]
-    fn home_mappings_agree() {
-        assert!(CmpSimulator::homes_agree(&CmpConfig::default()));
-    }
-
-    #[test]
-    fn streaming_workload_completes_on_baseline() {
-        let app = synthetic::streaming(3_000, 4096);
-        let r = run_app(&app, SimConfig::baseline(), 1.0);
-        assert!(r.cycles > 0);
-        assert!(r.instructions > 0);
-        assert!(r.network_messages > 0, "streaming misses generate traffic");
-        assert!(r.l1_miss_rate > 0.01, "4096-line stream must miss");
-        assert!(r.energy.chip().value() > 0.0);
-    }
-
-    #[test]
-    fn hotspot_exercises_coherence_on_all_configs() {
-        let app = synthetic::hotspot(1_500, 64);
-        for cfg in [
-            SimConfig::baseline(),
-            SimConfig::new(
-                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Dbrc {
-                    entries: 4,
-                    low_bytes: 2,
-                },
-            ),
-        ] {
-            let r = run_app(&app, cfg, 1.0);
-            // migratory lines force forwards + revisions
-            assert!(
-                r.class_fraction(MessageClass::CoherenceCmd) > 0.05,
-                "{:?}: coherence commands missing",
-                r.interconnect
-            );
-            assert!(r.class_fraction(MessageClass::ResponseData) > 0.10);
-        }
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let app = synthetic::uniform_random(1_000, 1 << 14, 0.3);
-        let cfg = SimConfig::new(
-            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-            CompressionScheme::Dbrc {
-                entries: 16,
-                low_bytes: 1,
-            },
-        );
-        let a = run_app(&app, cfg.clone(), 1.0);
-        let b = run_app(&app, cfg, 1.0);
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.network_messages, b.network_messages);
-        assert!((a.energy.chip().value() - b.energy.chip().value()).abs() < 1e-15);
-    }
-
-    #[test]
-    fn heterogeneous_with_compression_beats_baseline_on_traffic_bound_load() {
-        let app = synthetic::hotspot(2_000, 128);
-        let base = run_app(&app, SimConfig::baseline(), 1.0);
-        let prop = run_app(
-            &app,
-            SimConfig::new(
-                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Perfect { low_bytes: 2 },
-            ),
-            1.0,
-        );
-        assert!(
-            prop.cycles < base.cycles,
-            "proposal {} vs baseline {}",
-            prop.cycles,
-            base.cycles
-        );
-        assert!(
-            prop.critical_latency < base.critical_latency,
-            "critical latency should shrink: {} vs {}",
-            prop.critical_latency,
-            base.critical_latency
-        );
-    }
-
-    #[test]
-    fn perfect_compression_yields_full_coverage() {
-        let app = synthetic::uniform_random(1_000, 1 << 16, 0.3);
-        let r = run_app(
-            &app,
-            SimConfig::new(
-                InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-                CompressionScheme::Perfect { low_bytes: 1 },
-            ),
-            1.0,
-        );
-        assert!((r.coverage - 1.0).abs() < 1e-12);
-        // and DBRC on a streaming load gets high but imperfect coverage
-        let s = synthetic::streaming(2_000, 4096);
-        let r = run_app(
-            &s,
-            SimConfig::new(
-                InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
-                CompressionScheme::Dbrc {
-                    entries: 4,
-                    low_bytes: 2,
-                },
-            ),
-            1.0,
-        );
-        assert!(r.coverage > 0.9, "streaming coverage {}", r.coverage);
-        assert!(r.coverage < 1.0);
-    }
-
-    #[test]
-    fn barriers_synchronise_all_cores() {
-        let mut app = synthetic::streaming(2_000, 512);
-        app.barriers = 5;
-        let r = run_app(&app, SimConfig::baseline(), 1.0);
-        assert!(r.cycles > 0);
-    }
-
-    #[test]
-    fn real_app_smoke_mp3d() {
-        let app = workloads::apps::mp3d();
-        let r = run_app(&app, SimConfig::baseline(), 0.01);
-        assert!(r.network_messages > 1_000);
-        // Figure 5 sanity: all fractions sum to 1
-        let total: f64 = MessageClass::ALL.iter().map(|&c| r.class_fraction(c)).sum();
-        assert!((total - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn reply_partitioning_completes_and_splits_responses() {
-        let app = synthetic::uniform_random(1_500, 1 << 15, 0.3);
-        let base = run_app(&app, SimConfig::baseline(), 1.0);
-        let rp = run_app(
-            &app,
-            SimConfig::new(
-                InterconnectChoice::ReplyPartitioning,
-                CompressionScheme::None,
-            ),
-            1.0,
-        );
-        // every remote data response gains a partial twin
-        let count = |r: &SimResult, class| {
-            r.messages
-                .iter()
-                .find(|c| c.class == class)
-                .map(|c| (c.count, c.mean_latency))
-                .unwrap_or((0, 0.0))
-        };
-        let (partials, partial_lat) = count(&rp, MessageClass::PartialReply);
-        let (data, data_lat) = count(&rp, MessageClass::ResponseData);
-        assert!(partials > 0);
-        assert!(
-            partials.abs_diff(data) <= data / 10,
-            "partials {partials} should track data responses {data}"
-        );
-        // the partial replies run well ahead of the PW-wire data
-        assert!(
-            partial_lat < data_lat * 0.6,
-            "partial {partial_lat} vs ordinary {data_lat}"
-        );
-        // and the run is no slower than the baseline
-        assert!(
-            rp.cycles <= base.cycles * 101 / 100,
-            "RP {} vs baseline {}",
-            rp.cycles,
-            base.cycles
-        );
-    }
-
-    /// The incremental event calendar (core-ready heap, done/busy
-    /// counters, cached ready cycles) must agree with brute-force scans
-    /// of the underlying components after every scheduler iteration,
-    /// across randomized workloads and both interconnects.
-    #[test]
-    fn event_calendar_matches_brute_force_scans() {
-        use cmp_common::randtest::{self, f64_in, u64_in, usize_in};
-        randtest::run_cases("sim-event-calendar", 4, |rng| {
-            let ops = u64_in(rng, 400, 1_200);
-            let lines = 1u64 << usize_in(rng, 8, 12);
-            let writes = f64_in(rng, 0.2, 0.6);
-            let app = synthetic::uniform_random(ops, lines, writes);
-            let cfg = if rng.chance(0.5) {
-                SimConfig::baseline()
-            } else {
-                SimConfig::new(
-                    InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-                    CompressionScheme::Dbrc {
-                        entries: 4,
-                        low_bytes: 2,
-                    },
-                )
-            };
-            let mut sim = CmpSimulator::new(cfg, &app, rng.next_u64(), 1.0);
-            let mut iters = 0u64;
-            loop {
-                let more = sim.step_iteration().expect("run must not deadlock");
-                let unfinished = sim.cores.iter().filter(|c| !c.is_done()).count();
-                assert_eq!(sim.cores_unfinished, unfinished, "done counter drifted");
-                let busy = sim.l2s.iter().filter(|s| !s.is_quiescent()).count();
-                assert_eq!(sim.busy_l2_count, busy, "busy-L2 counter drifted");
-                for (d, slice) in sim.l2s.iter().enumerate() {
-                    assert_eq!(sim.l2_busy[d], !slice.is_quiescent(), "slice {d} flag");
-                }
-                for (t, core) in sim.cores.iter().enumerate() {
-                    assert_eq!(
-                        sim.core_next[t],
-                        core.ready_at().unwrap_or(Cycle::MAX),
-                        "cached ready cycle for core {t}"
-                    );
-                }
-                let brute = sim.cores.iter().filter_map(|c| c.ready_at()).min();
-                assert_eq!(sim.earliest_ready_core(), brute, "calendar head");
-                iters += 1;
-                if !more {
-                    break;
-                }
-            }
-            assert!(iters > 10, "workload too small to exercise the calendar");
-        });
-    }
-
-    #[test]
-    fn watchdog_fires_on_tiny_budget() {
-        let app = synthetic::streaming(5_000, 4096);
-        let mut cfg = SimConfig::baseline();
-        cfg.max_cycles = 100;
-        let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
-        match sim.run() {
-            Err(SimError::Watchdog { .. }) => {}
-            other => panic!("expected watchdog, got {other:?}"),
-        }
-    }
-
-    fn compressed_cfg() -> SimConfig {
-        SimConfig::new(
-            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
-            CompressionScheme::Dbrc {
-                entries: 16,
-                low_bytes: 1,
-            },
-        )
-    }
-
-    #[test]
-    fn sanitizer_sweeps_are_neutral_on_a_clean_run() {
-        let app = synthetic::hotspot(1_200, 64);
-        let mut off = compressed_cfg();
-        off.sanitizer = None;
-        let mut on = compressed_cfg();
-        on.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 128 });
-        let a = run_app(&app, off, 1.0);
-        let b = run_app(&app, on, 1.0);
-        assert_eq!(a.cycles, b.cycles, "sweeps must not perturb the run");
-        assert_eq!(a.network_messages, b.network_messages);
-        assert_eq!(a.sanitizer_sweeps, 0);
-        assert!(b.sanitizer_sweeps > 0, "sweeps must actually run");
-    }
-
-    #[test]
-    fn desync_faults_are_detected_and_recovered() {
-        let app = synthetic::hotspot(1_500, 64);
-        let mut cfg = compressed_cfg();
-        cfg.faults = FaultConfig::desync_only(0xDE57_AC, 0.02, 50);
-        let r = run_app(&app, cfg, 1.0);
-        assert!(r.fault_stats.desyncs.get() > 0, "campaign must fire");
-        assert!(r.resync.desyncs_detected > 0, "tags must catch divergence");
-        assert!(
-            r.resync.desyncs_detected <= r.fault_stats.desyncs.get(),
-            "injections between detections coalesce"
-        );
-        assert_eq!(
-            r.resync.resyncs_completed, r.resync.desyncs_detected,
-            "every detected divergence recovers"
-        );
-        assert!(r.resync.fallback_msgs >= r.resync.desyncs_detected);
-    }
-
-    #[test]
-    fn fault_free_campaign_config_changes_nothing() {
-        let app = synthetic::uniform_random(800, 1 << 12, 0.3);
-        let clean = run_app(&app, compressed_cfg(), 1.0);
-        let mut cfg = compressed_cfg();
-        cfg.faults = FaultConfig {
-            seed: 42,
-            ..FaultConfig::none()
-        };
-        let r = run_app(&app, cfg, 1.0);
-        assert_eq!(clean.cycles, r.cycles, "disabled faults are bit-neutral");
-        assert_eq!(clean.network_messages, r.network_messages);
-        assert_eq!(r.fault_stats.total(), 0);
-        assert_eq!(r.resync, crate::niface::ResyncStats::default());
-    }
-
-    #[test]
-    fn corrupt_fault_is_rejected_as_structured_protocol_error() {
-        let app = synthetic::streaming(2_000, 2048);
-        let mut cfg = SimConfig::baseline();
-        cfg.faults = FaultConfig {
-            seed: 11,
-            corrupt: 1.0,
-            max_faults: Some(1),
-            ..FaultConfig::none()
-        };
-        let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
-        match sim.run() {
-            Err(SimError::Protocol { cycle, error, dump }) => {
-                assert!(cycle > 0);
-                let s = error.to_string();
-                assert!(s.contains("tile") && s.contains("line"), "{s}");
-                assert_eq!(dump.cycle, cycle);
-            }
-            other => panic!("expected a protocol error, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn sanitizer_catches_every_injected_invariant_class() {
-        use coherence::sanitizer::Invariant;
-        for class in [
-            Invariant::SingleOwner,
-            Invariant::SharerAgreement,
-            Invariant::MshrConsistency,
-            Invariant::DirectoryInclusion,
-        ] {
-            let app = synthetic::hotspot(1_500, 64);
-            let mut cfg = SimConfig::baseline();
-            cfg.sanitizer = Some(coherence::sanitizer::SanitizerConfig { period: 64 });
-            let mut sim = CmpSimulator::new(cfg, &app, SEED, 1.0);
-            // Warm the machine until the hook finds a target, then run on.
-            let mut injected = None;
-            let outcome = loop {
-                match sim.step_iteration() {
-                    Ok(true) => {}
-                    Ok(false) => break Ok(()),
-                    Err(e) => break Err(e),
-                }
-                if injected.is_none() {
-                    injected = sim.fault_inject_violation(class);
-                }
-            };
-            let (tile, line) = injected.unwrap_or_else(|| panic!("{class:?}: no target found"));
-            match outcome {
-                Err(SimError::Sanitizer {
-                    violations, dump, ..
-                }) => {
-                    assert!(
-                        violations.iter().any(|v| v.invariant == class),
-                        "{class:?} not reported: {violations:?}"
-                    );
-                    let v = violations.iter().find(|v| v.invariant == class).unwrap();
-                    let s = v.to_string();
-                    assert!(
-                        s.contains("cycle") && s.contains("tile") && s.contains("0x"),
-                        "finding must name cycle, tile and line: {s}"
-                    );
-                    // the corrupted coordinates appear among the findings
-                    assert!(
-                        violations.iter().any(|v| v.line == line
-                            && (v.tile == tile || class == Invariant::SharerAgreement)),
-                        "{class:?}: injected ({tile:?}, {line:#x}) missing from {violations:?}"
-                    );
-                    assert!(dump.cycle > 0);
-                }
-                other => panic!("{class:?}: expected sanitizer abort, got {other:?}"),
-            }
-        }
     }
 }

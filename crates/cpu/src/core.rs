@@ -60,6 +60,20 @@ pub struct Core {
     stats: CoreStats,
 }
 
+impl Clone for Core {
+    fn clone(&self) -> Self {
+        Core {
+            source: self.source.clone_box(),
+            issue_width: self.issue_width,
+            state: self.state,
+            pending: self.pending,
+            stats: self.stats,
+        }
+    }
+}
+
+cmp_common::impl_snapshot_clone!(Core);
+
 impl Core {
     /// A core with the given trace and issue width (2 in Table 4).
     pub fn new(source: Box<dyn OpSource>, issue_width: u32) -> Self {

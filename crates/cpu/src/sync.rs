@@ -8,6 +8,8 @@ pub struct BarrierState {
     epoch: u32,
 }
 
+cmp_common::impl_snapshot_clone!(BarrierState);
+
 impl BarrierState {
     /// A barrier over `participants` cores (≤ 64).
     pub fn new(participants: usize) -> Self {

@@ -40,9 +40,15 @@ impl TraceOp {
 pub trait OpSource {
     /// The next operation, or `None` when the stream ends.
     fn next_op(&mut self) -> Option<TraceOp>;
+
+    /// Clone the source mid-stream, including its exact position and any
+    /// generator state, so a checkpointed core resumes on an identical
+    /// op stream (the snapshot/restore seam for trait objects).
+    fn clone_box(&self) -> Box<dyn OpSource>;
 }
 
 /// An `OpSource` over a pre-built vector (tests, microbenchmarks).
+#[derive(Clone)]
 pub struct SliceSource {
     ops: std::vec::IntoIter<TraceOp>,
 }
@@ -59,6 +65,10 @@ impl SliceSource {
 impl OpSource for SliceSource {
     fn next_op(&mut self) -> Option<TraceOp> {
         self.ops.next()
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
     }
 }
 
@@ -87,5 +97,14 @@ mod tests {
         assert_eq!(s.next_op(), Some(TraceOp::Compute(1)));
         assert_eq!(s.next_op(), Some(TraceOp::Load(2)));
         assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn clone_box_preserves_stream_position() {
+        let mut s = SliceSource::new(vec![TraceOp::Compute(1), TraceOp::Load(2)]);
+        s.next_op();
+        let mut copy = s.clone_box();
+        assert_eq!(copy.next_op(), Some(TraceOp::Load(2)));
+        assert_eq!(s.next_op(), Some(TraceOp::Load(2)), "original unperturbed");
     }
 }

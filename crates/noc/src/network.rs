@@ -31,6 +31,7 @@ impl std::error::Error for ChannelUnavailable {}
 
 /// The on-chip network: a set of parallel flit-level mesh sub-networks,
 /// one per physical channel kind.
+#[derive(Clone)]
 pub struct Noc<P> {
     config: NocConfig,
     mesh: MeshShape,
@@ -44,6 +45,21 @@ pub struct Noc<P> {
     energy: NocEnergy,
     energy_model: RouterEnergyModel,
     stats: NocStats,
+}
+
+/// Checkpoint/restore: the network's state is plain data (flit queues,
+/// router buffers, in-flight slabs, energy/latency counters), so a clone
+/// captures it exactly and a resumed run replays the same deliveries.
+impl<P: Clone> cmp_common::snapshot::Snapshot for Noc<P> {
+    type State = Noc<P>;
+
+    fn snapshot(&self) -> Self::State {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        *self = state.clone();
+    }
 }
 
 impl<P> Noc<P> {

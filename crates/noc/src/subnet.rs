@@ -26,6 +26,7 @@ use crate::router::{Flit, Router, LOCAL, PORTS};
 use crate::stats::NocStats;
 
 /// An in-flight message: payload parked while its flits traverse the mesh.
+#[derive(Clone)]
 struct InFlight<P> {
     msg: Option<Message<P>>,
     injected_at: Cycle,
@@ -36,6 +37,7 @@ struct InFlight<P> {
 }
 
 /// A flit travelling on a link.
+#[derive(Clone)]
 struct WireFlit {
     flit: Flit,
     arrival: Cycle,
@@ -54,6 +56,7 @@ struct InjProgress {
 }
 
 /// One channel's mesh network.
+#[derive(Clone)]
 pub struct SubNet<P> {
     spec: ChannelSpec,
     mesh: MeshShape,

@@ -20,6 +20,7 @@ struct Cursor {
 }
 
 /// A deterministic, streaming trace generator for one core.
+#[derive(Clone)]
 pub struct TraceGen {
     profile: AppProfile,
     cdf: Vec<f64>,
@@ -189,6 +190,10 @@ impl OpSource for TraceGen {
             self.generate_slot();
         }
         self.pending.pop_front()
+    }
+
+    fn clone_box(&self) -> Box<dyn OpSource> {
+        Box::new(self.clone())
     }
 }
 

@@ -13,13 +13,19 @@ cargo build --release
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "== cargo test"
 cargo test -q --workspace
 
 echo "== cargo test (TCMP_SANITIZE=1: protocol sanitizer armed)"
 TCMP_SANITIZE=1 cargo test -q --workspace
 
+echo "== snapshot/restore round-trip smoke"
+cargo test -q --release --test snapshot_restore
+
 echo "== fault-campaign smoke run"
-cargo run -q --release -p cmp-bench --bin fault_campaign -- --smoke --seed 1025041
+cargo run -q --release -p cmp-bench --bin fault_campaign -- --smoke --seed 1025041 --jobs 2
 
 echo "All checks passed."

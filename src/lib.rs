@@ -59,11 +59,13 @@ pub mod prelude {
     pub use addr_compression::CompressionScheme;
     pub use cmp_common::config::CmpConfig;
     pub use cmp_common::types::{MessageClass, TileId};
+    pub use tcmp_core::engine::MachineSnapshot;
     pub use tcmp_core::experiment::{
-        normalize, paper_configs, run_matrix, ConfigSpec, MatrixError, RunFailure, RunSpec,
+        normalize, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError, RunFailure,
+        RunSpec,
     };
     pub use tcmp_core::niface::InterconnectChoice;
-    pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimResult};
+    pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult};
     pub use wire_model::wires::{VlWidth, WireClass};
     pub use workloads::profile::AppProfile;
 }
