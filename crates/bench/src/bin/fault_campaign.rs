@@ -22,6 +22,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use addr_compression::CompressionScheme;
 use cmp_common::fault::FaultConfig;
@@ -29,6 +30,7 @@ use coherence::sanitizer::Invariant;
 use coherence::sanitizer::SanitizerConfig;
 use tcmp_core::report::TableBuilder;
 use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult};
+use tcmp_core::supervisor::{reseed, with_retries};
 use tcmp_core::InterconnectChoice;
 use wire_model::wires::VlWidth;
 use workloads::profile::AppProfile;
@@ -42,6 +44,10 @@ struct Args {
     verbose: bool,
     /// Worker threads for per-app campaigns (default 1 = sequential).
     jobs: usize,
+    /// Extra attempts for the recoverable (desync) campaign; each retry
+    /// reseeds the fault-injector stream so a pathological fault timing
+    /// is not replayed verbatim. The trace seed never changes.
+    retries: u32,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +58,7 @@ fn parse_args() -> Args {
         smoke: false,
         verbose: false,
         jobs: 1,
+        retries: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +88,12 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--retries" => {
+                a.retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -94,7 +107,7 @@ fn parse_args() -> Args {
 fn usage<T>() -> T {
     eprintln!(
         "usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose] \
-         [--jobs N]"
+         [--jobs N] [--retries N]"
     );
     std::process::exit(2)
 }
@@ -176,10 +189,21 @@ const INVARIANTS: [Invariant; 4] = [
 fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>, Tally) {
     let mut t = Tally::default();
 
-    // 1. Desync: recoverable; the run must complete.
-    let mut cfg = proposal_cfg();
-    cfg.faults = FaultConfig::desync_only(args.seed, 0.01, 25);
-    let desync_cell = match run_guarded(cfg, app, args.seed, scale) {
+    // 1. Desync: recoverable; the run must complete. Under --retries a
+    // failed attempt re-runs with a *reseeded fault stream* (the trace
+    // seed is untouched) before being counted as an anomaly.
+    let desync_run = with_retries(args.retries, Duration::from_millis(50), |attempt| {
+        let mut cfg = proposal_cfg();
+        cfg.faults = FaultConfig::desync_only(reseed(args.seed, attempt), 0.01, 25);
+        match run_guarded(cfg, app, args.seed, scale) {
+            Outcome::Completed(r) => Ok(r),
+            other => Err(other),
+        }
+    });
+    let desync_cell = match desync_run
+        .map(Outcome::Completed)
+        .unwrap_or_else(|(_, o)| o)
+    {
         Outcome::Completed(r) => {
             t.desyncs_injected = r.fault_stats.desyncs.get();
             t.desyncs_detected = r.resync.desyncs_detected;

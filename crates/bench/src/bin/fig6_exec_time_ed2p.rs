@@ -2,19 +2,30 @@
 //! (bottom) for the compression + VL-Wire configurations, relative to the
 //! 75-byte B-Wire baseline. Perfect-compression bounds reproduce the
 //! paper's solid lines.
+//!
+//! With `--out DIR` the sweep journals every finished cell; a killed run
+//! restarted with `--resume DIR` skips them and produces the identical
+//! figure. Failed cells render as `n/a` instead of taking the whole
+//! figure down.
 
-use cmp_bench::matrix::run_figure_matrix;
-use tcmp_core::experiment::{geomean, normalize};
+use cmp_bench::matrix::{run_figure_matrix, summarize_run};
+use tcmp_core::experiment::{geomean, normalize_partial};
 use tcmp_core::report::{fmt_ratio, TableBuilder};
 
 fn main() {
     let opts = cmp_bench::Options::parse();
-    let results = run_figure_matrix(&opts);
-    let rows = normalize(&results).expect("baseline run present in the matrix");
+    let run = run_figure_matrix(&opts);
+    summarize_run(&run);
+    let results = run.results();
+    let normalized = normalize_partial(&results);
+    let rows = &normalized.rows;
+    for app in &normalized.missing_baseline {
+        eprintln!("no baseline row for {app}: its whole figure row is n/a");
+    }
 
     let configs: Vec<String> = {
         let mut v = Vec::new();
-        for r in &rows {
+        for r in rows {
             if !v.contains(&r.config) {
                 v.push(r.config.clone());
             }
@@ -22,10 +33,15 @@ fn main() {
         v
     };
     let apps: Vec<String> = {
-        let mut v = Vec::new();
-        for r in &rows {
+        let mut v: Vec<String> = Vec::new();
+        for r in rows {
             if !v.contains(&r.app) {
                 v.push(r.app.clone());
+            }
+        }
+        for app in &normalized.missing_baseline {
+            if !v.contains(app) {
+                v.push(app.clone());
             }
         }
         v
@@ -44,23 +60,29 @@ fn main() {
         for app in &apps {
             let mut row = vec![app.clone()];
             for (ci, config) in configs.iter().enumerate() {
-                let r = rows
-                    .iter()
-                    .find(|r| &r.app == app && &r.config == config)
-                    .expect("matrix is complete");
-                let v = if metric == 0 {
-                    r.exec_time
-                } else {
-                    r.link_ed2p
-                };
-                per_config[ci].push(v);
-                row.push(fmt_ratio(v));
+                match rows.iter().find(|r| &r.app == app && &r.config == config) {
+                    Some(r) => {
+                        let v = if metric == 0 {
+                            r.exec_time
+                        } else {
+                            r.link_ed2p
+                        };
+                        per_config[ci].push(v);
+                        row.push(fmt_ratio(v));
+                    }
+                    // failed or never-attempted cell in a partial matrix
+                    None => row.push("n/a".to_string()),
+                }
             }
             t.row(row);
         }
         let mut avg = vec!["geomean".to_string()];
         for c in &per_config {
-            avg.push(fmt_ratio(geomean(c.iter().copied())));
+            if c.is_empty() {
+                avg.push("n/a".to_string());
+            } else {
+                avg.push(fmt_ratio(geomean(c.iter().copied())));
+            }
         }
         t.row(avg);
         println!("{}", t.to_markdown());
@@ -74,7 +96,8 @@ fn main() {
                     "link_ed2p.csv"
                 }
             );
-            t.write_csv(&suffixed).expect("write csv");
+            t.write_csv_stamped(&suffixed, &run.stamp())
+                .expect("write csv");
             eprintln!("wrote {suffixed}");
         }
     }
@@ -84,4 +107,5 @@ fn main() {
          on MP3D/Unstructured; link ED2P averages ~0.70, down to ~0.35 on the\n\
          communication-bound applications.\n"
     );
+    std::process::exit(if run.report.failures.is_empty() { 0 } else { 1 });
 }

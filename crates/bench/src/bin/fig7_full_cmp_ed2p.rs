@@ -2,24 +2,40 @@
 //! overhead of the compression hardware itself (which is why growing DBRC
 //! caches eventually hurt: the extra coverage no longer buys enough
 //! execution time).
+//!
+//! With `--out DIR` the sweep journals every finished cell; a killed run
+//! restarted with `--resume DIR` skips them and produces the identical
+//! figure. Failed cells render as `n/a` instead of taking the whole
+//! figure down.
 
-use cmp_bench::matrix::run_figure_matrix;
-use tcmp_core::experiment::{geomean, normalize};
+use cmp_bench::matrix::{run_figure_matrix, summarize_run};
+use tcmp_core::experiment::{geomean, normalize_partial};
 use tcmp_core::report::{fmt_ratio, TableBuilder};
 
 fn main() {
     let opts = cmp_bench::Options::parse();
-    let results = run_figure_matrix(&opts);
-    let rows = normalize(&results).expect("baseline run present in the matrix");
+    let run = run_figure_matrix(&opts);
+    summarize_run(&run);
+    let results = run.results();
+    let normalized = normalize_partial(&results);
+    let rows = &normalized.rows;
+    for app in &normalized.missing_baseline {
+        eprintln!("no baseline row for {app}: its whole figure row is n/a");
+    }
 
     let mut configs: Vec<String> = Vec::new();
     let mut apps: Vec<String> = Vec::new();
-    for r in &rows {
+    for r in rows {
         if !configs.contains(&r.config) {
             configs.push(r.config.clone());
         }
         if !apps.contains(&r.app) {
             apps.push(r.app.clone());
+        }
+    }
+    for app in &normalized.missing_baseline {
+        if !apps.contains(app) {
+            apps.push(app.clone());
         }
     }
 
@@ -32,18 +48,24 @@ fn main() {
     for app in &apps {
         let mut row = vec![app.clone()];
         for (ci, config) in configs.iter().enumerate() {
-            let r = rows
-                .iter()
-                .find(|r| &r.app == app && &r.config == config)
-                .expect("matrix is complete");
-            per_config[ci].push(r.chip_ed2p);
-            row.push(fmt_ratio(r.chip_ed2p));
+            match rows.iter().find(|r| &r.app == app && &r.config == config) {
+                Some(r) => {
+                    per_config[ci].push(r.chip_ed2p);
+                    row.push(fmt_ratio(r.chip_ed2p));
+                }
+                // failed or never-attempted cell in a partial matrix
+                None => row.push("n/a".to_string()),
+            }
         }
         t.row(row);
     }
     let mut avg = vec!["geomean".to_string()];
     for c in &per_config {
-        avg.push(fmt_ratio(geomean(c.iter().copied())));
+        if c.is_empty() {
+            avg.push("n/a".to_string());
+        } else {
+            avg.push(fmt_ratio(geomean(c.iter().copied())));
+        }
     }
     t.row(avg);
 
@@ -54,7 +76,8 @@ fn main() {
          because their area/power overhead outgrows the execution-time gain.\n"
     );
     if let Some(path) = &opts.csv {
-        t.write_csv(path).expect("write csv");
+        t.write_csv_stamped(path, &run.stamp()).expect("write csv");
         eprintln!("wrote {path}");
     }
+    std::process::exit(if run.report.failures.is_empty() { 0 } else { 1 });
 }

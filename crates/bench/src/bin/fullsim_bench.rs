@@ -201,10 +201,16 @@ fn main() {
         ("trials", opts.trials.to_string()),
         ("matrix_scale", opts.scale.to_string()),
         ("seed", opts.seed.to_string()),
+        (
+            "git_sha",
+            format!("\"{}\"", tcmp_core::supervisor::build_git_sha()),
+        ),
     ];
     let meta_refs: Vec<(&str, String)> = meta.iter().map(|(k, v)| (*k, v.clone())).collect();
     let json = to_bench_json(&meta_refs, &stats);
-    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+    // atomic tmp-then-rename: a kill mid-write can never leave a
+    // truncated BENCH.json for tooling to misparse
+    cmp_common::journal::write_atomic(&opts.out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", opts.out);
         std::process::exit(1);
     });

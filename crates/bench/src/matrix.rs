@@ -1,9 +1,17 @@
 //! The Figure 6/7 run matrix, shared by both reproduction binaries.
+//!
+//! With `--out`/`--resume` the matrix runs under the supervisor with a
+//! durable journal: every finished cell is fsynced to
+//! `<dir>/journal.jsonl` before the sweep moves on, so a campaign
+//! killed at any instant resumes with only the unfinished cells
+//! re-run, and the assembled rows are bit-identical to an
+//! uninterrupted sweep.
 
 use addr_compression::CompressionScheme;
 use cmp_common::config::CmpConfig;
-use tcmp_core::experiment::{run_matrix_jobs, ConfigSpec, RunSpec};
-use tcmp_core::sim::SimResult;
+use cmp_common::journal::Journal;
+use tcmp_core::experiment::{ConfigSpec, RunSpec};
+use tcmp_core::supervisor::{campaign_meta, run_matrix_supervised, CellFailure, MatrixReport};
 
 use crate::cli::Options;
 
@@ -43,10 +51,9 @@ pub fn figure6_configs(include_perfect: bool) -> Vec<ConfigSpec> {
     v
 }
 
-/// Run the Figure 6/7 matrix for the selected applications, printing a
-/// progress line per run (the matrix takes minutes at full scale).
-pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
-    let cmp = CmpConfig::default();
+/// The spec list of the Figure 6/7 sweep for these options, in the
+/// deterministic order every journal and report indexes by.
+pub fn figure_specs(opts: &Options) -> Vec<RunSpec> {
     let configs = figure6_configs(opts.perfect);
     let mut specs = Vec::new();
     for app in opts.selected_apps() {
@@ -59,6 +66,45 @@ pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
             });
         }
     }
+    specs
+}
+
+/// Outcome of the Figure 6/7 sweep: the supervised report plus how big
+/// the sweep was, for the binaries' summary lines.
+pub struct MatrixRun {
+    pub report: MatrixReport,
+    /// Cells in the sweep.
+    pub cells: usize,
+    /// Identity stamp of the sweep (build SHA + config fingerprint);
+    /// the binaries stamp it into every CSV they emit.
+    pub meta: cmp_common::journal::CampaignMeta,
+}
+
+impl MatrixRun {
+    /// The provenance line stamped into emitted CSVs.
+    pub fn stamp(&self) -> String {
+        format!(
+            "git_sha={} config_hash={} cells={}",
+            self.meta.git_sha, self.meta.config_hash, self.meta.cells
+        )
+    }
+}
+
+impl MatrixRun {
+    /// The successful rows, in spec order (partial when cells failed).
+    pub fn results(&self) -> Vec<tcmp_core::sim::SimResult> {
+        self.report.completed()
+    }
+}
+
+/// Run the Figure 6/7 matrix for the selected applications under the
+/// options' supervision policy, journaled when `--out`/`--resume`
+/// names a campaign directory. Cell failures are reported, not fatal:
+/// the binaries render what completed and mark the rest `n/a`.
+pub fn run_figure_matrix(opts: &Options) -> MatrixRun {
+    let cmp = CmpConfig::default();
+    let specs = figure_specs(opts);
+    let configs = figure6_configs(opts.perfect);
     eprintln!(
         "running {} simulations ({} apps x {} configs, scale {})...",
         specs.len(),
@@ -66,11 +112,33 @@ pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
         configs.len(),
         opts.scale
     );
-    let results = run_matrix_jobs(&cmp, &specs, opts.jobs).unwrap_or_else(|e| {
-        eprintln!("matrix failed: {e}");
-        std::process::exit(1);
+
+    let meta = campaign_meta(&cmp, &specs);
+    let mut journal = opts.campaign_dir().map(|(dir, resuming)| {
+        let journal = if resuming {
+            Journal::resume(dir, &meta)
+        } else {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create campaign directory {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            Journal::create(dir, &meta)
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("campaign journal at {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let skippable = journal.replay.skippable();
+        if resuming && skippable > 0 {
+            eprintln!("journal replays {skippable} finished cell(s); skipping them");
+        }
+        journal
     });
-    for r in &results {
+
+    let policy = opts.policy();
+    let report = run_matrix_supervised(&cmp, &specs, opts.jobs, &policy, journal.as_mut());
+
+    for r in report.results.iter().flatten() {
         eprintln!(
             "  {:<14} {:<22} {:>10} cycles, {:>8} msgs",
             r.app,
@@ -79,5 +147,49 @@ pub fn run_figure_matrix(opts: &Options) -> Vec<SimResult> {
             r.network_messages
         );
     }
-    results
+    for f in &report.failures {
+        eprintln!(
+            "  FAILED {} / {} after {} attempt(s): {}",
+            f.app,
+            f.config,
+            f.attempts,
+            f.error.brief()
+        );
+    }
+    MatrixRun {
+        cells: specs.len(),
+        report,
+        meta,
+    }
+}
+
+/// One summary line for a finished sweep; exits the process when
+/// nothing at all completed (there is no figure to render).
+pub fn summarize_run(run: &MatrixRun) {
+    let done = run.report.results.iter().flatten().count();
+    if run.report.skipped > 0 {
+        eprintln!(
+            "{} of {} cells resumed from the journal",
+            run.report.skipped, run.cells
+        );
+    }
+    if !run.report.failures.is_empty() {
+        eprintln!(
+            "{} of {} cells failed terminally; their columns render as n/a",
+            run.report.failures.len(),
+            run.cells
+        );
+    }
+    if done == 0 {
+        eprintln!("no cell completed: nothing to report");
+        std::process::exit(1);
+    }
+}
+
+/// Failures as `(app, config)` labels, for "n/a" cells in the tables.
+pub fn failed_cells(failures: &[CellFailure]) -> Vec<(String, String)> {
+    failures
+        .iter()
+        .map(|f| (f.app.clone(), f.config.clone()))
+        .collect()
 }

@@ -1,0 +1,859 @@
+//! Durable campaign journal: crash-resumable bookkeeping for long
+//! matrix sweeps.
+//!
+//! A multi-hour Figure-6/7 sweep must survive an OOM kill, a Ctrl-C or
+//! a wedged cell without throwing away the finished work. The journal
+//! makes every campaign binary restartable:
+//!
+//! * an **append-only JSONL file** (`journal.jsonl`) records one line
+//!   per cell event — `start`, `finish` (with the cell's result row) or
+//!   `fail` — flushed and fsynced per record, so the on-disk state is
+//!   never more than one line behind the process;
+//! * replaying the journal classifies every cell as *completed*
+//!   (a `finish` record carries its result), *failed* (terminal `fail`)
+//!   or *interrupted* (a `start` with no matching outcome — the cell
+//!   that was mid-flight when the process died). A resumed campaign
+//!   re-runs only the failed and interrupted cells;
+//! * a **meta record** stamps the campaign with a schema version, the
+//!   git SHA of the producing build and a hash of the run
+//!   configuration; [`Journal::resume`] refuses to mix results from a
+//!   different code revision or configuration;
+//! * [`write_atomic`] gives every results writer tmp-file-then-rename
+//!   semantics, so a crash mid-write can never leave a torn CSV or
+//!   `BENCH.json` behind.
+//!
+//! The journal is generic: cell keys are opaque strings and result rows
+//! are opaque [`Json`] values, so this crate stays dependency-free and
+//! the simulator crates decide what a row contains.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the journal file inside a campaign directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Journal schema version; bumped on incompatible record changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value.
+///
+/// Numbers are kept as their raw token text ([`Json::Num`]), so a `u64`
+/// above 2^53 or an exact `f64` shortest representation round-trips
+/// bit-identically through serialise → parse → serialise — the property
+/// the crash/resume tests pin.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// A number as its raw token text (lossless round-trip).
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in insertion order (rendering is deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number from a `u64` (exact).
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number from an `f64` using Rust's shortest round-trip
+    /// representation, so parsing it back yields the identical bits.
+    pub fn f64(v: f64) -> Json {
+        Json::Num(format!("{v:?}"))
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array items (`None` for non-arrays).
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON value from `text` (the whole string must be
+    /// consumed apart from trailing whitespace).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'+' | b'-' | b'.'))
+        {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number token".to_string())?;
+        if token.is_empty() || token.parse::<f64>().is_err() {
+            return Err(format!("invalid number {token:?} at byte {start}"));
+        }
+        Ok(Json::Num(token.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("invalid escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic result writes
+// ---------------------------------------------------------------------------
+
+/// Crash-safe file write: the contents land in `<path>.tmp`, are
+/// fsynced, and replace `path` with a single rename. A reader (or a
+/// resumed campaign) therefore sees either the old complete file or the
+/// new complete file — never a torn write.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("not a file path: {}", path.display()),
+            ))
+        }
+    };
+    let mut f = File::create(&tmp)?;
+    f.write_all(contents.as_ref())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// The journal proper
+// ---------------------------------------------------------------------------
+
+/// Identity stamp of a campaign: which code produced it, under which
+/// configuration. [`Journal::resume`] refuses a mismatch, so rows from
+/// different builds or sweeps can never be silently mixed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignMeta {
+    /// Git revision of the producing build (`"unknown"` outside a
+    /// checkout).
+    pub git_sha: String,
+    /// Hash of the run configuration (machine + spec list).
+    pub config_hash: String,
+    /// Total cells in the sweep (informational).
+    pub cells: usize,
+}
+
+/// FNV-1a 64-bit over a canonical description string — the
+/// configuration fingerprint carried in [`CampaignMeta::config_hash`].
+pub fn fingerprint(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// What replaying a journal found for each cell.
+#[derive(Clone, Debug, Default)]
+pub struct JournalReplay {
+    /// Cells with a `finish` record, keyed by cell id, with their rows.
+    pub completed: BTreeMap<String, Json>,
+    /// Cells whose last record is a terminal `fail`:
+    /// `(attempts, error text)`. Re-run on resume.
+    pub failed: BTreeMap<String, (u64, String)>,
+    /// Cells with a `start` but no outcome — mid-flight when the
+    /// process died. Re-run on resume.
+    pub interrupted: Vec<String>,
+}
+
+impl JournalReplay {
+    /// Cells the resumed campaign can skip.
+    pub fn skippable(&self) -> usize {
+        self.completed.len()
+    }
+}
+
+/// Why a journal could not be opened for resume.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The directory holds no journal to resume.
+    Missing(PathBuf),
+    /// The journal was produced by different code or a different
+    /// configuration.
+    MetaMismatch {
+        field: &'static str,
+        journal: String,
+        current: String,
+    },
+    /// A non-final record failed to parse (final truncated lines are
+    /// tolerated: they are the expected residue of a kill mid-append).
+    Corrupt { line: usize, reason: String },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Missing(dir) => write!(
+                f,
+                "no campaign journal at {} — start a fresh run instead of --resume",
+                dir.join(JOURNAL_FILE).display()
+            ),
+            JournalError::MetaMismatch {
+                field,
+                journal,
+                current,
+            } => write!(
+                f,
+                "campaign {field} mismatch: journal was written by {journal:?} but this run \
+                 is {current:?}; refusing to mix results from different code or configs"
+            ),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "corrupt journal record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The append-only campaign journal. One record per line; every append
+/// is flushed and fsynced before the writer returns, so a SIGKILL loses
+/// at most the record being written — which replay then classifies as
+/// an interrupted cell.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    /// What replay found when this journal was opened (empty for a
+    /// fresh campaign).
+    pub replay: JournalReplay,
+}
+
+impl Journal {
+    /// Start a fresh campaign in `dir` (created if missing). Fails if a
+    /// journal already exists there — resuming must be explicit.
+    pub fn create(dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        if path.exists() {
+            return Err(JournalError::Io(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds a campaign journal; use --resume or a fresh directory",
+                    dir.display()
+                ),
+            )));
+        }
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        let mut j = Journal {
+            file,
+            replay: JournalReplay::default(),
+        };
+        j.append(Json::Obj(vec![
+            ("event".into(), Json::str("meta")),
+            ("version".into(), Json::u64(JOURNAL_VERSION)),
+            ("git_sha".into(), Json::str(&meta.git_sha)),
+            ("config_hash".into(), Json::str(&meta.config_hash)),
+            ("cells".into(), Json::u64(meta.cells as u64)),
+        ]))?;
+        Ok(j)
+    }
+
+    /// Reopen an existing campaign: validate its meta stamp against
+    /// `meta`, replay every record, and return the journal positioned
+    /// for appending.
+    pub fn resume(dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
+        let path = dir.join(JOURNAL_FILE);
+        if !path.exists() {
+            return Err(JournalError::Missing(dir.to_path_buf()));
+        }
+        let mut text = String::new();
+        File::open(&path)?.read_to_string(&mut text)?;
+        let replay = replay_records(&text, meta)?;
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal { file, replay })
+    }
+
+    fn append(&mut self, record: Json) -> io::Result<()> {
+        let mut line = record.render();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// Record that `cell` (attempt `attempt`, 1-based) is starting.
+    pub fn record_start(&mut self, cell: &str, attempt: u32) -> io::Result<()> {
+        self.append(Json::Obj(vec![
+            ("event".into(), Json::str("start")),
+            ("cell".into(), Json::str(cell)),
+            ("attempt".into(), Json::u64(u64::from(attempt))),
+        ]))
+    }
+
+    /// Record that `cell` finished, with its result row.
+    pub fn record_finish(&mut self, cell: &str, row: Json) -> io::Result<()> {
+        self.append(Json::Obj(vec![
+            ("event".into(), Json::str("finish")),
+            ("cell".into(), Json::str(cell)),
+            ("row".into(), row),
+        ]))
+    }
+
+    /// Record that `cell` failed terminally after `attempts` tries.
+    /// This *releases* the cell: it is no longer "in progress", so a
+    /// resumed campaign re-runs it rather than considering it stuck.
+    pub fn record_fail(&mut self, cell: &str, attempts: u32, error: &str) -> io::Result<()> {
+        self.append(Json::Obj(vec![
+            ("event".into(), Json::str("fail")),
+            ("cell".into(), Json::str(cell)),
+            ("attempts".into(), Json::u64(u64::from(attempts))),
+            ("error".into(), Json::str(error)),
+        ]))
+    }
+}
+
+fn replay_records(text: &str, meta: &CampaignMeta) -> Result<JournalReplay, JournalError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut replay = JournalReplay::default();
+    let mut started: Vec<String> = Vec::new();
+    let mut saw_meta = false;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match Json::parse(line) {
+            Ok(r) => r,
+            // A torn final line is the expected residue of a kill
+            // mid-append; anything earlier is real corruption.
+            Err(reason) if i + 1 == lines.len() => {
+                let _ = reason;
+                continue;
+            }
+            Err(reason) => {
+                return Err(JournalError::Corrupt {
+                    line: i + 1,
+                    reason,
+                })
+            }
+        };
+        let event = record.get("event").and_then(Json::as_str).unwrap_or("");
+        match event {
+            "meta" => {
+                saw_meta = true;
+                check_meta(&record, "version", &JOURNAL_VERSION.to_string(), |r, k| {
+                    r.get(k).and_then(Json::as_u64).map(|v| v.to_string())
+                })?;
+                check_meta(&record, "git_sha", &meta.git_sha, |r, k| {
+                    r.get(k).and_then(Json::as_str).map(str::to_string)
+                })?;
+                check_meta(&record, "config_hash", &meta.config_hash, |r, k| {
+                    r.get(k).and_then(Json::as_str).map(str::to_string)
+                })?;
+            }
+            "start" => {
+                if let Some(cell) = record.get("cell").and_then(Json::as_str) {
+                    started.push(cell.to_string());
+                }
+            }
+            "finish" => {
+                if let (Some(cell), Some(row)) =
+                    (record.get("cell").and_then(Json::as_str), record.get("row"))
+                {
+                    started.retain(|c| c != cell);
+                    replay.failed.remove(cell);
+                    replay.completed.insert(cell.to_string(), row.clone());
+                }
+            }
+            "fail" => {
+                if let Some(cell) = record.get("cell").and_then(Json::as_str) {
+                    started.retain(|c| c != cell);
+                    let attempts = record.get("attempts").and_then(Json::as_u64).unwrap_or(1);
+                    let error = record
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    replay.failed.insert(cell.to_string(), (attempts, error));
+                }
+            }
+            other => {
+                return Err(JournalError::Corrupt {
+                    line: i + 1,
+                    reason: format!("unknown event {other:?}"),
+                })
+            }
+        }
+    }
+    if !saw_meta {
+        return Err(JournalError::Corrupt {
+            line: 1,
+            reason: "journal has no meta record".to_string(),
+        });
+    }
+    started.sort();
+    started.dedup();
+    // a cell both completed (earlier attempt) and restarted: the restart
+    // wins — it must re-run
+    for cell in &started {
+        replay.completed.remove(cell);
+    }
+    replay.interrupted = started;
+    Ok(replay)
+}
+
+fn check_meta(
+    record: &Json,
+    field: &'static str,
+    current: &str,
+    read: impl Fn(&Json, &str) -> Option<String>,
+) -> Result<(), JournalError> {
+    let journal = read(record, field).unwrap_or_default();
+    if journal != current {
+        return Err(JournalError::MetaMismatch {
+            field,
+            journal,
+            current: current.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> CampaignMeta {
+        CampaignMeta {
+            git_sha: "abc123".into(),
+            config_hash: "deadbeef".into(),
+            cells: 4,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcmp_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::u64(u64::MAX)),
+            ("b".into(), Json::f64(0.1 + 0.2)),
+            ("s".into(), Json::str("quote \" slash \\ nl \n tab \t")),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::f64(-1.5e-300)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = v.render();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, v);
+        assert_eq!(back.render(), text, "second render is identical");
+        assert_eq!(back.get("a").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back.get("b").unwrap().as_f64(), Some(0.1 + 0.2));
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("nope").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = tmpdir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.csv");
+        write_atomic(&path, "first\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(
+            !path.with_file_name("rows.csv.tmp").exists(),
+            "tmp file is consumed by the rename"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_replay_classifies_cells() {
+        let dir = tmpdir("replay");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Obj(vec![("x".into(), Json::u64(7))]))
+            .unwrap();
+        j.record_start("cell-b", 1).unwrap();
+        j.record_fail("cell-b", 1, "watchdog").unwrap();
+        j.record_start("cell-c", 1).unwrap(); // killed mid-flight
+        drop(j);
+
+        let j = Journal::resume(&dir, &meta()).unwrap();
+        assert_eq!(j.replay.skippable(), 1);
+        assert_eq!(
+            j.replay.completed["cell-a"].get("x").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(j.replay.failed["cell-b"].1, "watchdog");
+        assert_eq!(j.replay.interrupted, vec!["cell-c".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let dir = tmpdir("torn");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Null).unwrap();
+        drop(j);
+        // simulate a kill mid-append: half a record, no newline
+        let path = dir.join(JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"finish\",\"cell\":\"cell-b\",\"ro")
+            .unwrap();
+        drop(f);
+        let j = Journal::resume(&dir, &meta()).unwrap();
+        assert_eq!(j.replay.skippable(), 1, "torn record is ignored");
+        assert!(j.replay.interrupted.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_foreign_campaigns() {
+        let dir = tmpdir("meta");
+        drop(Journal::create(&dir, &meta()).unwrap());
+        let other = CampaignMeta {
+            git_sha: "fff999".into(),
+            ..meta()
+        };
+        match Journal::resume(&dir, &other) {
+            Err(JournalError::MetaMismatch { field, .. }) => assert_eq!(field, "git_sha"),
+            other => panic!("expected a meta mismatch, got {other:?}"),
+        }
+        let other = CampaignMeta {
+            config_hash: "0000".into(),
+            ..meta()
+        };
+        assert!(matches!(
+            Journal::resume(&dir, &other),
+            Err(JournalError::MetaMismatch {
+                field: "config_hash",
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_journal_and_resume_requires_one() {
+        let dir = tmpdir("exists");
+        drop(Journal::create(&dir, &meta()).unwrap());
+        assert!(Journal::create(&dir, &meta()).is_err());
+        let empty = tmpdir("empty");
+        assert!(matches!(
+            Journal::resume(&empty, &meta()),
+            Err(JournalError::Missing(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restarted_cell_reruns_even_after_an_earlier_finish() {
+        let dir = tmpdir("restart");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Null).unwrap();
+        j.record_start("cell-a", 1).unwrap(); // re-run began, then kill
+        drop(j);
+        let j = Journal::resume(&dir, &meta()).unwrap();
+        assert!(j.replay.completed.is_empty());
+        assert_eq!(j.replay.interrupted, vec!["cell-a".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        assert_eq!(fingerprint("").len(), 16);
+    }
+}

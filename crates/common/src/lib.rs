@@ -18,6 +18,9 @@
 //!   used by the property suites in place of an external dependency.
 //! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
 //!   corrupt/codec-desync) for robustness campaigns.
+//! * [`journal`] — the durable campaign journal (append-only JSONL of
+//!   cell records, atomic result writes, meta stamping) that makes long
+//!   matrix sweeps crash-resumable.
 //! * [`snapshot`] — the [`Snapshot`] checkpoint/restore trait every
 //!   component implements so the engine can checkpoint a run at cycle N
 //!   and resume it bit-identically.
@@ -28,6 +31,7 @@
 pub mod config;
 pub mod fault;
 pub mod geometry;
+pub mod journal;
 pub mod randtest;
 pub mod rng;
 pub mod smallvec;
@@ -39,6 +43,7 @@ pub mod units;
 pub use config::{CacheConfig, CmpConfig, NetworkConfig};
 pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{Coord, MeshShape};
+pub use journal::{write_atomic, CampaignMeta, Journal, JournalError, JournalReplay, Json};
 pub use rng::SimRng;
 pub use smallvec::SmallVec;
 pub use snapshot::Snapshot;

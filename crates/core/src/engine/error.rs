@@ -1,9 +1,48 @@
 //! Structured failure reporting: every abnormal end of a run carries a
 //! machine snapshot instead of a panic.
 
-use cmp_common::types::{Addr, Cycle, TileId};
+use cmp_common::types::{Addr, Cycle, MessageClass, TileId};
 use coherence::sanitizer::Violation;
 use coherence::ProtocolError;
+
+/// One tile's stall picture attached to a
+/// [`SimError::NoForwardProgress`] report.
+#[derive(Clone, Debug)]
+pub struct TileStall {
+    /// The tile.
+    pub tile: TileId,
+    /// What the core is doing (`Core::describe`).
+    pub core: String,
+    /// Outstanding L1 misses holding MSHRs.
+    pub mshrs_in_use: usize,
+    /// NoC congestion at this tile: `(messages queued at the NI, flits
+    /// buffered in the router)`.
+    pub ni_backlog: (usize, u32),
+}
+
+impl TileStall {
+    /// Nothing stuck at this tile — omitted from the rendered report.
+    pub fn is_quiet(&self) -> bool {
+        self.mshrs_in_use == 0
+            && self.ni_backlog == (0, 0)
+            && (self.core.starts_with("ready") || self.core == "done")
+    }
+}
+
+/// The longest-waiting message still traversing the NoC when the
+/// watchdog fired (`None` when the network is empty — the livelock is
+/// then purely core-side).
+#[derive(Clone, Copy, Debug)]
+pub struct OldestInFlight {
+    /// Cycle the message entered the network.
+    pub injected_at: Cycle,
+    /// Sender tile.
+    pub src: TileId,
+    /// Destination tile.
+    pub dst: TileId,
+    /// Message class.
+    pub class: MessageClass,
+}
 
 /// Snapshot of one tile's controllers at failure time.
 #[derive(Clone, Debug)]
@@ -136,6 +175,32 @@ pub enum SimError {
     },
     /// The watchdog fired.
     Watchdog { cycle: Cycle },
+    /// The forward-progress watchdog fired: events kept firing (the
+    /// clock advanced) but no instruction retired and no message was
+    /// delivered for the configured budget — a livelock, caught long
+    /// before the [`crate::sim::SimConfig::max_cycles`] cap.
+    NoForwardProgress {
+        /// Cycle at which the stall was diagnosed.
+        cycle: Cycle,
+        /// Cycles since the last observed progress.
+        stalled_for: Cycle,
+        /// One entry per tile (the `Display` form prints only the busy
+        /// ones).
+        tiles: Vec<TileStall>,
+        /// Next delayed protocol send in the calendar, if any.
+        calendar_head: Option<Cycle>,
+        /// The longest-waiting message still in the network, if any.
+        oldest_in_flight: Option<OldestInFlight>,
+        dump: Box<StateDump>,
+    },
+    /// The supervisor's wall-clock deadline for this cell expired before
+    /// the run finished (see `supervisor::RunPolicy::wall_deadline`).
+    WallDeadline {
+        /// Cycle the run had reached when the deadline expired.
+        cycle: Cycle,
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
     /// A controller rejected a protocol-illegal message (corrupted or
     /// duplicated traffic, or a genuine protocol bug).
     Protocol {
@@ -165,20 +230,49 @@ impl SimError {
         match self {
             SimError::Deadlock { cycle, .. }
             | SimError::Watchdog { cycle }
+            | SimError::NoForwardProgress { cycle, .. }
+            | SimError::WallDeadline { cycle, .. }
             | SimError::Protocol { cycle, .. }
             | SimError::Sanitizer { cycle, .. } => *cycle,
             SimError::Panic { .. } => 0,
         }
     }
 
-    /// The attached machine snapshot (`None` for the watchdog and worker
-    /// panics).
+    /// The attached machine snapshot (`None` for the cycle-cap watchdog,
+    /// wall-clock deadlines and worker panics).
     pub fn dump(&self) -> Option<&StateDump> {
         match self {
             SimError::Deadlock { dump, .. }
+            | SimError::NoForwardProgress { dump, .. }
             | SimError::Protocol { dump, .. }
             | SimError::Sanitizer { dump, .. } => Some(dump),
-            SimError::Watchdog { .. } | SimError::Panic { .. } => None,
+            SimError::Watchdog { .. } | SimError::WallDeadline { .. } | SimError::Panic { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Stable one-word classification of the failure, used by the run
+    /// journal and the supervisor's forensic verdicts (the full `Display`
+    /// form can run to hundreds of lines of state dump).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Watchdog { .. } => "cycle-cap",
+            SimError::NoForwardProgress { .. } => "no-forward-progress",
+            SimError::WallDeadline { .. } => "wall-deadline",
+            SimError::Protocol { .. } => "protocol",
+            SimError::Sanitizer { .. } => "sanitizer",
+            SimError::Panic { .. } => "panic",
+        }
+    }
+
+    /// A one-line summary (kind, cycle, and the panic message when there
+    /// is one) suitable for journal fail records.
+    pub fn brief(&self) -> String {
+        match self {
+            SimError::Panic { message } => format!("panic: {message}"),
+            other => format!("{} at cycle {}", other.kind(), other.cycle()),
         }
     }
 }
@@ -195,6 +289,59 @@ impl std::fmt::Display for SimError {
                 write!(f, "{dump}")
             }
             SimError::Watchdog { cycle } => write!(f, "watchdog at cycle {cycle}"),
+            SimError::NoForwardProgress {
+                cycle,
+                stalled_for,
+                tiles,
+                calendar_head,
+                oldest_in_flight,
+                dump,
+            } => {
+                writeln!(
+                    f,
+                    "no forward progress for {stalled_for} cycles at cycle {cycle}: \
+                     no instruction retired, no message delivered"
+                )?;
+                let mut quiet = 0usize;
+                for t in tiles {
+                    if t.is_quiet() {
+                        quiet += 1;
+                        continue;
+                    }
+                    writeln!(
+                        f,
+                        "  tile {}: core {}; {} MSHRs in use; NI backlog {} msgs / {} flits",
+                        t.tile.index(),
+                        t.core,
+                        t.mshrs_in_use,
+                        t.ni_backlog.0,
+                        t.ni_backlog.1
+                    )?;
+                }
+                if quiet > 0 {
+                    writeln!(f, "  ({quiet} quiet tiles omitted)")?;
+                }
+                match calendar_head {
+                    Some(at) => writeln!(f, "  calendar head: delayed send at cycle {at}")?,
+                    None => writeln!(f, "  calendar head: no delayed sends")?,
+                }
+                match oldest_in_flight {
+                    Some(m) => writeln!(
+                        f,
+                        "  oldest in-flight message: {:?} {} -> {} injected at cycle {}",
+                        m.class,
+                        m.src.index(),
+                        m.dst.index(),
+                        m.injected_at
+                    )?,
+                    None => writeln!(f, "  network is empty")?,
+                }
+                write!(f, "{dump}")
+            }
+            SimError::WallDeadline { cycle, limit_ms } => write!(
+                f,
+                "wall-clock deadline of {limit_ms} ms expired at cycle {cycle}"
+            ),
             SimError::Protocol { cycle, error, dump } => {
                 writeln!(f, "protocol error at cycle {cycle}: {error}")?;
                 write!(f, "{dump}")

@@ -33,14 +33,18 @@ pub mod ports;
 pub mod snapshot;
 pub mod stats;
 pub mod tile;
+pub mod watchdog;
 
 pub use calendar::Calendar;
 pub use clocked::Clocked;
-pub use error::{SimError, StateDump, TileDump};
+pub use error::{OldestInFlight, SimError, StateDump, TileDump, TileStall};
 pub use ports::TilePorts;
 pub use snapshot::MachineSnapshot;
 pub use stats::{ClassCount, SimResult};
 pub use tile::{L2Bank, NetIface, Tile};
+pub use watchdog::WatchdogConfig;
+
+use watchdog::Watchdog;
 
 use addr_compression::{CompressionEngine, CompressionScheme};
 use cmp_common::config::CmpConfig;
@@ -84,6 +88,12 @@ pub struct SimConfig {
     /// so enabling it cannot change a run's outcome — only abort a run
     /// whose coherence state has gone inconsistent.
     pub sanitizer: Option<SanitizerConfig>,
+    /// Forward-progress watchdog (`None` = off; on by default).
+    /// Observation is read-only, so enabling it cannot change a healthy
+    /// run's outcome — only abort a livelocked one with a structured
+    /// [`SimError::NoForwardProgress`] instead of spinning to
+    /// `max_cycles`.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl SimConfig {
@@ -104,6 +114,7 @@ impl SimConfig {
             coverage_probes: Vec::new(),
             faults: FaultConfig::none(),
             sanitizer,
+            watchdog: Some(WatchdogConfig::default()),
         }
     }
 
@@ -140,6 +151,15 @@ pub struct Engine {
     pub(crate) sanitizer: Option<Sanitizer>,
     /// Next cycle at/after which a sweep runs.
     pub(crate) next_sweep: Cycle,
+    /// Forward-progress monitor (read-only observer).
+    pub(crate) watchdog: Option<Watchdog>,
+    /// Scheduler iterations completed (the watchdog's clock: each
+    /// iteration advances `now` by at least one cycle).
+    pub(crate) iters: u64,
+    /// Test/campaign hook: silently drop whole-line data replies at the
+    /// sender NI, bypassing the fault injector's recovery accounting —
+    /// the synthetic livelock reproducer for the watchdog tests.
+    pub(crate) drop_data_replies: bool,
     // --- reusable scratch buffers (hot-loop allocation sinks) ---
     pub(crate) delivered_scratch: Vec<Delivered<ProtocolMsg>>,
     pub(crate) due_scratch: Vec<u32>,
@@ -222,6 +242,9 @@ impl Engine {
             injector,
             sanitizer,
             next_sweep,
+            watchdog: cfg.watchdog.map(Watchdog::new),
+            iters: 0,
+            drop_data_replies: false,
             delivered_scratch: Vec::new(),
             due_scratch: Vec::new(),
             cfg,
@@ -290,6 +313,41 @@ impl Engine {
         }
     }
 
+    /// Instructions retired across all cores so far.
+    pub fn total_instructions(&self) -> u64 {
+        self.tiles.iter().map(|t| t.core.stats().instructions).sum()
+    }
+
+    /// Build the structured livelock report the watchdog aborts with.
+    #[cold]
+    #[inline(never)]
+    fn no_forward_progress(&self, stalled_for: Cycle) -> SimError {
+        let tiles = (0..self.cfg.cmp.tiles())
+            .map(|t| TileStall {
+                tile: TileId::from(t),
+                core: self.tiles[t].core.describe(),
+                mshrs_in_use: self.tiles[t].l1.mshr_lines().count(),
+                ni_backlog: self.noc.tile_backlog(t),
+            })
+            .collect();
+        SimError::NoForwardProgress {
+            cycle: self.now,
+            stalled_for,
+            tiles,
+            calendar_head: self.calendar.next_delayed(),
+            oldest_in_flight: self
+                .noc
+                .oldest_in_flight()
+                .map(|(injected_at, src, dst, class)| OldestInFlight {
+                    injected_at,
+                    src,
+                    dst,
+                    class,
+                }),
+            dump: Box::new(self.dump()),
+        }
+    }
+
     /// A delayed event fires: local messages are delivered directly (they
     /// never touch the network); remote ones go through compression and
     /// channel mapping, then into the NoC.
@@ -307,6 +365,14 @@ impl Engine {
                     ev,
                 )?;
             }
+        }
+        // Livelock-reproducer hook: lose the whole-line reply after any
+        // partial has gone out, so requesters run ahead on partials while
+        // their MSHRs wait forever for fills that never come.
+        if self.drop_data_replies
+            && matches!(ev.msg.kind, PKind::DataS | PKind::DataE | PKind::DataM)
+        {
+            return Ok(());
         }
         self.inject_one(ev.msg, ev)
     }
@@ -542,6 +608,21 @@ impl Engine {
         if self.now >= self.cfg.max_cycles {
             return Err(SimError::Watchdog { cycle: self.now });
         }
+        self.iters += 1;
+        if self
+            .watchdog
+            .as_ref()
+            .is_some_and(|w| w.check_due(self.iters))
+        {
+            let instructions = self.total_instructions();
+            let delivered = self.noc.stats().delivered();
+            let iters = self.iters;
+            let now = self.now;
+            let wd = self.watchdog.as_mut().expect("checked above");
+            if let Some(stalled_for) = wd.observe(iters, now, instructions, delivered) {
+                return Err(self.no_forward_progress(stalled_for));
+            }
+        }
         // 0. sanitizer sweep (read-only, between-iteration state is a
         // consistent boundary for its invariants)
         if let Some(san) = self
@@ -629,6 +710,25 @@ impl Engine {
     /// Faults injected so far (`None` without a campaign).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Arm (or re-arm) the periodic protocol sanitizer mid-run, with the
+    /// first sweep due immediately. Restoring a [`MachineSnapshot`]
+    /// overwrites the sanitizer with the snapshot's (usually absent)
+    /// state, so forensic replay — rewind a watchdog-aborted cell to its
+    /// last checkpoint and re-step with sweeps on — calls this *after*
+    /// the restore.
+    pub fn arm_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.sanitizer = Some(Sanitizer::new(cfg));
+        self.next_sweep = self.now;
+    }
+
+    /// Enable/disable the synthetic livelock: whole-line data replies are
+    /// silently lost at the sender NI (partial replies still flow), so
+    /// MSHRs pin and cores spin on blocked accesses. Campaign/test hook;
+    /// never touched on the clean path.
+    pub fn fault_drop_data_replies(&mut self, enable: bool) {
+        self.drop_data_replies = enable;
     }
 
     /// Codec-resynchronisation accounting summed across all tiles.

@@ -26,6 +26,7 @@ use mesh_noc::Noc;
 
 use super::calendar::Calendar;
 use super::tile::{restore_all, snapshot_all, L2Bank, Tile};
+use super::watchdog::Watchdog;
 use super::Engine;
 
 /// A checkpoint of the whole machine at an iteration boundary.
@@ -47,6 +48,8 @@ pub struct MachineSnapshot {
     pub(crate) injector: Option<FaultInjector>,
     pub(crate) sanitizer: Option<Sanitizer>,
     pub(crate) next_sweep: Cycle,
+    pub(crate) watchdog: Option<Watchdog>,
+    pub(crate) iters: u64,
 }
 
 impl MachineSnapshot {
@@ -78,6 +81,8 @@ impl Snapshot for Engine {
             injector: self.injector.clone(),
             sanitizer: self.sanitizer.clone(),
             next_sweep: self.next_sweep,
+            watchdog: self.watchdog.clone(),
+            iters: self.iters,
         }
     }
 
@@ -94,6 +99,8 @@ impl Snapshot for Engine {
         self.injector = state.injector.clone();
         self.sanitizer = state.sanitizer.clone();
         self.next_sweep = state.next_sweep;
+        self.watchdog = state.watchdog.clone();
+        self.iters = state.iters;
         // Scratch buffers are empty at every iteration boundary; clear
         // them anyway so a restore from any state is self-consistent.
         self.delivered_scratch.clear();

@@ -1,0 +1,171 @@
+//! Forward-progress watchdog: catch livelocks long before the cycle cap.
+//!
+//! A deadlocked machine (no schedulable event at all) is caught
+//! immediately by the scheduler's next-event check. A *livelocked*
+//! machine is worse: something keeps generating events — typically a
+//! core re-offering a blocked access every cycle while the fills that
+//! would unblock it are lost — so the clock advances one cycle per
+//! iteration until `max_cycles`, which at the 2-billion-cycle default is
+//! hours of wasted wall-clock per cell.
+//!
+//! The watchdog monitors the two counters that define useful work: total
+//! instructions retired across all cores and total messages delivered by
+//! the NoC. It counts **scheduler iterations** rather than raw cycles:
+//! each iteration advances the clock by at least one cycle, so a stall
+//! of N iterations is a stall of ≥ N cycles, while a healthy fast-forward
+//! over a multi-million-cycle compute burst is a single iteration and can
+//! never trip it. When neither counter moves for
+//! [`WatchdogConfig::stall_iterations`] iterations, the engine aborts
+//! with [`super::SimError::NoForwardProgress`] carrying per-tile stall
+//! diagnostics instead of spinning to the cap.
+//!
+//! Observation is read-only and runs every `stall_iterations / 4`
+//! iterations, so the clean-path overhead is one counter increment and
+//! one compare per iteration.
+
+use cmp_common::types::Cycle;
+
+/// Watchdog policy knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Scheduler iterations (each advances the clock ≥ 1 cycle) with no
+    /// instruction retired and no message delivered before the run is
+    /// declared livelocked.
+    pub stall_iterations: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_iterations: 2_000_000,
+        }
+    }
+}
+
+/// The monitor itself: last-observed progress counters plus the
+/// iteration/cycle coordinates of the most recent observed progress.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    check_period: u64,
+    next_check: u64,
+    last_progress_iter: u64,
+    last_progress_cycle: Cycle,
+    last_instructions: u64,
+    last_delivered: u64,
+}
+
+impl Watchdog {
+    /// A fresh monitor that first checks one period into the run.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        let check_period = (cfg.stall_iterations / 4).max(1);
+        Watchdog {
+            cfg,
+            check_period,
+            next_check: check_period,
+            last_progress_iter: 0,
+            last_progress_cycle: 0,
+            last_instructions: 0,
+            last_delivered: 0,
+        }
+    }
+
+    /// Whether the (cheap) per-iteration gate says a full observation is
+    /// due.
+    #[inline]
+    pub fn check_due(&self, iter: u64) -> bool {
+        iter >= self.next_check
+    }
+
+    /// Full observation at iteration `iter`, cycle `now`: compare the
+    /// progress counters against the last observation. Returns
+    /// `Some(stalled_for_cycles)` when the stall budget is exhausted.
+    pub fn observe(
+        &mut self,
+        iter: u64,
+        now: Cycle,
+        instructions: u64,
+        delivered: u64,
+    ) -> Option<Cycle> {
+        self.next_check = iter + self.check_period;
+        if instructions != self.last_instructions || delivered != self.last_delivered {
+            self.last_instructions = instructions;
+            self.last_delivered = delivered;
+            self.last_progress_iter = iter;
+            self.last_progress_cycle = now;
+            return None;
+        }
+        if iter - self.last_progress_iter >= self.cfg.stall_iterations {
+            return Some(now.saturating_sub(self.last_progress_cycle));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wd(stall: u64) -> Watchdog {
+        Watchdog::new(WatchdogConfig {
+            stall_iterations: stall,
+        })
+    }
+
+    #[test]
+    fn advancing_counters_never_trip() {
+        let mut w = wd(100);
+        for i in 0..10_000u64 {
+            if w.check_due(i) {
+                // instructions move every observation
+                assert_eq!(w.observe(i, i, i, 0), None);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_counters_trip_after_the_budget() {
+        let mut w = wd(100);
+        assert_eq!(w.observe(0, 0, 42, 7), None, "first observation baselines");
+        let mut fired = None;
+        for i in 1..1_000u64 {
+            if w.check_due(i) {
+                if let Some(stalled) = w.observe(i, i * 3, 42, 7) {
+                    fired = Some((i, stalled));
+                    break;
+                }
+            }
+        }
+        let (iter, stalled) = fired.expect("watchdog must fire");
+        assert!(iter >= 100, "not before the budget (fired at {iter})");
+        assert!(iter <= 200, "within two check periods (fired at {iter})");
+        assert_eq!(stalled, iter * 3, "stall reported in cycles");
+    }
+
+    #[test]
+    fn delivery_progress_counts_without_retirement() {
+        let mut w = wd(50);
+        for i in 0..5_000u64 {
+            if w.check_due(i) {
+                // retirement frozen, but the NoC keeps delivering
+                assert_eq!(w.observe(i, i, 0, i), None);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_jumps_do_not_trip() {
+        let mut w = wd(100);
+        assert_eq!(w.observe(0, 0, 5, 5), None);
+        // one iteration later the clock has jumped 10M cycles (a compute
+        // burst): counters frozen, but only 1 iteration has elapsed
+        assert_eq!(w.observe(26, 10_000_000, 5, 5), None);
+    }
+
+    #[test]
+    fn check_gate_has_the_configured_cadence() {
+        let w = wd(400);
+        assert!(!w.check_due(99));
+        assert!(w.check_due(100));
+    }
+}

@@ -124,7 +124,7 @@ pub fn run_one(cmp: &CmpConfig, spec: &RunSpec) -> Result<SimResult, SimError> {
 /// Render an unwind payload into the message carried by
 /// [`SimError::Panic`]: panics carry a `&str` or `String` in practice,
 /// anything else gets a placeholder.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -298,6 +298,42 @@ pub fn normalize(results: &[SimResult]) -> Result<Vec<NormalizedRow>, MissingBas
             })
         })
         .collect()
+}
+
+/// What [`normalize_partial`] could and could not scale.
+#[derive(Clone, Debug, Default)]
+pub struct PartialNormalization {
+    /// Rows for every application that *does* have a baseline run, in
+    /// input order.
+    pub rows: Vec<NormalizedRow>,
+    /// Applications skipped because the set has no baseline run for
+    /// them (a partially-failed or resumed-and-incomplete matrix),
+    /// deduplicated, in input order.
+    pub missing_baseline: Vec<String>,
+}
+
+/// [`normalize`] for a partial result set — e.g. a supervised matrix
+/// where some cells failed terminally. Applications without a baseline
+/// run are reported, not fatal, so the figures that *can* be produced
+/// still are.
+pub fn normalize_partial(results: &[SimResult]) -> PartialNormalization {
+    let mut out = PartialNormalization::default();
+    let has_baseline = |app: &str| {
+        results.iter().any(|r| {
+            r.app == app
+                && r.interconnect == InterconnectChoice::Baseline
+                && r.scheme == CompressionScheme::None
+        })
+    };
+    let (with, without): (Vec<_>, Vec<_>) =
+        results.iter().cloned().partition(|r| has_baseline(&r.app));
+    for r in &without {
+        if !out.missing_baseline.iter().any(|a| a == &r.app) {
+            out.missing_baseline.push(r.app.clone());
+        }
+    }
+    out.rows = normalize(&with).expect("every app in the filtered set has a baseline");
+    out
 }
 
 /// Label of a result's configuration.

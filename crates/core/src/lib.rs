@@ -22,17 +22,26 @@
 //!   perfect-compression bound), executed in parallel and normalised
 //!   against the baseline exactly as the paper normalises.
 //! * [`report`] — Markdown/CSV emission for the reproduction binaries.
+//! * [`supervisor`] — supervised, crash-resumable campaign execution:
+//!   per-cell cycle/wall-clock budgets, retry-with-backoff, forensic
+//!   rewind-and-replay of watchdog aborts, and the journal-backed
+//!   matrix runner whose sweeps resume bit-identically after a kill.
 
 pub mod engine;
 pub mod experiment;
 pub mod niface;
 pub mod report;
 pub mod sim;
+pub mod supervisor;
 
 pub use engine::MachineSnapshot;
 pub use experiment::{
-    paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError, MissingBaseline,
-    NormalizedRow, RunFailure, RunSpec,
+    normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError,
+    MissingBaseline, NormalizedRow, PartialNormalization, RunFailure, RunSpec,
 };
 pub use niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
 pub use sim::{CmpSimulator, SimConfig, SimError, SimResult, StateDump, TileDump};
+pub use supervisor::{
+    campaign_meta, cell_key, run_matrix_supervised, run_supervised, supervise, CellFailure,
+    ForensicReport, MatrixReport, RunPolicy, SupervisedFailure,
+};

@@ -97,9 +97,21 @@ impl TableBuilder {
         out
     }
 
-    /// Write the CSV rendering to `path`.
+    /// Write the CSV rendering to `path` crash-safely: the contents go
+    /// to a sibling temp file, are fsynced, and are renamed into place,
+    /// so a kill mid-write leaves either the old file or the new one —
+    /// never a truncated CSV that a resumed campaign could mistake for
+    /// results.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_csv())
+        cmp_common::journal::write_atomic(path, self.to_csv())
+    }
+
+    /// [`TableBuilder::write_csv`] with a `#`-comment provenance line
+    /// first — the binaries stamp every emitted CSV with the producing
+    /// git SHA and configuration fingerprint, so result files from
+    /// different builds or sweeps are distinguishable after the fact.
+    pub fn write_csv_stamped(&self, path: impl AsRef<Path>, stamp: &str) -> io::Result<()> {
+        cmp_common::journal::write_atomic(path, format!("# {stamp}\n{}", self.to_csv()))
     }
 }
 

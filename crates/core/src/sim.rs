@@ -26,7 +26,10 @@ use workloads::profile::AppProfile;
 use crate::engine::{Engine, MachineSnapshot};
 use crate::niface::ResyncStats;
 
-pub use crate::engine::{ClassCount, SimConfig, SimError, SimResult, StateDump, TileDump};
+pub use crate::engine::{
+    ClassCount, OldestInFlight, SimConfig, SimError, SimResult, StateDump, TileDump, TileStall,
+    WatchdogConfig,
+};
 
 /// The full-system simulator: a thin façade over [`crate::engine`].
 pub struct CmpSimulator {
@@ -82,6 +85,32 @@ impl CmpSimulator {
     /// configuration (panics on a tile-count mismatch).
     pub fn restore(&mut self, snap: &MachineSnapshot) {
         self.engine.restore(snap);
+    }
+
+    /// Arm (or re-arm) the periodic protocol sanitizer mid-run, with the
+    /// first sweep due immediately. [`CmpSimulator::restore`] overwrites
+    /// the sanitizer with the snapshot's (usually absent) state, so
+    /// forensic replay of a watchdog-aborted cell — rewind to the last
+    /// checkpoint, then re-step with sweeps on — calls this *after* the
+    /// restore. Sweeps are read-only, so arming cannot change a healthy
+    /// run's outcome.
+    pub fn arm_sanitizer(&mut self, cfg: coherence::sanitizer::SanitizerConfig) {
+        self.engine.arm_sanitizer(cfg);
+    }
+
+    /// Instructions retired across all cores so far (read-only progress
+    /// probe; the supervisor reports it alongside wall-clock status).
+    pub fn instructions_retired(&self) -> u64 {
+        self.engine.total_instructions()
+    }
+
+    /// Synthetic livelock: silently lose whole-line data replies at the
+    /// sender NI (partial replies still flow), without the fault
+    /// injector's recovery accounting. Campaign/test hook for the
+    /// forward-progress watchdog; never called on the clean path.
+    #[doc(hidden)]
+    pub fn fault_drop_data_replies(&mut self, enable: bool) {
+        self.engine.fault_drop_data_replies(enable);
     }
 
     /// Flits sent per outgoing link of one channel kind (utilisation

@@ -189,6 +189,24 @@ impl<P> Noc<P> {
         })
     }
 
+    /// The longest-waiting message still traversing any sub-network, as
+    /// `(injected_at, src, dst, class)`. Fault-held messages are not
+    /// included (they have not been injected yet; see
+    /// [`Noc::held_count`]). Read-only diagnostic for stall reports.
+    pub fn oldest_in_flight(
+        &self,
+    ) -> Option<(
+        Cycle,
+        cmp_common::types::TileId,
+        cmp_common::types::TileId,
+        cmp_common::types::MessageClass,
+    )> {
+        self.subnets
+            .iter()
+            .filter_map(|s| s.oldest_in_flight())
+            .min_by_key(|&(at, src, dst, _)| (at, src.index(), dst.index()))
+    }
+
     /// Messages anywhere in the network (including fault-held ones).
     pub fn live_messages(&self) -> usize {
         self.subnets

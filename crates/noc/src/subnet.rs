@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 
 use cmp_common::geometry::{Direction, MeshShape};
-use cmp_common::types::{Cycle, TileId};
+use cmp_common::types::{Cycle, MessageClass, TileId};
 
 use crate::config::ChannelSpec;
 use crate::energy::{NocEnergy, RouterEnergyModel};
@@ -516,6 +516,21 @@ impl<P> SubNet<P> {
     /// Messages anywhere in this sub-network (diagnostic snapshot).
     pub fn live_messages(&self) -> usize {
         self.live_msgs
+    }
+
+    /// The longest-waiting in-flight message, as
+    /// `(injected_at, src, dst, class)` — `None` when idle. Read-only
+    /// diagnostic for stall reports; walks the slab, so call it only on
+    /// failure paths.
+    pub fn oldest_in_flight(&self) -> Option<(Cycle, TileId, TileId, MessageClass)> {
+        self.slab
+            .iter()
+            .flatten()
+            .filter_map(|e| {
+                let m = e.msg.as_ref()?;
+                Some((e.injected_at, m.src, m.dst, m.class))
+            })
+            .min_by_key(|&(at, src, dst, _)| (at, src.index(), dst.index()))
     }
 
     /// Switching-factor-weighted channel energy parameters (test hook).

@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
@@ -25,7 +25,45 @@ TCMP_SANITIZE=1 cargo test -q --workspace
 echo "== snapshot/restore round-trip smoke"
 cargo test -q --release --test snapshot_restore
 
+echo "== forward-progress watchdog unit + livelock tests"
+cargo test -q --release -p tcmp-core engine::watchdog
+cargo test -q --release --test robustness watchdog
+
+echo "== campaign journal + resume tests"
+cargo test -q --release -p cmp-common journal
+cargo test -q --release --test campaign_resume
+
 echo "== fault-campaign smoke run"
 cargo run -q --release -p cmp-bench --bin fault_campaign -- --smoke --seed 1025041 --jobs 2
+
+echo "== kill-and-resume smoke (SIGKILL mid-sweep, resume, diff CSVs)"
+SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/tcmp-killsmoke-XXXXXX")"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+FIG6="target/release/fig6_exec_time_ed2p"
+FIG6_ARGS=(--scale 0.002 --app FFT --app MP3D --no-perfect --seed 1025041 --jobs 2)
+# reference: one uninterrupted journaled sweep
+"$FIG6" "${FIG6_ARGS[@]}" --out "$SMOKE_DIR/ref" --csv "$SMOKE_DIR/ref.csv" >/dev/null 2>&1
+# victim: start the same sweep, SIGKILL it mid-flight, then resume
+"$FIG6" "${FIG6_ARGS[@]}" --out "$SMOKE_DIR/victim" >/dev/null 2>&1 &
+VICTIM_PID=$!
+# wait for the journal to hold at least one finished cell, then kill -9
+for _ in $(seq 1 200); do
+    if grep -q '"finish"' "$SMOKE_DIR/victim/journal.jsonl" 2>/dev/null; then break; fi
+    sleep 0.05
+done
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+test -s "$SMOKE_DIR/victim/journal.jsonl" || {
+    echo "kill-and-resume smoke: victim never journaled a cell"; exit 1; }
+"$FIG6" "${FIG6_ARGS[@]}" --resume "$SMOKE_DIR/victim" --csv "$SMOKE_DIR/resumed.csv" \
+    >/dev/null 2>&1
+# the resumed sweep must reproduce the reference CSVs byte-for-byte
+# (modulo the provenance stamp line, which embeds the git SHA)
+for suffix in exec_time.csv link_ed2p.csv; do
+    diff <(grep -v '^#' "$SMOKE_DIR/ref.csv.$suffix") \
+         <(grep -v '^#' "$SMOKE_DIR/resumed.csv.$suffix") || {
+        echo "kill-and-resume smoke: resumed $suffix differs from reference"; exit 1; }
+done
+echo "kill-and-resume smoke: resumed CSVs are bit-identical"
 
 echo "All checks passed."

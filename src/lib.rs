@@ -58,14 +58,19 @@ pub use workloads;
 pub mod prelude {
     pub use addr_compression::CompressionScheme;
     pub use cmp_common::config::CmpConfig;
+    pub use cmp_common::journal::{CampaignMeta, Journal, Json};
     pub use cmp_common::types::{MessageClass, TileId};
     pub use tcmp_core::engine::MachineSnapshot;
     pub use tcmp_core::experiment::{
-        normalize, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError, RunFailure,
-        RunSpec,
+        normalize, normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec,
+        MatrixError, PartialNormalization, RunFailure, RunSpec,
     };
     pub use tcmp_core::niface::InterconnectChoice;
-    pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult};
+    pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult, WatchdogConfig};
+    pub use tcmp_core::supervisor::{
+        campaign_meta, cell_key, run_matrix_supervised, run_supervised, supervise, CellFailure,
+        ForensicReport, MatrixReport, RunPolicy, SupervisedFailure,
+    };
     pub use wire_model::wires::{VlWidth, WireClass};
     pub use workloads::profile::AppProfile;
 }

@@ -6,6 +6,7 @@
 use tiled_cmp::coherence::sanitizer::{Invariant, SanitizerConfig};
 use tiled_cmp::common::fault::FaultConfig;
 use tiled_cmp::prelude::*;
+use tiled_cmp::sim::supervisor::supervise;
 use tiled_cmp::sim::SimError;
 
 const SEED: u64 = 0xD5A1_F00D;
@@ -158,12 +159,15 @@ fn sanitizer_catches_live_corruption_through_the_public_step_api() {
 
 /// With faults disabled and the sanitizer off, the robustness layer is
 /// invisible: the golden fft run still produces the seed's exact counts.
+/// The forward-progress watchdog is ON at its default here — its
+/// observation is read-only, so the goldens must stay bit-identical.
 #[test]
 fn robustness_layer_is_neutral_on_the_golden_run() {
     let app = tiled_cmp::workloads::apps::fft();
     let mut cfg = SimConfig::baseline();
     cfg.faults = FaultConfig::none();
     cfg.sanitizer = None;
+    assert!(cfg.watchdog.is_some(), "watchdog defaults to on");
     let r = CmpSimulator::new(cfg, &app, 0xD5A1_F00D, 0.01)
         .run()
         .expect("clean run");
@@ -172,4 +176,128 @@ fn robustness_layer_is_neutral_on_the_golden_run() {
     assert_eq!(r.fault_stats.total(), 0);
     assert_eq!(r.resync.desyncs_detected, 0);
     assert_eq!(r.sanitizer_sweeps, 0);
+}
+
+/// The synthetic livelock: with Reply Partitioning, lost whole-line
+/// fills let cores run ahead on partial replies until every MSHR is
+/// pinned on a fill that will never arrive — then blocked accesses
+/// retry every cycle forever. The forward-progress watchdog must abort
+/// in bounded cycles with per-tile stall diagnostics, where the old
+/// behaviour was spinning to the 2-billion-cycle cap.
+#[test]
+fn livelock_reproducer_trips_the_watchdog_with_diagnostics() {
+    let app = tiled_cmp::workloads::apps::fft();
+    // Reply Partitioning is the config that splits data responses into a
+    // partial (critical-word) reply plus the whole-line fill.
+    let mut cfg = SimConfig::new(
+        InterconnectChoice::ReplyPartitioning,
+        CompressionScheme::None,
+    );
+    assert!(cfg.interconnect.splits_replies(), "needs partial replies");
+    cfg.watchdog = Some(WatchdogConfig {
+        stall_iterations: 50_000,
+    });
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    sim.fault_drop_data_replies(true);
+    let err = loop {
+        match sim.step() {
+            Ok(true) => {}
+            Ok(false) => panic!("a run with lost fills must never complete"),
+            Err(e) => break e,
+        }
+    };
+    match &err {
+        SimError::NoForwardProgress {
+            cycle,
+            stalled_for,
+            tiles,
+            dump,
+            ..
+        } => {
+            assert!(
+                *cycle < 10_000_000,
+                "bounded abort, not a spin to the cap (cycle {cycle})"
+            );
+            assert!(*stalled_for >= 50_000, "a real stall window: {stalled_for}");
+            assert!(!tiles.is_empty(), "per-tile diagnostics must be present");
+            assert!(
+                tiles.iter().any(|t| t.mshrs_in_use > 0),
+                "the livelock pins MSHRs; diagnostics must show it"
+            );
+            assert_eq!(dump.cycle, *cycle);
+            let rendered = format!("{err}");
+            assert!(
+                rendered.contains("no forward progress"),
+                "report is self-describing: {rendered}"
+            );
+            assert!(
+                rendered.contains("MSHRs in use"),
+                "report shows MSHR occupancy: {rendered}"
+            );
+        }
+        other => panic!("expected NoForwardProgress, got: {other}"),
+    }
+}
+
+/// Forensic supervision of the livelock: with periodic snapshots and
+/// forensics on, a watchdog abort comes back with a rewind-and-replay
+/// report — the machine was rewound to the last checkpoint, re-stepped
+/// with the protocol sanitizer armed, and the abort reproduced with the
+/// coherence state found consistent (a genuine scheduling livelock,
+/// not metadata corruption).
+#[test]
+fn watchdog_abort_under_forensics_yields_a_rewind_and_replay_report() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = SimConfig::new(
+        InterconnectChoice::ReplyPartitioning,
+        CompressionScheme::None,
+    );
+    cfg.watchdog = Some(WatchdogConfig {
+        stall_iterations: 50_000,
+    });
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    sim.fault_drop_data_replies(true);
+    let policy = RunPolicy {
+        snapshot_period: Some(10_000),
+        forensics: true,
+        ..RunPolicy::default()
+    };
+    let failure = supervise(&mut sim, &policy).expect_err("the livelock must abort");
+    assert!(matches!(failure.error, SimError::NoForwardProgress { .. }));
+    let rendered = format!("{failure}");
+    assert!(rendered.contains("forensics:"), "{rendered}");
+    let forensics = failure
+        .forensics
+        .expect("snapshots were taken, so forensics must run");
+    assert!(forensics.rewound_to > 0, "a checkpoint existed");
+    assert!(
+        forensics.rewound_to < failure.error.cycle(),
+        "the rewind goes backwards"
+    );
+    assert!(
+        forensics.replayed_to >= forensics.rewound_to,
+        "the replay steps forward again"
+    );
+    assert!(
+        forensics.verdict.contains("reproduced"),
+        "deterministic replay reproduces the abort: {}",
+        forensics.verdict
+    );
+}
+
+/// A healthy golden run must never trip the watchdog, even at a stall
+/// budget far tighter than the default: retirement or delivery happens
+/// constantly, and idle stretches are fast-forwarded in single
+/// iterations the watchdog is immune to.
+#[test]
+fn healthy_run_never_trips_an_aggressive_watchdog() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let mut cfg = proposal_cfg();
+    cfg.watchdog = Some(WatchdogConfig {
+        stall_iterations: 10_000,
+    });
+    let r = CmpSimulator::new(cfg, &app, SEED, SCALE)
+        .run()
+        .expect("healthy run completes despite the aggressive watchdog");
+    assert!(r.instructions > 0);
 }
