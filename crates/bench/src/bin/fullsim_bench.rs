@@ -8,10 +8,17 @@
 //! * `figure6_matrix` — completed runs per wall-clock second over the
 //!   Figure 6 matrix (all apps × configs, default `--scale 0.25`),
 //!   i.e. what a full evaluation sweep costs.
+//! * `thread_scaling_tN` — the hotspot run again under the epoch
+//!   scheduler at N ∈ {1, 2, 4, available_parallelism} worker threads
+//!   (`--sim-threads`), so BENCH.json records how intra-simulation
+//!   parallelism scales on this machine. The meta block stamps
+//!   `available_parallelism`: on a single-core host the parallel rows
+//!   measure scheduler overhead, not speedup.
 //!
 //! Usage:
 //!   fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N]
-//!                 [--out PATH] [--app NAME]... [--skip-matrix] [--jobs N]
+//!                 [--out PATH] [--app NAME]... [--skip-matrix]
+//!                 [--skip-scaling] [--jobs N] [--sim-threads N]
 
 use cmp_bench::harness::{measure, to_bench_json, BenchStats};
 use cmp_common::config::CmpConfig;
@@ -28,8 +35,11 @@ struct BenchOptions {
     out: String,
     apps: Vec<String>,
     skip_matrix: bool,
+    skip_scaling: bool,
     /// Matrix worker-thread cap (`None` = all cores).
     jobs: Option<usize>,
+    /// Scheduler threads for the hotspot benchmark (`None` = serial).
+    sim_threads: Option<usize>,
 }
 
 impl Default for BenchOptions {
@@ -42,7 +52,9 @@ impl Default for BenchOptions {
             out: "BENCH.json".to_string(),
             apps: Vec::new(),
             skip_matrix: false,
+            skip_scaling: false,
             jobs: None,
+            sim_threads: None,
         }
     }
 }
@@ -50,7 +62,8 @@ impl Default for BenchOptions {
 fn usage<T>() -> T {
     eprintln!(
         "usage: fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N] \
-         [--out PATH] [--app NAME]... [--skip-matrix] [--jobs N]"
+         [--out PATH] [--app NAME]... [--skip-matrix] [--skip-scaling] \
+         [--jobs N] [--sim-threads N]"
     );
     std::process::exit(2)
 }
@@ -87,6 +100,7 @@ fn parse_args() -> BenchOptions {
             "--out" => o.out = args.next().unwrap_or_else(usage),
             "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
             "--skip-matrix" => o.skip_matrix = true,
+            "--skip-scaling" => o.skip_scaling = true,
             "--jobs" => {
                 let n: usize = args
                     .next()
@@ -97,6 +111,17 @@ fn parse_args() -> BenchOptions {
                     usage()
                 }
                 o.jobs = Some(n);
+            }
+            "--sim-threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(usage);
+                if n == 0 {
+                    eprintln!("--sim-threads must be >= 1");
+                    usage()
+                }
+                o.sim_threads = Some(n);
             }
             "--help" | "-h" => usage(),
             other => {
@@ -112,14 +137,29 @@ fn parse_args() -> BenchOptions {
     o
 }
 
-/// One full baseline simulation of the hotspot synthetic workload;
-/// returns simulated cycles (the work figure for cycles/sec).
-fn hotspot_run(seed: u64) -> f64 {
+/// One full baseline simulation of the hotspot synthetic workload with
+/// `threads` scheduler workers; returns simulated cycles (the work
+/// figure for cycles/sec). Results are bit-identical for every thread
+/// count, so every row measures the same work.
+fn hotspot_run(seed: u64, threads: usize) -> f64 {
     let app = synthetic::hotspot(20_000, 64);
-    let cfg = SimConfig::baseline();
+    let mut cfg = SimConfig::baseline();
+    cfg.sim_threads = Some(threads);
     let mut sim = CmpSimulator::new(cfg, &app, seed, 1.0);
     let r = sim.run().expect("hotspot benchmark run completes");
     r.cycles as f64
+}
+
+/// The thread counts the scaling benchmark sweeps: 1/2/4 plus whatever
+/// this machine actually has, deduplicated and sorted.
+fn scaling_thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
 }
 
 /// One pass over the Figure 6 matrix; returns the number of runs (the
@@ -164,18 +204,40 @@ fn main() {
         opts.warmup, opts.trials
     );
     let seed = opts.seed;
+    let hotspot_threads = opts.sim_threads.unwrap_or(1);
     stats.push(measure(
         "fullsim_hotspot",
         "simulated_cycles_per_sec",
         opts.warmup,
         opts.trials,
-        || hotspot_run(seed),
+        || hotspot_run(seed, hotspot_threads),
     ));
     let h = stats.last().expect("just pushed");
     eprintln!(
         "  median {:.3e} cycles/s (p10 {:.3e}, p90 {:.3e})",
         h.median, h.p10, h.p90
     );
+
+    if !opts.skip_scaling {
+        for t in scaling_thread_counts() {
+            eprintln!(
+                "thread_scaling_t{t}: {} warmup + {} trials...",
+                opts.warmup, opts.trials
+            );
+            stats.push(measure(
+                &format!("thread_scaling_t{t}"),
+                "simulated_cycles_per_sec",
+                opts.warmup,
+                opts.trials,
+                || hotspot_run(seed, t),
+            ));
+            let s = stats.last().expect("just pushed");
+            eprintln!(
+                "  median {:.3e} cycles/s (p10 {:.3e}, p90 {:.3e})",
+                s.median, s.p10, s.p90
+            );
+        }
+    }
 
     if !opts.skip_matrix {
         eprintln!(
@@ -201,6 +263,14 @@ fn main() {
         ("trials", opts.trials.to_string()),
         ("matrix_scale", opts.scale.to_string()),
         ("seed", opts.seed.to_string()),
+        ("hotspot_sim_threads", hotspot_threads.to_string()),
+        (
+            "available_parallelism",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        ),
         (
             "git_sha",
             format!("\"{}\"", tcmp_core::supervisor::build_git_sha()),

@@ -36,6 +36,9 @@ pub struct Options {
     pub retries: u32,
     /// Per-cell wall-clock deadline in seconds (`--deadline SECS`).
     pub deadline_s: Option<u64>,
+    /// Scheduler threads inside each simulation (`--sim-threads N`);
+    /// `None` = serial. Results are bit-identical for every value.
+    pub sim_threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -51,6 +54,7 @@ impl Default for Options {
             resume: None,
             retries: 0,
             deadline_s: None,
+            sim_threads: None,
         }
     }
 }
@@ -118,6 +122,13 @@ impl Options {
                             .map_err(|_| "--deadline needs whole seconds".to_string())?,
                     );
                 }
+                "--sim-threads" => {
+                    o.sim_threads = Some(
+                        value(&mut args, "--sim-threads", "a count")?
+                            .parse()
+                            .map_err(|_| "--sim-threads needs an unsigned integer".to_string())?,
+                    );
+                }
                 "--help" | "-h" => return Err("help requested".to_string()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -132,6 +143,9 @@ impl Options {
         }
         if self.jobs == Some(0) {
             return Err("--jobs must be >= 1".to_string());
+        }
+        if self.sim_threads == Some(0) {
+            return Err("--sim-threads must be >= 1".to_string());
         }
         if self.deadline_s == Some(0) {
             return Err("--deadline must be >= 1 second".to_string());
@@ -188,6 +202,7 @@ impl Options {
         RunPolicy {
             retries: self.retries,
             wall_deadline: self.deadline_s.map(Duration::from_secs),
+            sim_threads: self.sim_threads,
             ..RunPolicy::default()
         }
     }
@@ -230,7 +245,7 @@ fn check_parent_exists(path: &Path, flag: &str) -> Result<(), String> {
 fn usage<T>() -> T {
     eprintln!(
         "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect] \
-         [--jobs N] [--out DIR | --resume DIR] [--retries N] [--deadline SECS]"
+         [--jobs N] [--sim-threads N] [--out DIR | --resume DIR] [--retries N] [--deadline SECS]"
     );
     std::process::exit(2)
 }
@@ -247,6 +262,12 @@ mod tests {
     fn rejects_zero_jobs_and_bad_numbers() {
         assert!(parse(&["--jobs", "0"]).unwrap_err().contains("--jobs"));
         assert!(parse(&["--jobs", "x"]).unwrap_err().contains("--jobs"));
+        assert!(parse(&["--sim-threads", "0"])
+            .unwrap_err()
+            .contains("--sim-threads"));
+        assert!(parse(&["--sim-threads", "x"])
+            .unwrap_err()
+            .contains("--sim-threads"));
         assert!(parse(&["--scale", "-1"]).unwrap_err().contains("--scale"));
         assert!(parse(&["--scale"]).unwrap_err().contains("--scale"));
         assert!(parse(&["--deadline", "0"])
@@ -303,6 +324,8 @@ mod tests {
             "3",
             "--deadline",
             "60",
+            "--sim-threads",
+            "4",
             "--out",
             out.to_str().unwrap(),
         ])
@@ -310,11 +333,13 @@ mod tests {
         assert_eq!(o.scale, 0.05);
         assert_eq!(o.retries, 3);
         assert_eq!(o.deadline_s, Some(60));
+        assert_eq!(o.sim_threads, Some(4));
         let (d, resuming) = o.campaign_dir().unwrap();
         assert_eq!(d, out.as_path());
         assert!(!resuming);
         let p = o.policy();
         assert_eq!(p.retries, 3);
         assert_eq!(p.wall_deadline, Some(Duration::from_secs(60)));
+        assert_eq!(p.sim_threads, Some(4));
     }
 }

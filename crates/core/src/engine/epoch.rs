@@ -1,0 +1,687 @@
+//! The epoch scheduler: deterministic intra-simulation parallelism.
+//!
+//! One scheduler iteration drains everything due at the current cycle
+//! (memory fills, delayed protocol sends, network deliveries, core
+//! steps). The epoch scheduler partitions that per-cycle work across a
+//! pool of worker threads by owner tile, runs the *collect* half of each
+//! item on its owner's thread — mutating only tile-local state and
+//! recording every cross-tile side effect in an [`Fx`] slot — then merges
+//! the slots **serially, in exactly the order the serial engine would
+//! have produced them**: cycle first (the scheduler only ever works on
+//! one cycle at a time), then the phase's own deterministic item order
+//! (memory-fill pop order, delayed-event `(cycle, seq)` order, delivery
+//! drain order, ascending tile id for cores).
+//!
+//! # Why per-cycle epochs are safe (the lookahead bound)
+//!
+//! Conservative parallel discrete-event simulation needs a *lookahead*: a
+//! lower bound on how far apart cause and cross-partition effect must be.
+//! Here every cross-tile interaction travels either through the event
+//! calendar (delayed at least until the next scheduler iteration — the
+//! calendar clamps events to `now + 1` or later) or through the NoC,
+//! whose minimum zero-load one-hop latency is
+//! `2·(router_pipeline − 1) + link_cycles` per sub-network, and at least
+//! one cycle even for the single-stage express routers
+//! ([`lookahead_window`] computes the minimum across the configured
+//! channels once, from the `NocConfig`). Nothing a tile does at cycle
+//! `t` can influence another tile at cycle `t`, so all per-tile work due
+//! at one cycle is independent and an epoch of one "interesting" cycle —
+//! the finest grain the lookahead permits — can fan out across
+//! partitions. The barrier at the end of each phase is the epoch
+//! boundary; snapshots are only taken between iterations, i.e. exactly
+//! at epoch boundaries, which is why a snapshot from a 1-thread run
+//! restores losslessly into an 8-thread engine and vice versa.
+//!
+//! # Why the result is bit-identical for every thread count
+//!
+//! The serial path and the parallel path share the same collect
+//! functions ([`mem_fill_into`], [`fire_into`], [`deliver_into`],
+//! [`step_core_into`]) and the same apply functions on the engine; the
+//! only difference is *where* collect runs. Because collect touches only
+//! its owner tile's state and the apply merge replays side effects in
+//! the serial order, the machine state after every iteration is
+//! identical by construction — including f64 energy totals, which the
+//! NoC keeps in per-sub-network accumulators summed in fixed order.
+//!
+//! The worker pool is built from `std` only (no rayon/crossbeam): a
+//! generation-counter job board with spin-then-yield-then-park waiting,
+//! sized by [`super::SimConfig::sim_threads`].
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+use std::time::Duration;
+
+use cmp_common::types::{Cycle, TileId};
+use coherence::l1::{CoreAccess, L1Result};
+use coherence::memctrl::MemRead;
+use coherence::msg::{Outgoing, PKind, ProtocolMsg};
+use coherence::ProtocolError;
+use cpu_model::core::Action;
+use mesh_noc::config::NocConfig;
+use mesh_noc::message::{Delivered, Message};
+
+use crate::niface::{map_channel, InterconnectChoice};
+
+use super::calendar::DelayedEvent;
+use super::tile::{L2Bank, Tile};
+
+/// Minimum items in a phase before it fans out to the pool: below this
+/// the fork-join handshake costs more than the work, so the iteration
+/// collects inline on the caller thread (same functions, same order —
+/// the results are identical either way, only the wall clock differs).
+pub(crate) const PAR_MIN_ITEMS: usize = 8;
+
+/// The conservative lookahead window of `cfg`, in cycles: the minimum
+/// zero-load one-hop latency across the configured sub-networks,
+/// `min over channels of 2·(router_pipeline − 1) + link_cycles`, clamped
+/// to at least one cycle. This is the bound that makes per-cycle epochs
+/// safe: no tile can affect another tile sooner than this many cycles
+/// after a send, so work due at a single cycle is cross-tile independent.
+pub fn lookahead_window(cfg: &NocConfig) -> Cycle {
+    cfg.channels
+        .iter()
+        .map(|c| {
+            let link = c.channel.timing(cfg.clock_hz).cycles;
+            2 * (c.router_pipeline_cycles - 1) + link
+        })
+        .min()
+        .unwrap_or(1)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------
+// Effect slots
+// ---------------------------------------------------------------------
+
+/// Side effects of one collected work item, replayed at the merge. All
+/// buffers keep their capacity across [`Fx::reset`], so steady state
+/// allocates nothing.
+#[derive(Default)]
+pub(crate) struct Fx {
+    /// Controller side effects to route through the owner's ports.
+    pub(crate) outs: Vec<Outgoing>,
+    /// Compressed, channel-mapped messages bound for the NoC (remote
+    /// delayed sends only), in send order.
+    pub(crate) msgs: Vec<Message<ProtocolMsg>>,
+    /// The owner's L2 bank handled work (re-sync its busy flag).
+    pub(crate) bank_touched: bool,
+    /// The owner's core finished a miss (refresh its ready cycle).
+    pub(crate) refresh: bool,
+    /// The owner's core retired its last instruction during this step.
+    pub(crate) finished: bool,
+    /// The owner's core arrived at this barrier (arrival is replayed at
+    /// the merge, in deterministic order).
+    pub(crate) barrier: Option<u32>,
+    /// Protocol rejection raised during collect (reported at the merge,
+    /// first in deterministic order wins).
+    pub(crate) error: Option<ProtocolError>,
+}
+
+impl Fx {
+    /// Clear for reuse, keeping buffer capacity.
+    pub(crate) fn reset(&mut self) {
+        self.outs.clear();
+        self.msgs.clear();
+        self.bank_touched = false;
+        self.refresh = false;
+        self.finished = false;
+        self.barrier = None;
+        self.error = None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collect functions (shared by the serial and parallel paths)
+// ---------------------------------------------------------------------
+
+/// Collect half of a memory-fill completion: the L2 slice absorbs the
+/// fill and is pumped; its side effects land in `fx`.
+pub(crate) fn mem_fill_into(
+    bank: &mut L2Bank,
+    line: cmp_common::types::Addr,
+    fx: &mut Fx,
+) -> Result<(), ProtocolError> {
+    let outs = bank.slice.mem_fill_done(line)?;
+    fx.outs.extend_from_slice(&outs);
+    let pumped = bank.slice.pump()?;
+    fx.outs.extend_from_slice(&pumped);
+    fx.bank_touched = true;
+    Ok(())
+}
+
+/// Collect half of a protocol delivery to `dst`'s tile/bank (the
+/// destination-side work of phase 3, and of local delayed sends).
+pub(crate) fn deliver_into(
+    tile: &mut Tile,
+    bank: &mut L2Bank,
+    now: Cycle,
+    src: TileId,
+    msg: ProtocolMsg,
+    fx: &mut Fx,
+) -> Result<(), ProtocolError> {
+    match msg.kind {
+        PKind::GetS | PKind::GetX | PKind::Upgrade => {
+            let outs = bank.slice.handle_request(src, msg.kind, msg.line)?;
+            fx.outs.extend_from_slice(&outs);
+            let pumped = bank.slice.pump()?;
+            fx.outs.extend_from_slice(&pumped);
+            fx.bank_touched = true;
+        }
+        PKind::InvAck
+        | PKind::FwdFailed
+        | PKind::FwdDone
+        | PKind::RevisionClean
+        | PKind::RevisionDirty
+        | PKind::RecallAckData
+        | PKind::RecallAckClean => {
+            let outs = bank.slice.handle_reply(src, msg.kind, msg.line)?;
+            fx.outs.extend_from_slice(&outs);
+            let pumped = bank.slice.pump()?;
+            fx.outs.extend_from_slice(&pumped);
+            fx.bank_touched = true;
+        }
+        PKind::WbData | PKind::WbHint => {
+            let outs = bank.slice.handle_writeback(src, msg.kind, msg.line)?;
+            fx.outs.extend_from_slice(&outs);
+            let pumped = bank.slice.pump()?;
+            fx.outs.extend_from_slice(&pumped);
+            fx.bank_touched = true;
+        }
+        PKind::DataS
+        | PKind::DataE
+        | PKind::DataM
+        | PKind::PartialReply { .. }
+        | PKind::UpgradeAck
+        | PKind::Inv
+        | PKind::FwdGetS { .. }
+        | PKind::FwdGetX { .. }
+        | PKind::RecallData => {
+            let (outs, done) = tile.l1.handle(msg)?;
+            fx.outs.extend_from_slice(&outs);
+            if done.is_some() {
+                tile.core.mem_complete(now);
+                fx.refresh = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compress, channel-map and queue one outbound message in `fx` (the
+/// sender-side NI work of a remote delayed send). Mutates only the
+/// source tile's codec/probe/tracker state.
+fn push_outbound(
+    tile: &mut Tile,
+    interconnect: InterconnectChoice,
+    now: Cycle,
+    ev: &DelayedEvent,
+    msg: ProtocolMsg,
+    fx: &mut Fx,
+) {
+    let class = msg.class();
+    // The clean path never has faults live (the epoch scheduler is built
+    // only when no fault injector is armed; the serial fault path keeps
+    // the legacy `Engine::fire`).
+    let wire_bytes = tile.ni.wire_size(now, ev.dst, class, msg.line, false);
+    let channel = map_channel(interconnect, class, wire_bytes);
+    fx.msgs.push(Message {
+        src: ev.src,
+        dst: ev.dst,
+        class,
+        wire_bytes,
+        channel,
+        payload: msg,
+    });
+}
+
+/// Collect half of a delayed event firing, fault-free path: local events
+/// are delivered in place; remote ones run the sender NI (compression,
+/// reply splitting, channel mapping) and queue their messages in `fx`
+/// for the merge to inject in deterministic order.
+pub(crate) fn fire_into(
+    tile: &mut Tile,
+    bank: &mut L2Bank,
+    interconnect: InterconnectChoice,
+    drop_data_replies: bool,
+    now: Cycle,
+    ev: &DelayedEvent,
+    fx: &mut Fx,
+) -> Result<(), ProtocolError> {
+    if ev.src == ev.dst {
+        return deliver_into(tile, bank, now, ev.src, ev.msg, fx);
+    }
+    // Reply Partitioning: the critical partial reply precedes the
+    // whole-line reply through the codec, exactly as in the serial path.
+    if interconnect.splits_replies() {
+        if let Some(of) = coherence::msg::PartialOf::of_kind(ev.msg.kind) {
+            push_outbound(
+                tile,
+                interconnect,
+                now,
+                ev,
+                ProtocolMsg::new(PKind::PartialReply { of }, ev.msg.line),
+                fx,
+            );
+        }
+    }
+    // Livelock-reproducer hook (see `Engine::fault_drop_data_replies`).
+    if drop_data_replies && matches!(ev.msg.kind, PKind::DataS | PKind::DataE | PKind::DataM) {
+        return Ok(());
+    }
+    push_outbound(tile, interconnect, now, ev, ev.msg, fx);
+    Ok(())
+}
+
+/// Collect half of stepping one core: run the core against its L1 until
+/// it blocks, parks or idles. Barrier arrival is *recorded*, not applied
+/// — the merge replays arrivals in ascending tile order so the release
+/// sweep happens exactly where the serial engine put it.
+pub(crate) fn step_core_into(tile: &mut Tile, now: Cycle, fx: &mut Fx) {
+    let was_done = tile.core.is_done();
+    loop {
+        match tile.core.next_action(now) {
+            Action::Access { line, write } => {
+                let access = if write {
+                    CoreAccess::Write
+                } else {
+                    CoreAccess::Read
+                };
+                match tile.l1.core_access(line, access) {
+                    L1Result::Hit => {
+                        tile.core.mem_hit(now);
+                        // falls through: next_action will report Idle
+                    }
+                    L1Result::Miss { out } => {
+                        tile.core.mem_miss_started(now);
+                        fx.outs.extend_from_slice(&out);
+                        break;
+                    }
+                    L1Result::Blocked => {
+                        tile.core.mem_retry(now);
+                        break;
+                    }
+                }
+            }
+            Action::AtBarrier(id) => {
+                tile.parked = true;
+                fx.barrier = Some(id);
+                break;
+            }
+            Action::Idle { .. } | Action::Done => break,
+        }
+    }
+    fx.finished = !was_done && tile.core.is_done();
+}
+
+// ---------------------------------------------------------------------
+// Disjoint-index shards
+// ---------------------------------------------------------------------
+
+/// Raw-pointer view of a slice that hands out `&mut` to *disjoint*
+/// indices across threads. The owner map makes disjointness static: item
+/// `i` is touched only by worker `owner[i] % threads`, so no index is
+/// reachable from two workers within one `WorkerPool::run`.
+pub(crate) struct Shards<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is restricted to disjoint indices per thread (enforced
+// by the deterministic owner map at every call site), so sharing the
+// raw pointer across the pool's workers is sound.
+unsafe impl<T: Send> Send for Shards<'_, T> {}
+unsafe impl<T: Send> Sync for Shards<'_, T> {}
+
+impl<'a, T> Shards<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        Shards {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no other thread touches index `i` during
+    /// this `WorkerPool::run` (the static owner map provides this).
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller contract
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// Type-erased job pointer: a borrowed `Fn(worker_index)` published to
+/// the workers for the duration of one `run` call.
+type JobPtr = *const (dyn Fn(usize) + Sync);
+
+struct PoolShared {
+    /// The current job; valid only between a generation bump and the
+    /// matching completion count.
+    job: UnsafeCell<Option<JobPtr>>,
+    /// Bumped (Release) after `job` is written; workers Acquire-load it
+    /// to pick up the new job.
+    generation: AtomicU64,
+    /// Workers that finished the current generation.
+    done: AtomicUsize,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `job` is only written by the caller thread before the
+// generation bump and only read by workers after Acquire-observing that
+// bump; the caller does not reclaim the pointee until every worker has
+// Release-incremented `done`. That handshake is the synchronisation.
+unsafe impl Sync for PoolShared {}
+// SAFETY: the raw job pointer is the only non-Send field and it is only
+// dereferenced under the generation/done handshake above.
+unsafe impl Send for PoolShared {}
+
+/// A persistent pool of `threads − 1` workers (the caller is worker 0).
+/// Jobs are borrowed closures dispatched by generation counter; waiting
+/// workers spin briefly, yield, then park with a timeout — cheap when
+/// work arrives every few microseconds, civilised when cores are scarce
+/// (this also keeps a 1-core host from melting: parked workers cost one
+/// wakeup, not a quantum of spinning).
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Worker thread handles for unparking, index-aligned with `joins`.
+    threads: Vec<Thread>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool where `run` executes its job on `threads` workers total
+    /// (including the calling thread). `threads` must be ≥ 2 — a pool of
+    /// one is just the caller, which needs no pool.
+    pub(crate) fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a 1-thread pool is the serial path");
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(None),
+            generation: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        });
+        let mut joins = Vec::with_capacity(threads - 1);
+        for w in 1..threads {
+            let shared = Arc::clone(&shared);
+            let join = std::thread::Builder::new()
+                .name(format!("sim-worker-{w}"))
+                .spawn(move || worker_loop(&shared, w))
+                .expect("spawn simulation worker");
+            joins.push(join);
+        }
+        let threads = joins.iter().map(|j| j.thread().clone()).collect();
+        WorkerPool {
+            shared,
+            threads,
+            joins,
+        }
+    }
+
+    /// Total workers, including the caller.
+    pub(crate) fn threads(&self) -> usize {
+        self.joins.len() + 1
+    }
+
+    /// Run `f(worker_index)` on every worker (0 = the calling thread)
+    /// and wait for all of them. Panics on any worker re-panic on the
+    /// caller after the barrier.
+    pub(crate) fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        let n = self.joins.len();
+        let job: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the pointee outlives every dereference — `run` does not
+        // return (and `f` is not dropped) until all `n` workers have
+        // counted themselves done, and the slot is cleared right after.
+        let ptr: JobPtr = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), JobPtr>(job) };
+        unsafe { *self.shared.job.get() = Some(ptr) };
+        self.shared.done.store(0, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        for t in &self.threads {
+            t.unpark();
+        }
+        // The caller is worker 0; its share runs while the pool works.
+        // Its panic is deferred past the barrier — the workers borrow the
+        // closure, so it must stay alive until all of them are done.
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) != n {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        unsafe { *self.shared.job.get() = None };
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::AcqRel);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("simulation worker thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        for t in &self.threads {
+            t.unpark();
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a new generation: spin briefly (job cadence in the hot
+        // loop is microseconds), then yield, then park with a timeout as
+        // a lost-wakeup backstop.
+        let mut spins = 0u32;
+        loop {
+            let g = shared.generation.load(Ordering::Acquire);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 128 {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(Duration::from_micros(200));
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: the Acquire generation load synchronises with the
+        // caller's Release bump, which happens after the job write.
+        let job = unsafe { (*shared.job.get()).expect("job published before bump") };
+        // SAFETY: the caller keeps the closure alive until `done` reaches
+        // the worker count, which happens only after this call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(idx) }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-engine parallel state
+// ---------------------------------------------------------------------
+
+/// Everything the parallel scheduler owns: the pool, the deterministic
+/// tile→worker owner map, the lookahead bound, and reusable scratch.
+/// Deliberately *not* part of [`super::snapshot::MachineSnapshot`]: a
+/// snapshot captures the simulated machine, not the host-side execution
+/// strategy, which is what lets a snapshot taken at `--sim-threads 1`
+/// restore into a `--sim-threads 8` engine bit-identically.
+pub(crate) struct ParState {
+    pub(crate) pool: WorkerPool,
+    /// `owner[tile] = tile % threads`: static, deterministic partition of
+    /// tiles (with their L1s/NIs) and co-located L2 banks over workers.
+    pub(crate) owner: Vec<u32>,
+    /// Conservative cross-tile lookahead (cycles), from the NoC config.
+    /// Always ≥ 1 — the bound that licenses per-cycle epochs.
+    pub(crate) lookahead: Cycle,
+    // --- reusable scratch (capacity persists across iterations) ---
+    pub(crate) fills: Vec<MemRead>,
+    pub(crate) events: Vec<DelayedEvent>,
+    pub(crate) arrivals: Vec<Delivered<ProtocolMsg>>,
+    pub(crate) due: Vec<u32>,
+    pub(crate) outbound: Vec<Message<ProtocolMsg>>,
+    pub(crate) slots: Vec<Fx>,
+}
+
+impl ParState {
+    /// Build the parallel state for `tiles` tiles on `threads` workers
+    /// (already clamped to ≥ 2 and ≤ tiles by the engine).
+    pub(crate) fn new(threads: usize, tiles: usize, noc_cfg: &NocConfig) -> Self {
+        let lookahead = lookahead_window(noc_cfg);
+        debug_assert!(lookahead >= 1);
+        ParState {
+            pool: WorkerPool::new(threads),
+            owner: (0..tiles).map(|t| (t % threads) as u32).collect(),
+            lookahead,
+            fills: Vec::new(),
+            events: Vec::new(),
+            arrivals: Vec::new(),
+            due: Vec::new(),
+            outbound: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Make sure at least `n` freshly-reset slots exist.
+    pub(crate) fn ensure_slots(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Fx::default);
+        }
+        for fx in &mut self.slots[..n] {
+            fx.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_common::config::CmpConfig;
+    use wire_model::wires::VlWidth;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn engine_components_cross_threads() {
+        // Compile-time guarantees the epoch scheduler relies on: the
+        // sharded structures must be Send to be touched from workers.
+        assert_send::<Tile>();
+        assert_send::<L2Bank>();
+        assert_send::<mesh_noc::subnet::SubNet<ProtocolMsg>>();
+        assert_send::<Fx>();
+    }
+
+    #[test]
+    fn lookahead_of_baseline_is_full_pipeline_plus_link() {
+        let cfg = CmpConfig::default();
+        let noc = NocConfig::baseline(&cfg.network, cfg.clock_hz);
+        // 3-stage routers (2 wait cycles at each end) + 2-cycle link
+        assert_eq!(lookahead_window(&noc), 6);
+    }
+
+    #[test]
+    fn lookahead_of_heterogeneous_is_the_express_channel() {
+        let cfg = CmpConfig::default();
+        let noc = NocConfig::heterogeneous(&cfg.network, cfg.clock_hz, VlWidth::FourBytes);
+        // VL: single-stage router (no wait) + 1-cycle link
+        assert_eq!(lookahead_window(&noc), 1);
+        let rp = NocConfig::reply_partitioning(&cfg.network, cfg.clock_hz);
+        // L-wires: single-stage router + 1-cycle link
+        assert_eq!(lookahead_window(&rp), 1);
+    }
+
+    #[test]
+    fn pool_runs_every_worker_exactly_once_per_job() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for round in 0..100 {
+            pool.run(|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), round + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_partitions_disjoint_work_correctly() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u64; 1000];
+        let owner: Vec<u32> = (0..1000).map(|i| (i % 3) as u32).collect();
+        {
+            let shards = Shards::new(&mut data[..]);
+            let owner = &owner;
+            pool.run(|w| {
+                for i in 0..1000 {
+                    if owner[i] as usize != w {
+                        continue;
+                    }
+                    // SAFETY: each index has exactly one owner.
+                    unsafe { *shards.get_mut(i) += (i as u64) + 1 };
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i as u64) + 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must surface on the caller");
+        // the pool survives a panicked job and runs the next one
+        let ok = AtomicUsize::new(0);
+        pool.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let pool = WorkerPool::new(3);
+        pool.run(|_| {});
+        drop(pool); // must not hang or leak
+    }
+}

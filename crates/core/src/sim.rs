@@ -69,6 +69,20 @@ impl CmpSimulator {
         self.engine.now()
     }
 
+    /// Worker threads the scheduler actually runs with (1 = serial).
+    /// Requested via [`SimConfig::sim_threads`]; the engine clamps to the
+    /// tile count and falls back to serial when a fault campaign is
+    /// enabled. Results are bit-identical for every value.
+    pub fn sim_threads(&self) -> usize {
+        self.engine.sim_threads()
+    }
+
+    /// The parallel scheduler's conservative cross-tile lookahead in
+    /// cycles (`None` when stepping serially).
+    pub fn epoch_lookahead(&self) -> Option<Cycle> {
+        self.engine.epoch_lookahead()
+    }
+
     /// Checkpoint the whole machine at the current iteration boundary.
     ///
     /// Restoring the snapshot — into this simulator or a fresh one built

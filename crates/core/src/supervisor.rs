@@ -70,6 +70,11 @@ pub struct RunPolicy {
     /// the in-process analogue of killing the campaign mid-flight,
     /// used by the resume tests (`None` = run everything).
     pub cell_limit: Option<usize>,
+    /// Scheduler threads *inside* each cell (the epoch scheduler's
+    /// `--sim-threads`; `None` keeps the config's own setting). Results
+    /// are bit-identical for every value. The matrix driver shrinks its
+    /// worker pool so `jobs × sim_threads` stays within the machine.
+    pub sim_threads: Option<usize>,
 }
 
 impl Default for RunPolicy {
@@ -82,6 +87,7 @@ impl Default for RunPolicy {
             snapshot_period: None,
             forensics: false,
             cell_limit: None,
+            sim_threads: None,
         }
     }
 }
@@ -133,6 +139,9 @@ pub fn run_supervised(
 ) -> Result<SimResult, SupervisedFailure> {
     if let Some(budget) = policy.cycle_budget {
         cfg.max_cycles = cfg.max_cycles.min(budget);
+    }
+    if policy.sim_threads.is_some() {
+        cfg.sim_threads = policy.sim_threads;
     }
     let mut sim = CmpSimulator::new(cfg, app, seed, scale);
     supervise(&mut sim, policy)
@@ -412,14 +421,7 @@ pub fn run_matrix_supervised(
         pending.truncate(limit);
     }
 
-    let threads = jobs
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
-        .max(1)
-        .min(pending.len().max(1));
+    let threads = crate::experiment::matrix_worker_threads(jobs, policy.sim_threads, pending.len());
     let next = AtomicUsize::new(0);
     let slots = Mutex::new(slots);
 

@@ -36,8 +36,10 @@ impl TraceOp {
 }
 
 /// A streaming producer of trace operations. Generators implement this to
-/// avoid materialising multi-million-op traces.
-pub trait OpSource {
+/// avoid materialising multi-million-op traces. `Send` because the epoch
+/// scheduler steps cores (and therefore pulls from their op sources) on
+/// worker threads.
+pub trait OpSource: Send {
     /// The next operation, or `None` when the stream ends.
     fn next_op(&mut self) -> Option<TraceOp>;
 

@@ -69,6 +69,16 @@ impl NocEnergy {
         self.link_dynamic + self.router_dynamic
     }
 
+    /// Add another accumulator's totals into this one. Each sub-network
+    /// owns its accumulator and [`crate::network::Noc::energy`] sums them
+    /// in fixed sub-network order, so the floating-point addition order —
+    /// and therefore the reported joules, to the last ulp — does not
+    /// depend on the number of simulation threads.
+    pub fn accumulate(&mut self, other: &NocEnergy) {
+        self.link_dynamic += other.link_dynamic;
+        self.router_dynamic += other.router_dynamic;
+    }
+
     /// Structural static power of the whole network under `config` on
     /// `mesh`: every link channel leaks, and every router's buffers leak.
     pub fn static_power(config: &NocConfig, mesh: &MeshShape, model: &RouterEnergyModel) -> Watts {

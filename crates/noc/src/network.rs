@@ -2,6 +2,7 @@
 //! inject/tick/deliver interface.
 
 use cmp_common::geometry::MeshShape;
+use cmp_common::stats::Counter;
 use cmp_common::types::Cycle;
 use cmp_common::units::Watts;
 
@@ -42,9 +43,12 @@ pub struct Noc<P> {
     /// insertion order (the fault layer hands over post-compression
     /// messages so codec state is not perturbed by re-processing).
     held: std::collections::VecDeque<(Cycle, Message<P>)>,
-    energy: NocEnergy,
     energy_model: RouterEnergyModel,
-    stats: NocStats,
+    /// Messages injected (delivered + in flight). Deliveries, latency and
+    /// flit hops are owned by the sub-networks (see [`SubNet::stats`]);
+    /// injection happens here, before channel dispatch, so its counter
+    /// lives here too.
+    injected: Counter,
 }
 
 /// Checkpoint/restore: the network's state is plain data (flit queues,
@@ -81,9 +85,8 @@ impl<P> Noc<P> {
             subnets,
             channel_map,
             held: std::collections::VecDeque::new(),
-            energy: NocEnergy::default(),
             energy_model: RouterEnergyModel::default(),
-            stats: NocStats::new(),
+            injected: Counter::default(),
         }
     }
 
@@ -106,8 +109,53 @@ impl<P> Noc<P> {
                 channel: msg.channel,
             });
         };
-        self.stats.injected.inc();
+        self.injected.inc();
         self.subnets[idx].inject(now, msg);
+        Ok(())
+    }
+
+    /// Inject one cycle's worth of messages in order, draining `msgs` —
+    /// the batched ingress path the epoch merge uses. Runs of consecutive
+    /// messages sharing a (src, dst, channel) triple (the common shape
+    /// after a merge, where one tile's traffic to one peer sits adjacent)
+    /// are handed to the sub-network as a single run. Equivalent to
+    /// calling [`Noc::inject`] per message; all channels are validated up
+    /// front, so on error nothing has been injected and the offending
+    /// message's index is reported.
+    pub fn inject_batch(
+        &mut self,
+        now: Cycle,
+        msgs: &mut Vec<Message<P>>,
+    ) -> Result<(), (usize, ChannelUnavailable)> {
+        for (i, m) in msgs.iter().enumerate() {
+            if self.channel_map[m.channel.index()].is_none() {
+                return Err((i, ChannelUnavailable { channel: m.channel }));
+            }
+        }
+        self.injected.add(msgs.len() as u64);
+        // Pre-compute (run length, subnet) over shared-(src, dst, channel)
+        // runs, then drain the vector through them.
+        let mut i = 0;
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        while i < msgs.len() {
+            let (src, dst, ch) = (msgs[i].src, msgs[i].dst, msgs[i].channel);
+            let mut j = i + 1;
+            while j < msgs.len()
+                && msgs[j].src == src
+                && msgs[j].dst == dst
+                && msgs[j].channel == ch
+            {
+                j += 1;
+            }
+            let idx = self.channel_map[ch.index()].expect("validated above");
+            runs.push((j - i, idx));
+            i = j;
+        }
+        let mut it = msgs.drain(..);
+        for (len, idx) in runs {
+            let src = it.as_slice()[0].src;
+            self.subnets[idx].inject_run(now, src, len, &mut it);
+        }
         Ok(())
     }
 
@@ -145,24 +193,42 @@ impl<P> Noc<P> {
     /// with nothing actionable at `now` are skipped outright, so a quiet
     /// channel costs nothing per cycle.
     pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Delivered<P>>) {
-        if !self.held.is_empty() {
-            let mut i = 0;
-            while i < self.held.len() {
-                if self.held[i].0 <= now {
-                    let (_, msg) = self.held.remove(i).expect("index in bounds");
-                    self.inject(now, msg).expect("validated when held");
-                } else {
-                    i += 1;
-                }
-            }
-        }
+        self.release_held(now);
         for subnet in &mut self.subnets {
             if !subnet.has_work(now) {
                 continue;
             }
-            subnet.tick(now, &mut self.energy, &self.energy_model, &mut self.stats);
+            subnet.tick(now, &self.energy_model);
             subnet.drain_delivered_into(out);
         }
+    }
+
+    /// Re-inject fault-held messages whose release cycle has arrived.
+    /// Called by [`Noc::tick_into`]; the parallel scheduler calls it
+    /// separately before ticking sub-networks on worker threads (held
+    /// release mutates shared injection state, so it stays serial).
+    pub fn release_held(&mut self, now: Cycle) {
+        if self.held.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= now {
+                let (_, msg) = self.held.remove(i).expect("index in bounds");
+                self.inject(now, msg).expect("validated when held");
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Split borrow for the parallel tick: the sub-networks (each advanced
+    /// independently on its own accumulators) plus the shared read-only
+    /// router energy model. Call [`Noc::release_held`] first and drain
+    /// each sub-network in index order afterwards to reproduce
+    /// [`Noc::tick_into`] exactly.
+    pub fn subnets_mut(&mut self) -> (&mut [SubNet<P>], &RouterEnergyModel) {
+        (&mut self.subnets, &self.energy_model)
     }
 
     /// True when no message is anywhere in the network.
@@ -216,9 +282,15 @@ impl<P> Noc<P> {
             + self.held.len()
     }
 
-    /// Dynamic energy accumulated so far.
-    pub fn energy(&self) -> &NocEnergy {
-        &self.energy
+    /// Dynamic energy accumulated so far: the per-sub-network accumulators
+    /// summed in fixed sub-network order, so the result is bit-identical
+    /// for any number of simulation threads.
+    pub fn energy(&self) -> NocEnergy {
+        let mut total = NocEnergy::default();
+        for s in &self.subnets {
+            total.accumulate(s.energy());
+        }
+        total
     }
 
     /// Structural static power of this configuration.
@@ -226,9 +298,21 @@ impl<P> Noc<P> {
         NocEnergy::static_power(&self.config, &self.mesh, &self.energy_model)
     }
 
-    /// Delivery statistics.
-    pub fn stats(&self) -> &NocStats {
-        &self.stats
+    /// Delivery statistics: the per-sub-network accounts merged in fixed
+    /// sub-network order, plus the network-level injection counter.
+    pub fn stats(&self) -> NocStats {
+        let mut total = NocStats::new();
+        for s in &self.subnets {
+            total.merge(s.stats());
+        }
+        total.injected = self.injected;
+        total
+    }
+
+    /// Total delivered messages — cheap (no histogram merge), for the
+    /// per-iteration watchdog progress probe.
+    pub fn delivered_total(&self) -> u64 {
+        self.subnets.iter().map(|s| s.stats().delivered()).sum()
     }
 
     /// Flits sent per outgoing link of one sub-network, as
@@ -375,6 +459,57 @@ mod tests {
             delivered[0].injected_at >= 25,
             "latency accounting starts at release, not at hold"
         );
+    }
+
+    #[test]
+    fn batch_injection_matches_per_message_injection() {
+        let cfg = CmpConfig::default();
+        let mk =
+            || -> Noc<u32> { Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz)) };
+        let batch = vec![
+            msg(0, 5, 67, ChannelKind::B),
+            msg(0, 5, 11, ChannelKind::B), // same (src, dst): one run
+            msg(3, 5, 67, ChannelKind::B),
+            msg(9, 2, 11, ChannelKind::B),
+        ];
+        let log = |noc: &mut Noc<u32>| -> Vec<(usize, usize, Cycle)> {
+            let mut out = Vec::new();
+            for now in 0..500 {
+                for d in noc.tick(now) {
+                    out.push((d.message.src.index(), d.message.dst.index(), d.delivered_at));
+                }
+                if noc.is_idle() {
+                    break;
+                }
+            }
+            out
+        };
+        let mut one_by_one = mk();
+        for m in batch.clone() {
+            one_by_one.inject(0, m).unwrap();
+        }
+        let mut batched = mk();
+        let mut msgs = batch;
+        batched.inject_batch(0, &mut msgs).unwrap();
+        assert!(msgs.is_empty(), "batch is drained");
+        assert_eq!(batched.stats().injected.get(), 4);
+        assert_eq!(log(&mut batched), log(&mut one_by_one));
+    }
+
+    #[test]
+    fn batch_injection_validates_before_injecting_anything() {
+        let cfg = CmpConfig::default();
+        let mut noc: Noc<u32> = Noc::new(cfg.mesh, NocConfig::baseline(&cfg.network, cfg.clock_hz));
+        let mut msgs = vec![
+            msg(0, 1, 67, ChannelKind::B),
+            msg(0, 1, 4, ChannelKind::Vl), // not configured
+        ];
+        let (i, err) = noc.inject_batch(0, &mut msgs).unwrap_err();
+        assert_eq!(i, 1);
+        assert_eq!(err.channel, ChannelKind::Vl);
+        assert_eq!(msgs.len(), 2, "nothing consumed on error");
+        assert!(noc.is_idle(), "nothing injected on error");
+        assert_eq!(noc.stats().injected.get(), 0);
     }
 
     #[test]

@@ -65,6 +65,23 @@ impl NocStats {
         self.flit_hops[kind.index()].inc();
     }
 
+    /// Fold another instance's counts into this one. Sub-networks own
+    /// their statistics (so a parallel tick never shares an accumulator);
+    /// [`crate::network::Noc::stats`] merges them in fixed sub-network
+    /// order, which keeps every derived figure independent of how many
+    /// worker threads advanced the network.
+    pub fn merge(&mut self, other: &NocStats) {
+        for (a, b) in self.per_class.iter_mut().zip(&other.per_class) {
+            a.count.add(b.count.get());
+            a.bytes.add(b.bytes.get());
+            a.latency.merge(&b.latency);
+        }
+        for (a, b) in self.flit_hops.iter_mut().zip(&other.flit_hops) {
+            a.add(b.get());
+        }
+        self.injected.add(other.injected.get());
+    }
+
     /// Accounting for one class.
     pub fn class(&self, class: MessageClass) -> &ClassStats {
         &self.per_class[Self::class_index(class)]

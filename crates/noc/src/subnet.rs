@@ -82,6 +82,14 @@ pub struct SubNet<P> {
     free_slots: Vec<u32>,
     live_msgs: usize,
     delivered: Vec<Delivered<P>>,
+    /// Dynamic energy burned in this sub-network. Owned here — not shared
+    /// with siblings — so parallel sub-network ticks never interleave f64
+    /// additions; [`crate::network::Noc::energy`] sums the accumulators in
+    /// fixed sub-network order.
+    energy: NocEnergy,
+    /// Delivery/flit statistics, owned per sub-network for the same
+    /// thread-count-invariance reason as `energy`.
+    stats: NocStats,
     /// Flits buffered across all routers (Σ `flits_buffered`): while any
     /// flit sits in a buffer the sub-network may act next cycle, so the
     /// next-event estimate never needs the per-router scan.
@@ -119,6 +127,8 @@ impl<P> SubNet<P> {
             free_slots: Vec::new(),
             live_msgs: 0,
             delivered: Vec::new(),
+            energy: NocEnergy::default(),
+            stats: NocStats::new(),
             buffered_total: 0,
             inject_pending: 0,
         }
@@ -136,30 +146,50 @@ impl<P> SubNet<P> {
 
     /// Queue a message for injection at its source tile.
     pub fn inject(&mut self, now: Cycle, msg: Message<P>) {
-        debug_assert!(msg.src != msg.dst, "self-messages bypass the network");
-        let flits_total = self.spec.channel.flits(msg.wire_bytes) as u32;
-        let src = msg.src.index();
-        let entry = InFlight {
-            injected_at: now,
-            flits_total,
-            flits_ejected: 0,
-            dst: msg.dst,
-            wire_bytes: msg.wire_bytes,
-            msg: Some(msg),
-        };
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.slab[s as usize] = Some(entry);
-                s
-            }
-            None => {
-                self.slab.push(Some(entry));
-                (self.slab.len() - 1) as u32
-            }
-        };
-        self.inj_queues[src].push_back(slot);
-        self.live_msgs += 1;
-        self.inject_pending += 1;
+        let src = msg.src;
+        self.inject_run(now, src, 1, &mut std::iter::once(msg));
+    }
+
+    /// Queue a run of same-source messages in order — the batched ingress
+    /// path the epoch merge uses, so one cycle's traffic from a (src, dst)
+    /// pair moves as a slice instead of message-at-a-time. The source's NI
+    /// queue grows once for the whole run; behaviour is identical to
+    /// calling [`SubNet::inject`] on each message in sequence.
+    pub fn inject_run(
+        &mut self,
+        now: Cycle,
+        src: TileId,
+        len: usize,
+        msgs: &mut impl Iterator<Item = Message<P>>,
+    ) {
+        let s = src.index();
+        self.inj_queues[s].reserve(len);
+        for msg in msgs.take(len) {
+            debug_assert_eq!(msg.src, src, "run must share its source tile");
+            debug_assert!(msg.src != msg.dst, "self-messages bypass the network");
+            let flits_total = self.spec.channel.flits(msg.wire_bytes) as u32;
+            let entry = InFlight {
+                injected_at: now,
+                flits_total,
+                flits_ejected: 0,
+                dst: msg.dst,
+                wire_bytes: msg.wire_bytes,
+                msg: Some(msg),
+            };
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.slab[s as usize] = Some(entry);
+                    s
+                }
+                None => {
+                    self.slab.push(Some(entry));
+                    (self.slab.len() - 1) as u32
+                }
+            };
+            self.inj_queues[s].push_back(slot);
+            self.live_msgs += 1;
+            self.inject_pending += 1;
+        }
     }
 
     /// Bytes of flit `seq` of a `wire_bytes` message on this channel.
@@ -170,17 +200,13 @@ impl<P> SubNet<P> {
     }
 
     /// Advance one cycle. Delivered messages accumulate internally; drain
-    /// them with [`SubNet::drain_delivered`].
-    pub fn tick(
-        &mut self,
-        now: Cycle,
-        energy: &mut NocEnergy,
-        rem: &RouterEnergyModel,
-        stats: &mut NocStats,
-    ) {
+    /// them with [`SubNet::drain_delivered`]. Energy and statistics land
+    /// in this sub-network's own accumulators ([`SubNet::energy`],
+    /// [`SubNet::stats`]), so sibling sub-networks can tick concurrently.
+    pub fn tick(&mut self, now: Cycle, rem: &RouterEnergyModel) {
         self.deliver_wire_arrivals(now);
         self.inject_flits(now);
-        self.switch_traversal(now, energy, rem, stats);
+        self.switch_traversal(now, rem);
         debug_assert_eq!(
             self.buffered_total,
             self.flits_buffered.iter().map(|&n| n as u64).sum::<u64>()
@@ -262,13 +288,7 @@ impl<P> SubNet<P> {
     }
 
     /// Phase (c): switch allocation and traversal at every router.
-    fn switch_traversal(
-        &mut self,
-        now: Cycle,
-        energy: &mut NocEnergy,
-        rem: &RouterEnergyModel,
-        stats: &mut NocStats,
-    ) {
+    fn switch_traversal(&mut self, now: Cycle, rem: &RouterEnergyModel) {
         let nvc = self.spec.virtual_channels;
         let candidates = PORTS * nvc;
         // Scratch list of eligible head flits: (in_port, in_vc, out_idx).
@@ -365,7 +385,7 @@ impl<P> SubNet<P> {
                 };
                 debug_assert!(flit.seq < flits_total);
                 let bytes = self.flit_bytes(wire_bytes, flit.seq);
-                energy.router_dynamic += rem.flit_energy(bytes);
+                self.energy.router_dynamic += rem.flit_energy(bytes);
 
                 // return the credit upstream (the flit freed a buffer slot)
                 if in_port != LOCAL {
@@ -392,7 +412,9 @@ impl<P> SubNet<P> {
                         debug_assert_eq!(entry.flits_ejected, entry.flits_total);
                         let message = entry.msg.take().expect("payload present");
                         let injected_at = entry.injected_at;
-                        stats.record_delivery(message.class, entry.wire_bytes, now - injected_at);
+                        let msg_bytes = entry.wire_bytes;
+                        self.stats
+                            .record_delivery(message.class, msg_bytes, now - injected_at);
                         self.slab[flit.msg as usize] = None;
                         self.free_slots.push(flit.msg);
                         self.live_msgs -= 1;
@@ -421,11 +443,21 @@ impl<P> SubNet<P> {
                         dst_port: out_dir.opposite().index(),
                         vc: ovc,
                     });
-                    energy.link_dynamic += self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
-                    stats.record_flit_hop(self.spec.kind);
+                    self.energy.link_dynamic += self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
+                    self.stats.record_flit_hop(self.spec.kind);
                 }
             }
         }
+    }
+
+    /// Dynamic energy burned in this sub-network so far.
+    pub fn energy(&self) -> &NocEnergy {
+        &self.energy
+    }
+
+    /// Delivery/flit statistics for this sub-network.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
     }
 
     /// Take the messages delivered since the last drain.
@@ -572,12 +604,10 @@ mod tests {
     }
 
     fn run_until_delivered(net: &mut SubNet<u64>, limit: Cycle) -> Vec<Delivered<u64>> {
-        let mut energy = NocEnergy::default();
         let rem = RouterEnergyModel::default();
-        let mut stats = NocStats::new();
         let mut out = Vec::new();
         for now in 0..limit {
-            net.tick(now, &mut energy, &rem, &mut stats);
+            net.tick(now, &rem);
             out.extend(net.drain_delivered());
             if net.is_idle() {
                 break;
@@ -664,9 +694,7 @@ mod tests {
         let mesh = MeshShape::square(4);
         let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
         let mut injected = 0u64;
-        let mut energy = NocEnergy::default();
         let rem = RouterEnergyModel::default();
-        let mut stats = NocStats::new();
         let mut delivered = 0u64;
         let mut rng = cmp_common::rng::SimRng::new(123);
         for now in 0..20_000u64 {
@@ -681,7 +709,7 @@ mod tests {
                     }
                 }
             }
-            net.tick(now, &mut energy, &rem, &mut stats);
+            net.tick(now, &rem);
             delivered += net.drain_delivered().len() as u64;
             if now >= 5_000 && net.is_idle() {
                 break;
@@ -690,8 +718,8 @@ mod tests {
         assert!(injected > 3_000, "injected {injected}");
         assert_eq!(delivered, injected, "every message must be delivered");
         assert!(net.is_idle());
-        assert!(energy.dynamic().value() > 0.0);
-        assert_eq!(stats.delivered(), injected);
+        assert!(net.energy().dynamic().value() > 0.0);
+        assert_eq!(net.stats().delivered(), injected);
     }
 
     #[test]
@@ -701,9 +729,7 @@ mod tests {
             let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
             let mut rng = cmp_common::rng::SimRng::new(7);
             let mut log = Vec::new();
-            let mut energy = NocEnergy::default();
             let rem = RouterEnergyModel::default();
-            let mut stats = NocStats::new();
             for now in 0..5_000u64 {
                 if now < 1_000 {
                     for src in 0..16usize {
@@ -713,7 +739,7 @@ mod tests {
                         }
                     }
                 }
-                net.tick(now, &mut energy, &rem, &mut stats);
+                net.tick(now, &rem);
                 for d in net.drain_delivered() {
                     log.push((d.message.src, d.message.dst, d.delivered_at));
                 }
@@ -731,14 +757,12 @@ mod tests {
         let mesh = MeshShape::square(4);
         let mut net = SubNet::new(b_spec(75), mesh, CLOCK);
         net.inject(0, msg(0, 15, 11));
-        let mut energy = NocEnergy::default();
         let rem = RouterEnergyModel::default();
-        let mut stats = NocStats::new();
         // run with fast-forward and check the result matches zero-load
         let mut now = 0;
         let mut delivered = Vec::new();
         while !net.is_idle() {
-            net.tick(now, &mut energy, &rem, &mut stats);
+            net.tick(now, &rem);
             delivered.extend(net.drain_delivered());
             match net.next_event_cycle(now) {
                 Some(next) => {
@@ -841,9 +865,7 @@ mod tests {
         run_cases("cached_next_event_brute_force", 12, |rng| {
             let mesh = MeshShape::square(4);
             let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
-            let mut energy = NocEnergy::default();
             let rem = RouterEnergyModel::default();
-            let mut stats = NocStats::new();
             let inject_until = usize_in(rng, 100, 1_200) as u64;
             let rate = 0.05 + rng.f64() * 0.4;
             let mut injected = 0u64;
@@ -859,7 +881,7 @@ mod tests {
                         }
                     }
                 }
-                net.tick(now, &mut energy, &rem, &mut stats);
+                net.tick(now, &rem);
                 delivered += net.drain_delivered().len() as u64;
                 let cached = net.next_event_cycle(now);
                 let brute = net.next_event_cycle_brute(now);
@@ -889,9 +911,7 @@ mod tests {
         run_cases("cached_next_event_drives_clock", 8, |rng| {
             let mesh = MeshShape::square(4);
             let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
-            let mut energy = NocEnergy::default();
             let rem = RouterEnergyModel::default();
-            let mut stats = NocStats::new();
             let n_msgs = usize_in(rng, 1, 60);
             let mut injected = 0u64;
             for _ in 0..n_msgs {
@@ -904,7 +924,7 @@ mod tests {
             let mut now = 0;
             let mut delivered = 0u64;
             for _ in 0..1_000_000 {
-                net.tick(now, &mut energy, &rem, &mut stats);
+                net.tick(now, &rem);
                 delivered += net.drain_delivered().len() as u64;
                 match net.next_event_cycle(now) {
                     Some(next) => now = next,

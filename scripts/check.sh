@@ -25,6 +25,14 @@ TCMP_SANITIZE=1 cargo test -q --workspace
 echo "== snapshot/restore round-trip smoke"
 cargo test -q --release --test snapshot_restore
 
+echo "== determinism goldens under the epoch scheduler (2 and 4 threads)"
+TCMP_SIM_THREADS=2 cargo test -q --release --test determinism_golden
+TCMP_SIM_THREADS=4 cargo test -q --release --test determinism_golden
+
+echo "== cross-thread determinism + epoch scheduler unit tests"
+cargo test -q --release --test thread_determinism
+RUST_TEST_THREADS=1 cargo test -q --release -p tcmp-core engine::epoch
+
 echo "== forward-progress watchdog unit + livelock tests"
 cargo test -q --release -p tcmp-core engine::watchdog
 cargo test -q --release --test robustness watchdog

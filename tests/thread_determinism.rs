@@ -1,0 +1,181 @@
+//! Cross-thread determinism: the epoch scheduler must be bit-identical
+//! to the serial scheduler for every thread count.
+//!
+//! The parallel scheduler (`--sim-threads N`) partitions each phase's
+//! work by owner tile and merges side effects back in serial order, so
+//! *every* observable — cycles, message totals, per-class latency
+//! histograms, and the f64 energy accumulators — must match the serial
+//! run exactly, not approximately. These tests pin that contract through
+//! the public API, including snapshot transplants between engines with
+//! different thread counts and the forward-progress watchdog firing on a
+//! livelocked partition.
+
+use tiled_cmp::compression::CompressionScheme;
+use tiled_cmp::prelude::{
+    CmpSimulator, InterconnectChoice, SimConfig, SimError, SimResult, VlWidth, WatchdogConfig,
+};
+use tiled_cmp::workloads::apps;
+
+const SEED: u64 = 0xD5A1_F00D;
+const SCALE: f64 = 0.01;
+
+fn proposal_cfg() -> SimConfig {
+    SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+    )
+}
+
+fn run_with_threads(mut cfg: SimConfig, threads: usize) -> SimResult {
+    let app = apps::fft();
+    cfg.sim_threads = Some(threads);
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    assert_eq!(
+        sim.sim_threads(),
+        threads.min(16),
+        "requested thread count honoured (clamped to tiles)"
+    );
+    if threads > 1 {
+        let la = sim.epoch_lookahead().expect("parallel runs have a bound");
+        assert!(la >= 1, "lookahead licenses per-cycle epochs");
+    }
+    sim.run().expect("run completes")
+}
+
+/// Full bit-identity across the whole report, f64 energy included: the
+/// `Debug` rendering of `SimResult` is a shortest-roundtrip encoding of
+/// every field, so string equality is value equality down to the bits.
+fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverged");
+    assert_eq!(
+        a.network_messages, b.network_messages,
+        "{what}: message totals diverged"
+    );
+    assert_eq!(
+        a.instructions, b.instructions,
+        "{what}: instruction counts diverged"
+    );
+    assert_eq!(a.mem_reads, b.mem_reads, "{what}: memory reads diverged");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "{what}: full reports diverged"
+    );
+}
+
+#[test]
+fn baseline_is_bit_identical_across_thread_counts() {
+    let serial = run_with_threads(SimConfig::baseline(), 1);
+    let two = run_with_threads(SimConfig::baseline(), 2);
+    let eight = run_with_threads(SimConfig::baseline(), 8);
+    assert_bit_identical(&serial, &two, "baseline 1 vs 2 threads");
+    assert_bit_identical(&serial, &eight, "baseline 1 vs 8 threads");
+}
+
+#[test]
+fn proposal_is_bit_identical_across_thread_counts() {
+    let serial = run_with_threads(proposal_cfg(), 1);
+    let two = run_with_threads(proposal_cfg(), 2);
+    let eight = run_with_threads(proposal_cfg(), 8);
+    assert_bit_identical(&serial, &two, "proposal 1 vs 2 threads");
+    assert_bit_identical(&serial, &eight, "proposal 1 vs 8 threads");
+}
+
+/// Reply Partitioning exercises the sender-side reply split (a partial
+/// reply precedes the whole-line reply through the NI), which the
+/// parallel collect path reimplements — pin it against serial too.
+#[test]
+fn reply_partitioning_is_bit_identical_across_thread_counts() {
+    let cfg = || {
+        SimConfig::new(
+            InterconnectChoice::ReplyPartitioning,
+            CompressionScheme::None,
+        )
+    };
+    let serial = run_with_threads(cfg(), 1);
+    let four = run_with_threads(cfg(), 4);
+    assert_bit_identical(&serial, &four, "reply partitioning 1 vs 4 threads");
+}
+
+/// Snapshots are taken at epoch boundaries and capture the simulated
+/// machine only — never the host-side execution strategy — so a
+/// checkpoint from a 2-thread run must restore into an 8-thread engine
+/// (and a serial one) and finish bit-identically.
+#[test]
+fn snapshots_transplant_across_thread_counts() {
+    let app = apps::fft();
+    let mut donor_cfg = proposal_cfg();
+    donor_cfg.sim_threads = Some(2);
+    let mut donor = CmpSimulator::new(donor_cfg, &app, SEED, SCALE);
+    let mut snap = None;
+    let mut iters = 0usize;
+    while donor.step().expect("donor run completes") {
+        iters += 1;
+        if iters == 500 {
+            snap = Some(donor.snapshot());
+        }
+    }
+    let snap = snap.expect("the run lasts past the checkpoint");
+    let straight = donor.finish();
+
+    for threads in [1usize, 8] {
+        let mut cfg = proposal_cfg();
+        cfg.sim_threads = Some(threads);
+        let mut heir = CmpSimulator::new(cfg, &app, SEED, SCALE);
+        heir.restore(&snap);
+        assert_eq!(heir.cycle(), snap.cycle(), "restore lost the clock");
+        while heir.step().expect("transplanted run completes") {}
+        let replay = heir.finish();
+        assert_bit_identical(
+            &straight,
+            &replay,
+            &format!("2-thread checkpoint into {threads}-thread engine"),
+        );
+    }
+}
+
+/// A livelocked partition must still trip the forward-progress watchdog
+/// under the parallel scheduler: progress is aggregated across all
+/// partitions (retirement and per-sub-network delivery counters), and
+/// the abort carries the same per-tile stall diagnostics as serial.
+#[test]
+fn watchdog_fires_across_partitions_with_diagnostics() {
+    let app = apps::fft();
+    let mut cfg = SimConfig::new(
+        InterconnectChoice::ReplyPartitioning,
+        CompressionScheme::None,
+    );
+    cfg.watchdog = Some(WatchdogConfig {
+        stall_iterations: 50_000,
+    });
+    cfg.sim_threads = Some(2);
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    assert_eq!(sim.sim_threads(), 2, "livelock must run on the epoch path");
+    sim.fault_drop_data_replies(true);
+    let err = loop {
+        match sim.step() {
+            Ok(true) => {}
+            Ok(false) => panic!("a run with lost fills must never complete"),
+            Err(e) => break e,
+        }
+    };
+    match &err {
+        SimError::NoForwardProgress {
+            cycle,
+            stalled_for,
+            tiles,
+            ..
+        } => {
+            assert!(*cycle < 10_000_000, "bounded abort (cycle {cycle})");
+            assert!(*stalled_for >= 50_000, "a real stall window");
+            assert!(
+                tiles.iter().any(|t| t.mshrs_in_use > 0),
+                "stall diagnostics show the pinned MSHRs"
+            );
+        }
+        other => panic!("expected NoForwardProgress, got: {other}"),
+    }
+}
