@@ -6,96 +6,53 @@
 //! With `--out DIR` the sweep journals every finished cell; a killed run
 //! restarted with `--resume DIR` skips them and produces the identical
 //! figure. Failed cells render as `n/a` instead of taking the whole
-//! figure down.
+//! figure down. With `--submit SOCKET` the sweep runs on a `tcmp-serve`
+//! daemon instead (which journals and renders the same CSVs itself).
 
 use cmp_bench::matrix::{run_figure_matrix, summarize_run};
-use tcmp_core::experiment::{geomean, normalize_partial};
-use tcmp_core::report::{fmt_ratio, TableBuilder};
+use tcmp_core::experiment::normalize_partial;
+use tcmp_core::report::figure_table;
 
 fn main() {
     let opts = cmp_bench::Options::parse();
+    #[cfg(unix)]
+    if opts.submit.is_some() {
+        std::process::exit(cmp_bench::submit::run_remote(
+            &opts,
+            tcmp_serve::proto::Figure::Fig6,
+        ));
+    }
     let run = run_figure_matrix(&opts);
     summarize_run(&run);
     let results = run.results();
     let normalized = normalize_partial(&results);
-    let rows = &normalized.rows;
     for app in &normalized.missing_baseline {
         eprintln!("no baseline row for {app}: its whole figure row is n/a");
     }
 
-    let configs: Vec<String> = {
-        let mut v = Vec::new();
-        for r in rows {
-            if !v.contains(&r.config) {
-                v.push(r.config.clone());
-            }
-        }
-        v
-    };
-    let apps: Vec<String> = {
-        let mut v: Vec<String> = Vec::new();
-        for r in rows {
-            if !v.contains(&r.app) {
-                v.push(r.app.clone());
-            }
-        }
-        for app in &normalized.missing_baseline {
-            if !v.contains(app) {
-                v.push(app.clone());
-            }
-        }
-        v
-    };
-
-    for (title, metric) in [
-        ("Figure 6 (top) — normalised execution time", 0usize),
-        ("Figure 6 (bottom) — normalised link ED2P", 1usize),
-    ] {
-        let headers: Vec<String> = std::iter::once("application".to_string())
-            .chain(configs.iter().cloned())
-            .collect();
-        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut t = TableBuilder::new(title, &header_refs);
-        let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-        for app in &apps {
-            let mut row = vec![app.clone()];
-            for (ci, config) in configs.iter().enumerate() {
-                match rows.iter().find(|r| &r.app == app && &r.config == config) {
-                    Some(r) => {
-                        let v = if metric == 0 {
-                            r.exec_time
-                        } else {
-                            r.link_ed2p
-                        };
-                        per_config[ci].push(v);
-                        row.push(fmt_ratio(v));
-                    }
-                    // failed or never-attempted cell in a partial matrix
-                    None => row.push("n/a".to_string()),
-                }
-            }
-            t.row(row);
-        }
-        let mut avg = vec!["geomean".to_string()];
-        for c in &per_config {
-            if c.is_empty() {
-                avg.push("n/a".to_string());
-            } else {
-                avg.push(fmt_ratio(geomean(c.iter().copied())));
-            }
-        }
-        t.row(avg);
+    type Metric = fn(&tcmp_core::experiment::NormalizedRow) -> f64;
+    let tables: [(&str, &str, Metric); 2] = [
+        (
+            "Figure 6 (top) — normalised execution time",
+            "exec_time.csv",
+            |r| r.exec_time,
+        ),
+        (
+            "Figure 6 (bottom) — normalised link ED2P",
+            "link_ed2p.csv",
+            |r| r.link_ed2p,
+        ),
+    ];
+    for (title, suffix, metric) in tables {
+        let t = figure_table(
+            title,
+            &normalized.rows,
+            &normalized.missing_baseline,
+            metric,
+        );
         println!("{}", t.to_markdown());
         if let Some(path) = &opts.csv {
-            let suffixed = format!(
-                "{}.{}",
-                path,
-                if metric == 0 {
-                    "exec_time.csv"
-                } else {
-                    "link_ed2p.csv"
-                }
-            );
+            let suffixed = format!("{path}.{suffix}");
             t.write_csv_stamped(&suffixed, &run.stamp())
                 .expect("write csv");
             eprintln!("wrote {suffixed}");

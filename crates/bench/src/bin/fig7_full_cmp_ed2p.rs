@@ -6,69 +6,36 @@
 //! With `--out DIR` the sweep journals every finished cell; a killed run
 //! restarted with `--resume DIR` skips them and produces the identical
 //! figure. Failed cells render as `n/a` instead of taking the whole
-//! figure down.
+//! figure down. With `--submit SOCKET` the sweep runs on a `tcmp-serve`
+//! daemon instead (which journals and renders the same CSVs itself).
 
 use cmp_bench::matrix::{run_figure_matrix, summarize_run};
-use tcmp_core::experiment::{geomean, normalize_partial};
-use tcmp_core::report::{fmt_ratio, TableBuilder};
+use tcmp_core::experiment::normalize_partial;
+use tcmp_core::report::figure_table;
 
 fn main() {
     let opts = cmp_bench::Options::parse();
+    #[cfg(unix)]
+    if opts.submit.is_some() {
+        std::process::exit(cmp_bench::submit::run_remote(
+            &opts,
+            tcmp_serve::proto::Figure::Fig7,
+        ));
+    }
     let run = run_figure_matrix(&opts);
     summarize_run(&run);
     let results = run.results();
     let normalized = normalize_partial(&results);
-    let rows = &normalized.rows;
     for app in &normalized.missing_baseline {
         eprintln!("no baseline row for {app}: its whole figure row is n/a");
     }
 
-    let mut configs: Vec<String> = Vec::new();
-    let mut apps: Vec<String> = Vec::new();
-    for r in rows {
-        if !configs.contains(&r.config) {
-            configs.push(r.config.clone());
-        }
-        if !apps.contains(&r.app) {
-            apps.push(r.app.clone());
-        }
-    }
-    for app in &normalized.missing_baseline {
-        if !apps.contains(app) {
-            apps.push(app.clone());
-        }
-    }
-
-    let headers: Vec<String> = std::iter::once("application".to_string())
-        .chain(configs.iter().cloned())
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = TableBuilder::new("Figure 7 — normalised full-CMP ED2P", &header_refs);
-    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    for app in &apps {
-        let mut row = vec![app.clone()];
-        for (ci, config) in configs.iter().enumerate() {
-            match rows.iter().find(|r| &r.app == app && &r.config == config) {
-                Some(r) => {
-                    per_config[ci].push(r.chip_ed2p);
-                    row.push(fmt_ratio(r.chip_ed2p));
-                }
-                // failed or never-attempted cell in a partial matrix
-                None => row.push("n/a".to_string()),
-            }
-        }
-        t.row(row);
-    }
-    let mut avg = vec!["geomean".to_string()];
-    for c in &per_config {
-        if c.is_empty() {
-            avg.push("n/a".to_string());
-        } else {
-            avg.push(fmt_ratio(geomean(c.iter().copied())));
-        }
-    }
-    t.row(avg);
-
+    let t = figure_table(
+        "Figure 7 — normalised full-CMP ED2P",
+        &normalized.rows,
+        &normalized.missing_baseline,
+        |r| r.chip_ed2p,
+    );
     println!("{}", t.to_markdown());
     println!(
         "paper landmarks: average full-CMP ED2P improves 21% (2-byte Stride)\n\

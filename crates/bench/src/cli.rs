@@ -39,6 +39,13 @@ pub struct Options {
     /// Scheduler threads inside each simulation (`--sim-threads N`);
     /// `None` = serial. Results are bit-identical for every value.
     pub sim_threads: Option<usize>,
+    /// Submit the sweep to a running `tcmp-serve` daemon at this Unix
+    /// socket instead of simulating locally (`--submit SOCKET`). The
+    /// daemon owns the worker pool, the journal, and the result CSVs.
+    pub submit: Option<PathBuf>,
+    /// With `--submit`: re-attach to this existing campaign id instead
+    /// of submitting a new one (`--attach c0001`).
+    pub attach: Option<String>,
 }
 
 impl Default for Options {
@@ -55,6 +62,8 @@ impl Default for Options {
             retries: 0,
             deadline_s: None,
             sim_threads: None,
+            submit: None,
+            attach: None,
         }
     }
 }
@@ -129,6 +138,16 @@ impl Options {
                             .map_err(|_| "--sim-threads needs an unsigned integer".to_string())?,
                     );
                 }
+                "--submit" => {
+                    o.submit = Some(PathBuf::from(value(
+                        &mut args,
+                        "--submit",
+                        "a socket path",
+                    )?));
+                }
+                "--attach" => {
+                    o.attach = Some(value(&mut args, "--attach", "a campaign id")?);
+                }
                 "--help" | "-h" => return Err("help requested".to_string()),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -149,6 +168,33 @@ impl Options {
         }
         if self.deadline_s == Some(0) {
             return Err("--deadline must be >= 1 second".to_string());
+        }
+        if self.attach.is_some() && self.submit.is_none() {
+            return Err(
+                "--attach re-attaches through a daemon: it needs --submit SOCKET".to_string(),
+            );
+        }
+        if self.submit.is_some() {
+            if self.out.is_some() || self.resume.is_some() {
+                return Err(
+                    "--submit hands the campaign to the daemon, which owns the journal: \
+                     drop --out/--resume (resume happens daemon-side, automatically)"
+                        .to_string(),
+                );
+            }
+            if self.jobs.is_some() {
+                return Err("--submit runs on the daemon's shared worker pool: \
+                     --jobs belongs to `tcmp-serve --jobs`, not to the client"
+                    .to_string());
+            }
+            if let Some(sock) = &self.submit {
+                if !sock.exists() {
+                    return Err(format!(
+                        "--submit {}: no socket there — is tcmp-serve running?",
+                        sock.display()
+                    ));
+                }
+            }
         }
         if self.out.is_some() && self.resume.is_some() {
             return Err("--out starts a fresh campaign and --resume continues one: \
@@ -245,7 +291,8 @@ fn check_parent_exists(path: &Path, flag: &str) -> Result<(), String> {
 fn usage<T>() -> T {
     eprintln!(
         "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect] \
-         [--jobs N] [--sim-threads N] [--out DIR | --resume DIR] [--retries N] [--deadline SECS]"
+         [--jobs N] [--sim-threads N] [--out DIR | --resume DIR] [--retries N] [--deadline SECS] \
+         [--submit SOCKET [--attach ID]]"
     );
     std::process::exit(2)
 }

@@ -5,6 +5,8 @@
 pub mod cli;
 pub mod harness;
 pub mod matrix;
+#[cfg(unix)]
+pub mod submit;
 
 pub use cli::Options;
 pub use harness::{measure, to_bench_json, BenchStats};

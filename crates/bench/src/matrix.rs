@@ -7,49 +7,17 @@
 //! re-run, and the assembled rows are bit-identical to an
 //! uninterrupted sweep.
 
-use addr_compression::CompressionScheme;
 use cmp_common::config::CmpConfig;
 use cmp_common::journal::Journal;
-use tcmp_core::experiment::{ConfigSpec, RunSpec};
+use tcmp_core::experiment::RunSpec;
 use tcmp_core::supervisor::{campaign_meta, run_matrix_supervised, CellFailure, MatrixReport};
 
 use crate::cli::Options;
 
-/// The configurations plotted in Figure 6: the paper keeps only schemes
-/// "with a compression coverage over 80 %" as bars (plus the baseline and
-/// the perfect-compression solid lines).
-pub fn figure6_configs(include_perfect: bool) -> Vec<ConfigSpec> {
-    let mut v = vec![ConfigSpec::baseline()];
-    for scheme in [
-        CompressionScheme::Stride { low_bytes: 2 },
-        CompressionScheme::Dbrc {
-            entries: 4,
-            low_bytes: 2,
-        },
-        CompressionScheme::Dbrc {
-            entries: 16,
-            low_bytes: 1,
-        },
-        CompressionScheme::Dbrc {
-            entries: 16,
-            low_bytes: 2,
-        },
-        CompressionScheme::Dbrc {
-            entries: 64,
-            low_bytes: 2,
-        },
-    ] {
-        v.push(ConfigSpec::compressed(scheme));
-    }
-    if include_perfect {
-        for low in [1usize, 2] {
-            v.push(ConfigSpec::compressed(CompressionScheme::Perfect {
-                low_bytes: low,
-            }));
-        }
-    }
-    v
-}
+// The configuration list moved into the core crate (the campaign
+// service needs it without depending on the bench binaries); the
+// bench-facing name stays.
+pub use tcmp_core::experiment::figure6_configs;
 
 /// The spec list of the Figure 6/7 sweep for these options, in the
 /// deterministic order every journal and report indexes by.

@@ -73,6 +73,17 @@ impl MemCtrl {
         done
     }
 
+    /// Re-queue a read whose reply was held back in flight (fault
+    /// campaigns delaying the off-chip response path). Inserted in
+    /// completion order — after any read with the same `ready_at` — so
+    /// the queue stays sorted and [`MemCtrl::next_ready`] /
+    /// [`MemCtrl::pop_next_ready`] keep their front-of-queue contract.
+    /// Does not touch `reads_issued`: the read was already issued once.
+    pub fn requeue_delayed(&mut self, read: MemRead) {
+        let pos = self.reads.partition_point(|q| q.ready_at <= read.ready_at);
+        self.reads.insert(pos, read);
+    }
+
     /// When the next read completes (`None` if none outstanding).
     pub fn next_ready(&self) -> Option<Cycle> {
         self.reads.front().map(|r| r.ready_at)
@@ -122,6 +133,23 @@ mod tests {
         assert_eq!(m.pop_next_ready(100), None, "second read not due yet");
         assert_eq!(m.pop_next_ready(105).map(|r| r.line), Some(0x200));
         assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn requeue_delayed_keeps_completion_order() {
+        let mut m = MemCtrl::new(100);
+        m.read(0, TileId(1), 0x100); // ready at 100
+        m.read(5, TileId(2), 0x200); // ready at 105
+        let held = m.pop_next_ready(100).unwrap();
+        // Delay the first reply past the second: it must re-queue behind.
+        m.requeue_delayed(MemRead {
+            ready_at: 110,
+            ..held
+        });
+        assert_eq!(m.next_ready(), Some(105));
+        assert_eq!(m.pop_next_ready(120).map(|r| r.line), Some(0x200));
+        assert_eq!(m.pop_next_ready(120).map(|r| r.line), Some(0x100));
+        assert_eq!(m.reads_issued.get(), 2, "a re-queue is not a new issue");
     }
 
     #[test]

@@ -45,6 +45,21 @@ pub enum FaultAction {
     Desync,
 }
 
+/// Where in the machine a fault decision is being made.
+///
+/// The injector keeps one global decision stream regardless of path, so
+/// adding a consultation site changes which messages fault but never
+/// breaks seed-reproducibility: the same seed still yields the same
+/// decision sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPath {
+    /// A message entering the NoC at a tile's network interface.
+    NiSend,
+    /// A completed off-chip read leaving the memory controller — the
+    /// reply plumbing back into the home L2 slice.
+    MemReply,
+}
+
 /// Per-class fault rates and scheduling. All-zero rates mean "off".
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultConfig {
@@ -102,6 +117,11 @@ pub struct FaultStats {
     pub delays: Counter,
     pub corruptions: Counter,
     pub desyncs: Counter,
+    /// Faults (of any class above) that landed on the memory-controller
+    /// reply path rather than an NI send. A breakdown, not a class of
+    /// its own — every such fault is also counted in its class counter
+    /// and therefore excluded from [`FaultStats::total`].
+    pub mem_replies: Counter,
 }
 
 impl FaultStats {
@@ -157,13 +177,23 @@ impl FaultInjector {
         }
     }
 
-    /// Decide the fate of one message entering the network at `now`.
+    /// Decide the fate of one message entering the network at `now`
+    /// (equivalent to [`FaultInjector::decide_on`] with
+    /// [`FaultPath::NiSend`]).
+    pub fn decide(&mut self, now: Cycle) -> FaultAction {
+        self.decide_on(FaultPath::NiSend, now)
+    }
+
+    /// Decide the fate of one message on `path` at `now`.
     ///
     /// The classes are rolled in a fixed order (drop, duplicate, delay,
     /// corrupt, desync) and the first hit wins, so per-message RNG
     /// consumption is identical regardless of outcome — a prerequisite
-    /// for reproducing a campaign from its seed.
-    pub fn decide(&mut self, now: Cycle) -> FaultAction {
+    /// for reproducing a campaign from its seed. A desync rolled on the
+    /// memory-reply path degrades to [`FaultAction::None`] (and is not
+    /// counted): no address codec sits between the memory controller
+    /// and the home slice, so there is no pair state to desynchronise.
+    pub fn decide_on(&mut self, path: FaultPath, now: Cycle) -> FaultAction {
         // Always burn the same number of draws per call.
         let rolls = [
             self.rng.f64(),
@@ -176,7 +206,7 @@ impl FaultInjector {
         if !self.armed(now) {
             return FaultAction::None;
         }
-        if rolls[0] < self.cfg.drop {
+        let action = if rolls[0] < self.cfg.drop {
             self.stats.drops.inc();
             FaultAction::Drop
         } else if rolls[1] < self.cfg.duplicate {
@@ -194,11 +224,18 @@ impl FaultInjector {
             // the wrong line.
             FaultAction::Corrupt(1 << (aux % 4))
         } else if rolls[4] < self.cfg.desync {
+            if path == FaultPath::MemReply {
+                return FaultAction::None;
+            }
             self.stats.desyncs.inc();
             FaultAction::Desync
         } else {
             FaultAction::None
+        };
+        if path == FaultPath::MemReply && action != FaultAction::None {
+            self.stats.mem_replies.inc();
         }
+        action
     }
 }
 
@@ -296,6 +333,41 @@ mod tests {
         }
         assert_eq!(in_window_disagreements, 0, "same draws, both armed");
         assert!(b.stats().drops.get() > 0, "b fires inside its window");
+    }
+
+    #[test]
+    fn mem_reply_path_shares_the_decision_stream() {
+        let cfg = FaultConfig {
+            seed: 77,
+            drop: 0.01,
+            duplicate: 0.01,
+            delay: 0.02,
+            delay_cycles: 16,
+            corrupt: 0.01,
+            desync: 0.05,
+            ..FaultConfig::default()
+        };
+        // Apart from desync degradation, the path never changes which
+        // action a given draw yields.
+        let mut ni = FaultInjector::new(cfg.clone());
+        let mut mem = FaultInjector::new(cfg);
+        for now in 0..5_000 {
+            let a = ni.decide_on(FaultPath::NiSend, now);
+            let b = mem.decide_on(FaultPath::MemReply, now);
+            match a {
+                FaultAction::Desync => assert_eq!(b, FaultAction::None),
+                other => assert_eq!(b, other),
+            }
+        }
+        assert!(mem.stats().mem_replies.get() > 0, "rates this high fire");
+        assert_eq!(mem.stats().desyncs.get(), 0, "no codec on the mem path");
+        // The breakdown counter is a subset of the class counters.
+        let s = mem.stats();
+        assert_eq!(
+            s.mem_replies.get(),
+            s.total(),
+            "every fault this run was a mem-reply fault"
+        );
     }
 
     #[test]

@@ -410,12 +410,7 @@ pub struct CampaignMeta {
 /// FNV-1a 64-bit over a canonical description string — the
 /// configuration fingerprint carried in [`CampaignMeta::config_hash`].
 pub fn fingerprint(text: &str) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{h:016x}")
+    format!("{:016x}", crate::hash::fnv64(text.as_bytes()))
 }
 
 /// What replaying a journal found for each cell.
@@ -794,6 +789,47 @@ mod tests {
         let j = Journal::resume(&dir, &meta()).unwrap();
         assert_eq!(j.replay.skippable(), 1, "torn record is ignored");
         assert!(j.replay.interrupted.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_interior_record_is_refused() {
+        // Only a torn *final* line is an expected crash residue. A
+        // mangled record with valid records after it means the file
+        // itself is damaged — replaying around it could silently drop
+        // or resurrect cells, so resume must refuse with a structured
+        // error naming the line.
+        let dir = tmpdir("interior");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Null).unwrap();
+        j.record_start("cell-b", 1).unwrap();
+        drop(j);
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 4, "meta + three records");
+        // Bit-rot the finish record (line 3), leaving the later start
+        // intact so the damage is interior, not a torn tail.
+        lines[2] = lines[2].replace("\"finish\"", "\"fin")[..lines[2].len() - 9].to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        match Journal::resume(&dir, &meta()) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected interior corruption refusal, got {other:?}"),
+        }
+        // An unknown event is the same class of damage.
+        let forged = lines[..2].join("\n")
+            + "\n{\"event\":\"fnish\",\"cell\":\"cell-a\"}\n"
+            + &lines[3]
+            + "\n";
+        std::fs::write(&path, forged).unwrap();
+        match Journal::resume(&dir, &meta()) {
+            Err(JournalError::Corrupt { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("fnish"), "reason names the event: {reason}");
+            }
+            other => panic!("expected unknown-event refusal, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,9 @@
 //!   used by the property suites in place of an external dependency.
 //! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
 //!   corrupt/codec-desync) for robustness campaigns.
+//! * [`hash`] — streaming FNV-1a 64 content hashing shared by the
+//!   journal's configuration fingerprints and the checkpoint cache's
+//!   load-time verification digests.
 //! * [`journal`] — the durable campaign journal (append-only JSONL of
 //!   cell records, atomic result writes, meta stamping) that makes long
 //!   matrix sweeps crash-resumable.
@@ -31,6 +34,7 @@
 pub mod config;
 pub mod fault;
 pub mod geometry;
+pub mod hash;
 pub mod journal;
 pub mod randtest;
 pub mod rng;
@@ -41,8 +45,9 @@ pub mod types;
 pub mod units;
 
 pub use config::{CacheConfig, CmpConfig, NetworkConfig};
-pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
+pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultPath, FaultStats};
 pub use geometry::{Coord, MeshShape};
+pub use hash::Fnv64;
 pub use journal::{write_atomic, CampaignMeta, Journal, JournalError, JournalReplay, Json};
 pub use rng::SimRng;
 pub use smallvec::SmallVec;

@@ -1,0 +1,181 @@
+//! Content-addressed, self-verifying cache of warm-start checkpoints.
+//!
+//! Every cell of a figure matrix begins with the same cold-start
+//! transient for a given (machine, app, seed, scale) tuple: caches
+//! filling, codecs training, cores marching to the first barrier. A
+//! [`CheckpointCache`] simulates that prefix once, stores the
+//! [`MachineSnapshot`] under a key derived from the *full* run
+//! configuration, and fast-forwards every later run sharing the prefix
+//! — repeated submissions of a figure, or a fig6 and a fig7 campaign
+//! over the same specs, skip straight to the warm point.
+//!
+//! Robustness is the design driver, in the spirit of compressed caches
+//! that carry integrity metadata so a decode failure falls back to the
+//! uncompressed path instead of corrupting data:
+//!
+//! * **Keyed by content, not by name.** The key fingerprints the whole
+//!   [`SimConfig`] (machine, interconnect, scheme, fault campaign,
+//!   sanitizer, watchdog — everything that shapes the prefix) plus the
+//!   app, seed and scale. Two runs get the same checkpoint only if
+//!   their prefixes are provably the same simulation.
+//! * **Verified at load.** [`CheckpointCache::store`] records the
+//!   snapshot's [`MachineSnapshot::digest`]; [`CheckpointCache::load`]
+//!   recomputes it. A mismatch — a torn, bit-rotted or deliberately
+//!   corrupted checkpoint — quarantines the entry (removed, counted in
+//!   [`CacheStats::quarantined`]) and returns
+//!   [`CacheLoad::Quarantined`], so the cell transparently falls back
+//!   to a fresh simulation rather than producing wrong numbers.
+//! * **Bounded.** At most `capacity` checkpoints are held; beyond that
+//!   the oldest stored entry is evicted. A cache can degrade a warm
+//!   start into a fresh one, never grow without bound.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use cmp_common::types::Cycle;
+
+use crate::engine::MachineSnapshot;
+
+/// Cache key: (configuration fingerprint, warm-point cycle). Built by
+/// [`crate::supervisor::warm_key`].
+pub type WarmKey = (String, Cycle);
+
+/// Outcome of a cache lookup.
+pub enum CacheLoad {
+    /// A checkpoint whose digest verified; restore it and go.
+    Hit(Box<MachineSnapshot>),
+    /// Nothing cached under this key.
+    Miss,
+    /// A checkpoint was cached but failed digest verification: it has
+    /// been removed and counted; the caller must simulate fresh.
+    Quarantined,
+}
+
+/// Lifetime counters of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Checkpoints stored.
+    pub stores: u64,
+    /// Loads that verified and fast-forwarded a run.
+    pub hits: u64,
+    /// Loads that found nothing.
+    pub misses: u64,
+    /// Loads that found a corrupt checkpoint and removed it.
+    pub quarantined: u64,
+    /// Stores that pushed out the oldest entry.
+    pub evicted: u64,
+}
+
+struct Entry {
+    snap: MachineSnapshot,
+    digest: u64,
+}
+
+struct Inner {
+    map: HashMap<WarmKey, Entry>,
+    /// Store order, oldest first (eviction order).
+    order: VecDeque<WarmKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// A shared, thread-safe checkpoint cache. One per service (or matrix
+/// driver); workers call [`CheckpointCache::load`] /
+/// [`CheckpointCache::store`] concurrently.
+pub struct CheckpointCache {
+    inner: Mutex<Inner>,
+}
+
+impl CheckpointCache {
+    /// A cache holding at most `capacity` checkpoints (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CheckpointCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Store `snap` under `key`, recording its digest for load-time
+    /// verification. A key already present keeps its existing entry
+    /// (the first simulation of a prefix wins; both are bit-identical
+    /// by construction). Evicts the oldest entry beyond capacity.
+    pub fn store(&self, key: WarmKey, snap: MachineSnapshot) {
+        let digest = snap.digest();
+        let mut inner = self.lock();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        inner.stats.stores += 1;
+        inner.map.insert(key.clone(), Entry { snap, digest });
+        inner.order.push_back(key);
+        while inner.map.len() > inner.capacity {
+            // order can hold keys already quarantined away; skip those.
+            match inner.order.pop_front() {
+                Some(old) => {
+                    if inner.map.remove(&old).is_some() {
+                        inner.stats.evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Look up `key`, verifying the stored checkpoint's digest before
+    /// handing it out.
+    pub fn load(&self, key: &WarmKey) -> CacheLoad {
+        let mut inner = self.lock();
+        let Some(entry) = inner.map.get(key) else {
+            inner.stats.misses += 1;
+            return CacheLoad::Miss;
+        };
+        if entry.snap.digest() != entry.digest {
+            inner.map.remove(key);
+            inner.stats.quarantined += 1;
+            return CacheLoad::Quarantined;
+        }
+        let snap = Box::new(entry.snap.clone());
+        inner.stats.hits += 1;
+        CacheLoad::Hit(snap)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no checkpoints are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deliberately corrupt the checkpoint stored under `key` (via
+    /// [`MachineSnapshot::fault_corrupt`]), so the next load exercises
+    /// the quarantine path. Returns whether an entry was there to
+    /// corrupt. Test and campaign hook; never called on the clean path.
+    #[doc(hidden)]
+    pub fn fault_corrupt(&self, key: &WarmKey) -> bool {
+        let mut inner = self.lock();
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.snap.fault_corrupt();
+                true
+            }
+            None => false,
+        }
+    }
+}

@@ -48,12 +48,14 @@ pub use watchdog::WatchdogConfig;
 
 use watchdog::Watchdog;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use addr_compression::{CompressionEngine, CompressionScheme};
 use cmp_common::config::CmpConfig;
-use cmp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultStats};
+use cmp_common::fault::{FaultAction, FaultConfig, FaultInjector, FaultPath, FaultStats};
 use cmp_common::types::{Cycle, TileId};
 use coherence::l1::{CoreAccess, L1Cache, L1Result};
-use coherence::memctrl::MemCtrl;
+use coherence::memctrl::{MemCtrl, MemRead};
 use coherence::msg::{OutVec, PKind, ProtocolMsg};
 use coherence::sanitizer::{Sanitizer, SanitizerConfig};
 use coherence::ProtocolError;
@@ -114,10 +116,7 @@ impl SimConfig {
     /// a non-empty value other than `0` (the CI hook that runs the whole
     /// suite with sweeps enabled).
     pub fn new(interconnect: InterconnectChoice, scheme: CompressionScheme) -> Self {
-        let sanitizer = match std::env::var("TCMP_SANITIZE") {
-            Ok(v) if !v.is_empty() && v != "0" => Some(SanitizerConfig::default()),
-            _ => None,
-        };
+        let sanitizer = sanitize_from_env();
         let sim_threads = sim_threads_from_env();
         SimConfig {
             cmp: CmpConfig::default(),
@@ -138,14 +137,84 @@ impl SimConfig {
     }
 }
 
+/// Parse a `TCMP_SIM_THREADS` value: a positive integer. Pure so the
+/// accepted forms are testable; the error message is what the one-shot
+/// stderr warning prints.
+pub(crate) fn parse_sim_threads(v: &str) -> Result<Option<usize>, String> {
+    let v = v.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!(
+            "TCMP_SIM_THREADS={v:?} is not a positive integer; accepted: an integer >= 1 \
+             (1 = serial); ignoring it"
+        )),
+        Err(_) => Err(format!(
+            "TCMP_SIM_THREADS={v:?} is not an integer; accepted: an integer >= 1 \
+             (1 = serial); ignoring it"
+        )),
+    }
+}
+
+/// Parse a `TCMP_SANITIZE` value. Accepted forms: unset, empty or `0`
+/// disable the sanitizer; `1` enables it. Anything else is malformed:
+/// the caller warns once on stderr and, to stay on the safe side of the
+/// historical behaviour (any non-`0` value enabled sweeps), still
+/// enables the sanitizer.
+pub(crate) fn parse_sanitize(v: &str) -> Result<bool, String> {
+    match v.trim() {
+        "" | "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!(
+            "TCMP_SANITIZE={other:?} is not a recognised value; accepted: 0/unset/empty (off) \
+             or 1 (on); treating it as 1"
+        )),
+    }
+}
+
+/// Emit `warning` to stderr once per process (keyed by `flag`), so a
+/// matrix spawning hundreds of simulators does not repeat it per cell.
+fn warn_env_once(flag: &'static AtomicBool, warning: &str) {
+    if !flag.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: {warning}");
+    }
+}
+
+static SIM_THREADS_ENV_WARNED: AtomicBool = AtomicBool::new(false);
+static SANITIZE_ENV_WARNED: AtomicBool = AtomicBool::new(false);
+static FAULT_SERIAL_WARNED: AtomicBool = AtomicBool::new(false);
+
 /// The `TCMP_SIM_THREADS` override, if set to a positive integer. Also
 /// consulted by the matrix drivers so their worker-pool sizing accounts
-/// for the scheduler threads each run will spawn.
+/// for the scheduler threads each run will spawn. A malformed value is
+/// ignored — loudly, with a one-shot stderr warning, instead of the
+/// silent fallback it used to be.
 pub(crate) fn sim_threads_from_env() -> Option<usize> {
-    std::env::var("TCMP_SIM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    let v = std::env::var("TCMP_SIM_THREADS").ok()?;
+    match parse_sim_threads(&v) {
+        Ok(n) => n,
+        Err(warning) => {
+            warn_env_once(&SIM_THREADS_ENV_WARNED, &warning);
+            None
+        }
+    }
+}
+
+/// The `TCMP_SANITIZE` gate. A malformed value warns once on stderr and
+/// enables the sanitizer (the conservative reading of "the user set the
+/// sanitize knob to something").
+fn sanitize_from_env() -> Option<SanitizerConfig> {
+    let v = std::env::var("TCMP_SANITIZE").unwrap_or_default();
+    let on = match parse_sanitize(&v) {
+        Ok(on) => on,
+        Err(warning) => {
+            warn_env_once(&SANITIZE_ENV_WARNED, &warning);
+            true
+        }
+    };
+    on.then(SanitizerConfig::default)
 }
 
 /// The simulation engine: tiles, L2 banks and the global components,
@@ -258,6 +327,14 @@ impl Engine {
         let sanitizer = cfg.sanitizer.map(Sanitizer::new);
         let next_sweep = cfg.sanitizer.map_or(Cycle::MAX, |s| s.period);
         let threads = cfg.sim_threads.unwrap_or(1).clamp(1, tiles);
+        if threads > 1 && injector.is_some() {
+            warn_env_once(
+                &FAULT_SERIAL_WARNED,
+                "fault campaign enabled: falling back to the serial scheduler \
+                 (--sim-threads ignored) — fault injection is one global serialized \
+                 decision stream, so parallel epochs would break seed-reproducibility",
+            );
+        }
         let par = (threads > 1 && injector.is_none())
             .then(|| Box::new(ParState::new(threads, tiles, noc.config())));
         Engine {
@@ -475,6 +552,37 @@ impl Engine {
             )));
         }
         Ok(())
+    }
+
+    /// Consult the fault injector for one completed off-chip read — the
+    /// memory-controller response path. Returns the (possibly
+    /// address-corrupted) reply plus how many times to deliver it, or
+    /// `None` when the reply was lost or re-queued with extra delay. A
+    /// dropped or corrupted fill wedges or confuses the waiting home
+    /// slice, which the watchdog/protocol layer must then report
+    /// structurally; a duplicated fill arrives at a slice that is no
+    /// longer expecting it — the same obligation.
+    fn fault_mem_reply(&mut self, mut r: MemRead) -> Option<(MemRead, u32)> {
+        let action = match &mut self.injector {
+            Some(inj) => inj.decide_on(FaultPath::MemReply, self.now),
+            None => return Some((r, 1)),
+        };
+        match action {
+            FaultAction::None | FaultAction::Desync => Some((r, 1)),
+            FaultAction::Drop => None,
+            FaultAction::Duplicate => Some((r, 2)),
+            FaultAction::Delay(extra) => {
+                // extra >= 1, so the re-queued reply cannot come ready
+                // again within this same phase-1 drain.
+                r.ready_at = self.now + extra;
+                self.mem.requeue_delayed(r);
+                None
+            }
+            FaultAction::Corrupt(mask) => {
+                r.line ^= mask;
+                Some((r, 1))
+            }
+        }
     }
 
     fn deliver(&mut self, src: TileId, dst: TileId, msg: ProtocolMsg) -> Result<(), SimError> {
@@ -725,19 +833,26 @@ impl Engine {
     /// drain. Also the only path a fault campaign runs on (injection is
     /// one global serialized decision stream).
     fn step_phases_serial(&mut self) -> Result<(), SimError> {
-        // 1. memory completions
+        // 1. memory completions (each reply consults the fault injector
+        //    when a campaign is live — the off-chip reply path)
         while let Some(r) = self.mem.pop_next_ready(self.now) {
-            let outs = self.l2s[r.tile.index()]
-                .slice
-                .mem_fill_done(r.line)
-                .map_err(|e| self.protocol_error(e))?;
-            self.process_outgoing(r.tile, outs);
-            let pumped = self.l2s[r.tile.index()]
-                .slice
-                .pump()
-                .map_err(|e| self.protocol_error(e))?;
-            self.process_outgoing(r.tile, pumped);
-            self.sync_bank(r.tile.index());
+            let (reply, deliveries) = match self.fault_mem_reply(r) {
+                Some(v) => v,
+                None => continue, // dropped or re-queued with extra delay
+            };
+            for _ in 0..deliveries {
+                let outs = self.l2s[reply.tile.index()]
+                    .slice
+                    .mem_fill_done(reply.line)
+                    .map_err(|e| self.protocol_error(e))?;
+                self.process_outgoing(reply.tile, outs);
+                let pumped = self.l2s[reply.tile.index()]
+                    .slice
+                    .pump()
+                    .map_err(|e| self.protocol_error(e))?;
+                self.process_outgoing(reply.tile, pumped);
+                self.sync_bank(reply.tile.index());
+            }
         }
         // 2. delayed sends due now
         while let Some(ev) = self.calendar.pop_delayed_due(self.now) {

@@ -16,8 +16,9 @@
 //! construction — nothing transient needs to be captured.
 
 use cmp_common::fault::FaultInjector;
+use cmp_common::hash::Fnv64;
 use cmp_common::snapshot::Snapshot;
-use cmp_common::types::Cycle;
+use cmp_common::types::{Cycle, TileId};
 use coherence::memctrl::MemCtrl;
 use coherence::msg::ProtocolMsg;
 use coherence::sanitizer::Sanitizer;
@@ -61,6 +62,84 @@ impl MachineSnapshot {
     /// Number of tiles in the captured machine.
     pub fn tiles(&self) -> usize {
         self.tiles.len()
+    }
+
+    /// Content digest of the captured machine (FNV-1a 64 in a fixed
+    /// field order).
+    ///
+    /// The checkpoint cache records this at store time and recomputes
+    /// it at load time, so a checkpoint that was mutated in between —
+    /// torn, bit-rotted, or deliberately corrupted by a test — is
+    /// detected and quarantined instead of fast-forwarding a cell into
+    /// wrong numbers. The digest walks the schedule-bearing state:
+    /// clocks and cached counters, every core's architectural
+    /// description and retirement stats, L1 MSHR and L2 transaction
+    /// lines, in-flight NoC and calendar event counts, and each
+    /// outstanding memory read. Deterministic across platforms; not
+    /// cryptographic (it guards against corruption, not an adversary).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.now);
+        h.write_u64(self.iters);
+        h.write_u64(self.cores_unfinished as u64);
+        h.write_u64(self.busy_l2_count as u64);
+        h.write_u64(self.next_sweep);
+        for t in &self.tiles {
+            h.write_str(&t.core.describe());
+            h.write_u64(t.core.stats().instructions);
+            h.write_u64(t.core.stats().mem_ops);
+            h.write_u64(t.core.ready_at().unwrap_or(Cycle::MAX));
+            h.write_u64(u64::from(t.parked));
+            // Hash-map-backed sets iterate in arbitrary order; sort so
+            // equal machines always digest equally.
+            let mut mshrs: Vec<u64> = t.l1.mshr_lines().collect();
+            mshrs.sort_unstable();
+            for line in mshrs {
+                h.write_u64(line);
+            }
+        }
+        for b in &self.l2s {
+            h.write_u64(u64::from(b.busy));
+            let mut busy: Vec<(u64, String)> = b.slice.busy_lines().collect();
+            busy.sort_unstable();
+            for (line, state) in busy {
+                h.write_u64(line);
+                h.write_str(&state);
+            }
+            let mut fills: Vec<u64> = b.slice.fill_lines().collect();
+            fills.sort_unstable();
+            for line in fills {
+                h.write_u64(line);
+            }
+            h.write_u64(b.slice.queued_requests() as u64);
+        }
+        h.write_u64(self.noc.live_messages() as u64);
+        h.write_u64(self.noc.held_count() as u64);
+        h.write_u64(self.mem.outstanding() as u64);
+        for r in self.mem.outstanding_reads() {
+            h.write_u64(r.tile.index() as u64);
+            h.write_u64(r.line);
+            h.write_u64(r.ready_at);
+        }
+        h.write_u64(self.calendar.delayed_len() as u64);
+        h.write_u64(self.calendar.next_delayed().unwrap_or(Cycle::MAX));
+        h.write_u64(u64::from(self.barrier.epoch()));
+        h.write_u64(
+            self.injector
+                .as_ref()
+                .map_or(u64::MAX, |i| i.stats().total()),
+        );
+        h.finish()
+    }
+
+    /// Deliberately perturb the captured state — invent a phantom
+    /// outstanding memory read, the kind of deep machine state a torn
+    /// checkpoint would plausibly lose or duplicate — so the cache's
+    /// load-time verification has something real to catch. Test and
+    /// campaign hook; never called on the clean path.
+    #[doc(hidden)]
+    pub fn fault_corrupt(&mut self) {
+        self.mem.read(self.now, TileId(0), 0xDEAD_C0DE << 6);
     }
 }
 

@@ -425,3 +425,52 @@ fn engine_snapshot_round_trips_mid_run() {
         assert!((r.energy.chip().value() - reference.energy.chip().value()).abs() < 1e-15);
     }
 }
+
+#[test]
+fn env_knob_parsing_accepted_forms() {
+    // TCMP_SIM_THREADS: a positive integer or nothing.
+    assert_eq!(parse_sim_threads(""), Ok(None));
+    assert_eq!(parse_sim_threads("  "), Ok(None));
+    assert_eq!(parse_sim_threads("1"), Ok(Some(1)));
+    assert_eq!(parse_sim_threads(" 8 "), Ok(Some(8)));
+    for bad in ["0", "-2", "two", "1.5", "8,"] {
+        let err = parse_sim_threads(bad).expect_err(bad);
+        assert!(err.contains("TCMP_SIM_THREADS"), "warning names the knob");
+        assert!(err.contains("accepted"), "warning documents accepted forms");
+    }
+    // TCMP_SANITIZE: 0/empty off, 1 on, anything else malformed.
+    assert_eq!(parse_sanitize(""), Ok(false));
+    assert_eq!(parse_sanitize("0"), Ok(false));
+    assert_eq!(parse_sanitize("1"), Ok(true));
+    for bad in ["yes", "on", "2", "true"] {
+        let err = parse_sanitize(bad).expect_err(bad);
+        assert!(err.contains("TCMP_SANITIZE"), "warning names the knob");
+        assert!(err.contains("accepted"), "warning documents accepted forms");
+    }
+}
+
+#[test]
+fn snapshot_digest_detects_corruption_and_matches_reruns() {
+    let app = synthetic::hotspot(1_500, 64);
+    let cfg = compressed_cfg();
+
+    let mut engine = Engine::new(cfg.clone(), &app, SEED, 1.0);
+    for _ in 0..200 {
+        assert!(engine.step_iteration().expect("clean run"));
+    }
+    let snap = engine.snapshot();
+    let digest = snap.digest();
+    assert_eq!(snap.digest(), digest, "digest is a pure function");
+
+    // The same prefix re-simulated yields the same digest.
+    let mut again = Engine::new(cfg, &app, SEED, 1.0);
+    for _ in 0..200 {
+        assert!(again.step_iteration().expect("clean run"));
+    }
+    assert_eq!(again.snapshot().digest(), digest);
+
+    // Any perturbation of the captured machine changes it.
+    let mut torn = snap.clone();
+    torn.fault_corrupt();
+    assert_ne!(torn.digest(), digest);
+}

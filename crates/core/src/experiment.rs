@@ -71,6 +71,44 @@ pub fn paper_configs(include_perfect: bool) -> Vec<ConfigSpec> {
     v
 }
 
+/// The configurations plotted in Figure 6: the paper keeps only schemes
+/// "with a compression coverage over 80 %" as bars (plus the baseline
+/// and the perfect-compression solid lines). Shared by the figure
+/// binaries and the campaign service, which must agree on cell order
+/// for journals to transplant.
+pub fn figure6_configs(include_perfect: bool) -> Vec<ConfigSpec> {
+    let mut v = vec![ConfigSpec::baseline()];
+    for scheme in [
+        CompressionScheme::Stride { low_bytes: 2 },
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 1,
+        },
+        CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 2,
+        },
+        CompressionScheme::Dbrc {
+            entries: 64,
+            low_bytes: 2,
+        },
+    ] {
+        v.push(ConfigSpec::compressed(scheme));
+    }
+    if include_perfect {
+        for low in [1usize, 2] {
+            v.push(ConfigSpec::compressed(CompressionScheme::Perfect {
+                low_bytes: low,
+            }));
+        }
+    }
+    v
+}
+
 /// One run of the matrix.
 #[derive(Clone, Debug)]
 pub struct RunSpec {

@@ -26,7 +26,12 @@
 //!   per-cell cycle/wall-clock budgets, retry-with-backoff, forensic
 //!   rewind-and-replay of watchdog aborts, and the journal-backed
 //!   matrix runner whose sweeps resume bit-identically after a kill.
+//! * [`checkpoint`] — the content-addressed, self-verifying cache of
+//!   warm-start [`MachineSnapshot`]s that lets campaigns sharing a
+//!   cold-start prefix skip it, with load-time digest verification
+//!   quarantining torn or corrupted checkpoints.
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiment;
 pub mod niface;
@@ -34,14 +39,16 @@ pub mod report;
 pub mod sim;
 pub mod supervisor;
 
+pub use checkpoint::{CacheLoad, CacheStats, CheckpointCache, WarmKey};
 pub use engine::MachineSnapshot;
 pub use experiment::{
-    normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec, MatrixError,
-    MissingBaseline, NormalizedRow, PartialNormalization, RunFailure, RunSpec,
+    figure6_configs, normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec,
+    MatrixError, MissingBaseline, NormalizedRow, PartialNormalization, RunFailure, RunSpec,
 };
 pub use niface::{map_channel, InterconnectChoice, ResyncStats, ResyncTracker};
 pub use sim::{CmpSimulator, SimConfig, SimError, SimResult, StateDump, TileDump};
 pub use supervisor::{
-    campaign_meta, cell_key, run_matrix_supervised, run_supervised, supervise, CellFailure,
-    ForensicReport, MatrixReport, RunPolicy, SupervisedFailure,
+    campaign_meta, cell_key, run_journaled_cell, run_matrix_supervised, run_supervised,
+    run_supervised_cached, supervise, warm_key, CellFailure, CellRun, ForensicReport, MatrixReport,
+    RunPolicy, SupervisedFailure, WarmStart,
 };

@@ -115,6 +115,70 @@ impl TableBuilder {
     }
 }
 
+/// Assemble one Figure 6/7-style table from normalised rows: one row
+/// per application (first-appearance order), one column per
+/// configuration (first-appearance order), `metric` picking the
+/// plotted ratio, a trailing `geomean` row, and `n/a` for cells that
+/// failed or were never attempted. Applications listed in
+/// `missing_baseline` render as all-`n/a` rows, so a partial matrix
+/// still shows its full shape. Shared by the figure binaries and the
+/// campaign service, which must emit identical tables for identical
+/// results.
+pub fn figure_table(
+    title: &str,
+    rows: &[crate::experiment::NormalizedRow],
+    missing_baseline: &[String],
+    metric: impl Fn(&crate::experiment::NormalizedRow) -> f64,
+) -> TableBuilder {
+    let mut configs: Vec<String> = Vec::new();
+    let mut apps: Vec<String> = Vec::new();
+    for r in rows {
+        if !configs.contains(&r.config) {
+            configs.push(r.config.clone());
+        }
+        if !apps.contains(&r.app) {
+            apps.push(r.app.clone());
+        }
+    }
+    for app in missing_baseline {
+        if !apps.contains(app) {
+            apps.push(app.clone());
+        }
+    }
+
+    let headers: Vec<String> = std::iter::once("application".to_string())
+        .chain(configs.iter().cloned())
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TableBuilder::new(title, &header_refs);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for app in &apps {
+        let mut row = vec![app.clone()];
+        for (ci, config) in configs.iter().enumerate() {
+            match rows.iter().find(|r| &r.app == app && &r.config == config) {
+                Some(r) => {
+                    let v = metric(r);
+                    per_config[ci].push(v);
+                    row.push(fmt_ratio(v));
+                }
+                // failed or never-attempted cell in a partial matrix
+                None => row.push("n/a".to_string()),
+            }
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["geomean".to_string()];
+    for c in &per_config {
+        if c.is_empty() {
+            avg.push("n/a".to_string());
+        } else {
+            avg.push(fmt_ratio(crate::experiment::geomean(c.iter().copied())));
+        }
+    }
+    t.row(avg);
+    t
+}
+
 /// Format a ratio with 3 decimals (`0.923`).
 pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.3}")

@@ -20,6 +20,7 @@
 //!   so deterministic results stay deterministic, later attempts
 //!   perturb only the *fault* seed, never the workload trace.
 
+use std::borrow::BorrowMut;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -37,6 +38,7 @@ use energy_model::breakdown::EnergyBreakdown;
 use wire_model::wires::VlWidth;
 use workloads::profile::AppProfile;
 
+use crate::checkpoint::{CacheLoad, CheckpointCache, WarmKey};
 use crate::experiment::{panic_message, RunSpec};
 use crate::niface::{InterconnectChoice, ResyncStats};
 use crate::sim::{ClassCount, CmpSimulator, SimConfig, SimError, SimResult};
@@ -145,6 +147,131 @@ pub fn run_supervised(
     }
     let mut sim = CmpSimulator::new(cfg, app, seed, scale);
     supervise(&mut sim, policy)
+}
+
+/// How one supervised run crossed (or didn't) its warm-start point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No checkpoint cache was offered.
+    Disabled,
+    /// Cache miss: the prefix was simulated fresh and stored for later
+    /// sharers of the same configuration.
+    Stored,
+    /// Cache hit: the run fast-forwarded from a verified checkpoint.
+    Warmed,
+    /// The cached checkpoint failed digest verification: it was
+    /// quarantined and this run simulated fresh (then re-stored a clean
+    /// checkpoint under the same key).
+    Quarantined,
+    /// The run completed before reaching the warm point; nothing was
+    /// cached.
+    Finished,
+}
+
+impl WarmStart {
+    /// Stable label (events, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WarmStart::Disabled => "disabled",
+            WarmStart::Stored => "stored",
+            WarmStart::Warmed => "warmed",
+            WarmStart::Quarantined => "quarantined",
+            WarmStart::Finished => "finished",
+        }
+    }
+
+    /// Parse a [`WarmStart::label`] back.
+    pub fn from_label(s: &str) -> Option<WarmStart> {
+        Some(match s {
+            "disabled" => WarmStart::Disabled,
+            "stored" => WarmStart::Stored,
+            "warmed" => WarmStart::Warmed,
+            "quarantined" => WarmStart::Quarantined,
+            "finished" => WarmStart::Finished,
+            _ => return None,
+        })
+    }
+}
+
+/// The checkpoint-cache key for one cell: a fingerprint of everything
+/// that shapes its simulation prefix — the full [`SimConfig`] (machine,
+/// interconnect, scheme, fault campaign, sanitizer, watchdog and cycle
+/// cap, via its `Debug` rendering), the app, the trace seed and the
+/// scale — paired with the warm-point cycle. `sim_threads` is excluded:
+/// it is a host-side execution strategy, bit-identical by construction,
+/// and snapshots deliberately transplant across thread counts.
+pub fn warm_key(cfg: &SimConfig, app: &AppProfile, seed: u64, scale: f64, warm: Cycle) -> WarmKey {
+    let mut kc = cfg.clone();
+    kc.sim_threads = None;
+    let desc = format!("{kc:?}|app={}|seed={seed:#x}|scale={scale:?}", app.name);
+    (fingerprint(&desc), warm)
+}
+
+/// [`run_supervised`] with an optional warm-start checkpoint cache.
+///
+/// With `cache = Some((cache, warm_cycles))`, the run first consults
+/// the cache for a checkpoint of its own configuration at the warm
+/// point: a verified hit is restored (fast-forward); a miss — or a
+/// corrupt entry, which is quarantined — simulates the prefix fresh
+/// and stores a checkpoint at the first iteration boundary at or past
+/// `warm_cycles`. Either way the remainder runs under the normal
+/// supervision loop, and because snapshot/restore is bit-identical,
+/// the result is exactly that of an uncached run — the cache can only
+/// change wall-clock time, never numbers.
+pub fn run_supervised_cached(
+    mut cfg: SimConfig,
+    app: &AppProfile,
+    seed: u64,
+    scale: f64,
+    policy: &RunPolicy,
+    cache: Option<(&CheckpointCache, Cycle)>,
+) -> Result<(SimResult, WarmStart), SupervisedFailure> {
+    if let Some(budget) = policy.cycle_budget {
+        cfg.max_cycles = cfg.max_cycles.min(budget);
+    }
+    if policy.sim_threads.is_some() {
+        cfg.sim_threads = policy.sim_threads;
+    }
+    let Some((cache, warm_cycles)) = cache.filter(|&(_, w)| w > 0) else {
+        let mut sim = CmpSimulator::new(cfg, app, seed, scale);
+        return supervise(&mut sim, policy).map(|r| (r, WarmStart::Disabled));
+    };
+    let key = warm_key(&cfg, app, seed, scale, warm_cycles);
+    let mut sim = CmpSimulator::new(cfg, app, seed, scale);
+    let warm = match cache.load(&key) {
+        CacheLoad::Hit(snap) => {
+            sim.restore(&snap);
+            WarmStart::Warmed
+        }
+        outcome => {
+            let warm = match outcome {
+                CacheLoad::Quarantined => WarmStart::Quarantined,
+                _ => WarmStart::Stored,
+            };
+            // Simulate the prefix fresh, then checkpoint it for the
+            // next sharer. The supervision loop proper takes over after
+            // the warm point; the prefix is short by construction, so
+            // running it without wall-clock polling is fine.
+            loop {
+                if sim.cycle() >= warm_cycles {
+                    cache.store(key, sim.snapshot());
+                    break;
+                }
+                match sim.step() {
+                    Ok(true) => {}
+                    Ok(false) => return Ok((sim.finish(), WarmStart::Finished)),
+                    Err(error) => {
+                        return Err(SupervisedFailure {
+                            error,
+                            forensics: None,
+                        })
+                    }
+                }
+            }
+            warm
+        }
+    };
+    supervise(&mut sim, policy).map(|r| (r, warm))
 }
 
 /// [`run_supervised`] for a simulator the caller has already built
@@ -378,6 +505,104 @@ impl MatrixReport {
     }
 }
 
+/// Outcome of one journaled, retried, panic-isolated cell.
+pub struct CellRun {
+    /// The cell's result, or its terminal failure.
+    pub outcome: Result<SimResult, SupervisedFailure>,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// How the successful attempt crossed the warm-start point
+    /// ([`WarmStart::Disabled`] on failure or without a cache).
+    pub warm: WarmStart,
+}
+
+/// Run one matrix cell exactly as [`run_matrix_supervised`]'s workers
+/// do — per-attempt `start` records, panic isolation, the retry ladder
+/// reseeding only the fault injector, a terminal `finish`/`fail` record
+/// — but callable from any driver that owns its own journal (the
+/// campaign service runs every queued cell through this).
+///
+/// `journal` accepts anything mutex-wrapping a [`Journal`] (owned or
+/// `&mut`). `cache` is consulted only on attempt 0: a retry perturbs
+/// the fault seed, which changes the configuration fingerprint, so
+/// caching retry prefixes would only pollute the cache.
+pub fn run_journaled_cell<J: BorrowMut<Journal>>(
+    cmp: &CmpConfig,
+    spec: &RunSpec,
+    policy: &RunPolicy,
+    journal: Option<&Mutex<J>>,
+    cache: Option<(&CheckpointCache, Cycle)>,
+) -> CellRun {
+    // Qualified so the blanket `impl BorrowMut<T> for T` on the guard
+    // itself cannot shadow the journal view of `J`.
+    fn with_journal<J: BorrowMut<Journal>>(j: &Mutex<J>, f: impl FnOnce(&mut Journal)) {
+        let mut guard = j.lock().unwrap_or_else(|p| p.into_inner());
+        f(BorrowMut::<Journal>::borrow_mut(&mut *guard));
+    }
+    let key = cell_key(spec);
+    let warm_seen = std::cell::Cell::new(WarmStart::Disabled);
+    let attempts_made = std::cell::Cell::new(0u32);
+    let run = |attempt: u32| {
+        attempts_made.set(attempt + 1);
+        if let Some(j) = journal {
+            with_journal(j, |j| {
+                let _ = j.record_start(&key, attempt + 1);
+            });
+        }
+        // A panicking cell must not leave its slot empty, the mutex
+        // poisoned, or its journal entry dangling.
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
+            cfg.cmp = cmp.clone();
+            // Retries perturb only the fault-injector seed; the
+            // workload trace seed is part of the cell's identity and
+            // never changes.
+            cfg.faults.seed = reseed(cfg.faults.seed, attempt);
+            let cache = if attempt == 0 { cache } else { None };
+            run_supervised_cached(cfg, &spec.app, spec.seed, spec.scale, policy, cache).map(
+                |(result, warm)| {
+                    warm_seen.set(warm);
+                    result
+                },
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SupervisedFailure {
+                error: SimError::Panic {
+                    message: panic_message(payload),
+                },
+                forensics: None,
+            })
+        })
+    };
+    match with_retries(policy.retries, policy.backoff, run) {
+        Ok(result) => {
+            if let Some(j) = journal {
+                with_journal(j, |j| {
+                    let _ = j.record_finish(&key, result_to_json(&result));
+                });
+            }
+            CellRun {
+                outcome: Ok(result),
+                attempts: attempts_made.get(),
+                warm: warm_seen.get(),
+            }
+        }
+        Err((attempts, failure)) => {
+            if let Some(j) = journal {
+                with_journal(j, |j| {
+                    let _ = j.record_fail(&key, attempts, &failure.error.brief());
+                });
+            }
+            CellRun {
+                outcome: Err(failure),
+                attempts,
+                warm: WarmStart::Disabled,
+            }
+        }
+    }
+}
+
 /// Execute `specs` on a worker pool under `policy`, recording every
 /// cell into `journal` when one is given.
 ///
@@ -434,61 +659,17 @@ pub fn run_matrix_supervised(
                 }
                 let i = pending[k];
                 let spec = &specs[i];
-                let key = cell_key(spec);
-                let run = |attempt: u32| {
-                    if let Some(j) = &journal {
-                        let _ = j
-                            .lock()
-                            .unwrap_or_else(|p| p.into_inner())
-                            .record_start(&key, attempt + 1);
-                    }
-                    // A panicking cell must not leave its slot empty,
-                    // the mutex poisoned, or its journal entry dangling.
-                    catch_unwind(AssertUnwindSafe(|| {
-                        let mut cfg = SimConfig::new(spec.config.interconnect, spec.config.scheme);
-                        cfg.cmp = cmp.clone();
-                        // Retries perturb only the fault-injector seed;
-                        // the workload trace seed is part of the cell's
-                        // identity and never changes.
-                        cfg.faults.seed = reseed(cfg.faults.seed, attempt);
-                        run_supervised(cfg, &spec.app, spec.seed, spec.scale, policy)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(SupervisedFailure {
-                            error: SimError::Panic {
-                                message: panic_message(payload),
-                            },
-                            forensics: None,
-                        })
-                    })
-                };
-                let outcome = match with_retries(policy.retries, policy.backoff, run) {
-                    Ok(result) => {
-                        if let Some(j) = &journal {
-                            let _ = j
-                                .lock()
-                                .unwrap_or_else(|p| p.into_inner())
-                                .record_finish(&key, result_to_json(&result));
-                        }
-                        Ok(result)
-                    }
-                    Err((attempts, failure)) => {
-                        if let Some(j) = &journal {
-                            let _ = j.lock().unwrap_or_else(|p| p.into_inner()).record_fail(
-                                &key,
-                                attempts,
-                                &failure.error.brief(),
-                            );
-                        }
-                        Err(CellFailure {
-                            index: i,
-                            app: spec.app.name.to_string(),
-                            config: spec.config.label.clone(),
-                            attempts,
-                            error: failure.error,
-                            forensics: failure.forensics,
-                        })
-                    }
+                let cell = run_journaled_cell(cmp, spec, policy, journal.as_ref(), None);
+                let outcome = match cell.outcome {
+                    Ok(result) => Ok(result),
+                    Err(failure) => Err(CellFailure {
+                        index: i,
+                        app: spec.app.name.to_string(),
+                        config: spec.config.label.clone(),
+                        attempts: cell.attempts,
+                        error: failure.error,
+                        forensics: failure.forensics,
+                    }),
                 };
                 slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(outcome);
             });
@@ -705,6 +886,10 @@ pub fn result_to_json(r: &SimResult) -> Json {
             "desyncs".to_string(),
             Json::u64(r.fault_stats.desyncs.get()),
         ),
+        (
+            "mem_replies".to_string(),
+            Json::u64(r.fault_stats.mem_replies.get()),
+        ),
     ]);
     let resync = Json::Obj(vec![
         (
@@ -805,6 +990,7 @@ pub fn result_from_json(j: &Json) -> Result<SimResult, String> {
         delays: need_counter(faults_obj, "delays")?,
         corruptions: need_counter(faults_obj, "corruptions")?,
         desyncs: need_counter(faults_obj, "desyncs")?,
+        mem_replies: need_counter(faults_obj, "mem_replies")?,
     };
     let resync_obj = need(j, "resync")?;
     let resync = ResyncStats {

@@ -1,0 +1,136 @@
+//! The `tcmp-serve` daemon: queued figure campaigns over a Unix
+//! socket, with journal-backed crash resume and a graceful SIGTERM
+//! drain.
+//!
+//! ```text
+//! tcmp-serve --root DIR [--socket PATH] [--jobs N] [--queue-bound N]
+//!            [--warm-cycles N] [--cache-capacity N]
+//! ```
+//!
+//! SIGTERM/SIGINT drain: in-flight cells finish and are journaled,
+//! queued cells stay durable for the next start, exit status 0.
+//! SIGKILL is survivable by design: restart with the same `--root` and
+//! every interrupted campaign resumes bit-identically.
+
+#[cfg(unix)]
+fn main() {
+    unix::main()
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("tcmp-serve requires Unix domain sockets; this platform has none");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use tcmp_serve::daemon;
+    use tcmp_serve::service::{ServeConfig, ServiceHandle};
+
+    /// Set from the signal handler; polled by the accept loop.
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // An atomic store is async-signal-safe; everything else
+        // happens on the main thread when it notices the flag.
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: tcmp-serve --root DIR [--socket PATH] [--jobs N] [--queue-bound N] \
+             [--warm-cycles N] [--cache-capacity N]"
+        );
+        std::process::exit(2)
+    }
+
+    pub fn main() {
+        let mut cfg = ServeConfig::default();
+        let mut socket: Option<PathBuf> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+            };
+            match arg.as_str() {
+                "--root" => cfg.root = PathBuf::from(value("--root")),
+                "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+                "--jobs" => cfg.jobs = parse(&value("--jobs"), "--jobs"),
+                "--queue-bound" => {
+                    cfg.queue_bound = parse(&value("--queue-bound"), "--queue-bound")
+                }
+                "--warm-cycles" => {
+                    cfg.warm_cycles = parse(&value("--warm-cycles"), "--warm-cycles")
+                }
+                "--cache-capacity" => {
+                    cfg.cache_capacity = parse(&value("--cache-capacity"), "--cache-capacity")
+                }
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown flag {other}");
+                    usage()
+                }
+            }
+        }
+        let socket = socket.unwrap_or_else(|| cfg.root.join("serve.sock"));
+
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+
+        let handle = match ServiceHandle::start(cfg.clone()) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!(
+                    "tcmp-serve: cannot start service at {}: {e}",
+                    cfg.root.display()
+                );
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "tcmp-serve: listening on {} (root {}, {} workers, queue bound {}, warm-start {})",
+            socket.display(),
+            cfg.root.display(),
+            cfg.jobs.max(1),
+            cfg.queue_bound,
+            if cfg.warm_cycles > 0 {
+                format!(
+                    "{} cycles, {} checkpoints",
+                    cfg.warm_cycles, cfg.cache_capacity
+                )
+            } else {
+                "off".to_string()
+            }
+        );
+        if let Err(e) = daemon::serve(handle.service(), &socket, &DRAIN) {
+            eprintln!("tcmp-serve: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("tcmp-serve: draining — finishing in-flight cells");
+        handle.drain();
+        eprintln!("tcmp-serve: drained cleanly");
+    }
+
+    fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} {v}: not a valid number");
+            usage()
+        })
+    }
+}

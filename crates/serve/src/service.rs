@@ -1,0 +1,718 @@
+//! The campaign service proper: a bounded queue of matrix cells from
+//! many campaigns, drained by one shared worker pool, with every
+//! robustness property the figure binaries have — and one they don't:
+//! campaigns outlive their submitters.
+//!
+//! * **Admission control.** The cell queue is bounded; a submission
+//!   that would overflow it is refused with a structured
+//!   [`RejectReason::Overloaded`] carrying the numbers the client needs
+//!   to back off. The service never queues unboundedly, never panics on
+//!   load, never silently drops a campaign.
+//! * **Durability.** Every campaign persists its request
+//!   (`campaign.json`) and a cell journal (`journal.jsonl`, the same
+//!   fsync-per-record journal the figure binaries use) under
+//!   `<root>/campaigns/<id>/`. A service killed at any instant —
+//!   SIGKILL included — replays every campaign on restart and re-queues
+//!   exactly the unfinished cells; the resumed CSVs are bit-identical
+//!   to an uninterrupted run's.
+//! * **Quarantine, don't crash.** A campaign directory whose request or
+//!   journal no longer parses (torn by a crash, written by different
+//!   code) is logged and skipped; the service still starts and every
+//!   healthy campaign still resumes.
+//! * **Shared warm-start cache.** One [`CheckpointCache`] spans all
+//!   campaigns: the cold-start prefix of a (config, app, seed, scale)
+//!   cell is simulated once and fast-forwarded into every later cell
+//!   sharing it, with load-time digest verification falling back to a
+//!   fresh simulation on corruption.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cmp_common::config::CmpConfig;
+use cmp_common::journal::{write_atomic, CampaignMeta, Journal, JournalError, Json};
+use cmp_common::types::Cycle;
+use tcmp_core::checkpoint::CheckpointCache;
+use tcmp_core::experiment::{figure6_configs, normalize_partial, RunSpec};
+use tcmp_core::report::figure_table;
+use tcmp_core::supervisor::{
+    campaign_meta, cell_key, result_from_json, run_journaled_cell, RunPolicy,
+};
+
+use crate::proto::{
+    CacheCounts, CampaignRequest, CampaignStatus, Event, Figure, RejectReason, Response,
+};
+
+/// File holding a campaign's request, next to its journal.
+pub const CAMPAIGN_FILE: &str = "campaign.json";
+
+/// How many events a subscriber may fall behind before it is dropped
+/// (it can re-attach and catch up from the campaign's slots).
+const SUBSCRIBER_BUFFER: usize = 1024;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// State root; campaigns live under `<root>/campaigns/<id>/`.
+    pub root: PathBuf,
+    /// Worker threads draining the shared cell queue.
+    pub jobs: usize,
+    /// Admission bound on queued (not yet claimed) cells.
+    pub queue_bound: usize,
+    /// Warm-start point of the checkpoint cache in cycles; 0 disables
+    /// the cache entirely.
+    pub warm_cycles: Cycle,
+    /// Checkpoints held at most (each is a whole-machine snapshot).
+    pub cache_capacity: usize,
+    /// Stop claiming cells after this many attempts — the in-process
+    /// analogue of SIGKILLing the service mid-campaign, used by the
+    /// resume tests (`None` = run everything).
+    pub cell_limit: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            root: PathBuf::from("tcmp-serve-state"),
+            jobs: 2,
+            queue_bound: 1024,
+            warm_cycles: 0,
+            cache_capacity: 8,
+            cell_limit: None,
+        }
+    }
+}
+
+/// One queued unit of work: a cell index within a campaign.
+struct CellTask {
+    campaign: Arc<Campaign>,
+    index: usize,
+}
+
+/// The shared queue. `reserved` counts cells a submission has been
+/// admitted for but not yet pushed (its directory and journal are
+/// being created outside the lock); admission counts them so two
+/// concurrent submissions cannot both squeeze under the bound.
+struct QueueState {
+    tasks: VecDeque<CellTask>,
+    reserved: usize,
+    /// Cells claimed by workers so far (for `cell_limit`).
+    attempted: usize,
+}
+
+/// One campaign: its immutable definition plus its mutable progress.
+pub struct Campaign {
+    pub id: String,
+    pub request: CampaignRequest,
+    specs: Vec<RunSpec>,
+    policy: RunPolicy,
+    dir: PathBuf,
+    meta: CampaignMeta,
+    journal: Mutex<Journal>,
+    /// Completed rows, index-aligned with `specs`.
+    slots: Mutex<Vec<Option<tcmp_core::sim::SimResult>>>,
+    /// Terminal failures: `(index, error)`.
+    failed: Mutex<Vec<(usize, String)>>,
+    /// Cells without an outcome yet; the campaign finalises at 0.
+    remaining: AtomicUsize,
+    finished: AtomicBool,
+    subscribers: Mutex<Vec<SyncSender<Event>>>,
+}
+
+impl Campaign {
+    /// Total cells.
+    pub fn cells(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `(completed, failed, finished)` right now.
+    pub fn progress(&self) -> (usize, usize, bool) {
+        let done = lock(&self.slots).iter().flatten().count();
+        let failed = lock(&self.failed).len();
+        (done, failed, self.finished.load(Ordering::SeqCst))
+    }
+
+    /// The provenance line stamped into this campaign's CSVs
+    /// (identical to the figure binaries' stamp for the same sweep).
+    pub fn stamp(&self) -> String {
+        format!(
+            "git_sha={} config_hash={} cells={}",
+            self.meta.git_sha, self.meta.config_hash, self.meta.cells
+        )
+    }
+
+    /// Subscribe to this campaign's live events. The channel is
+    /// bounded: a subscriber that stops reading is dropped, not waited
+    /// on (it can re-attach).
+    pub fn subscribe(&self) -> Receiver<Event> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(SUBSCRIBER_BUFFER);
+        lock(&self.subscribers).push(tx);
+        rx
+    }
+
+    /// Synthetic catch-up events for every cell that already has an
+    /// outcome — sent to a re-attaching client before the live stream.
+    /// Overlap with live events is possible by design; clients
+    /// deduplicate by cell index.
+    pub fn catchup(&self) -> Vec<Event> {
+        let mut events = Vec::new();
+        for (i, slot) in lock(&self.slots).iter().enumerate() {
+            if let Some(r) = slot {
+                events.push(Event::CellFinish {
+                    campaign: self.id.clone(),
+                    index: i,
+                    cell: cell_key(&self.specs[i]),
+                    cycles: r.cycles,
+                    warm: "journal".to_string(),
+                });
+            }
+        }
+        for (i, error) in lock(&self.failed).iter() {
+            events.push(Event::CellFail {
+                campaign: self.id.clone(),
+                index: *i,
+                cell: cell_key(&self.specs[*i]),
+                attempts: 0,
+                error: error.clone(),
+            });
+        }
+        if self.finished.load(Ordering::SeqCst) {
+            let (done, failed, _) = self.progress();
+            events.push(Event::CampaignDone {
+                campaign: self.id.clone(),
+                completed: done,
+                failed,
+            });
+        }
+        events
+    }
+
+    fn emit(&self, event: Event) {
+        lock(&self.subscribers).retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => true,
+            // A full buffer or a vanished client both mean "this
+            // subscriber is no longer keeping up": drop it. The
+            // campaign itself is unaffected.
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    /// Render and atomically write this campaign's figure CSVs from
+    /// whatever completed (failed cells render as `n/a`). Idempotent:
+    /// a resume that finds everything already done rewrites the same
+    /// bytes.
+    fn finalize(&self) {
+        let results: Vec<tcmp_core::sim::SimResult> =
+            lock(&self.slots).iter().flatten().cloned().collect();
+        let normalized = normalize_partial(&results);
+        type Metric = fn(&tcmp_core::experiment::NormalizedRow) -> f64;
+        let tables: &[(&str, &str, Metric)] = match self.request.figure {
+            Figure::Fig6 => &[
+                (
+                    "Figure 6 (top) — normalised execution time",
+                    "results.exec_time.csv",
+                    |r| r.exec_time,
+                ),
+                (
+                    "Figure 6 (bottom) — normalised link ED2P",
+                    "results.link_ed2p.csv",
+                    |r| r.link_ed2p,
+                ),
+            ],
+            Figure::Fig7 => &[(
+                "Figure 7 — normalised full-CMP ED2P",
+                "results.chip_ed2p.csv",
+                |r| r.chip_ed2p,
+            )],
+        };
+        for &(title, file, metric) in tables {
+            let t = figure_table(
+                title,
+                &normalized.rows,
+                &normalized.missing_baseline,
+                metric,
+            );
+            if let Err(e) = t.write_csv_stamped(self.dir.join(file), &self.stamp()) {
+                eprintln!("campaign {}: writing {file}: {e}", self.id);
+            }
+        }
+        self.finished.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The service: shared queue + worker pool + campaigns + cache.
+/// Construct via [`ServiceHandle::start`].
+pub struct Service {
+    cfg: ServeConfig,
+    cmp: CmpConfig,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    cache: CheckpointCache,
+    campaigns: Mutex<BTreeMap<String, Arc<Campaign>>>,
+    next_id: Mutex<u64>,
+    draining: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Service {
+    /// Build the service: create the state root, replay every existing
+    /// campaign directory (quarantining unreadable ones), and re-queue
+    /// all unfinished cells. Does not spawn workers.
+    fn new(cfg: ServeConfig) -> io::Result<Service> {
+        let campaigns_dir = cfg.root.join("campaigns");
+        std::fs::create_dir_all(&campaigns_dir)?;
+        let service = Service {
+            cache: CheckpointCache::new(cfg.cache_capacity),
+            cmp: CmpConfig::default(),
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                reserved: 0,
+                attempted: 0,
+            }),
+            work: Condvar::new(),
+            campaigns: Mutex::new(BTreeMap::new()),
+            next_id: Mutex::new(1),
+            draining: AtomicBool::new(false),
+            cfg,
+        };
+        service.resume_existing(&campaigns_dir);
+        Ok(service)
+    }
+
+    /// Replay `<root>/campaigns/*`: rebuild each campaign from its
+    /// persisted request, resume its journal, and queue what is left.
+    fn resume_existing(&self, campaigns_dir: &Path) {
+        let mut dirs: Vec<PathBuf> = match std::fs::read_dir(campaigns_dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot scan {}: {e}", campaigns_dir.display());
+                return;
+            }
+        };
+        dirs.sort();
+        for dir in dirs {
+            let id = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if let Some(n) = id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()) {
+                let mut next = lock(&self.next_id);
+                *next = (*next).max(n + 1);
+            }
+            match self.resume_one(&dir, &id) {
+                Ok(campaign) => {
+                    let remaining = campaign.remaining.load(Ordering::SeqCst);
+                    if remaining == 0 {
+                        // Killed after the last cell but before (or
+                        // during) the CSV write: finalise now.
+                        campaign.finalize();
+                    } else {
+                        let indices: Vec<usize> = {
+                            let slots = lock(&campaign.slots);
+                            (0..slots.len()).filter(|&i| slots[i].is_none()).collect()
+                        };
+                        let mut st = lock(&self.state);
+                        for index in indices {
+                            st.tasks.push_back(CellTask {
+                                campaign: Arc::clone(&campaign),
+                                index,
+                            });
+                        }
+                        self.work.notify_all();
+                    }
+                    eprintln!(
+                        "resumed campaign {id}: {} of {} cells already done",
+                        campaign.cells() - campaign.remaining.load(Ordering::SeqCst),
+                        campaign.cells()
+                    );
+                    lock(&self.campaigns).insert(id, campaign);
+                }
+                // Quarantine: an unreadable campaign never stops the
+                // service (or the healthy campaigns) from starting.
+                Err(reason) => eprintln!("quarantined campaign directory {id}: {reason}"),
+            }
+        }
+    }
+
+    fn resume_one(&self, dir: &Path, id: &str) -> Result<Arc<Campaign>, String> {
+        let text = std::fs::read_to_string(dir.join(CAMPAIGN_FILE))
+            .map_err(|e| format!("reading {CAMPAIGN_FILE}: {e}"))?;
+        let request = CampaignRequest::from_json(&Json::parse(&text)?)?;
+        let specs = build_specs(&request).map_err(|app| format!("unknown app {app:?}"))?;
+        let meta = campaign_meta(&self.cmp, &specs);
+        let journal = match Journal::resume(dir, &meta) {
+            Ok(j) => j,
+            // Killed between campaign.json and the journal's first
+            // byte: a legitimate fresh campaign.
+            Err(JournalError::Missing(_)) => {
+                Journal::create(dir, &meta).map_err(|e| e.to_string())?
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        let mut slots: Vec<Option<tcmp_core::sim::SimResult>> = vec![None; specs.len()];
+        for (i, spec) in specs.iter().enumerate() {
+            if let Some(row) = journal.replay.completed.get(&cell_key(spec)) {
+                match result_from_json(row) {
+                    Ok(r) => slots[i] = Some(r),
+                    // A row that no longer decodes is re-run, not
+                    // trusted.
+                    Err(e) => eprintln!("campaign {id}: journal row for cell {i}: {e}; re-running"),
+                }
+            }
+        }
+        let remaining = slots.iter().filter(|s| s.is_none()).count();
+        Ok(Arc::new(Campaign {
+            id: id.to_string(),
+            policy: policy_for(&request),
+            specs,
+            dir: dir.to_path_buf(),
+            meta,
+            journal: Mutex::new(journal),
+            slots: Mutex::new(slots),
+            failed: Mutex::new(Vec::new()),
+            remaining: AtomicUsize::new(remaining),
+            finished: AtomicBool::new(false),
+            subscribers: Mutex::new(Vec::new()),
+            request,
+        }))
+    }
+
+    /// Submit a campaign: admission-check, persist, queue. Returns the
+    /// response the daemon sends back verbatim.
+    pub fn submit(&self, request: CampaignRequest) -> Response {
+        if self.draining.load(Ordering::SeqCst) {
+            return Response::Rejected(RejectReason::Draining);
+        }
+        let specs = match build_specs(&request) {
+            Ok(s) => s,
+            Err(app) => return Response::Rejected(RejectReason::UnknownApp(app)),
+        };
+        let requested = specs.len();
+        // Admit under the lock (reserving our cells), create the
+        // directory and journal outside it, then push. The reservation
+        // keeps two concurrent submissions from both fitting under the
+        // bound; it is released on any setup failure.
+        {
+            let mut st = lock(&self.state);
+            let queued = st.tasks.len() + st.reserved;
+            if queued + requested > self.cfg.queue_bound {
+                return Response::Rejected(RejectReason::Overloaded {
+                    queued,
+                    bound: self.cfg.queue_bound,
+                    requested,
+                });
+            }
+            st.reserved += requested;
+        }
+        let unreserve = |n: usize| {
+            lock(&self.state).reserved -= n;
+        };
+        let campaign = match self.create_campaign(request, specs) {
+            Ok(c) => c,
+            Err(e) => {
+                unreserve(requested);
+                return Response::Rejected(RejectReason::Internal(e.to_string()));
+            }
+        };
+        lock(&self.campaigns).insert(campaign.id.clone(), Arc::clone(&campaign));
+        {
+            let mut st = lock(&self.state);
+            st.reserved -= requested;
+            for index in 0..requested {
+                st.tasks.push_back(CellTask {
+                    campaign: Arc::clone(&campaign),
+                    index,
+                });
+            }
+        }
+        self.work.notify_all();
+        Response::Submitted {
+            campaign: campaign.id.clone(),
+            cells: requested,
+            resumed: 0,
+        }
+    }
+
+    fn create_campaign(
+        &self,
+        request: CampaignRequest,
+        specs: Vec<RunSpec>,
+    ) -> io::Result<Arc<Campaign>> {
+        let id = {
+            let mut next = lock(&self.next_id);
+            let id = format!("c{:04}", *next);
+            *next += 1;
+            id
+        };
+        let dir = self.cfg.root.join("campaigns").join(&id);
+        std::fs::create_dir_all(&dir)?;
+        // Request first, journal second: a kill in between resumes as
+        // a fresh campaign; a kill before the request leaves an empty
+        // directory that is quarantined, never half-run.
+        write_atomic(dir.join(CAMPAIGN_FILE), request.to_json().render() + "\n")?;
+        let meta = campaign_meta(&self.cmp, &specs);
+        let journal = Journal::create(&dir, &meta).map_err(|e| io::Error::other(e.to_string()))?;
+        let cells = specs.len();
+        Ok(Arc::new(Campaign {
+            id,
+            policy: policy_for(&request),
+            specs,
+            dir,
+            meta,
+            journal: Mutex::new(journal),
+            slots: Mutex::new(vec![None; cells]),
+            failed: Mutex::new(Vec::new()),
+            remaining: AtomicUsize::new(cells),
+            finished: AtomicBool::new(false),
+            subscribers: Mutex::new(Vec::new()),
+            request,
+        }))
+    }
+
+    /// Look up a campaign for re-attachment.
+    pub fn attach(&self, id: &str) -> Result<Arc<Campaign>, RejectReason> {
+        lock(&self.campaigns)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| RejectReason::UnknownCampaign(id.to_string()))
+    }
+
+    /// One status snapshot.
+    pub fn status(&self) -> Response {
+        let queued = {
+            let st = lock(&self.state);
+            st.tasks.len() + st.reserved
+        };
+        let campaigns = lock(&self.campaigns)
+            .values()
+            .map(|c| {
+                let (done, failed, finished) = c.progress();
+                CampaignStatus {
+                    id: c.id.clone(),
+                    cells: c.cells(),
+                    done,
+                    failed,
+                    finished,
+                }
+            })
+            .collect();
+        let stats = self.cache.stats();
+        Response::StatusReport {
+            queued,
+            draining: self.draining.load(Ordering::SeqCst),
+            campaigns,
+            cache: CacheCounts {
+                stores: stats.stores,
+                hits: stats.hits,
+                misses: stats.misses,
+                quarantined: stats.quarantined,
+            },
+        }
+    }
+
+    /// The shared checkpoint cache (status/test introspection).
+    pub fn cache(&self) -> &CheckpointCache {
+        &self.cache
+    }
+
+    /// True once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begin draining: refuse new submissions, stop claiming queued
+    /// cells, let in-flight cells finish (their journal records land
+    /// as usual). Already-queued, unclaimed cells stay journaled as
+    /// unfinished and resume on the next start.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+    }
+
+    /// Worker loop: claim queued cells until drained or `cell_limit`
+    /// is exhausted.
+    fn worker(&self) {
+        loop {
+            let task = {
+                let mut st = lock(&self.state);
+                loop {
+                    if self.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(limit) = self.cfg.cell_limit {
+                        if st.attempted >= limit {
+                            // The in-process SIGKILL analogue: stop
+                            // claiming, leave the rest for a resume.
+                            self.work.notify_all();
+                            return;
+                        }
+                    }
+                    if let Some(task) = st.tasks.pop_front() {
+                        st.attempted += 1;
+                        break task;
+                    }
+                    st = self.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            self.run_task(task);
+        }
+    }
+
+    fn run_task(&self, task: CellTask) {
+        let c = &task.campaign;
+        let spec = &c.specs[task.index];
+        let key = cell_key(spec);
+        c.emit(Event::CellStart {
+            campaign: c.id.clone(),
+            index: task.index,
+            cell: key.clone(),
+        });
+        let cache = (self.cfg.warm_cycles > 0).then_some((&self.cache, self.cfg.warm_cycles));
+        let cell = run_journaled_cell(&self.cmp, spec, &c.policy, Some(&c.journal), cache);
+        match cell.outcome {
+            Ok(result) => {
+                let cycles = result.cycles;
+                lock(&c.slots)[task.index] = Some(result);
+                c.emit(Event::CellFinish {
+                    campaign: c.id.clone(),
+                    index: task.index,
+                    cell: key,
+                    cycles,
+                    warm: cell.warm.label().to_string(),
+                });
+            }
+            Err(failure) => {
+                let error = failure.error.brief();
+                lock(&c.failed).push((task.index, error.clone()));
+                c.emit(Event::CellFail {
+                    campaign: c.id.clone(),
+                    index: task.index,
+                    cell: key,
+                    attempts: cell.attempts,
+                    error,
+                });
+            }
+        }
+        if c.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            c.finalize();
+            let (done, failed, _) = c.progress();
+            c.emit(Event::CampaignDone {
+                campaign: c.id.clone(),
+                completed: done,
+                failed,
+            });
+        }
+    }
+}
+
+/// A running service: the shared [`Service`] plus its worker pool.
+pub struct ServiceHandle {
+    service: Arc<Service>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// Start the service: resume persisted campaigns and spawn the
+    /// worker pool.
+    pub fn start(cfg: ServeConfig) -> io::Result<ServiceHandle> {
+        let jobs = cfg.jobs.max(1);
+        let service = Arc::new(Service::new(cfg)?);
+        let workers = (0..jobs)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("tcmp-serve-worker-{i}"))
+                    .spawn(move || service.worker())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(ServiceHandle { service, workers })
+    }
+
+    /// The shared service (clone the `Arc` for connection handlers).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Graceful drain: finish in-flight cells, journal everything,
+    /// return once every worker has exited.
+    pub fn drain(self) {
+        self.service.begin_drain();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Wait for the workers to exit on their own — only meaningful
+    /// with [`ServeConfig::cell_limit`], whose exhaustion stops them
+    /// (the crash-simulation path of the resume tests).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Block until `campaign` finishes or `timeout` elapses; true on
+    /// finish. Polling, for tests and the drain path of the daemon.
+    pub fn wait_campaign(&self, campaign: &str, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.service.attach(campaign) {
+                Ok(c) if c.finished.load(Ordering::SeqCst) => return true,
+                _ => {}
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// The paper's Figure 6/7 cell list for a request, app-major in the
+/// figure binaries' exact order (the journal and the CSVs index by
+/// it).
+fn build_specs(request: &CampaignRequest) -> Result<Vec<RunSpec>, String> {
+    let apps = if request.apps.is_empty() {
+        workloads::apps::all_apps()
+    } else {
+        request
+            .apps
+            .iter()
+            .map(|name| workloads::apps::app_by_name(name).ok_or_else(|| name.clone()))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let configs = figure6_configs(request.perfect);
+    let mut specs = Vec::with_capacity(apps.len() * configs.len());
+    for app in &apps {
+        for config in &configs {
+            specs.push(RunSpec {
+                app: app.clone(),
+                config: config.clone(),
+                seed: request.seed,
+                scale: request.scale,
+            });
+        }
+    }
+    Ok(specs)
+}
+
+fn policy_for(request: &CampaignRequest) -> RunPolicy {
+    RunPolicy {
+        retries: request.retries,
+        wall_deadline: request.deadline_s.map(Duration::from_secs),
+        ..RunPolicy::default()
+    }
+}

@@ -1,0 +1,106 @@
+//! Line framing over a stream: read `\n`-terminated JSON lines from a
+//! socket whose read timeout is used as a poll interval, so a handler
+//! can keep checking a stop flag while blocked on a quiet client.
+
+use std::io::{self, Read};
+
+/// Buffered line reader over any [`Read`]. Timeouts
+/// ([`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]) are
+/// surfaced to the caller as [`ReadLine::Idle`] instead of being
+/// retried internally, so the caller decides when to give up.
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+/// One poll of [`LineReader::poll_line`].
+pub enum ReadLine {
+    /// A complete line (without its `\n`).
+    Line(String),
+    /// The read timed out with no complete line yet; poll again.
+    Idle,
+    /// The peer closed the stream (any unterminated residue is
+    /// discarded — a torn final line, exactly like the journal's).
+    Eof,
+}
+
+impl<R: Read> LineReader<R> {
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read until one full line, a timeout, or EOF.
+    pub fn poll_line(&mut self) -> io::Result<ReadLine> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                return Ok(ReadLine::Line(
+                    String::from_utf8(line)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(ReadLine::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadLine::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Block until a full line or EOF (`None`), treating timeouts as
+    /// "keep waiting".
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            match self.poll_line()? {
+                ReadLine::Line(l) => return Ok(Some(l)),
+                ReadLine::Idle => continue,
+                ReadLine::Eof => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines_and_reports_eof() {
+        let data: &[u8] = b"one\ntwo\nresidue-without-newline";
+        let mut r = LineReader::new(data);
+        assert!(matches!(r.poll_line().unwrap(), ReadLine::Line(l) if l == "one"));
+        assert!(matches!(r.poll_line().unwrap(), ReadLine::Line(l) if l == "two"));
+        assert!(matches!(r.poll_line().unwrap(), ReadLine::Eof));
+    }
+
+    #[test]
+    fn lines_spanning_reads_reassemble() {
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut r = LineReader::new(Trickle(b"hello world\n"));
+        assert!(matches!(r.read_line().unwrap(), Some(l) if l == "hello world"));
+        assert!(r.read_line().unwrap().is_none());
+    }
+}

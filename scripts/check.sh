@@ -74,4 +74,72 @@ for suffix in exec_time.csv link_ed2p.csv; do
 done
 echo "kill-and-resume smoke: resumed CSVs are bit-identical"
 
+echo "== tcmp-serve smoke (submit over the socket, SIGKILL the daemon, restart, diff CSVs)"
+SERVE="target/release/tcmp-serve"
+SUBMIT_ARGS=(--scale 0.002 --app FFT --no-perfect --seed 1025041)
+SERVE_REF="$SMOKE_DIR/serve-ref"
+SERVE_KILL="$SMOKE_DIR/serve-kill"
+SOCK_REF="$SMOKE_DIR/ref.sock"
+SOCK_KILL="$SMOKE_DIR/kill.sock"
+wait_for() { # wait_for SECONDS TEST...
+    local tries=$(( $1 * 20 )); shift
+    for _ in $(seq 1 "$tries"); do
+        if "$@" 2>/dev/null; then return 0; fi
+        sleep 0.05
+    done
+    return 1
+}
+# reference: an uninterrupted daemon runs the whole campaign; the
+# submitting client exits 0 on campaign_done; SIGTERM drains cleanly
+"$SERVE" --root "$SERVE_REF" --socket "$SOCK_REF" --jobs 2 \
+    >"$SMOKE_DIR/serve-ref.log" 2>&1 &
+REF_PID=$!
+wait_for 10 test -S "$SOCK_REF" || {
+    echo "tcmp-serve smoke: reference daemon never bound its socket"
+    cat "$SMOKE_DIR/serve-ref.log"; exit 1; }
+"$FIG6" "${SUBMIT_ARGS[@]}" --submit "$SOCK_REF" >/dev/null 2>&1 || {
+    echo "tcmp-serve smoke: reference campaign failed"
+    cat "$SMOKE_DIR/serve-ref.log"; exit 1; }
+kill -TERM "$REF_PID"
+wait "$REF_PID" || {
+    echo "tcmp-serve smoke: reference daemon did not drain cleanly (exit $?)"
+    cat "$SMOKE_DIR/serve-ref.log"; exit 1; }
+# victim: same campaign; the daemon is SIGKILLed once the journal holds
+# a finished cell, the submitter's stream breaks (tolerated), and a
+# fresh daemon on the same root — and the same, now-stale, socket —
+# resumes the campaign to completion with no client attached at all
+"$SERVE" --root "$SERVE_KILL" --socket "$SOCK_KILL" --jobs 2 \
+    >"$SMOKE_DIR/serve-kill.log" 2>&1 &
+KILL_PID=$!
+wait_for 10 test -S "$SOCK_KILL" || {
+    echo "tcmp-serve smoke: victim daemon never bound its socket"
+    cat "$SMOKE_DIR/serve-kill.log"; exit 1; }
+"$FIG6" "${SUBMIT_ARGS[@]}" --submit "$SOCK_KILL" >/dev/null 2>&1 &
+CLIENT_PID=$!
+wait_for 30 grep -q '"finish"' "$SERVE_KILL/campaigns/c0001/journal.jsonl" || {
+    echo "tcmp-serve smoke: victim daemon never journaled a cell"
+    cat "$SMOKE_DIR/serve-kill.log"; exit 1; }
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+wait "$CLIENT_PID" 2>/dev/null || true
+"$SERVE" --root "$SERVE_KILL" --socket "$SOCK_KILL" --jobs 2 \
+    >>"$SMOKE_DIR/serve-kill.log" 2>&1 &
+RESUME_PID=$!
+wait_for 60 test -f "$SERVE_KILL/campaigns/c0001/results.exec_time.csv" || {
+    echo "tcmp-serve smoke: resumed daemon never finalised the campaign"
+    cat "$SMOKE_DIR/serve-kill.log"; exit 1; }
+kill -TERM "$RESUME_PID"
+wait "$RESUME_PID" || {
+    echo "tcmp-serve smoke: resumed daemon did not drain cleanly (exit $?)"
+    cat "$SMOKE_DIR/serve-kill.log"; exit 1; }
+# the resumed daemon's CSVs must match the uninterrupted daemon's
+# byte-for-byte (modulo the provenance stamp line with the git SHA)
+for f in results.exec_time.csv results.link_ed2p.csv; do
+    diff <(grep -v '^#' "$SERVE_REF/campaigns/c0001/$f") \
+         <(grep -v '^#' "$SERVE_KILL/campaigns/c0001/$f") || {
+        echo "tcmp-serve smoke: resumed $f differs from the uninterrupted daemon's"
+        exit 1; }
+done
+echo "tcmp-serve smoke: SIGKILLed daemon resumed to bit-identical CSVs"
+
 echo "All checks passed."

@@ -60,6 +60,7 @@ pub mod prelude {
     pub use cmp_common::config::CmpConfig;
     pub use cmp_common::journal::{CampaignMeta, Journal, Json};
     pub use cmp_common::types::{MessageClass, TileId};
+    pub use tcmp_core::checkpoint::{CacheLoad, CacheStats, CheckpointCache, WarmKey};
     pub use tcmp_core::engine::MachineSnapshot;
     pub use tcmp_core::experiment::{
         normalize, normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec,
@@ -68,8 +69,9 @@ pub mod prelude {
     pub use tcmp_core::niface::InterconnectChoice;
     pub use tcmp_core::sim::{CmpSimulator, SimConfig, SimError, SimResult, WatchdogConfig};
     pub use tcmp_core::supervisor::{
-        campaign_meta, cell_key, run_matrix_supervised, run_supervised, supervise, CellFailure,
-        ForensicReport, MatrixReport, RunPolicy, SupervisedFailure,
+        campaign_meta, cell_key, run_journaled_cell, run_matrix_supervised, run_supervised,
+        run_supervised_cached, supervise, warm_key, CellFailure, CellRun, ForensicReport,
+        MatrixReport, RunPolicy, SupervisedFailure, WarmStart,
     };
     pub use wire_model::wires::{VlWidth, WireClass};
     pub use workloads::profile::AppProfile;

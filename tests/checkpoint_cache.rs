@@ -1,0 +1,191 @@
+//! The warm-start checkpoint cache, end to end through the public API:
+//! a cache can only ever change wall-clock time — never numbers — and
+//! a corrupted checkpoint is detected, quarantined and transparently
+//! replaced by a fresh simulation.
+
+use tiled_cmp::prelude::*;
+use tiled_cmp::sim::supervisor::result_to_json;
+
+const SEED: u64 = 0xD5A1_F00D;
+const SCALE: f64 = 0.002;
+const WARM: u64 = 50_000;
+
+fn proposal_cfg() -> SimConfig {
+    SimConfig::new(
+        InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+        CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        },
+    )
+}
+
+/// Byte-exact fingerprint: the rendered journal row round-trips raw
+/// number tokens, so equal strings ⇒ equal bits.
+fn fp(r: &SimResult) -> String {
+    result_to_json(r).render()
+}
+
+/// Store on miss, fast-forward on hit — and both runs, plus an
+/// entirely uncached one, produce bit-identical results.
+#[test]
+fn warm_start_is_bit_identical_to_a_cold_run() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let policy = RunPolicy::default();
+    let cache = CheckpointCache::new(4);
+
+    let cold = run_supervised(proposal_cfg(), &app, SEED, SCALE, &policy).expect("cold run");
+    let (first, warm1) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("first cached run");
+    assert_eq!(warm1, WarmStart::Stored, "first run simulates and stores");
+    let (second, warm2) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("second cached run");
+    assert_eq!(warm2, WarmStart::Warmed, "second run fast-forwards");
+
+    assert_eq!(fp(&first), fp(&cold), "stored-path run matches cold run");
+    assert_eq!(fp(&second), fp(&cold), "warmed run matches cold run");
+
+    let stats = cache.stats();
+    assert_eq!((stats.stores, stats.misses, stats.hits), (1, 1, 1));
+    assert_eq!(stats.quarantined, 0);
+}
+
+/// A corrupted checkpoint fails digest verification at load: it is
+/// quarantined (counted, removed), the run transparently falls back to
+/// a fresh simulation with identical results, and a clean checkpoint
+/// replaces the bad one.
+#[test]
+fn corrupted_checkpoint_is_quarantined_with_identical_results() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let policy = RunPolicy::default();
+    let cache = CheckpointCache::new(4);
+
+    let (reference, _) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("seeding run");
+
+    let key = warm_key(&proposal_cfg(), &app, SEED, SCALE, WARM);
+    assert!(
+        cache.fault_corrupt(&key),
+        "the seeding run stored under the public warm_key"
+    );
+
+    let (recovered, warm) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("run against the corrupt checkpoint");
+    assert_eq!(
+        warm,
+        WarmStart::Quarantined,
+        "the torn checkpoint must be detected, not restored"
+    );
+    assert_eq!(
+        fp(&recovered),
+        fp(&reference),
+        "fallback to fresh simulation must not change a single bit"
+    );
+    assert_eq!(cache.stats().quarantined, 1);
+
+    // The quarantined entry was replaced by a clean checkpoint.
+    let (again, warm) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("run against the re-stored checkpoint");
+    assert_eq!(warm, WarmStart::Warmed);
+    assert_eq!(fp(&again), fp(&reference));
+}
+
+/// The cache is bounded: beyond capacity the oldest checkpoint is
+/// evicted (degrading its sharers to fresh simulation, never growing
+/// without bound), and distinct configurations never share an entry.
+#[test]
+fn capacity_bounds_the_cache_via_fifo_eviction() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let policy = RunPolicy::default();
+    let cache = CheckpointCache::new(1);
+
+    let run = |cfg: SimConfig| {
+        run_supervised_cached(cfg, &app, SEED, SCALE, &policy, Some((&cache, WARM)))
+            .expect("cached run")
+    };
+    assert_eq!(run(proposal_cfg()).1, WarmStart::Stored);
+    // A different scheme is a different prefix: miss, store, evict the
+    // first entry.
+    assert_eq!(run(SimConfig::baseline()).1, WarmStart::Stored);
+    assert_eq!(cache.len(), 1, "capacity 1 holds one checkpoint");
+    assert_eq!(cache.stats().evicted, 1);
+    // The evicted configuration simulates fresh again (and, being the
+    // paper's point, still bit-identically).
+    let (_, warm) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, WARM)),
+    )
+    .expect("re-run after eviction");
+    assert_eq!(warm, WarmStart::Stored);
+}
+
+/// A run that completes before the warm point stores nothing and says
+/// so; a `warm_cycles` of 0 disables the cache entirely.
+#[test]
+fn warm_point_edge_cases() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let policy = RunPolicy::default();
+    let cache = CheckpointCache::new(4);
+    let (_, warm) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, u64::MAX)),
+    )
+    .expect("run finishing before its warm point");
+    assert_eq!(warm, WarmStart::Finished);
+    assert!(cache.is_empty(), "nothing to cache past the end of the run");
+
+    let (_, warm) = run_supervised_cached(
+        proposal_cfg(),
+        &app,
+        SEED,
+        SCALE,
+        &policy,
+        Some((&cache, 0)),
+    )
+    .expect("run with the cache disabled");
+    assert_eq!(warm, WarmStart::Disabled);
+    assert!(cache.is_empty());
+}

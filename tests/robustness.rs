@@ -285,6 +285,47 @@ fn watchdog_abort_under_forensics_yields_a_rewind_and_replay_report() {
     );
 }
 
+/// The fault injector now also covers the memory-controller response
+/// path: a delay-only campaign must perturb off-chip fill timing (the
+/// `mem_replies` breakdown counts it), the run must still complete,
+/// and the same seed must reproduce the same numbers.
+#[test]
+fn memory_reply_fault_campaign_delays_fills_and_stays_deterministic() {
+    let app = tiled_cmp::workloads::apps::fft();
+    let run = || {
+        let mut cfg = proposal_cfg();
+        // A sub-1.0 probability matters: a re-fired delayed reply rolls
+        // the dice again, so `delay: 1.0` would re-delay every fill
+        // forever and (correctly) trip the no-forward-progress watchdog.
+        cfg.faults = FaultConfig {
+            seed: 0xBEE_F00D,
+            delay: 0.25,
+            delay_cycles: 64,
+            ..FaultConfig::none()
+        };
+        CmpSimulator::new(cfg, &app, SEED, SCALE)
+            .run()
+            .expect("delays are always recoverable; the run must complete")
+    };
+    let r = run();
+    assert!(r.fault_stats.delays.get() > 0, "campaign injected nothing");
+    assert!(
+        r.fault_stats.mem_replies.get() > 0,
+        "no fault ever landed on the memory response path"
+    );
+    assert!(
+        r.fault_stats.mem_replies.get() <= r.fault_stats.total(),
+        "mem_replies is a breakdown of the per-class totals, not extra faults"
+    );
+    let again = run();
+    assert_eq!(r.cycles, again.cycles, "same seed, same schedule");
+    assert_eq!(r.network_messages, again.network_messages);
+    assert_eq!(
+        r.fault_stats.mem_replies.get(),
+        again.fault_stats.mem_replies.get()
+    );
+}
+
 /// A healthy golden run must never trip the watchdog, even at a stall
 /// budget far tighter than the default: retirement or delivery happens
 /// constantly, and idle stretches are fast-forwarded in single
