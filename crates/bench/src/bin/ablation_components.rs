@@ -6,6 +6,10 @@
 //! * `compression only` — DBRC over plain 75-byte links: smaller messages
 //!   save wire energy but nothing travels faster.
 //! * `both` — the paper's proposal.
+//! * `both (multicast cmds)` — the proposal with the coherence-command
+//!   stream switched to the multicast codec: one shared sender bank for
+//!   all destinations, so an invalidation fan-out pays at most one cold
+//!   miss (same storage as the per-destination DBRC it replaces).
 //! * `reply partitioning` — the comparison point from the group's prior
 //!   work \[9\]: 11-byte L-Wires + 64-byte PW-Wires with split data replies.
 //! * `both (perfect)` — the coverage upper bound.
@@ -39,6 +43,14 @@ fn main() {
             label: "both (proposal)".into(),
             interconnect: InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
             scheme: dbrc,
+        },
+        ConfigSpec {
+            label: "both (multicast cmds)".into(),
+            interconnect: InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            scheme: CompressionScheme::Multicast {
+                entries: 4,
+                low_bytes: 2,
+            },
         },
         ConfigSpec {
             label: "reply partitioning".into(),

@@ -25,6 +25,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use addr_compression::CompressionScheme;
+use cmp_common::config::DirectoryConfig;
 use cmp_common::fault::FaultConfig;
 use coherence::sanitizer::Invariant;
 use coherence::sanitizer::SanitizerConfig;
@@ -48,6 +49,9 @@ struct Args {
     /// reseeds the fault-injector stream so a pathological fault timing
     /// is not replayed verbatim. The trace seed never changes.
     retries: u32,
+    /// Directory organisation for the desync/drop/corrupt campaigns
+    /// (the sanitizer campaign always sweeps both organisations).
+    directory: DirectoryConfig,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +63,7 @@ fn parse_args() -> Args {
         verbose: false,
         jobs: 1,
         retries: 0,
+        directory: DirectoryConfig::FullMap,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +99,13 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(usage)
             }
+            "--directory" => {
+                let spelling = args.next().unwrap_or_else(usage);
+                a.directory = DirectoryConfig::parse_flag(&spelling).unwrap_or_else(|e| {
+                    eprintln!("--directory: {e}");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -107,20 +119,23 @@ fn parse_args() -> Args {
 fn usage<T>() -> T {
     eprintln!(
         "usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose] \
-         [--jobs N] [--retries N]"
+         [--jobs N] [--retries N] [--directory full-map|sparse[:N]]"
     );
     std::process::exit(2)
 }
 
-/// The proposal configuration every campaign runs on.
-fn proposal_cfg() -> SimConfig {
-    SimConfig::new(
+/// The proposal configuration every campaign runs on, over the given
+/// directory organisation.
+fn proposal_cfg(directory: DirectoryConfig) -> SimConfig {
+    let mut cfg = SimConfig::new(
         InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
         CompressionScheme::Dbrc {
             entries: 16,
             low_bytes: 1,
         },
-    )
+    );
+    cfg.cmp.directory = directory;
+    cfg
 }
 
 /// What one campaign run ended as.
@@ -193,7 +208,7 @@ fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>,
     // failed attempt re-runs with a *reseeded fault stream* (the trace
     // seed is untouched) before being counted as an anomaly.
     let desync_run = with_retries(args.retries, Duration::from_millis(50), |attempt| {
-        let mut cfg = proposal_cfg();
+        let mut cfg = proposal_cfg(args.directory);
         cfg.faults = FaultConfig::desync_only(reseed(args.seed, attempt), 0.01, 25);
         match run_guarded(cfg, app, args.seed, scale) {
             Outcome::Completed(r) => Ok(r),
@@ -231,7 +246,7 @@ fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>,
     };
 
     // 2. Drop: one lost message; a structured deadlock is the pass.
-    let mut cfg = proposal_cfg();
+    let mut cfg = proposal_cfg(args.directory);
     cfg.faults = FaultConfig {
         seed: args.seed,
         drop: 1.0,
@@ -265,7 +280,7 @@ fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>,
 
     // 3. Corrupt: one flipped address bit; the wrong-home/controller
     // check must reject it as a protocol error.
-    let mut cfg = proposal_cfg();
+    let mut cfg = proposal_cfg(args.directory);
     cfg.faults = FaultConfig {
         seed: args.seed,
         corrupt: 1.0,
@@ -300,23 +315,29 @@ fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>,
         }
     };
 
-    // 4. Sanitizer: one live-metadata corruption per invariant class.
+    // 4. Sanitizer: one live-metadata corruption per invariant class,
+    // asserted against BOTH directory organisations — the sparse tagged
+    // store must be exactly as sanitizer-visible as the full presence
+    // map, whatever --directory selected for the other campaigns.
+    let dirs = [DirectoryConfig::FullMap, DirectoryConfig::sparse()];
     let mut caught = 0usize;
-    for &class in &INVARIANTS {
-        let mut cfg = proposal_cfg();
-        cfg.sanitizer = Some(SanitizerConfig { period: 256 });
-        match run_sanitizer_campaign(cfg, app, args.seed, scale, class) {
-            Outcome::Structured(SimError::Sanitizer { violations, .. })
-                if violations.iter().any(|v| v.invariant == class) =>
-            {
-                caught += 1;
-                t.sanitizer_caught += 1;
+    for &directory in &dirs {
+        for &class in &INVARIANTS {
+            let mut cfg = proposal_cfg(directory);
+            cfg.sanitizer = Some(SanitizerConfig { period: 256 });
+            match run_sanitizer_campaign(cfg, app, args.seed, scale, class) {
+                Outcome::Structured(SimError::Sanitizer { violations, .. })
+                    if violations.iter().any(|v| v.invariant == class) =>
+                {
+                    caught += 1;
+                    t.sanitizer_caught += 1;
+                }
+                Outcome::Panicked => t.panics += 1,
+                _ => t.anomalies += 1,
             }
-            Outcome::Panicked => t.panics += 1,
-            _ => t.anomalies += 1,
         }
     }
-    let sanitizer_cell = format!("{caught}/{} caught", INVARIANTS.len());
+    let sanitizer_cell = format!("{caught}/{} caught", dirs.len() * INVARIANTS.len());
 
     (
         vec![
@@ -361,7 +382,10 @@ fn main() {
         args.scale
     };
     let mut table = TableBuilder::new(
-        "Fault campaigns — proposal configuration (16-entry DBRC, 4B VL)",
+        &format!(
+            "Fault campaigns — proposal configuration (16-entry DBRC, 4B VL, {} directory)",
+            args.directory.label()
+        ),
         &[
             "application",
             "desync inj/det/rec",

@@ -14,16 +14,24 @@
 //!   parallelism scales on this machine. The meta block stamps
 //!   `available_parallelism`: on a single-core host the parallel rows
 //!   measure scheduler overhead, not speedup.
+//! * `sparse_mesh_16x16` — one FFT baseline+proposal cell pair on the
+//!   16×16 mesh the sparse directory unlocks (the full-map
+//!   organisation cannot build this machine at all), so BENCH.json
+//!   tracks the cost of the large-mesh capability.
 //!
 //! Usage:
 //!   fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N]
 //!                 [--out PATH] [--app NAME]... [--skip-matrix]
-//!                 [--skip-scaling] [--jobs N] [--sim-threads N]
+//!                 [--skip-scaling] [--skip-mesh] [--jobs N] [--sim-threads N]
 
+use addr_compression::CompressionScheme;
 use cmp_bench::harness::{measure, to_bench_json, BenchStats};
-use cmp_common::config::CmpConfig;
+use cmp_common::config::{CmpConfig, DirectoryConfig};
+use cmp_common::geometry::MeshShape;
 use tcmp_core::experiment::{run_matrix_jobs, RunSpec};
+use tcmp_core::niface::InterconnectChoice;
 use tcmp_core::sim::{CmpSimulator, SimConfig};
+use wire_model::wires::VlWidth;
 use workloads::synthetic;
 
 struct BenchOptions {
@@ -36,6 +44,7 @@ struct BenchOptions {
     apps: Vec<String>,
     skip_matrix: bool,
     skip_scaling: bool,
+    skip_mesh: bool,
     /// Matrix worker-thread cap (`None` = all cores).
     jobs: Option<usize>,
     /// Scheduler threads for the hotspot benchmark (`None` = serial).
@@ -53,6 +62,7 @@ impl Default for BenchOptions {
             apps: Vec::new(),
             skip_matrix: false,
             skip_scaling: false,
+            skip_mesh: false,
             jobs: None,
             sim_threads: None,
         }
@@ -63,7 +73,7 @@ fn usage<T>() -> T {
     eprintln!(
         "usage: fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N] \
          [--out PATH] [--app NAME]... [--skip-matrix] [--skip-scaling] \
-         [--jobs N] [--sim-threads N]"
+         [--skip-mesh] [--jobs N] [--sim-threads N]"
     );
     std::process::exit(2)
 }
@@ -101,6 +111,7 @@ fn parse_args() -> BenchOptions {
             "--app" => o.apps.push(args.next().unwrap_or_else(usage)),
             "--skip-matrix" => o.skip_matrix = true,
             "--skip-scaling" => o.skip_scaling = true,
+            "--skip-mesh" => o.skip_mesh = true,
             "--jobs" => {
                 let n: usize = args
                     .next()
@@ -148,6 +159,39 @@ fn hotspot_run(seed: u64, threads: usize) -> f64 {
     let mut sim = CmpSimulator::new(cfg, &app, seed, 1.0);
     let r = sim.run().expect("hotspot benchmark run completes");
     r.cycles as f64
+}
+
+/// One FFT baseline+proposal cell pair on the sparse-directory 16×16
+/// mesh (256 tiles — beyond what the full-map organisation can build);
+/// returns total simulated cycles (the work figure for cycles/sec).
+fn sparse_mesh_run(seed: u64) -> f64 {
+    let app = workloads::apps::fft();
+    let cmp = CmpConfig {
+        mesh: MeshShape::square(16),
+        directory: DirectoryConfig::sparse(),
+        ..CmpConfig::default()
+    };
+    let cells = [
+        (InterconnectChoice::Baseline, CompressionScheme::None),
+        (
+            InterconnectChoice::Heterogeneous(VlWidth::FiveBytes),
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+        ),
+    ];
+    let mut total = 0u64;
+    for (interconnect, scheme) in cells {
+        let mut cfg = SimConfig::new(interconnect, scheme);
+        cfg.cmp = cmp.clone();
+        let mut sim = CmpSimulator::new(cfg, &app, seed, 0.002);
+        total += sim
+            .run()
+            .expect("16x16 sparse benchmark run completes")
+            .cycles;
+    }
+    total as f64
 }
 
 /// The thread counts the scaling benchmark sweeps: 1/2/4 plus whatever
@@ -237,6 +281,25 @@ fn main() {
                 s.median, s.p10, s.p90
             );
         }
+    }
+
+    if !opts.skip_mesh {
+        eprintln!(
+            "sparse_mesh_16x16: {} warmup + {} trials (baseline+proposal pair each)...",
+            opts.warmup, opts.trials
+        );
+        stats.push(measure(
+            "sparse_mesh_16x16",
+            "simulated_cycles_per_sec",
+            opts.warmup,
+            opts.trials,
+            || sparse_mesh_run(seed),
+        ));
+        let s = stats.last().expect("just pushed");
+        eprintln!(
+            "  median {:.3e} cycles/s (p10 {:.3e}, p90 {:.3e})",
+            s.median, s.p10, s.p90
+        );
     }
 
     if !opts.skip_matrix {

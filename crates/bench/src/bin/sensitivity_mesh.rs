@@ -1,6 +1,12 @@
 //! Sensitivity study (beyond the paper): how the proposal scales with the
-//! mesh size (2×2, 4×4, 8×8 tiles) on a communication-bound and a
-//! compute-bound application.
+//! mesh size on a communication-bound and a compute-bound application.
+//!
+//! Under the default full-map directory the sweep covers 2×2, 4×4 and
+//! 8×8 tiles — the presence vector caps the machine at 64 tiles. With
+//! `--directory sparse[:N]` the sweep extends to the 16×16 and 32×32
+//! meshes the sparse organisation unlocks. `--side N` (repeatable)
+//! overrides the side list, which is how the CI smoke pins a single
+//! 16×16 row under a wall deadline.
 
 use addr_compression::CompressionScheme;
 use cmp_common::config::CmpConfig;
@@ -17,26 +23,48 @@ fn main() {
     } else {
         opts.selected_apps()
     };
+    let directory = opts.directory_or_default();
+    let sides: Vec<u16> = if !opts.sides.is_empty() {
+        opts.sides.clone()
+    } else if matches!(
+        directory,
+        cmp_common::config::DirectoryConfig::Sparse { .. }
+    ) {
+        vec![2, 4, 8, 16, 32]
+    } else {
+        vec![2, 4, 8]
+    };
 
     let mut t = TableBuilder::new(
-        "Sensitivity — mesh size (proposal vs baseline, 4-entry DBRC 2B LO)",
+        &format!(
+            "Sensitivity — mesh size (proposal vs baseline, 4-entry DBRC 2B LO, {} directory)",
+            directory.label()
+        ),
         &[
             "application",
             "mesh",
+            "directory",
             "norm exec time",
             "norm link ED2P",
             "baseline cycles",
         ],
     );
     for app in &apps {
-        for side in [2u16, 4, 8] {
+        for &side in &sides {
             let cmp = CmpConfig {
                 mesh: MeshShape::square(side),
+                directory,
                 ..CmpConfig::default()
             };
+            if let Err(e) = cmp.validate() {
+                panic!("{side}x{side} with --directory {}: {e}", directory.label());
+            }
             let run = |interconnect, scheme| {
                 let mut cfg = SimConfig::new(interconnect, scheme);
                 cfg.cmp = cmp.clone();
+                if opts.sim_threads.is_some() {
+                    cfg.sim_threads = opts.sim_threads;
+                }
                 let mut sim = CmpSimulator::new(cfg, app, opts.seed, opts.scale);
                 sim.run()
                     .unwrap_or_else(|e| panic!("{} {side}x{side}: {e}", app.name))
@@ -53,6 +81,7 @@ fn main() {
             t.row(vec![
                 app.name.to_string(),
                 format!("{side}x{side}"),
+                directory.label(),
                 fmt_ratio(prop.cycles as f64 / base.cycles as f64),
                 fmt_ratio(prop.link_ed2p() / base.link_ed2p()),
                 base.cycles.to_string(),

@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use cmp_common::config::DirectoryConfig;
 use tcmp_core::supervisor::RunPolicy;
 
 /// Options shared by every reproduction binary.
@@ -46,6 +47,13 @@ pub struct Options {
     /// With `--submit`: re-attach to this existing campaign id instead
     /// of submitting a new one (`--attach c0001`).
     pub attach: Option<String>,
+    /// L2 directory organisation (`--directory full-map|sparse|sparse:N`);
+    /// `None` = the machine default (full-map). Wide meshes (beyond 64
+    /// tiles) need `sparse`.
+    pub directory: Option<DirectoryConfig>,
+    /// Mesh sides for sweep binaries (`--side N`, repeatable); empty =
+    /// the binary's default sweep.
+    pub sides: Vec<u16>,
 }
 
 impl Default for Options {
@@ -64,6 +72,8 @@ impl Default for Options {
             sim_threads: None,
             submit: None,
             attach: None,
+            directory: None,
+            sides: Vec::new(),
         }
     }
 }
@@ -147,6 +157,22 @@ impl Options {
                 }
                 "--attach" => {
                     o.attach = Some(value(&mut args, "--attach", "a campaign id")?);
+                }
+                "--directory" => {
+                    let spec = value(&mut args, "--directory", "full-map|sparse|sparse:N")?;
+                    o.directory = Some(
+                        DirectoryConfig::parse_flag(&spec)
+                            .map_err(|e| format!("--directory: {e}"))?,
+                    );
+                }
+                "--side" => {
+                    let side: u16 = value(&mut args, "--side", "a mesh side")?
+                        .parse()
+                        .map_err(|_| "--side needs an unsigned integer".to_string())?;
+                    if side == 0 {
+                        return Err("--side must be >= 1".to_string());
+                    }
+                    o.sides.push(side);
                 }
                 "--help" | "-h" => return Err("help requested".to_string()),
                 other => return Err(format!("unknown argument: {other}")),
@@ -253,6 +279,13 @@ impl Options {
         }
     }
 
+    /// The directory organisation to run with, defaulting to the
+    /// machine default when `--directory` was not given.
+    pub fn directory_or_default(&self) -> DirectoryConfig {
+        self.directory
+            .unwrap_or(cmp_common::config::CmpConfig::default().directory)
+    }
+
     /// The selected application profiles (all 13 when no filter given).
     pub fn selected_apps(&self) -> Vec<workloads::profile::AppProfile> {
         let all = workloads::apps::all_apps();
@@ -291,7 +324,8 @@ fn check_parent_exists(path: &Path, flag: &str) -> Result<(), String> {
 fn usage<T>() -> T {
     eprintln!(
         "usage: <bin> [--scale F] [--app NAME]... [--seed N] [--csv PATH] [--no-perfect] \
-         [--jobs N] [--sim-threads N] [--out DIR | --resume DIR] [--retries N] [--deadline SECS] \
+         [--jobs N] [--sim-threads N] [--directory full-map|sparse|sparse:N] [--side N]... \
+         [--out DIR | --resume DIR] [--retries N] [--deadline SECS] \
          [--submit SOCKET [--attach ID]]"
     );
     std::process::exit(2)
@@ -321,6 +355,41 @@ mod tests {
             .unwrap_err()
             .contains("--deadline"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn directory_flag_parses_and_validates() {
+        assert_eq!(
+            parse(&["--directory", "sparse:128"]).unwrap().directory,
+            Some(DirectoryConfig::Sparse { dir_mshrs: 128 })
+        );
+        assert_eq!(
+            parse(&["--directory", "full-map"]).unwrap().directory,
+            Some(DirectoryConfig::FullMap)
+        );
+        assert_eq!(
+            parse(&["--directory", "sparse"])
+                .unwrap()
+                .directory_or_default(),
+            DirectoryConfig::sparse()
+        );
+        assert_eq!(
+            parse(&[]).unwrap().directory_or_default(),
+            cmp_common::config::CmpConfig::default().directory
+        );
+        let err = parse(&["--directory", "mesi"]).unwrap_err();
+        assert!(err.contains("--directory"), "{err}");
+        assert!(parse(&["--directory", "sparse:0"]).is_err());
+    }
+
+    #[test]
+    fn side_flag_accumulates_and_rejects_zero() {
+        assert_eq!(
+            parse(&["--side", "16", "--side", "32"]).unwrap().sides,
+            vec![16, 32]
+        );
+        assert!(parse(&["--side", "0"]).unwrap_err().contains("--side"));
+        assert!(parse(&["--side", "x"]).unwrap_err().contains("--side"));
     }
 
     #[test]

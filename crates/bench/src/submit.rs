@@ -39,6 +39,7 @@ pub fn run_remote(opts: &Options, figure: Figure) -> i32 {
             perfect: opts.perfect,
             retries: opts.retries,
             deadline_s: opts.deadline_s,
+            directory: opts.directory_or_default(),
         }),
     };
     let response = match client.request(&request) {

@@ -1,4 +1,10 @@
-//! The home L2 slice: inclusive shared-cache bank plus full-map directory.
+//! The home L2 slice: inclusive shared-cache bank plus its directory.
+//!
+//! Sharer bookkeeping is behind the [`DirectoryRepr`] strategy seam
+//! (full-map or sparse tagged entries, chosen by
+//! [`DirectoryConfig`]); the protocol below manipulates only the
+//! repr-independent [`DirState`] view, so both organisations produce
+//! byte-identical message schedules.
 //!
 //! The directory is *blocking per line*: while a transaction is in flight
 //! (waiting for a revision, invalidation acks, a racing writeback or an
@@ -14,34 +20,21 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use cmp_common::config::DirectoryConfig;
 use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
 use crate::cache::{CacheArray, VictimSlot};
+use crate::directory::{build_directory, DirBox};
 use crate::error::ProtocolError;
 use crate::msg::{OutVec, Outgoing, PKind, ProtocolMsg};
 
-/// Directory state of one L2-resident line.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum DirState {
-    /// No L1 holds the line.
-    Invalid,
-    /// Bitmask of tiles holding shared copies.
-    Shared(u64),
-    /// One L1 holds the line in Exclusive or Modified state.
-    Owned(TileId),
-}
+pub use crate::directory::{DirState, SharerSet};
 
-impl DirState {
-    fn bit(tile: TileId) -> u64 {
-        1u64 << tile.index()
-    }
-}
-
-/// Cache payload of an L2 line.
+/// Cache payload of an L2 line (sharer tracking lives in the
+/// directory representation, not the cache array).
 #[derive(Clone, Copy, Debug)]
 pub struct L2Line {
-    pub dir: DirState,
     /// Dirty with respect to memory.
     pub dirty: bool,
 }
@@ -106,6 +99,7 @@ pub struct L2Slice {
     tile: TileId,
     tiles: usize,
     array: CacheArray<L2Line>,
+    dir: DirBox,
     busy: HashMap<Addr, Busy>,
     pending: HashMap<Addr, VecDeque<(TileId, PKind)>>,
     fills: HashMap<Addr, Fill>,
@@ -122,15 +116,29 @@ pub struct L2Slice {
 cmp_common::impl_snapshot_clone!(L2Slice);
 
 impl L2Slice {
-    /// A slice with `sets` × `ways` lines on a `tiles`-tile machine.
-    /// `index_shift` must be `log2(tiles)` so set selection skips the
-    /// home-interleave bits.
+    /// A full-map slice with `sets` × `ways` lines on a `tiles`-tile
+    /// machine (the paper's configuration and the determinism-golden
+    /// default).
     pub fn new(tile: TileId, sets: usize, ways: usize, tiles: usize) -> Self {
+        Self::with_directory(tile, sets, ways, tiles, DirectoryConfig::FullMap)
+    }
+
+    /// A slice whose sharer bookkeeping uses the given directory
+    /// organisation. `index_shift` is `log2(tiles)` so set selection
+    /// skips the home-interleave bits.
+    pub fn with_directory(
+        tile: TileId,
+        sets: usize,
+        ways: usize,
+        tiles: usize,
+        directory: DirectoryConfig,
+    ) -> Self {
         assert!(tiles.is_power_of_two(), "interleaving needs 2^n tiles");
         L2Slice {
             tile,
             tiles,
             array: CacheArray::new(sets, ways, tiles.trailing_zeros()),
+            dir: build_directory(directory, tiles),
             busy: HashMap::new(),
             pending: HashMap::new(),
             fills: HashMap::new(),
@@ -141,14 +149,32 @@ impl L2Slice {
         }
     }
 
+    /// Which directory organisation this slice runs (snapshot tagging).
+    pub fn directory_config(&self) -> DirectoryConfig {
+        self.dir.config()
+    }
+
+    /// Every line the directory tracks in a non-`Invalid` state, sorted
+    /// by address (sanitizer cross-check against the cache array).
+    pub fn directory_entries(&self) -> Vec<(Addr, DirState)> {
+        self.dir.entries()
+    }
+
+    /// Directory transaction slots currently claimed (busy lines plus
+    /// outstanding fills — the quantity metered against `dir_mshrs`).
+    pub fn transaction_slots_in_use(&self) -> usize {
+        self.busy.len() + self.fills.len()
+    }
+
     /// Event counters.
     pub fn stats(&self) -> &L2Stats {
         &self.stats
     }
 
-    /// Directory state of a line (test/diagnostic hook).
+    /// Directory state of a line (test/diagnostic hook). `None` when
+    /// the line is not resident in this slice.
     pub fn dir_state(&self, line: Addr) -> Option<DirState> {
-        self.array.peek(line).map(|l| l.dir)
+        self.array.peek(line).map(|_| self.dir.lookup(line))
     }
 
     /// Whether `line` has an in-flight transaction, fill or pending
@@ -162,7 +188,9 @@ impl L2Slice {
 
     /// Resident lines with their directory state (sanitizer sweep).
     pub fn resident_lines(&self) -> impl Iterator<Item = (Addr, DirState)> + '_ {
-        self.array.iter().map(|(line, l)| (line, l.dir))
+        self.array
+            .iter()
+            .map(|(line, _)| (line, self.dir.lookup(line)))
     }
 
     /// Lines mid-transaction with a label of the busy state (dumps).
@@ -201,8 +229,8 @@ impl L2Slice {
     /// Only for manufacturing sanitizer test states — never simulation.
     #[doc(hidden)]
     pub fn fault_set_dir(&mut self, line: Addr, dir: DirState) {
-        if let Some(l) = self.array.get_mut(line) {
-            l.dir = dir;
+        if self.array.get_mut(line).is_some() {
+            self.dir.update(line, dir);
         }
     }
 
@@ -210,6 +238,7 @@ impl L2Slice {
     #[doc(hidden)]
     pub fn fault_evict_line(&mut self, line: Addr) {
         let _ = self.array.remove(line);
+        self.dir.evict(line);
     }
 
     /// Fault hook: enqueue a pending request for an idle line (orphaned
@@ -266,22 +295,29 @@ impl L2Slice {
         }
         self.stats.requests.inc();
         let mut out = OutVec::new();
-        self.request_inner(src, kind, line, &mut out);
+        self.request_inner(src, kind, line, &mut out)?;
         Ok(out)
     }
 
-    fn request_inner(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut OutVec) {
+    fn request_inner(
+        &mut self,
+        src: TileId,
+        kind: PKind,
+        line: Addr,
+        out: &mut OutVec,
+    ) -> Result<(), ProtocolError> {
         if self.busy.contains_key(&line) {
             self.pending.entry(line).or_default().push_back((src, kind));
             self.queued += 1;
-            return;
+            return Ok(());
         }
         if let Some(fill) = self.fills.get_mut(&line) {
             fill.waiters.push((src, kind));
-            return;
+            return Ok(());
         }
         if self.array.peek(line).is_none() {
             // L2 miss: start the fill.
+            self.reserve_slot(line)?;
             self.stats.l2_misses.inc();
             self.stats.mem_reads.inc();
             self.fills.insert(
@@ -292,14 +328,20 @@ impl L2Slice {
                 },
             );
             out.push(Outgoing::MemRead { line });
-            return;
+            return Ok(());
         }
-        self.dispatch(src, kind, line, out);
+        self.dispatch(src, kind, line, out)
     }
 
     /// Core of the directory: line resident, not busy.
-    fn dispatch(&mut self, src: TileId, kind: PKind, line: Addr, out: &mut OutVec) {
-        let dir = self.array.peek(line).expect("resident").dir;
+    fn dispatch(
+        &mut self,
+        src: TileId,
+        kind: PKind,
+        line: Addr,
+        out: &mut OutVec,
+    ) -> Result<(), ProtocolError> {
+        let dir = self.dir.lookup(line);
         self.array.touch(line);
         match (kind, dir) {
             // ---- GetS ----
@@ -308,14 +350,16 @@ impl L2Slice {
                 self.stats.data_served.inc();
                 Self::send(out, src, PKind::DataE, line, L2_DATA_DELAY);
             }
-            (PKind::GetS, DirState::Shared(s)) => {
-                self.set_dir(line, DirState::Shared(s | DirState::bit(src)));
+            (PKind::GetS, DirState::Shared(mut s)) => {
+                s.insert(src);
+                self.set_dir(line, DirState::Shared(s));
                 self.stats.data_served.inc();
                 Self::send(out, src, PKind::DataS, line, L2_DATA_DELAY);
             }
             (PKind::GetS, DirState::Owned(owner)) if owner == src => {
                 // Owner lost the line to a replacement whose writeback is
                 // still in flight; replay once it lands.
+                self.reserve_slot(line)?;
                 self.busy.insert(
                     line,
                     Busy::AwaitWbRace {
@@ -325,6 +369,7 @@ impl L2Slice {
                 );
             }
             (PKind::GetS, DirState::Owned(owner)) => {
+                self.reserve_slot(line)?;
                 self.stats.forwards.inc();
                 self.busy.insert(
                     line,
@@ -350,9 +395,9 @@ impl L2Slice {
                 Self::send(out, src, PKind::DataM, line, L2_DATA_DELAY);
             }
             (PKind::GetX | PKind::Upgrade, DirState::Shared(s)) => {
-                let is_upgrade = kind == PKind::Upgrade && s & DirState::bit(src) != 0;
-                let others = s & !DirState::bit(src);
-                if others == 0 {
+                let is_upgrade = kind == PKind::Upgrade && s.contains(src);
+                let others = s.without(src);
+                if others.is_empty() {
                     self.set_dir(line, DirState::Owned(src));
                     if is_upgrade {
                         Self::send(out, src, PKind::UpgradeAck, line, L2_TAG_DELAY);
@@ -361,13 +406,12 @@ impl L2Slice {
                         Self::send(out, src, PKind::DataM, line, L2_DATA_DELAY);
                     }
                 } else {
+                    self.reserve_slot(line)?;
                     let mut pending = 0;
-                    for t in 0..self.tiles {
-                        if others & (1u64 << t) != 0 {
-                            pending += 1;
-                            self.stats.invalidations_sent.inc();
-                            Self::send(out, TileId::from(t), PKind::Inv, line, L2_TAG_DELAY);
-                        }
+                    for t in others.iter() {
+                        pending += 1;
+                        self.stats.invalidations_sent.inc();
+                        Self::send(out, t, PKind::Inv, line, L2_TAG_DELAY);
                     }
                     self.set_dir(line, DirState::Shared(others));
                     self.busy.insert(
@@ -381,6 +425,7 @@ impl L2Slice {
                 }
             }
             (PKind::GetX | PKind::Upgrade, DirState::Owned(owner)) if owner == src => {
+                self.reserve_slot(line)?;
                 self.busy.insert(
                     line,
                     Busy::AwaitWbRace {
@@ -390,6 +435,7 @@ impl L2Slice {
                 );
             }
             (PKind::GetX | PKind::Upgrade, DirState::Owned(owner)) => {
+                self.reserve_slot(line)?;
                 self.stats.forwards.inc();
                 self.busy.insert(
                     line,
@@ -410,10 +456,44 @@ impl L2Slice {
 
             (k, d) => unreachable!("dispatch({k:?}, {d:?})"),
         }
+        Ok(())
+    }
+
+    /// Claim a directory transaction slot for `line` before creating a
+    /// new busy or fill record. Full-map state is co-located with the
+    /// lines (no limit); the sparse directory meters `dir_mshrs` slots
+    /// per slice and exhaustion is a hard, knob-naming error rather
+    /// than silent misbehaviour.
+    fn reserve_slot(&mut self, line: Addr) -> Result<(), ProtocolError> {
+        let Some(cap) = self.dir.transaction_capacity() else {
+            return Ok(());
+        };
+        if self.busy.contains_key(&line) || self.fills.contains_key(&line) {
+            return Ok(()); // the line already holds its slot
+        }
+        let used = self.busy.len() + self.fills.len();
+        if used < cap {
+            return Ok(());
+        }
+        Err(ProtocolError::internal(
+            self.tile,
+            line,
+            format!(
+                "sparse directory out of transaction slots at home tile {} \
+                 ({used} of {cap} in use); raise `dir_mshrs` in \
+                 `CmpConfig::directory` (DirectoryConfig::Sparse {{ dir_mshrs }})",
+                self.tile.index()
+            ),
+        ))
     }
 
     fn set_dir(&mut self, line: Addr, dir: DirState) {
-        self.array.get_mut(line).expect("resident").dir = dir;
+        // The presence vector used to live in the cache payload, so
+        // every directory write refreshed the line's LRU stamp; keep
+        // that stamp schedule repr-independent — the determinism
+        // goldens encode it.
+        self.array.touch(line);
+        self.dir.update(line, dir);
     }
 
     // ------------------------------------------------------------------
@@ -446,11 +526,8 @@ impl L2Slice {
                 if kind == PKind::RevisionDirty {
                     self.array.get_mut(line).expect("resident").dirty = true;
                 }
-                self.set_dir(
-                    line,
-                    DirState::Shared(DirState::bit(src) | DirState::bit(requestor)),
-                );
-                self.unbusy(line, &mut out);
+                self.set_dir(line, DirState::Shared(SharerSet::pair(src, requestor)));
+                self.unbusy(line, &mut out)?;
             }
             PKind::FwdDone => {
                 let Some(&busy) = self.busy.get(&line) else {
@@ -460,7 +537,7 @@ impl L2Slice {
                     return Err(self.reply_err(kind, line, format!("FwdDone while {busy:?}")));
                 };
                 self.set_dir(line, DirState::Owned(requestor));
-                self.unbusy(line, &mut out);
+                self.unbusy(line, &mut out)?;
             }
             PKind::FwdFailed => {
                 let Some(&busy) = self.busy.get(&line) else {
@@ -478,12 +555,12 @@ impl L2Slice {
                     // writeback already applied: replay now
                     self.busy.remove(&line);
                     let mut chain = OutVec::new();
-                    self.request_inner(requestor, original, line, &mut chain);
+                    self.request_inner(requestor, original, line, &mut chain)?;
                     out.extend(chain);
                     // `request_inner` may have left the line un-busy
                     // (immediate grant): drain any queued requests too
                     if !self.busy.contains_key(&line) {
-                        self.drain_pending(line, &mut out);
+                        self.drain_pending(line, &mut out)?;
                     }
                 } else {
                     self.busy.insert(
@@ -538,7 +615,7 @@ impl L2Slice {
                         self.stats.data_served.inc();
                         Self::send(out, req, PKind::DataM, line, L2_DATA_DELAY);
                     }
-                    self.unbusy(line, out);
+                    self.unbusy(line, out)?;
                 }
                 Ok(())
             }
@@ -608,10 +685,10 @@ impl L2Slice {
                 self.busy.remove(&line);
                 self.set_dir(line, DirState::Invalid);
                 let mut chain = OutVec::new();
-                self.request_inner(req, orig, line, &mut chain);
+                self.request_inner(req, orig, line, &mut chain)?;
                 out.extend(chain);
                 if !self.busy.contains_key(&line) {
-                    self.drain_pending(line, &mut out);
+                    self.drain_pending(line, &mut out)?;
                 }
             }
             Some(Busy::AwaitRecall { .. }) => {
@@ -675,27 +752,27 @@ impl L2Slice {
         }) {
             VictimSlot::Free => self.install(line, out)?,
             VictimSlot::Evict(victim) => {
-                let dir = self.array.peek(victim).expect("victim resident").dir;
-                match dir {
+                debug_assert!(self.array.peek(victim).is_some(), "victim resident");
+                match self.dir.lookup(victim) {
                     DirState::Invalid => {
                         self.evict(victim, out);
                         self.install(line, out)?;
                     }
                     DirState::Shared(s) => {
+                        self.reserve_slot(victim)?;
                         self.stats.recalls.inc();
                         let mut pending = 0;
-                        for t in 0..self.tiles {
-                            if s & (1u64 << t) != 0 {
-                                pending += 1;
-                                self.stats.invalidations_sent.inc();
-                                Self::send(out, TileId::from(t), PKind::Inv, victim, L2_TAG_DELAY);
-                            }
+                        for t in s.iter() {
+                            pending += 1;
+                            self.stats.invalidations_sent.inc();
+                            Self::send(out, t, PKind::Inv, victim, L2_TAG_DELAY);
                         }
-                        debug_assert!(pending > 0, "Shared dir with empty mask");
+                        debug_assert!(pending > 0, "Shared dir with no sharers");
                         self.busy.insert(victim, Busy::AwaitRecall { pending });
                         self.recall_for.insert(victim, line);
                     }
                     DirState::Owned(owner) => {
+                        self.reserve_slot(victim)?;
                         self.stats.recalls.inc();
                         Self::send(out, owner, PKind::RecallData, victim, L2_TAG_DELAY);
                         self.busy.insert(victim, Busy::AwaitRecall { pending: 1 });
@@ -728,7 +805,7 @@ impl L2Slice {
         self.busy.remove(&victim);
         self.evict(victim, out);
         // requests that queued for the victim during the recall now miss
-        self.drain_pending(victim, out);
+        self.drain_pending(victim, out)?;
         if let Some(fill_line) = self.recall_for.remove(&victim) {
             self.try_install(fill_line, out)?;
         }
@@ -737,6 +814,7 @@ impl L2Slice {
 
     fn evict(&mut self, line: Addr, out: &mut OutVec) {
         let l = self.array.remove(line).expect("evicting resident line");
+        self.dir.evict(line);
         debug_assert!(!self.busy.contains_key(&line));
         if l.dirty {
             self.stats.mem_writes.inc();
@@ -747,44 +825,36 @@ impl L2Slice {
     fn install(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         let fill = self.fills.remove(&line).expect("fill record");
         debug_assert!(fill.mem_done);
-        if self
-            .array
-            .insert(
-                line,
-                L2Line {
-                    dir: DirState::Invalid,
-                    dirty: false,
-                },
-            )
-            .is_err()
-        {
+        if self.array.insert(line, L2Line { dirty: false }).is_err() {
             return Err(ProtocolError::internal(
                 self.tile,
                 line,
                 "fill into a full set: victim selection was skipped",
             ));
         }
+        self.dir.update(line, DirState::Invalid);
         for (src, kind) in fill.waiters {
-            self.request_inner(src, kind, line, out);
+            self.request_inner(src, kind, line, out)?;
         }
         Ok(())
     }
 
     /// Clear the busy state and replay queued requests (in order; the
     /// first may re-busy the line, leaving the rest queued).
-    fn unbusy(&mut self, line: Addr, out: &mut OutVec) {
+    fn unbusy(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         self.busy.remove(&line);
-        self.drain_pending(line, out);
+        self.drain_pending(line, out)
     }
 
-    fn drain_pending(&mut self, line: Addr, out: &mut OutVec) {
+    fn drain_pending(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
         while let Some((src, kind)) = self.pending.get_mut(&line).and_then(|q| q.pop_front()) {
             self.queued -= 1;
-            self.request_inner(src, kind, line, out);
+            self.request_inner(src, kind, line, out)?;
             if self.busy.contains_key(&line) || self.fills.contains_key(&line) {
                 break; // the rest stay queued behind the new transaction
             }
         }
+        Ok(())
     }
 }
 
@@ -795,6 +865,17 @@ mod tests {
     /// 1024 sets x 4 ways slice for tile 0 of 16.
     fn slice() -> L2Slice {
         L2Slice::new(TileId(0), 1024, 4, 16)
+    }
+
+    /// Same geometry, sparse directory with `mshrs` transaction slots.
+    fn sparse_slice(mshrs: usize) -> L2Slice {
+        L2Slice::with_directory(
+            TileId(0),
+            1024,
+            4,
+            16,
+            DirectoryConfig::Sparse { dir_mshrs: mshrs },
+        )
     }
 
     /// A line homed at tile 0 (multiples of 16).
@@ -848,9 +929,7 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(
             s.dir_state(L),
-            Some(DirState::Shared(
-                DirState::bit(TileId(3)) | DirState::bit(TileId(5))
-            ))
+            Some(DirState::Shared(SharerSet::pair(TileId(3), TileId(5))))
         );
         assert!(s.is_quiescent());
     }
@@ -1099,5 +1178,75 @@ mod tests {
             .unwrap();
         assert!(s.is_quiescent());
         assert_eq!(s.stats().mem_reads.get(), 2);
+    }
+
+    #[test]
+    fn sparse_directory_runs_the_same_protocol() {
+        // Replays `getx_invalidates_sharers_then_grants` against the
+        // sparse organisation: identical messages, identical dir views.
+        let mut s = sparse_slice(64);
+        warm(&mut s, TileId(1), PKind::GetS, L);
+        let _ = s.handle_request(TileId(2), PKind::GetS, L).unwrap();
+        let _ = s.handle_reply(TileId(1), PKind::RevisionClean, L).unwrap();
+        let out = s.handle_request(TileId(3), PKind::GetX, L).unwrap();
+        assert_eq!(
+            sends(&out),
+            vec![(TileId(1), PKind::Inv), (TileId(2), PKind::Inv)],
+            "invalidations go out in ascending tile order"
+        );
+        let _ = s.handle_reply(TileId(1), PKind::InvAck, L).unwrap();
+        let out = s.handle_reply(TileId(2), PKind::InvAck, L).unwrap();
+        assert_eq!(sends(&out), vec![(TileId(3), PKind::DataM)]);
+        assert_eq!(s.dir_state(L), Some(DirState::Owned(TileId(3))));
+        assert!(s.is_quiescent());
+        assert_eq!(
+            s.directory_config(),
+            DirectoryConfig::Sparse { dir_mshrs: 64 }
+        );
+    }
+
+    #[test]
+    fn sparse_mshr_exhaustion_names_the_knob() {
+        let mut s = sparse_slice(1);
+        // first fill claims the only transaction slot...
+        let out = s.handle_request(TileId(1), PKind::GetS, L).unwrap();
+        assert!(matches!(out[..], [Outgoing::MemRead { .. }]));
+        assert_eq!(s.transaction_slots_in_use(), 1);
+        // ...a waiter on the same line needs no new slot...
+        assert!(s
+            .handle_request(TileId(2), PKind::GetS, L)
+            .unwrap()
+            .is_empty());
+        // ...but a miss on a second line does, and must fail loudly
+        let err = s
+            .handle_request(TileId(3), PKind::GetS, L + 16)
+            .expect_err("second concurrent transaction must exhaust 1 MSHR");
+        let msg = err.to_string();
+        assert!(msg.contains("dir_mshrs"), "error must name the knob: {msg}");
+        assert!(msg.contains("1 of 1"), "error reports occupancy: {msg}");
+    }
+
+    #[test]
+    fn full_map_never_meters_transaction_slots() {
+        let mut s = slice();
+        for i in 0..200u64 {
+            let _ = s
+                .handle_request(TileId(1), PKind::GetS, L + 16 * i)
+                .unwrap();
+        }
+        assert_eq!(s.transaction_slots_in_use(), 200);
+    }
+
+    #[test]
+    fn directory_entries_mirror_residency() {
+        let mut s = slice();
+        warm(&mut s, TileId(1), PKind::GetX, L);
+        let entries = s.directory_entries();
+        assert_eq!(entries, vec![(L, DirState::Owned(TileId(1)))]);
+        let _ = s.handle_writeback(TileId(1), PKind::WbData, L).unwrap();
+        assert!(
+            s.directory_entries().is_empty(),
+            "Invalid lines are not reported as tracked entries"
+        );
     }
 }

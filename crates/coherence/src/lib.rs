@@ -17,11 +17,15 @@
 //!   shared evictions, writebacks/hints for dirty/exclusive lines,
 //!   invalidation and forward handling including the races that occur
 //!   when commands overtake data on a heterogeneous network.
-//! * [`l2`] — the home-slice controller: inclusive L2 + full-map
-//!   directory, per-line busy states with pending-request queues
+//! * [`l2`] — the home-slice controller: inclusive L2 + directory,
+//!   per-line busy states with pending-request queues
 //!   (a blocking directory: races are resolved by serialisation at the
 //!   home node), L2 fills from memory and inclusion-recalls of victim
 //!   lines.
+//! * [`directory`] — the [`directory::DirectoryRepr`] strategy seam the
+//!   L2 keeps its sharer bookkeeping behind: the paper's full-map
+//!   presence vectors, or sparse tagged entries with a bounded budget
+//!   of directory MSHRs (the organisation that scales past 64 tiles).
 //! * [`memctrl`] — fixed-latency (400-cycle) memory interface.
 //! * [`error`] — structured [`ProtocolError`] reporting for states a
 //!   controller cannot legally reach, used by the fault-injection
@@ -37,6 +41,7 @@
 //! directly, message by message.
 
 pub mod cache;
+pub mod directory;
 pub mod error;
 pub mod l1;
 pub mod l2;
@@ -45,6 +50,7 @@ pub mod msg;
 pub mod sanitizer;
 
 pub use cache::CacheArray;
+pub use directory::{build_directory, DirBox, DirState, DirectoryRepr, SharerSet};
 pub use error::ProtocolError;
 pub use l1::{CoreAccess, L1Cache, L1Result};
 pub use l2::L2Slice;

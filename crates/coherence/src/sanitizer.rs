@@ -19,7 +19,14 @@
 //!   capacity or tracks one line twice; no home queues requests for a
 //!   line with no transaction to drain them.
 //! * **Directory inclusion** — every L1-resident line is resident (or
-//!   being filled/recalled) at its home L2 slice.
+//!   being filled/recalled) at its home L2 slice, and — dually — every
+//!   line the home's directory tracks is resident or in flight there.
+//!
+//! The sweep reads directory state only through the repr-independent
+//! [`DirState`] view and [`crate::L2Slice::directory_entries`], so all
+//! four invariant classes run unchanged against every
+//! [`crate::directory::DirectoryRepr`] implementation (full-map or
+//! sparse).
 //!
 //! Violations are returned as structured [`Violation`] findings naming
 //! the cycle, tile, line and invariant class; the simulator aborts the
@@ -179,16 +186,16 @@ impl Sanitizer {
                 if home.line_in_flight(line) {
                     continue; // directory legitimately in motion
                 }
-                let agree = match (state, dir) {
-                    (L1State::Exclusive | L1State::Modified, Some(DirState::Owned(o))) => o == tile,
-                    (L1State::Exclusive | L1State::Modified, _) => false,
-                    (L1State::Shared, Some(DirState::Shared(mask))) => {
-                        mask & (1u64 << tile.index()) != 0
+                let agree = match (state, &dir) {
+                    (L1State::Exclusive | L1State::Modified, Some(DirState::Owned(o))) => {
+                        *o == tile
                     }
+                    (L1State::Exclusive | L1State::Modified, _) => false,
+                    (L1State::Shared, Some(DirState::Shared(sharers))) => sharers.contains(tile),
                     // A Shared copy under Owned(tile) is the silent-
                     // downgrade window closed at the next revision; any
                     // other combination is impossible while idle.
-                    (L1State::Shared, Some(DirState::Owned(o))) => o == tile,
+                    (L1State::Shared, Some(DirState::Owned(o))) => *o == tile,
                     (L1State::Shared, _) => false,
                 };
                 if !agree {
@@ -260,6 +267,22 @@ impl Sanitizer {
                         .to_string(),
                 });
             }
+            // The directory must not track lines the slice no longer
+            // hosts (repr/array drift — e.g. a leaked sparse tag).
+            for (line, state) in l2.directory_entries() {
+                if l2.dir_state(line).is_none() && !l2.line_in_flight(line) {
+                    found.push(Violation {
+                        cycle,
+                        tile,
+                        line,
+                        invariant: Invariant::DirectoryInclusion,
+                        detail: format!(
+                            "directory tracks the line as {state:?} but the slice \
+                             has neither a copy nor a transaction for it"
+                        ),
+                    });
+                }
+            }
         }
 
         found
@@ -274,11 +297,15 @@ mod tests {
     const TILES: usize = 16;
 
     fn machine() -> (Vec<L1Cache>, Vec<L2Slice>) {
+        machine_with(cmp_common::config::DirectoryConfig::FullMap)
+    }
+
+    fn machine_with(dir: cmp_common::config::DirectoryConfig) -> (Vec<L1Cache>, Vec<L2Slice>) {
         let l1s = (0..TILES)
             .map(|t| L1Cache::new(TileId::from(t), 128, 4, 8, TILES))
             .collect();
         let l2s = (0..TILES)
-            .map(|t| L2Slice::new(TileId::from(t), 1024, 4, TILES))
+            .map(|t| L2Slice::with_directory(TileId::from(t), 1024, 4, TILES, dir))
             .collect();
         (l1s, l2s)
     }
@@ -391,6 +418,55 @@ mod tests {
                 && v.detail.contains("no transaction")),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn all_four_invariant_classes_trip_on_a_sparse_directory() {
+        // The same sweeps, unchanged, against the sparse representation:
+        // one manufactured fault per invariant class.
+        let sparse = cmp_common::config::DirectoryConfig::sparse();
+        let mut san = Sanitizer::new(SanitizerConfig::default());
+
+        let (mut l1s, mut l2s) = machine_with(sparse);
+        grant_exclusive(&mut l1s, &mut l2s, 3, 16);
+        l1s[5].fault_set_state(16, L1State::Modified);
+        let v = san.sweep(0, &l1s, &l2s);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::SingleOwner),
+            "{v:?}"
+        );
+
+        let (mut l1s, mut l2s) = machine_with(sparse);
+        grant_exclusive(&mut l1s, &mut l2s, 3, 16);
+        l2s[0].fault_set_dir(16, DirState::Invalid);
+        let v = san.sweep(0, &l1s, &l2s);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::SharerAgreement),
+            "{v:?}"
+        );
+
+        let (mut l1s, mut l2s) = machine_with(sparse);
+        grant_exclusive(&mut l1s, &mut l2s, 3, 16);
+        l2s[0].fault_evict_line(16);
+        let v = san.sweep(0, &l1s, &l2s);
+        assert!(
+            v.iter()
+                .any(|v| v.invariant == Invariant::DirectoryInclusion),
+            "{v:?}"
+        );
+
+        let (l1s, mut l2s) = machine_with(sparse);
+        l2s[4].fault_enqueue_pending(16 * 100 + 4, TileId(1), PKind::GetS);
+        let v = san.sweep(0, &l1s, &l2s);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::MshrConsistency),
+            "{v:?}"
+        );
+
+        // and a clean sparse machine stays clean
+        let (mut l1s, mut l2s) = machine_with(sparse);
+        grant_exclusive(&mut l1s, &mut l2s, 3, 16);
+        assert_eq!(san.sweep(100, &l1s, &l2s), vec![]);
     }
 
     #[test]

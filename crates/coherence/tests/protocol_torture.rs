@@ -190,10 +190,13 @@ impl Harness {
                         "line {line:#x} cached {holders:?} but directory says invalid"
                     );
                 }
-                Some(DirState::Shared(mask)) => {
+                Some(DirState::Shared(sharers)) => {
                     for (t, s) in &holders {
                         assert_eq!(*s, L1State::Shared, "{holders:?}");
-                        assert!(mask & (1 << t) != 0, "untracked sharer {t}");
+                        assert!(
+                            sharers.contains(cmp_common::types::TileId::from(*t)),
+                            "untracked sharer {t}"
+                        );
                     }
                 }
             }

@@ -89,6 +89,103 @@ impl NetworkConfig {
     }
 }
 
+/// Which sharer-bookkeeping hardware the L2 home slices implement.
+///
+/// The paper's machine keeps a *full-map* directory: one presence bit
+/// per tile alongside every L2 line. That is exact but its sharer
+/// vectors are a fixed 64 bits wide here, so it cannot describe meshes
+/// beyond 64 tiles. The *sparse* organisation keeps tagged entries only
+/// for lines with remote copies plus a bounded table of in-flight
+/// directory transactions ("directory MSHRs"), which is what lets
+/// 16×16 and 32×32 meshes run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectoryConfig {
+    /// Full-map presence vectors co-located with every L2 line
+    /// (Table 4 machine; at most [`FULL_MAP_MAX_TILES`] tiles).
+    FullMap,
+    /// Sparse tagged entries with `dir_mshrs` transaction slots per
+    /// home slice. Exhausting the slots is a structured protocol error
+    /// naming this knob, never silent misbehaviour.
+    Sparse { dir_mshrs: usize },
+}
+
+/// Widest mesh a full-map directory can describe (one u64 presence
+/// vector per line).
+pub const FULL_MAP_MAX_TILES: usize = 64;
+
+/// Default in-flight transaction slots per home slice for
+/// [`DirectoryConfig::Sparse`]. Sized so the default machines never
+/// exhaust it (a slice can serve at most `tiles × l1_mshrs` concurrent
+/// lines, but in practice far fewer are in flight at one home).
+pub const DEFAULT_DIR_MSHRS: usize = 64;
+
+impl DirectoryConfig {
+    /// A sparse directory with the default MSHR depth.
+    pub fn sparse() -> Self {
+        DirectoryConfig::Sparse {
+            dir_mshrs: DEFAULT_DIR_MSHRS,
+        }
+    }
+
+    /// Short label for CSV/journal rows and error messages.
+    pub fn label(&self) -> String {
+        match *self {
+            DirectoryConfig::FullMap => "full-map".to_string(),
+            DirectoryConfig::Sparse { dir_mshrs } => format!("sparse({dir_mshrs})"),
+        }
+    }
+
+    /// Wire/flag spelling: `full-map`, `sparse`, or `sparse:N`.
+    /// Round-trips through [`DirectoryConfig::parse_flag`].
+    pub fn flag_label(&self) -> String {
+        match *self {
+            DirectoryConfig::FullMap => "full-map".to_string(),
+            DirectoryConfig::Sparse { dir_mshrs } => format!("sparse:{dir_mshrs}"),
+        }
+    }
+
+    /// Parse the flag/wire spelling accepted by the bench binaries and
+    /// the campaign service: `full-map`, `sparse` (default MSHR depth),
+    /// or `sparse:N`.
+    pub fn parse_flag(s: &str) -> Result<DirectoryConfig, String> {
+        match s {
+            "full-map" => Ok(DirectoryConfig::FullMap),
+            "sparse" => Ok(DirectoryConfig::sparse()),
+            other => match other.strip_prefix("sparse:") {
+                Some(n) => {
+                    let dir_mshrs: usize = n.parse().map_err(|_| {
+                        format!("bad sparse MSHR depth {n:?} (want sparse:N with N >= 1)")
+                    })?;
+                    let cfg = DirectoryConfig::Sparse { dir_mshrs };
+                    // tiles=0: shape-independent checks only (catches 0)
+                    cfg.validate(0)?;
+                    Ok(cfg)
+                }
+                None => Err(format!(
+                    "unknown directory {other:?} (want full-map | sparse | sparse:N)"
+                )),
+            },
+        }
+    }
+
+    /// Validate against a machine of `tiles` tiles.
+    pub fn validate(&self, tiles: usize) -> Result<(), String> {
+        match *self {
+            DirectoryConfig::FullMap if tiles > FULL_MAP_MAX_TILES => Err(format!(
+                "full-map directory cannot track {tiles} tiles (the sharer \
+                 vector is {FULL_MAP_MAX_TILES} bits); configure \
+                 `directory: DirectoryConfig::Sparse {{ dir_mshrs }}`"
+            )),
+            DirectoryConfig::Sparse { dir_mshrs: 0 } => {
+                Err("sparse directory needs at least one MSHR: set \
+                 `directory: DirectoryConfig::Sparse { dir_mshrs >= 1 }`"
+                    .into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Full description of the simulated CMP (paper Table 4 by default).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CmpConfig {
@@ -116,6 +213,8 @@ pub struct CmpConfig {
     pub mem_latency_cycles: u64,
     /// L1 MSHR entries (outstanding misses per core).
     pub l1_mshrs: usize,
+    /// Sharer-bookkeeping organisation of the home L2 directories.
+    pub directory: DirectoryConfig,
     /// Physical network parameters.
     pub network: NetworkConfig,
 }
@@ -151,6 +250,7 @@ impl Default for CmpConfig {
             },
             mem_latency_cycles: 400,
             l1_mshrs: 8,
+            directory: DirectoryConfig::FullMap,
             network: NetworkConfig {
                 link_bytes: 75,
                 link_length_mm: 5.0,
@@ -193,6 +293,9 @@ impl CmpConfig {
         if self.l1_mshrs == 0 {
             return Err("need at least one MSHR".into());
         }
+        self.directory
+            .validate(self.tiles())
+            .map_err(|e| format!("directory: {e}"))?;
         self.l1.validate().map_err(|e| format!("L1: {e}"))?;
         self.l2_slice.validate().map_err(|e| format!("L2: {e}"))?;
         self.network
@@ -254,6 +357,52 @@ mod tests {
         let mut c = CmpConfig::default();
         c.l2_slice.line_bytes = 128; // mismatched line sizes
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn full_map_directory_refuses_wide_meshes() {
+        let mut c = CmpConfig {
+            mesh: MeshShape::square(16),
+            ..CmpConfig::default()
+        };
+        let err = c.validate().expect_err("256 tiles exceed a 64-bit map");
+        assert!(err.contains("full-map"), "{err}");
+        assert!(err.contains("Sparse"), "{err}");
+        c.directory = DirectoryConfig::sparse();
+        c.validate().expect("sparse directory scales past 64 tiles");
+    }
+
+    #[test]
+    fn sparse_directory_needs_mshrs() {
+        let c = CmpConfig {
+            directory: DirectoryConfig::Sparse { dir_mshrs: 0 },
+            ..CmpConfig::default()
+        };
+        let err = c.validate().expect_err("zero directory MSHRs");
+        assert!(err.contains("dir_mshrs"), "{err}");
+        assert_eq!(DirectoryConfig::sparse().label(), "sparse(64)");
+        assert_eq!(DirectoryConfig::FullMap.label(), "full-map");
+    }
+
+    #[test]
+    fn directory_flag_spelling_round_trips() {
+        for d in [
+            DirectoryConfig::FullMap,
+            DirectoryConfig::sparse(),
+            DirectoryConfig::Sparse { dir_mshrs: 128 },
+        ] {
+            assert_eq!(DirectoryConfig::parse_flag(&d.flag_label()), Ok(d));
+        }
+        assert_eq!(
+            DirectoryConfig::parse_flag("sparse"),
+            Ok(DirectoryConfig::sparse())
+        );
+        let err = DirectoryConfig::parse_flag("sparse:0").expect_err("zero MSHRs");
+        assert!(err.contains("dir_mshrs"), "{err}");
+        let err = DirectoryConfig::parse_flag("sparse:lots").expect_err("non-numeric");
+        assert!(err.contains("sparse:N"), "{err}");
+        let err = DirectoryConfig::parse_flag("hierarchical").expect_err("unknown");
+        assert!(err.contains("full-map | sparse"), "{err}");
     }
 
     #[test]

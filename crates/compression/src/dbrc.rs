@@ -69,7 +69,7 @@ impl Dbrc {
 }
 
 impl AddressCodec for Dbrc {
-    fn compress(&mut self, line_addr: Addr) -> bool {
+    fn encode(&mut self, line_addr: Addr) -> bool {
         self.clock += 1;
         let base = self.base_of(line_addr);
         if let Some(idx) = self.bases.iter().position(|&b| b == Some(base)) {
@@ -86,10 +86,18 @@ impl AddressCodec for Dbrc {
         false
     }
 
-    fn reset(&mut self) {
+    fn resync(&mut self) {
         self.bases.fill(None);
         self.stamps.fill(0);
         self.clock = 0;
+    }
+
+    fn hw_entries(&self) -> usize {
+        self.entries()
+    }
+
+    fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -103,21 +111,21 @@ mod tests {
     #[test]
     fn first_access_misses_then_hits() {
         let mut d = Dbrc::new(4, 1);
-        assert!(!d.compress(0x1234));
-        assert!(d.compress(0x1234));
+        assert!(!d.encode(0x1234));
+        assert!(d.encode(0x1234));
         // a neighbour within the same 256-line base also hits
-        assert!(d.compress(0x1234 ^ 0x3F));
+        assert!(d.encode(0x1234 ^ 0x3F));
     }
 
     #[test]
     fn base_granularity_follows_low_bytes() {
         let mut d1 = Dbrc::new(4, 1);
-        d1.compress(0);
+        d1.encode(0);
         assert!(d1.peek(LOW1_SPAN - 1));
         assert!(!d1.peek(LOW1_SPAN));
 
         let mut d2 = Dbrc::new(4, 2);
-        d2.compress(0);
+        d2.encode(0);
         assert!(d2.peek(65_535));
         assert!(!d2.peek(65_536));
     }
@@ -125,10 +133,10 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_base() {
         let mut d = Dbrc::new(2, 1);
-        d.compress(0); // install A (base 0)
-        d.compress(LOW1_SPAN); // install B
-        d.compress(0); // touch A (now B is LRU)
-        d.compress(2 * LOW1_SPAN); // install C, evicting B
+        d.encode(0); // install A (base 0)
+        d.encode(LOW1_SPAN); // install B
+        d.encode(0); // touch A (now B is LRU)
+        d.encode(2 * LOW1_SPAN); // install C, evicting B
         assert!(d.peek(0));
         assert!(!d.peek(LOW1_SPAN), "B should have been evicted");
         assert!(d.peek(2 * LOW1_SPAN));
@@ -138,7 +146,7 @@ mod tests {
     fn invalid_entries_fill_before_eviction() {
         let mut d = Dbrc::new(4, 1);
         for i in 0..4 {
-            d.compress(i * LOW1_SPAN);
+            d.encode(i * LOW1_SPAN);
         }
         // all four distinct bases should be resident
         for i in 0..4 {
@@ -154,7 +162,7 @@ mod tests {
         // cyclic walk over 3 bases x 100 lines
         for i in 0..n {
             let addr = (i % 3) as u64 * 65_536 + (i % 100) as u64;
-            if d.compress(addr) {
+            if d.encode(addr) {
                 hits += 1;
             }
         }
@@ -168,7 +176,7 @@ mod tests {
         // thrash, zero hits after the cold misses too.
         let mut hits = 0;
         for i in 0..800u64 {
-            if d.compress((i % 8) * LOW1_SPAN) {
+            if d.encode((i % 8) * LOW1_SPAN) {
                 hits += 1;
             }
         }
@@ -176,13 +184,13 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_state() {
+    fn resync_clears_state() {
         let mut d = Dbrc::new(4, 1);
-        d.compress(42);
+        d.encode(42);
         assert!(d.peek(42));
-        d.reset();
+        d.resync();
         assert!(!d.peek(42));
-        assert!(!d.compress(42));
+        assert!(!d.encode(42));
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! sender deterministically, so the simulator keeps a single logical state
 //! machine per directed pair and decides the on-wire size at send time.
 
-use cmp_common::types::{Addr, MessageClass, TileId};
+use cmp_common::types::{Addr, CompressionStream, MessageClass, TileId};
 
 use crate::coverage::CoverageStats;
-use crate::scheme::{AddressCodec, CodecState, CompressionScheme};
+use crate::scheme::{CodecBox, CompressionScheme};
 
 /// The outcome of offering a message to the compression engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,13 +26,17 @@ pub struct CompressedSize {
 #[derive(Clone, Debug)]
 pub struct CompressionEngine {
     scheme: CompressionScheme,
-    /// `codecs[stream][destination]`.
-    codecs: [Vec<CodecState>; 2],
-    /// `desynced[stream][destination]`: the receiver-side mirror of this
-    /// codec pair no longer matches the sender (injected metadata
-    /// corruption). The sender cannot see this directly — the NI detects
-    /// it through the sequence/checksum tag on the next compressible
-    /// send and triggers a resynchronisation.
+    /// `codecs[stream][lane]`, where a lane is one destination — or, for
+    /// a stream the scheme shares across destinations (the multicast
+    /// commands stream), the single shared slot 0. See
+    /// [`CompressionEngine::lane`].
+    codecs: [Vec<CodecBox>; 2],
+    /// `desynced[stream][lane]`: the receiver-side mirror of this codec
+    /// no longer matches the sender (injected metadata corruption). The
+    /// sender cannot see this directly — the NI detects it through the
+    /// sequence/checksum tag on the next compressible send and triggers
+    /// a resynchronisation. A shared lane desyncs for every destination
+    /// at once, exactly as corrupting broadcast-mirrored state would.
     desynced: [Vec<bool>; 2],
     stats: CoverageStats,
 }
@@ -44,13 +48,42 @@ impl CompressionEngine {
     /// per destination including self — matching the paper's hardware
     /// sizing ("as many receiving structures as the number of cores") —
     /// though the simulator never routes self-messages through it.
+    /// Streams the scheme shares across destinations get one codec.
     pub fn new(scheme: CompressionScheme, tiles: usize) -> Self {
-        let build = || (0..tiles).map(|_| scheme.build()).collect::<Vec<_>>();
+        let lanes = |stream: CompressionStream| {
+            if scheme.shared_across_destinations(stream) {
+                1
+            } else {
+                tiles
+            }
+        };
+        let bank = |stream: CompressionStream| {
+            (0..lanes(stream))
+                .map(|_| scheme.build_codec(stream))
+                .collect::<Vec<_>>()
+        };
         CompressionEngine {
             scheme,
-            codecs: [build(), build()],
-            desynced: [vec![false; tiles], vec![false; tiles]],
+            codecs: [
+                bank(CompressionStream::Requests),
+                bank(CompressionStream::Commands),
+            ],
+            desynced: [
+                vec![false; lanes(CompressionStream::Requests)],
+                vec![false; lanes(CompressionStream::Commands)],
+            ],
             stats: CoverageStats::new(),
+        }
+    }
+
+    /// Which codec (and desync flag) a (`stream`, `dest`) pair uses:
+    /// slot 0 when the stream's state is shared across destinations, the
+    /// destination index otherwise.
+    fn lane(&self, stream: CompressionStream, dest: TileId) -> usize {
+        if self.scheme.shared_across_destinations(stream) {
+            0
+        } else {
+            dest.index()
         }
     }
 
@@ -85,8 +118,9 @@ impl CompressionEngine {
                 compressed: false,
             };
         }
-        let codec = &mut self.codecs[stream.index()][dest.index()];
-        let hit = codec.compress(line_addr);
+        let lane = self.lane(stream, dest);
+        let codec = &mut self.codecs[stream.index()][lane];
+        let hit = codec.encode(line_addr);
         self.stats.record(stream, hit);
         CompressedSize {
             wire_bytes: if hit {
@@ -114,7 +148,8 @@ impl CompressionEngine {
         let Some(stream) = class.compression_stream() else {
             return false;
         };
-        self.desynced[stream.index()][dest.index()] = true;
+        let lane = self.lane(stream, dest);
+        self.desynced[stream.index()][lane] = true;
         true
     }
 
@@ -125,7 +160,7 @@ impl CompressionEngine {
     pub fn divergence(&self, dest: TileId, class: MessageClass) -> bool {
         class
             .compression_stream()
-            .is_some_and(|s| self.desynced[s.index()][dest.index()])
+            .is_some_and(|s| self.desynced[s.index()][self.lane(s, dest)])
     }
 
     /// Resynchronise a diverged codec pair: both sides drop their learned
@@ -134,15 +169,16 @@ impl CompressionEngine {
         let Some(stream) = class.compression_stream() else {
             return;
         };
-        self.codecs[stream.index()][dest.index()].reset();
-        self.desynced[stream.index()][dest.index()] = false;
+        let lane = self.lane(stream, dest);
+        self.codecs[stream.index()][lane].resync();
+        self.desynced[stream.index()][lane] = false;
     }
 
     /// Forget all learned codec state and statistics.
     pub fn reset(&mut self) {
         for side in &mut self.codecs {
             for codec in side {
-                codec.reset();
+                codec.resync();
             }
         }
         for side in &mut self.desynced {
@@ -279,6 +315,67 @@ mod tests {
         let mut e = engine(CompressionScheme::Stride { low_bytes: 2 });
         assert!(!e.fault_desync(TileId(1), MessageClass::ResponseData));
         assert!(!e.divergence(TileId(1), MessageClass::ResponseData));
+    }
+
+    #[test]
+    fn multicast_fan_out_pays_one_cold_miss() {
+        let mut e = engine(CompressionScheme::Multicast {
+            entries: 4,
+            low_bytes: 2,
+        });
+        // a 3-way invalidation fan-out: same line, three sharers
+        let legs: Vec<bool> = [1u16, 5, 9]
+            .iter()
+            .map(|&t| {
+                e.process(TileId(t), MessageClass::CoherenceCmd, 0x4000)
+                    .compressed
+            })
+            .collect();
+        assert_eq!(
+            legs,
+            vec![false, true, true],
+            "only the first leg may miss cold"
+        );
+        // compare: per-destination DBRC pays three cold misses
+        let mut d = engine(CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        });
+        for t in [1u16, 5, 9] {
+            assert!(
+                !d.process(TileId(t), MessageClass::CoherenceCmd, 0x4000)
+                    .compressed
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_requests_stay_per_destination() {
+        let mut e = engine(CompressionScheme::Multicast {
+            entries: 4,
+            low_bytes: 2,
+        });
+        e.process(TileId(1), MessageClass::Request, 100);
+        // same base, different destination, requests stream: cold miss —
+        // sharing is scoped to the one-to-many commands stream
+        assert!(!e.process(TileId(2), MessageClass::Request, 100).compressed);
+        assert!(e.process(TileId(1), MessageClass::Request, 101).compressed);
+    }
+
+    #[test]
+    fn multicast_desync_covers_every_destination() {
+        let mut e = engine(CompressionScheme::Multicast {
+            entries: 4,
+            low_bytes: 2,
+        });
+        assert!(e.fault_desync(TileId(1), MessageClass::CoherenceCmd));
+        // the shared mirror serves all destinations, so all diverge...
+        assert!(e.divergence(TileId(7), MessageClass::CoherenceCmd));
+        // ...while the per-destination requests stream stays clean
+        assert!(!e.divergence(TileId(1), MessageClass::Request));
+        // one resync (from any destination's viewpoint) heals the stream
+        e.resync(TileId(12), MessageClass::CoherenceCmd);
+        assert!(!e.divergence(TileId(1), MessageClass::CoherenceCmd));
     }
 
     #[test]

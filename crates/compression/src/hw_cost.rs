@@ -130,10 +130,17 @@ impl CompressionHwCost {
 
 /// Total per-core compression storage for `scheme` on `tiles` tiles:
 /// `2 streams × (1 sender + tiles receivers) × entries × 8 bytes`.
+///
+/// The multicast scheme reuses DBRC-sized structures — its commands
+/// stream shares one sender-side cache across destinations, but each
+/// peer still mirrors that cache, and the sharer-set encoding rides in
+/// control bits — so its storage equals the same-sized DBRC's.
 pub fn storage_bytes(scheme: CompressionScheme, tiles: usize) -> usize {
     let entries = match scheme {
         CompressionScheme::None | CompressionScheme::Perfect { .. } => return 0,
-        CompressionScheme::Dbrc { entries, .. } => entries,
+        CompressionScheme::Dbrc { entries, .. } | CompressionScheme::Multicast { entries, .. } => {
+            entries
+        }
         CompressionScheme::Stride { .. } => 1,
     };
     2 * (1 + tiles) * entries * ENTRY_BYTES
@@ -141,12 +148,16 @@ pub fn storage_bytes(scheme: CompressionScheme, tiles: usize) -> usize {
 
 /// The published Table 1 row matching `scheme`, if any. Low-order byte
 /// count does not change storage (every entry holds a full base), so both
-/// 1 B and 2 B variants map to the same row.
+/// 1 B and 2 B variants map to the same row; multicast maps to the DBRC
+/// row of its entry count because the structures are identical.
 pub fn published_row(scheme: CompressionScheme) -> Option<&'static Table1Row> {
     match scheme {
-        CompressionScheme::Dbrc { entries: 4, .. } => Some(&PUBLISHED_TABLE1[0]),
-        CompressionScheme::Dbrc { entries: 16, .. } => Some(&PUBLISHED_TABLE1[1]),
-        CompressionScheme::Dbrc { entries: 64, .. } => Some(&PUBLISHED_TABLE1[2]),
+        CompressionScheme::Dbrc { entries: 4, .. }
+        | CompressionScheme::Multicast { entries: 4, .. } => Some(&PUBLISHED_TABLE1[0]),
+        CompressionScheme::Dbrc { entries: 16, .. }
+        | CompressionScheme::Multicast { entries: 16, .. } => Some(&PUBLISHED_TABLE1[1]),
+        CompressionScheme::Dbrc { entries: 64, .. }
+        | CompressionScheme::Multicast { entries: 64, .. } => Some(&PUBLISHED_TABLE1[2]),
         CompressionScheme::Stride { .. } => Some(&PUBLISHED_TABLE1[3]),
         _ => None,
     }
@@ -197,6 +208,24 @@ mod tests {
         assert_eq!(
             storage_bytes(CompressionScheme::Perfect { low_bytes: 1 }, t),
             0
+        );
+    }
+
+    #[test]
+    fn multicast_costs_exactly_its_dbrc_twin() {
+        let mc = CompressionScheme::Multicast {
+            entries: 4,
+            low_bytes: 2,
+        };
+        let dbrc = CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 2,
+        };
+        assert_eq!(storage_bytes(mc, 16), storage_bytes(dbrc, 16));
+        assert_eq!(
+            CompressionHwCost::for_scheme(mc, 16),
+            CompressionHwCost::for_scheme(dbrc, 16),
+            "identical structures must publish identical Table 1 numbers"
         );
     }
 

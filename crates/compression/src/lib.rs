@@ -10,9 +10,15 @@
 //! * [`stride`] — a single base register per (sender, receiver, stream);
 //!   when the delta to the previous address fits the configured number of
 //!   bytes, only the delta travels.
-//! * [`scheme`] — the common codec interface plus the `Perfect` (always
-//!   hits — the paper's solid upper-bound lines in Figure 6) and `None`
-//!   oracles.
+//! * [`scheme`] — the [`AddressCodec`] strategy seam every codec
+//!   implements (encode/decode/resync/snapshot/hw-cost), plus the
+//!   `Perfect` (always hits — the paper's solid upper-bound lines in
+//!   Figure 6) and `None` oracles. Codecs are built from configuration
+//!   values as boxed trait objects, not compile-time wiring.
+//! * [`multicast`] — a multicast-encoded commands codec (after arXiv
+//!   2411.11545): one sender-side base cache shared across all
+//!   destinations, so an invalidation fan-out carries one compressed
+//!   base plus a sharer-set encoding and pays at most one cold miss.
 //!
 //! [`engine`] instantiates one codec per (destination, stream) pair at each
 //! tile — the paper duplicates hardware for the *requests* and *coherence
@@ -34,6 +40,7 @@ pub mod coverage;
 pub mod dbrc;
 pub mod engine;
 pub mod hw_cost;
+pub mod multicast;
 pub mod scheme;
 pub mod stride;
 
@@ -41,5 +48,6 @@ pub use coverage::CoverageStats;
 pub use dbrc::Dbrc;
 pub use engine::{CompressedSize, CompressionEngine};
 pub use hw_cost::{CompressionHwCost, PUBLISHED_TABLE1};
-pub use scheme::{AddressCodec, CodecState, CompressionScheme};
+pub use multicast::MulticastCodec;
+pub use scheme::{AddressCodec, CodecBox, CompressionScheme, NoneCodec, PerfectCodec};
 pub use stride::Stride;

@@ -1,8 +1,20 @@
-//! The codec interface and scheme configuration.
+//! The codec strategy seam and scheme configuration.
+//!
+//! [`AddressCodec`] is the compression layer's strategy trait: every
+//! sender-side codec — DBRC, Stride, the multicast commands codec, the
+//! oracles — implements the same encode/decode/resync/snapshot/hw-cost
+//! surface, and the engine holds them as boxed trait objects built from
+//! the [`CompressionScheme`] carried in the run configuration. Nothing
+//! about the codec choice is compile-time wiring: a scheme value decodes
+//! from a campaign journal and builds the same hardware.
 
-use cmp_common::types::{Addr, CONTROL_BYTES};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use cmp_common::types::{Addr, CompressionStream, CONTROL_BYTES};
 
 use crate::dbrc::Dbrc;
+use crate::multicast::MulticastCodec;
 use crate::stride::Stride;
 
 /// Which address-compression scheme a configuration uses.
@@ -23,6 +35,11 @@ pub enum CompressionScheme {
     /// Oracle that always hits — the paper's "perfect address compression"
     /// solid lines. Costs no hardware.
     Perfect { low_bytes: usize },
+    /// DBRC for requests plus a *multicast-encoded* commands stream: one
+    /// sender-side base cache shared across all destinations, so an
+    /// invalidation fan-out carries one compressed base and a sharer-set
+    /// encoding and pays at most one cold miss (see [`crate::multicast`]).
+    Multicast { entries: usize, low_bytes: usize },
 }
 
 impl CompressionScheme {
@@ -66,13 +83,15 @@ impl CompressionScheme {
             CompressionScheme::None => 0,
             CompressionScheme::Dbrc { low_bytes, .. }
             | CompressionScheme::Stride { low_bytes }
-            | CompressionScheme::Perfect { low_bytes } => low_bytes,
+            | CompressionScheme::Perfect { low_bytes }
+            | CompressionScheme::Multicast { low_bytes, .. } => low_bytes,
         }
     }
 
     /// On-wire size of a *compressed* message: control bytes + low-order
-    /// bytes (the DBRC index / delta sign ride in spare control bits —
-    /// Section 4.3 puts compressed requests at 4–5 bytes).
+    /// bytes (the DBRC index / delta sign / sharer-set encoding ride in
+    /// spare control bits — Section 4.3 puts compressed requests at 4–5
+    /// bytes).
     pub fn compressed_bytes(&self) -> usize {
         CONTROL_BYTES + self.low_order_bytes()
     }
@@ -89,64 +108,153 @@ impl CompressionScheme {
             CompressionScheme::Perfect { low_bytes } => {
                 format!("perfect ({}B msg)", CONTROL_BYTES + low_bytes)
             }
-        }
-    }
-
-    /// Build the per-(destination, stream) codec state for this scheme.
-    pub fn build(&self) -> CodecState {
-        match *self {
-            CompressionScheme::None => CodecState::None,
-            CompressionScheme::Dbrc { entries, low_bytes } => {
-                CodecState::Dbrc(Dbrc::new(entries, low_bytes))
+            CompressionScheme::Multicast { entries, low_bytes } => {
+                format!("{entries}-entry multicast ({low_bytes}B LO)")
             }
-            CompressionScheme::Stride { low_bytes } => CodecState::Stride(Stride::new(low_bytes)),
-            CompressionScheme::Perfect { .. } => CodecState::Perfect,
+        }
+    }
+
+    /// Whether `stream`'s codec state lives once per sender tile instead
+    /// of once per (destination, stream) pair. Only the multicast scheme
+    /// shares, and only for the one-to-many commands stream.
+    pub fn shared_across_destinations(&self, stream: CompressionStream) -> bool {
+        matches!(self, CompressionScheme::Multicast { .. }) && stream == CompressionStream::Commands
+    }
+
+    /// Build one sender-side codec for `stream`. This is the strategy
+    /// selection point: the engine stores the result as a boxed
+    /// [`AddressCodec`], so which hardware runs is decided by the
+    /// configuration value, not by compile-time wiring.
+    pub fn build_codec(&self, stream: CompressionStream) -> CodecBox {
+        match *self {
+            CompressionScheme::None => CodecBox::new(NoneCodec),
+            CompressionScheme::Dbrc { entries, low_bytes } => {
+                CodecBox::new(Dbrc::new(entries, low_bytes))
+            }
+            CompressionScheme::Stride { low_bytes } => CodecBox::new(Stride::new(low_bytes)),
+            CompressionScheme::Perfect { .. } => CodecBox::new(PerfectCodec),
+            CompressionScheme::Multicast { entries, low_bytes } => match stream {
+                CompressionStream::Requests => CodecBox::new(Dbrc::new(entries, low_bytes)),
+                CompressionStream::Commands => {
+                    CodecBox::new(MulticastCodec::new(entries, low_bytes))
+                }
+            },
         }
     }
 }
 
-/// Behaviour every sender-side codec implements: observe the line address
-/// about to be sent, mutate internal state, and report whether it
-/// compressed. Receiver state mirrors the sender deterministically (the
-/// simulator carries the real address in message metadata), so one state
-/// machine per (src, dst, stream) suffices.
-pub trait AddressCodec {
-    /// Process an outgoing line address; `true` means it compressed.
-    fn compress(&mut self, line_addr: Addr) -> bool;
+/// Behaviour every sender-side codec strategy implements.
+///
+/// The seam covers the full codec lifecycle: `encode` on the sender,
+/// `decode` on the receiver mirror, `resync` for the recovery handshake,
+/// `snapshot_box` for whole-machine checkpoints, and `hw_entries` for the
+/// Table 1 cost model. Receiver state mirrors the sender deterministically
+/// (the simulator carries the real address in message metadata), so one
+/// state machine per (src, dst, stream) suffices on the hot path.
+pub trait AddressCodec: fmt::Debug + Send {
+    /// Sender side: observe an outgoing line address, update state, and
+    /// report whether it compressed.
+    fn encode(&mut self, line_addr: Addr) -> bool;
 
-    /// Drop all learned state (e.g. between application phases).
-    fn reset(&mut self);
-}
-
-/// Enum-dispatched codec state: one per (destination, stream) pair.
-#[derive(Clone, Debug)]
-pub enum CodecState {
-    /// No compression hardware: never hits.
-    None,
-    /// DBRC compression cache.
-    Dbrc(Dbrc),
-    /// Stride base register.
-    Stride(Stride),
-    /// Oracle: always hits.
-    Perfect,
-}
-
-impl AddressCodec for CodecState {
-    fn compress(&mut self, line_addr: Addr) -> bool {
-        match self {
-            CodecState::None => false,
-            CodecState::Dbrc(d) => d.compress(line_addr),
-            CodecState::Stride(s) => s.compress(line_addr),
-            CodecState::Perfect => true,
-        }
+    /// Receiver side: apply the mirror update for an arriving address and
+    /// report whether it was reconstructible from local state. Every
+    /// codec here uses the same deterministic update rule on both ends,
+    /// so the default delegates to [`AddressCodec::encode`]; tests use it
+    /// to prove sender/receiver lockstep.
+    fn decode(&mut self, line_addr: Addr) -> bool {
+        self.encode(line_addr)
     }
 
-    fn reset(&mut self) {
-        match self {
-            CodecState::None | CodecState::Perfect => {}
-            CodecState::Dbrc(d) => d.reset(),
-            CodecState::Stride(s) => s.reset(),
-        }
+    /// Drop all learned state — the effect of the resynchronisation
+    /// handshake, also used between application phases.
+    fn resync(&mut self);
+
+    /// Base-storage entries one instance of this codec's hardware holds
+    /// (each entry stores an 8-byte base; feeds [`crate::hw_cost`]).
+    fn hw_entries(&self) -> usize;
+
+    /// Deep copy, for whole-machine snapshots.
+    fn snapshot_box(&self) -> Box<dyn AddressCodec + Send>;
+}
+
+/// An owned, dynamically-dispatched codec.
+///
+/// `Clone` routes through [`AddressCodec::snapshot_box`], which is what
+/// lets [`crate::engine::CompressionEngine`] keep clone-based snapshot
+/// semantics while holding trait objects.
+pub struct CodecBox(Box<dyn AddressCodec + Send>);
+
+impl CodecBox {
+    /// Box a concrete codec.
+    pub fn new<C: AddressCodec + 'static>(codec: C) -> Self {
+        CodecBox(Box::new(codec))
+    }
+}
+
+impl Clone for CodecBox {
+    fn clone(&self) -> Self {
+        CodecBox(self.0.snapshot_box())
+    }
+}
+
+impl fmt::Debug for CodecBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Deref for CodecBox {
+    type Target = dyn AddressCodec + Send;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl DerefMut for CodecBox {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut *self.0
+    }
+}
+
+/// No compression hardware: never hits, holds no state.
+#[derive(Clone, Copy, Debug)]
+pub struct NoneCodec;
+
+impl AddressCodec for NoneCodec {
+    fn encode(&mut self, _line_addr: Addr) -> bool {
+        false
+    }
+
+    fn resync(&mut self) {}
+
+    fn hw_entries(&self) -> usize {
+        0
+    }
+
+    fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
+        Box::new(*self)
+    }
+}
+
+/// Oracle that always hits — the paper's "perfect address compression"
+/// upper-bound lines. Costs no hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfectCodec;
+
+impl AddressCodec for PerfectCodec {
+    fn encode(&mut self, _line_addr: Addr) -> bool {
+        true
+    }
+
+    fn resync(&mut self) {}
+
+    fn hw_entries(&self) -> usize {
+        0
+    }
+
+    fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
+        Box::new(*self)
     }
 }
 
@@ -176,6 +284,14 @@ mod tests {
             CompressionScheme::Perfect { low_bytes: 0 }.compressed_bytes(),
             3
         );
+        assert_eq!(
+            CompressionScheme::Multicast {
+                entries: 4,
+                low_bytes: 2
+            }
+            .compressed_bytes(),
+            5
+        );
     }
 
     #[test]
@@ -192,11 +308,12 @@ mod tests {
 
     #[test]
     fn oracles_behave() {
-        let mut none = CompressionScheme::None.build();
-        let mut perfect = CompressionScheme::Perfect { low_bytes: 1 }.build();
+        let mut none = CompressionScheme::None.build_codec(CompressionStream::Requests);
+        let mut perfect =
+            CompressionScheme::Perfect { low_bytes: 1 }.build_codec(CompressionStream::Requests);
         for a in [0u64, 1, 0xFFFF_FFFF, 42] {
-            assert!(!none.compress(a));
-            assert!(perfect.compress(a));
+            assert!(!none.encode(a));
+            assert!(perfect.encode(a));
         }
     }
 
@@ -213,6 +330,108 @@ mod tests {
         assert_eq!(
             CompressionScheme::Stride { low_bytes: 1 }.label(),
             "1-byte Stride"
+        );
+        assert_eq!(
+            CompressionScheme::Multicast {
+                entries: 16,
+                low_bytes: 2
+            }
+            .label(),
+            "16-entry multicast (2B LO)"
+        );
+    }
+
+    #[test]
+    fn only_the_multicast_commands_stream_is_shared() {
+        let mc = CompressionScheme::Multicast {
+            entries: 4,
+            low_bytes: 2,
+        };
+        assert!(mc.shared_across_destinations(CompressionStream::Commands));
+        assert!(!mc.shared_across_destinations(CompressionStream::Requests));
+        for s in [
+            CompressionScheme::None,
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 2,
+            },
+            CompressionScheme::Stride { low_bytes: 2 },
+            CompressionScheme::Perfect { low_bytes: 2 },
+        ] {
+            for stream in CompressionStream::ALL {
+                assert!(!s.shared_across_destinations(stream));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_mirrors_encode_in_lockstep() {
+        // The sender/receiver lockstep the protocol relies on: feeding the
+        // same address sequence to an encode-side and a decode-side
+        // instance produces identical hit/miss verdicts at every step.
+        for scheme in [
+            CompressionScheme::Dbrc {
+                entries: 4,
+                low_bytes: 1,
+            },
+            CompressionScheme::Stride { low_bytes: 2 },
+            CompressionScheme::Multicast {
+                entries: 4,
+                low_bytes: 1,
+            },
+        ] {
+            for stream in CompressionStream::ALL {
+                let mut sender = scheme.build_codec(stream);
+                let mut receiver = scheme.build_codec(stream);
+                for i in 0u64..500 {
+                    let addr = (i % 7) * 1009 + i / 3;
+                    assert_eq!(
+                        sender.encode(addr),
+                        receiver.decode(addr),
+                        "{scheme:?}/{stream:?} diverged at step {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_box_is_a_deep_copy() {
+        let mut orig = CompressionScheme::Dbrc {
+            entries: 4,
+            low_bytes: 1,
+        }
+        .build_codec(CompressionStream::Requests);
+        orig.encode(0x40);
+        let mut copy = CodecBox(orig.snapshot_box());
+        assert!(copy.encode(0x41), "copy must carry the learned base");
+        copy.resync();
+        assert!(
+            orig.encode(0x42),
+            "resyncing the copy must not touch the original"
+        );
+    }
+
+    #[test]
+    fn hw_entries_follow_the_scheme() {
+        let dbrc = CompressionScheme::Dbrc {
+            entries: 16,
+            low_bytes: 2,
+        };
+        assert_eq!(
+            dbrc.build_codec(CompressionStream::Requests).hw_entries(),
+            16
+        );
+        let stride = CompressionScheme::Stride { low_bytes: 2 };
+        assert_eq!(
+            stride.build_codec(CompressionStream::Requests).hw_entries(),
+            1
+        );
+        assert_eq!(
+            CompressionScheme::None
+                .build_codec(CompressionStream::Commands)
+                .hw_entries(),
+            0
         );
     }
 }

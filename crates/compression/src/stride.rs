@@ -56,14 +56,22 @@ impl Stride {
 }
 
 impl AddressCodec for Stride {
-    fn compress(&mut self, line_addr: Addr) -> bool {
+    fn encode(&mut self, line_addr: Addr) -> bool {
         let hit = self.peek(line_addr);
         self.base = Some(line_addr);
         hit
     }
 
-    fn reset(&mut self) {
+    fn resync(&mut self) {
         self.base = None;
+    }
+
+    fn hw_entries(&self) -> usize {
+        1
+    }
+
+    fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
+        Box::new(self.clone())
     }
 }
 
@@ -74,23 +82,23 @@ mod tests {
     #[test]
     fn first_access_misses() {
         let mut s = Stride::new(2);
-        assert!(!s.compress(0x1000));
-        assert!(s.compress(0x1001));
+        assert!(!s.encode(0x1000));
+        assert!(s.encode(0x1001));
     }
 
     #[test]
     fn constant_stride_compresses_forever() {
         let mut s = Stride::new(1);
-        s.compress(0);
+        s.encode(0);
         for i in 1..10_000u64 {
-            assert!(s.compress(i * 16), "step {i} should compress");
+            assert!(s.encode(i * 16), "step {i} should compress");
         }
     }
 
     #[test]
     fn delta_range_is_signed() {
         let mut s = Stride::new(1); // deltas in [-128, 128)
-        s.compress(1000);
+        s.encode(1000);
         assert!(s.peek(1000 + 127));
         assert!(!s.peek(1000 + 128));
         assert!(s.peek(1000 - 128));
@@ -100,7 +108,7 @@ mod tests {
     #[test]
     fn two_byte_range() {
         let mut s = Stride::new(2); // [-32768, 32768)
-        s.compress(1 << 20);
+        s.encode(1 << 20);
         assert!(s.peek((1 << 20) + 32767));
         assert!(!s.peek((1 << 20) + 32768));
         assert!(s.peek((1 << 20) - 32768));
@@ -109,9 +117,9 @@ mod tests {
     #[test]
     fn base_updates_even_on_miss() {
         let mut s = Stride::new(1);
-        s.compress(0);
-        assert!(!s.compress(1 << 30)); // wild jump: miss
-        assert!(s.compress((1 << 30) + 1)); // but the base followed it
+        s.encode(0);
+        assert!(!s.encode(1 << 30)); // wild jump: miss
+        assert!(s.encode((1 << 30) + 1)); // but the base followed it
     }
 
     #[test]
@@ -122,7 +130,7 @@ mod tests {
         let mut hits = 0;
         for i in 0..1000u64 {
             let addr = if i % 2 == 0 { i * 8 } else { (1 << 40) + i * 8 };
-            if s.compress(addr) {
+            if s.encode(addr) {
                 hits += 1;
             }
         }
@@ -132,17 +140,17 @@ mod tests {
     #[test]
     fn wraparound_deltas_handled() {
         let mut s = Stride::new(1);
-        s.compress(u64::MAX);
+        s.encode(u64::MAX);
         // +1 wraps to 0: delta is +1, should compress
         assert!(s.peek(0));
     }
 
     #[test]
-    fn reset_forgets_base() {
+    fn resync_forgets_base() {
         let mut s = Stride::new(1);
-        s.compress(100);
+        s.encode(100);
         assert!(s.peek(101));
-        s.reset();
+        s.resync();
         assert!(!s.peek(101));
     }
 }

@@ -41,7 +41,7 @@ pub use clocked::Clocked;
 pub use epoch::lookahead_window;
 pub use error::{OldestInFlight, SimError, StateDump, TileDump, TileStall};
 pub use ports::TilePorts;
-pub use snapshot::MachineSnapshot;
+pub use snapshot::{MachineSnapshot, RestoreError};
 pub use stats::{ClassCount, SimResult};
 pub use tile::{L2Bank, NetIface, Tile};
 pub use watchdog::WatchdogConfig;
@@ -304,11 +304,12 @@ impl Engine {
             .collect();
         let l2s = (0..tiles)
             .map(|t| L2Bank {
-                slice: coherence::l2::L2Slice::new(
+                slice: coherence::l2::L2Slice::with_directory(
                     TileId::from(t),
                     cfg.cmp.l2_slice.sets(),
                     cfg.cmp.l2_slice.ways,
                     tiles,
+                    cfg.cmp.directory,
                 ),
                 busy: false,
             })

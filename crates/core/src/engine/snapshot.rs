@@ -15,6 +15,7 @@
 //! the public API exposes), where the scratch buffers are empty by
 //! construction — nothing transient needs to be captured.
 
+use cmp_common::config::DirectoryConfig;
 use cmp_common::fault::FaultInjector;
 use cmp_common::hash::Fnv64;
 use cmp_common::snapshot::Snapshot;
@@ -53,6 +54,57 @@ pub struct MachineSnapshot {
     pub(crate) iters: u64,
 }
 
+/// Why a [`MachineSnapshot`] refuses to restore into a simulator: the
+/// snapshot's machine shape must match, including the directory
+/// organisation the L2 slices were captured with — transplanting
+/// sparse-directory state into a full-map machine (or vice versa) would
+/// silently swap the simulator's capacity-metering semantics mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot captured a machine with a different tile count.
+    TileCountMismatch {
+        /// Tiles in the simulator being restored into.
+        simulator: usize,
+        /// Tiles in the captured machine.
+        snapshot: usize,
+    },
+    /// The snapshot captured L2 slices running a different directory
+    /// representation.
+    DirectoryMismatch {
+        /// Organisation the simulator was configured with.
+        simulator: DirectoryConfig,
+        /// Organisation the snapshot was captured under.
+        snapshot: DirectoryConfig,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::TileCountMismatch {
+                simulator,
+                snapshot,
+            } => write!(
+                f,
+                "snapshot captured a {snapshot}-tile machine but this simulator has \
+                 {simulator} tiles"
+            ),
+            RestoreError::DirectoryMismatch {
+                simulator,
+                snapshot,
+            } => write!(
+                f,
+                "snapshot captured {} directory state but this simulator runs a {} \
+                 directory; rebuild the simulator with a matching `CmpConfig::directory`",
+                snapshot.label(),
+                simulator.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 impl MachineSnapshot {
     /// The cycle at which the checkpoint was taken.
     pub fn cycle(&self) -> Cycle {
@@ -62,6 +114,14 @@ impl MachineSnapshot {
     /// Number of tiles in the captured machine.
     pub fn tiles(&self) -> usize {
         self.tiles.len()
+    }
+
+    /// Directory organisation the captured L2 slices were running.
+    pub fn directory_config(&self) -> DirectoryConfig {
+        self.l2s
+            .first()
+            .map(|b| b.slice.directory_config())
+            .unwrap_or(DirectoryConfig::FullMap)
     }
 
     /// Content digest of the captured machine (FNV-1a 64 in a fixed
@@ -140,6 +200,30 @@ impl MachineSnapshot {
     #[doc(hidden)]
     pub fn fault_corrupt(&mut self) {
         self.mem.read(self.now, TileId(0), 0xDEAD_C0DE << 6);
+    }
+}
+
+impl Engine {
+    /// Restore after checking the snapshot actually fits this machine:
+    /// same tile count and same directory organisation. The structured
+    /// [`RestoreError`] replaces what would otherwise be a silent
+    /// representation transplant.
+    pub fn try_restore(&mut self, state: &MachineSnapshot) -> Result<(), RestoreError> {
+        if state.tiles.len() != self.tiles.len() {
+            return Err(RestoreError::TileCountMismatch {
+                simulator: self.tiles.len(),
+                snapshot: state.tiles.len(),
+            });
+        }
+        let snap_dir = state.directory_config();
+        if snap_dir != self.cfg.cmp.directory {
+            return Err(RestoreError::DirectoryMismatch {
+                simulator: self.cfg.cmp.directory,
+                snapshot: snap_dir,
+            });
+        }
+        self.restore(state);
+        Ok(())
     }
 }
 

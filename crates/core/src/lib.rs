@@ -40,7 +40,7 @@ pub mod sim;
 pub mod supervisor;
 
 pub use checkpoint::{CacheLoad, CacheStats, CheckpointCache, WarmKey};
-pub use engine::MachineSnapshot;
+pub use engine::{MachineSnapshot, RestoreError};
 pub use experiment::{
     figure6_configs, normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec,
     MatrixError, MissingBaseline, NormalizedRow, PartialNormalization, RunFailure, RunSpec,

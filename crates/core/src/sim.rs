@@ -27,8 +27,8 @@ use crate::engine::{Engine, MachineSnapshot};
 use crate::niface::ResyncStats;
 
 pub use crate::engine::{
-    ClassCount, OldestInFlight, SimConfig, SimError, SimResult, StateDump, TileDump, TileStall,
-    WatchdogConfig,
+    ClassCount, OldestInFlight, RestoreError, SimConfig, SimError, SimResult, StateDump, TileDump,
+    TileStall, WatchdogConfig,
 };
 
 /// The full-system simulator: a thin façade over [`crate::engine`].
@@ -96,9 +96,19 @@ impl CmpSimulator {
     /// Rewind the machine to a previously captured [`MachineSnapshot`].
     ///
     /// The snapshot must come from a simulator with the same
-    /// configuration (panics on a tile-count mismatch).
+    /// configuration (panics on a shape mismatch; see
+    /// [`CmpSimulator::try_restore`] for the non-panicking form).
     pub fn restore(&mut self, snap: &MachineSnapshot) {
-        self.engine.restore(snap);
+        self.engine
+            .try_restore(snap)
+            .expect("snapshot matches this machine");
+    }
+
+    /// Rewind to a snapshot, refusing with a structured error when its
+    /// machine shape — tile count or directory organisation — does not
+    /// match this simulator. On `Err` the simulator is untouched.
+    pub fn try_restore(&mut self, snap: &MachineSnapshot) -> Result<(), RestoreError> {
+        self.engine.try_restore(snap)
     }
 
     /// Arm (or re-arm) the periodic protocol sanitizer mid-run, with the

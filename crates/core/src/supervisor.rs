@@ -730,6 +730,13 @@ fn scheme_to_json(s: CompressionScheme) -> Json {
             "perfect",
             vec![("low_bytes".to_string(), Json::u64(low_bytes as u64))],
         ),
+        CompressionScheme::Multicast { entries, low_bytes } => obj(
+            "multicast",
+            vec![
+                ("entries".to_string(), Json::u64(entries as u64)),
+                ("low_bytes".to_string(), Json::u64(low_bytes as u64)),
+            ],
+        ),
     }
 }
 
@@ -745,6 +752,10 @@ fn scheme_from_json(j: &Json) -> Result<CompressionScheme, String> {
             low_bytes: need_u64(j, "low_bytes")? as usize,
         }),
         "perfect" => Ok(CompressionScheme::Perfect {
+            low_bytes: need_u64(j, "low_bytes")? as usize,
+        }),
+        "multicast" => Ok(CompressionScheme::Multicast {
+            entries: need_u64(j, "entries")? as usize,
             low_bytes: need_u64(j, "low_bytes")? as usize,
         }),
         other => Err(format!("unknown compression scheme `{other}`")),
@@ -1059,6 +1070,31 @@ mod tests {
             r.energy.link_dynamic.value().to_bits()
         );
         assert_eq!(decoded.link_ed2p().to_bits(), r.link_ed2p().to_bits());
+    }
+
+    #[test]
+    fn scheme_codec_round_trips_every_variant() {
+        for scheme in [
+            CompressionScheme::None,
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 1,
+            },
+            CompressionScheme::Stride { low_bytes: 2 },
+            CompressionScheme::Perfect { low_bytes: 2 },
+            CompressionScheme::Multicast {
+                entries: 4,
+                low_bytes: 2,
+            },
+        ] {
+            let encoded = scheme_to_json(scheme).render();
+            let parsed = Json::parse(&encoded).expect("scheme JSON parses");
+            assert_eq!(
+                scheme_from_json(&parsed).expect("scheme decodes"),
+                scheme,
+                "round trip lost {scheme:?}"
+            );
+        }
     }
 
     #[test]

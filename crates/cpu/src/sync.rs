@@ -1,22 +1,29 @@
 //! Barrier bookkeeping shared by the full-system simulator.
 
 /// Arrival tracking for one global barrier epoch.
+///
+/// The arrival set is a multi-word bitmask, so a barrier spans any
+/// mesh the machine description can build — the 16×16 and 32×32
+/// meshes the sparse directory unlocks included, not just the 64
+/// cores a single `u64` can name.
 #[derive(Clone, Debug)]
 pub struct BarrierState {
     participants: usize,
-    arrived: u64,
+    arrived: Vec<u64>,
+    waiting: u32,
     epoch: u32,
 }
 
 cmp_common::impl_snapshot_clone!(BarrierState);
 
 impl BarrierState {
-    /// A barrier over `participants` cores (≤ 64).
+    /// A barrier over `participants` cores.
     pub fn new(participants: usize) -> Self {
-        assert!((1..=64).contains(&participants));
+        assert!(participants >= 1, "a barrier needs at least one core");
         BarrierState {
             participants,
-            arrived: 0,
+            arrived: vec![0; participants.div_ceil(64)],
+            waiting: 0,
             epoch: 0,
         }
     }
@@ -26,11 +33,13 @@ impl BarrierState {
     /// state resets for the next epoch.
     pub fn arrive(&mut self, core: usize, id: u32) -> bool {
         debug_assert_eq!(id, self.epoch, "core {core} at wrong barrier epoch");
-        let bit = 1u64 << core;
-        debug_assert_eq!(self.arrived & bit, 0, "double arrival of core {core}");
-        self.arrived |= bit;
-        if self.arrived.count_ones() as usize == self.participants {
-            self.arrived = 0;
+        let (word, bit) = (core / 64, 1u64 << (core % 64));
+        debug_assert_eq!(self.arrived[word] & bit, 0, "double arrival of core {core}");
+        self.arrived[word] |= bit;
+        self.waiting += 1;
+        if self.waiting as usize == self.participants {
+            self.arrived.fill(0);
+            self.waiting = 0;
             self.epoch += 1;
             true
         } else {
@@ -40,7 +49,7 @@ impl BarrierState {
 
     /// Cores currently parked at the barrier.
     pub fn waiting(&self) -> u32 {
-        self.arrived.count_ones()
+        self.waiting
     }
 
     /// The barrier id cores should arrive at next.
@@ -67,6 +76,19 @@ mod tests {
         assert!(!b.arrive(0, 1));
         assert!(b.arrive(2, 1));
         assert_eq!(b.epoch(), 2);
+    }
+
+    #[test]
+    fn spans_more_cores_than_one_mask_word() {
+        // a 16×16 mesh: 256 cores across four mask words
+        let mut b = BarrierState::new(256);
+        for core in 0..255 {
+            assert!(!b.arrive(core, 0), "core {core} must not release early");
+        }
+        assert_eq!(b.waiting(), 255);
+        assert!(b.arrive(255, 0));
+        assert_eq!(b.waiting(), 0);
+        assert_eq!(b.epoch(), 1);
     }
 
     #[test]

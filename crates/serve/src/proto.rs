@@ -11,6 +11,7 @@
 //! [`RejectReason::Malformed`] rather than a dropped connection, so a
 //! confused client always learns *why*.
 
+use cmp_common::config::DirectoryConfig;
 use cmp_common::journal::Json;
 
 /// Which figure's CSV set a campaign renders when it completes.
@@ -59,6 +60,10 @@ pub struct CampaignRequest {
     pub retries: u32,
     /// Per-cell wall-clock deadline in seconds.
     pub deadline_s: Option<u64>,
+    /// L2 directory organisation for every cell in the campaign
+    /// (`full-map` caps the mesh at 64 tiles; `sparse[:N]` unlocks
+    /// 16×16 and beyond).
+    pub directory: DirectoryConfig,
 }
 
 impl CampaignRequest {
@@ -71,6 +76,7 @@ impl CampaignRequest {
             ("perfect", Json::Bool(self.perfect)),
             ("retries", Json::u64(u64::from(self.retries))),
             ("deadline_s", self.deadline_s.map_or(Json::Null, Json::u64)),
+            ("directory", Json::str(&self.directory.flag_label())),
         ])
     }
 
@@ -103,6 +109,14 @@ impl CampaignRequest {
             deadline_s: match j.get("deadline_s") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_u64().ok_or("deadline_s must be a u64")?),
+            },
+            // Absent/null in campaign.json files persisted before the
+            // directory became a campaign knob: those ran full-map.
+            directory: match j.get("directory") {
+                None | Some(Json::Null) => DirectoryConfig::FullMap,
+                Some(v) => {
+                    DirectoryConfig::parse_flag(v.as_str().ok_or("directory must be a string")?)?
+                }
             },
         })
     }
@@ -594,11 +608,35 @@ mod tests {
             perfect: true,
             retries: 2,
             deadline_s: Some(300),
+            directory: DirectoryConfig::Sparse { dir_mshrs: 32 },
         }));
         round_trip_request(Request::Attach {
             campaign: "c0003".into(),
         });
         round_trip_request(Request::Status);
+    }
+
+    #[test]
+    fn old_requests_without_a_directory_field_default_to_full_map() {
+        // campaign.json files persisted before the directory knob
+        // existed must still resume (they all ran full-map).
+        let j = Json::parse(
+            r#"{"type":"submit","figure":"fig6","apps":[],"seed":1,
+                "scale":0.01,"perfect":false,"retries":0,"deadline_s":null}"#,
+        )
+        .unwrap();
+        match Request::from_json(&j).unwrap() {
+            Request::Submit(req) => assert_eq!(req.directory, DirectoryConfig::FullMap),
+            other => panic!("parsed as {other:?}"),
+        }
+        let j = Json::parse(
+            r#"{"type":"submit","figure":"fig6","apps":[],"seed":1,
+                "scale":0.01,"perfect":false,"retries":0,"deadline_s":null,
+                "directory":"sparse:0"}"#,
+        )
+        .unwrap();
+        let err = Request::from_json(&j).unwrap_err();
+        assert!(err.contains("dir_mshrs"), "{err}");
     }
 
     #[test]

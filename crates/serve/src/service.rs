@@ -109,6 +109,9 @@ struct QueueState {
 pub struct Campaign {
     pub id: String,
     pub request: CampaignRequest,
+    /// The machine every cell of this campaign simulates: the service
+    /// defaults with the request's directory organisation applied.
+    cmp: CmpConfig,
     specs: Vec<RunSpec>,
     policy: RunPolicy,
     dir: PathBuf,
@@ -351,7 +354,12 @@ impl Service {
             .map_err(|e| format!("reading {CAMPAIGN_FILE}: {e}"))?;
         let request = CampaignRequest::from_json(&Json::parse(&text)?)?;
         let specs = build_specs(&request).map_err(|app| format!("unknown app {app:?}"))?;
-        let meta = campaign_meta(&self.cmp, &specs);
+        let cmp = campaign_cmp(&self.cmp, &request)?;
+        // The per-campaign config is fingerprinted into the journal
+        // meta, so a journal written under a different directory
+        // organisation is a detected mismatch, not a silent re-run on
+        // the wrong machine.
+        let meta = campaign_meta(&cmp, &specs);
         let journal = match Journal::resume(dir, &meta) {
             Ok(j) => j,
             // Killed between campaign.json and the journal's first
@@ -375,6 +383,7 @@ impl Service {
         let remaining = slots.iter().filter(|s| s.is_none()).count();
         Ok(Arc::new(Campaign {
             id: id.to_string(),
+            cmp,
             policy: policy_for(&request),
             specs,
             dir: dir.to_path_buf(),
@@ -462,11 +471,13 @@ impl Service {
         // a fresh campaign; a kill before the request leaves an empty
         // directory that is quarantined, never half-run.
         write_atomic(dir.join(CAMPAIGN_FILE), request.to_json().render() + "\n")?;
-        let meta = campaign_meta(&self.cmp, &specs);
+        let cmp = campaign_cmp(&self.cmp, &request).map_err(io::Error::other)?;
+        let meta = campaign_meta(&cmp, &specs);
         let journal = Journal::create(&dir, &meta).map_err(|e| io::Error::other(e.to_string()))?;
         let cells = specs.len();
         Ok(Arc::new(Campaign {
             id,
+            cmp,
             policy: policy_for(&request),
             specs,
             dir,
@@ -580,7 +591,7 @@ impl Service {
             cell: key.clone(),
         });
         let cache = (self.cfg.warm_cycles > 0).then_some((&self.cache, self.cfg.warm_cycles));
-        let cell = run_journaled_cell(&self.cmp, spec, &c.policy, Some(&c.journal), cache);
+        let cell = run_journaled_cell(&c.cmp, spec, &c.policy, Some(&c.journal), cache);
         match cell.outcome {
             Ok(result) => {
                 let cycles = result.cycles;
@@ -707,6 +718,18 @@ fn build_specs(request: &CampaignRequest) -> Result<Vec<RunSpec>, String> {
         }
     }
     Ok(specs)
+}
+
+/// The machine config a campaign's cells run on: the service defaults
+/// with the request's directory organisation applied, re-validated
+/// against the mesh it will actually drive.
+fn campaign_cmp(base: &CmpConfig, request: &CampaignRequest) -> Result<CmpConfig, String> {
+    let cmp = CmpConfig {
+        directory: request.directory,
+        ..base.clone()
+    };
+    cmp.validate()?;
+    Ok(cmp)
 }
 
 fn policy_for(request: &CampaignRequest) -> RunPolicy {

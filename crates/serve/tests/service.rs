@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use cmp_common::config::DirectoryConfig;
 use cmp_common::journal::JOURNAL_FILE;
 use tcmp_serve::client::Client;
 use tcmp_serve::daemon;
@@ -46,6 +47,7 @@ fn tiny_request() -> CampaignRequest {
         perfect: false,
         retries: 0,
         deadline_s: None,
+        directory: DirectoryConfig::FullMap,
     }
 }
 
@@ -126,6 +128,41 @@ fn killed_and_resumed_campaign_renders_bit_identical_csvs() {
             "{file} differs between uninterrupted and resumed runs"
         );
     }
+}
+
+/// The directory organisation is a campaign-scoped knob, not a global
+/// one: a sparse-directory campaign runs to completion on the shared
+/// worker pool, its request round-trips through `campaign.json`, and
+/// its journal fingerprint differs from a full-map campaign over the
+/// same spec list (so resuming one under the other's journal is a
+/// detected mismatch).
+#[test]
+fn sparse_directory_campaigns_run_and_fingerprint_differently() {
+    let root = scratch_dir("serve-sparse");
+    let handle = ServiceHandle::start(serve_cfg(root.clone())).expect("start");
+    let full = submit_ok(&handle, tiny_request());
+    let sparse = submit_ok(
+        &handle,
+        CampaignRequest {
+            directory: DirectoryConfig::sparse(),
+            ..tiny_request()
+        },
+    );
+    assert!(handle.wait_campaign(&full, WAIT), "full-map finishes");
+    assert!(handle.wait_campaign(&sparse, WAIT), "sparse finishes");
+    let stamp_full = handle.service().attach(&full).unwrap().stamp();
+    let stamp_sparse = handle.service().attach(&sparse).unwrap().stamp();
+    assert_ne!(
+        stamp_full, stamp_sparse,
+        "the directory organisation must be part of the journal fingerprint"
+    );
+    let text = std::fs::read_to_string(root.join("campaigns").join(&sparse).join("campaign.json"))
+        .expect("persisted request");
+    assert!(
+        text.contains("sparse:64"),
+        "campaign.json records the directory flag: {text}"
+    );
+    handle.drain();
 }
 
 /// Admission control and input validation are structured refusals:

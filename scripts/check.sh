@@ -29,6 +29,19 @@ echo "== determinism goldens under the epoch scheduler (2 and 4 threads)"
 TCMP_SIM_THREADS=2 cargo test -q --release --test determinism_golden
 TCMP_SIM_THREADS=4 cargo test -q --release --test determinism_golden
 
+echo "== goldens under the sparse directory + multicast codec (non-golden paths sanitizer-clean)"
+cargo test -q --release --test determinism_golden \
+    goldens_replay_bit_identically_under_the_sparse_directory
+cargo test -q --release --test determinism_golden \
+    multicast_codec_is_deterministic_and_sanitizer_clean
+cargo test -q --release --test directory_equivalence
+
+echo "== 16x16 sparse-directory smoke (proposal vs baseline, wall deadline)"
+timeout 300 target/release/sensitivity_mesh \
+    --app FFT --side 16 --directory sparse --scale 0.002 --seed 1025041 >/dev/null || {
+    echo "16x16 sparse smoke: failed or blew the 300 s wall deadline"; exit 1; }
+echo "16x16 sparse smoke: completed under the deadline"
+
 echo "== cross-thread determinism + epoch scheduler unit tests"
 cargo test -q --release --test thread_determinism
 RUST_TEST_THREADS=1 cargo test -q --release -p tcmp-core engine::epoch

@@ -103,6 +103,74 @@ fn fixed_seed_runs_match_recorded_snapshots() {
     }
 }
 
+/// The sparse directory replays every golden byte-for-byte: at these
+/// mesh sizes its tagged store shadows the presence map exactly and
+/// the directory-MSHR bound never binds, so swapping the
+/// representation must not move a single recorded number.
+#[test]
+fn goldens_replay_bit_identically_under_the_sparse_directory() {
+    let app = apps::fft();
+    for (config, golden) in configs().iter().zip(GOLDENS) {
+        let mut cfg = SimConfig::new(config.interconnect, config.scheme);
+        cfg.cmp = CmpConfig::default();
+        cfg.cmp.directory = tiled_cmp::common::config::DirectoryConfig::sparse();
+        let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+        let r = sim.run().expect("sparse golden replay completes");
+        assert_eq!(
+            r.cycles, golden.cycles,
+            "{} under sparse: cycles drifted",
+            config.label
+        );
+        assert_eq!(
+            r.network_messages, golden.network_messages,
+            "{} under sparse: message total drifted",
+            config.label
+        );
+        assert_eq!(
+            r.instructions, golden.instructions,
+            "{} under sparse: instruction count drifted",
+            config.label
+        );
+        assert_eq!(
+            r.mem_reads, golden.mem_reads,
+            "{} under sparse: mem reads drifted",
+            config.label
+        );
+    }
+}
+
+/// The multicast codec is not a golden configuration, so its numbers
+/// are not pinned — but its runs must still be deterministic (two
+/// in-process runs bit-identical) and sanitizer-clean end to end.
+#[test]
+fn multicast_codec_is_deterministic_and_sanitizer_clean() {
+    let config = ConfigSpec::compressed(CompressionScheme::Multicast {
+        entries: 4,
+        low_bytes: 2,
+    });
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(a.cycles, b.cycles, "multicast: cycles diverged");
+    assert_eq!(
+        a.network_messages, b.network_messages,
+        "multicast: message totals diverged"
+    );
+    assert_eq!(
+        a.instructions, b.instructions,
+        "multicast: instruction counts diverged"
+    );
+
+    let app = apps::fft();
+    let mut cfg = SimConfig::new(config.interconnect, config.scheme);
+    cfg.cmp = CmpConfig::default();
+    cfg.sanitizer = Some(tiled_cmp::coherence::sanitizer::SanitizerConfig { period: 256 });
+    let mut sim = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    let sanitized = sim
+        .run()
+        .expect("sanitized multicast run is violation-free");
+    assert_eq!(sanitized.cycles, a.cycles, "sanitizer changed the timing");
+}
+
 /// The same run twice in one process is bit-identical (guards against
 /// hidden global state, e.g. hash-map iteration order leaking into the
 /// schedule).

@@ -1,0 +1,105 @@
+//! The sparse directory is a *representation* change, not a behaviour
+//! change: on meshes the full presence map can also describe, every
+//! simulated outcome must be field-identical between the two
+//! organisations. These tests sweep mesh sizes, seeds and both the
+//! baseline and proposal configurations to pin that equivalence.
+
+use tiled_cmp::common::config::{CmpConfig, DirectoryConfig};
+use tiled_cmp::common::geometry::MeshShape;
+use tiled_cmp::compression::CompressionScheme;
+use tiled_cmp::prelude::{CmpSimulator, InterconnectChoice, SimConfig, SimResult, VlWidth};
+use tiled_cmp::workloads::apps;
+
+const SCALE: f64 = 0.005;
+
+fn run(
+    side: u16,
+    directory: DirectoryConfig,
+    interconnect: InterconnectChoice,
+    scheme: CompressionScheme,
+    seed: u64,
+) -> SimResult {
+    let app = apps::fft();
+    let mut cfg = SimConfig::new(interconnect, scheme);
+    cfg.cmp = CmpConfig {
+        mesh: MeshShape::square(side),
+        directory,
+        ..CmpConfig::default()
+    };
+    let mut sim = CmpSimulator::new(cfg, &app, seed, SCALE);
+    sim.run()
+        .unwrap_or_else(|e| panic!("{side}x{side} {} seed {seed}: {e}", directory.label()))
+}
+
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverged");
+    assert_eq!(
+        a.network_messages, b.network_messages,
+        "{what}: message totals diverged"
+    );
+    assert_eq!(
+        a.instructions, b.instructions,
+        "{what}: instruction counts diverged"
+    );
+    assert_eq!(a.mem_reads, b.mem_reads, "{what}: memory reads diverged");
+    assert_eq!(
+        a.energy.link_dynamic.value(),
+        b.energy.link_dynamic.value(),
+        "{what}: link energy diverged"
+    );
+    assert_eq!(
+        a.energy.core_dynamic.value(),
+        b.energy.core_dynamic.value(),
+        "{what}: core energy diverged"
+    );
+}
+
+/// Field-identical `SimResult`s between full-map and sparse on the 2×2
+/// and 4×4 meshes, across seeds, on baseline and proposal configs.
+#[test]
+fn sparse_and_full_map_runs_are_field_identical() {
+    let configs: [(InterconnectChoice, CompressionScheme); 2] = [
+        (InterconnectChoice::Baseline, CompressionScheme::None),
+        (
+            InterconnectChoice::Heterogeneous(VlWidth::FourBytes),
+            CompressionScheme::Dbrc {
+                entries: 16,
+                low_bytes: 1,
+            },
+        ),
+    ];
+    for side in [2u16, 4] {
+        for seed in [0xD5A1_F00Du64, 1, 7777] {
+            for &(interconnect, scheme) in &configs {
+                let full = run(side, DirectoryConfig::FullMap, interconnect, scheme, seed);
+                let sparse = run(side, DirectoryConfig::sparse(), interconnect, scheme, seed);
+                assert_identical(
+                    &full,
+                    &sparse,
+                    &format!("{side}x{side} seed {seed:#x} {scheme:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Exhausting the directory-MSHR table is a *loud, structured* failure
+/// that names the configuration knob to raise — never a hang, a panic
+/// or silent misbehaviour.
+#[test]
+fn starved_directory_mshrs_fail_loudly_naming_the_knob() {
+    let app = apps::fft();
+    let mut cfg = SimConfig::new(InterconnectChoice::Baseline, CompressionScheme::None);
+    cfg.cmp = CmpConfig {
+        mesh: MeshShape::square(4),
+        directory: DirectoryConfig::Sparse { dir_mshrs: 1 },
+        ..CmpConfig::default()
+    };
+    let mut sim = CmpSimulator::new(cfg, &app, 0xD5A1_F00D, SCALE);
+    let err = sim.run().expect_err("one directory MSHR cannot carry FFT");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("dir_mshrs") && msg.contains("DirectoryConfig::Sparse"),
+        "error must name the knob to raise: {msg}"
+    );
+}

@@ -13,7 +13,7 @@ use tiled_cmp::noc::Noc;
 use tiled_cmp::prelude::CmpConfig;
 
 /// DBRC: `peek` always agrees with the hit/miss outcome of the next
-/// `compress` on the same address.
+/// `encode` on the same address.
 #[test]
 fn dbrc_peek_predicts_compress() {
     run_cases("dbrc_peek_predicts_compress", DEFAULT_CASES, |rng| {
@@ -24,7 +24,7 @@ fn dbrc_peek_predicts_compress() {
         for _ in 0..n {
             let a = rng.below(1 << 24);
             let predicted = d.peek(a);
-            let actual = d.compress(a);
+            let actual = d.encode(a);
             assert_eq!(predicted, actual);
             // right after processing, the address always hits
             assert!(d.peek(a));
@@ -42,7 +42,7 @@ fn dbrc_respects_capacity() {
         let mut resident: Vec<u64> = Vec::new();
         for _ in 0..n {
             let a = rng.below(1 << 30);
-            d.compress(a);
+            d.encode(a);
             let base = a >> 8;
             resident.retain(|b| *b != base);
             resident.push(base);
@@ -65,11 +65,11 @@ fn stride_window_is_exact() {
         let base = u64_in(rng, 1 << 20, 1 << 40);
         let delta = i64_in(rng, -40_000, 40_000);
         let mut s = Stride::new(low);
-        s.compress(base);
+        s.encode(base);
         let next = base.wrapping_add(delta as u64);
         let bound = 1i64 << (8 * low - 1);
         let expect = delta >= -bound && delta < bound;
-        assert_eq!(s.compress(next), expect);
+        assert_eq!(s.encode(next), expect);
     });
 }
 

@@ -8,10 +8,12 @@
 //! and energy — on both the baseline and the paper's proposal
 //! configuration.
 
+use tiled_cmp::common::config::DirectoryConfig;
 use tiled_cmp::compression::CompressionScheme;
 use tiled_cmp::prelude::{
     CmpSimulator, InterconnectChoice, MachineSnapshot, SimConfig, SimResult, VlWidth,
 };
+use tiled_cmp::sim::RestoreError;
 use tiled_cmp::workloads::apps;
 
 const SEED: u64 = 0xD5A1_F00D;
@@ -111,6 +113,35 @@ fn snapshot_transplants_into_a_fresh_simulator() {
     while fresh.step().expect("transplanted run completes") {}
     let transplanted = fresh.finish();
     assert_identical(&straight, &transplanted, "transplant");
+}
+
+/// A snapshot captured under one directory organisation refuses to
+/// restore into a simulator running the other — a structured
+/// [`RestoreError::DirectoryMismatch`] naming both organisations, not
+/// silently transplanted state with the wrong capacity-metering
+/// semantics. The refused simulator stays fully usable.
+#[test]
+fn snapshot_transplant_across_directories_is_refused() {
+    let app = apps::fft();
+    let mut donor = CmpSimulator::new(proposal_cfg(), &app, SEED, SCALE);
+    let (snap, _) = run_with_checkpoint(&mut donor, 300);
+
+    let mut cfg = proposal_cfg();
+    cfg.cmp.directory = DirectoryConfig::sparse();
+    let mut heir = CmpSimulator::new(cfg, &app, SEED, SCALE);
+    match heir.try_restore(&snap) {
+        Err(RestoreError::DirectoryMismatch {
+            simulator,
+            snapshot,
+        }) => {
+            assert_eq!(simulator, DirectoryConfig::sparse());
+            assert_eq!(snapshot, DirectoryConfig::FullMap);
+        }
+        other => panic!("expected DirectoryMismatch, got {other:?}"),
+    }
+    // The refusal must be side-effect free: the heir still runs.
+    while heir.step().expect("heir runs after the refusal") {}
+    heir.finish();
 }
 
 /// The checkpoint carries the simulated machine, not the execution
