@@ -17,6 +17,17 @@
 //! Every run executes under `catch_unwind`, so the final summary proves
 //! the "zero panics" property of the robustness layer directly.
 //!
+//! `--fs-faults` adds a fifth campaign sweeping the *filesystem* fault
+//! seam ([`cmp_common::fsx`]): for every application, each injectable
+//! I/O fault class — torn write, ENOSPC, short read, bit flip on read,
+//! rename-then-crash — is armed at certainty against a checkpoint
+//! spill + warm-load round trip through a [`tcmp_core::DiskStore`].
+//! The pass criterion mirrors the durability contract: every cell ends
+//! as a verified bit-identical warm start or a structured fallback
+//! (spill error / quarantine / miss → fresh simulation) — `CORRUPT`
+//! (a hit whose state differs from what was stored) and `PANIC` are
+//! the only failing outcomes.
+//!
 //! `--smoke` shrinks the matrix to two applications at tiny scale for CI.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,6 +63,9 @@ struct Args {
     /// Directory organisation for the desync/drop/corrupt campaigns
     /// (the sanitizer campaign always sweeps both organisations).
     directory: DirectoryConfig,
+    /// Also sweep the filesystem fault seam against the checkpoint
+    /// disk store (one table row per app, one column per fault class).
+    fs_faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +78,7 @@ fn parse_args() -> Args {
         jobs: 1,
         retries: 0,
         directory: DirectoryConfig::FullMap,
+        fs_faults: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +97,7 @@ fn parse_args() -> Args {
             }
             "--app" => a.apps.push(args.next().unwrap_or_else(usage)),
             "--smoke" => a.smoke = true,
+            "--fs-faults" => a.fs_faults = true,
             "--verbose" => a.verbose = true,
             "--jobs" => {
                 a.jobs = args
@@ -118,8 +134,8 @@ fn parse_args() -> Args {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--verbose] \
-         [--jobs N] [--retries N] [--directory full-map|sparse[:N]]"
+        "usage: fault_campaign [--scale F] [--seed N] [--app NAME]... [--smoke] [--fs-faults] \
+         [--verbose] [--jobs N] [--retries N] [--directory full-map|sparse[:N]]"
     );
     std::process::exit(2)
 }
@@ -351,6 +367,116 @@ fn run_app_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>,
     )
 }
 
+/// The fs-fault sweep's injectable classes: `(column, TCMP_FS_FAULTS
+/// spec armed at certainty with a one-fault budget, whether the fault
+/// lands on the spill instead of the load)`.
+const FS_CLASSES: [(&str, &str, bool); 5] = [
+    ("torn", "torn=1,max=1", true),
+    ("enospc", "enospc=1,max=1", true),
+    ("rename", "rename=1,max=1", true),
+    ("short", "short=1,max=1", false),
+    ("flip", "flip=1,max=1", false),
+];
+
+/// Simulated cycles of prefix spilled/reloaded by the fs-fault sweep —
+/// enough for real machine state, cheap enough to run per app × class.
+const FS_WARM: u64 = 10_000;
+
+/// One application's sweep over every fs fault class: spill a warm
+/// checkpoint and load it back through an armed
+/// [`cmp_common::fsx::Fs`], classifying each cell. Returns the row
+/// cells plus (anomalies, panics).
+fn run_fs_fault_campaigns(app: &AppProfile, args: &Args, scale: f64) -> (Vec<String>, u64, u64) {
+    use cmp_common::fsx::{Fs, FsFaultConfig};
+    use tcmp_core::checkpoint::{CheckpointCache, DiskConfig, DiskLoad, DiskStore};
+    use tcmp_core::supervisor::warm_key;
+
+    let mut anomalies = 0u64;
+    let mut panics = 0u64;
+    let mut cells = Vec::new();
+    for (column, spec, fault_on_spill) in FS_CLASSES {
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<&'static str, String> {
+            let cfg = proposal_cfg(args.directory);
+            let key = warm_key(&cfg, app, args.seed, scale, FS_WARM);
+            let mut sim = CmpSimulator::new(cfg.clone(), app, args.seed, scale);
+            while sim.cycle() < FS_WARM {
+                match sim.step() {
+                    Ok(true) => {}
+                    Ok(false) => return Err("trace ended before the warm point".into()),
+                    Err(e) => return Err(format!("prefix aborted: {e}")),
+                }
+            }
+            let good = sim.snapshot();
+
+            let root = std::env::temp_dir().join(format!(
+                "tcmp-fsx-{}-{column}-{}",
+                app.name.to_lowercase().replace('-', ""),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let fs = Fs::faulty(
+                FsFaultConfig::parse(&format!("seed={},{spec}", args.seed)).expect("static spec"),
+            );
+            let store = DiskStore::open(fs, &root, DiskConfig::default())
+                .map_err(|e| format!("store open: {e}"))?;
+            let cache = CheckpointCache::with_disk(2, store);
+            cache.store(key.clone(), good.clone());
+
+            // A fresh cache sharing the disk tier = the restarted
+            // daemon; its memory tier is empty so the probe goes to
+            // disk. `load_via` is the production path the supervisor
+            // uses, template and all.
+            let verdict: Result<&'static str, String> = {
+                let disk = cache.disk().expect("disk tier");
+                let mut template = CmpSimulator::new(cfg, app, args.seed, scale).snapshot();
+                match disk.load_into(&key, &mut template) {
+                    DiskLoad::Hit if template.digest() == good.digest() => Ok("warm-ok"),
+                    DiskLoad::Hit => Err("CORRUPT: verified hit differs from stored state".into()),
+                    DiskLoad::Quarantined => Ok("quarantined"),
+                    DiskLoad::Miss => Ok("fresh-sim"),
+                }
+            };
+            let counters = cache.disk().expect("disk tier").counters();
+            let _ = std::fs::remove_dir_all(&root);
+            let label = verdict?;
+            // Cross-check the classification against the counters: a
+            // faulted spill must be a counted store error, a faulted
+            // read a counted quarantine — silence is the failure mode
+            // this sweep exists to rule out.
+            match label {
+                "fresh-sim" if counters.store_errors == 0 => {
+                    Err("miss without a counted spill error".into())
+                }
+                "quarantined" if counters.quarantined == 0 => {
+                    Err("quarantine outcome without a counted quarantine".into())
+                }
+                "warm-ok" if fault_on_spill && counters.store_errors == 0 => {
+                    // rename-then-crash: the error is reported but the
+                    // complete file landed — store_errors must still
+                    // count the reported failure.
+                    Err("spill fault vanished from the counters".into())
+                }
+                _ => Ok(label),
+            }
+        }));
+        cells.push(match outcome {
+            Ok(Ok(label)) => label.to_string(),
+            Ok(Err(why)) => {
+                anomalies += 1;
+                if args.verbose {
+                    eprintln!("[{}] fs-fault {column}: {why}", app.name);
+                }
+                "ANOMALY".to_string()
+            }
+            Err(_) => {
+                panics += 1;
+                "PANIC".to_string()
+            }
+        });
+    }
+    (cells, anomalies, panics)
+}
+
 #[derive(Default)]
 struct Tally {
     desyncs_injected: u64,
@@ -458,6 +584,23 @@ fn main() {
     }
 
     println!("{}", table.to_markdown());
+
+    if args.fs_faults {
+        let mut fs_table = TableBuilder::new(
+            "Filesystem fault sweep — checkpoint spill + warm load per injected class",
+            &["application", "torn", "enospc", "rename", "short", "flip"],
+        );
+        for app in &apps {
+            let (cells, anomalies, panics) = run_fs_fault_campaigns(app, &args, scale);
+            let mut row = vec![app.name.to_string()];
+            row.extend(cells);
+            fs_table.row(row);
+            total.anomalies += anomalies;
+            total.panics += panics;
+        }
+        println!("{}", fs_table.to_markdown());
+    }
+
     println!(
         "totals: {} desyncs injected, {} detected, {} recovered, {} fallback messages",
         total.desyncs_injected,

@@ -20,7 +20,10 @@ use crate::cli::Options;
 /// 0 when the campaign completed with no failed cells, 1 otherwise.
 pub fn run_remote(opts: &Options, figure: Figure) -> i32 {
     let socket = opts.submit.as_ref().expect("--submit checked by caller");
-    let mut client = match Client::connect(socket) {
+    // A daemon mid-restart (or not yet listening) looks like NotFound /
+    // ConnectionRefused for a moment; ride it out rather than failing a
+    // scripted sweep on a race.
+    let mut client = match Client::connect_retry(socket, 5, std::time::Duration::from_millis(250)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {}: {e}", socket.display());

@@ -197,6 +197,41 @@ impl<V> CacheArray<V> {
     }
 }
 
+impl<V: cmp_common::persist::Persist> cmp_common::persist::Persist for Entry<V> {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        w.u64(self.line);
+        self.value.save(w);
+        w.u64(self.stamp);
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(Entry {
+            line: r.u64()?,
+            value: cmp_common::persist::Persist::load(r)?,
+            stamp: r.u64()?,
+        })
+    }
+}
+
+/// Geometry (sets/ways/shift) is configuration; the resident lines and
+/// the LRU clock are the state. The slice helper doubles as a shape
+/// check: a checkpoint from a differently-sized array refuses to load.
+impl<V: cmp_common::persist::Persist> cmp_common::persist::PersistState for CacheArray<V> {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        cmp_common::persist::save_state_slice(&self.entries, w);
+        w.u64(self.clock);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        cmp_common::persist::load_state_slice(&mut self.entries, r)?;
+        self.clock = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

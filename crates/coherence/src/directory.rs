@@ -157,6 +157,17 @@ pub trait DirectoryRepr: std::fmt::Debug + Send {
 
     /// Deep copy for whole-machine snapshots.
     fn snapshot_box(&self) -> Box<dyn DirectoryRepr + Send>;
+
+    /// Append this representation's tracked entries for an on-disk
+    /// checkpoint. The matching [`DirectoryRepr::load_state`] always
+    /// runs on a freshly built representation of the same configuration.
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter);
+
+    /// Overwrite this representation's tracked entries from bytes.
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError>;
 }
 
 /// Clonable box so components holding a directory can keep deriving
@@ -187,6 +198,18 @@ impl std::ops::Deref for DirBox {
 impl std::ops::DerefMut for DirBox {
     fn deref_mut(&mut self) -> &mut Self::Target {
         self.0.as_mut()
+    }
+}
+
+impl cmp_common::persist::PersistState for DirBox {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        self.0.save_state(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.0.load_state(r)
     }
 }
 
@@ -298,6 +321,44 @@ impl DirectoryRepr for FullMapDir {
     fn snapshot_box(&self) -> Box<dyn DirectoryRepr + Send> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        cmp_common::persist::save_map(&self.entries, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.entries = cmp_common::persist::load_map(r)?;
+        Ok(())
+    }
+}
+
+impl cmp_common::persist::Persist for FmEntry {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        match *self {
+            FmEntry::Invalid => w.u8(0),
+            FmEntry::Shared(mask) => {
+                w.u8(1);
+                w.u64(mask);
+            }
+            FmEntry::Owned(t) => {
+                w.u8(2);
+                w.u16(t);
+            }
+        }
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => FmEntry::Invalid,
+            1 => FmEntry::Shared(r.u64()?),
+            2 => FmEntry::Owned(r.u16()?),
+            _ => return Err(r.err("invalid full-map entry tag")),
+        })
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -392,6 +453,42 @@ impl DirectoryRepr for SparseDir {
 
     fn snapshot_box(&self) -> Box<dyn DirectoryRepr + Send> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        cmp_common::persist::save_map(&self.entries, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.entries = cmp_common::persist::load_map(r)?;
+        Ok(())
+    }
+}
+
+impl cmp_common::persist::Persist for SpEntry {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        match self {
+            SpEntry::Shared(ts) => {
+                w.u8(0);
+                ts.save(w);
+            }
+            SpEntry::Owned(t) => {
+                w.u8(1);
+                w.u16(*t);
+            }
+        }
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => SpEntry::Shared(<Vec<u16> as cmp_common::persist::Persist>::load(r)?),
+            1 => SpEntry::Owned(r.u16()?),
+            _ => return Err(r.err("invalid sparse entry tag")),
+        })
     }
 }
 

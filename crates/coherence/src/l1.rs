@@ -111,6 +111,74 @@ pub struct L1Cache {
 
 cmp_common::impl_snapshot_clone!(L1Cache);
 
+impl cmp_common::persist::Persist for L1State {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        w.u8(match self {
+            L1State::Shared => 0,
+            L1State::Exclusive => 1,
+            L1State::Modified => 2,
+        });
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => L1State::Shared,
+            1 => L1State::Exclusive,
+            2 => L1State::Modified,
+            _ => return Err(r.err("invalid L1State tag")),
+        })
+    }
+}
+
+cmp_common::impl_persist!(Mshr {
+    line,
+    write,
+    inv_pending,
+    deferred,
+    partial_served,
+});
+
+cmp_common::impl_persist!(L1Stats {
+    hits,
+    misses,
+    upgrades,
+    writebacks_data,
+    writebacks_hint,
+    invalidations,
+    forwards_served,
+    forwards_failed,
+    accesses,
+});
+
+/// tile/tiles/expects_partial/max_mshrs come from the configuration; the
+/// array contents, outstanding misses, stale-partial list and counters
+/// travel as bytes.
+impl cmp_common::persist::PersistState for L1Cache {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.array.save_state(w);
+        self.mshrs.save(w);
+        self.stale_partials.save(w);
+        self.stats.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        self.array.load_state(r)?;
+        let mshrs: Vec<Mshr> = Persist::load(r)?;
+        if mshrs.len() > self.max_mshrs {
+            return Err(r.err("MSHR count exceeds machine capacity"));
+        }
+        self.mshrs = mshrs;
+        self.stale_partials = Persist::load(r)?;
+        self.stats = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 /// Home slice of a line: block-interleaved across tiles. Must agree with
 /// `CmpConfig::home_tile` (tested in the integration suite).
 #[inline]

@@ -115,6 +115,120 @@ pub struct L2Slice {
 
 cmp_common::impl_snapshot_clone!(L2Slice);
 
+cmp_common::impl_persist!(L2Line { dirty });
+
+impl cmp_common::persist::Persist for Busy {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        match *self {
+            Busy::AwaitRevision {
+                requestor,
+                original,
+                wb_seen,
+            } => {
+                w.u8(0);
+                requestor.save(w);
+                original.save(w);
+                w.bool(wb_seen);
+            }
+            Busy::AwaitInvAcks {
+                requestor,
+                pending,
+                is_upgrade,
+            } => {
+                w.u8(1);
+                requestor.save(w);
+                w.u32(pending);
+                w.bool(is_upgrade);
+            }
+            Busy::AwaitWbRace {
+                requestor,
+                original,
+            } => {
+                w.u8(2);
+                requestor.save(w);
+                original.save(w);
+            }
+            Busy::AwaitRecall { pending } => {
+                w.u8(3);
+                w.u32(pending);
+            }
+        }
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => Busy::AwaitRevision {
+                requestor: TileId::load(r)?,
+                original: PKind::load(r)?,
+                wb_seen: r.bool()?,
+            },
+            1 => Busy::AwaitInvAcks {
+                requestor: TileId::load(r)?,
+                pending: r.u32()?,
+                is_upgrade: r.bool()?,
+            },
+            2 => Busy::AwaitWbRace {
+                requestor: TileId::load(r)?,
+                original: PKind::load(r)?,
+            },
+            3 => Busy::AwaitRecall { pending: r.u32()? },
+            _ => return Err(r.err("invalid Busy tag")),
+        })
+    }
+}
+
+cmp_common::impl_persist!(Fill { mem_done, waiters });
+
+cmp_common::impl_persist!(L2Stats {
+    requests,
+    l2_misses,
+    forwards,
+    invalidations_sent,
+    recalls,
+    writebacks,
+    mem_reads,
+    mem_writes,
+    data_served,
+});
+
+/// tile/tiles and the array/directory geometry are configuration; the
+/// resident lines, directory contents, transaction state and counters
+/// travel as bytes.
+impl cmp_common::persist::PersistState for L2Slice {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.array.save_state(w);
+        self.dir.save_state(w);
+        cmp_common::persist::save_map(&self.busy, w);
+        cmp_common::persist::save_map(&self.pending, w);
+        cmp_common::persist::save_map(&self.fills, w);
+        cmp_common::persist::save_map(&self.recall_for, w);
+        self.stalled.save(w);
+        w.usize(self.queued);
+        self.stats.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        self.array.load_state(r)?;
+        self.dir.load_state(r)?;
+        self.busy = cmp_common::persist::load_map(r)?;
+        self.pending = cmp_common::persist::load_map(r)?;
+        self.fills = cmp_common::persist::load_map(r)?;
+        self.recall_for = cmp_common::persist::load_map(r)?;
+        self.stalled = Persist::load(r)?;
+        self.queued = r.usize()?;
+        if self.queued != self.pending.values().map(|q| q.len()).sum::<usize>() {
+            return Err(r.err("queued counter disagrees with pending queues"));
+        }
+        self.stats = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 impl L2Slice {
     /// A full-map slice with `sets` × `ways` lines on a `tiles`-tile
     /// machine (the paper's configuration and the determinism-golden

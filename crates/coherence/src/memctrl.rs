@@ -101,6 +101,32 @@ impl MemCtrl {
     }
 }
 
+cmp_common::impl_persist!(MemRead {
+    tile,
+    line,
+    ready_at,
+});
+
+/// The latency is configuration; the read queue and counters are state.
+impl cmp_common::persist::PersistState for MemCtrl {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.reads.save(w);
+        self.reads_issued.save(w);
+        self.writes_issued.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        self.reads = Persist::load(r)?;
+        self.reads_issued = Persist::load(r)?;
+        self.writes_issued = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,20 @@ pub struct Sanitizer {
     sweeps: u64,
 }
 
+/// The period is configuration; only the sweep count is state.
+impl cmp_common::persist::PersistState for Sanitizer {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        w.u64(self.sweeps);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.sweeps = r.u64()?;
+        Ok(())
+    }
+}
+
 impl Sanitizer {
     /// A sanitizer sweeping every `cfg.period` cycles.
     pub fn new(cfg: SanitizerConfig) -> Self {

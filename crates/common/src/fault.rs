@@ -239,6 +239,32 @@ impl FaultInjector {
     }
 }
 
+crate::impl_persist!(FaultStats {
+    drops,
+    duplicates,
+    delays,
+    corruptions,
+    desyncs,
+    mem_replies,
+});
+
+/// The configuration is immutable (the warm key covers it); only the
+/// decision stream and counters travel through checkpoint bytes.
+impl crate::persist::PersistState for FaultInjector {
+    fn save_state(&self, w: &mut crate::persist::ByteWriter) {
+        crate::persist::Persist::save(&self.rng, w);
+        crate::persist::Persist::save(&self.stats, w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut crate::persist::ByteReader,
+    ) -> Result<(), crate::persist::PersistError> {
+        self.rng = crate::persist::Persist::load(r)?;
+        self.stats = crate::persist::Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

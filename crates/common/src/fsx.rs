@@ -1,0 +1,714 @@
+//! Fallible filesystem seam with deterministic fault injection.
+//!
+//! Every durable write in the system — journal appends, atomic CSV
+//! finalisation, campaign directories, checkpoint spills — routes
+//! through an [`Fs`] handle. In production the handle is a thin veneer
+//! over `std::fs`. Under test (or a fault campaign) it wraps the same
+//! operations in a seeded fault injector that models the failure
+//! classes a real disk serves up:
+//!
+//! * **Torn write** — a `write` persists only a prefix of the buffer
+//!   and then fails, the on-disk residue of a crash mid-write.
+//! * **ENOSPC** — a `write` fails with [`io::ErrorKind::StorageFull`]
+//!   before persisting anything.
+//! * **Short read** — a read *silently* returns a truncated prefix;
+//!   callers must detect this through their own framing (length
+//!   headers, checksums, torn-line tolerance), which is exactly what
+//!   the fault campaign verifies.
+//! * **Bit flip on read** — one bit of the returned buffer flips,
+//!   silently; ditto.
+//! * **Rename-then-crash** — the rename *succeeds* on disk but the
+//!   call reports failure, modelling a crash between the rename and
+//!   whatever bookkeeping was to follow it.
+//!
+//! Decisions are made by a seeded [`SimRng`], one roll per class per
+//! operation in a fixed order, so a single-threaded fault campaign is
+//! exactly reproducible from its configuration. (Under a concurrent
+//! workload the interleaving of operations — and therefore which one
+//! faults — follows the thread schedule; the guarantees under test are
+//! "no panic, no silent corruption", which are schedule-independent.)
+//!
+//! The `TCMP_FS_FAULTS` environment variable arms the fault backend
+//! process-wide (see [`Fs::from_env`]); parsing is loud — a malformed
+//! spec is a hard error, never a silently ignored knob.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::rng::SimRng;
+
+/// Per-class fault probabilities for the filesystem seam. All-zero
+/// rates mean "no injection" (but operations are still counted).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FsFaultConfig {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// Probability a write is torn (prefix persisted, error returned).
+    pub torn_write: f64,
+    /// Probability a write fails with `StorageFull` upfront.
+    pub enospc: f64,
+    /// Probability a read silently returns a truncated prefix.
+    pub short_read: f64,
+    /// Probability one bit of a read flips silently.
+    pub bit_flip: f64,
+    /// Probability a rename succeeds on disk but reports failure.
+    pub rename_crash: f64,
+    /// Stop injecting after this many faults (`None` = unlimited).
+    pub max_faults: Option<u64>,
+}
+
+impl FsFaultConfig {
+    /// True when any class has a non-zero rate.
+    pub fn enabled(&self) -> bool {
+        self.torn_write > 0.0
+            || self.enospc > 0.0
+            || self.short_read > 0.0
+            || self.bit_flip > 0.0
+            || self.rename_crash > 0.0
+    }
+
+    /// Parse a `TCMP_FS_FAULTS` spec: comma-separated `key=value`
+    /// pairs with keys `seed`, `torn`, `enospc`, `short`, `flip`,
+    /// `rename`, `max`. Example: `seed=7,torn=0.05,enospc=0.02`.
+    pub fn parse(spec: &str) -> Result<FsFaultConfig, String> {
+        let mut cfg = FsFaultConfig::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fs-fault spec entry {pair:?} is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let rate = |what: &str| -> Result<f64, String> {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("fs-fault {what} rate {value:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("fs-fault {what} rate {v} is outside [0, 1]"));
+                }
+                Ok(v)
+            };
+            match key {
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|_| format!("fs-fault seed {value:?} is not a u64"))?
+                }
+                "torn" => cfg.torn_write = rate("torn")?,
+                "enospc" => cfg.enospc = rate("enospc")?,
+                "short" => cfg.short_read = rate("short")?,
+                "flip" => cfg.bit_flip = rate("flip")?,
+                "rename" => cfg.rename_crash = rate("rename")?,
+                "max" => {
+                    cfg.max_faults = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("fs-fault max {value:?} is not a u64"))?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fs-fault key {other:?} (expected seed/torn/enospc/short/flip/rename/max)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Lifetime operation and injection counters of one [`Fs`] handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// `write` calls observed.
+    pub writes: u64,
+    /// `sync` calls observed.
+    pub syncs: u64,
+    /// Reads observed.
+    pub reads: u64,
+    /// Renames observed.
+    pub renames: u64,
+    /// Torn writes injected.
+    pub injected_torn: u64,
+    /// ENOSPC failures injected.
+    pub injected_enospc: u64,
+    /// Short reads injected.
+    pub injected_short_read: u64,
+    /// Bit flips injected.
+    pub injected_bit_flip: u64,
+    /// Rename-then-crash failures injected.
+    pub injected_rename_crash: u64,
+}
+
+impl FsStats {
+    /// Total faults injected across every class.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_torn
+            + self.injected_enospc
+            + self.injected_short_read
+            + self.injected_bit_flip
+            + self.injected_rename_crash
+    }
+}
+
+struct FaultState {
+    cfg: FsFaultConfig,
+    rng: SimRng,
+    stats: FsStats,
+}
+
+impl FaultState {
+    fn budget_left(&self) -> bool {
+        match self.cfg.max_faults {
+            Some(max) => self.stats.injected_total() < max,
+            None => true,
+        }
+    }
+}
+
+/// What a fault roll decided for one write operation.
+enum WriteFate {
+    Clean,
+    Torn { keep: usize },
+    Enospc,
+}
+
+enum Backend {
+    Real(Mutex<FsStats>),
+    Faulty(Mutex<FaultState>),
+}
+
+/// A cloneable filesystem handle. Clones share the same backend (and
+/// therefore the same fault decision stream and counters).
+#[derive(Clone)]
+pub struct Fs {
+    backend: Arc<Backend>,
+}
+
+impl std::fmt::Debug for Fs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &*self.backend {
+            Backend::Real(_) => write!(f, "Fs::real"),
+            Backend::Faulty(_) => write!(f, "Fs::faulty"),
+        }
+    }
+}
+
+impl Default for Fs {
+    fn default() -> Self {
+        Fs::real()
+    }
+}
+
+fn injected(kind: &str) -> io::Error {
+    io::Error::new(
+        if kind == "enospc" {
+            io::ErrorKind::StorageFull
+        } else {
+            io::ErrorKind::Other
+        },
+        format!("injected fs fault: {kind}"),
+    )
+}
+
+impl Fs {
+    /// The production backend: `std::fs`, no injection, counters only.
+    pub fn real() -> Fs {
+        Fs {
+            backend: Arc::new(Backend::Real(Mutex::new(FsStats::default()))),
+        }
+    }
+
+    /// A fault-injecting backend with the given configuration.
+    pub fn faulty(cfg: FsFaultConfig) -> Fs {
+        let rng = SimRng::new(cfg.seed ^ 0xF5F5_0F0F_5A5A_A5A5);
+        Fs {
+            backend: Arc::new(Backend::Faulty(Mutex::new(FaultState {
+                cfg,
+                rng,
+                stats: FsStats::default(),
+            }))),
+        }
+    }
+
+    /// The backend `TCMP_FS_FAULTS` asks for: unset or empty means the
+    /// real backend; a malformed spec is a hard error (a fault campaign
+    /// that silently ran without faults would report false confidence).
+    pub fn from_env() -> Result<Fs, String> {
+        match std::env::var("TCMP_FS_FAULTS") {
+            Err(_) => Ok(Fs::real()),
+            Ok(spec) if spec.trim().is_empty() => Ok(Fs::real()),
+            Ok(spec) => {
+                let cfg = FsFaultConfig::parse(&spec)
+                    .map_err(|e| format!("TCMP_FS_FAULTS: {e} (spec was {spec:?})"))?;
+                Ok(Fs::faulty(cfg))
+            }
+        }
+    }
+
+    /// Whether this handle injects faults.
+    pub fn is_faulty(&self) -> bool {
+        matches!(&*self.backend, Backend::Faulty(_))
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FsStats {
+        match &*self.backend {
+            Backend::Real(stats) => *stats.lock().unwrap_or_else(|p| p.into_inner()),
+            Backend::Faulty(state) => state.lock().unwrap_or_else(|p| p.into_inner()).stats,
+        }
+    }
+
+    fn real_count(&self, f: impl FnOnce(&mut FsStats)) {
+        if let Backend::Real(stats) = &*self.backend {
+            f(&mut stats.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+    }
+
+    /// Roll the write-fault dice for a `len`-byte write. Fixed roll
+    /// order (ENOSPC, then torn) keeps the decision stream stable.
+    fn roll_write(&self, len: usize) -> WriteFate {
+        let Backend::Faulty(state) = &*self.backend else {
+            self.real_count(|s| s.writes += 1);
+            return WriteFate::Clean;
+        };
+        let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
+        st.stats.writes += 1;
+        if !st.budget_left() {
+            return WriteFate::Clean;
+        }
+        let p_enospc = st.cfg.enospc;
+        if st.rng.chance(p_enospc) {
+            st.stats.injected_enospc += 1;
+            return WriteFate::Enospc;
+        }
+        let p_torn = st.cfg.torn_write;
+        if st.rng.chance(p_torn) {
+            st.stats.injected_torn += 1;
+            let keep = if len == 0 {
+                0
+            } else {
+                st.rng.below(len as u64) as usize
+            };
+            return WriteFate::Torn { keep };
+        }
+        WriteFate::Clean
+    }
+
+    fn roll_read(&self, buf: &mut Vec<u8>) {
+        let Backend::Faulty(state) = &*self.backend else {
+            self.real_count(|s| s.reads += 1);
+            return;
+        };
+        let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
+        st.stats.reads += 1;
+        if !st.budget_left() {
+            return;
+        }
+        let p_short = st.cfg.short_read;
+        if st.rng.chance(p_short) && !buf.is_empty() {
+            st.stats.injected_short_read += 1;
+            let keep = st.rng.below(buf.len() as u64) as usize;
+            buf.truncate(keep);
+            return;
+        }
+        let p_flip = st.cfg.bit_flip;
+        if st.rng.chance(p_flip) && !buf.is_empty() {
+            st.stats.injected_bit_flip += 1;
+            let byte = st.rng.below(buf.len() as u64) as usize;
+            let bit = st.rng.below(8) as u8;
+            buf[byte] ^= 1 << bit;
+        }
+    }
+
+    fn roll_rename(&self) -> bool {
+        let Backend::Faulty(state) = &*self.backend else {
+            self.real_count(|s| s.renames += 1);
+            return false;
+        };
+        let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
+        st.stats.renames += 1;
+        if !st.budget_left() {
+            return false;
+        }
+        let p = st.cfg.rename_crash;
+        if st.rng.chance(p) {
+            st.stats.injected_rename_crash += 1;
+            return true;
+        }
+        false
+    }
+
+    fn count_sync(&self) {
+        match &*self.backend {
+            Backend::Real(stats) => stats.lock().unwrap_or_else(|p| p.into_inner()).syncs += 1,
+            Backend::Faulty(state) => {
+                state.lock().unwrap_or_else(|p| p.into_inner()).stats.syncs += 1
+            }
+        }
+    }
+
+    // -- operations ---------------------------------------------------
+
+    /// Create (truncating) a file for writing.
+    pub fn create(&self, path: impl AsRef<Path>) -> io::Result<FsFile> {
+        Ok(FsFile {
+            fs: self.clone(),
+            file: std::fs::File::create(path.as_ref())?,
+            path: path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Create a file that must not yet exist, opened for appending.
+    pub fn create_new_append(&self, path: impl AsRef<Path>) -> io::Result<FsFile> {
+        Ok(FsFile {
+            fs: self.clone(),
+            file: std::fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(path.as_ref())?,
+            path: path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Open an existing file for appending.
+    pub fn open_append(&self, path: impl AsRef<Path>) -> io::Result<FsFile> {
+        Ok(FsFile {
+            fs: self.clone(),
+            file: std::fs::OpenOptions::new()
+                .append(true)
+                .open(path.as_ref())?,
+            path: path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Read a whole file, subject to short-read / bit-flip injection.
+    pub fn read(&self, path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path.as_ref())?.read_to_end(&mut buf)?;
+        self.roll_read(&mut buf);
+        Ok(buf)
+    }
+
+    /// Read a whole file as UTF-8 (lossy on an injected bit flip that
+    /// lands in a multi-byte sequence — the caller's parser must cope).
+    pub fn read_to_string(&self, path: impl AsRef<Path>) -> io::Result<String> {
+        let buf = self.read(path)?;
+        Ok(String::from_utf8_lossy(&buf).into_owned())
+    }
+
+    /// Rename, subject to rename-then-crash injection (the rename
+    /// *happens*, the error reports a crash before the caller's next
+    /// step).
+    pub fn rename(&self, from: impl AsRef<Path>, to: impl AsRef<Path>) -> io::Result<()> {
+        let crash_after = self.roll_rename();
+        std::fs::rename(from.as_ref(), to.as_ref())?;
+        if crash_after {
+            return Err(injected("rename-then-crash"));
+        }
+        Ok(())
+    }
+
+    /// Remove a file (never fault-injected: removal is how quarantine
+    /// and eviction clean up, and must stay reliable).
+    pub fn remove_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::remove_file(path.as_ref())
+    }
+
+    /// Create a directory tree (not fault-injected; directory creation
+    /// failures surface as ordinary `io::Error`s from the real fs).
+    pub fn create_dir_all(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::create_dir_all(path.as_ref())
+    }
+
+    /// Crash-safe whole-file write through this handle: contents go to
+    /// `<path>.tmp`, are fsynced, and replace `path` with one rename.
+    /// Any injected fault surfaces as an error after which `path` still
+    /// holds either its old complete contents or the new complete
+    /// contents — never a torn mix (the torn residue stays in the tmp
+    /// file).
+    pub fn write_atomic(
+        &self,
+        path: impl AsRef<Path>,
+        contents: impl AsRef<[u8]>,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = match path.file_name() {
+            Some(name) => {
+                let mut n = name.to_os_string();
+                n.push(".tmp");
+                path.with_file_name(n)
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("not a file path: {}", path.display()),
+                ))
+            }
+        };
+        let mut f = self.create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.sync()?;
+        drop(f);
+        self.rename(&tmp, path)
+    }
+}
+
+/// A writable file whose writes and syncs route through the owning
+/// [`Fs`]'s fault seam.
+pub struct FsFile {
+    fs: Fs,
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for FsFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FsFile({})", self.path.display())
+    }
+}
+
+impl FsFile {
+    /// The path this file was opened at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write the whole buffer, or fail. A torn-write fault persists a
+    /// prefix and then errors; an ENOSPC fault errors with
+    /// [`io::ErrorKind::StorageFull`] before persisting anything.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.fs.roll_write(buf.len()) {
+            WriteFate::Clean => self.file.write_all(buf),
+            WriteFate::Enospc => Err(injected("enospc")),
+            WriteFate::Torn { keep } => {
+                self.file.write_all(&buf[..keep])?;
+                Err(injected("torn write"))
+            }
+        }
+    }
+
+    /// Flush file data (and metadata) to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.fs.count_sync();
+        self.file.sync_all()
+    }
+
+    /// Flush file data only (`fdatasync` semantics).
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.fs.count_sync();
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcmp_fsx_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_backend_round_trips_and_counts() {
+        let dir = tmpdir("real");
+        let fs = Fs::real();
+        let path = dir.join("a.txt");
+        let mut f = fs.create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        fs.rename(&path, dir.join("b.txt")).unwrap();
+        assert_eq!(fs.read_to_string(dir.join("b.txt")).unwrap(), "hello");
+        let stats = fs.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.syncs, 1);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.renames, 1);
+        assert_eq!(stats.injected_total(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_and_errors() {
+        let dir = tmpdir("torn");
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 11,
+            torn_write: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let path = dir.join("t.bin");
+        let mut f = fs.create(&path).unwrap();
+        let err = f.write_all(&[0xAB; 64]).unwrap_err();
+        assert!(err.to_string().contains("torn"));
+        drop(f);
+        let residue = std::fs::read(&path).unwrap();
+        assert!(residue.len() < 64, "a strict prefix remains");
+        assert!(residue.iter().all(|&b| b == 0xAB));
+        assert_eq!(fs.stats().injected_torn, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_persists_nothing() {
+        let dir = tmpdir("enospc");
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 5,
+            enospc: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let path = dir.join("e.bin");
+        let mut f = fs.create(&path).unwrap();
+        let err = f.write_all(&[1; 32]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(f);
+        assert!(std::fs::read(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_and_bit_flip_are_silent() {
+        let dir = tmpdir("read");
+        let path = dir.join("r.bin");
+        std::fs::write(&path, [0u8; 128]).unwrap();
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 3,
+            short_read: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let buf = fs.read(&path).unwrap();
+        assert!(buf.len() < 128, "short read returned a prefix silently");
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 3,
+            bit_flip: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let buf = fs.read(&path).unwrap();
+        assert_eq!(buf.len(), 128);
+        assert_eq!(
+            buf.iter().map(|b| b.count_ones()).sum::<u32>(),
+            1,
+            "exactly one bit flipped"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rename_crash_renames_but_reports_failure() {
+        let dir = tmpdir("rename");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        std::fs::write(&a, b"x").unwrap();
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 9,
+            rename_crash: 1.0,
+            ..FsFaultConfig::default()
+        });
+        assert!(fs.rename(&a, &b).is_err());
+        assert!(!a.exists() && b.exists(), "the rename itself happened");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_never_leaves_a_torn_target() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("out.csv");
+        Fs::real().write_atomic(&path, "old complete\n").unwrap();
+        // Hammer the atomic write with every fault class armed; after
+        // every failure the target must hold one of the two complete
+        // contents.
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 1234,
+            torn_write: 0.4,
+            enospc: 0.2,
+            rename_crash: 0.2,
+            ..FsFaultConfig::default()
+        });
+        let mut succeeded = 0;
+        for i in 0..50 {
+            let new = format!("new contents {i}\n");
+            let before = std::fs::read_to_string(&path).unwrap();
+            match fs.write_atomic(&path, &new) {
+                Ok(()) => {
+                    succeeded += 1;
+                    assert_eq!(std::fs::read_to_string(&path).unwrap(), new);
+                }
+                Err(_) => {
+                    let after = std::fs::read_to_string(&path).unwrap();
+                    assert!(
+                        after == before || after == new,
+                        "target must be one complete version, got {after:?}"
+                    );
+                }
+            }
+        }
+        assert!(succeeded > 0, "some writes should get through");
+        assert!(fs.stats().injected_total() > 0, "some faults should fire");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_single_threaded_decision_stream() {
+        let run = || {
+            let fs = Fs::faulty(FsFaultConfig {
+                seed: 77,
+                torn_write: 0.3,
+                enospc: 0.1,
+                ..FsFaultConfig::default()
+            });
+            let dir = tmpdir("det");
+            let mut fates = Vec::new();
+            for i in 0..40 {
+                let mut f = fs.create(dir.join(format!("f{i}"))).unwrap();
+                fates.push(f.write_all(&[0; 16]).map_err(|e| e.to_string()));
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+            (fates, fs.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn max_faults_bounds_injection() {
+        let fs = Fs::faulty(FsFaultConfig {
+            seed: 1,
+            enospc: 1.0,
+            max_faults: Some(2),
+            ..FsFaultConfig::default()
+        });
+        let dir = tmpdir("budget");
+        let mut errs = 0;
+        for i in 0..5 {
+            let mut f = fs.create(dir.join(format!("f{i}"))).unwrap();
+            if f.write_all(&[0; 8]).is_err() {
+                errs += 1;
+            }
+        }
+        assert_eq!(errs, 2, "injection stops at the budget");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn env_spec_parses_loudly() {
+        let cfg = FsFaultConfig::parse(
+            "seed=7, torn=0.5,enospc=0.25,short=0.1,flip=0.1,rename=0.05,max=10",
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.torn_write, 0.5);
+        assert_eq!(cfg.enospc, 0.25);
+        assert_eq!(cfg.short_read, 0.1);
+        assert_eq!(cfg.bit_flip, 0.1);
+        assert_eq!(cfg.rename_crash, 0.05);
+        assert_eq!(cfg.max_faults, Some(10));
+        assert!(cfg.enabled());
+        assert!(FsFaultConfig::parse("bogus=1").is_err());
+        assert!(FsFaultConfig::parse("torn=2.0").is_err());
+        assert!(FsFaultConfig::parse("torn").is_err());
+        assert!(!FsFaultConfig::parse("").unwrap().enabled());
+    }
+}

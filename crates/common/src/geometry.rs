@@ -164,6 +164,19 @@ impl MeshShape {
     }
 }
 
+impl crate::persist::Persist for Direction {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        let tag = r.u8()? as usize;
+        Direction::ALL
+            .get(tag)
+            .copied()
+            .ok_or_else(|| r.err("invalid Direction tag"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

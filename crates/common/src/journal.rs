@@ -28,9 +28,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::fsx::{Fs, FsFile};
 
 /// Name of the journal file inside a campaign directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
@@ -366,27 +367,11 @@ impl Parser<'_> {
 /// Crash-safe file write: the contents land in `<path>.tmp`, are
 /// fsynced, and replace `path` with a single rename. A reader (or a
 /// resumed campaign) therefore sees either the old complete file or the
-/// new complete file — never a torn write.
+/// new complete file — never a torn write. Routes through the real
+/// filesystem backend; fault campaigns use [`crate::fsx::Fs::write_atomic`]
+/// directly.
 pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
-    let path = path.as_ref();
-    let tmp = match path.file_name() {
-        Some(name) => {
-            let mut n = name.to_os_string();
-            n.push(".tmp");
-            path.with_file_name(n)
-        }
-        None => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("not a file path: {}", path.display()),
-            ))
-        }
-    };
-    let mut f = File::create(&tmp)?;
-    f.write_all(contents.as_ref())?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
+    Fs::real().write_atomic(path, contents)
 }
 
 // ---------------------------------------------------------------------------
@@ -488,10 +473,13 @@ impl From<io::Error> for JournalError {
 /// The append-only campaign journal. One record per line; every append
 /// is flushed and fsynced before the writer returns, so a SIGKILL loses
 /// at most the record being written — which replay then classifies as
-/// an interrupted cell.
+/// an interrupted cell. Every record carries a `crc` field (FNV-1a 64
+/// of the record without it), so replay detects a bit-rotted record —
+/// not just a torn one — instead of silently resurrecting a mutated
+/// result row.
 #[derive(Debug)]
 pub struct Journal {
-    file: File,
+    file: FsFile,
     /// What replay found when this journal was opened (empty for a
     /// fresh campaign).
     pub replay: JournalReplay,
@@ -501,7 +489,14 @@ impl Journal {
     /// Start a fresh campaign in `dir` (created if missing). Fails if a
     /// journal already exists there — resuming must be explicit.
     pub fn create(dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
-        std::fs::create_dir_all(dir)?;
+        Journal::create_on(&Fs::real(), dir, meta)
+    }
+
+    /// [`Journal::create`] through an explicit filesystem seam, so the
+    /// campaign service (and the fault campaigns) inject disk faults
+    /// into every append.
+    pub fn create_on(fs: &Fs, dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
+        fs.create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
         if path.exists() {
             return Err(JournalError::Io(io::Error::new(
@@ -512,10 +507,7 @@ impl Journal {
                 ),
             )));
         }
-        let file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
+        let file = fs.create_new_append(&path)?;
         let mut j = Journal {
             file,
             replay: JournalReplay::default(),
@@ -534,19 +526,26 @@ impl Journal {
     /// `meta`, replay every record, and return the journal positioned
     /// for appending.
     pub fn resume(dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
+        Journal::resume_on(&Fs::real(), dir, meta)
+    }
+
+    /// [`Journal::resume`] through an explicit filesystem seam. The
+    /// replay read is subject to short-read / bit-flip injection; a
+    /// truncated tail is tolerated (torn final line), a corrupted
+    /// interior record is a structured [`JournalError::Corrupt`].
+    pub fn resume_on(fs: &Fs, dir: &Path, meta: &CampaignMeta) -> Result<Journal, JournalError> {
         let path = dir.join(JOURNAL_FILE);
         if !path.exists() {
             return Err(JournalError::Missing(dir.to_path_buf()));
         }
-        let mut text = String::new();
-        File::open(&path)?.read_to_string(&mut text)?;
+        let text = fs.read_to_string(&path)?;
         let replay = replay_records(&text, meta)?;
-        let file = OpenOptions::new().append(true).open(&path)?;
+        let file = fs.open_append(&path)?;
         Ok(Journal { file, replay })
     }
 
     fn append(&mut self, record: Json) -> io::Result<()> {
-        let mut line = record.render();
+        let mut line = stamp_crc(record).render();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()
@@ -583,6 +582,41 @@ impl Journal {
     }
 }
 
+/// Append a `crc` field — the [`fingerprint`] of the record rendered
+/// without it — to a record object.
+fn stamp_crc(record: Json) -> Json {
+    let crc = fingerprint(&record.render());
+    match record {
+        Json::Obj(mut fields) => {
+            fields.push(("crc".into(), Json::Str(crc)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// Verify and strip a record's `crc` field. Records without one (older
+/// journals) pass through unchecked; a present-but-wrong crc is the
+/// signature of bit rot and returns `Err` with the reason.
+fn check_crc(record: Json) -> Result<Json, String> {
+    let Json::Obj(mut fields) = record else {
+        return Ok(record);
+    };
+    let Some(at) = fields.iter().position(|(k, _)| k == "crc") else {
+        return Ok(Json::Obj(fields));
+    };
+    let (_, crc) = fields.remove(at);
+    let stripped = Json::Obj(fields);
+    let expected = fingerprint(&stripped.render());
+    match crc.as_str() {
+        Some(found) if found == expected => Ok(stripped),
+        _ => Err(format!(
+            "record checksum mismatch (expected {expected}, found {})",
+            crc.as_str().unwrap_or("<non-string>")
+        )),
+    }
+}
+
 fn replay_records(text: &str, meta: &CampaignMeta) -> Result<JournalReplay, JournalError> {
     let lines: Vec<&str> = text.lines().collect();
     let mut replay = JournalReplay::default();
@@ -592,10 +626,12 @@ fn replay_records(text: &str, meta: &CampaignMeta) -> Result<JournalReplay, Jour
         if line.trim().is_empty() {
             continue;
         }
-        let record = match Json::parse(line) {
+        let record = match Json::parse(line).and_then(check_crc) {
             Ok(r) => r,
             // A torn final line is the expected residue of a kill
-            // mid-append; anything earlier is real corruption.
+            // mid-append; anything earlier is real corruption. (A crc
+            // mismatch on the final line is the same residue: the tail
+            // of a torn append can still parse as JSON.)
             Err(reason) if i + 1 == lines.len() => {
                 let _ = reason;
                 continue;
@@ -692,6 +728,8 @@ fn check_meta(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
 
     fn meta() -> CampaignMeta {
         CampaignMeta {
@@ -883,6 +921,106 @@ mod tests {
         let j = Journal::resume(&dir, &meta()).unwrap();
         assert!(j.replay.completed.is_empty());
         assert_eq!(j.replay.interrupted, vec!["cell-a".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_mid_campaign_fails_structured_and_resume_replays_cleanly() {
+        use crate::fsx::{Fs, FsFaultConfig};
+        let dir = tmpdir("enospc");
+        // A healthy campaign journals one finished cell...
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Obj(vec![("x".into(), Json::u64(7))]))
+            .unwrap();
+        drop(j);
+        // ...then the disk fills: every further append fails with a
+        // structured StorageFull error, never a panic.
+        let full = Fs::faulty(FsFaultConfig {
+            seed: 42,
+            enospc: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let mut j = Journal::resume_on(&full, &dir, &meta()).unwrap();
+        assert_eq!(j.replay.skippable(), 1);
+        let err = j.record_start("cell-b", 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let err = j.record_finish("cell-b", Json::Null).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(j);
+        // A restart on a recovered disk replays cleanly from the last
+        // complete record: cell-a finished, nothing else.
+        let j = Journal::resume(&dir, &meta()).unwrap();
+        assert_eq!(j.replay.skippable(), 1);
+        assert!(j.replay.interrupted.is_empty());
+        assert!(j.replay.failed.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_mid_record_fails_structured_and_resume_tolerates_residue() {
+        use crate::fsx::{Fs, FsFaultConfig};
+        let dir = tmpdir("tornappend");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::u64(1)).unwrap();
+        drop(j);
+        // The torn append persists a strict prefix of the record — the
+        // on-disk residue of a crash mid-write — and reports an error.
+        let torn = Fs::faulty(FsFaultConfig {
+            seed: 7,
+            torn_write: 1.0,
+            ..FsFaultConfig::default()
+        });
+        let mut j = Journal::resume_on(&torn, &dir, &meta()).unwrap();
+        assert!(j.record_finish("cell-b", Json::u64(2)).is_err());
+        drop(j);
+        // Replay tolerates the torn final line and keeps every record
+        // before it.
+        let j = Journal::resume(&dir, &meta()).unwrap();
+        assert_eq!(j.replay.skippable(), 1);
+        assert!(!j.replay.completed.contains_key("cell-b"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_rotted_record_is_caught_by_the_crc() {
+        use crate::fsx::{Fs, FsFaultConfig};
+        let dir = tmpdir("bitrot");
+        let mut j = Journal::create(&dir, &meta()).unwrap();
+        j.record_start("cell-a", 1).unwrap();
+        j.record_finish("cell-a", Json::Obj(vec![("x".into(), Json::u64(1000))]))
+            .unwrap();
+        j.record_start("cell-b", 1).unwrap();
+        j.record_fail("cell-b", 1, "watchdog").unwrap();
+        drop(j);
+        // Resume through a bit-flipping fs until an injected flip lands
+        // on a record and corrupts it. Every outcome must be either a
+        // clean replay (flip hit a digit the crc catches → Corrupt) or
+        // a structured refusal — never a silently mutated result row.
+        let mut caught = false;
+        for seed in 0..200u64 {
+            let fs = Fs::faulty(FsFaultConfig {
+                seed,
+                bit_flip: 1.0,
+                ..FsFaultConfig::default()
+            });
+            match Journal::resume_on(&fs, &dir, &meta()) {
+                Ok(j) => {
+                    // The flip landed in the (ignorable) torn-tail
+                    // position or produced a record that still crc-
+                    // verified — which means it verified *unchanged*.
+                    if let Some(row) = j.replay.completed.get("cell-a") {
+                        assert_eq!(row.get("x").unwrap().as_u64(), Some(1000));
+                    }
+                }
+                Err(JournalError::Corrupt { .. }) | Err(JournalError::MetaMismatch { .. }) => {
+                    caught = true;
+                }
+                Err(JournalError::Io(_)) | Err(JournalError::Missing(_)) => {}
+            }
+        }
+        assert!(caught, "some flips must be caught as structured corruption");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,11 @@
 //!   used by the property suites in place of an external dependency.
 //! * [`fault`] — deterministic fault injection (drop/duplicate/delay/
 //!   corrupt/codec-desync) for robustness campaigns.
+//! * [`fsx`] — the fallible filesystem seam every durable write routes
+//!   through: a production backend and a seeded fault backend (torn
+//!   writes, ENOSPC, short reads, bit flips, rename-then-crash).
+//! * [`persist`] — the panic-free binary state codec that turns
+//!   whole-machine checkpoints into disk bytes and back.
 //! * [`hash`] — streaming FNV-1a 64 content hashing shared by the
 //!   journal's configuration fingerprints and the checkpoint cache's
 //!   load-time verification digests.
@@ -33,9 +38,11 @@
 
 pub mod config;
 pub mod fault;
+pub mod fsx;
 pub mod geometry;
 pub mod hash;
 pub mod journal;
+pub mod persist;
 pub mod randtest;
 pub mod rng;
 pub mod smallvec;

@@ -107,6 +107,19 @@ impl SimRng {
     }
 }
 
+impl crate::persist::Persist for SimRng {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        for v in self.s {
+            w.u64(v);
+        }
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(SimRng {
+            s: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

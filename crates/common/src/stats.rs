@@ -264,6 +264,49 @@ impl HitRate {
     }
 }
 
+crate::impl_persist!(HitRate { hits, misses });
+
+impl crate::persist::Persist for Counter {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(Counter(r.u64()?))
+    }
+}
+
+impl crate::persist::Persist for OnlineStats {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(OnlineStats {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
+}
+
+impl crate::persist::Persist for Histogram {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        self.buckets.save(w);
+        self.stats.save(w);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(Histogram {
+            buckets: crate::persist::Persist::load(r)?,
+            stats: crate::persist::Persist::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

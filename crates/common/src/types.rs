@@ -228,6 +228,45 @@ impl CompressionStream {
     }
 }
 
+impl crate::persist::Persist for TileId {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.u16(self.0);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(TileId(r.u16()?))
+    }
+}
+
+impl crate::persist::Persist for MessageClass {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        let tag = MessageClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .unwrap_or(0) as u8;
+        w.u8(tag);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        let tag = r.u8()? as usize;
+        MessageClass::ALL
+            .get(tag)
+            .copied()
+            .ok_or_else(|| r.err("invalid MessageClass tag"))
+    }
+}
+
+impl crate::persist::Persist for CompressionStream {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        let tag = r.u8()? as usize;
+        CompressionStream::ALL
+            .get(tag)
+            .copied()
+            .ok_or_else(|| r.err("invalid CompressionStream tag"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,15 @@ impl Joules {
     }
 }
 
+impl crate::persist::Persist for Joules {
+    fn save(&self, w: &mut crate::persist::ByteWriter) {
+        w.f64(self.0);
+    }
+    fn load(r: &mut crate::persist::ByteReader) -> Result<Self, crate::persist::PersistError> {
+        Ok(Joules(r.f64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

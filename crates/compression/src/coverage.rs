@@ -56,6 +56,8 @@ impl CoverageStats {
     }
 }
 
+cmp_common::impl_persist!(CoverageStats { per_stream });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -99,6 +99,31 @@ impl AddressCodec for Dbrc {
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
         Box::new(self.clone())
     }
+
+    // entries/low_bytes are configuration; the learned bases, their LRU
+    // stamps and the clock are the state.
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.bases.save(w);
+        self.stamps.save(w);
+        w.u64(self.clock);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        let bases: Vec<Option<u64>> = Persist::load(r)?;
+        let stamps: Vec<u64> = Persist::load(r)?;
+        if bases.len() != self.bases.len() || stamps.len() != self.stamps.len() {
+            return Err(r.err("DBRC entry count does not match machine shape"));
+        }
+        self.bases = bases;
+        self.stamps = stamps;
+        self.clock = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

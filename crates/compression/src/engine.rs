@@ -188,6 +188,40 @@ impl CompressionEngine {
     }
 }
 
+/// The scheme (and therefore the codec bank shape) is configuration;
+/// each codec's learned state, the desync flags and the coverage
+/// counters travel as bytes.
+impl cmp_common::persist::PersistState for CompressionEngine {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        for bank in &self.codecs {
+            cmp_common::persist::save_state_slice(bank, w);
+        }
+        for side in &self.desynced {
+            side.save(w);
+        }
+        self.stats.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        for bank in &mut self.codecs {
+            cmp_common::persist::load_state_slice(bank, r)?;
+        }
+        for side in &mut self.desynced {
+            let flags: Vec<bool> = Persist::load(r)?;
+            if flags.len() != side.len() {
+                return Err(r.err("desync lane count does not match machine shape"));
+            }
+            *side = flags;
+        }
+        self.stats = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,20 @@ impl AddressCodec for MulticastCodec {
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        self.base.save_state(w);
+        w.u64(self.shared_hits);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.base.load_state(r)?;
+        self.shared_hits = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

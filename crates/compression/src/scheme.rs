@@ -175,6 +175,30 @@ pub trait AddressCodec: fmt::Debug + Send {
 
     /// Deep copy, for whole-machine snapshots.
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send>;
+
+    /// Append this codec's mutable state for an on-disk checkpoint. The
+    /// matching [`AddressCodec::load_state`] always runs on a freshly
+    /// built codec of the same scheme (the warm key fingerprints the
+    /// configuration), so no type tag travels with the bytes.
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter);
+
+    /// Overwrite this codec's mutable state from checkpoint bytes.
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError>;
+}
+
+impl cmp_common::persist::PersistState for CodecBox {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        self.0.save_state(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.0.load_state(r)
+    }
 }
 
 /// An owned, dynamically-dispatched codec.
@@ -235,6 +259,15 @@ impl AddressCodec for NoneCodec {
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
         Box::new(*self)
     }
+
+    fn save_state(&self, _w: &mut cmp_common::persist::ByteWriter) {}
+
+    fn load_state(
+        &mut self,
+        _r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        Ok(())
+    }
 }
 
 /// Oracle that always hits — the paper's "perfect address compression"
@@ -255,6 +288,15 @@ impl AddressCodec for PerfectCodec {
 
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
         Box::new(*self)
+    }
+
+    fn save_state(&self, _w: &mut cmp_common::persist::ByteWriter) {}
+
+    fn load_state(
+        &mut self,
+        _r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        Ok(())
     }
 }
 

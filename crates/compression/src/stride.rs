@@ -73,6 +73,19 @@ impl AddressCodec for Stride {
     fn snapshot_box(&self) -> Box<dyn AddressCodec + Send> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.base.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.base = cmp_common::persist::Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! Content-addressed, self-verifying cache of warm-start checkpoints.
+//! Content-addressed, self-verifying cache of warm-start checkpoints,
+//! with an optional durable disk tier.
 //!
 //! Every cell of a figure matrix begins with the same cold-start
 //! transient for a given (machine, app, seed, scale) tuple: caches
@@ -14,10 +15,11 @@
 //! uncompressed path instead of corrupting data:
 //!
 //! * **Keyed by content, not by name.** The key fingerprints the whole
-//!   [`SimConfig`] (machine, interconnect, scheme, fault campaign,
-//!   sanitizer, watchdog — everything that shapes the prefix) plus the
-//!   app, seed and scale. Two runs get the same checkpoint only if
-//!   their prefixes are provably the same simulation.
+//!   [`SimConfig`](crate::sim::SimConfig) (machine, interconnect,
+//!   scheme, fault campaign, sanitizer, watchdog — everything that
+//!   shapes the prefix) plus the app, seed and scale. Two runs get the
+//!   same checkpoint only if their prefixes are provably the same
+//!   simulation.
 //! * **Verified at load.** [`CheckpointCache::store`] records the
 //!   snapshot's [`MachineSnapshot::digest`]; [`CheckpointCache::load`]
 //!   recomputes it. A mismatch — a torn, bit-rotted or deliberately
@@ -28,11 +30,28 @@
 //! * **Bounded.** At most `capacity` checkpoints are held; beyond that
 //!   the oldest stored entry is evicted. A cache can degrade a warm
 //!   start into a fresh one, never grow without bound.
+//!
+//! The disk tier ([`DiskStore`]) makes warm starts survive the process:
+//! every in-memory store is written through as a `.ckpt` file whose
+//! name is derived from the warm key, so a restarted service — or a
+//! *different* campaign sharing a cell's configuration — finds the
+//! prefix already simulated. Files carry a header (magic, version,
+//! store sequence, warm cycle, key fingerprint, machine digest, payload
+//! checksum) and are written atomically (temp file → fsync → rename)
+//! through the [`cmp_common::fsx`] seam; a file that fails *any* check
+//! at load — torn, truncated, bit-flipped, renamed, from a different
+//! key — is moved to a bounded quarantine directory and the run falls
+//! back to a fresh simulation. Corruption can cost time, never numbers.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use cmp_common::fsx::Fs;
+use cmp_common::hash::fnv64;
+use cmp_common::persist::{ByteReader, ByteWriter};
 use cmp_common::types::Cycle;
 
 use crate::engine::MachineSnapshot;
@@ -52,14 +71,16 @@ pub enum CacheLoad {
     Quarantined,
 }
 
-/// Lifetime counters of one cache.
+/// Lifetime counters of one cache (the merged warm-start view across
+/// the memory and disk tiers; [`DiskCounters`] break down the disk
+/// tier's own operations).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Checkpoints stored.
     pub stores: u64,
-    /// Loads that verified and fast-forwarded a run.
+    /// Loads that verified and fast-forwarded a run (memory or disk).
     pub hits: u64,
-    /// Loads that found nothing.
+    /// Loads that found nothing in either tier.
     pub misses: u64,
     /// Loads that found a corrupt checkpoint and removed it.
     pub quarantined: u64,
@@ -80,15 +101,37 @@ struct Inner {
     stats: CacheStats,
 }
 
+impl Inner {
+    fn insert_bounded(&mut self, key: WarmKey, entry: Entry) {
+        self.map.insert(key.clone(), entry);
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            // order can hold keys already quarantined away; skip those.
+            match self.order.pop_front() {
+                Some(old) => {
+                    if self.map.remove(&old).is_some() {
+                        self.stats.evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 /// A shared, thread-safe checkpoint cache. One per service (or matrix
 /// driver); workers call [`CheckpointCache::load`] /
-/// [`CheckpointCache::store`] concurrently.
+/// [`CheckpointCache::store`] concurrently. With a disk tier attached
+/// ([`CheckpointCache::with_disk`]) every store is written through to
+/// disk and a memory miss probes the disk before giving up.
 pub struct CheckpointCache {
     inner: Mutex<Inner>,
+    disk: Option<DiskStore>,
 }
 
 impl CheckpointCache {
-    /// A cache holding at most `capacity` checkpoints (minimum 1).
+    /// A memory-only cache holding at most `capacity` checkpoints
+    /// (minimum 1).
     pub fn new(capacity: usize) -> Self {
         CheckpointCache {
             inner: Mutex::new(Inner {
@@ -97,7 +140,21 @@ impl CheckpointCache {
                 capacity: capacity.max(1),
                 stats: CacheStats::default(),
             }),
+            disk: None,
         }
+    }
+
+    /// A cache backed by `disk`: stores write through, memory misses
+    /// probe the disk via [`CheckpointCache::load_via`].
+    pub fn with_disk(capacity: usize, disk: DiskStore) -> Self {
+        let mut cache = CheckpointCache::new(capacity);
+        cache.disk = Some(disk);
+        cache
+    }
+
+    /// The disk tier, when one is attached.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -107,31 +164,26 @@ impl CheckpointCache {
     /// Store `snap` under `key`, recording its digest for load-time
     /// verification. A key already present keeps its existing entry
     /// (the first simulation of a prefix wins; both are bit-identical
-    /// by construction). Evicts the oldest entry beyond capacity.
+    /// by construction). Evicts the oldest entry beyond capacity. With
+    /// a disk tier the snapshot is spilled to disk first (write-
+    /// through); a spill failure is counted and logged but never fails
+    /// the store — the memory tier still serves this process.
     pub fn store(&self, key: WarmKey, snap: MachineSnapshot) {
+        if let Some(disk) = &self.disk {
+            disk.store(&key, &snap);
+        }
         let digest = snap.digest();
         let mut inner = self.lock();
         if inner.map.contains_key(&key) {
             return;
         }
         inner.stats.stores += 1;
-        inner.map.insert(key.clone(), Entry { snap, digest });
-        inner.order.push_back(key);
-        while inner.map.len() > inner.capacity {
-            // order can hold keys already quarantined away; skip those.
-            match inner.order.pop_front() {
-                Some(old) => {
-                    if inner.map.remove(&old).is_some() {
-                        inner.stats.evicted += 1;
-                    }
-                }
-                None => break,
-            }
-        }
+        inner.insert_bounded(key, Entry { snap, digest });
     }
 
-    /// Look up `key`, verifying the stored checkpoint's digest before
-    /// handing it out.
+    /// Look up `key` in the memory tier only, verifying the stored
+    /// checkpoint's digest before handing it out. (The disk tier needs
+    /// a decode template; see [`CheckpointCache::load_via`].)
     pub fn load(&self, key: &WarmKey) -> CacheLoad {
         let mut inner = self.lock();
         let Some(entry) = inner.map.get(key) else {
@@ -148,17 +200,86 @@ impl CheckpointCache {
         CacheLoad::Hit(snap)
     }
 
+    /// Look up `key` across both tiers. A memory miss with a disk tier
+    /// attached builds a decode template via `template` — a snapshot of
+    /// a freshly constructed machine with this key's exact
+    /// configuration (the warm key fingerprints the full config, so the
+    /// template's shape provably matches the stored bytes) — decodes
+    /// the disk bytes into it, re-verifies the machine digest, and
+    /// promotes the checkpoint into the memory tier for later sharers.
+    /// Every disk-side failure (missing, torn, bit-flipped, wrong key,
+    /// digest mismatch) quarantines the file and reports
+    /// [`CacheLoad::Quarantined`] or [`CacheLoad::Miss`]; it never
+    /// panics and never returns unverified state.
+    pub fn load_via(
+        &self,
+        key: &WarmKey,
+        template: impl FnOnce() -> Box<MachineSnapshot>,
+    ) -> CacheLoad {
+        {
+            let mut inner = self.lock();
+            if let Some(entry) = inner.map.get(key) {
+                if entry.snap.digest() != entry.digest {
+                    inner.map.remove(key);
+                    inner.stats.quarantined += 1;
+                    return CacheLoad::Quarantined;
+                }
+                let snap = Box::new(entry.snap.clone());
+                inner.stats.hits += 1;
+                return CacheLoad::Hit(snap);
+            }
+            let Some(disk) = &self.disk else {
+                inner.stats.misses += 1;
+                return CacheLoad::Miss;
+            };
+            if !disk.contains(key) {
+                inner.stats.misses += 1;
+                return CacheLoad::Miss;
+            }
+        }
+        // Memory miss, disk candidate: decode outside the memory lock
+        // (building the template and decoding the payload are the
+        // expensive part; the disk store has its own lock).
+        let disk = self.disk.as_ref().expect("checked above");
+        let mut snap = template();
+        match disk.load_into(key, &mut snap) {
+            DiskLoad::Hit => {
+                let digest = snap.digest();
+                let mut inner = self.lock();
+                inner.stats.hits += 1;
+                if !inner.map.contains_key(key) {
+                    inner.insert_bounded(
+                        key.clone(),
+                        Entry {
+                            snap: (*snap).clone(),
+                            digest,
+                        },
+                    );
+                }
+                CacheLoad::Hit(snap)
+            }
+            DiskLoad::Miss => {
+                self.lock().stats.misses += 1;
+                CacheLoad::Miss
+            }
+            DiskLoad::Quarantined => {
+                self.lock().stats.quarantined += 1;
+                CacheLoad::Quarantined
+            }
+        }
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> CacheStats {
         self.lock().stats
     }
 
-    /// Checkpoints currently held.
+    /// Checkpoints currently held in memory.
     pub fn len(&self) -> usize {
         self.lock().map.len()
     }
 
-    /// True when no checkpoints are held.
+    /// True when no checkpoints are held in memory.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -177,5 +298,562 @@ impl CheckpointCache {
             }
             None => false,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------------
+
+/// `"TCKP"` as a little-endian `u32`.
+const MAGIC: u32 = u32::from_le_bytes(*b"TCKP");
+
+/// Bump on any change to the on-disk layout; a version mismatch
+/// quarantines the file rather than guessing at its layout.
+const VERSION: u32 = 1;
+
+/// Sizing and quarantine bounds of one [`DiskStore`].
+#[derive(Clone, Debug)]
+pub struct DiskConfig {
+    /// Resident `.ckpt` bytes beyond which the oldest-stored files are
+    /// evicted (the newest is always kept, even over budget).
+    pub byte_budget: u64,
+    /// Most quarantined artifacts kept, by count.
+    pub quarantine_max_files: usize,
+    /// Most quarantined artifacts kept, by total bytes.
+    pub quarantine_max_bytes: u64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            byte_budget: 2 << 30,
+            quarantine_max_files: 16,
+            quarantine_max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Outcome of a disk probe; on `Hit` the caller's template now holds
+/// the verified snapshot.
+pub enum DiskLoad {
+    /// Header, payload checksum and machine digest all verified; the
+    /// template holds the decoded snapshot.
+    Hit,
+    /// No file for this key.
+    Miss,
+    /// A file existed but failed verification; it has been moved to
+    /// quarantine and the caller must simulate fresh.
+    Quarantined,
+}
+
+/// Lifetime counters of one [`DiskStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Checkpoint files written (tmp → fsync → rename completed).
+    pub stores: u64,
+    /// Stores skipped because the key's file was already resident —
+    /// cross-campaign (and cross-restart) dedup by warm key.
+    pub dedup_skips: u64,
+    /// Spill attempts that failed (torn write, ENOSPC, rename crash);
+    /// the run continues from memory, the tmp residue is removed.
+    pub store_errors: u64,
+    /// Loads that verified end-to-end and filled a template.
+    pub hits: u64,
+    /// Loads that found no file.
+    pub misses: u64,
+    /// Files that failed verification and were quarantined.
+    pub quarantined: u64,
+    /// Files evicted by the byte budget.
+    pub evicted: u64,
+    /// Quarantined artifacts pruned by the quarantine bounds.
+    pub quarantine_pruned: u64,
+    /// `.ckpt` files currently resident.
+    pub resident_files: u64,
+    /// Bytes currently resident in `.ckpt` files.
+    pub resident_bytes: u64,
+}
+
+struct DiskEntry {
+    bytes: u64,
+}
+
+struct DiskInner {
+    index: HashMap<WarmKey, DiskEntry>,
+    /// Store order by sequence number, oldest first.
+    order: VecDeque<WarmKey>,
+    next_seq: u64,
+    resident_bytes: u64,
+    counters: DiskCounters,
+    /// Quarantined artifacts, oldest first: `(path, bytes)`.
+    quarantine: VecDeque<(PathBuf, u64)>,
+    quarantine_bytes: u64,
+    quarantine_seq: u64,
+    quarantine_warned: bool,
+}
+
+/// The durable checkpoint tier: content-addressed `.ckpt` files under
+/// one root directory, written atomically through the
+/// [`cmp_common::fsx`] seam, verified exhaustively at load, quarantined
+/// (bounded) on any mismatch, evicted FIFO under a byte budget.
+///
+/// The file name is derived from the warm key —
+/// `<config fingerprint>-<warm cycle in hex>.ckpt` — so a lookup is one
+/// path construction and two campaigns (or two service lifetimes)
+/// sharing a cell's configuration share one file: the prefix is
+/// simulated once per *configuration*, not once per process.
+///
+/// File layout (all little-endian, via the `persist` byte codec):
+///
+/// | field          | type        | covers                               |
+/// |----------------|-------------|--------------------------------------|
+/// | magic `"TCKP"` | `u32`       | this is a checkpoint file at all     |
+/// | version        | `u32`       | layout compatibility                 |
+/// | store sequence | `u64`       | FIFO eviction order across restarts  |
+/// | warm cycle     | `u64`       | key match (belt)                     |
+/// | key fingerprint| `str`       | key match (braces)                   |
+/// | machine digest | `u64`       | semantic state after decode          |
+/// | payload FNV-64 | `u64`       | every payload byte, before decode    |
+/// | payload        | `bytes`     | `MachineSnapshot::save_bytes`        |
+///
+/// The payload checksum catches arbitrary byte corruption (bit rot,
+/// torn writes, short reads) *before* the decoder runs; the machine
+/// digest catches anything that decodes cleanly but is not the state
+/// that was stored; the decoder itself rejects shape mismatches with
+/// structured errors. A failure at any layer quarantines the file and
+/// the run falls back to a fresh simulation.
+pub struct DiskStore {
+    fs: Fs,
+    root: PathBuf,
+    quarantine_dir: PathBuf,
+    cfg: DiskConfig,
+    inner: Mutex<DiskInner>,
+}
+
+/// Everything the header pins down about a `.ckpt` file.
+struct Header<'a> {
+    seq: u64,
+    warm_cycle: Cycle,
+    key_fp: String,
+    digest: u64,
+    payload: &'a [u8],
+}
+
+fn encode_file(seq: u64, key: &WarmKey, digest: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(MAGIC);
+    w.u32(VERSION);
+    w.u64(seq);
+    w.u64(key.1);
+    w.str(&key.0);
+    w.u64(digest);
+    w.u64(fnv64(payload));
+    w.bytes(payload);
+    w.into_bytes()
+}
+
+/// Parse and checksum-verify a `.ckpt` file's bytes. Structured errors,
+/// never a panic, whatever the input.
+fn parse_file(bytes: &[u8]) -> Result<Header<'_>, String> {
+    let mut r = ByteReader::new(bytes);
+    if r.u32().map_err(|e| e.to_string())? != MAGIC {
+        return Err("bad magic (not a checkpoint file, or a torn header)".to_string());
+    }
+    let version = r.u32().map_err(|e| e.to_string())?;
+    if version != VERSION {
+        return Err(format!(
+            "layout version {version} (this build reads {VERSION})"
+        ));
+    }
+    let seq = r.u64().map_err(|e| e.to_string())?;
+    let warm_cycle = r.u64().map_err(|e| e.to_string())?;
+    let key_fp = r.string().map_err(|e| e.to_string())?;
+    let digest = r.u64().map_err(|e| e.to_string())?;
+    let stored_fnv = r.u64().map_err(|e| e.to_string())?;
+    let payload = r.bytes().map_err(|e| e.to_string())?;
+    r.finish().map_err(|e| e.to_string())?;
+    if fnv64(payload) != stored_fnv {
+        return Err("payload checksum mismatch (torn, truncated or bit-rotted)".to_string());
+    }
+    Ok(Header {
+        seq,
+        warm_cycle,
+        key_fp,
+        digest,
+        payload,
+    })
+}
+
+fn file_stem(key: &WarmKey) -> String {
+    format!("{}-{:016x}", key.0, key.1)
+}
+
+impl DiskStore {
+    /// Open (or create) a store rooted at `root`. Scans existing
+    /// `.ckpt` files — header and payload checksum only; the machine
+    /// digest is re-verified at each load — rebuilding the index and
+    /// the FIFO order from their store sequences. Unparseable files are
+    /// quarantined immediately; leftover `.tmp` spill residue from a
+    /// crashed predecessor is deleted; the byte budget is enforced on
+    /// what remains.
+    pub fn open(fs: Fs, root: impl Into<PathBuf>, cfg: DiskConfig) -> io::Result<DiskStore> {
+        let root = root.into();
+        let quarantine_dir = root.join("quarantine");
+        fs.create_dir_all(&quarantine_dir)?;
+        let store = DiskStore {
+            fs,
+            root,
+            quarantine_dir,
+            cfg,
+            inner: Mutex::new(DiskInner {
+                index: HashMap::new(),
+                order: VecDeque::new(),
+                next_seq: 1,
+                resident_bytes: 0,
+                counters: DiskCounters::default(),
+                quarantine: VecDeque::new(),
+                quarantine_bytes: 0,
+                quarantine_seq: 1,
+                quarantine_warned: false,
+            }),
+        };
+        store.scan()?;
+        Ok(store)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DiskInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn path_for(&self, key: &WarmKey) -> PathBuf {
+        self.root.join(format!("{}.ckpt", file_stem(key)))
+    }
+
+    fn scan(&self) -> io::Result<()> {
+        // Seed the quarantine ledger first so scan-time quarantines
+        // append after what a predecessor left (names are `q<seq>-…`,
+        // zero-padded, so lexicographic order is age order).
+        let mut quarantined: Vec<(PathBuf, u64)> = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&self.quarantine_dir) {
+            for e in rd.flatten() {
+                let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
+                quarantined.push((e.path(), bytes));
+            }
+        }
+        quarantined.sort();
+        {
+            let mut inner = self.lock();
+            for (path, bytes) in quarantined {
+                let seq = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_prefix('q'))
+                    .and_then(|n| n.split('-').next())
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .unwrap_or(0);
+                inner.quarantine_seq = inner.quarantine_seq.max(seq + 1);
+                inner.quarantine_bytes += bytes;
+                inner.quarantine.push_back((path, bytes));
+            }
+        }
+
+        let mut found: Vec<PathBuf> = Vec::new();
+        for e in std::fs::read_dir(&self.root)?.flatten() {
+            let path = e.path();
+            if !path.is_file() {
+                continue;
+            }
+            match path.extension().and_then(|x| x.to_str()) {
+                Some("ckpt") => found.push(path),
+                // A `.tmp` here is the residue of a spill the previous
+                // process never completed: worthless, delete it.
+                Some("tmp") => {
+                    let _ = self.fs.remove_file(&path);
+                }
+                _ => {}
+            }
+        }
+        found.sort();
+        let mut entries: Vec<(u64, WarmKey, u64)> = Vec::new();
+        for path in found {
+            // The scan reads through the fault seam too: an injected
+            // short read or bit flip here quarantines the file exactly
+            // as a load-time one would.
+            let verdict = self
+                .fs
+                .read(&path)
+                .map_err(|e| format!("reading: {e}"))
+                .and_then(|bytes| {
+                    parse_file(&bytes)
+                        .map(|h| ((h.key_fp, h.warm_cycle), h.seq, bytes.len() as u64))
+                });
+            match verdict {
+                Ok((key, seq, bytes)) => {
+                    if self.path_for(&key) != path {
+                        self.quarantine_file(&path, "file name does not match its header key");
+                        continue;
+                    }
+                    entries.push((seq, key, bytes));
+                }
+                Err(reason) => self.quarantine_file(&path, &reason),
+            }
+        }
+        entries.sort_by_key(|(seq, _, _)| *seq);
+        {
+            let mut inner = self.lock();
+            for (seq, key, bytes) in entries {
+                inner.next_seq = inner.next_seq.max(seq + 1);
+                inner.resident_bytes += bytes;
+                inner.order.push_back(key.clone());
+                inner.index.insert(key, DiskEntry { bytes });
+            }
+        }
+        self.evict_to_budget();
+        Ok(())
+    }
+
+    /// Whether a file for `key` is resident (index only; verification
+    /// happens at load).
+    pub fn contains(&self, key: &WarmKey) -> bool {
+        self.lock().index.contains_key(key)
+    }
+
+    /// Spill `snap` under `key`: encode, write to a temp file, fsync,
+    /// rename into place, then evict the oldest files beyond the byte
+    /// budget. A key already resident is a dedup skip (first simulation
+    /// of a configuration wins — across campaigns and restarts). Any
+    /// write-path failure removes the temp residue, counts a store
+    /// error and logs loudly; the caller's run is never failed by a
+    /// spill.
+    pub fn store(&self, key: &WarmKey, snap: &MachineSnapshot) {
+        {
+            let mut inner = self.lock();
+            if inner.index.contains_key(key) {
+                inner.counters.dedup_skips += 1;
+                return;
+            }
+        }
+        let payload = snap.save_bytes();
+        let seq = {
+            let mut inner = self.lock();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            seq
+        };
+        let bytes = encode_file(seq, key, snap.digest(), &payload);
+        let path = self.path_for(key);
+        let tmp = self.root.join(format!("{}.{}.tmp", file_stem(key), seq));
+        let spill = (|| -> io::Result<()> {
+            let mut f = self.fs.create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync()?;
+            drop(f);
+            self.fs.rename(&tmp, &path)
+        })();
+        match spill {
+            Ok(()) => {
+                let mut inner = self.lock();
+                inner.counters.stores += 1;
+                inner.resident_bytes += bytes.len() as u64;
+                inner.order.push_back(key.clone());
+                inner.index.insert(
+                    key.clone(),
+                    DiskEntry {
+                        bytes: bytes.len() as u64,
+                    },
+                );
+                drop(inner);
+                self.evict_to_budget();
+            }
+            Err(e) => {
+                // Torn/ENOSPC residue must not look like a checkpoint
+                // later; a rename-then-crash leaves a *complete* file
+                // behind that the next scan will adopt — also fine.
+                let _ = self.fs.remove_file(&tmp);
+                self.lock().counters.store_errors += 1;
+                eprintln!(
+                    "checkpoint spill failed for {} (run continues unwarmed on disk): {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Probe the store for `key`, decoding into `template` — the
+    /// snapshot of a freshly built machine with this key's exact
+    /// configuration. On [`DiskLoad::Hit`] the template holds the
+    /// verified state; on any verification failure the file is
+    /// quarantined first.
+    pub fn load_into(&self, key: &WarmKey, template: &mut MachineSnapshot) -> DiskLoad {
+        let path = self.path_for(key);
+        if !self.lock().index.contains_key(key) {
+            self.lock().counters.misses += 1;
+            return DiskLoad::Miss;
+        }
+        // Reads go through the fault seam: short reads and bit flips
+        // land here and must be caught below.
+        let bytes = match self.fs.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Evicted or removed behind our back; a miss, not an
+                // error.
+                self.forget(key);
+                self.lock().counters.misses += 1;
+                return DiskLoad::Miss;
+            }
+            Err(e) => {
+                self.quarantine_key(key, &format!("reading: {e}"));
+                return DiskLoad::Quarantined;
+            }
+        };
+        let verdict = parse_file(&bytes).and_then(|h| {
+            if h.key_fp != key.0 || h.warm_cycle != key.1 {
+                return Err(format!(
+                    "header key {}-{:016x} does not match the requested key",
+                    h.key_fp, h.warm_cycle
+                ));
+            }
+            template
+                .load_bytes(h.payload)
+                .map_err(|e| format!("payload decode: {e}"))?;
+            if template.digest() != h.digest {
+                return Err("machine digest mismatch after decode".to_string());
+            }
+            Ok(())
+        });
+        match verdict {
+            Ok(()) => {
+                self.lock().counters.hits += 1;
+                DiskLoad::Hit
+            }
+            Err(reason) => {
+                self.quarantine_key(key, &reason);
+                DiskLoad::Quarantined
+            }
+        }
+    }
+
+    /// Forget `key`'s index entry (file already gone).
+    fn forget(&self, key: &WarmKey) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.index.remove(key) {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(entry.bytes);
+            inner.order.retain(|k| k != key);
+        }
+    }
+
+    fn quarantine_key(&self, key: &WarmKey, reason: &str) {
+        let path = self.path_for(key);
+        self.forget(key);
+        self.lock().counters.quarantined += 1;
+        self.quarantine_file(&path, reason);
+    }
+
+    /// Move a failed artifact into the quarantine directory (keeping it
+    /// for forensics rather than deleting evidence), then prune the
+    /// quarantine to its bounds, oldest first. Quarantine operations
+    /// use the real rename/remove paths — cleanup must stay reliable
+    /// even under an armed fault seam.
+    fn quarantine_file(&self, path: &Path, reason: &str) {
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let qseq = {
+            let mut inner = self.lock();
+            let q = inner.quarantine_seq;
+            inner.quarantine_seq += 1;
+            q
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unnamed.ckpt");
+        let dest = self.quarantine_dir.join(format!("q{qseq:08}-{name}"));
+        eprintln!(
+            "quarantined checkpoint {} -> {}: {reason}",
+            path.display(),
+            dest.display()
+        );
+        match std::fs::rename(path, &dest) {
+            Ok(()) => {
+                let mut inner = self.lock();
+                inner.quarantine_bytes += bytes;
+                inner.quarantine.push_back((dest, bytes));
+            }
+            Err(e) => {
+                // Could not preserve it; removing is still mandatory so
+                // the corrupt file cannot be re-adopted by a restart.
+                let _ = std::fs::remove_file(path);
+                eprintln!(
+                    "could not move {} to quarantine ({e}); removed instead",
+                    path.display()
+                );
+            }
+        }
+        self.prune_quarantine();
+    }
+
+    /// Enforce the quarantine bounds: drop the oldest artifacts beyond
+    /// the file-count or byte cap. Warns loudly the first time pruning
+    /// discards evidence.
+    fn prune_quarantine(&self) {
+        let mut inner = self.lock();
+        let mut pruned = 0u64;
+        while inner.quarantine.len() > self.cfg.quarantine_max_files
+            || inner.quarantine_bytes > self.cfg.quarantine_max_bytes
+        {
+            let Some((path, bytes)) = inner.quarantine.pop_front() else {
+                break;
+            };
+            inner.quarantine_bytes = inner.quarantine_bytes.saturating_sub(bytes);
+            inner.counters.quarantine_pruned += 1;
+            pruned += 1;
+            let _ = std::fs::remove_file(&path);
+        }
+        if pruned > 0 && !inner.quarantine_warned {
+            inner.quarantine_warned = true;
+            eprintln!(
+                "checkpoint quarantine exceeded its bounds ({} files / {} bytes): \
+                 pruning oldest artifacts; corruption is frequent enough that \
+                 evidence is being discarded — investigate the storage or the \
+                 armed fault campaign",
+                self.cfg.quarantine_max_files, self.cfg.quarantine_max_bytes
+            );
+        }
+    }
+
+    /// Evict oldest-stored files until the byte budget holds (the
+    /// newest file is always kept: a budget smaller than one checkpoint
+    /// must not make the store useless).
+    fn evict_to_budget(&self) {
+        let mut inner = self.lock();
+        while inner.resident_bytes > self.cfg.byte_budget && inner.order.len() > 1 {
+            let Some(key) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(entry) = inner.index.remove(&key) {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(entry.bytes);
+                inner.counters.evicted += 1;
+                let _ = self.fs.remove_file(self.path_for(&key));
+            }
+        }
+    }
+
+    /// Lifetime counters, with residency filled in.
+    pub fn counters(&self) -> DiskCounters {
+        let inner = self.lock();
+        let mut c = inner.counters;
+        c.resident_files = inner.index.len() as u64;
+        c.resident_bytes = inner.resident_bytes;
+        c
+    }
+
+    /// Quarantined artifacts currently kept: `(count, bytes)`.
+    pub fn quarantine_usage(&self) -> (usize, u64) {
+        let inner = self.lock();
+        (inner.quarantine.len(), inner.quarantine_bytes)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
     }
 }

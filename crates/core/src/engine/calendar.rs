@@ -152,6 +152,56 @@ impl Calendar {
     }
 }
 
+cmp_common::impl_persist!(DelayedEvent {
+    at,
+    seq,
+    src,
+    dst,
+    msg,
+});
+
+/// Heaps are encoded as sorted vectors: [`DelayedEvent`]s are totally
+/// ordered by `(at, seq)` and the core index entries by `(ready, tile)`,
+/// so pop order — and therefore the replayed schedule — is independent of
+/// the heap's internal layout. The core heap is re-derived from
+/// `core_next` at load (stale entries are discarded on pop anyway, so the
+/// canonical rebuild is behaviourally identical).
+impl cmp_common::persist::PersistState for Calendar {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        let mut delayed: Vec<DelayedEvent> = self.delayed.iter().map(|Reverse(ev)| *ev).collect();
+        delayed.sort_unstable_by_key(|ev| (ev.at, ev.seq));
+        delayed.save(w);
+        w.u64(self.seq);
+        self.core_next.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        let delayed: Vec<DelayedEvent> = Persist::load(r)?;
+        self.seq = r.u64()?;
+        if delayed.iter().any(|ev| ev.seq > self.seq) {
+            return Err(r.err("delayed event sequence exceeds the allocator"));
+        }
+        let core_next: Vec<Cycle> = Persist::load(r)?;
+        if core_next.len() != self.core_next.len() {
+            return Err(r.err("core count does not match machine shape"));
+        }
+        self.delayed = delayed.into_iter().map(Reverse).collect();
+        self.core_next = core_next;
+        self.core_heap = self
+            .core_next
+            .iter()
+            .enumerate()
+            .filter(|&(_, &at)| at != Cycle::MAX)
+            .map(|(t, &at)| Reverse((at, t as u32)))
+            .collect();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

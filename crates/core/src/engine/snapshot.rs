@@ -201,6 +201,105 @@ impl MachineSnapshot {
     pub fn fault_corrupt(&mut self) {
         self.mem.read(self.now, TileId(0), 0xDEAD_C0DE << 6);
     }
+
+    /// Encode the captured machine as bytes (the disk-spill payload).
+    ///
+    /// Only mutable state is written: a matching [`MachineSnapshot::load_bytes`]
+    /// always runs on a *template* snapshot taken from a freshly built
+    /// simulator of the identical configuration (the cache's warm key
+    /// fingerprints the full config), so immutable structure — mesh shape,
+    /// codec schemes, latencies — never hits disk and every
+    /// trait-object component loads its state in place.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        use cmp_common::persist::PersistState;
+        let mut w = cmp_common::persist::ByteWriter::new();
+        self.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Overwrite this (template) snapshot from [`MachineSnapshot::save_bytes`]
+    /// output. Corrupt or truncated input — including bytes captured from
+    /// a machine of a different shape or arming — is a structured error,
+    /// never a panic and never a silently inconsistent machine.
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::PersistState;
+        let mut r = cmp_common::persist::ByteReader::new(bytes);
+        self.load_state(&mut r)?;
+        r.finish()
+    }
+}
+
+impl cmp_common::persist::PersistState for MachineSnapshot {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::{save_state_slice, Persist};
+        w.u64(self.now);
+        save_state_slice(&self.tiles, w);
+        save_state_slice(&self.l2s, w);
+        self.noc.save_state(w);
+        self.mem.save_state(w);
+        self.barrier.save_state(w);
+        self.calendar.save_state(w);
+        self.cores_unfinished.save(w);
+        self.busy_l2_count.save(w);
+        // Optional robustness components: presence is *arming shape* (a
+        // config decision), their contents are state.
+        w.bool(self.injector.is_some());
+        if let Some(inj) = &self.injector {
+            inj.save_state(w);
+        }
+        w.bool(self.sanitizer.is_some());
+        if let Some(s) = &self.sanitizer {
+            s.save_state(w);
+        }
+        w.u64(self.next_sweep);
+        w.bool(self.watchdog.is_some());
+        if let Some(wd) = &self.watchdog {
+            wd.save_state(w);
+        }
+        w.u64(self.iters);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::{load_state_slice, Persist};
+        self.now = r.u64()?;
+        load_state_slice(&mut self.tiles, r)?;
+        load_state_slice(&mut self.l2s, r)?;
+        self.noc.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.barrier.load_state(r)?;
+        self.calendar.load_state(r)?;
+        self.cores_unfinished = Persist::load(r)?;
+        self.busy_l2_count = Persist::load(r)?;
+        if r.bool()? != self.injector.is_some() {
+            return Err(r.err("fault injector arming does not match machine shape"));
+        }
+        if let Some(inj) = &mut self.injector {
+            inj.load_state(r)?;
+        }
+        if r.bool()? != self.sanitizer.is_some() {
+            return Err(r.err("sanitizer arming does not match machine shape"));
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.load_state(r)?;
+        }
+        self.next_sweep = r.u64()?;
+        if r.bool()? != self.watchdog.is_some() {
+            return Err(r.err("watchdog arming does not match machine shape"));
+        }
+        if let Some(wd) = &mut self.watchdog {
+            wd.load_state(r)?;
+        }
+        self.iters = r.u64()?;
+        if self.cores_unfinished > self.tiles.len() {
+            return Err(r.err("unfinished core count exceeds machine size"));
+        }
+        if self.busy_l2_count > self.l2s.len() {
+            return Err(r.err("busy L2 count exceeds machine size"));
+        }
+        Ok(())
+    }
 }
 
 impl Engine {

@@ -140,6 +140,49 @@ impl Clocked for L2Bank {
     }
 }
 
+use cmp_common::persist::{save_state_slice, ByteReader, ByteWriter, PersistError, PersistState};
+
+impl PersistState for NetIface {
+    fn save_state(&self, w: &mut ByteWriter) {
+        self.codec.save_state(w);
+        save_state_slice(&self.probes, w);
+        self.tracker.save_state(w);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        self.codec.load_state(r)?;
+        cmp_common::persist::load_state_slice(&mut self.probes, r)?;
+        self.tracker.load_state(r)
+    }
+}
+
+impl PersistState for Tile {
+    fn save_state(&self, w: &mut ByteWriter) {
+        self.core.save_state(w);
+        self.l1.save_state(w);
+        self.ni.save_state(w);
+        w.bool(self.parked);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        self.core.load_state(r)?;
+        self.l1.load_state(r)?;
+        self.ni.load_state(r)?;
+        self.parked = r.bool()?;
+        Ok(())
+    }
+}
+
+impl PersistState for L2Bank {
+    fn save_state(&self, w: &mut ByteWriter) {
+        self.slice.save_state(w);
+        w.bool(self.busy);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        self.slice.load_state(r)?;
+        self.busy = r.bool()?;
+        Ok(())
+    }
+}
+
 /// Capture a row of components via their per-component snapshots.
 pub(crate) fn snapshot_all<T: Snapshot>(items: &[T]) -> Vec<T::State> {
     items.iter().map(Snapshot::snapshot).collect()

@@ -102,6 +102,29 @@ impl Watchdog {
     }
 }
 
+/// The config (and the period derived from it) is configuration; the
+/// observation coordinates are state.
+impl cmp_common::persist::PersistState for Watchdog {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        w.u64(self.next_check);
+        w.u64(self.last_progress_iter);
+        w.u64(self.last_progress_cycle);
+        w.u64(self.last_instructions);
+        w.u64(self.last_delivered);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        self.next_check = r.u64()?;
+        self.last_progress_iter = r.u64()?;
+        self.last_progress_cycle = r.u64()?;
+        self.last_instructions = r.u64()?;
+        self.last_delivered = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

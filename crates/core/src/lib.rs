@@ -39,7 +39,9 @@ pub mod report;
 pub mod sim;
 pub mod supervisor;
 
-pub use checkpoint::{CacheLoad, CacheStats, CheckpointCache, WarmKey};
+pub use checkpoint::{
+    CacheLoad, CacheStats, CheckpointCache, DiskConfig, DiskCounters, DiskLoad, DiskStore, WarmKey,
+};
 pub use engine::{MachineSnapshot, RestoreError};
 pub use experiment::{
     figure6_configs, normalize_partial, paper_configs, run_matrix, run_matrix_jobs, ConfigSpec,

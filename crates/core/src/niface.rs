@@ -203,6 +203,39 @@ impl ResyncTracker {
     }
 }
 
+cmp_common::impl_persist!(ResyncStats {
+    desyncs_detected,
+    resyncs_completed,
+    fallback_msgs,
+});
+
+/// Window vectors are sized by the tile count — machine shape, checked at
+/// load.
+impl cmp_common::persist::PersistState for ResyncTracker {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        for side in &self.windows {
+            side.save(w);
+        }
+        self.stats.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        for side in &mut self.windows {
+            let loaded: Vec<Cycle> = Persist::load(r)?;
+            if loaded.len() != side.len() {
+                return Err(r.err("resync window count does not match machine shape"));
+            }
+            *side = loaded;
+        }
+        self.stats = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

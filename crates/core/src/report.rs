@@ -113,6 +113,20 @@ impl TableBuilder {
     pub fn write_csv_stamped(&self, path: impl AsRef<Path>, stamp: &str) -> io::Result<()> {
         cmp_common::journal::write_atomic(path, format!("# {stamp}\n{}", self.to_csv()))
     }
+
+    /// [`TableBuilder::write_csv_stamped`] through an explicit
+    /// [`cmp_common::fsx::Fs`] handle, so a service running under an
+    /// armed fault seam exercises its CSV finalisation path too. Same
+    /// atomicity: any injected fault leaves the target holding one
+    /// complete version, old or new.
+    pub fn write_csv_stamped_on(
+        &self,
+        fs: &cmp_common::fsx::Fs,
+        path: impl AsRef<Path>,
+        stamp: &str,
+    ) -> io::Result<()> {
+        fs.write_atomic(path, format!("# {stamp}\n{}", self.to_csv()))
+    }
 }
 
 /// Assemble one Figure 6/7-style table from normalised rows: one row

@@ -238,7 +238,10 @@ pub fn run_supervised_cached(
     };
     let key = warm_key(&cfg, app, seed, scale, warm_cycles);
     let mut sim = CmpSimulator::new(cfg, app, seed, scale);
-    let warm = match cache.load(&key) {
+    // The freshly built machine IS the decode template for the disk
+    // tier: the warm key fingerprints the full configuration, so its
+    // shape provably matches whatever bytes are stored under this key.
+    let warm = match cache.load_via(&key, || Box::new(sim.snapshot())) {
         CacheLoad::Hit(snap) => {
             sim.restore(&snap);
             WarmStart::Warmed
@@ -546,7 +549,9 @@ pub fn run_journaled_cell<J: BorrowMut<Journal>>(
         attempts_made.set(attempt + 1);
         if let Some(j) = journal {
             with_journal(j, |j| {
-                let _ = j.record_start(&key, attempt + 1);
+                if let Err(e) = j.record_start(&key, attempt + 1) {
+                    eprintln!("journal: start record for cell {key} failed: {e}");
+                }
             });
         }
         // A panicking cell must not leave its slot empty, the mutex
@@ -579,7 +584,14 @@ pub fn run_journaled_cell<J: BorrowMut<Journal>>(
         Ok(result) => {
             if let Some(j) = journal {
                 with_journal(j, |j| {
-                    let _ = j.record_finish(&key, result_to_json(&result));
+                    // A lost finish record only costs a re-simulation
+                    // on resume — but it must never be lost silently.
+                    if let Err(e) = j.record_finish(&key, result_to_json(&result)) {
+                        eprintln!(
+                            "journal: finish record for cell {key} failed \
+                             (the cell will re-run on resume): {e}"
+                        );
+                    }
                 });
             }
             CellRun {
@@ -591,7 +603,9 @@ pub fn run_journaled_cell<J: BorrowMut<Journal>>(
         Err((attempts, failure)) => {
             if let Some(j) = journal {
                 with_journal(j, |j| {
-                    let _ = j.record_fail(&key, attempts, &failure.error.brief());
+                    if let Err(e) = j.record_fail(&key, attempts, &failure.error.brief()) {
+                        eprintln!("journal: fail record for cell {key} failed: {e}");
+                    }
                 });
             }
             CellRun {

@@ -74,6 +74,76 @@ impl Clone for Core {
 
 cmp_common::impl_snapshot_clone!(Core);
 
+cmp_common::impl_persist!(CoreStats {
+    instructions,
+    mem_ops,
+    mem_stall_cycles,
+    barrier_stall_cycles,
+    finished_at,
+});
+
+impl cmp_common::persist::Persist for State {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        match *self {
+            State::Ready { at } => {
+                w.u8(0);
+                w.u64(at);
+            }
+            State::WaitingMem { since, line } => {
+                w.u8(1);
+                w.u64(since);
+                w.u64(line);
+            }
+            State::AtBarrier { since, id } => {
+                w.u8(2);
+                w.u64(since);
+                w.u32(id);
+            }
+            State::Done => w.u8(3),
+        }
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => State::Ready { at: r.u64()? },
+            1 => State::WaitingMem {
+                since: r.u64()?,
+                line: r.u64()?,
+            },
+            2 => State::AtBarrier {
+                since: r.u64()?,
+                id: r.u32()?,
+            },
+            3 => State::Done,
+            _ => return Err(r.err("invalid core State tag")),
+        })
+    }
+}
+
+/// The op source and issue width come from the configuration; the
+/// source's *position* plus the execution state travel as bytes.
+impl cmp_common::persist::PersistState for Core {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.source.save_state(w);
+        self.state.save(w);
+        self.pending.save(w);
+        self.stats.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        self.source.load_state(r)?;
+        self.state = State::load(r)?;
+        self.pending = Persist::load(r)?;
+        self.stats = CoreStats::load(r)?;
+        Ok(())
+    }
+}
+
 impl Core {
     /// A core with the given trace and issue width (2 in Table 4).
     pub fn new(source: Box<dyn OpSource>, issue_width: u32) -> Self {

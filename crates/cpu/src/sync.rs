@@ -16,6 +16,31 @@ pub struct BarrierState {
 
 cmp_common::impl_snapshot_clone!(BarrierState);
 
+/// The participant count is fixed by the machine shape and doubles as a
+/// shape check at load time.
+impl cmp_common::persist::PersistState for BarrierState {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        w.usize(self.participants);
+        self.arrived.save(w);
+        w.u32(self.waiting);
+        w.u32(self.epoch);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        if r.usize()? != self.participants {
+            return Err(r.err("barrier participant count does not match machine shape"));
+        }
+        self.arrived = Persist::load(r)?;
+        self.waiting = r.u32()?;
+        self.epoch = r.u32()?;
+        Ok(())
+    }
+}
+
 impl BarrierState {
     /// A barrier over `participants` cores.
     pub fn new(participants: usize) -> Self {

@@ -1,5 +1,6 @@
 //! Trace operations and the streaming source abstraction.
 
+use cmp_common::persist::{ByteReader, ByteWriter, Persist, PersistError, PersistState};
 use cmp_common::types::Addr;
 
 /// One operation of a core's instruction stream, at the granularity the
@@ -47,6 +48,56 @@ pub trait OpSource: Send {
     /// generator state, so a checkpointed core resumes on an identical
     /// op stream (the snapshot/restore seam for trait objects).
     fn clone_box(&self) -> Box<dyn OpSource>;
+
+    /// Append this source's mutable state (position, generator cursors)
+    /// for an on-disk checkpoint. The matching [`OpSource::load_state`]
+    /// is always called on a freshly built source of the same concrete
+    /// type and configuration, so no type tag travels with the bytes.
+    fn save_state(&self, w: &mut ByteWriter);
+
+    /// Overwrite this source's mutable state from checkpoint bytes.
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError>;
+}
+
+impl PersistState for Box<dyn OpSource> {
+    fn save_state(&self, w: &mut ByteWriter) {
+        (**self).save_state(w);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        (**self).load_state(r)
+    }
+}
+
+impl Persist for TraceOp {
+    fn save(&self, w: &mut ByteWriter) {
+        match *self {
+            TraceOp::Compute(n) => {
+                w.u8(0);
+                w.u32(n);
+            }
+            TraceOp::Load(a) => {
+                w.u8(1);
+                w.u64(a);
+            }
+            TraceOp::Store(a) => {
+                w.u8(2);
+                w.u64(a);
+            }
+            TraceOp::Barrier(id) => {
+                w.u8(3);
+                w.u32(id);
+            }
+        }
+    }
+    fn load(r: &mut ByteReader) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => TraceOp::Compute(r.u32()?),
+            1 => TraceOp::Load(r.u64()?),
+            2 => TraceOp::Store(r.u64()?),
+            3 => TraceOp::Barrier(r.u32()?),
+            _ => return Err(r.err("invalid TraceOp tag")),
+        })
+    }
 }
 
 /// An `OpSource` over a pre-built vector (tests, microbenchmarks).
@@ -71,6 +122,16 @@ impl OpSource for SliceSource {
 
     fn clone_box(&self) -> Box<dyn OpSource> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self, w: &mut ByteWriter) {
+        // the un-consumed tail of the trace *is* the position
+        self.ops.as_slice().to_vec().save(w);
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        self.ops = Vec::<TraceOp>::load(r)?.into_iter();
+        Ok(())
     }
 }
 

@@ -182,6 +182,23 @@ impl NocConfig {
     }
 }
 
+impl cmp_common::persist::Persist for ChannelKind {
+    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn load(
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<Self, cmp_common::persist::PersistError> {
+        Ok(match r.u8()? {
+            0 => ChannelKind::B,
+            1 => ChannelKind::Vl,
+            2 => ChannelKind::L,
+            3 => ChannelKind::Pw,
+            _ => return Err(r.err("invalid ChannelKind tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,11 @@ impl NocEnergy {
     }
 }
 
+cmp_common::impl_persist!(NocEnergy {
+    link_dynamic,
+    router_dynamic,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,53 @@ impl<P> Delivered<P> {
     }
 }
 
+use cmp_common::persist::{ByteReader, ByteWriter, Persist, PersistError};
+
+impl Persist for MessageId {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut ByteReader) -> Result<Self, PersistError> {
+        Ok(MessageId(r.u64()?))
+    }
+}
+
+impl<P: Persist> Persist for Message<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.src.save(w);
+        self.dst.save(w);
+        self.class.save(w);
+        self.wire_bytes.save(w);
+        self.channel.save(w);
+        self.payload.save(w);
+    }
+    fn load(r: &mut ByteReader) -> Result<Self, PersistError> {
+        Ok(Message {
+            src: Persist::load(r)?,
+            dst: Persist::load(r)?,
+            class: Persist::load(r)?,
+            wire_bytes: Persist::load(r)?,
+            channel: Persist::load(r)?,
+            payload: Persist::load(r)?,
+        })
+    }
+}
+
+impl<P: Persist> Persist for Delivered<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.message.save(w);
+        w.u64(self.injected_at);
+        w.u64(self.delivered_at);
+    }
+    fn load(r: &mut ByteReader) -> Result<Self, PersistError> {
+        Ok(Delivered {
+            message: Persist::load(r)?,
+            injected_at: r.u64()?,
+            delivered_at: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -340,6 +340,29 @@ impl<P> Noc<P> {
     }
 }
 
+/// Config, mesh, channel map and the energy model are all configuration;
+/// the sub-networks, fault-held messages and injection counter are state.
+/// Sub-network count is fixed by the configuration, so each loads in place
+/// in index order.
+impl<P: cmp_common::persist::Persist> cmp_common::persist::PersistState for Noc<P> {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        cmp_common::persist::save_state_slice(&self.subnets, w);
+        self.held.save(w);
+        self.injected.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        cmp_common::persist::load_state_slice(&mut self.subnets, r)?;
+        self.held = Persist::load(r)?;
+        self.injected = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

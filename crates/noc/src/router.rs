@@ -174,6 +174,58 @@ impl Router {
     }
 }
 
+use cmp_common::persist::{
+    load_state_slice, save_state_slice, ByteReader, ByteWriter, Persist, PersistError, PersistState,
+};
+
+cmp_common::impl_persist!(Flit { msg, seq, tail });
+cmp_common::impl_persist!(BufferedFlit { flit, arrived });
+cmp_common::impl_persist!(OutputVc { owner, credits });
+
+/// The buffer capacity is configuration; the queue and the per-message
+/// wormhole state are checkpointed.
+impl PersistState for InputVc {
+    fn save_state(&self, w: &mut ByteWriter) {
+        self.buf.save(w);
+        self.route.save(w);
+        self.out_vc.save(w);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        let buf: std::collections::VecDeque<BufferedFlit> = Persist::load(r)?;
+        if buf.len() > self.capacity {
+            return Err(r.err("input VC occupancy exceeds buffer capacity"));
+        }
+        self.buf = buf;
+        self.route = Persist::load(r)?;
+        self.out_vc = Persist::load(r)?;
+        Ok(())
+    }
+}
+
+impl PersistState for Router {
+    fn save_state(&self, w: &mut ByteWriter) {
+        for port in &self.inputs {
+            save_state_slice(port, w);
+        }
+        // Output ports are plain values, but their VC count is machine
+        // shape — encode via the slice helper so a mismatch is an error.
+        for port in &self.outputs {
+            save_state_slice(&port.vcs, w);
+            port.rr.save(w);
+        }
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        for port in &mut self.inputs {
+            load_state_slice(port, r)?;
+        }
+        for port in &mut self.outputs {
+            load_state_slice(&mut port.vcs, r)?;
+            port.rr = Persist::load(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -120,6 +120,33 @@ impl NocStats {
     }
 }
 
+cmp_common::impl_persist!(ClassStats {
+    count,
+    bytes,
+    latency,
+});
+
+/// The per-class vector's length is fixed by [`MessageClass::ALL`] — it is
+/// machine shape, so it loads in place through the slice helper.
+impl cmp_common::persist::PersistState for NocStats {
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        cmp_common::persist::save_state_slice(&self.per_class, w);
+        self.flit_hops.save(w);
+        self.injected.save(w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        cmp_common::persist::load_state_slice(&mut self.per_class, r)?;
+        self.flit_hops = Persist::load(r)?;
+        self.injected = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -572,6 +572,121 @@ impl<P> SubNet<P> {
     }
 }
 
+use cmp_common::persist::{
+    load_state_slice, save_state_slice, ByteReader, ByteWriter, Persist, PersistError, PersistState,
+};
+
+impl<P: Persist> Persist for InFlight<P> {
+    fn save(&self, w: &mut ByteWriter) {
+        self.msg.save(w);
+        w.u64(self.injected_at);
+        w.u32(self.flits_total);
+        w.u32(self.flits_ejected);
+        self.dst.save(w);
+        self.wire_bytes.save(w);
+    }
+    fn load(r: &mut ByteReader) -> Result<Self, PersistError> {
+        Ok(InFlight {
+            msg: Persist::load(r)?,
+            injected_at: r.u64()?,
+            flits_total: r.u32()?,
+            flits_ejected: r.u32()?,
+            dst: Persist::load(r)?,
+            wire_bytes: Persist::load(r)?,
+        })
+    }
+}
+
+cmp_common::impl_persist!(WireFlit {
+    flit,
+    arrival,
+    dst_tile,
+    dst_port,
+    vc,
+});
+
+cmp_common::impl_persist!(InjProgress { slot, vc, next_seq });
+
+/// Spec, mesh and derived timing are configuration; everything that moves
+/// — router buffers, wire flits, injection queues, the in-flight slab and
+/// the accumulators — is checkpointed. Per-tile vectors load through the
+/// slice helpers, so bytes from a different mesh shape are a structured
+/// error, never a silently resized machine.
+impl<P: Persist> PersistState for SubNet<P> {
+    fn save_state(&self, w: &mut ByteWriter) {
+        save_state_slice(&self.routers, w);
+        self.flits_buffered.save(w);
+        self.vc_occupied.save(w);
+        self.wire.save(w);
+        w.u64(self.inj_queues.len() as u64);
+        for q in &self.inj_queues {
+            q.save(w);
+        }
+        self.inj_progress.save(w);
+        self.link_flits.save(w);
+        self.slab.save(w);
+        self.free_slots.save(w);
+        self.live_msgs.save(w);
+        self.delivered.save(w);
+        self.energy.save(w);
+        self.stats.save_state(w);
+        w.u64(self.buffered_total);
+        self.inject_pending.save(w);
+    }
+    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
+        let tiles = self.mesh.tiles();
+        load_state_slice(&mut self.routers, r)?;
+        let flits_buffered: Vec<u32> = Persist::load(r)?;
+        if flits_buffered.len() != tiles {
+            return Err(r.err("per-tile flit counts do not match machine shape"));
+        }
+        self.flits_buffered = flits_buffered;
+        let vc_occupied: Vec<u32> = Persist::load(r)?;
+        if vc_occupied.len() != tiles {
+            return Err(r.err("VC occupancy bitmap count does not match machine shape"));
+        }
+        self.vc_occupied = vc_occupied;
+        self.wire = Persist::load(r)?;
+        let nq = r.len_prefix()?;
+        if nq != tiles {
+            return Err(r.err("injection queue count does not match machine shape"));
+        }
+        for q in &mut self.inj_queues {
+            *q = Persist::load(r)?;
+        }
+        let inj_progress: Vec<Option<InjProgress>> = Persist::load(r)?;
+        if inj_progress.len() != tiles {
+            return Err(r.err("injection progress count does not match machine shape"));
+        }
+        self.inj_progress = inj_progress;
+        let link_flits: Vec<[u64; 4]> = Persist::load(r)?;
+        if link_flits.len() != tiles {
+            return Err(r.err("link flit counter count does not match machine shape"));
+        }
+        self.link_flits = link_flits;
+        self.slab = Persist::load(r)?;
+        self.free_slots = Persist::load(r)?;
+        self.live_msgs = Persist::load(r)?;
+        self.delivered = Persist::load(r)?;
+        self.energy = Persist::load(r)?;
+        self.stats.load_state(r)?;
+        self.buffered_total = r.u64()?;
+        self.inject_pending = Persist::load(r)?;
+        // Cross-checks mirroring the tick()-time debug assertions: corrupt
+        // counters must surface here, not as a wedged simulation.
+        if self.buffered_total != self.flits_buffered.iter().map(|&n| n as u64).sum::<u64>() {
+            return Err(r.err("buffered-flit total disagrees with per-tile counts"));
+        }
+        if self.inject_pending
+            != self.inj_queues.iter().map(|q| q.len()).sum::<usize>()
+                + self.inj_progress.iter().filter(|p| p.is_some()).count()
+        {
+            return Err(r.err("inject-pending counter disagrees with queues"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,6 +1049,83 @@ mod tests {
             assert_eq!(delivered, injected);
             assert!(net.is_idle());
         });
+    }
+
+    #[test]
+    fn mid_flight_checkpoint_resumes_bit_identically() {
+        use cmp_common::persist::{ByteReader, ByteWriter, PersistState};
+        let mesh = MeshShape::square(4);
+        let mut net = SubNet::new(b_spec(34), mesh, CLOCK);
+        let rem = RouterEnergyModel::default();
+        let mut rng = cmp_common::rng::SimRng::new(99);
+        // Load the network up and advance into the thick of it.
+        for now in 0..40u64 {
+            for src in 0..16usize {
+                if rng.chance(0.4) {
+                    let dst = (src + 1 + rng.index(15)) % 16;
+                    net.inject(now, msg(src, dst, 67));
+                }
+            }
+            net.tick(now, &rem);
+        }
+        assert!(!net.is_idle(), "checkpoint must capture in-flight traffic");
+        let mut w = ByteWriter::new();
+        net.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut resumed: SubNet<u64> = SubNet::new(b_spec(34), mesh, CLOCK);
+        let mut r = ByteReader::new(&bytes);
+        resumed.load_state(&mut r).expect("load");
+        r.finish().expect("no trailing bytes");
+        // Both copies must now produce the same deliveries at the same
+        // cycles, down to the drained payloads.
+        let drain = |n: &mut SubNet<u64>| {
+            let mut log = Vec::new();
+            for now in 40..100_000u64 {
+                n.tick(now, &rem);
+                for d in n.drain_delivered() {
+                    log.push((
+                        d.message.src,
+                        d.message.dst,
+                        d.message.payload,
+                        d.delivered_at,
+                    ));
+                }
+                if n.is_idle() {
+                    break;
+                }
+            }
+            log
+        };
+        let (a, b) = (drain(&mut net), drain(&mut resumed));
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(net.stats().delivered(), resumed.stats().delivered());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_structured_error() {
+        use cmp_common::persist::{ByteReader, ByteWriter, PersistState};
+        let mesh = MeshShape::square(4);
+        let mut net: SubNet<u64> = SubNet::new(b_spec(34), mesh, CLOCK);
+        net.inject(0, msg(0, 3, 67));
+        let rem = RouterEnergyModel::default();
+        net.tick(0, &rem);
+        let mut w = ByteWriter::new();
+        net.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // A checkpoint from a different mesh shape must not load.
+        let mut wrong: SubNet<u64> = SubNet::new(b_spec(34), MeshShape::square(2), CLOCK);
+        let err = wrong
+            .load_state(&mut ByteReader::new(&bytes))
+            .expect_err("shape mismatch must fail");
+        assert!(err.to_string().contains("machine shape"), "{err}");
+        // Truncation anywhere must be an error, never a panic.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut fresh: SubNet<u64> = SubNet::new(b_spec(34), mesh, CLOCK);
+            assert!(fresh
+                .load_state(&mut ByteReader::new(&bytes[..cut]))
+                .is_err());
+        }
     }
 
     #[test]

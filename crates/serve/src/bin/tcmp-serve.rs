@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! tcmp-serve --root DIR [--socket PATH] [--jobs N] [--queue-bound N]
-//!            [--warm-cycles N] [--cache-capacity N]
+//!            [--warm-cycles N] [--cache-capacity N] [--checkpoint-bytes N]
 //! ```
 //!
 //! SIGTERM/SIGINT drain: in-flight cells finish and are journaled,
@@ -50,7 +50,7 @@ mod unix {
     fn usage() -> ! {
         eprintln!(
             "usage: tcmp-serve --root DIR [--socket PATH] [--jobs N] [--queue-bound N] \
-             [--warm-cycles N] [--cache-capacity N]"
+             [--warm-cycles N] [--cache-capacity N] [--checkpoint-bytes N]"
         );
         std::process::exit(2)
     }
@@ -78,6 +78,10 @@ mod unix {
                 }
                 "--cache-capacity" => {
                     cfg.cache_capacity = parse(&value("--cache-capacity"), "--cache-capacity")
+                }
+                "--checkpoint-bytes" => {
+                    cfg.checkpoint_byte_budget =
+                        parse(&value("--checkpoint-bytes"), "--checkpoint-bytes")
                 }
                 "--help" | "-h" => usage(),
                 other => {

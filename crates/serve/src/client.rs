@@ -5,6 +5,7 @@
 use std::io::{self, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 use cmp_common::journal::Json;
 
@@ -30,6 +31,47 @@ impl Client {
             writer: stream,
             reader,
         })
+    }
+
+    /// [`Client::connect`] with bounded retry for *transient* failures:
+    /// the socket file not existing yet or the connection being refused
+    /// both happen routinely when a daemon is still starting (or being
+    /// restarted under a supervisor) as a `--submit` fires. Waits
+    /// `backoff`, doubling each attempt, for up to `attempts` tries;
+    /// any other error kind (permissions, not-a-socket, …) is
+    /// permanent and returned immediately.
+    pub fn connect_retry(
+        socket: impl AsRef<Path>,
+        attempts: u32,
+        backoff: Duration,
+    ) -> io::Result<Client> {
+        let socket = socket.as_ref();
+        let mut delay = backoff;
+        let mut tried = 0;
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    tried += 1;
+                    let transient = matches!(
+                        e.kind(),
+                        io::ErrorKind::NotFound | io::ErrorKind::ConnectionRefused
+                    );
+                    if !transient || tried >= attempts.max(1) {
+                        return Err(e);
+                    }
+                    eprintln!(
+                        "cannot reach {} ({e}); retrying in {:.1}s ({} of {} attempts used)",
+                        socket.display(),
+                        delay.as_secs_f64(),
+                        tried,
+                        attempts.max(1)
+                    );
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
     }
 
     /// Send one request and read its response.

@@ -277,13 +277,20 @@ pub struct CampaignStatus {
     pub finished: bool,
 }
 
-/// Checkpoint-cache counters in a status report.
+/// Checkpoint-cache counters in a status report. The first four are
+/// the merged warm-start view (memory + disk); the `disk_*` fields
+/// break out the durable tier and stay zero on a memory-only daemon.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounts {
     pub stores: u64,
     pub hits: u64,
     pub misses: u64,
     pub quarantined: u64,
+    pub disk_stores: u64,
+    pub disk_hits: u64,
+    pub disk_quarantined: u64,
+    pub disk_evicted: u64,
+    pub disk_resident_bytes: u64,
 }
 
 /// What the service answers a request with.
@@ -377,6 +384,11 @@ impl Response {
                         ("hits", Json::u64(cache.hits)),
                         ("misses", Json::u64(cache.misses)),
                         ("quarantined", Json::u64(cache.quarantined)),
+                        ("disk_stores", Json::u64(cache.disk_stores)),
+                        ("disk_hits", Json::u64(cache.disk_hits)),
+                        ("disk_quarantined", Json::u64(cache.disk_quarantined)),
+                        ("disk_evicted", Json::u64(cache.disk_evicted)),
+                        ("disk_resident_bytes", Json::u64(cache.disk_resident_bytes)),
                     ]),
                 ),
             ]),
@@ -422,6 +434,14 @@ impl Response {
                         hits: need_u64(cache, "hits")?,
                         misses: need_u64(cache, "misses")?,
                         quarantined: need_u64(cache, "quarantined")?,
+                        // Absent on reports from pre-disk-tier daemons:
+                        // a newer client reads them as zero rather than
+                        // refusing the whole report.
+                        disk_stores: opt_u64(cache, "disk_stores"),
+                        disk_hits: opt_u64(cache, "disk_hits"),
+                        disk_quarantined: opt_u64(cache, "disk_quarantined"),
+                        disk_evicted: opt_u64(cache, "disk_evicted"),
+                        disk_resident_bytes: opt_u64(cache, "disk_resident_bytes"),
                     },
                 })
             }
@@ -581,6 +601,12 @@ fn need_u64(j: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing u64 field {key:?}"))
 }
 
+/// Lenient u64 read for fields added after the wire format shipped:
+/// absent (old peer) decodes as zero.
+fn opt_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
 fn need_bool(j: &Json, key: &str) -> Result<bool, String> {
     match j.get(key) {
         Some(Json::Bool(b)) => Ok(*b),
@@ -676,12 +702,38 @@ mod tests {
                     hits: 9,
                     misses: 2,
                     quarantined: 1,
+                    disk_stores: 4,
+                    disk_hits: 3,
+                    disk_quarantined: 1,
+                    disk_evicted: 2,
+                    disk_resident_bytes: 1 << 20,
                 },
             },
         ] {
             let line = r.to_json().render();
             let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
             assert_eq!(back, r);
+        }
+    }
+
+    /// A status report from a daemon predating the disk tier has no
+    /// `disk_*` fields; a newer client reads them as zero instead of
+    /// refusing the report.
+    #[test]
+    fn status_without_disk_fields_decodes_with_zeros() {
+        let j = Json::parse(
+            r#"{"type":"status","queued":0,"draining":false,"campaigns":[],
+                "cache":{"stores":3,"hits":1,"misses":2,"quarantined":0}}"#,
+        )
+        .unwrap();
+        match Response::from_json(&j).unwrap() {
+            Response::StatusReport { cache, .. } => {
+                assert_eq!((cache.stores, cache.hits), (3, 1));
+                assert_eq!(cache.disk_stores, 0);
+                assert_eq!(cache.disk_hits, 0);
+                assert_eq!(cache.disk_resident_bytes, 0);
+            }
+            other => panic!("expected StatusReport, got {other:?}"),
         }
     }
 

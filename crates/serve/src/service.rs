@@ -35,9 +35,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cmp_common::config::CmpConfig;
-use cmp_common::journal::{write_atomic, CampaignMeta, Journal, JournalError, Json};
+use cmp_common::fsx::Fs;
+use cmp_common::journal::{CampaignMeta, Journal, JournalError, Json};
 use cmp_common::types::Cycle;
-use tcmp_core::checkpoint::CheckpointCache;
+use tcmp_core::checkpoint::{CheckpointCache, DiskConfig, DiskStore};
 use tcmp_core::experiment::{figure6_configs, normalize_partial, RunSpec};
 use tcmp_core::report::figure_table;
 use tcmp_core::supervisor::{
@@ -67,8 +68,13 @@ pub struct ServeConfig {
     /// Warm-start point of the checkpoint cache in cycles; 0 disables
     /// the cache entirely.
     pub warm_cycles: Cycle,
-    /// Checkpoints held at most (each is a whole-machine snapshot).
+    /// Checkpoints held at most in memory (each is a whole-machine
+    /// snapshot).
     pub cache_capacity: usize,
+    /// Byte budget of the durable checkpoint tier under
+    /// `<root>/checkpoints/` (FIFO eviction beyond it). The tier
+    /// exists whenever `warm_cycles > 0`.
+    pub checkpoint_byte_budget: u64,
     /// Stop claiming cells after this many attempts — the in-process
     /// analogue of SIGKILLing the service mid-campaign, used by the
     /// resume tests (`None` = run everything).
@@ -83,6 +89,7 @@ impl Default for ServeConfig {
             queue_bound: 1024,
             warm_cycles: 0,
             cache_capacity: 8,
+            checkpoint_byte_budget: 2 << 30,
             cell_limit: None,
         }
     }
@@ -116,6 +123,9 @@ pub struct Campaign {
     policy: RunPolicy,
     dir: PathBuf,
     meta: CampaignMeta,
+    /// The filesystem seam CSVs are finalised through (shared with the
+    /// service; fault campaigns arm it via `TCMP_FS_FAULTS`).
+    fs: Fs,
     journal: Mutex<Journal>,
     /// Completed rows, index-aligned with `specs`.
     slots: Mutex<Vec<Option<tcmp_core::sim::SimResult>>>,
@@ -240,7 +250,7 @@ impl Campaign {
                 &normalized.missing_baseline,
                 metric,
             );
-            if let Err(e) = t.write_csv_stamped(self.dir.join(file), &self.stamp()) {
+            if let Err(e) = t.write_csv_stamped_on(&self.fs, self.dir.join(file), &self.stamp()) {
                 eprintln!("campaign {}: writing {file}: {e}", self.id);
             }
         }
@@ -253,6 +263,8 @@ impl Campaign {
 pub struct Service {
     cfg: ServeConfig,
     cmp: CmpConfig,
+    /// Every durable write of the service routes through this seam.
+    fs: Fs,
     state: Mutex<QueueState>,
     work: Condvar,
     cache: CheckpointCache,
@@ -270,11 +282,37 @@ impl Service {
     /// campaign directory (quarantining unreadable ones), and re-queue
     /// all unfinished cells. Does not spawn workers.
     fn new(cfg: ServeConfig) -> io::Result<Service> {
+        // A malformed TCMP_FS_FAULTS spec is a hard startup error: a
+        // fault campaign that silently ran without faults would report
+        // false confidence.
+        let fs = Fs::from_env().map_err(io::Error::other)?;
         let campaigns_dir = cfg.root.join("campaigns");
-        std::fs::create_dir_all(&campaigns_dir)?;
+        fs.create_dir_all(&campaigns_dir)?;
+        // The durable checkpoint tier lives beside the campaigns; a
+        // store that cannot open degrades the cache to memory-only
+        // (slower warm starts, never a dead service).
+        let cache = if cfg.warm_cycles > 0 {
+            let disk_cfg = DiskConfig {
+                byte_budget: cfg.checkpoint_byte_budget,
+                ..DiskConfig::default()
+            };
+            match DiskStore::open(fs.clone(), cfg.root.join("checkpoints"), disk_cfg) {
+                Ok(store) => CheckpointCache::with_disk(cfg.cache_capacity, store),
+                Err(e) => {
+                    eprintln!(
+                        "checkpoint disk store failed to open (warm starts will not \
+                         survive restarts): {e}"
+                    );
+                    CheckpointCache::new(cfg.cache_capacity)
+                }
+            }
+        } else {
+            CheckpointCache::new(cfg.cache_capacity)
+        };
         let service = Service {
-            cache: CheckpointCache::new(cfg.cache_capacity),
+            cache,
             cmp: CmpConfig::default(),
+            fs,
             state: Mutex::new(QueueState {
                 tasks: VecDeque::new(),
                 reserved: 0,
@@ -350,7 +388,9 @@ impl Service {
     }
 
     fn resume_one(&self, dir: &Path, id: &str) -> Result<Arc<Campaign>, String> {
-        let text = std::fs::read_to_string(dir.join(CAMPAIGN_FILE))
+        let text = self
+            .fs
+            .read_to_string(dir.join(CAMPAIGN_FILE))
             .map_err(|e| format!("reading {CAMPAIGN_FILE}: {e}"))?;
         let request = CampaignRequest::from_json(&Json::parse(&text)?)?;
         let specs = build_specs(&request).map_err(|app| format!("unknown app {app:?}"))?;
@@ -360,12 +400,12 @@ impl Service {
         // organisation is a detected mismatch, not a silent re-run on
         // the wrong machine.
         let meta = campaign_meta(&cmp, &specs);
-        let journal = match Journal::resume(dir, &meta) {
+        let journal = match Journal::resume_on(&self.fs, dir, &meta) {
             Ok(j) => j,
             // Killed between campaign.json and the journal's first
             // byte: a legitimate fresh campaign.
             Err(JournalError::Missing(_)) => {
-                Journal::create(dir, &meta).map_err(|e| e.to_string())?
+                Journal::create_on(&self.fs, dir, &meta).map_err(|e| e.to_string())?
             }
             Err(e) => return Err(e.to_string()),
         };
@@ -388,6 +428,7 @@ impl Service {
             specs,
             dir: dir.to_path_buf(),
             meta,
+            fs: self.fs.clone(),
             journal: Mutex::new(journal),
             slots: Mutex::new(slots),
             failed: Mutex::new(Vec::new()),
@@ -466,14 +507,16 @@ impl Service {
             id
         };
         let dir = self.cfg.root.join("campaigns").join(&id);
-        std::fs::create_dir_all(&dir)?;
+        self.fs.create_dir_all(&dir)?;
         // Request first, journal second: a kill in between resumes as
         // a fresh campaign; a kill before the request leaves an empty
         // directory that is quarantined, never half-run.
-        write_atomic(dir.join(CAMPAIGN_FILE), request.to_json().render() + "\n")?;
+        self.fs
+            .write_atomic(dir.join(CAMPAIGN_FILE), request.to_json().render() + "\n")?;
         let cmp = campaign_cmp(&self.cmp, &request).map_err(io::Error::other)?;
         let meta = campaign_meta(&cmp, &specs);
-        let journal = Journal::create(&dir, &meta).map_err(|e| io::Error::other(e.to_string()))?;
+        let journal = Journal::create_on(&self.fs, &dir, &meta)
+            .map_err(|e| io::Error::other(e.to_string()))?;
         let cells = specs.len();
         Ok(Arc::new(Campaign {
             id,
@@ -482,6 +525,7 @@ impl Service {
             specs,
             dir,
             meta,
+            fs: self.fs.clone(),
             journal: Mutex::new(journal),
             slots: Mutex::new(vec![None; cells]),
             failed: Mutex::new(Vec::new()),
@@ -520,6 +564,7 @@ impl Service {
             })
             .collect();
         let stats = self.cache.stats();
+        let disk = self.cache.disk().map(|d| d.counters()).unwrap_or_default();
         Response::StatusReport {
             queued,
             draining: self.draining.load(Ordering::SeqCst),
@@ -529,6 +574,11 @@ impl Service {
                 hits: stats.hits,
                 misses: stats.misses,
                 quarantined: stats.quarantined,
+                disk_stores: disk.stores,
+                disk_hits: disk.hits,
+                disk_quarantined: disk.quarantined,
+                disk_evicted: disk.evicted,
+                disk_resident_bytes: disk.resident_bytes,
             },
         }
     }

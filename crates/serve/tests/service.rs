@@ -278,6 +278,60 @@ fn shared_cache_warms_a_second_campaign_bit_identically() {
     }
 }
 
+/// The disk tier makes warm starts survive restarts: a second service
+/// lifetime on the same root — empty memory cache — warms every cell
+/// of a repeated sweep from the first lifetime's spilled checkpoints,
+/// renders byte-identical CSVs, and reports the disk traffic in its
+/// status counters.
+#[test]
+fn disk_tier_warms_a_restarted_service_bit_identically() {
+    let root = scratch_dir("serve-disk");
+    let mut cfg = serve_cfg(root.clone());
+    cfg.warm_cycles = 50_000;
+
+    let handle = ServiceHandle::start(cfg.clone()).expect("start");
+    let first = submit_ok(&handle, tiny_request());
+    assert!(handle.wait_campaign(&first, WAIT));
+    let spilled = handle
+        .service()
+        .cache()
+        .disk()
+        .expect("warm-cycles > 0 opens the disk tier")
+        .counters();
+    assert_eq!(spilled.stores, CELLS as u64, "one spill per configuration");
+    assert_eq!(spilled.resident_files, CELLS as u64);
+    handle.drain();
+
+    // New lifetime, same root: the memory tier starts empty, the disk
+    // tier is rebuilt by scan.
+    let handle = ServiceHandle::start(cfg).expect("restart");
+    let second = submit_ok(&handle, tiny_request());
+    assert!(handle.wait_campaign(&second, WAIT));
+    match handle.service().status() {
+        Response::StatusReport { cache, .. } => {
+            assert_eq!(cache.disk_hits, CELLS as u64, "every cell warms from disk");
+            assert_eq!(cache.disk_quarantined, 0);
+            assert_eq!(cache.hits, CELLS as u64, "disk hits count as warm starts");
+            assert_eq!(
+                cache.disk_stores, 0,
+                "nothing re-spills: dedup by configuration across restarts"
+            );
+            assert!(cache.disk_resident_bytes > 0);
+        }
+        other => panic!("expected StatusReport, got {other:?}"),
+    }
+    handle.drain();
+
+    let cold = read_csvs(&root, &first);
+    let warmed = read_csvs(&root, &second);
+    for ((file, a), (_, b)) in cold.iter().zip(&warmed) {
+        assert_eq!(
+            a, b,
+            "{file} differs between the cold and the disk-warmed lifetime"
+        );
+    }
+}
+
 /// The real front door: submit over the Unix socket, vanish mid-stream
 /// (the campaign must not care), re-attach from a new connection and
 /// catch up — the merged catch-up + live stream covers every cell and

@@ -181,6 +181,12 @@ impl TraceGen {
     }
 }
 
+cmp_common::impl_persist!(Cursor {
+    pos,
+    run_left,
+    partner_pos,
+});
+
 impl OpSource for TraceGen {
     fn next_op(&mut self) -> Option<TraceOp> {
         if self.pending.is_empty() {
@@ -194,6 +200,37 @@ impl OpSource for TraceGen {
 
     fn clone_box(&self) -> Box<dyn OpSource> {
         Box::new(self.clone())
+    }
+
+    // The profile, cdf, core/cores and totals are configuration; only
+    // the generator's position state travels through checkpoint bytes.
+    fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
+        use cmp_common::persist::Persist;
+        self.rng.save(w);
+        w.u64(self.refs_done);
+        w.u32(self.next_barrier);
+        cmp_common::persist::save_state_slice(&self.cursors, w);
+        self.pending.save(w);
+        w.usize(self.current_struct);
+        w.u64(self.struct_run_left);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut cmp_common::persist::ByteReader,
+    ) -> Result<(), cmp_common::persist::PersistError> {
+        use cmp_common::persist::Persist;
+        self.rng = Persist::load(r)?;
+        self.refs_done = r.u64()?;
+        self.next_barrier = r.u32()?;
+        cmp_common::persist::load_state_slice(&mut self.cursors, r)?;
+        self.pending = Persist::load(r)?;
+        self.current_struct = r.usize()?;
+        if self.current_struct >= self.profile.structures.len() {
+            return Err(r.err("current structure index out of range"));
+        }
+        self.struct_run_left = r.u64()?;
+        Ok(())
     }
 }
 

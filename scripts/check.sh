@@ -54,8 +54,9 @@ echo "== campaign journal + resume tests"
 cargo test -q --release -p cmp-common journal
 cargo test -q --release --test campaign_resume
 
-echo "== fault-campaign smoke run"
-cargo run -q --release -p cmp-bench --bin fault_campaign -- --smoke --seed 1025041 --jobs 2
+echo "== fault-campaign smoke run (protocol + filesystem fault sweeps)"
+cargo run -q --release -p cmp-bench --bin fault_campaign -- \
+    --smoke --fs-faults --seed 1025041 --jobs 2
 
 echo "== kill-and-resume smoke (SIGKILL mid-sweep, resume, diff CSVs)"
 SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/tcmp-killsmoke-XXXXXX")"
@@ -154,5 +155,80 @@ for f in results.exec_time.csv results.link_ed2p.csv; do
         exit 1; }
 done
 echo "tcmp-serve smoke: SIGKILLed daemon resumed to bit-identical CSVs"
+
+echo "== disk-tier smoke (SIGKILL mid-spill, TCMP_FS_FAULTS-armed restart, warm-start bit-identity)"
+SERVE_DISK="$SMOKE_DIR/serve-disk"
+SOCK_DISK="$SMOKE_DIR/disk.sock"
+DISK_ARGS=(--root "$SERVE_DISK" --socket "$SOCK_DISK" --jobs 2 --warm-cycles 50000)
+# lifetime 1: a warm-cycles daemon runs the campaign cold, spilling one
+# checkpoint per configuration; SIGKILL it once at least two .ckpt files
+# have landed (whatever spill is in flight dies mid-write)
+"$SERVE" "${DISK_ARGS[@]}" >"$SMOKE_DIR/serve-disk.log" 2>&1 &
+DISK_PID=$!
+wait_for 10 test -S "$SOCK_DISK" || {
+    echo "disk-tier smoke: daemon never bound its socket"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+"$FIG6" "${SUBMIT_ARGS[@]}" --submit "$SOCK_DISK" >/dev/null 2>&1 &
+DISK_CLIENT=$!
+wait_for 60 sh -c "test \"\$(ls '$SERVE_DISK/checkpoints/'*.ckpt 2>/dev/null | wc -l)\" -ge 2" || {
+    echo "disk-tier smoke: daemon never spilled two checkpoints"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+kill -9 "$DISK_PID" 2>/dev/null || true
+wait "$DISK_PID" 2>/dev/null || true
+wait "$DISK_CLIENT" 2>/dev/null || true
+# lifetime 2: restart on the same root with the read-fault seam armed.
+# The startup scan is the first reader, so the two-fault budget lands on
+# the first two checkpoint files: both must be quarantined loudly, the
+# campaign must still resume, and its CSVs must match the uninterrupted
+# reference byte-for-byte.
+TCMP_FS_FAULTS="seed=9,short=1,flip=1,max=2" \
+    "$SERVE" "${DISK_ARGS[@]}" >>"$SMOKE_DIR/serve-disk.log" 2>&1 &
+DISK_PID=$!
+wait_for 60 test -f "$SERVE_DISK/campaigns/c0001/results.exec_time.csv" || {
+    echo "disk-tier smoke: faulted restart never finalised the campaign"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+kill -TERM "$DISK_PID"
+wait "$DISK_PID" || {
+    echo "disk-tier smoke: faulted daemon did not drain cleanly (exit $?)"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+grep -q "quarantined checkpoint" "$SMOKE_DIR/serve-disk.log" || {
+    echo "disk-tier smoke: injected read faults were not quarantined loudly"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+test "$(ls "$SERVE_DISK/checkpoints/quarantine/" | wc -l)" -eq 2 || {
+    echo "disk-tier smoke: expected exactly the two faulted artifacts in quarantine"
+    ls "$SERVE_DISK/checkpoints/quarantine/"; exit 1; }
+for f in results.exec_time.csv results.link_ed2p.csv; do
+    diff <(grep -v '^#' "$SERVE_REF/campaigns/c0001/$f") \
+         <(grep -v '^#' "$SERVE_DISK/campaigns/c0001/$f") || {
+        echo "disk-tier smoke: faulted-restart $f differs from the reference"
+        exit 1; }
+done
+# lifetime 3: a clean restart re-submits the same sweep; every cell must
+# warm-start from the surviving + re-spilled checkpoints and the CSVs
+# must still be bit-identical to the cold reference.
+"$SERVE" "${DISK_ARGS[@]}" >>"$SMOKE_DIR/serve-disk.log" 2>&1 &
+DISK_PID=$!
+wait_for 10 test -S "$SOCK_DISK" || {
+    echo "disk-tier smoke: warm daemon never bound its socket"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+"$FIG6" "${SUBMIT_ARGS[@]}" --submit "$SOCK_DISK" \
+    >/dev/null 2>"$SMOKE_DIR/disk-warm-client.log" || {
+    echo "disk-tier smoke: warm campaign failed"
+    cat "$SMOKE_DIR/disk-warm-client.log"; exit 1; }
+kill -TERM "$DISK_PID"
+wait "$DISK_PID" || {
+    echo "disk-tier smoke: warm daemon did not drain cleanly (exit $?)"
+    cat "$SMOKE_DIR/serve-disk.log"; exit 1; }
+WARMED=$(grep -c "warm-start: warmed" "$SMOKE_DIR/disk-warm-client.log" || true)
+test "$WARMED" -eq 6 || {
+    echo "disk-tier smoke: expected all 6 cells to warm-start from disk, saw $WARMED"
+    cat "$SMOKE_DIR/disk-warm-client.log"; exit 1; }
+for f in results.exec_time.csv results.link_ed2p.csv; do
+    diff <(grep -v '^#' "$SERVE_REF/campaigns/c0001/$f") \
+         <(grep -v '^#' "$SERVE_DISK/campaigns/c0002/$f") || {
+        echo "disk-tier smoke: disk-warmed $f differs from the cold reference"
+        exit 1; }
+done
+echo "disk-tier smoke: quarantine + resume + warm-start all bit-identical"
 
 echo "All checks passed."
