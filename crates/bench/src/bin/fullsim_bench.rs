@@ -23,6 +23,14 @@
 //!   fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N]
 //!                 [--out PATH] [--app NAME]... [--skip-matrix]
 //!                 [--skip-scaling] [--skip-mesh] [--jobs N] [--sim-threads N]
+//!                 [--profile]
+//!
+//! `--profile` runs one extra (unmeasured) hotspot pass with the
+//! engine's per-phase wall-clock attribution enabled and prints the
+//! report to stderr — the cheap way to see where the event loop's
+//! time goes (NoC tick / L1 / L2+directory / calendar / advance)
+//! before reaching for a real profiler. `TCMP_PROFILE=1` does the
+//! same from the environment for any simulator-embedding binary.
 
 use addr_compression::CompressionScheme;
 use cmp_bench::harness::{measure, to_bench_json, BenchStats};
@@ -49,6 +57,9 @@ struct BenchOptions {
     jobs: Option<usize>,
     /// Scheduler threads for the hotspot benchmark (`None` = serial).
     sim_threads: Option<usize>,
+    /// Run one extra profiled hotspot pass and print the per-phase
+    /// wall-clock attribution to stderr.
+    profile: bool,
 }
 
 impl Default for BenchOptions {
@@ -65,6 +76,7 @@ impl Default for BenchOptions {
             skip_mesh: false,
             jobs: None,
             sim_threads: None,
+            profile: false,
         }
     }
 }
@@ -73,7 +85,7 @@ fn usage<T>() -> T {
     eprintln!(
         "usage: fullsim_bench [--trials N] [--warmup N] [--scale F] [--seed N] \
          [--out PATH] [--app NAME]... [--skip-matrix] [--skip-scaling] \
-         [--skip-mesh] [--jobs N] [--sim-threads N]"
+         [--skip-mesh] [--jobs N] [--sim-threads N] [--profile]"
     );
     std::process::exit(2)
 }
@@ -134,6 +146,7 @@ fn parse_args() -> BenchOptions {
                 }
                 o.sim_threads = Some(n);
             }
+            "--profile" => o.profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -239,9 +252,27 @@ fn matrix_pass(opts: &BenchOptions) -> f64 {
     results.len() as f64
 }
 
+/// One profiled hotspot run (not part of any measured series); prints
+/// the engine's per-phase attribution to stderr.
+fn profile_pass(seed: u64, threads: usize) {
+    eprintln!("profile pass: one hotspot run with phase attribution...");
+    let app = synthetic::hotspot(20_000, 64);
+    let mut cfg = SimConfig::baseline();
+    cfg.sim_threads = Some(threads);
+    let mut sim = CmpSimulator::new(cfg, &app, seed, 1.0);
+    sim.enable_profiling();
+    sim.run().expect("profiled hotspot run completes");
+    let report = sim.phase_profile().expect("profiling was enabled").report();
+    eprint!("{report}");
+}
+
 fn main() {
     let opts = parse_args();
     let mut stats: Vec<BenchStats> = Vec::new();
+
+    if opts.profile {
+        profile_pass(opts.seed, opts.sim_threads.unwrap_or(1));
+    }
 
     eprintln!(
         "fullsim_hotspot: {} warmup + {} trials (single run each)...",

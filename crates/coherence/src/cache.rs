@@ -4,16 +4,20 @@
 //! slices, whose set index skips the tile-interleaving bits
 //! (`index_shift`). The array stores an arbitrary per-line payload `V`
 //! (the MESI state for L1, line + directory state for L2).
+//!
+//! Layout is struct-of-arrays: the tags of a set are contiguous, so
+//! the hit check — the single hottest loop in the simulator — scans
+//! one cache line of packed `u64` tags without touching payloads or
+//! LRU stamps. Invalid ways carry the reserved tag [`INVALID_TAG`];
+//! stamps and values live in parallel side arrays indexed by the same
+//! slot number and are only read on a hit or during victim selection.
 
 use cmp_common::types::Addr;
 
-/// One resident line.
-#[derive(Clone, Debug)]
-struct Entry<V> {
-    line: Addr,
-    value: V,
-    stamp: u64,
-}
+/// Reserved tag for an invalid way. Line addresses are byte addresses
+/// of cache lines; `u64::MAX` is not line-aligned and can never name a
+/// real line (debug-asserted on insert).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative array keyed by line address.
 #[derive(Clone, Debug)]
@@ -23,7 +27,13 @@ pub struct CacheArray<V> {
     /// Right-shift applied to the line address before set selection —
     /// log2(tiles) for an interleaved L2 slice, 0 for an L1.
     index_shift: u32,
-    entries: Vec<Option<Entry<V>>>,
+    /// Packed per-slot tags; [`INVALID_TAG`] marks a free way.
+    tags: Vec<u64>,
+    /// Per-slot LRU stamps (parallel to `tags`).
+    stamps: Vec<u64>,
+    /// Per-slot payloads (parallel to `tags`; `None` iff the tag is
+    /// invalid).
+    values: Vec<Option<V>>,
     clock: u64,
 }
 
@@ -47,7 +57,9 @@ impl<V> CacheArray<V> {
             sets,
             ways,
             index_shift,
-            entries: (0..sets * ways).map(|_| None).collect(),
+            tags: vec![INVALID_TAG; sets * ways],
+            stamps: vec![0; sets * ways],
+            values: (0..sets * ways).map(|_| None).collect(),
             clock: 0,
         }
     }
@@ -57,34 +69,36 @@ impl<V> CacheArray<V> {
         ((line >> self.index_shift) as usize) & (self.sets - 1)
     }
 
+    /// Slot of `line` if resident: a branch-free scan over the set's
+    /// packed tags.
     #[inline]
-    fn set_range(&self, line: Addr) -> std::ops::Range<usize> {
-        let s = self.set_of(line);
-        s * self.ways..(s + 1) * self.ways
+    fn find(&self, line: Addr) -> Option<usize> {
+        let base = self.set_of(line) * self.ways;
+        let mut found = usize::MAX;
+        for (i, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t == line {
+                found = base + i;
+            }
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Shared view of a resident line (no LRU update).
+    #[inline]
     pub fn peek(&self, line: Addr) -> Option<&V> {
-        self.entries[self.set_range(line)]
-            .iter()
-            .flatten()
-            .find(|e| e.line == line)
-            .map(|e| &e.value)
+        self.find(line)
+            .map(|s| self.values[s].as_ref().expect("tag/value in sync"))
     }
 
     /// Mutable view of a resident line, updating LRU.
+    #[inline]
     pub fn get_mut(&mut self, line: Addr) -> Option<&mut V> {
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(line);
-        self.entries[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line == line)
-            .map(|e| {
-                e.stamp = clock;
-                &mut e.value
-            })
+        self.find(line).map(|s| {
+            self.stamps[s] = clock;
+            self.values[s].as_mut().expect("tag/value in sync")
+        })
     }
 
     /// Touch a line's LRU stamp.
@@ -94,13 +108,9 @@ impl<V> CacheArray<V> {
 
     /// Remove a line, returning its payload.
     pub fn remove(&mut self, line: Addr) -> Option<V> {
-        let range = self.set_range(line);
-        for slot in &mut self.entries[range] {
-            if slot.as_ref().is_some_and(|e| e.line == line) {
-                return slot.take().map(|e| e.value);
-            }
-        }
-        None
+        let slot = self.find(line)?;
+        self.tags[slot] = INVALID_TAG;
+        self.values[slot].take()
     }
 
     /// What inserting `line` would displace: a free way, the LRU line
@@ -110,16 +120,16 @@ impl<V> CacheArray<V> {
         line: Addr,
         mut evictable: impl FnMut(Addr, &V) -> bool,
     ) -> VictimSlot {
-        let range = self.set_range(line);
+        let base = self.set_of(line) * self.ways;
         let mut lru: Option<(u64, Addr)> = None;
-        for slot in &self.entries[range] {
-            match slot {
-                None => return VictimSlot::Free,
-                Some(e) => {
-                    if evictable(e.line, &e.value) && lru.is_none_or(|(stamp, _)| e.stamp < stamp) {
-                        lru = Some((e.stamp, e.line));
-                    }
-                }
+        for s in base..base + self.ways {
+            let tag = self.tags[s];
+            if tag == INVALID_TAG {
+                return VictimSlot::Free;
+            }
+            let value = self.values[s].as_ref().expect("tag/value in sync");
+            if evictable(tag, value) && lru.is_none_or(|(stamp, _)| self.stamps[s] < stamp) {
+                lru = Some((self.stamps[s], tag));
             }
         }
         match lru {
@@ -136,9 +146,10 @@ impl<V> CacheArray<V> {
 
     /// Number of invalid (free) ways in `line`'s set.
     pub fn free_ways(&self, line: Addr) -> usize {
-        self.entries[self.set_range(line)]
+        let base = self.set_of(line) * self.ways;
+        self.tags[base..base + self.ways]
             .iter()
-            .filter(|e| e.is_none())
+            .filter(|&&t| t == INVALID_TAG)
             .count()
     }
 
@@ -150,12 +161,19 @@ impl<V> CacheArray<V> {
         line: Addr,
         mut evictable: impl FnMut(Addr, &V) -> bool,
     ) -> Option<Addr> {
-        self.entries[self.set_range(line)]
-            .iter()
-            .flatten()
-            .filter(|e| evictable(e.line, &e.value))
-            .min_by_key(|e| e.stamp)
-            .map(|e| e.line)
+        let base = self.set_of(line) * self.ways;
+        let mut lru: Option<(u64, Addr)> = None;
+        for s in base..base + self.ways {
+            let tag = self.tags[s];
+            if tag == INVALID_TAG {
+                continue;
+            }
+            let value = self.values[s].as_ref().expect("tag/value in sync");
+            if evictable(tag, value) && lru.is_none_or(|(stamp, _)| self.stamps[s] < stamp) {
+                lru = Some((self.stamps[s], tag));
+            }
+        }
+        lru.map(|(_, addr)| addr)
     }
 
     /// Insert `line` into a free way. Returns the rejected payload when
@@ -164,17 +182,15 @@ impl<V> CacheArray<V> {
     /// choosing and evicting) and treat a full set as a protocol error.
     #[must_use = "a full set means the caller skipped eviction"]
     pub fn insert(&mut self, line: Addr, value: V) -> Result<(), V> {
+        debug_assert!(line != INVALID_TAG, "line aliases the invalid tag");
         debug_assert!(self.peek(line).is_none(), "double insert of {line:#x}");
         self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
-        for slot in &mut self.entries[range] {
-            if slot.is_none() {
-                *slot = Some(Entry {
-                    line,
-                    value,
-                    stamp: clock,
-                });
+        let base = self.set_of(line) * self.ways;
+        for s in base..base + self.ways {
+            if self.tags[s] == INVALID_TAG {
+                self.tags[s] = line;
+                self.stamps[s] = self.clock;
+                self.values[s] = Some(value);
                 return Ok(());
             }
         }
@@ -183,12 +199,17 @@ impl<V> CacheArray<V> {
 
     /// Number of resident lines (O(capacity); for tests/stats).
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().flatten().count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
-    /// Iterate over resident `(line, value)` pairs.
+    /// Iterate over resident `(line, value)` pairs in slot order (a
+    /// deterministic, platform-independent order).
     pub fn iter(&self) -> impl Iterator<Item = (Addr, &V)> {
-        self.entries.iter().flatten().map(|e| (e.line, &e.value))
+        self.tags
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(&t, _)| t != INVALID_TAG)
+            .map(|(&t, v)| (t, v.as_ref().expect("tag/value in sync")))
     }
 
     /// Total capacity in lines.
@@ -197,36 +218,50 @@ impl<V> CacheArray<V> {
     }
 }
 
-impl<V: cmp_common::persist::Persist> cmp_common::persist::Persist for Entry<V> {
-    fn save(&self, w: &mut cmp_common::persist::ByteWriter) {
-        w.u64(self.line);
-        self.value.save(w);
-        w.u64(self.stamp);
-    }
-    fn load(
-        r: &mut cmp_common::persist::ByteReader,
-    ) -> Result<Self, cmp_common::persist::PersistError> {
-        Ok(Entry {
-            line: r.u64()?,
-            value: cmp_common::persist::Persist::load(r)?,
-            stamp: r.u64()?,
-        })
-    }
-}
-
 /// Geometry (sets/ways/shift) is configuration; the resident lines and
-/// the LRU clock are the state. The slice helper doubles as a shape
-/// check: a checkpoint from a differently-sized array refuses to load.
+/// the LRU clock are the state. The encoding is slot-by-slot (the byte
+/// layout predates the struct-of-arrays split and is kept stable:
+/// presence bool, then line/value/stamp); the stored slot count doubles
+/// as a shape check — a checkpoint from a differently-sized array
+/// refuses to load.
 impl<V: cmp_common::persist::Persist> cmp_common::persist::PersistState for CacheArray<V> {
     fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
-        cmp_common::persist::save_state_slice(&self.entries, w);
+        w.usize(self.tags.len());
+        for s in 0..self.tags.len() {
+            if self.tags[s] == INVALID_TAG {
+                w.bool(false);
+            } else {
+                w.bool(true);
+                w.u64(self.tags[s]);
+                self.values[s].as_ref().expect("tag/value in sync").save(w);
+                w.u64(self.stamps[s]);
+            }
+        }
         w.u64(self.clock);
     }
     fn load_state(
         &mut self,
         r: &mut cmp_common::persist::ByteReader,
     ) -> Result<(), cmp_common::persist::PersistError> {
-        cmp_common::persist::load_state_slice(&mut self.entries, r)?;
+        let n = r.usize()?;
+        if n != self.tags.len() {
+            return Err(r.err("slice length does not match machine shape"));
+        }
+        for s in 0..n {
+            if r.bool()? {
+                let line = r.u64()?;
+                if line == INVALID_TAG {
+                    return Err(r.err("resident line aliases the invalid tag"));
+                }
+                self.tags[s] = line;
+                self.values[s] = Some(cmp_common::persist::Persist::load(r)?);
+                self.stamps[s] = r.u64()?;
+            } else {
+                self.tags[s] = INVALID_TAG;
+                self.values[s] = None;
+                self.stamps[s] = 0;
+            }
+        }
         self.clock = r.u64()?;
         Ok(())
     }
@@ -314,5 +349,33 @@ mod tests {
         let mut pairs: Vec<_> = c.iter().map(|(a, &v)| (a, v)).collect();
         pairs.sort();
         assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn persist_round_trips_through_slot_layout() {
+        use cmp_common::persist::{ByteReader, ByteWriter, PersistState};
+        let mut c = small();
+        c.insert(0, 7).unwrap();
+        c.insert(4, 9).unwrap();
+        c.touch(0);
+        c.remove(4).unwrap();
+        let mut w = ByteWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = small();
+        let mut r = ByteReader::new(&bytes);
+        fresh.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.peek(0), Some(&7));
+        assert_eq!(fresh.peek(4), None);
+        assert_eq!(fresh.occupancy(), 1);
+        // LRU history survives: inserting into the freed way then asking
+        // for a victim must evict by the restored stamps
+        fresh.insert(4, 1).unwrap();
+        assert_eq!(fresh.victim_for(8, |_, _| true), VictimSlot::Evict(0));
+        // and a geometry mismatch is a structured error
+        let mut wrong: CacheArray<u32> = CacheArray::new(8, 2, 0);
+        let mut r = ByteReader::new(&bytes);
+        assert!(wrong.load_state(&mut r).is_err());
     }
 }

@@ -30,8 +30,7 @@
 //! * `snapshot_box` deep-copies all state: snapshots restored from it
 //!   must replay bit-identically.
 
-use std::collections::HashMap;
-
+use cmp_common::addrmap::AddrMap;
 use cmp_common::config::{DirectoryConfig, FULL_MAP_MAX_TILES};
 use cmp_common::types::{Addr, TileId};
 
@@ -239,7 +238,7 @@ enum FmEntry {
 #[derive(Clone, Debug)]
 pub struct FullMapDir {
     tiles: usize,
-    entries: HashMap<Addr, FmEntry>,
+    entries: AddrMap<FmEntry>,
 }
 
 impl FullMapDir {
@@ -253,7 +252,7 @@ impl FullMapDir {
         );
         FullMapDir {
             tiles,
-            entries: HashMap::new(),
+            entries: AddrMap::new(),
         }
     }
 
@@ -278,7 +277,7 @@ impl DirectoryRepr for FullMapDir {
 
     fn lookup(&self, line: Addr) -> DirState {
         self.entries
-            .get(&line)
+            .get(line)
             .map(|&e| self.to_state(e))
             .unwrap_or(DirState::Invalid)
     }
@@ -300,7 +299,7 @@ impl DirectoryRepr for FullMapDir {
     }
 
     fn evict(&mut self, line: Addr) {
-        self.entries.remove(&line);
+        self.entries.remove(line);
     }
 
     fn entries(&self) -> Vec<(Addr, DirState)> {
@@ -323,14 +322,14 @@ impl DirectoryRepr for FullMapDir {
     }
 
     fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
-        cmp_common::persist::save_map(&self.entries, w);
+        cmp_common::persist::Persist::save(&self.entries, w);
     }
 
     fn load_state(
         &mut self,
         r: &mut cmp_common::persist::ByteReader,
     ) -> Result<(), cmp_common::persist::PersistError> {
-        self.entries = cmp_common::persist::load_map(r)?;
+        self.entries = cmp_common::persist::Persist::load(r)?;
         Ok(())
     }
 }
@@ -379,7 +378,7 @@ enum SpEntry {
 #[derive(Clone, Debug)]
 pub struct SparseDir {
     dir_mshrs: usize,
-    entries: HashMap<Addr, SpEntry>,
+    entries: AddrMap<SpEntry>,
 }
 
 impl SparseDir {
@@ -388,7 +387,7 @@ impl SparseDir {
         assert!(dir_mshrs > 0, "sparse directory needs at least one MSHR");
         SparseDir {
             dir_mshrs,
-            entries: HashMap::new(),
+            entries: AddrMap::new(),
         }
     }
 
@@ -406,7 +405,7 @@ impl DirectoryRepr for SparseDir {
     }
 
     fn lookup(&self, line: Addr) -> DirState {
-        match self.entries.get(&line) {
+        match self.entries.get(line) {
             None => DirState::Invalid,
             Some(SpEntry::Owned(t)) => DirState::Owned(TileId(*t)),
             Some(SpEntry::Shared(ts)) => DirState::Shared(ts.iter().map(|&t| TileId(t)).collect()),
@@ -417,14 +416,14 @@ impl DirectoryRepr for SparseDir {
         match state {
             // Tagged organisation: an untracked line has no entry.
             DirState::Invalid => {
-                self.entries.remove(&line);
+                self.entries.remove(line);
             }
             DirState::Owned(t) => {
                 self.entries.insert(line, SpEntry::Owned(t.0));
             }
             DirState::Shared(s) => {
                 if s.is_empty() {
-                    self.entries.remove(&line);
+                    self.entries.remove(line);
                 } else {
                     self.entries
                         .insert(line, SpEntry::Shared(s.iter().map(|t| t.0).collect()));
@@ -434,7 +433,7 @@ impl DirectoryRepr for SparseDir {
     }
 
     fn evict(&mut self, line: Addr) {
-        self.entries.remove(&line);
+        self.entries.remove(line);
     }
 
     fn entries(&self) -> Vec<(Addr, DirState)> {
@@ -456,14 +455,14 @@ impl DirectoryRepr for SparseDir {
     }
 
     fn save_state(&self, w: &mut cmp_common::persist::ByteWriter) {
-        cmp_common::persist::save_map(&self.entries, w);
+        cmp_common::persist::Persist::save(&self.entries, w);
     }
 
     fn load_state(
         &mut self,
         r: &mut cmp_common::persist::ByteReader,
     ) -> Result<(), cmp_common::persist::PersistError> {
-        self.entries = cmp_common::persist::load_map(r)?;
+        self.entries = cmp_common::persist::Persist::load(r)?;
         Ok(())
     }
 }

@@ -18,6 +18,7 @@
 //!   writeback is in flight: answer `FwdFailed`/`RecallAckClean` and let
 //!   the home serialise on the writeback.
 
+use cmp_common::addrmap::AddrMap;
 use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
 
@@ -102,6 +103,10 @@ pub struct L1Cache {
     expects_partial: bool,
     array: CacheArray<L1State>,
     mshrs: Vec<Mshr>,
+    /// line → position in `mshrs`, so the per-access pending checks are
+    /// O(1) instead of scanning the vector. Points at the *first*
+    /// occurrence when the fault hook manufactures duplicates.
+    mshr_index: AddrMap<u32>,
     max_mshrs: usize,
     /// Lines whose ordinary reply overtook its partial reply: the late
     /// partial must be dropped, not matched against a future miss.
@@ -172,6 +177,12 @@ impl cmp_common::persist::PersistState for L1Cache {
         if mshrs.len() > self.max_mshrs {
             return Err(r.err("MSHR count exceeds machine capacity"));
         }
+        self.mshr_index = AddrMap::new();
+        for (i, m) in mshrs.iter().enumerate() {
+            if !self.mshr_index.contains_key(m.line) {
+                self.mshr_index.insert(m.line, i as u32);
+            }
+        }
         self.mshrs = mshrs;
         self.stale_partials = Persist::load(r)?;
         self.stats = Persist::load(r)?;
@@ -197,6 +208,7 @@ impl L1Cache {
             expects_partial: false,
             array: CacheArray::new(sets, ways, 0),
             mshrs: Vec::with_capacity(max_mshrs),
+            mshr_index: AddrMap::new(),
             max_mshrs,
             stale_partials: Vec::new(),
             stats: L1Stats::default(),
@@ -225,8 +237,24 @@ impl L1Cache {
     }
 
     /// Whether a miss is outstanding for `line`.
+    #[inline]
     pub fn mshr_pending(&self, line: Addr) -> bool {
-        self.mshrs.iter().any(|m| m.line == line)
+        self.mshr_index.contains_key(line)
+    }
+
+    /// Mutable view of the outstanding MSHR for `line`, through the
+    /// address index.
+    #[inline]
+    fn mshr_mut(&mut self, line: Addr) -> Option<&mut Mshr> {
+        let idx = *self.mshr_index.get(line)? as usize;
+        Some(&mut self.mshrs[idx])
+    }
+
+    /// Allocate an MSHR, keeping the address index in sync.
+    fn push_mshr(&mut self, m: Mshr) {
+        debug_assert!(!self.mshr_index.contains_key(m.line));
+        self.mshr_index.insert(m.line, self.mshrs.len() as u32);
+        self.mshrs.push(m);
     }
 
     /// Number of outstanding misses.
@@ -268,6 +296,7 @@ impl L1Cache {
     /// Fault hook: allocate an MSHR without issuing a request (used to
     /// manufacture duplicate/overflowing MSHR states for the sanitizer).
     pub fn fault_push_mshr(&mut self, line: Addr, write: bool) {
+        let pos = self.mshrs.len() as u32;
         self.mshrs.push(Mshr {
             line,
             write,
@@ -275,6 +304,10 @@ impl L1Cache {
             deferred: None,
             partial_served: false,
         });
+        // A deliberate duplicate keeps the index at its first occurrence.
+        if !self.mshr_index.contains_key(line) {
+            self.mshr_index.insert(line, pos);
+        }
     }
 
     fn home(&self, line: Addr) -> TileId {
@@ -304,7 +337,7 @@ impl L1Cache {
                         return L1Result::Blocked;
                     }
                     self.stats.upgrades.inc();
-                    self.mshrs.push(Mshr {
+                    self.push_mshr(Mshr {
                         line,
                         write: true,
                         inv_pending: false,
@@ -340,10 +373,8 @@ impl L1Cache {
             .filter(|m| self.array.same_set(m.line, line) && self.array.peek(m.line).is_none())
             .count();
         if self.array.free_ways(line) <= reserved {
-            let mshrs = &self.mshrs;
-            let victim = self
-                .array
-                .lru_resident(line, |a, _| !mshrs.iter().any(|m| m.line == a));
+            let index = &self.mshr_index;
+            let victim = self.array.lru_resident(line, |a, _| !index.contains_key(a));
             let Some(victim) = victim else {
                 return L1Result::Blocked; // every way mid-miss
             };
@@ -368,7 +399,7 @@ impl L1Cache {
                 L1State::Shared => {} // silent (Section 4.2)
             }
         }
-        self.mshrs.push(Mshr {
+        self.push_mshr(Mshr {
             line,
             write,
             inv_pending: false,
@@ -384,15 +415,25 @@ impl L1Cache {
     }
 
     fn take_mshr(&mut self, line: Addr, kind: PKind) -> Result<Mshr, ProtocolError> {
-        match self.mshrs.iter().position(|m| m.line == line) {
-            Some(idx) => Ok(self.mshrs.swap_remove(idx)),
-            None => Err(ProtocolError::on_msg(
+        let Some(idx) = self.mshr_index.remove(line) else {
+            return Err(ProtocolError::on_msg(
                 self.tile,
                 line,
                 kind,
                 "fill for a line without an outstanding MSHR",
-            )),
+            ));
+        };
+        let idx = idx as usize;
+        let taken = self.mshrs.swap_remove(idx);
+        if idx < self.mshrs.len() {
+            self.mshr_index.insert(self.mshrs[idx].line, idx as u32);
         }
+        // Fault-manufactured duplicates: re-point at the survivor so it
+        // stays reachable (never taken on the clean path).
+        if let Some(pos) = self.mshrs.iter().position(|m| m.line == line) {
+            self.mshr_index.insert(line, pos as u32);
+        }
+        Ok(taken)
     }
 
     /// Serve a deferred forward/recall right after filling in state
@@ -535,7 +576,7 @@ impl L1Cache {
                     self.stale_partials.swap_remove(pos);
                     return Ok((out, None));
                 }
-                match self.mshrs.iter_mut().find(|m| m.line == line) {
+                match self.mshr_mut(line) {
                     Some(m) if !m.partial_served => {
                         m.partial_served = true;
                         let write = m.write;
@@ -577,7 +618,7 @@ impl L1Cache {
                     }
                     self.array.remove(line);
                 }
-                if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+                if let Some(m) = self.mshr_mut(line) {
                     m.inv_pending = true;
                 }
                 out.push(Outgoing::Send {
@@ -594,7 +635,7 @@ impl L1Cache {
                         self.serve_deferred(line, state, PKind::FwdGetS { requestor }, &mut out);
                     }
                     _ => {
-                        if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+                        if let Some(m) = self.mshr_mut(line) {
                             debug_assert!(m.deferred.is_none());
                             m.deferred = Some(PKind::FwdGetS { requestor });
                         } else {
@@ -619,7 +660,7 @@ impl L1Cache {
                         self.serve_deferred(line, s, PKind::FwdGetX { requestor }, &mut out);
                     }
                     _ => {
-                        if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+                        if let Some(m) = self.mshr_mut(line) {
                             debug_assert!(m.deferred.is_none());
                             m.deferred = Some(PKind::FwdGetX { requestor });
                         } else {
@@ -641,7 +682,7 @@ impl L1Cache {
                         self.serve_deferred(line, state, PKind::RecallData, &mut out);
                     }
                     _ => {
-                        if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+                        if let Some(m) = self.mshr_mut(line) {
                             debug_assert!(m.deferred.is_none());
                             m.deferred = Some(PKind::RecallData);
                         } else {

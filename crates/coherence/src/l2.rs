@@ -18,8 +18,9 @@
 //! L2 being inclusive — a victim still cached above is first *recalled*
 //! (`Inv` to sharers, `RecallData` to an owner).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use cmp_common::addrmap::AddrMap;
 use cmp_common::config::DirectoryConfig;
 use cmp_common::stats::Counter;
 use cmp_common::types::{Addr, TileId};
@@ -100,11 +101,11 @@ pub struct L2Slice {
     tiles: usize,
     array: CacheArray<L2Line>,
     dir: DirBox,
-    busy: HashMap<Addr, Busy>,
-    pending: HashMap<Addr, VecDeque<(TileId, PKind)>>,
-    fills: HashMap<Addr, Fill>,
+    busy: AddrMap<Busy>,
+    pending: AddrMap<VecDeque<(TileId, PKind)>>,
+    fills: AddrMap<Fill>,
     /// victim line → fill line waiting on its recall.
-    recall_for: HashMap<Addr, Addr>,
+    recall_for: AddrMap<Addr>,
     /// Fills whose victim choice found every way busy; retried on `pump`.
     stalled: Vec<Addr>,
     /// Total requests queued across all `pending` lines, so
@@ -200,10 +201,10 @@ impl cmp_common::persist::PersistState for L2Slice {
         use cmp_common::persist::Persist;
         self.array.save_state(w);
         self.dir.save_state(w);
-        cmp_common::persist::save_map(&self.busy, w);
-        cmp_common::persist::save_map(&self.pending, w);
-        cmp_common::persist::save_map(&self.fills, w);
-        cmp_common::persist::save_map(&self.recall_for, w);
+        self.busy.save(w);
+        self.pending.save(w);
+        self.fills.save(w);
+        self.recall_for.save(w);
         self.stalled.save(w);
         w.usize(self.queued);
         self.stats.save(w);
@@ -215,10 +216,10 @@ impl cmp_common::persist::PersistState for L2Slice {
         use cmp_common::persist::Persist;
         self.array.load_state(r)?;
         self.dir.load_state(r)?;
-        self.busy = cmp_common::persist::load_map(r)?;
-        self.pending = cmp_common::persist::load_map(r)?;
-        self.fills = cmp_common::persist::load_map(r)?;
-        self.recall_for = cmp_common::persist::load_map(r)?;
+        self.busy = Persist::load(r)?;
+        self.pending = Persist::load(r)?;
+        self.fills = Persist::load(r)?;
+        self.recall_for = Persist::load(r)?;
         self.stalled = Persist::load(r)?;
         self.queued = r.usize()?;
         if self.queued != self.pending.values().map(|q| q.len()).sum::<usize>() {
@@ -253,10 +254,10 @@ impl L2Slice {
             tiles,
             array: CacheArray::new(sets, ways, tiles.trailing_zeros()),
             dir: build_directory(directory, tiles),
-            busy: HashMap::new(),
-            pending: HashMap::new(),
-            fills: HashMap::new(),
-            recall_for: HashMap::new(),
+            busy: AddrMap::new(),
+            pending: AddrMap::new(),
+            fills: AddrMap::new(),
+            recall_for: AddrMap::new(),
             stalled: Vec::new(),
             queued: 0,
             stats: L2Stats::default(),
@@ -295,9 +296,9 @@ impl L2Slice {
     /// recall at this home. While true, the directory entry may lag the
     /// L1s' states — the sanitizer must not flag the disagreement.
     pub fn line_in_flight(&self, line: Addr) -> bool {
-        self.busy.contains_key(&line)
-            || self.fills.contains_key(&line)
-            || self.recall_for.contains_key(&line)
+        self.busy.contains_key(line)
+            || self.fills.contains_key(line)
+            || self.recall_for.contains_key(line)
     }
 
     /// Resident lines with their directory state (sanitizer sweep).
@@ -334,7 +335,7 @@ impl L2Slice {
         self.pending
             .iter()
             .find(|(line, q)| {
-                !q.is_empty() && !self.busy.contains_key(*line) && !self.fills.contains_key(*line)
+                !q.is_empty() && !self.busy.contains_key(**line) && !self.fills.contains_key(**line)
             })
             .map(|(&line, _)| line)
     }
@@ -359,7 +360,7 @@ impl L2Slice {
     /// queue / counter-mismatch violation).
     #[doc(hidden)]
     pub fn fault_enqueue_pending(&mut self, line: Addr, src: TileId, kind: PKind) {
-        self.pending.entry(line).or_default().push_back((src, kind));
+        self.pending.get_or_default(line).push_back((src, kind));
         self.queued += 1;
     }
 
@@ -420,12 +421,12 @@ impl L2Slice {
         line: Addr,
         out: &mut OutVec,
     ) -> Result<(), ProtocolError> {
-        if self.busy.contains_key(&line) {
-            self.pending.entry(line).or_default().push_back((src, kind));
+        if self.busy.contains_key(line) {
+            self.pending.get_or_default(line).push_back((src, kind));
             self.queued += 1;
             return Ok(());
         }
-        if let Some(fill) = self.fills.get_mut(&line) {
+        if let Some(fill) = self.fills.get_mut(line) {
             fill.waiters.push((src, kind));
             return Ok(());
         }
@@ -582,7 +583,7 @@ impl L2Slice {
         let Some(cap) = self.dir.transaction_capacity() else {
             return Ok(());
         };
-        if self.busy.contains_key(&line) || self.fills.contains_key(&line) {
+        if self.busy.contains_key(line) || self.fills.contains_key(line) {
             return Ok(()); // the line already holds its slot
         }
         let used = self.busy.len() + self.fills.len();
@@ -625,7 +626,7 @@ impl L2Slice {
         match kind {
             PKind::InvAck => self.inv_ack(line, &mut out)?,
             PKind::RevisionDirty | PKind::RevisionClean => {
-                let Some(&busy) = self.busy.get(&line) else {
+                let Some(&busy) = self.busy.get(line) else {
                     return Err(self.reply_err(kind, line, "revision for an idle line"));
                 };
                 let Busy::AwaitRevision {
@@ -644,7 +645,7 @@ impl L2Slice {
                 self.unbusy(line, &mut out)?;
             }
             PKind::FwdDone => {
-                let Some(&busy) = self.busy.get(&line) else {
+                let Some(&busy) = self.busy.get(line) else {
                     return Err(self.reply_err(kind, line, "forward completion for an idle line"));
                 };
                 let Busy::AwaitRevision { requestor, .. } = busy else {
@@ -654,7 +655,7 @@ impl L2Slice {
                 self.unbusy(line, &mut out)?;
             }
             PKind::FwdFailed => {
-                let Some(&busy) = self.busy.get(&line) else {
+                let Some(&busy) = self.busy.get(line) else {
                     return Err(self.reply_err(kind, line, "forward failure for an idle line"));
                 };
                 let Busy::AwaitRevision {
@@ -667,13 +668,13 @@ impl L2Slice {
                 };
                 if wb_seen {
                     // writeback already applied: replay now
-                    self.busy.remove(&line);
+                    self.busy.remove(line);
                     let mut chain = OutVec::new();
                     self.request_inner(requestor, original, line, &mut chain)?;
                     out.extend(chain);
                     // `request_inner` may have left the line un-busy
                     // (immediate grant): drain any queued requests too
-                    if !self.busy.contains_key(&line) {
+                    if !self.busy.contains_key(line) {
                         self.drain_pending(line, &mut out)?;
                     }
                 } else {
@@ -713,7 +714,7 @@ impl L2Slice {
     }
 
     fn inv_ack(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
-        match self.busy.get_mut(&line) {
+        match self.busy.get_mut(line) {
             Some(Busy::AwaitInvAcks {
                 requestor,
                 pending,
@@ -769,7 +770,7 @@ impl L2Slice {
         if with_data {
             self.array.get_mut(line).expect("resident").dirty = true;
         }
-        match self.busy.get_mut(&line) {
+        match self.busy.get_mut(line) {
             None => {
                 // normal replacement: the sender must be the tracked owner
                 // (a duplicated writeback trips this — its first copy
@@ -796,12 +797,12 @@ impl L2Slice {
                 original,
             }) => {
                 let (req, orig) = (*requestor, *original);
-                self.busy.remove(&line);
+                self.busy.remove(line);
                 self.set_dir(line, DirState::Invalid);
                 let mut chain = OutVec::new();
                 self.request_inner(req, orig, line, &mut chain)?;
                 out.extend(chain);
-                if !self.busy.contains_key(&line) {
+                if !self.busy.contains_key(line) {
                     self.drain_pending(line, &mut out)?;
                 }
             }
@@ -825,7 +826,7 @@ impl L2Slice {
     /// `mem_latency` cycles after the `MemRead` effect).
     pub fn mem_fill_done(&mut self, line: Addr) -> Result<OutVec, ProtocolError> {
         let mut out = OutVec::new();
-        let Some(fill) = self.fills.get_mut(&line) else {
+        let Some(fill) = self.fills.get_mut(line) else {
             return Err(ProtocolError::internal(
                 self.tile,
                 line,
@@ -852,7 +853,7 @@ impl L2Slice {
     }
 
     fn try_install(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
-        if !self.fills.get(&line).map(|f| f.mem_done).unwrap_or(false) {
+        if !self.fills.get(line).map(|f| f.mem_done).unwrap_or(false) {
             return Ok(());
         }
         // A recall for this fill may already be running.
@@ -862,7 +863,7 @@ impl L2Slice {
         let busy = &self.busy;
         let recall_for = &self.recall_for;
         match self.array.victim_for(line, |a, _| {
-            !busy.contains_key(&a) && !recall_for.contains_key(&a)
+            !busy.contains_key(a) && !recall_for.contains_key(a)
         }) {
             VictimSlot::Free => self.install(line, out)?,
             VictimSlot::Evict(victim) => {
@@ -905,10 +906,10 @@ impl L2Slice {
         victim: Addr,
         out: &mut OutVec,
     ) -> Result<(), ProtocolError> {
-        let Some(Busy::AwaitRecall { pending }) = self.busy.get_mut(&victim) else {
+        let Some(Busy::AwaitRecall { pending }) = self.busy.get_mut(victim) else {
             let detail = format!(
                 "recall ack for a line not being recalled (state {:?})",
-                self.busy.get(&victim)
+                self.busy.get(victim)
             );
             return Err(self.reply_err(kind, victim, detail));
         };
@@ -916,11 +917,11 @@ impl L2Slice {
         if *pending > 0 {
             return Ok(());
         }
-        self.busy.remove(&victim);
+        self.busy.remove(victim);
         self.evict(victim, out);
         // requests that queued for the victim during the recall now miss
         self.drain_pending(victim, out)?;
-        if let Some(fill_line) = self.recall_for.remove(&victim) {
+        if let Some(fill_line) = self.recall_for.remove(victim) {
             self.try_install(fill_line, out)?;
         }
         Ok(())
@@ -929,7 +930,7 @@ impl L2Slice {
     fn evict(&mut self, line: Addr, out: &mut OutVec) {
         let l = self.array.remove(line).expect("evicting resident line");
         self.dir.evict(line);
-        debug_assert!(!self.busy.contains_key(&line));
+        debug_assert!(!self.busy.contains_key(line));
         if l.dirty {
             self.stats.mem_writes.inc();
             out.push(Outgoing::MemWrite { line });
@@ -937,7 +938,7 @@ impl L2Slice {
     }
 
     fn install(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
-        let fill = self.fills.remove(&line).expect("fill record");
+        let fill = self.fills.remove(line).expect("fill record");
         debug_assert!(fill.mem_done);
         if self.array.insert(line, L2Line { dirty: false }).is_err() {
             return Err(ProtocolError::internal(
@@ -956,15 +957,15 @@ impl L2Slice {
     /// Clear the busy state and replay queued requests (in order; the
     /// first may re-busy the line, leaving the rest queued).
     fn unbusy(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
-        self.busy.remove(&line);
+        self.busy.remove(line);
         self.drain_pending(line, out)
     }
 
     fn drain_pending(&mut self, line: Addr, out: &mut OutVec) -> Result<(), ProtocolError> {
-        while let Some((src, kind)) = self.pending.get_mut(&line).and_then(|q| q.pop_front()) {
+        while let Some((src, kind)) = self.pending.get_mut(line).and_then(|q| q.pop_front()) {
             self.queued -= 1;
             self.request_inner(src, kind, line, out)?;
-            if self.busy.contains_key(&line) || self.fills.contains_key(&line) {
+            if self.busy.contains_key(line) || self.fills.contains_key(line) {
                 break; // the rest stay queued behind the new transaction
             }
         }

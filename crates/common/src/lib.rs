@@ -23,6 +23,9 @@
 //!   writes, ENOSPC, short reads, bit flips, rename-then-crash).
 //! * [`persist`] — the panic-free binary state codec that turns
 //!   whole-machine checkpoints into disk bytes and back.
+//! * [`addrmap`] — an open-addressed, insertion-ordered map keyed by
+//!   line address (Fibonacci hashing, deterministic iteration) for the
+//!   transient coherence state on the cycle path.
 //! * [`hash`] — streaming FNV-1a 64 content hashing shared by the
 //!   journal's configuration fingerprints and the checkpoint cache's
 //!   load-time verification digests.
@@ -36,6 +39,7 @@
 //! * [`units`] — thin newtypes for the physical quantities that cross crate
 //!   boundaries (picoseconds, watts, square millimetres, joules).
 
+pub mod addrmap;
 pub mod config;
 pub mod fault;
 pub mod fsx;
@@ -51,6 +55,7 @@ pub mod stats;
 pub mod types;
 pub mod units;
 
+pub use addrmap::AddrMap;
 pub use config::{CacheConfig, CmpConfig, NetworkConfig};
 pub use fault::{FaultAction, FaultConfig, FaultInjector, FaultPath, FaultStats};
 pub use geometry::{Coord, MeshShape};

@@ -31,6 +31,7 @@ pub mod epoch;
 pub mod error;
 pub mod faults;
 pub mod ports;
+pub mod profile;
 pub mod snapshot;
 pub mod stats;
 pub mod tile;
@@ -41,6 +42,7 @@ pub use clocked::Clocked;
 pub use epoch::lookahead_window;
 pub use error::{OldestInFlight, SimError, StateDump, TileDump, TileStall};
 pub use ports::TilePorts;
+pub use profile::PhaseProfile;
 pub use snapshot::{MachineSnapshot, RestoreError};
 pub use stats::{ClassCount, SimResult};
 pub use tile::{L2Bank, NetIface, Tile};
@@ -174,6 +176,24 @@ pub(crate) fn parse_sanitize(v: &str) -> Result<bool, String> {
     }
 }
 
+/// True when a delivered message of this kind is handled by an L1
+/// controller (the remaining kinds go to an L2 slice). Mirrors the
+/// dispatch in [`Engine::deliver`]; used only for profile attribution.
+fn l1_bound(kind: &PKind) -> bool {
+    matches!(
+        kind,
+        PKind::DataS
+            | PKind::DataE
+            | PKind::DataM
+            | PKind::PartialReply { .. }
+            | PKind::UpgradeAck
+            | PKind::Inv
+            | PKind::FwdGetS { .. }
+            | PKind::FwdGetX { .. }
+            | PKind::RecallData
+    )
+}
+
 /// Emit `warning` to stderr once per process (keyed by `flag`), so a
 /// matrix spawning hundreds of simulators does not repeat it per cell.
 fn warn_env_once(flag: &'static AtomicBool, warning: &str) {
@@ -185,6 +205,21 @@ fn warn_env_once(flag: &'static AtomicBool, warning: &str) {
 static SIM_THREADS_ENV_WARNED: AtomicBool = AtomicBool::new(false);
 static SANITIZE_ENV_WARNED: AtomicBool = AtomicBool::new(false);
 static FAULT_SERIAL_WARNED: AtomicBool = AtomicBool::new(false);
+static PROFILE_ENV_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// The `TCMP_PROFILE` gate. A malformed value warns once on stderr and
+/// enables profiling (the conservative reading, matching the other
+/// `TCMP_*` knobs).
+fn profile_from_env() -> bool {
+    let v = std::env::var("TCMP_PROFILE").unwrap_or_default();
+    match profile::parse_profile(&v) {
+        Ok(on) => on,
+        Err(warning) => {
+            warn_env_once(&PROFILE_ENV_WARNED, &warning);
+            true
+        }
+    }
+}
 
 /// The `TCMP_SIM_THREADS` override, if set to a positive integer. Also
 /// consulted by the matrix drivers so their worker-pool sizing accounts
@@ -261,6 +296,10 @@ pub struct Engine {
     /// outside [`MachineSnapshot`], so snapshots transplant across thread
     /// counts.
     pub(crate) par: Option<Box<ParState>>,
+    /// Per-phase wall-clock attribution; `None` unless enabled via
+    /// [`Engine::enable_profiling`] or `TCMP_PROFILE=1`. Host-side
+    /// measurement only — outside [`MachineSnapshot`].
+    pub(crate) profile: Option<Box<PhaseProfile>>,
 }
 
 impl Engine {
@@ -358,8 +397,23 @@ impl Engine {
             delivered_scratch: Vec::new(),
             due_scratch: Vec::new(),
             par,
+            profile: profile_from_env().then(Box::default),
             cfg,
         }
+    }
+
+    /// Turn on per-phase wall-clock attribution for the rest of the
+    /// run (see [`profile::PhaseProfile`]). Idempotent; already-elapsed
+    /// phases are simply not counted.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated phase profile, if profiling is enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
     }
 
     /// Worker threads the scheduler actually runs with (1 = serial).
@@ -657,6 +711,15 @@ impl Engine {
         Ok(())
     }
 
+    /// Close a phase-profile timer into the bucket `f` selects (no-op
+    /// unless profiling is enabled).
+    #[inline]
+    fn prof(&mut self, m: profile::Mark, f: impl FnOnce(&mut PhaseProfile) -> &mut u64) {
+        if let Some(p) = self.profile.as_mut() {
+            m.stop(f(p));
+        }
+    }
+
     fn step_core(&mut self, t: usize) {
         let was_done = self.tiles[t].core.is_done();
         self.step_core_inner(t);
@@ -763,6 +826,9 @@ impl Engine {
             return Err(SimError::Watchdog { cycle: self.now });
         }
         self.iters += 1;
+        if let Some(p) = self.profile.as_mut() {
+            p.iterations += 1;
+        }
         if self
             .watchdog
             .as_ref()
@@ -811,7 +877,10 @@ impl Engine {
             self.step_phases_serial()?;
         }
         // 5. advance
-        match self.next_interesting() {
+        let m = profile::Mark::start(self.profile.is_some());
+        let next = self.next_interesting();
+        self.prof(m, |p| &mut p.advance_ns);
+        match next {
             Some(next) => {
                 self.now = next;
                 Ok(true)
@@ -834,8 +903,10 @@ impl Engine {
     /// drain. Also the only path a fault campaign runs on (injection is
     /// one global serialized decision stream).
     fn step_phases_serial(&mut self) -> Result<(), SimError> {
+        let profiling = self.profile.is_some();
         // 1. memory completions (each reply consults the fault injector
         //    when a campaign is live — the off-chip reply path)
+        let m = profile::Mark::start(profiling);
         while let Some(r) = self.mem.pop_next_ready(self.now) {
             let (reply, deliveries) = match self.fault_mem_reply(r) {
                 Some(v) => v,
@@ -855,22 +926,36 @@ impl Engine {
                 self.sync_bank(reply.tile.index());
             }
         }
+        self.prof(m, |p| &mut p.mem_fills_ns);
         // 2. delayed sends due now
+        let m = profile::Mark::start(profiling);
         while let Some(ev) = self.calendar.pop_delayed_due(self.now) {
             self.fire(ev)?;
         }
+        self.prof(m, |p| &mut p.calendar_ns);
         // 3. network
         let mut delivered = std::mem::take(&mut self.delivered_scratch);
         delivered.clear();
+        let m = profile::Mark::start(profiling);
         self.noc.tick_into(self.now, &mut delivered);
+        self.prof(m, |p| &mut p.noc_tick_ns);
         let mut failed = None;
         for d in delivered.drain(..) {
             if failed.is_some() {
                 continue; // drain the rest; the run is already aborting
             }
+            let to_l1 = profiling && l1_bound(&d.message.payload.kind);
+            let m = profile::Mark::start(profiling);
             if let Err(e) = self.deliver(d.message.src, d.message.dst, d.message.payload) {
                 failed = Some(e);
             }
+            self.prof(m, |p| {
+                if to_l1 {
+                    &mut p.l1_deliver_ns
+                } else {
+                    &mut p.l2_deliver_ns
+                }
+            });
         }
         self.delivered_scratch = delivered;
         if let Some(e) = failed {
@@ -881,10 +966,12 @@ impl Engine {
         // and therefore the determinism goldens — bit-identical).
         let mut due = std::mem::take(&mut self.due_scratch);
         self.calendar.drain_cores_due(self.now, &mut due);
+        let m = profile::Mark::start(profiling);
         for &t in &due {
             self.step_core(t as usize);
             self.refresh_core(t as usize);
         }
+        self.prof(m, |p| &mut p.cores_ns);
         self.due_scratch = due;
         Ok(())
     }
@@ -895,11 +982,29 @@ impl Engine {
     /// order `step_phases_serial` would have produced them.
     fn step_phases_par(&mut self) -> Result<(), SimError> {
         let mut par = self.par.take().expect("parallel scheduler state");
-        let result = self
-            .par_phase_fills(&mut par)
-            .and_then(|()| self.par_phase_events(&mut par))
-            .and_then(|()| self.par_phase_network(&mut par))
-            .and_then(|()| self.par_phase_cores(&mut par));
+        // Coarser attribution than the serial path: each parallel phase
+        // lands whole in one bucket (the network phase includes its
+        // serial-order delivery merge, so L1/L2 handler time shows up
+        // under `noc_tick` here).
+        let profiling = self.profile.is_some();
+        let m = profile::Mark::start(profiling);
+        let mut result = self.par_phase_fills(&mut par);
+        self.prof(m, |p| &mut p.mem_fills_ns);
+        if result.is_ok() {
+            let m = profile::Mark::start(profiling);
+            result = self.par_phase_events(&mut par);
+            self.prof(m, |p| &mut p.calendar_ns);
+        }
+        if result.is_ok() {
+            let m = profile::Mark::start(profiling);
+            result = self.par_phase_network(&mut par);
+            self.prof(m, |p| &mut p.noc_tick_ns);
+        }
+        if result.is_ok() {
+            let m = profile::Mark::start(profiling);
+            result = self.par_phase_cores(&mut par);
+            self.prof(m, |p| &mut p.cores_ns);
+        }
         self.par = Some(par);
         result
     }

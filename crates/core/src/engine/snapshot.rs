@@ -150,25 +150,21 @@ impl MachineSnapshot {
             h.write_u64(t.core.stats().mem_ops);
             h.write_u64(t.core.ready_at().unwrap_or(Cycle::MAX));
             h.write_u64(u64::from(t.parked));
-            // Hash-map-backed sets iterate in arbitrary order; sort so
-            // equal machines always digest equally.
-            let mut mshrs: Vec<u64> = t.l1.mshr_lines().collect();
-            mshrs.sort_unstable();
-            for line in mshrs {
+            // MSHRs and the L2 transaction maps iterate in a
+            // deterministic order that survives save/load (dense
+            // vectors and `AddrMap`'s insertion-history order), so the
+            // digest walks them directly — no defensive copy-and-sort.
+            for line in t.l1.mshr_lines() {
                 h.write_u64(line);
             }
         }
         for b in &self.l2s {
             h.write_u64(u64::from(b.busy));
-            let mut busy: Vec<(u64, String)> = b.slice.busy_lines().collect();
-            busy.sort_unstable();
-            for (line, state) in busy {
+            for (line, state) in b.slice.busy_lines() {
                 h.write_u64(line);
                 h.write_str(&state);
             }
-            let mut fills: Vec<u64> = b.slice.fill_lines().collect();
-            fills.sort_unstable();
-            for line in fills {
+            for line in b.slice.fill_lines() {
                 h.write_u64(line);
             }
             h.write_u64(b.slice.queued_requests() as u64);

@@ -27,8 +27,8 @@ use crate::engine::{Engine, MachineSnapshot};
 use crate::niface::ResyncStats;
 
 pub use crate::engine::{
-    ClassCount, OldestInFlight, RestoreError, SimConfig, SimError, SimResult, StateDump, TileDump,
-    TileStall, WatchdogConfig,
+    ClassCount, OldestInFlight, PhaseProfile, RestoreError, SimConfig, SimError, SimResult,
+    StateDump, TileDump, TileStall, WatchdogConfig,
 };
 
 /// The full-system simulator: a thin façade over [`crate::engine`].
@@ -81,6 +81,19 @@ impl CmpSimulator {
     /// cycles (`None` when stepping serially).
     pub fn epoch_lookahead(&self) -> Option<Cycle> {
         self.engine.epoch_lookahead()
+    }
+
+    /// Turn on per-phase wall-clock attribution (also enabled by
+    /// `TCMP_PROFILE=1`). Read the result with
+    /// [`CmpSimulator::phase_profile`]. Profiling never changes a
+    /// run's simulated outcome — only its wall-clock cost, by percents.
+    pub fn enable_profiling(&mut self) {
+        self.engine.enable_profiling()
+    }
+
+    /// The accumulated phase profile, if profiling is enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.engine.phase_profile()
     }
 
     /// Checkpoint the whole machine at the current iteration boundary.

@@ -1,5 +1,5 @@
 //! Wormhole router state: input virtual channels, output virtual channels
-//! and credit tracking.
+//! and credit tracking, stored struct-of-arrays for a whole sub-network.
 //!
 //! The switching logic lives in [`crate::subnet`]; this module owns the
 //! data structures and their invariants:
@@ -11,8 +11,18 @@
 //!   time, from the head flit's allocation until the tail flit traverses
 //!   the switch. Its credit counter mirrors the free buffer slots of the
 //!   downstream input VC.
-
-use std::collections::VecDeque;
+//!
+//! ## Why flat arrays
+//!
+//! The previous shape — a `Vec` of per-tile routers, each holding nested
+//! `Vec`s of VC structs, each VC owning a heap `VecDeque` — cost four
+//! dependent pointer loads to reach a buffered flit, paid per occupied VC
+//! per cycle in the switch-allocation scan (the sub-network's hottest
+//! loop). [`RouterArray`] keeps every hot field in one dense vector
+//! indexed by a flat `(tile, port, vc)` coordinate: a tile's per-VC
+//! occupancy counters share a cache line, ring buffers live in one
+//! contiguous allocation, and reaching a front flit is a single computed
+//! load.
 
 use cmp_common::geometry::Direction;
 use cmp_common::types::Cycle;
@@ -23,6 +33,9 @@ pub const PORTS: usize = 5;
 
 /// Index of the local port.
 pub const LOCAL: usize = 4;
+
+/// `out_vc` sentinel: no output VC allocated to the head message.
+const NO_OUT: u8 = u8::MAX;
 
 /// One flit. `msg` indexes the sub-network's in-flight message slab.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,178 +63,318 @@ pub struct BufferedFlit {
     pub arrived: Cycle,
 }
 
-/// One input virtual channel.
+/// Every router of a sub-network, struct-of-arrays. Input and output
+/// VCs share the flat index `(tile * PORTS + port) * vcs + vc` (see
+/// [`RouterArray::vc_index`]); the round-robin pointers are per
+/// `(tile, port)`.
 #[derive(Clone, Debug)]
-pub struct InputVc {
-    /// Flits in arrival order.
-    pub buf: VecDeque<BufferedFlit>,
-    /// Route of the current head message (computed once per message).
-    pub route: Option<Direction>,
-    /// Output VC allocated to the current head message.
-    pub out_vc: Option<usize>,
-    capacity: usize,
+pub struct RouterArray {
+    nvc: usize,
+    depth: usize,
+    /// Per input VC: ring start within its `depth`-sized `buf` segment.
+    head: Vec<u8>,
+    /// Per input VC: buffered flit count.
+    len: Vec<u8>,
+    /// Ring storage, `depth` slots per input VC.
+    buf: Vec<BufferedFlit>,
+    /// Per input VC: cached route of the current head message.
+    route: Vec<Option<Direction>>,
+    /// Per input VC: output VC allocated to the current head message
+    /// ([`NO_OUT`] when unallocated).
+    out_vc: Vec<u8>,
+    /// Per output VC: the (input port, input VC) currently sending.
+    owner: Vec<Option<(u8, u8)>>,
+    /// Per output VC: free buffer slots downstream.
+    credits: Vec<usize>,
+    /// Per (tile, port): round-robin pointer over flat (input port,
+    /// input VC) candidates.
+    rr: Vec<u32>,
 }
 
-impl InputVc {
-    fn new(capacity: usize) -> Self {
-        InputVc {
-            buf: VecDeque::with_capacity(capacity),
-            route: None,
-            out_vc: None,
-            capacity,
+impl RouterArray {
+    /// Routers for `tiles` tiles with `vcs` virtual channels of
+    /// `buf_flits` depth per port. Output credits start at the
+    /// downstream buffer depth (`buf_flits`, since all routers are
+    /// identical); the local ejection port gets effectively infinite
+    /// credits — the network interface always drains.
+    pub fn new(tiles: usize, vcs: usize, buf_flits: usize) -> Self {
+        assert!(vcs > 0 && buf_flits > 0);
+        assert!(buf_flits <= u8::MAX as usize, "ring offsets are u8");
+        assert!(PORTS * vcs <= 32, "per-tile VC bitmaps are u32");
+        let vc_count = tiles * PORTS * vcs;
+        let dead = BufferedFlit {
+            flit: Flit {
+                msg: 0,
+                seq: 0,
+                tail: false,
+            },
+            arrived: 0,
+        };
+        let credits = (0..vc_count)
+            .map(|f| {
+                if (f / vcs) % PORTS == LOCAL {
+                    usize::MAX / 2
+                } else {
+                    buf_flits
+                }
+            })
+            .collect();
+        RouterArray {
+            nvc: vcs,
+            depth: buf_flits,
+            head: vec![0; vc_count],
+            len: vec![0; vc_count],
+            buf: vec![dead; vc_count * buf_flits],
+            route: vec![None; vc_count],
+            out_vc: vec![NO_OUT; vc_count],
+            owner: vec![None; vc_count],
+            credits,
+            rr: vec![0; tiles * PORTS],
         }
     }
 
-    /// Whether another flit fits.
+    /// Flat VC index shared by the input- and output-side arrays.
     #[inline]
-    pub fn has_space(&self) -> bool {
-        self.buf.len() < self.capacity
+    pub fn vc_index(&self, tile: usize, port: usize, vc: usize) -> usize {
+        (tile * PORTS + port) * self.nvc + vc
     }
 
-    /// Buffer capacity in flits.
+    /// Buffer capacity of every input VC, in flits.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.depth
+    }
+
+    // The accessors below use unchecked indexing (asserted in debug
+    // builds): `f` always comes from [`RouterArray::vc_index`] with
+    // in-range coordinates — the switch-allocation scan calls several
+    // of these per occupied VC per cycle, and the bounds checks were
+    // measurable there. All methods stay in-bounds for every `f <
+    // tiles·PORTS·vcs`, which construction guarantees for indices built
+    // through `vc_index`.
+
+    /// Buffered flits in input VC `f`.
+    #[inline]
+    pub fn vc_len(&self, f: usize) -> usize {
+        debug_assert!(f < self.len.len());
+        unsafe { *self.len.get_unchecked(f) as usize }
+    }
+
+    /// Whether another flit fits in input VC `f`.
+    #[inline]
+    pub fn has_space(&self, f: usize) -> bool {
+        self.vc_len(f) < self.depth
+    }
+
+    /// The oldest buffered flit of input VC `f`, if any.
+    #[inline]
+    pub fn front(&self, f: usize) -> Option<&BufferedFlit> {
+        debug_assert!(f < self.len.len());
+        if self.vc_len(f) == 0 {
+            return None;
+        }
+        let i = f * self.depth + unsafe { *self.head.get_unchecked(f) } as usize;
+        debug_assert!(i < self.buf.len());
+        Some(unsafe { self.buf.get_unchecked(i) })
     }
 
     /// Push an arriving flit. Panics if the credit protocol was violated.
-    pub fn push(&mut self, flit: Flit, now: Cycle) {
-        assert!(self.has_space(), "input VC overflow: credit protocol bug");
-        self.buf.push_back(BufferedFlit { flit, arrived: now });
+    #[inline]
+    pub fn push(&mut self, f: usize, flit: Flit, now: Cycle) {
+        assert!(self.has_space(f), "input VC overflow: credit protocol bug");
+        let mut slot = unsafe { *self.head.get_unchecked(f) } as usize + self.vc_len(f);
+        if slot >= self.depth {
+            slot -= self.depth;
+        }
+        let i = f * self.depth + slot;
+        debug_assert!(i < self.buf.len());
+        unsafe {
+            *self.buf.get_unchecked_mut(i) = BufferedFlit { flit, arrived: now };
+            *self.len.get_unchecked_mut(f) += 1;
+        }
     }
 
-    /// Pop the head flit after it traversed the switch, resetting the
-    /// per-message state when the tail leaves.
-    pub fn pop_after_traversal(&mut self) -> BufferedFlit {
-        let bf = self.buf.pop_front().expect("pop from empty VC");
+    /// Pop the head flit of input VC `f` after it traversed the switch,
+    /// resetting the per-message state when the tail leaves.
+    #[inline]
+    pub fn pop_after_traversal(&mut self, f: usize) -> BufferedFlit {
+        debug_assert!(self.vc_len(f) > 0, "pop from empty VC");
+        let head = unsafe { *self.head.get_unchecked(f) };
+        let i = f * self.depth + head as usize;
+        debug_assert!(i < self.buf.len());
+        let bf = unsafe { *self.buf.get_unchecked(i) };
+        let next = head + 1;
+        unsafe {
+            *self.head.get_unchecked_mut(f) = if next as usize == self.depth { 0 } else { next };
+            *self.len.get_unchecked_mut(f) -= 1;
+        }
         if bf.flit.tail {
-            self.route = None;
-            self.out_vc = None;
+            unsafe {
+                *self.route.get_unchecked_mut(f) = None;
+                *self.out_vc.get_unchecked_mut(f) = NO_OUT;
+            }
         }
         bf
     }
-}
 
-/// One output virtual channel: ownership + downstream credits.
-#[derive(Clone, Debug)]
-pub struct OutputVc {
-    /// The (input port, input VC) currently sending a message through
-    /// this output VC.
-    pub owner: Option<(usize, usize)>,
-    /// Free buffer slots in the downstream input VC.
-    pub credits: usize,
-}
-
-/// One output port: its VCs and the round-robin arbitration pointer.
-#[derive(Clone, Debug)]
-pub struct OutputPort {
-    pub vcs: Vec<OutputVc>,
-    /// Round-robin pointer over flat (input port, input VC) candidates.
-    pub rr: usize,
-}
-
-/// A 5-port wormhole router.
-#[derive(Clone, Debug)]
-pub struct Router {
-    /// `inputs[port][vc]`.
-    pub inputs: Vec<Vec<InputVc>>,
-    /// `outputs[port]`.
-    pub outputs: Vec<OutputPort>,
-}
-
-impl Router {
-    /// A router with `vcs` virtual channels of `buf_flits` depth per port.
-    /// Output credits start at the downstream buffer depth (`buf_flits`,
-    /// since all routers are identical); the local ejection port gets
-    /// effectively infinite credits — the network interface always drains.
-    pub fn new(vcs: usize, buf_flits: usize) -> Self {
-        let inputs = (0..PORTS)
-            .map(|_| (0..vcs).map(|_| InputVc::new(buf_flits)).collect())
-            .collect();
-        let outputs = (0..PORTS)
-            .map(|port| OutputPort {
-                vcs: (0..vcs)
-                    .map(|_| OutputVc {
-                        owner: None,
-                        credits: if port == LOCAL {
-                            usize::MAX / 2
-                        } else {
-                            buf_flits
-                        },
-                    })
-                    .collect(),
-                rr: 0,
-            })
-            .collect();
-        Router { inputs, outputs }
+    /// Cached route of input VC `f`'s head message.
+    #[inline]
+    pub fn route(&self, f: usize) -> Option<Direction> {
+        debug_assert!(f < self.route.len());
+        unsafe { *self.route.get_unchecked(f) }
     }
 
-    /// Whether any input VC holds flits.
-    pub fn has_buffered_flits(&self) -> bool {
-        self.inputs
-            .iter()
-            .any(|port| port.iter().any(|vc| !vc.buf.is_empty()))
+    /// Cache the head message's route on input VC `f`.
+    #[inline]
+    pub fn set_route(&mut self, f: usize, d: Direction) {
+        debug_assert!(f < self.route.len());
+        unsafe { *self.route.get_unchecked_mut(f) = Some(d) };
     }
 
-    /// Earliest arrival stamp among buffered head flits (for idle
-    /// fast-forward).
-    pub fn earliest_head_arrival(&self) -> Option<Cycle> {
-        self.inputs
+    /// Output VC allocated to input VC `f`'s head message.
+    #[inline]
+    pub fn out_vc(&self, f: usize) -> Option<usize> {
+        debug_assert!(f < self.out_vc.len());
+        let v = unsafe { *self.out_vc.get_unchecked(f) };
+        (v != NO_OUT).then_some(v as usize)
+    }
+
+    /// Allocate output VC `v` to input VC `f`'s head message.
+    #[inline]
+    pub fn set_out_vc(&mut self, f: usize, v: usize) {
+        debug_assert!(f < self.out_vc.len());
+        unsafe { *self.out_vc.get_unchecked_mut(f) = v as u8 };
+    }
+
+    /// Owner of output VC `f`, as (input port, input VC).
+    #[inline]
+    pub fn owner(&self, f: usize) -> Option<(usize, usize)> {
+        debug_assert!(f < self.owner.len());
+        unsafe { *self.owner.get_unchecked(f) }.map(|(p, v)| (p as usize, v as usize))
+    }
+
+    /// Set or clear the owner of output VC `f`.
+    #[inline]
+    pub fn set_owner(&mut self, f: usize, o: Option<(usize, usize)>) {
+        debug_assert!(f < self.owner.len());
+        unsafe { *self.owner.get_unchecked_mut(f) = o.map(|(p, v)| (p as u8, v as u8)) };
+    }
+
+    /// Free downstream buffer slots of output VC `f`.
+    #[inline]
+    pub fn credits(&self, f: usize) -> usize {
+        debug_assert!(f < self.credits.len());
+        unsafe { *self.credits.get_unchecked(f) }
+    }
+
+    /// Return one credit to output VC `f` (a downstream slot freed).
+    #[inline]
+    pub fn add_credit(&mut self, f: usize) {
+        debug_assert!(f < self.credits.len());
+        unsafe { *self.credits.get_unchecked_mut(f) += 1 };
+    }
+
+    /// Spend one credit of output VC `f` (a flit left for downstream).
+    #[inline]
+    pub fn spend_credit(&mut self, f: usize) {
+        debug_assert!(self.credits(f) > 0, "credit underflow");
+        unsafe { *self.credits.get_unchecked_mut(f) -= 1 };
+    }
+
+    /// Round-robin pointer of `(tile, port)`.
+    #[inline]
+    pub fn rr(&self, tile: usize, port: usize) -> usize {
+        let i = tile * PORTS + port;
+        debug_assert!(i < self.rr.len());
+        unsafe { *self.rr.get_unchecked(i) as usize }
+    }
+
+    /// Advance the round-robin pointer of `(tile, port)`.
+    #[inline]
+    pub fn set_rr(&mut self, tile: usize, port: usize, v: usize) {
+        let i = tile * PORTS + port;
+        debug_assert!(i < self.rr.len());
+        unsafe { *self.rr.get_unchecked_mut(i) = v as u32 };
+    }
+
+    /// Whether any input VC of `tile` holds flits.
+    pub fn tile_has_flits(&self, tile: usize) -> bool {
+        let base = self.vc_index(tile, 0, 0);
+        self.len[base..base + PORTS * self.nvc]
             .iter()
-            .flatten()
-            .filter_map(|vc| vc.buf.front().map(|bf| bf.arrived))
+            .any(|&n| n > 0)
+    }
+
+    /// Earliest arrival stamp among `tile`'s buffered head flits (for
+    /// idle fast-forward).
+    pub fn earliest_head_arrival(&self, tile: usize) -> Option<Cycle> {
+        let base = self.vc_index(tile, 0, 0);
+        (base..base + PORTS * self.nvc)
+            .filter_map(|f| self.front(f).map(|bf| bf.arrived))
             .min()
     }
 }
 
-use cmp_common::persist::{
-    load_state_slice, save_state_slice, ByteReader, ByteWriter, Persist, PersistError, PersistState,
-};
+use cmp_common::persist::{ByteReader, ByteWriter, Persist, PersistError, PersistState};
 
 cmp_common::impl_persist!(Flit { msg, seq, tail });
 cmp_common::impl_persist!(BufferedFlit { flit, arrived });
-cmp_common::impl_persist!(OutputVc { owner, credits });
 
-/// The buffer capacity is configuration; the queue and the per-message
-/// wormhole state are checkpointed.
-impl PersistState for InputVc {
+/// Geometry (tiles × ports × VCs × depth) is configuration; the queues,
+/// the per-message wormhole state, ownership, credits and round-robin
+/// pointers are checkpointed. Queues are encoded front-to-back, so the
+/// restored ring layout (`head = 0`) is behaviourally identical even
+/// when the captured ring was mid-wrap. The stored VC count doubles as
+/// a shape check — a checkpoint from a differently-shaped network
+/// refuses to load.
+impl PersistState for RouterArray {
     fn save_state(&self, w: &mut ByteWriter) {
-        self.buf.save(w);
-        self.route.save(w);
-        self.out_vc.save(w);
-    }
-    fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
-        let buf: std::collections::VecDeque<BufferedFlit> = Persist::load(r)?;
-        if buf.len() > self.capacity {
-            return Err(r.err("input VC occupancy exceeds buffer capacity"));
+        w.usize(self.len.len());
+        for f in 0..self.len.len() {
+            w.usize(self.vc_len(f));
+            for i in 0..self.vc_len(f) {
+                let mut slot = self.head[f] as usize + i;
+                if slot >= self.depth {
+                    slot -= self.depth;
+                }
+                self.buf[f * self.depth + slot].save(w);
+            }
+            self.route[f].save(w);
+            w.u8(self.out_vc[f]);
+            self.owner[f].save(w);
+            w.usize(self.credits[f]);
         }
-        self.buf = buf;
-        self.route = Persist::load(r)?;
-        self.out_vc = Persist::load(r)?;
-        Ok(())
+        self.rr.save(w);
     }
-}
 
-impl PersistState for Router {
-    fn save_state(&self, w: &mut ByteWriter) {
-        for port in &self.inputs {
-            save_state_slice(port, w);
-        }
-        // Output ports are plain values, but their VC count is machine
-        // shape — encode via the slice helper so a mismatch is an error.
-        for port in &self.outputs {
-            save_state_slice(&port.vcs, w);
-            port.rr.save(w);
-        }
-    }
     fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
-        for port in &mut self.inputs {
-            load_state_slice(port, r)?;
+        let n = r.usize()?;
+        if n != self.len.len() {
+            return Err(r.err("router VC count does not match machine shape"));
         }
-        for port in &mut self.outputs {
-            load_state_slice(&mut port.vcs, r)?;
-            port.rr = Persist::load(r)?;
+        for f in 0..n {
+            let occ = r.usize()?;
+            if occ > self.depth {
+                return Err(r.err("input VC occupancy exceeds buffer capacity"));
+            }
+            self.head[f] = 0;
+            self.len[f] = occ as u8;
+            for i in 0..occ {
+                self.buf[f * self.depth + i] = Persist::load(r)?;
+            }
+            self.route[f] = Persist::load(r)?;
+            self.out_vc[f] = r.u8()?;
+            self.owner[f] = Persist::load(r)?;
+            self.credits[f] = r.usize()?;
         }
+        let rr: Vec<u32> = Persist::load(r)?;
+        if rr.len() != self.rr.len() {
+            return Err(r.err("round-robin pointer count does not match machine shape"));
+        }
+        if rr.iter().any(|&p| p as usize >= PORTS * self.nvc) {
+            return Err(r.err("round-robin pointer out of range"));
+        }
+        self.rr = rr;
         Ok(())
     }
 }
@@ -230,100 +383,111 @@ impl PersistState for Router {
 mod tests {
     use super::*;
 
+    fn flit(msg: u32, seq: u32, tail: bool) -> Flit {
+        Flit { msg, seq, tail }
+    }
+
     #[test]
     fn input_vc_capacity_enforced() {
-        let mut vc = InputVc::new(2);
-        vc.push(
-            Flit {
-                msg: 0,
-                seq: 0,
-                tail: false,
-            },
-            1,
-        );
-        assert!(vc.has_space());
-        vc.push(
-            Flit {
-                msg: 0,
-                seq: 1,
-                tail: true,
-            },
-            2,
-        );
-        assert!(!vc.has_space());
+        let mut r = RouterArray::new(1, 2, 2);
+        let f = r.vc_index(0, 0, 0);
+        r.push(f, flit(0, 0, false), 1);
+        assert!(r.has_space(f));
+        r.push(f, flit(0, 1, true), 2);
+        assert!(!r.has_space(f));
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn input_vc_overflow_panics() {
-        let mut vc = InputVc::new(1);
-        vc.push(
-            Flit {
-                msg: 0,
-                seq: 0,
-                tail: false,
-            },
-            1,
-        );
-        vc.push(
-            Flit {
-                msg: 0,
-                seq: 1,
-                tail: true,
-            },
-            1,
-        );
+        let mut r = RouterArray::new(1, 1, 1);
+        let f = r.vc_index(0, 0, 0);
+        r.push(f, flit(0, 0, false), 1);
+        r.push(f, flit(0, 1, true), 1);
     }
 
     #[test]
     fn tail_pop_resets_message_state() {
-        let mut vc = InputVc::new(4);
-        vc.push(
-            Flit {
-                msg: 7,
-                seq: 0,
-                tail: false,
-            },
-            1,
-        );
-        vc.push(
-            Flit {
-                msg: 7,
-                seq: 1,
-                tail: true,
-            },
-            2,
-        );
-        vc.route = Some(Direction::East);
-        vc.out_vc = Some(1);
-        vc.pop_after_traversal();
-        assert_eq!(vc.route, Some(Direction::East), "body pop keeps state");
-        vc.pop_after_traversal();
-        assert_eq!(vc.route, None, "tail pop clears route");
-        assert_eq!(vc.out_vc, None);
+        let mut r = RouterArray::new(1, 1, 4);
+        let f = r.vc_index(0, 2, 0);
+        r.push(f, flit(7, 0, false), 1);
+        r.push(f, flit(7, 1, true), 2);
+        r.set_route(f, Direction::East);
+        r.set_out_vc(f, 1);
+        r.pop_after_traversal(f);
+        assert_eq!(r.route(f), Some(Direction::East), "body pop keeps state");
+        r.pop_after_traversal(f);
+        assert_eq!(r.route(f), None, "tail pop clears route");
+        assert_eq!(r.out_vc(f), None);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_fifo_order() {
+        let mut r = RouterArray::new(1, 1, 3);
+        let f = r.vc_index(0, 1, 0);
+        for seq in 0..3 {
+            r.push(f, flit(1, seq, false), seq as Cycle);
+        }
+        assert_eq!(r.pop_after_traversal(f).flit.seq, 0);
+        assert_eq!(r.pop_after_traversal(f).flit.seq, 1);
+        r.push(f, flit(1, 3, false), 10); // wraps the ring
+        r.push(f, flit(1, 4, true), 11);
+        assert_eq!(r.pop_after_traversal(f).flit.seq, 2);
+        assert_eq!(r.pop_after_traversal(f).flit.seq, 3);
+        assert_eq!(r.pop_after_traversal(f).flit.seq, 4);
+        assert_eq!(r.vc_len(f), 0);
     }
 
     #[test]
     fn router_reports_buffered_flits() {
-        let mut r = Router::new(2, 4);
-        assert!(!r.has_buffered_flits());
-        assert_eq!(r.earliest_head_arrival(), None);
-        r.inputs[0][1].push(
-            Flit {
-                msg: 0,
-                seq: 0,
-                tail: true,
-            },
-            42,
-        );
-        assert!(r.has_buffered_flits());
-        assert_eq!(r.earliest_head_arrival(), Some(42));
+        let mut r = RouterArray::new(2, 2, 4);
+        assert!(!r.tile_has_flits(0));
+        assert_eq!(r.earliest_head_arrival(0), None);
+        let f = r.vc_index(0, 0, 1);
+        r.push(f, flit(0, 0, true), 42);
+        assert!(r.tile_has_flits(0));
+        assert!(!r.tile_has_flits(1));
+        assert_eq!(r.earliest_head_arrival(0), Some(42));
     }
 
     #[test]
     fn local_port_has_effectively_infinite_credits() {
-        let r = Router::new(2, 4);
-        assert!(r.outputs[LOCAL].vcs[0].credits > 1_000_000);
-        assert_eq!(r.outputs[0].vcs[0].credits, 4);
+        let r = RouterArray::new(2, 2, 4);
+        assert!(r.credits(r.vc_index(1, LOCAL, 0)) > 1_000_000);
+        assert_eq!(r.credits(r.vc_index(1, 0, 0)), 4);
+    }
+
+    #[test]
+    fn persist_round_trips_a_mid_wrap_ring() {
+        let mut r = RouterArray::new(2, 2, 3);
+        let f = r.vc_index(1, 3, 1);
+        for seq in 0..3 {
+            r.push(f, flit(5, seq, false), 100 + seq as Cycle);
+        }
+        r.pop_after_traversal(f);
+        r.push(f, flit(5, 3, true), 110); // ring is now wrapped
+        r.set_route(f, Direction::South);
+        r.set_out_vc(f, 1);
+        let o = r.vc_index(0, 2, 1);
+        r.set_owner(o, Some((3, 1)));
+        r.spend_credit(o);
+        r.set_rr(1, 2, 7);
+        let mut w = ByteWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = RouterArray::new(2, 2, 3);
+        let mut rd = ByteReader::new(&bytes);
+        fresh.load_state(&mut rd).expect("load");
+        rd.finish().expect("no trailing bytes");
+        for want_seq in [1, 2, 3] {
+            assert_eq!(fresh.pop_after_traversal(f).flit.seq, want_seq);
+        }
+        assert_eq!(fresh.owner(o), Some((3, 1)));
+        assert_eq!(fresh.credits(o), 2);
+        assert_eq!(fresh.rr(1, 2), 7);
+        // and a geometry mismatch is a structured error
+        let mut wrong = RouterArray::new(3, 2, 3);
+        let mut rd = ByteReader::new(&bytes);
+        assert!(wrong.load_state(&mut rd).is_err());
     }
 }

@@ -22,7 +22,7 @@ use cmp_common::types::{Cycle, MessageClass, TileId};
 use crate::config::ChannelSpec;
 use crate::energy::{NocEnergy, RouterEnergyModel};
 use crate::message::{Delivered, Message};
-use crate::router::{Flit, Router, LOCAL, PORTS};
+use crate::router::{Flit, RouterArray, LOCAL, PORTS};
 use crate::stats::NocStats;
 
 /// An in-flight message: payload parked while its flits traverse the mesh.
@@ -55,6 +55,23 @@ struct InjProgress {
     next_seq: u32,
 }
 
+/// Port index of the opposite link direction (E↔W, N↔S), indexed by
+/// [`Direction::index`]. The hot-path constant form of
+/// [`Direction::opposite`].
+const OPPOSITE: [usize; 4] = [1, 0, 3, 2];
+
+/// Set bit `i` in a packed bitmap.
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+/// Clear bit `i` in a packed bitmap.
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
 /// One channel's mesh network.
 #[derive(Clone)]
 pub struct SubNet<P> {
@@ -64,13 +81,60 @@ pub struct SubNet<P> {
     /// (pipeline − 1).
     pipeline_wait: Cycle,
     link_cycles: Cycle,
-    routers: Vec<Router>,
+    routers: RouterArray,
     /// Buffered-flit count per router: the switch-allocation activity
     /// gate (routers holding nothing are skipped entirely).
     flits_buffered: Vec<u32>,
     /// Bitmap of non-empty input VCs per router (bit = port·nvc + vc),
     /// so the allocation scan probes only occupied buffers.
     vc_occupied: Vec<u32>,
+    // --- hot-path caches derived from `mesh` (configuration, never
+    // persisted) ---
+    /// Row-major (x, y) of every tile: `MeshShape::coord` without the
+    /// per-call div/mod.
+    coords: Vec<(u16, u16)>,
+    /// `neighbors[tile][Direction::index()]` for the four link ports;
+    /// `u32::MAX` at a mesh edge.
+    neighbors: Vec<[u32; 4]>,
+    // --- activity tracking derived from the state above (rebuilt on
+    // restore, never persisted) ---
+    /// Bitmap of routers holding any buffered flit (bit = tile id);
+    /// the iteration-order-preserving form of scanning
+    /// `flits_buffered` for non-zero entries.
+    router_occupied: Vec<u64>,
+    /// Bitmap of tiles whose NI has injection work queued or in
+    /// progress (bit = tile id).
+    inj_active: Vec<u64>,
+    /// Per-router cycle before which the allocation scan provably
+    /// finds no eligible head flit (every buffered flit still in its
+    /// router pipeline). 0 = unknown, scan. Skipping a router while
+    /// `now < next_ready` changes no state, so behaviour is
+    /// bit-identical to the full scan.
+    next_ready: Vec<Cycle>,
+    /// Bitmap of *armed* input VCs per router (bit = port·nvc + vc):
+    /// non-empty, head flit out of the router pipeline, route cached.
+    /// Maintained incrementally — armed on head maturation (directly or
+    /// via `mature_ring`), re-evaluated on every head pop — so the
+    /// allocation scan never probes buffers or compares arrival stamps;
+    /// armed ⟺ the old per-cycle gather would find the VC eligible.
+    vc_armed: Vec<u32>,
+    /// Head-maturation calendar: slot `cycle % len` holds the
+    /// (tile, flat VC) pairs whose head flit leaves the router pipeline
+    /// at `cycle`. Length `pipeline_wait + 1`, so every pending
+    /// maturation (at most `pipeline_wait` cycles out) has a distinct
+    /// slot. An immature head cannot pop or be displaced, so entries
+    /// are never stale.
+    mature_ring: Vec<Vec<(u32, u32)>>,
+    /// False after a state restore until [`SubNet::tick`] has rebuilt
+    /// `vc_armed` and `mature_ring` (they depend on the clock, which
+    /// `load_state` does not see).
+    eligibility_fresh: bool,
+    /// Switch-allocation scratch, hoisted out of the per-tick loop:
+    /// per output port, the eligible (in_port, in_vc) requesters in
+    /// ascending flat order. Bucketing at gather time lets each output
+    /// arbitrate over exactly its own requesters instead of rescanning
+    /// one combined list per port.
+    requesters_scratch: [Vec<(u8, u8)>; PORTS],
     /// Flits in flight on links. Constant link latency makes this FIFO by
     /// arrival time.
     wire: VecDeque<WireFlit>,
@@ -109,16 +173,41 @@ impl<P> SubNet<P> {
             PORTS * spec.virtual_channels <= 32,
             "occupancy bitmap supports at most 32 input VCs per router"
         );
+        let coords: Vec<(u16, u16)> = (0..tiles)
+            .map(|t| {
+                let c = mesh.coord(TileId::from(t));
+                (c.x, c.y)
+            })
+            .collect();
+        let neighbors: Vec<[u32; 4]> = (0..tiles)
+            .map(|t| {
+                let mut row = [u32::MAX; 4];
+                for dir in Direction::LINKS {
+                    if let Some(n) = mesh.neighbor(TileId::from(t), dir) {
+                        row[dir.index()] = n.index() as u32;
+                    }
+                }
+                row
+            })
+            .collect();
+        let bitmap_words = tiles.div_ceil(64);
         SubNet {
             spec,
             mesh,
             pipeline_wait: pipeline_cycles - 1,
             link_cycles,
-            routers: (0..tiles)
-                .map(|_| Router::new(spec.virtual_channels, spec.vc_buffer_flits))
-                .collect(),
+            routers: RouterArray::new(tiles, spec.virtual_channels, spec.vc_buffer_flits),
             flits_buffered: vec![0; tiles],
             vc_occupied: vec![0; tiles],
+            coords,
+            neighbors,
+            router_occupied: vec![0; bitmap_words],
+            inj_active: vec![0; bitmap_words],
+            next_ready: vec![0; tiles],
+            vc_armed: vec![0; tiles],
+            mature_ring: vec![Vec::new(); pipeline_cycles as usize],
+            eligibility_fresh: true,
+            requesters_scratch: Default::default(),
             wire: VecDeque::new(),
             inj_queues: (0..tiles).map(|_| VecDeque::new()).collect(),
             inj_progress: vec![None; tiles],
@@ -190,6 +279,97 @@ impl<P> SubNet<P> {
             self.live_msgs += 1;
             self.inject_pending += 1;
         }
+        if !self.inj_queues[s].is_empty() {
+            set_bit(&mut self.inj_active, s);
+        }
+    }
+
+    /// XY route from `tile` towards `dst` via the precomputed coordinate
+    /// table (no div/mod on the allocation path).
+    #[inline]
+    fn route_dir(&self, tile: usize, dst: usize) -> Direction {
+        let (cx, cy) = self.coords[tile];
+        let (dx, dy) = self.coords[dst];
+        if dx > cx {
+            Direction::East
+        } else if dx < cx {
+            Direction::West
+        } else if dy > cy {
+            Direction::South
+        } else if dy < cy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Arm input VC `fvc` of `tile`: its head flit has cleared the
+    /// router pipeline and may arbitrate from cycle `now` on. Computes
+    /// the route on first need (wormhole: cached until the tail
+    /// departs) and wakes the router.
+    fn arm_vc(&mut self, tile: usize, fvc: usize, now: Cycle) {
+        let f = self.routers.vc_index(tile, 0, 0) + fvc;
+        if self.routers.route(f).is_none() {
+            let msg = self
+                .routers
+                .front(f)
+                .expect("armed VC holds flits")
+                .flit
+                .msg;
+            let entry = self.slab[msg as usize].as_ref().expect("live");
+            let d = self.route_dir(tile, entry.dst.index());
+            self.routers.set_route(f, d);
+        }
+        self.vc_armed[tile] |= 1 << fvc;
+        self.next_ready[tile] = self.next_ready[tile].min(now);
+    }
+
+    /// A freshly-exposed head flit of `(tile, fvc)` matures at `at`:
+    /// arm immediately if already due, otherwise calendar it on the
+    /// maturation ring.
+    fn schedule_head(&mut self, tile: usize, fvc: usize, at: Cycle, now: Cycle) {
+        if at <= now {
+            self.arm_vc(tile, fvc, now);
+        } else {
+            debug_assert!(at - now < self.mature_ring.len() as u64);
+            let slot = (at % self.mature_ring.len() as u64) as usize;
+            self.mature_ring[slot].push((tile as u32, fvc as u32));
+        }
+    }
+
+    /// Arm every VC whose head flit matures this cycle.
+    fn drain_matured(&mut self, now: Cycle) {
+        let slot = (now % self.mature_ring.len() as u64) as usize;
+        if self.mature_ring[slot].is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.mature_ring[slot]);
+        for &(tile, fvc) in &due {
+            self.arm_vc(tile as usize, fvc as usize, now);
+        }
+        due.clear();
+        self.mature_ring[slot] = due;
+    }
+
+    /// Rebuild `vc_armed` and `mature_ring` from the buffered flits —
+    /// the clock-dependent part of a state restore, run on the first
+    /// tick after `load_state`.
+    fn rebuild_eligibility(&mut self, now: Cycle) {
+        self.eligibility_fresh = true;
+        for ring in &mut self.mature_ring {
+            ring.clear();
+        }
+        self.vc_armed.fill(0);
+        for tile in 0..self.mesh.tiles() {
+            let mut occ = self.vc_occupied[tile];
+            while occ != 0 {
+                let fvc = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let f = self.routers.vc_index(tile, 0, 0) + fvc;
+                let at = self.routers.front(f).expect("occupied VC").arrived + self.pipeline_wait;
+                self.schedule_head(tile, fvc, at, now);
+            }
+        }
     }
 
     /// Bytes of flit `seq` of a `wire_bytes` message on this channel.
@@ -204,8 +384,12 @@ impl<P> SubNet<P> {
     /// in this sub-network's own accumulators ([`SubNet::energy`],
     /// [`SubNet::stats`]), so sibling sub-networks can tick concurrently.
     pub fn tick(&mut self, now: Cycle, rem: &RouterEnergyModel) {
+        if !self.eligibility_fresh {
+            self.rebuild_eligibility(now);
+        }
         self.deliver_wire_arrivals(now);
         self.inject_flits(now);
+        self.drain_matured(now);
         self.switch_traversal(now, rem);
         debug_assert_eq!(
             self.buffered_total,
@@ -225,135 +409,223 @@ impl<P> SubNet<P> {
                 break;
             }
             let wf = self.wire.pop_front().expect("front checked");
-            self.routers[wf.dst_tile].inputs[wf.dst_port][wf.vc].push(wf.flit, now);
+            let f = self.routers.vc_index(wf.dst_tile, wf.dst_port, wf.vc);
+            self.routers.push(f, wf.flit, now);
             self.flits_buffered[wf.dst_tile] += 1;
             self.buffered_total += 1;
-            self.vc_occupied[wf.dst_tile] |=
-                1 << (wf.dst_port * self.spec.virtual_channels + wf.vc);
+            let fvc = wf.dst_port * self.spec.virtual_channels + wf.vc;
+            self.vc_occupied[wf.dst_tile] |= 1 << fvc;
+            set_bit(&mut self.router_occupied, wf.dst_tile);
+            // Only a newly-exposed *head* changes what the switch can
+            // do: a push onto a non-empty VC leaves every head flit —
+            // hence every arbitration outcome — untouched.
+            if self.routers.vc_len(f) == 1 {
+                self.schedule_head(wf.dst_tile, fvc, now + self.pipeline_wait, now);
+            }
         }
     }
 
     /// Phase (b): each tile's network interface feeds at most one flit per
     /// cycle into the local input port, serialising one message at a time.
+    /// Only tiles on the `inj_active` bitmap are visited; per-tile work is
+    /// independent (each touches only its own router's local port), so the
+    /// skip cannot change behaviour.
     fn inject_flits(&mut self, now: Cycle) {
-        for tile in 0..self.mesh.tiles() {
-            if self.inj_progress[tile].is_none() {
-                let Some(&slot) = self.inj_queues[tile].front() else {
-                    continue;
-                };
-                // Pick the local input VC with the most free space that is
-                // not mid-message (its last buffered flit, if any, was a
-                // tail — guaranteed here because the NI serialises, so any
-                // idle VC is message-aligned).
-                let local = &self.routers[tile].inputs[LOCAL];
-                let vc = (0..local.len())
-                    .filter(|&v| local[v].has_space())
-                    .max_by_key(|&v| local[v].capacity() - local[v].buf.len());
-                let Some(vc) = vc else { continue };
-                self.inj_queues[tile].pop_front();
-                self.inj_progress[tile] = Some(InjProgress {
-                    slot,
-                    vc,
-                    next_seq: 0,
-                });
-            }
-            let Some(mut p) = self.inj_progress[tile] else {
-                continue;
-            };
-            let vc = &mut self.routers[tile].inputs[LOCAL][p.vc];
-            if !vc.has_space() {
-                continue;
-            }
-            let entry = self.slab[p.slot as usize].as_ref().expect("live slot");
-            let tail = p.next_seq + 1 == entry.flits_total;
-            vc.push(
-                Flit {
-                    msg: p.slot,
-                    seq: p.next_seq,
-                    tail,
-                },
-                now,
-            );
-            self.flits_buffered[tile] += 1;
-            self.buffered_total += 1;
-            self.vc_occupied[tile] |= 1 << (LOCAL * self.spec.virtual_channels + p.vc);
-            p.next_seq += 1;
-            if tail {
-                self.inj_progress[tile] = None;
-                self.inject_pending -= 1;
-            } else {
-                self.inj_progress[tile] = Some(p);
+        if self.inject_pending == 0 {
+            return;
+        }
+        for w in 0..self.inj_active.len() {
+            let mut bits = self.inj_active[w];
+            while bits != 0 {
+                let tile = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.inject_tile(now, tile);
             }
         }
     }
 
-    /// Phase (c): switch allocation and traversal at every router.
+    /// One tile's injection step (see [`SubNet::inject_flits`]).
+    fn inject_tile(&mut self, now: Cycle, tile: usize) {
+        if self.inj_progress[tile].is_none() {
+            let Some(&slot) = self.inj_queues[tile].front() else {
+                // Spurious activity bit (all queued work already done).
+                clear_bit(&mut self.inj_active, tile);
+                return;
+            };
+            // Pick the local input VC with the most free space that is
+            // not mid-message (its last buffered flit, if any, was a
+            // tail — guaranteed here because the NI serialises, so any
+            // idle VC is message-aligned).
+            let base = self.routers.vc_index(tile, LOCAL, 0);
+            let vc = (0..self.spec.virtual_channels)
+                .filter(|&v| self.routers.has_space(base + v))
+                .max_by_key(|&v| self.routers.capacity() - self.routers.vc_len(base + v));
+            let Some(vc) = vc else { return };
+            self.inj_queues[tile].pop_front();
+            self.inj_progress[tile] = Some(InjProgress {
+                slot,
+                vc,
+                next_seq: 0,
+            });
+        }
+        let Some(mut p) = self.inj_progress[tile] else {
+            return;
+        };
+        let f = self.routers.vc_index(tile, LOCAL, p.vc);
+        if !self.routers.has_space(f) {
+            return;
+        }
+        let entry = self.slab[p.slot as usize].as_ref().expect("live slot");
+        let tail = p.next_seq + 1 == entry.flits_total;
+        self.routers.push(
+            f,
+            Flit {
+                msg: p.slot,
+                seq: p.next_seq,
+                tail,
+            },
+            now,
+        );
+        self.flits_buffered[tile] += 1;
+        self.buffered_total += 1;
+        let fvc = LOCAL * self.spec.virtual_channels + p.vc;
+        self.vc_occupied[tile] |= 1 << fvc;
+        set_bit(&mut self.router_occupied, tile);
+        if self.routers.vc_len(f) == 1 {
+            self.schedule_head(tile, fvc, now + self.pipeline_wait, now);
+        }
+        p.next_seq += 1;
+        if tail {
+            self.inj_progress[tile] = None;
+            self.inject_pending -= 1;
+            if self.inj_queues[tile].is_empty() {
+                clear_bit(&mut self.inj_active, tile);
+            }
+        } else {
+            self.inj_progress[tile] = Some(p);
+        }
+    }
+
+    /// Phase (c): switch allocation and traversal at every router
+    /// holding flits, in ascending tile order (the `router_occupied`
+    /// bitmap iterates exactly the tiles the full scan would visit).
+    /// Routers whose buffered flits are all still inside the router
+    /// pipeline are skipped via `next_ready` — provably no-op cycles.
     fn switch_traversal(&mut self, now: Cycle, rem: &RouterEnergyModel) {
         let nvc = self.spec.virtual_channels;
         let candidates = PORTS * nvc;
-        // Scratch list of eligible head flits: (in_port, in_vc, out_idx).
-        let mut eligible: Vec<(usize, usize, usize)> = Vec::with_capacity(candidates);
-        for tile in 0..self.mesh.tiles() {
-            if self.flits_buffered[tile] == 0 {
-                continue;
-            }
-            // --- gather eligible head flits once per router ---
-            eligible.clear();
-            let mut occ = self.vc_occupied[tile];
-            while occ != 0 {
-                let flat = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                let (in_port, in_vc) = (flat / nvc, flat % nvc);
-                let vc = &self.routers[tile].inputs[in_port][in_vc];
-                let Some(bf) = vc.buf.front() else { continue };
-                if now < bf.arrived + self.pipeline_wait {
+        for w in 0..self.router_occupied.len() {
+            let mut word = self.router_occupied[w];
+            while word != 0 {
+                let tile = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if now < self.next_ready[tile] {
                     continue;
                 }
-                let entry = self.slab[bf.flit.msg as usize].as_ref().expect("live");
-                let out_dir = self.mesh.xy_route(TileId::from(tile), entry.dst);
-                eligible.push((in_port, in_vc, out_dir.index()));
+                self.traverse_router(now, rem, tile, nvc, candidates);
             }
-            if eligible.is_empty() {
-                continue;
+        }
+    }
+
+    /// Switch allocation and traversal at one router (see
+    /// [`SubNet::switch_traversal`]).
+    fn traverse_router(
+        &mut self,
+        now: Cycle,
+        rem: &RouterEnergyModel,
+        tile: usize,
+        nvc: usize,
+        candidates: usize,
+    ) {
+        // Flat index of this tile's (port 0, VC 0); every input or
+        // output VC of the tile is `base_tile + port·nvc + vc`.
+        let base_tile = self.routers.vc_index(tile, 0, 0);
+        // Output directions some eligible flit wants (bit = port index).
+        let mut wanted = 0u8;
+        {
+            // --- gather eligible head flits once per router ---
+            // `vc_armed` already encodes eligibility (non-empty, head
+            // out of the pipeline, route cached — see the field doc), so
+            // the gather is a pure bit scan: no front-flit loads, no
+            // maturity compares. Per-port submasks keep the ascending
+            // flat order of a plain scan while avoiding `/ nvc`,`% nvc`
+            // divides (`nvc` is runtime config, so the compiler cannot
+            // strength-reduce them). Requesters land in their output
+            // port's bucket, in ascending flat order — the order the
+            // combined-list scan would visit them in.
+            let armed = self.vc_armed[tile];
+            if armed == 0 {
+                // Nothing eligible: park until an event (maturation-ring
+                // drain, wire arrival, injection, 0→1 credit return)
+                // arms a VC and lowers `next_ready` again.
+                self.next_ready[tile] = Cycle::MAX;
+                return;
             }
+            let mut requesters = std::mem::take(&mut self.requesters_scratch);
+            for bucket in &mut requesters {
+                bucket.clear();
+            }
+            for in_port in 0..PORTS {
+                let mut sub = (armed >> (in_port * nvc)) & ((1u32 << nvc) - 1);
+                while sub != 0 {
+                    let in_vc = sub.trailing_zeros() as usize;
+                    sub &= sub - 1;
+                    let f = base_tile + in_port * nvc + in_vc;
+                    let out_dir = self.routers.route(f).expect("armed VC has a cached route");
+                    wanted |= 1 << out_dir.index();
+                    requesters[out_dir.index()].push((in_port as u8, in_vc as u8));
+                }
+            }
+            self.requesters_scratch = requesters;
+        }
+        let mut grants = 0u32;
+        {
             let mut input_used = [false; PORTS];
             for out_dir in Direction::ALL {
                 let out_idx = out_dir.index();
+                if wanted & (1 << out_idx) == 0 {
+                    continue; // no eligible flit heads this way
+                }
                 let downstream = if out_idx == LOCAL {
                     None
                 } else {
-                    match self.mesh.neighbor(TileId::from(tile), out_dir) {
-                        Some(n) => Some(n),
-                        None => continue, // mesh edge: no such link
+                    match self.neighbors[tile][out_idx] {
+                        u32::MAX => continue, // mesh edge: no such link
+                        n => Some(TileId::from(n as usize)),
                     }
                 };
 
                 // --- round-robin selection among this port's requests ---
-                let start = self.routers[tile].outputs[out_idx].rr;
+                let start = self.routers.rr(tile, out_idx);
+                let fout = base_tile + out_idx * nvc; // output VC group base
                 let mut grant: Option<(usize, usize, usize)> = None; // (in_port, in_vc, out_vc)
                 let mut best_key = usize::MAX;
-                for &(in_port, in_vc, want) in &eligible {
-                    if want != out_idx || input_used[in_port] {
+                for &(in_port, in_vc) in &self.requesters_scratch[out_idx] {
+                    let (in_port, in_vc) = (in_port as usize, in_vc as usize);
+                    if input_used[in_port] {
                         continue;
                     }
                     let flat = in_port * nvc + in_vc;
-                    let key = (flat + candidates - start) % candidates;
+                    // `(flat + candidates - start) % candidates` without
+                    // the runtime divide: both terms are < candidates.
+                    let mut key = flat + candidates - start;
+                    if key >= candidates {
+                        key -= candidates;
+                    }
                     if key >= best_key {
                         continue;
                     }
-                    let vc = &self.routers[tile].inputs[in_port][in_vc];
-                    let out_port = &self.routers[tile].outputs[out_idx];
-                    let ovc = match vc.out_vc {
+                    let ovc = match self.routers.out_vc(base_tile + flat) {
                         Some(v) => v,
                         None => {
                             // head flit: allocate the first free output VC
-                            match (0..nvc).find(|&v| out_port.vcs[v].owner.is_none()) {
+                            match (0..nvc).find(|&v| self.routers.owner(fout + v).is_none()) {
                                 Some(v) => v,
                                 None => continue,
                             }
                         }
                     };
-                    if out_port.vcs[ovc].credits == 0 {
+                    if self.routers.credits(fout + ovc) == 0 {
                         continue;
                     }
                     grant = Some((in_port, in_vc, ovc));
@@ -364,20 +636,42 @@ impl<P> SubNet<P> {
                 let Some((in_port, in_vc, ovc)) = grant else {
                     continue;
                 };
-                self.routers[tile].outputs[out_idx].rr = (in_port * nvc + in_vc + 1) % candidates;
+                let next_rr = in_port * nvc + in_vc + 1;
+                self.routers.set_rr(
+                    tile,
+                    out_idx,
+                    if next_rr == candidates { 0 } else { next_rr },
+                );
                 input_used[in_port] = true;
-                let bf = {
-                    let vc = &mut self.routers[tile].inputs[in_port][in_vc];
-                    if vc.out_vc.is_none() {
-                        vc.out_vc = Some(ovc);
+                grants += 1;
+                let fin = base_tile + in_port * nvc + in_vc;
+                if self.routers.out_vc(fin).is_none() {
+                    self.routers.set_out_vc(fin, ovc);
+                }
+                let bf = self.routers.pop_after_traversal(fin);
+                // Re-derive the popped VC's armed bit from its new head:
+                // emptied → disarm; same-message head still mature →
+                // stays armed (route untouched); otherwise disarm and
+                // reschedule (immediately if the new head is already
+                // mature — a tail pop resets the route, so re-arming
+                // recomputes it for the next message).
+                let fvc = in_port * nvc + in_vc;
+                if self.routers.vc_len(fin) == 0 {
+                    self.vc_occupied[tile] &= !(1 << fvc);
+                    self.vc_armed[tile] &= !(1 << fvc);
+                } else {
+                    let head_ready =
+                        self.routers.front(fin).expect("non-empty").arrived + self.pipeline_wait;
+                    if bf.flit.tail || head_ready > now {
+                        self.vc_armed[tile] &= !(1 << fvc);
+                        self.schedule_head(tile, fvc, head_ready, now);
                     }
-                    vc.pop_after_traversal()
-                };
-                if self.routers[tile].inputs[in_port][in_vc].buf.is_empty() {
-                    self.vc_occupied[tile] &= !(1 << (in_port * nvc + in_vc));
                 }
                 self.flits_buffered[tile] -= 1;
                 self.buffered_total -= 1;
+                if self.flits_buffered[tile] == 0 {
+                    clear_bit(&mut self.router_occupied, tile);
+                }
                 let flit = bf.flit;
                 let (wire_bytes, flits_total) = {
                     let e = self.slab[flit.msg as usize].as_ref().expect("live");
@@ -389,22 +683,29 @@ impl<P> SubNet<P> {
 
                 // return the credit upstream (the flit freed a buffer slot)
                 if in_port != LOCAL {
-                    let in_dir = Direction::LINKS[in_port];
-                    let upstream = self
-                        .mesh
-                        .neighbor(TileId::from(tile), in_dir)
-                        .expect("flit arrived from a real neighbor");
-                    let up_out = in_dir.opposite().index();
-                    self.routers[upstream.index()].outputs[up_out].vcs[in_vc].credits += 1;
+                    let upstream = self.neighbors[tile][in_port] as usize;
+                    debug_assert_ne!(upstream, u32::MAX as usize, "flit from a real neighbor");
+                    let up_out = OPPOSITE[in_port];
+                    let fu = self.routers.vc_index(upstream, up_out, in_vc);
+                    // A 0→1 credit transition can unblock a parked
+                    // upstream router: wake it (`now`, not `now + 1`,
+                    // so a later-indexed upstream still acts this very
+                    // cycle, exactly like the full scan). A return onto
+                    // a non-empty credit pool cannot change any
+                    // arbitration outcome, so no wake is needed.
+                    if self.routers.credits(fu) == 0 {
+                        self.next_ready[upstream] = self.next_ready[upstream].min(now);
+                    }
+                    self.routers.add_credit(fu);
                 }
 
                 if out_idx == LOCAL {
                     // Ejection.
                     if flit.is_head() {
-                        self.routers[tile].outputs[LOCAL].vcs[ovc].owner = Some((in_port, in_vc));
+                        self.routers.set_owner(fout + ovc, Some((in_port, in_vc)));
                     }
                     if flit.tail {
-                        self.routers[tile].outputs[LOCAL].vcs[ovc].owner = None;
+                        self.routers.set_owner(fout + ovc, None);
                     }
                     let entry = self.slab[flit.msg as usize].as_mut().expect("live");
                     entry.flits_ejected += 1;
@@ -426,13 +727,12 @@ impl<P> SubNet<P> {
                     }
                 } else {
                     // Link traversal towards `downstream`.
-                    let out_port = &mut self.routers[tile].outputs[out_idx];
                     if flit.is_head() {
-                        out_port.vcs[ovc].owner = Some((in_port, in_vc));
+                        self.routers.set_owner(fout + ovc, Some((in_port, in_vc)));
                     }
-                    out_port.vcs[ovc].credits -= 1;
+                    self.routers.spend_credit(fout + ovc);
                     if flit.tail {
-                        out_port.vcs[ovc].owner = None;
+                        self.routers.set_owner(fout + ovc, None);
                     }
                     let downstream = downstream.expect("non-local grant has a neighbor");
                     self.link_flits[tile][out_idx] += 1;
@@ -440,7 +740,7 @@ impl<P> SubNet<P> {
                         flit,
                         arrival: now + self.link_cycles,
                         dst_tile: downstream.index(),
-                        dst_port: out_dir.opposite().index(),
+                        dst_port: OPPOSITE[out_idx],
                         vc: ovc,
                     });
                     self.energy.link_dynamic += self.spec.channel.dyn_energy_for_bytes(bytes, 0.5);
@@ -448,6 +748,12 @@ impl<P> SubNet<P> {
                 }
             }
         }
+        // A round with grants can enable more work next cycle (freed
+        // ownership, advancing wormholes): revisit. A grantless round
+        // changed nothing in this router, so it parks until an event —
+        // maturation-ring drain, wire arrival, NI injection, downstream
+        // credit return — lowers `next_ready` again.
+        self.next_ready[tile] = if grants > 0 { now } else { Cycle::MAX };
     }
 
     /// Dynamic energy burned in this sub-network so far.
@@ -491,6 +797,11 @@ impl<P> SubNet<P> {
     /// happens yet (a buffered flit still in its router pipeline), but
     /// never one later than the true next event, so driving the clock by
     /// this estimate cannot skip work. Always returns > `now`.
+    ///
+    /// A per-router scan (earliest head arrival + pipeline delay over
+    /// the occupancy bitmap) gives a tighter bound, but measured slower:
+    /// under load some head is almost always eligible next cycle, so the
+    /// scan price is paid every iteration for nearly zero skipped ticks.
     pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
         if self.is_idle() {
             return None;
@@ -516,9 +827,9 @@ impl<P> SubNet<P> {
         if let Some(front) = self.wire.front() {
             next = next.min(front.arrival);
         }
-        for (tile, router) in self.routers.iter().enumerate() {
+        for tile in 0..self.mesh.tiles() {
             if self.flits_buffered[tile] > 0 {
-                if let Some(arr) = router.earliest_head_arrival() {
+                if let Some(arr) = self.routers.earliest_head_arrival(tile) {
                     next = next.min(arr + self.pipeline_wait);
                 }
             }
@@ -565,16 +876,14 @@ impl<P> SubNet<P> {
             .min_by_key(|&(at, src, dst, _)| (at, src.index(), dst.index()))
     }
 
-    /// Switching-factor-weighted channel energy parameters (test hook).
+    /// The flat router store (test hook).
     #[cfg(test)]
-    pub(crate) fn routers(&self) -> &[Router] {
+    pub(crate) fn routers(&self) -> &RouterArray {
         &self.routers
     }
 }
 
-use cmp_common::persist::{
-    load_state_slice, save_state_slice, ByteReader, ByteWriter, Persist, PersistError, PersistState,
-};
+use cmp_common::persist::{ByteReader, ByteWriter, Persist, PersistError, PersistState};
 
 impl<P: Persist> Persist for InFlight<P> {
     fn save(&self, w: &mut ByteWriter) {
@@ -614,7 +923,7 @@ cmp_common::impl_persist!(InjProgress { slot, vc, next_seq });
 /// error, never a silently resized machine.
 impl<P: Persist> PersistState for SubNet<P> {
     fn save_state(&self, w: &mut ByteWriter) {
-        save_state_slice(&self.routers, w);
+        self.routers.save_state(w);
         self.flits_buffered.save(w);
         self.vc_occupied.save(w);
         self.wire.save(w);
@@ -635,7 +944,7 @@ impl<P: Persist> PersistState for SubNet<P> {
     }
     fn load_state(&mut self, r: &mut ByteReader) -> Result<(), PersistError> {
         let tiles = self.mesh.tiles();
-        load_state_slice(&mut self.routers, r)?;
+        self.routers.load_state(r)?;
         let flits_buffered: Vec<u32> = Persist::load(r)?;
         if flits_buffered.len() != tiles {
             return Err(r.err("per-tile flit counts do not match machine shape"));
@@ -682,6 +991,23 @@ impl<P: Persist> PersistState for SubNet<P> {
                 + self.inj_progress.iter().filter(|p| p.is_some()).count()
         {
             return Err(r.err("inject-pending counter disagrees with queues"));
+        }
+        // Activity caches are derived, not persisted: rebuild them from
+        // the restored occupancy state (next_ready = 0 means "scan", so
+        // a conservative reset is always safe). Eligibility depends on
+        // the clock, which this layer does not know — defer it to the
+        // first tick (see `rebuild_eligibility`).
+        self.router_occupied.fill(0);
+        self.inj_active.fill(0);
+        self.next_ready.fill(0);
+        self.eligibility_fresh = false;
+        for tile in 0..self.mesh.tiles() {
+            if self.flits_buffered[tile] > 0 {
+                set_bit(&mut self.router_occupied, tile);
+            }
+            if self.inj_progress[tile].is_some() || !self.inj_queues[tile].is_empty() {
+                set_bit(&mut self.inj_active, tile);
+            }
         }
         Ok(())
     }
@@ -1134,6 +1460,6 @@ mod tests {
         let net: SubNet<u64> = SubNet::new(b_spec(75), mesh, CLOCK);
         assert!(net.is_idle());
         assert_eq!(net.next_event_cycle(10), None);
-        assert!(!net.routers().iter().any(|r| r.has_buffered_flits()));
+        assert!(!(0..4).any(|t| net.routers().tile_has_flits(t)));
     }
 }

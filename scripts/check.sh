@@ -42,6 +42,36 @@ timeout 300 target/release/sensitivity_mesh \
     echo "16x16 sparse smoke: failed or blew the 300 s wall deadline"; exit 1; }
 echo "16x16 sparse smoke: completed under the deadline"
 
+echo "== perf-floor smoke (fullsim_hotspot must clear a coarse throughput floor)"
+# Catches order-of-magnitude scheduler regressions, not percent-level
+# drift: the floor sits far below any healthy machine's throughput
+# (this repo's 1-core reference box does ~1.2M cycles/s). On 1-core
+# containers timing shares the core with everything else, so a miss
+# only warns there; multi-core machines fail hard.
+PERF_FLOOR=400000
+PERF_JSON="$(mktemp "${TMPDIR:-/tmp}/tcmp-perfsmoke-XXXXXX.json")"
+target/release/fullsim_bench --trials 3 --warmup 1 \
+    --skip-matrix --skip-scaling --skip-mesh --out "$PERF_JSON" >/dev/null
+PERF_MEDIAN=$(python3 - "$PERF_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+row = next(b for b in doc["benchmarks"] if b["name"] == "fullsim_hotspot")
+print(int(row["median"]))
+EOF
+)
+rm -f "$PERF_JSON"
+if [ "$PERF_MEDIAN" -lt "$PERF_FLOOR" ]; then
+    if [ "$(nproc)" -le 1 ]; then
+        echo "perf-floor smoke: WARNING — hotspot median $PERF_MEDIAN cycles/s" \
+             "under floor $PERF_FLOOR, tolerated on a 1-core container"
+    else
+        echo "perf-floor smoke: hotspot median $PERF_MEDIAN cycles/s under floor $PERF_FLOOR"
+        exit 1
+    fi
+else
+    echo "perf-floor smoke: hotspot median $PERF_MEDIAN cycles/s clears floor $PERF_FLOOR"
+fi
+
 echo "== cross-thread determinism + epoch scheduler unit tests"
 cargo test -q --release --test thread_determinism
 RUST_TEST_THREADS=1 cargo test -q --release -p tcmp-core engine::epoch
